@@ -1,0 +1,50 @@
+//! Benchmarks of the flooding (broadcast) simulator over induced
+//! communication graphs.
+
+use antennae_bench::workloads::uniform_instance;
+use antennae_core::algorithms::dispatch::orient;
+use antennae_core::antenna::AntennaBudget;
+use antennae_sim::flooding::{flood, flood_over_digraph, omnidirectional_digraph, FloodingConfig};
+use antennae_geometry::PI;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_flood_directional(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flood_directional");
+    for &n in &[200usize, 500, 1000] {
+        let instance = uniform_instance(n, 5);
+        let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+        let points = instance.points().to_vec();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(points, scheme),
+            |b, (pts, sch)| {
+                b.iter(|| flood(black_box(pts), black_box(sch), 0, FloodingConfig::default()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_flood_omnidirectional(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flood_omnidirectional");
+    let instance = uniform_instance(500, 5);
+    let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+    let radius = scheme.max_radius();
+    let points = instance.points().to_vec();
+    let digraph = omnidirectional_digraph(&points, radius);
+    group.bench_function("n=500", |b| {
+        b.iter(|| {
+            flood_over_digraph(
+                black_box(&points),
+                black_box(&digraph),
+                0,
+                FloodingConfig::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flood_directional, bench_flood_omnidirectional);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Benchmarks of the Euclidean MST substrate: dense Prim with the degree-5
+//! repair pass, against a Kruskal-on-complete-graph reference (ablation of
+//! the dedicated builder).
+
+use antennae_bench::workloads::uniform_instance;
+use antennae_graph::euclidean::EuclideanMst;
+use antennae_graph::graph::Graph;
+use antennae_graph::mst::kruskal_mst;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_euclidean_mst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("euclidean_mst_build");
+    for &n in &[100usize, 500, 1000, 2000] {
+        let instance = uniform_instance(n, 42);
+        let points = instance.points().to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter(|| EuclideanMst::build(black_box(pts)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mst_reference_kruskal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mst_reference_kruskal_complete");
+    for &n in &[100usize, 300] {
+        let instance = uniform_instance(n, 42);
+        let points = instance.points().to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter(|| {
+                let g = Graph::complete(pts.len(), |u, v| pts[u].distance(&pts[v]));
+                kruskal_mst(black_box(&g))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_euclidean_mst, bench_mst_reference_kruskal);
+criterion_main!(benches);

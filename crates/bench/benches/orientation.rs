@@ -1,0 +1,77 @@
+//! Benchmarks of every orientation algorithm of the paper across instance
+//! sizes (the cost of regenerating each Table 1 row).
+
+use antennae_bench::workloads::uniform_instance;
+use antennae_core::algorithms::{chains, hamiltonian, theorem2, theorem3};
+use antennae_geometry::PI;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_theorem2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orient_theorem2_k2");
+    for &n in &[100usize, 500, 1000] {
+        let instance = uniform_instance(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, inst| {
+            b.iter(|| theorem2::orient_theorem2(black_box(inst), 2).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_theorem3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orient_theorem3_phi_pi");
+    for &n in &[100usize, 500, 1000] {
+        let instance = uniform_instance(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, inst| {
+            b.iter(|| theorem3::orient_two_antennae(black_box(inst), PI).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orient_chains");
+    for &k in &[3usize, 4, 5] {
+        let instance = uniform_instance(500, 7);
+        group.bench_with_input(BenchmarkId::new("k", k), &instance, |b, inst| {
+            b.iter(|| chains::orient_chains(black_box(inst), k).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_hamiltonian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orient_hamiltonian");
+    for &n in &[500usize, 2000] {
+        let instance = uniform_instance(n, 7);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, inst| {
+            b.iter(|| hamiltonian::orient_hamiltonian(black_box(inst)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the raw Euler-tour cycle vs. the bottleneck-2-opt improved cycle
+/// (DESIGN.md §8); the time cost of the improvement pass is what this group
+/// measures, its quality effect is reported by EXP-T1 / EXPERIMENTS.md.
+fn bench_hamiltonian_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamiltonian_2opt_ablation");
+    let instance = uniform_instance(500, 7);
+    group.bench_function("euler_tour_only", |b| {
+        b.iter(|| hamiltonian::orient_hamiltonian_unimproved(black_box(&instance)).unwrap())
+    });
+    group.bench_function("with_bottleneck_2opt", |b| {
+        b.iter(|| hamiltonian::orient_hamiltonian(black_box(&instance)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_theorem2,
+    bench_theorem3,
+    bench_chains,
+    bench_hamiltonian,
+    bench_hamiltonian_ablation
+);
+criterion_main!(benches);

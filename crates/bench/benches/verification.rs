@@ -1,0 +1,38 @@
+//! Benchmarks of the verification pipeline: induced-digraph construction and
+//! strong-connectivity checking.
+
+use antennae_bench::workloads::uniform_instance;
+use antennae_core::algorithms::dispatch::orient;
+use antennae_core::antenna::AntennaBudget;
+use antennae_core::verify::verify;
+use antennae_graph::scc::{kosaraju_scc, tarjan_scc};
+use antennae_geometry::PI;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_scheme");
+    for &n in &[100usize, 500, 1000] {
+        let instance = uniform_instance(n, 3);
+        let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(n),
+            &(instance, scheme),
+            |b, (inst, sch)| b.iter(|| verify(black_box(inst), black_box(sch))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_scc_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scc_on_induced_digraph");
+    let instance = uniform_instance(1000, 3);
+    let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+    let digraph = scheme.induced_digraph(instance.points());
+    group.bench_function("tarjan", |b| b.iter(|| tarjan_scc(black_box(&digraph))));
+    group.bench_function("kosaraju", |b| b.iter(|| kosaraju_scc(black_box(&digraph))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_verify, bench_scc_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! EXP-CC: strong c-connectivity (fault tolerance) of the produced
+//! orientations — the open problem of the paper's conclusion.
+//!
+//! Usage: `cargo run --release -p antennae-bench --bin c_connectivity [--quick]`
+
+use antennae_bench::workloads::quick_flag;
+use antennae_sim::experiments::c_connectivity::{run, CConnectivityConfig};
+
+fn main() {
+    let config = if quick_flag() {
+        CConnectivityConfig::quick()
+    } else {
+        CConnectivityConfig::full()
+    };
+    let report = run(&config);
+    println!("{report}");
+}

@@ -1,0 +1,21 @@
+//! EXP-F5 / EXP-F6: the zero-spread chain constructions of Theorems 5 and 6
+//! (Figures 5 and 6).
+//!
+//! Usage: `cargo run --release -p antennae-bench --bin chain_constructions [--quick]`
+
+use antennae_bench::workloads::quick_flag;
+use antennae_sim::experiments::chain_constructions::{run, ChainConfig};
+
+fn main() {
+    let config = if quick_flag() {
+        ChainConfig::quick()
+    } else {
+        ChainConfig::full()
+    };
+    let report = run(&config);
+    println!("{report}");
+    if !report.all_within_bounds() {
+        eprintln!("WARNING: a Theorem 5/6 bound was violated");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,17 @@
+//! EXP-EN: energy and interference comparison against an omnidirectional
+//! deployment.
+//!
+//! Usage: `cargo run --release -p antennae-bench --bin energy [--quick]`
+
+use antennae_bench::workloads::quick_flag;
+use antennae_sim::experiments::energy_compare::{run, EnergyConfig};
+
+fn main() {
+    let config = if quick_flag() {
+        EnergyConfig::quick()
+    } else {
+        EnergyConfig::full()
+    };
+    let report = run(&config);
+    println!("{report}");
+}

@@ -1,0 +1,14 @@
+//! EXP-F1: Lemma 1 necessity/sufficiency on the regular polygon (Figure 1).
+//!
+//! Usage: `cargo run --release -p antennae-bench --bin lemma1`
+
+use antennae_sim::experiments::lemma1_polygon::run;
+
+fn main() {
+    let report = run(5);
+    println!("{report}");
+    if !report.all_hold() {
+        eprintln!("WARNING: Lemma 1 claim violated in some cell");
+        std::process::exit(1);
+    }
+}

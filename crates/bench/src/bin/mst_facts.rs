@@ -1,0 +1,21 @@
+//! EXP-F2: empirical validation of Facts 1 and 2 on generated MSTs
+//! (Figure 2).
+//!
+//! Usage: `cargo run --release -p antennae-bench --bin mst_facts [--quick]`
+
+use antennae_bench::workloads::quick_flag;
+use antennae_sim::experiments::mst_facts::{run, MstFactsConfig};
+
+fn main() {
+    let config = if quick_flag() {
+        MstFactsConfig::quick()
+    } else {
+        MstFactsConfig::full()
+    };
+    let report = run(&config);
+    println!("{report}");
+    if !report.all_facts_hold() {
+        eprintln!("WARNING: a Fact 1/2 property was violated");
+        std::process::exit(1);
+    }
+}

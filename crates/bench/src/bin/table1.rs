@@ -1,0 +1,20 @@
+//! EXP-T1: regenerates Table 1 of the paper (see DESIGN.md §5).
+//!
+//! Usage: `cargo run --release -p antennae-bench --bin table1 [--quick]`
+
+use antennae_bench::workloads::quick_flag;
+use antennae_sim::experiments::table1::{run, Table1Config};
+
+fn main() {
+    let config = if quick_flag() {
+        Table1Config::quick()
+    } else {
+        Table1Config::full()
+    };
+    let report = run(&config);
+    println!("{report}");
+    if !report.all_valid() {
+        eprintln!("WARNING: some instances failed verification");
+        std::process::exit(1);
+    }
+}

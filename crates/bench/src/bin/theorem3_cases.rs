@@ -1,0 +1,21 @@
+//! EXP-F3 / EXP-F4: case histograms of the Theorem 3 construction
+//! (Figures 3 and 4).
+//!
+//! Usage: `cargo run --release -p antennae-bench --bin theorem3_cases [--quick]`
+
+use antennae_bench::workloads::quick_flag;
+use antennae_sim::experiments::theorem3_cases::{run, Theorem3CasesConfig};
+
+fn main() {
+    let config = if quick_flag() {
+        Theorem3CasesConfig::quick()
+    } else {
+        Theorem3CasesConfig::full()
+    };
+    let report = run(&config);
+    println!("{report}");
+    if report.histograms.iter().any(|h| !h.all_connected) {
+        eprintln!("WARNING: some instance was not strongly connected");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,20 @@
+//! EXP-TR: spread/radius trade-off curves (the trade-offs of §1.1 and §5).
+//!
+//! Usage: `cargo run --release -p antennae-bench --bin tradeoff [--quick]`
+
+use antennae_bench::workloads::quick_flag;
+use antennae_sim::experiments::tradeoff::{run, TradeoffConfig};
+
+fn main() {
+    let config = if quick_flag() {
+        TradeoffConfig::quick()
+    } else {
+        TradeoffConfig::full()
+    };
+    let report = run(&config);
+    println!("{report}");
+    if !report.all_connected {
+        eprintln!("WARNING: some configuration was not strongly connected");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,49 @@
+//! # antennae-bench
+//!
+//! Benchmark harness and experiment report binaries.
+//!
+//! * `src/bin/` — one binary per table/figure of the paper; each prints the
+//!   same rows/series the paper reports (see DESIGN.md §5 for the mapping).
+//!   Every binary accepts `--quick` to run the reduced configuration used in
+//!   CI/tests.
+//! * `benches/` — Criterion performance benchmarks of every substrate (MST
+//!   construction, orientation algorithms, verification, flooding, sweep
+//!   parallelism ablation).
+
+/// Shared helpers for the benches and report binaries.
+pub mod workloads {
+    use antennae_core::instance::Instance;
+    use antennae_geometry::Point;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A reproducible uniform-random instance of `n` sensors in a square
+    /// whose side scales with `√n` (keeps density constant across sizes).
+    pub fn uniform_instance(n: usize, seed: u64) -> Instance {
+        let side = (n as f64).sqrt() * 2.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points: Vec<Point> = (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
+            .collect();
+        Instance::new(points).expect("non-empty instance")
+    }
+
+    /// Returns `true` when `--quick` was passed on the command line.
+    pub fn quick_flag() -> bool {
+        std::env::args().any(|a| a == "--quick")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::workloads::uniform_instance;
+
+    #[test]
+    fn uniform_instance_is_reproducible() {
+        let a = uniform_instance(50, 1);
+        let b = uniform_instance(50, 1);
+        assert_eq!(a.points(), b.points());
+        assert_eq!(a.len(), 50);
+        assert!(a.lmax() > 0.0);
+    }
+}

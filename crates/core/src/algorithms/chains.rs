@@ -1,0 +1,299 @@
+//! Zero-spread "chain" constructions: Theorems 5 and 6, the folklore `k = 5`
+//! scheme, and the `k = 2` / range-2 row of Table 1.
+//!
+//! All of these orient only zero-spread beams.  Working top-down over the
+//! rooted MST, every vertex `u` splits its children (sorted counterclockwise
+//! around `u`) into at most `k − 1` *chains* by removing the largest angular
+//! gaps.  `u` aims one beam at the head of each chain, every chain member
+//! aims its spare beam at its successor, and the chain tail aims its spare
+//! beam back at `u`.  Each vertex therefore uses at most
+//! `(k − 1) + 1 = k` beams (the `+1` is the beam towards its own parent/
+//! predecessor), and the induced digraph is strongly connected.
+//!
+//! The radius is governed by the sibling (chain) edges: two consecutive
+//! children whose angular gap is `γ` are at distance at most `2·sin(γ/2)`
+//! (both tree edges have length ≤ `lmax`).  Removing the `k − 1` largest of
+//! the (at most 4) child gaps guarantees, by the pigeonhole argument in the
+//! proofs of Theorems 5 and 6:
+//!
+//! | `k` | chains kept | worst kept gap | radius |
+//! |----|---|---|---|
+//! | 2  | 1 | ≤ 2π  | 2 |
+//! | 3  | 2 | ≤ 2π/3 | √3 |
+//! | 4  | 3 | ≤ π/2 | √2 |
+//! | 5  | 4 | (none needed) | 1 |
+
+use crate::antenna::{Antenna, SensorAssignment};
+use crate::error::OrientError;
+use crate::instance::Instance;
+use crate::scheme::OrientationScheme;
+use antennae_geometry::angular::{circular_gaps, largest_gaps_indices, sort_ccw, split_into_chains};
+use antennae_geometry::Point;
+use serde::{Deserialize, Serialize};
+
+/// Statistics gathered while building a chain orientation; used by the
+/// Figure 5 / Figure 6 experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChainStats {
+    /// Largest number of chains (= beams towards children) used at any
+    /// vertex; Theorems 5 and 6 bound this by `k − 1`.
+    pub max_chains_per_vertex: usize,
+    /// Largest angular gap (radians) between two chained siblings.
+    pub max_chained_gap: f64,
+    /// Largest Euclidean distance of a sibling (chain) edge, in absolute
+    /// units.
+    pub max_sibling_distance: f64,
+    /// Number of sibling (chain) edges created in total.
+    pub sibling_edges: usize,
+}
+
+/// Result of the chain construction: the scheme plus its statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChainOutcome {
+    /// The orientation scheme (only zero-spread beams).
+    pub scheme: OrientationScheme,
+    /// Construction statistics.
+    pub stats: ChainStats,
+}
+
+/// The worst-case radius (in units of `lmax`) the chain construction
+/// guarantees for `k` beams per sensor, per Theorems 5/6 and Table 1.
+pub fn guaranteed_radius(k: usize) -> Option<f64> {
+    match k {
+        2 => Some(2.0),
+        3 => Some(3.0_f64.sqrt()),
+        4 => Some(2.0_f64.sqrt()),
+        5 => Some(1.0),
+        _ => None,
+    }
+}
+
+/// Builds the zero-spread chain orientation with `k ∈ 2..=5` beams per
+/// sensor.
+pub fn orient_chains(instance: &Instance, k: usize) -> Result<OrientationScheme, OrientError> {
+    orient_chains_with_stats(instance, k).map(|o| o.scheme)
+}
+
+/// Builds the zero-spread chain orientation and reports statistics.
+pub fn orient_chains_with_stats(
+    instance: &Instance,
+    k: usize,
+) -> Result<ChainOutcome, OrientError> {
+    if !(2..=5).contains(&k) {
+        return Err(OrientError::UnsupportedAntennaCount { k });
+    }
+    let tree = instance.rooted_tree();
+    let points = instance.points();
+    let n = points.len();
+    let mut beams: Vec<Vec<Antenna>> = vec![Vec::new(); n];
+    // target[v] = vertex that v's spare beam points at (None only for the
+    // root, which has no predecessor).
+    let mut target: Vec<Option<usize>> = vec![None; n];
+    let mut stats = ChainStats::default();
+
+    for u in tree.bfs_order() {
+        let children = tree.children(u); // counterclockwise order
+        let m = children.len();
+        if m == 0 {
+            continue;
+        }
+        let apex = points[u];
+        let child_points: Vec<Point> = children.iter().map(|&c| points[c]).collect();
+        let sorted = sort_ccw(&apex, &child_points);
+        let gaps = circular_gaps(&sorted);
+        // Split into at most k − 1 chains by removing the largest gaps.
+        let chains_needed = m.min(k - 1);
+        let removed = largest_gaps_indices(&gaps, chains_needed);
+        let chains = split_into_chains(m, &removed);
+        debug_assert!(chains.len() < k);
+        stats.max_chains_per_vertex = stats.max_chains_per_vertex.max(chains.len());
+
+        for chain in &chains {
+            // Positions in `chain` index into `sorted`; map back to vertices.
+            let vertices: Vec<usize> = chain
+                .iter()
+                .map(|&pos| children[sorted[pos].index])
+                .collect();
+            // u beams at the chain head.
+            let head = vertices[0];
+            beams[u].push(Antenna::beam(&apex, &points[head], apex.distance(&points[head])));
+            // Chain members beam at their successor; the tail beams at u.
+            for (i, &v) in vertices.iter().enumerate() {
+                if i + 1 < vertices.len() {
+                    let next = vertices[i + 1];
+                    target[v] = Some(next);
+                    stats.sibling_edges += 1;
+                    stats.max_sibling_distance = stats
+                        .max_sibling_distance
+                        .max(points[v].distance(&points[next]));
+                    let gap_idx = chain[i];
+                    stats.max_chained_gap = stats.max_chained_gap.max(gaps[gap_idx]);
+                } else {
+                    target[v] = Some(u);
+                }
+            }
+        }
+    }
+
+    // Emit the spare beam of every non-root vertex.
+    for v in 0..n {
+        if v == tree.root() {
+            continue;
+        }
+        let t = target[v].ok_or_else(|| {
+            OrientError::Internal(format!("vertex {v} was never assigned a beam target"))
+        })?;
+        beams[v].push(Antenna::beam(
+            &points[v],
+            &points[t],
+            points[v].distance(&points[t]),
+        ));
+    }
+
+    let assignments = beams.into_iter().map(SensorAssignment::new).collect();
+    Ok(ChainOutcome {
+        scheme: OrientationScheme::new(assignments),
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify;
+    use antennae_geometry::{PI, TAU};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..10.0), rng.random_range(0.0..10.0)))
+            .collect();
+        Instance::new(points).unwrap()
+    }
+
+    #[test]
+    fn rejects_unsupported_k() {
+        let instance = random_instance(10, 7);
+        assert!(matches!(
+            orient_chains(&instance, 1),
+            Err(OrientError::UnsupportedAntennaCount { k: 1 })
+        ));
+        assert!(matches!(
+            orient_chains(&instance, 6),
+            Err(OrientError::UnsupportedAntennaCount { k: 6 })
+        ));
+    }
+
+    #[test]
+    fn all_k_values_give_strong_connectivity_within_their_radius_bound() {
+        for k in 2..=5 {
+            for seed in 0..4 {
+                let instance = random_instance(80, seed * 13 + k as u64);
+                let outcome = orient_chains_with_stats(&instance, k).unwrap();
+                let report = verify(&instance, &outcome.scheme);
+                assert!(report.is_strongly_connected, "k={k} seed={seed}");
+                assert_eq!(report.max_spread_sum, 0.0);
+                assert!(report.max_antenna_count <= k);
+                let bound = guaranteed_radius(k).unwrap();
+                assert!(
+                    report.max_radius_over_lmax <= bound + 1e-9,
+                    "k={k} seed={seed}: radius {} exceeds bound {bound}",
+                    report.max_radius_over_lmax
+                );
+                assert!(outcome.stats.max_chains_per_vertex < k);
+            }
+        }
+    }
+
+    #[test]
+    fn theorem5_gap_bound_holds() {
+        // k = 3: every chained sibling gap must be at most 2π/3.
+        for seed in 0..6 {
+            let instance = random_instance(120, 100 + seed);
+            let outcome = orient_chains_with_stats(&instance, 3).unwrap();
+            assert!(
+                outcome.stats.max_chained_gap <= 2.0 * PI / 3.0 + 1e-9,
+                "seed {seed}: gap {}",
+                outcome.stats.max_chained_gap
+            );
+        }
+    }
+
+    #[test]
+    fn theorem6_gap_bound_holds() {
+        // k = 4: every chained sibling gap must be at most π/2.
+        for seed in 0..6 {
+            let instance = random_instance(120, 200 + seed);
+            let outcome = orient_chains_with_stats(&instance, 4).unwrap();
+            assert!(
+                outcome.stats.max_chained_gap <= PI / 2.0 + 1e-9,
+                "seed {seed}: gap {}",
+                outcome.stats.max_chained_gap
+            );
+        }
+    }
+
+    #[test]
+    fn five_beams_need_no_sibling_edges_and_radius_lmax() {
+        let instance = random_instance(100, 31);
+        let outcome = orient_chains_with_stats(&instance, 5).unwrap();
+        assert_eq!(outcome.stats.sibling_edges, 0);
+        let report = verify(&instance, &outcome.scheme);
+        assert!(report.is_strongly_connected);
+        assert!(report.max_radius_over_lmax <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn plus_configuration_exercises_chaining() {
+        // A centre with four orthogonal arms: the centre has 4 children when
+        // rooted at an arm tip, so k = 3 must chain at least two of them.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+            Point::new(-1.0, 0.0),
+            Point::new(0.0, -1.0),
+        ];
+        let instance = Instance::new(pts).unwrap();
+        for k in 2..=5 {
+            let outcome = orient_chains_with_stats(&instance, k).unwrap();
+            let report = verify(&instance, &outcome.scheme);
+            assert!(report.is_strongly_connected, "k={k}");
+            assert!(report.max_radius_over_lmax <= guaranteed_radius(k).unwrap() + 1e-9);
+        }
+        // With only 2 beams the centre keeps a single chain of 3 children.
+        let two = orient_chains_with_stats(&instance, 2).unwrap();
+        assert!(two.stats.sibling_edges >= 2);
+    }
+
+    #[test]
+    fn single_and_two_sensor_instances() {
+        let single = Instance::new(vec![Point::new(0.0, 0.0)]).unwrap();
+        let scheme = orient_chains(&single, 3).unwrap();
+        assert!(verify(&single, &scheme).is_strongly_connected);
+
+        let pair = Instance::new(vec![Point::new(0.0, 0.0), Point::new(0.0, 2.0)]).unwrap();
+        let scheme = orient_chains(&pair, 2).unwrap();
+        let report = verify(&pair, &scheme);
+        assert!(report.is_strongly_connected);
+        assert!((report.max_radius_over_lmax - 1.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_chain_construction_invariants(seed in 0u64..400, n in 2usize..60, k in 2usize..=5) {
+            let instance = random_instance(n, seed);
+            let outcome = orient_chains_with_stats(&instance, k).unwrap();
+            let report = verify(&instance, &outcome.scheme);
+            prop_assert!(report.is_strongly_connected);
+            prop_assert!(report.max_antenna_count <= k);
+            prop_assert_eq!(report.max_spread_sum, 0.0);
+            prop_assert!(report.max_radius_over_lmax <= guaranteed_radius(k).unwrap() + 1e-6);
+            prop_assert!(outcome.stats.max_chained_gap <= TAU);
+        }
+    }
+}

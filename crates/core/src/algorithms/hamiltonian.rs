@@ -1,0 +1,304 @@
+//! The Hamiltonian-cycle baseline (`[14]`, Parker–Rardin) for zero-spread
+//! single-beam sensors.
+//!
+//! Row 1 of Table 1 cites Parker and Rardin's bottleneck-TSP heuristic: for
+//! any point set there is an orientation of one zero-spread antenna per
+//! sensor with range at most 2 (in units of `lmax`) — every sensor simply
+//! beams at its successor along a suitable Hamiltonian cycle, which trivially
+//! yields a strongly connected (directed-cycle) communication graph.
+//!
+//! **Substitution note (documented in DESIGN.md):** the exact Parker–Rardin
+//! construction walks the square of a bottleneck-optimal biconnected
+//! subgraph; here the cycle is obtained by short-cutting the Euler tour of
+//! the doubled MST (the classic metric-TSP construction) and then improved by
+//! a **bottleneck 2-opt** pass that repeatedly reconnects the cycle to shrink
+//! its longest hop.  The orientation produced is always strongly connected;
+//! the *bottleneck* of the cycle is measured empirically by the harness
+//! rather than guaranteed to be ≤ 2·lmax (on the workloads of EXP-T1 the
+//! improved cycle lands close to the paper's factor-2 row, as recorded in
+//! EXPERIMENTS.md; the unimproved Euler-tour cycle is kept as an ablation).
+
+use crate::antenna::{Antenna, SensorAssignment};
+use crate::error::OrientError;
+use crate::instance::Instance;
+use crate::scheme::OrientationScheme;
+use serde::{Deserialize, Serialize};
+
+/// The Hamiltonian-cycle orientation together with the cycle it used.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HamiltonianOutcome {
+    /// The orientation scheme (one zero-spread beam per sensor).
+    pub scheme: OrientationScheme,
+    /// Visiting order of the cycle (each vertex appears exactly once).
+    pub cycle: Vec<usize>,
+    /// The longest hop of the cycle, in absolute units.
+    pub bottleneck: f64,
+    /// The longest hop divided by `lmax` (`0` for single-sensor instances).
+    pub bottleneck_over_lmax: f64,
+}
+
+/// Computes a Hamiltonian cycle by short-cutting the Euler tour of the
+/// doubled MST (i.e. the preorder of the rooted tree).
+pub fn hamiltonian_cycle(instance: &Instance) -> Vec<usize> {
+    let tree = instance.rooted_tree();
+    // The BFS/preorder shortcut of the doubled tree: a DFS preorder visits
+    // every vertex once; returning to the root closes the cycle.
+    let mut order = Vec::with_capacity(instance.len());
+    let mut stack = vec![tree.root()];
+    let mut visited = vec![false; instance.len()];
+    while let Some(v) = stack.pop() {
+        if visited[v] {
+            continue;
+        }
+        visited[v] = true;
+        order.push(v);
+        // Push children in reverse so the counterclockwise-first child is
+        // visited first.
+        for &c in tree.children(v).iter().rev() {
+            stack.push(c);
+        }
+    }
+    order
+}
+
+/// Improves a Hamiltonian cycle in place with bottleneck-oriented 2-opt
+/// moves: repeatedly take the longest hop `(a, b)` and look for another hop
+/// `(c, d)` such that reversing the segment between them replaces both hops
+/// by `(a, c)` and `(b, d)` with a strictly smaller maximum.  Stops after
+/// `max_rounds` rounds or when no improving move exists.
+///
+/// Returns the bottleneck (longest hop) of the improved cycle.
+pub fn improve_bottleneck_two_opt(
+    points: &[antennae_geometry::Point],
+    cycle: &mut [usize],
+    max_rounds: usize,
+) -> f64 {
+    let n = cycle.len();
+    let hop = |cycle: &[usize], i: usize| -> f64 {
+        points[cycle[i]].distance(&points[cycle[(i + 1) % n]])
+    };
+    if n < 4 {
+        return (0..n).map(|i| hop(cycle, i)).fold(0.0, f64::max);
+    }
+    for _ in 0..max_rounds {
+        // Locate the bottleneck hop.
+        let (worst_idx, worst_len) = (0..n)
+            .map(|i| (i, hop(cycle, i)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("non-empty cycle");
+        // Try every other hop as the 2-opt partner; accept the move that
+        // minimizes the larger of the two new hops.
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..n {
+            if j == worst_idx || (j + 1) % n == worst_idx || (worst_idx + 1) % n == j {
+                continue;
+            }
+            let (i, j_) = if worst_idx < j { (worst_idx, j) } else { (j, worst_idx) };
+            // 2-opt reconnection: (c_i, c_{i+1}) and (c_j, c_{j+1}) become
+            // (c_i, c_j) and (c_{i+1}, c_{j+1}).
+            let new_a = points[cycle[i]].distance(&points[cycle[j_]]);
+            let new_b = points[cycle[(i + 1) % n]].distance(&points[cycle[(j_ + 1) % n]]);
+            let new_max = new_a.max(new_b);
+            if new_max < worst_len - 1e-12 && best.is_none_or(|(_, m)| new_max < m) {
+                best = Some((j, new_max));
+            }
+        }
+        let Some((j, _)) = best else {
+            break;
+        };
+        let (i, j_) = if worst_idx < j { (worst_idx, j) } else { (j, worst_idx) };
+        cycle[i + 1..=j_].reverse();
+    }
+    (0..n).map(|i| hop(cycle, i)).fold(0.0, f64::max)
+}
+
+/// Orients one zero-spread beam per sensor along the Euler-tour Hamiltonian
+/// cycle **without** the bottleneck 2-opt improvement.  Kept public as the
+/// ablation baseline benchmarked against [`orient_hamiltonian`].
+pub fn orient_hamiltonian_unimproved(
+    instance: &Instance,
+) -> Result<HamiltonianOutcome, OrientError> {
+    orient_along_cycle(instance, hamiltonian_cycle(instance))
+}
+
+/// Orients one zero-spread beam per sensor along the bottleneck-improved
+/// Hamiltonian cycle.
+pub fn orient_hamiltonian(instance: &Instance) -> Result<HamiltonianOutcome, OrientError> {
+    let mut cycle = hamiltonian_cycle(instance);
+    if instance.len() >= 4 {
+        // A few rounds per vertex are plenty; each round strictly shrinks the
+        // bottleneck or stops.
+        improve_bottleneck_two_opt(instance.points(), &mut cycle, 4 * instance.len());
+    }
+    orient_along_cycle(instance, cycle)
+}
+
+fn orient_along_cycle(
+    instance: &Instance,
+    cycle: Vec<usize>,
+) -> Result<HamiltonianOutcome, OrientError> {
+    let points = instance.points();
+    let n = points.len();
+    if n == 0 {
+        return Err(OrientError::EmptyInstance);
+    }
+    let mut assignments = vec![SensorAssignment::empty(); n];
+    let mut bottleneck = 0.0f64;
+    if n > 1 {
+        for (i, &v) in cycle.iter().enumerate() {
+            let next = cycle[(i + 1) % n];
+            let d = points[v].distance(&points[next]);
+            bottleneck = bottleneck.max(d);
+            assignments[v] = SensorAssignment::new(vec![Antenna::beam(&points[v], &points[next], d)]);
+        }
+    }
+    let lmax = instance.lmax();
+    let bottleneck_over_lmax = if lmax > 0.0 { bottleneck / lmax } else { 0.0 };
+    Ok(HamiltonianOutcome {
+        scheme: OrientationScheme::new(assignments),
+        cycle,
+        bottleneck,
+        bottleneck_over_lmax,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify;
+    use antennae_geometry::Point;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..10.0), rng.random_range(0.0..10.0)))
+            .collect();
+        Instance::new(points).unwrap()
+    }
+
+    #[test]
+    fn cycle_visits_every_vertex_once() {
+        let instance = random_instance(40, 5);
+        let cycle = hamiltonian_cycle(&instance);
+        assert_eq!(cycle.len(), 40);
+        let mut sorted = cycle.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn orientation_is_strongly_connected_with_one_beam_each() {
+        let instance = random_instance(60, 9);
+        let outcome = orient_hamiltonian(&instance).unwrap();
+        let report = verify(&instance, &outcome.scheme);
+        assert!(report.is_strongly_connected);
+        assert_eq!(report.max_spread_sum, 0.0);
+        assert_eq!(report.max_antenna_count, 1);
+        assert!((report.max_radius - outcome.bottleneck).abs() < 1e-12);
+        assert!(outcome.bottleneck_over_lmax >= 1.0);
+    }
+
+    #[test]
+    fn path_instance_has_bottleneck_lmax_times_two_at_most() {
+        // On a collinear path the preorder cycle goes straight down and jumps
+        // back, so the bottleneck is the full path length; this is exactly
+        // the kind of instance where the heuristic is far from the 2·lmax
+        // guarantee of the exact construction, and the harness reports it.
+        let pts: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        let instance = Instance::new(pts).unwrap();
+        let outcome = orient_hamiltonian(&instance).unwrap();
+        let report = verify(&instance, &outcome.scheme);
+        assert!(report.is_strongly_connected);
+        assert!(outcome.bottleneck_over_lmax >= 1.0);
+    }
+
+    #[test]
+    fn single_and_two_sensor_instances() {
+        let single = Instance::new(vec![Point::new(0.0, 0.0)]).unwrap();
+        let outcome = orient_hamiltonian(&single).unwrap();
+        assert_eq!(outcome.bottleneck, 0.0);
+        assert!(verify(&single, &outcome.scheme).is_strongly_connected);
+
+        let pair = Instance::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)]).unwrap();
+        let outcome = orient_hamiltonian(&pair).unwrap();
+        let report = verify(&pair, &outcome.scheme);
+        assert!(report.is_strongly_connected);
+        assert!((outcome.bottleneck_over_lmax - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn two_opt_improves_clustered_bottleneck() {
+        // Two distant clusters: the preorder cycle jumps the gap more often
+        // than necessary, and the 2-opt pass must bring the bottleneck down
+        // to (close to) a single gap crossing each way.
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut points = Vec::new();
+        for cluster in 0..2 {
+            let cx = cluster as f64 * 30.0;
+            for _ in 0..20 {
+                points.push(Point::new(
+                    cx + rng.random_range(0.0..3.0),
+                    rng.random_range(0.0..3.0),
+                ));
+            }
+        }
+        let instance = Instance::new(points).unwrap();
+        let unimproved = orient_hamiltonian_unimproved(&instance).unwrap();
+        let improved = orient_hamiltonian(&instance).unwrap();
+        assert!(improved.bottleneck <= unimproved.bottleneck + 1e-9);
+        // Both remain strongly connected.
+        assert!(verify(&instance, &improved.scheme).is_strongly_connected);
+        assert!(verify(&instance, &unimproved.scheme).is_strongly_connected);
+    }
+
+    #[test]
+    fn two_opt_on_collinear_points_reaches_factor_two() {
+        // On an equally spaced path the optimal bottleneck cycle alternates
+        // and achieves 2·lmax; the 2-opt pass should get close to it.
+        let pts: Vec<Point> = (0..12).map(|i| Point::new(i as f64, 0.0)).collect();
+        let instance = Instance::new(pts).unwrap();
+        let improved = orient_hamiltonian(&instance).unwrap();
+        let unimproved = orient_hamiltonian_unimproved(&instance).unwrap();
+        assert!(improved.bottleneck_over_lmax <= unimproved.bottleneck_over_lmax);
+        assert!(
+            improved.bottleneck_over_lmax <= 4.0,
+            "2-opt left bottleneck at {}",
+            improved.bottleneck_over_lmax
+        );
+        assert!(verify(&instance, &improved.scheme).is_strongly_connected);
+    }
+
+    #[test]
+    fn two_opt_preserves_the_vertex_set() {
+        let instance = random_instance(50, 123);
+        let mut cycle = hamiltonian_cycle(&instance);
+        improve_bottleneck_two_opt(instance.points(), &mut cycle, 200);
+        let mut sorted = cycle.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_hamiltonian_always_strongly_connected(seed in 0u64..300, n in 1usize..60) {
+            let instance = random_instance(n, seed);
+            let outcome = orient_hamiltonian(&instance).unwrap();
+            let report = verify(&instance, &outcome.scheme);
+            prop_assert!(report.is_strongly_connected);
+            prop_assert!(report.max_antenna_count <= 1);
+        }
+
+        #[test]
+        fn prop_two_opt_never_worsens_the_bottleneck(seed in 0u64..200, n in 4usize..50) {
+            let instance = random_instance(n, seed);
+            let base = orient_hamiltonian_unimproved(&instance).unwrap();
+            let improved = orient_hamiltonian(&instance).unwrap();
+            prop_assert!(improved.bottleneck <= base.bottleneck + 1e-9);
+            prop_assert!(verify(&instance, &improved.scheme).is_strongly_connected);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Lemma 1: orienting `k` antennae at a single degree-`d` vertex.
+//!
+//! > *Assume that a node `u` has degree `d` and the sensor at `u` is equipped
+//! > with `k` antennae, `1 ≤ k ≤ d`, of range at least the maximum edge
+//! > length of an edge from `u` to its neighbours.  Then `2π(d−k)/d` is
+//! > always a sufficient and sometimes necessary bound on the sum of the
+//! > angles of the antennae at `u` so that there is an edge from `u` to all
+//! > its neighbours.*
+//!
+//! The constructive direction of the proof is implemented verbatim: find the
+//! `k + 1` consecutive neighbours (in counterclockwise order) whose `k`
+//! consecutive angular gaps have the **largest** sum `Σ ≥ 2πk/d`, aim `k − 1`
+//! zero-spread beams at the interior neighbours of that fan, and cover the
+//! remaining `d − k + 1` neighbours with a single antenna of spread
+//! `2π − Σ ≤ 2π(d−k)/d`.
+
+use crate::antenna::Antenna;
+use antennae_geometry::angular::{circular_gaps, max_window_sum, sort_ccw};
+use antennae_geometry::{Angle, Point, TAU};
+
+/// Orients antennae at `apex` so that every point of `neighbors` is covered.
+///
+/// At most `k` antennae are produced (fewer when `k` exceeds the number of
+/// neighbours).  Each antenna's radius is set to exactly the largest distance
+/// it needs; the spread sum is at most `2π(d−k)/d` where `d` is the number of
+/// neighbours (`0` when `k ≥ d`).
+///
+/// Returns an empty vector for an empty neighbour list.
+pub fn orient_node(apex: &Point, neighbors: &[Point], k: usize) -> Vec<Antenna> {
+    let d = neighbors.len();
+    if d == 0 || k == 0 {
+        return Vec::new();
+    }
+    if k >= d {
+        // One dedicated beam per neighbour.
+        return neighbors
+            .iter()
+            .map(|t| Antenna::beam(apex, t, apex.distance(t)))
+            .collect();
+    }
+
+    let sorted = sort_ccw(apex, neighbors);
+    let gaps = circular_gaps(&sorted);
+    let (start, window_sum) =
+        max_window_sum(&gaps, k).expect("k < d implies a valid window exists");
+
+    // The fan consists of sorted[start], sorted[start+1], …, sorted[start+k];
+    // its k interior gaps have total angle `window_sum ≥ 2πk/d`.
+    let mut antennas = Vec::with_capacity(k);
+    // k − 1 beams at the interior neighbours of the fan.
+    for offset in 1..k {
+        let member = &sorted[(start + offset) % d];
+        let target = &neighbors[member.index];
+        antennas.push(Antenna::beam(apex, target, member.distance));
+    }
+    // One wide antenna covering everyone else: the counterclockwise arc from
+    // the last fan neighbour around to the first fan neighbour.
+    let arc_start_member = &sorted[(start + k) % d];
+    let spread = (TAU - window_sum).max(0.0);
+    let wide_start: Angle = arc_start_member.direction;
+    // Radius: the farthest neighbour the wide antenna is responsible for.
+    let mut wide_radius: f64 = 0.0;
+    for offset in k..=d {
+        let member = &sorted[(start + offset) % d];
+        wide_radius = wide_radius.max(member.distance);
+    }
+    antennas.push(Antenna::new(wide_start, spread, wide_radius));
+    antennas
+}
+
+/// The spread that Lemma 1 proves sufficient at a degree-`d` node with `k`
+/// antennae: `2π(d−k)/d` (0 when `k ≥ d`).
+pub fn sufficient_spread(d: usize, k: usize) -> f64 {
+    crate::bounds::lemma1_sufficient_spread(d.max(1), k)
+}
+
+/// The spread that is *necessary* on the regular `d`-gon configuration used
+/// in the lemma's lower-bound argument — the same value `2π(d−k)/d`.
+pub fn necessary_spread_regular_polygon(d: usize, k: usize) -> f64 {
+    sufficient_spread(d, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antenna::SensorAssignment;
+    use antennae_geometry::PI;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn regular_polygon(apex: Point, d: usize, radius: f64) -> Vec<Point> {
+        (0..d)
+            .map(|i| {
+                let theta = TAU * i as f64 / d as f64;
+                Point::new(apex.x + radius * theta.cos(), apex.y + radius * theta.sin())
+            })
+            .collect()
+    }
+
+    fn assert_all_covered(apex: &Point, neighbors: &[Point], antennas: &[Antenna]) {
+        let assignment = SensorAssignment::new(antennas.to_vec());
+        for t in neighbors {
+            assert!(
+                assignment.covers(apex, t),
+                "target {t} not covered (apex {apex})"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_zero_k_yield_no_antennas() {
+        assert!(orient_node(&Point::ORIGIN, &[], 2).is_empty());
+        assert!(orient_node(&Point::ORIGIN, &[Point::new(1.0, 0.0)], 0).is_empty());
+    }
+
+    #[test]
+    fn k_at_least_degree_uses_dedicated_beams() {
+        let apex = Point::ORIGIN;
+        let neighbors = regular_polygon(apex, 3, 1.0);
+        let antennas = orient_node(&apex, &neighbors, 5);
+        assert_eq!(antennas.len(), 3);
+        assert!(antennas.iter().all(|a| a.spread == 0.0));
+        assert_all_covered(&apex, &neighbors, &antennas);
+    }
+
+    #[test]
+    fn regular_pentagon_with_two_antennas_matches_lemma_bound() {
+        let apex = Point::ORIGIN;
+        let d = 5;
+        let k = 2;
+        let neighbors = regular_polygon(apex, d, 1.0);
+        let antennas = orient_node(&apex, &neighbors, k);
+        assert_eq!(antennas.len(), k);
+        assert_all_covered(&apex, &neighbors, &antennas);
+        let spread: f64 = antennas.iter().map(|a| a.spread).sum();
+        let bound = sufficient_spread(d, k);
+        assert!(
+            spread <= bound + 1e-9,
+            "spread {spread} exceeds Lemma 1 bound {bound}"
+        );
+        // On the regular polygon the bound is tight.
+        assert!((spread - bound).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spread_respects_bound_for_every_d_k_combination() {
+        let apex = Point::new(3.0, -2.0);
+        for d in 1..=6 {
+            let neighbors = regular_polygon(apex, d, 2.5);
+            for k in 1..=d {
+                let antennas = orient_node(&apex, &neighbors, k);
+                assert!(antennas.len() <= k.max(d.min(k)));
+                assert_all_covered(&apex, &neighbors, &antennas);
+                let spread: f64 = antennas.iter().map(|a| a.spread).sum();
+                assert!(
+                    spread <= sufficient_spread(d, k) + 1e-9,
+                    "d={d} k={k}: spread {spread} > bound {}",
+                    sufficient_spread(d, k)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn radii_are_no_larger_than_farthest_neighbor() {
+        let apex = Point::ORIGIN;
+        let neighbors = vec![
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 2.0),
+            Point::new(-1.5, 0.0),
+            Point::new(0.0, -0.5),
+        ];
+        let far = neighbors.iter().map(|p| apex.distance(p)).fold(0.0, f64::max);
+        for k in 1..=4 {
+            let antennas = orient_node(&apex, &neighbors, k);
+            assert_all_covered(&apex, &neighbors, &antennas);
+            for a in &antennas {
+                assert!(a.radius <= far + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn necessity_value_matches_sufficiency_on_regular_polygon() {
+        for d in 1..=5 {
+            for k in 1..=d {
+                assert_eq!(
+                    necessary_spread_regular_polygon(d, k),
+                    sufficient_spread(d, k)
+                );
+            }
+        }
+        assert!((sufficient_spread(5, 1) - 8.0 * PI / 5.0).abs() < 1e-12);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn prop_all_neighbors_covered_and_spread_bounded(
+            seed in 0u64..1000,
+            d in 1usize..6,
+            k in 1usize..6,
+        ) {
+            let k = k.min(d);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let apex = Point::new(rng.random_range(-5.0..5.0), rng.random_range(-5.0..5.0));
+            let neighbors: Vec<Point> = (0..d)
+                .map(|_| {
+                    let theta: f64 = rng.random_range(0.0..TAU);
+                    let r: f64 = rng.random_range(0.1..3.0);
+                    Point::new(apex.x + r * theta.cos(), apex.y + r * theta.sin())
+                })
+                .collect();
+            let antennas = orient_node(&apex, &neighbors, k);
+            let assignment = SensorAssignment::new(antennas.clone());
+            for t in &neighbors {
+                prop_assert!(assignment.covers(&apex, t));
+            }
+            prop_assert!(antennas.len() <= k.max(1));
+            let spread: f64 = antennas.iter().map(|a| a.spread).sum();
+            prop_assert!(spread <= sufficient_spread(d, k) + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! Single-antenna orientations (the `k = 1` rows of Table 1).
+//!
+//! * For `φ₁ ≥ 8π/5` (the Theorem 2 threshold for `k = 1`) a single antenna
+//!   per sensor of spread at most `2π(d−1)/d ≤ 8π/5` covers all MST
+//!   neighbours, so radius `lmax` suffices — this matches the `[4]` row.
+//! * For smaller spreads the scheme falls back to the Hamiltonian-cycle
+//!   baseline (`[14]` row, spread 0); the intermediate `[4]` regime
+//!   (`π ≤ φ₁ < 8π/5`, radius `2·sin(π − φ₁/2)`) is prior work whose
+//!   specialized construction is *not* re-implemented — the substitution and
+//!   its effect on the Table 1 reproduction are documented in DESIGN.md and
+//!   EXPERIMENTS.md.
+
+use crate::algorithms::hamiltonian::orient_hamiltonian;
+use crate::algorithms::theorem2::orient_theorem2;
+use crate::bounds::theorem2_spread_threshold;
+use crate::error::OrientError;
+use crate::instance::Instance;
+use crate::scheme::OrientationScheme;
+use serde::{Deserialize, Serialize};
+
+/// Which regime the single-antenna orientation used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OneAntennaRegime {
+    /// `φ₁ ≥ 8π/5`: one wide antenna per sensor covering all MST neighbours
+    /// (radius `lmax`).
+    WideCoverage,
+    /// `φ₁ < 8π/5`: one beam per sensor along a Hamiltonian cycle.
+    HamiltonianCycle,
+}
+
+/// Result of the single-antenna orientation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OneAntennaOutcome {
+    /// The orientation scheme.
+    pub scheme: OrientationScheme,
+    /// Which construction was used.
+    pub regime: OneAntennaRegime,
+}
+
+/// Orients a single antenna per sensor with spread at most `phi1`.
+pub fn orient_one_antenna(
+    instance: &Instance,
+    phi1: f64,
+) -> Result<OneAntennaOutcome, OrientError> {
+    if phi1 + 1e-9 >= theorem2_spread_threshold(1) {
+        Ok(OneAntennaOutcome {
+            scheme: orient_theorem2(instance, 1)?,
+            regime: OneAntennaRegime::WideCoverage,
+        })
+    } else {
+        Ok(OneAntennaOutcome {
+            scheme: orient_hamiltonian(instance)?.scheme,
+            regime: OneAntennaRegime::HamiltonianCycle,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antenna::AntennaBudget;
+    use crate::verify::{verify, verify_with_budget};
+    use antennae_geometry::{Point, PI};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_instance(n: usize, seed: u64) -> Instance {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let points = (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..10.0), rng.random_range(0.0..10.0)))
+            .collect();
+        Instance::new(points).unwrap()
+    }
+
+    #[test]
+    fn wide_regime_achieves_radius_lmax() {
+        let instance = random_instance(60, 21);
+        let phi = 8.0 * PI / 5.0;
+        let outcome = orient_one_antenna(&instance, phi).unwrap();
+        assert_eq!(outcome.regime, OneAntennaRegime::WideCoverage);
+        let report = verify_with_budget(&instance, &outcome.scheme, Some(AntennaBudget::new(1, phi)));
+        assert!(report.is_valid(), "{:?}", report.violations);
+        assert!(report.is_strongly_connected);
+        assert!(report.max_radius_over_lmax <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn narrow_regime_falls_back_to_hamiltonian() {
+        let instance = random_instance(60, 22);
+        let outcome = orient_one_antenna(&instance, PI).unwrap();
+        assert_eq!(outcome.regime, OneAntennaRegime::HamiltonianCycle);
+        let report = verify_with_budget(&instance, &outcome.scheme, Some(AntennaBudget::new(1, PI)));
+        assert!(report.is_valid(), "{:?}", report.violations);
+        assert!(report.is_strongly_connected);
+        assert_eq!(report.max_spread_sum, 0.0);
+    }
+
+    #[test]
+    fn zero_spread_budget_is_honoured() {
+        let instance = random_instance(30, 23);
+        let outcome = orient_one_antenna(&instance, 0.0).unwrap();
+        let report =
+            verify_with_budget(&instance, &outcome.scheme, Some(AntennaBudget::beams_only(1)));
+        assert!(report.is_valid(), "{:?}", report.violations);
+        assert!(report.is_strongly_connected);
+    }
+
+    #[test]
+    fn single_sensor_instance() {
+        let instance = Instance::new(vec![Point::new(0.0, 0.0)]).unwrap();
+        let outcome = orient_one_antenna(&instance, 2.0 * PI).unwrap();
+        assert!(verify(&instance, &outcome.scheme).is_strongly_connected);
+    }
+}

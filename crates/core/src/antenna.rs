@@ -1,0 +1,219 @@
+//! Antennae, per-sensor antenna assignments and per-sensor budgets.
+
+use antennae_geometry::{Angle, Point, Sector, EPS};
+use serde::{Deserialize, Serialize};
+
+/// A single directional antenna: an orientation (direction of the
+/// counterclockwise boundary of its sector), an angular spread and a range.
+///
+/// Following the paper, a spread of `0` is a legal "beam" aimed exactly at a
+/// target, and an omnidirectional antenna has spread `2π`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Antenna {
+    /// Direction of the clockwise-most boundary ray of the antenna's sector;
+    /// the sector extends counterclockwise from here.
+    pub start: Angle,
+    /// Angular spread (aperture) in radians.
+    pub spread: f64,
+    /// Range of the antenna.
+    pub radius: f64,
+}
+
+impl Antenna {
+    /// Creates an antenna from its sector start direction, spread and range.
+    pub fn new(start: Angle, spread: f64, radius: f64) -> Self {
+        Antenna {
+            start,
+            spread: spread.max(0.0),
+            radius: radius.max(0.0),
+        }
+    }
+
+    /// A zero-spread beam aimed from `apex` at `target`, with just enough
+    /// range to reach it (plus optional slack for downstream comparisons).
+    pub fn beam(apex: &Point, target: &Point, radius: f64) -> Self {
+        Antenna::new(Angle::of_ray(apex, target), 0.0, radius)
+    }
+
+    /// An antenna covering the counterclockwise arc from the direction of
+    /// `apex → from` to the direction of `apex → to`.
+    pub fn arc(apex: &Point, from: &Point, to: &Point, radius: f64) -> Self {
+        let start = Angle::of_ray(apex, from);
+        let end = Angle::of_ray(apex, to);
+        Antenna::new(start, start.ccw_to(&end).radians(), radius)
+    }
+
+    /// The sector this antenna covers when mounted at `apex`.
+    pub fn sector(&self, apex: Point) -> Sector {
+        Sector::new(apex, self.start, self.spread, self.radius)
+    }
+
+    /// Returns `true` when, mounted at `apex`, the antenna covers `target`.
+    pub fn covers(&self, apex: &Point, target: &Point) -> bool {
+        self.sector(*apex).contains_eps(target, EPS)
+    }
+}
+
+/// The set of antennae mounted on one sensor.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SensorAssignment {
+    /// The antennae of this sensor (at most 5 in every algorithm of the
+    /// paper, but the type does not restrict the count).
+    pub antennas: Vec<Antenna>,
+}
+
+impl SensorAssignment {
+    /// An assignment with no antennae (an isolated sensor or a placeholder).
+    pub fn empty() -> Self {
+        SensorAssignment {
+            antennas: Vec::new(),
+        }
+    }
+
+    /// Creates an assignment from a list of antennae.
+    pub fn new(antennas: Vec<Antenna>) -> Self {
+        SensorAssignment { antennas }
+    }
+
+    /// Number of antennae.
+    pub fn antenna_count(&self) -> usize {
+        self.antennas.len()
+    }
+
+    /// Sum of the angular spreads of all antennae (the quantity the paper's
+    /// `φ_k` bounds).
+    pub fn total_spread(&self) -> f64 {
+        self.antennas.iter().map(|a| a.spread).sum()
+    }
+
+    /// Largest antenna range at this sensor (0 when there are none).
+    pub fn max_radius(&self) -> f64 {
+        self.antennas.iter().map(|a| a.radius).fold(0.0, f64::max)
+    }
+
+    /// Returns `true` when, mounted at `apex`, some antenna covers `target`.
+    pub fn covers(&self, apex: &Point, target: &Point) -> bool {
+        self.antennas.iter().any(|a| a.covers(apex, target))
+    }
+
+    /// The sectors of every antenna when the sensor sits at `apex`.
+    pub fn sectors(&self, apex: Point) -> Vec<Sector> {
+        self.antennas.iter().map(|a| a.sector(apex)).collect()
+    }
+}
+
+/// A per-sensor antenna budget: `k` antennae whose spreads sum to at most
+/// `phi` radians.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AntennaBudget {
+    /// Number of antennae per sensor (the paper considers `1 ≤ k ≤ 5`).
+    pub k: usize,
+    /// Bound on the sum of antenna spreads per sensor, in radians.
+    pub phi: f64,
+}
+
+impl AntennaBudget {
+    /// Creates a budget of `k` antennae with total spread at most `phi`.
+    pub fn new(k: usize, phi: f64) -> Self {
+        AntennaBudget {
+            k,
+            phi: phi.max(0.0),
+        }
+    }
+
+    /// A budget of `k` zero-spread beams.
+    pub fn beams_only(k: usize) -> Self {
+        AntennaBudget::new(k, 0.0)
+    }
+
+    /// Returns `true` when `assignment` respects this budget (within `eps`
+    /// radians of spread slack).
+    pub fn admits(&self, assignment: &SensorAssignment, eps: f64) -> bool {
+        assignment.antenna_count() <= self.k && assignment.total_spread() <= self.phi + eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antennae_geometry::PI;
+
+    #[test]
+    fn beam_covers_its_target_and_nothing_off_axis() {
+        let apex = Point::new(0.0, 0.0);
+        let target = Point::new(1.0, 1.0);
+        let a = Antenna::beam(&apex, &target, 2.0);
+        assert_eq!(a.spread, 0.0);
+        assert!(a.covers(&apex, &target));
+        assert!(!a.covers(&apex, &Point::new(1.0, -1.0)));
+        assert!(!a.covers(&apex, &Point::new(3.0, 3.0))); // beyond range
+    }
+
+    #[test]
+    fn arc_antenna_covers_both_endpoints_and_between() {
+        let apex = Point::new(0.0, 0.0);
+        let a = Point::new(1.0, 0.0);
+        let b = Point::new(0.0, 1.0);
+        let ant = Antenna::arc(&apex, &a, &b, 1.5);
+        assert!((ant.spread - PI / 2.0).abs() < 1e-9);
+        assert!(ant.covers(&apex, &a));
+        assert!(ant.covers(&apex, &b));
+        assert!(ant.covers(&apex, &Point::new(0.5, 0.5)));
+        assert!(!ant.covers(&apex, &Point::new(-0.5, 0.5)));
+    }
+
+    #[test]
+    fn assignment_spread_and_radius_aggregation() {
+        let apex = Point::new(0.0, 0.0);
+        let assignment = SensorAssignment::new(vec![
+            Antenna::new(Angle::ZERO, PI / 2.0, 1.0),
+            Antenna::new(Angle::from_degrees(180.0), PI / 4.0, 2.0),
+        ]);
+        assert_eq!(assignment.antenna_count(), 2);
+        assert!((assignment.total_spread() - 3.0 * PI / 4.0).abs() < 1e-12);
+        assert!((assignment.max_radius() - 2.0).abs() < 1e-12);
+        assert!(assignment.covers(&apex, &Point::new(0.5, 0.5)));
+        assert!(assignment.covers(&apex, &Point::new(-1.5, -0.5)));
+        assert!(!assignment.covers(&apex, &Point::new(0.5, -0.5)));
+        assert_eq!(assignment.sectors(apex).len(), 2);
+    }
+
+    #[test]
+    fn empty_assignment_covers_nothing() {
+        let assignment = SensorAssignment::empty();
+        assert_eq!(assignment.antenna_count(), 0);
+        assert_eq!(assignment.total_spread(), 0.0);
+        assert_eq!(assignment.max_radius(), 0.0);
+        assert!(!assignment.covers(&Point::ORIGIN, &Point::new(1.0, 0.0)));
+    }
+
+    #[test]
+    fn budget_admission() {
+        let budget = AntennaBudget::new(2, PI);
+        let ok = SensorAssignment::new(vec![
+            Antenna::new(Angle::ZERO, PI / 2.0, 1.0),
+            Antenna::new(Angle::HALF, PI / 2.0, 1.0),
+        ]);
+        assert!(budget.admits(&ok, 1e-9));
+        let too_many = SensorAssignment::new(vec![
+            Antenna::new(Angle::ZERO, 0.0, 1.0),
+            Antenna::new(Angle::ZERO, 0.0, 1.0),
+            Antenna::new(Angle::ZERO, 0.0, 1.0),
+        ]);
+        assert!(!budget.admits(&too_many, 1e-9));
+        let too_wide = SensorAssignment::new(vec![Antenna::new(Angle::ZERO, PI * 1.5, 1.0)]);
+        assert!(!budget.admits(&too_wide, 1e-9));
+        let beams = AntennaBudget::beams_only(3);
+        assert_eq!(beams.phi, 0.0);
+        assert_eq!(beams.k, 3);
+    }
+
+    #[test]
+    fn negative_inputs_are_clamped() {
+        let a = Antenna::new(Angle::ZERO, -1.0, -2.0);
+        assert_eq!(a.spread, 0.0);
+        assert_eq!(a.radius, 0.0);
+        let b = AntennaBudget::new(1, -3.0);
+        assert_eq!(b.phi, 0.0);
+    }
+}

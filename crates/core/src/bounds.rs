@@ -1,0 +1,218 @@
+//! The paper's theoretical bounds (Table 1) as plain functions.
+//!
+//! All radii are expressed in units of `lmax` (the paper normalizes
+//! `lmax = 1`).  These functions are used by the dispatcher to pick an
+//! algorithm, by the verifier to check that measured radii respect the
+//! claimed guarantees, and by the experiment harness to print the
+//! "paper bound" column of every table.
+
+use antennae_geometry::{PI, TAU};
+
+/// Spread threshold of Theorem 2: with `k` antennae per sensor and total
+/// spread at least `2π(5−k)/5`, radius 1 (= `lmax`) suffices.
+pub fn theorem2_spread_threshold(k: usize) -> f64 {
+    assert!((1..=5).contains(&k), "k must be in 1..=5");
+    TAU * (5 - k) as f64 / 5.0
+}
+
+/// Lemma 1: the spread that is always sufficient (and sometimes necessary)
+/// at a degree-`d` node equipped with `k ≤ d` antennae.
+pub fn lemma1_sufficient_spread(d: usize, k: usize) -> f64 {
+    assert!(d >= 1, "degree must be at least 1");
+    if k >= d {
+        return 0.0;
+    }
+    TAU * (d - k) as f64 / d as f64
+}
+
+/// Theorem 3 radius bound for two antennae with total spread `phi2`:
+///
+/// * `phi2 ≥ π` → `2·sin(2π/9)`
+/// * `2π/3 ≤ phi2 < π` → `2·sin(π/2 − phi2/4)`
+///
+/// Returns `None` when `phi2 < 2π/3` (the theorem does not apply).
+pub fn theorem3_radius(phi2: f64) -> Option<f64> {
+    if phi2 >= PI {
+        Some(2.0 * (2.0 * PI / 9.0).sin())
+    } else if phi2 >= 2.0 * PI / 3.0 {
+        Some(2.0 * (PI / 2.0 - phi2 / 4.0).sin())
+    } else {
+        None
+    }
+}
+
+/// Theorem 5: three zero-spread antennae per sensor achieve radius √3.
+pub const THEOREM5_RADIUS: f64 = 1.732_050_807_568_877_2; // √3
+
+/// Theorem 6: four zero-spread antennae per sensor achieve radius √2.
+pub const THEOREM6_RADIUS: f64 = std::f64::consts::SQRT_2;
+
+/// The `[14]` baseline: one (or two) zero-spread antennae per sensor achieve
+/// radius 2 via a bottleneck Hamiltonian cycle.
+pub const HAMILTONIAN_RADIUS: f64 = 2.0;
+
+/// The `[4]` baseline radius for a single antenna of spread `phi1` with
+/// `π ≤ phi1 < 8π/5`: `2·sin(π − phi1/2)`.
+///
+/// Returns `None` outside that regime (below π the only general bound is the
+/// Hamiltonian-cycle 2; at or above 8π/5 the radius is 1).
+pub fn one_antenna_radius(phi1: f64) -> Option<f64> {
+    if phi1 >= 8.0 * PI / 5.0 {
+        Some(1.0)
+    } else if phi1 >= PI {
+        Some(2.0 * (PI - phi1 / 2.0).sin())
+    } else {
+        None
+    }
+}
+
+/// The best radius bound the paper provides for a `(k, φ_k)` budget.
+///
+/// This is the minimum over the Table 1 rows that apply to `k' ≤ k` antennae
+/// (a sensor with `k` antennae can always leave some unused, so every bound
+/// for fewer antennae carries over).  `None` when `k` is outside `1..=5`.
+pub fn table1_radius(k: usize, phi: f64) -> Option<f64> {
+    if !(1..=5).contains(&k) {
+        return None;
+    }
+    (1..=k).filter_map(|k_used| table1_row_radius(k_used, phi)).fold(None, |acc, r| {
+        Some(acc.map_or(r, |a: f64| a.min(r)))
+    })
+}
+
+/// The radius bound of the Table 1 rows for exactly `k` antennae with spread
+/// sum `φ_k` (no carry-over from smaller `k`).
+pub fn table1_row_radius(k: usize, phi: f64) -> Option<f64> {
+    if !(1..=5).contains(&k) {
+        return None;
+    }
+    let mut best = f64::INFINITY;
+    match k {
+        1 => {
+            best = best.min(HAMILTONIAN_RADIUS);
+            if let Some(r) = one_antenna_radius(phi) {
+                best = best.min(r);
+            }
+        }
+        2 => {
+            best = best.min(HAMILTONIAN_RADIUS);
+            if let Some(r) = theorem3_radius(phi) {
+                best = best.min(r);
+            }
+        }
+        3 => {
+            best = best.min(THEOREM5_RADIUS);
+        }
+        4 => {
+            best = best.min(THEOREM6_RADIUS);
+        }
+        5 => {
+            best = best.min(1.0);
+        }
+        _ => unreachable!(),
+    }
+    if phi >= theorem2_spread_threshold(k) {
+        best = best.min(1.0);
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn theorem2_thresholds_match_table1() {
+        assert!((theorem2_spread_threshold(1) - 8.0 * PI / 5.0).abs() < 1e-12);
+        assert!((theorem2_spread_threshold(2) - 6.0 * PI / 5.0).abs() < 1e-12);
+        assert!((theorem2_spread_threshold(3) - 4.0 * PI / 5.0).abs() < 1e-12);
+        assert!((theorem2_spread_threshold(4) - 2.0 * PI / 5.0).abs() < 1e-12);
+        assert!(theorem2_spread_threshold(5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn theorem2_threshold_rejects_invalid_k() {
+        theorem2_spread_threshold(6);
+    }
+
+    #[test]
+    fn lemma1_spread_values() {
+        assert!((lemma1_sufficient_spread(5, 1) - 8.0 * PI / 5.0).abs() < 1e-12);
+        assert!((lemma1_sufficient_spread(5, 2) - 6.0 * PI / 5.0).abs() < 1e-12);
+        assert!((lemma1_sufficient_spread(3, 1) - 4.0 * PI / 3.0).abs() < 1e-12);
+        assert_eq!(lemma1_sufficient_spread(3, 3), 0.0);
+        assert_eq!(lemma1_sufficient_spread(2, 5), 0.0);
+    }
+
+    #[test]
+    fn theorem3_radius_regimes() {
+        // φ₂ = π: 2·sin(2π/9) ≈ 1.2856.
+        let at_pi = theorem3_radius(PI).unwrap();
+        assert!((at_pi - 2.0 * (2.0 * PI / 9.0).sin()).abs() < 1e-12);
+        assert!(at_pi < 1.29 && at_pi > 1.28);
+        // φ₂ = 2π/3: 2·sin(π/3) = √3.
+        let at_two_thirds = theorem3_radius(2.0 * PI / 3.0).unwrap();
+        assert!((at_two_thirds - 3.0_f64.sqrt()).abs() < 1e-9);
+        // Monotone decreasing in φ₂ on [2π/3, π).
+        let mid = theorem3_radius(0.9 * PI).unwrap();
+        assert!(mid < at_two_thirds);
+        // Below 2π/3 the theorem does not apply.
+        assert!(theorem3_radius(1.0).is_none());
+    }
+
+    #[test]
+    fn one_antenna_radius_regimes() {
+        assert_eq!(one_antenna_radius(8.0 * PI / 5.0), Some(1.0));
+        assert_eq!(one_antenna_radius(TAU), Some(1.0));
+        let at_pi = one_antenna_radius(PI).unwrap();
+        assert!((at_pi - 2.0).abs() < 1e-12);
+        assert!(one_antenna_radius(2.0).is_none());
+    }
+
+    #[test]
+    fn table1_reproduces_every_row() {
+        // k = 1 rows.
+        assert!((table1_radius(1, 0.0).unwrap() - 2.0).abs() < 1e-12);
+        assert!((table1_radius(1, 1.2 * PI).unwrap() - 2.0 * (PI - 0.6 * PI).sin()).abs() < 1e-12);
+        assert!((table1_radius(1, 8.0 * PI / 5.0).unwrap() - 1.0).abs() < 1e-12);
+        // k = 2 rows.
+        assert!((table1_radius(2, 0.0).unwrap() - 2.0).abs() < 1e-12);
+        assert!((table1_radius(2, 2.0 * PI / 3.0).unwrap() - 3.0_f64.sqrt()).abs() < 1e-9);
+        assert!((table1_radius(2, PI).unwrap() - 2.0 * (2.0 * PI / 9.0).sin()).abs() < 1e-12);
+        assert!((table1_radius(2, 6.0 * PI / 5.0).unwrap() - 1.0).abs() < 1e-12);
+        // k = 3, 4, 5 rows.
+        assert!((table1_radius(3, 0.0).unwrap() - 3.0_f64.sqrt()).abs() < 1e-9);
+        assert!((table1_radius(3, 4.0 * PI / 5.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((table1_radius(4, 0.0).unwrap() - 2.0_f64.sqrt()).abs() < 1e-12);
+        assert!((table1_radius(4, 2.0 * PI / 5.0).unwrap() - 1.0).abs() < 1e-12);
+        assert!((table1_radius(5, 0.0).unwrap() - 1.0).abs() < 1e-12);
+        // Invalid k.
+        assert!(table1_radius(0, 1.0).is_none());
+        assert!(table1_radius(6, 1.0).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_table1_monotone_in_phi(k in 1usize..=5, phi_lo in 0.0..TAU, delta in 0.0..2.0f64) {
+            let lo = table1_radius(k, phi_lo).unwrap();
+            let hi = table1_radius(k, phi_lo + delta).unwrap();
+            // More spread can never require a larger radius.
+            prop_assert!(hi <= lo + 1e-12);
+        }
+
+        #[test]
+        fn prop_table1_monotone_in_k(k in 1usize..5, phi in 0.0..TAU) {
+            let fewer = table1_radius(k, phi).unwrap();
+            let more = table1_radius(k + 1, phi).unwrap();
+            // More antennae can never require a larger radius.
+            prop_assert!(more <= fewer + 1e-12);
+        }
+
+        #[test]
+        fn prop_radius_bounds_at_least_lmax(k in 1usize..=5, phi in 0.0..TAU) {
+            prop_assert!(table1_radius(k, phi).unwrap() >= 1.0 - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Error types for instance construction and orientation.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors produced by the orientation algorithms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OrientError {
+    /// The point set was empty.
+    EmptyInstance,
+    /// The MST substrate could not be built (e.g. the degree-5 repair failed
+    /// on a degenerate input).
+    MstConstruction(String),
+    /// The requested number of antennae per sensor is outside `1..=5`.
+    UnsupportedAntennaCount {
+        /// The requested `k`.
+        k: usize,
+    },
+    /// The requested angular budget is too small for the selected algorithm
+    /// (e.g. Theorem 3 requires `φ₂ ≥ 2π/3`).
+    InsufficientSpread {
+        /// The requested budget in radians.
+        requested: f64,
+        /// The minimum the selected algorithm requires.
+        required: f64,
+    },
+    /// The local case analysis found no feasible configuration at a vertex.
+    ///
+    /// The paper proves this cannot happen for valid inputs; it is surfaced
+    /// as an error (with the offending vertex) rather than a panic so that
+    /// degenerate floating-point inputs fail loudly and debuggably.
+    NoFeasibleLocalConfiguration {
+        /// Index of the vertex where the search failed.
+        vertex: usize,
+    },
+    /// An internal invariant was violated (reported with context).
+    Internal(String),
+}
+
+impl std::fmt::Display for OrientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OrientError::EmptyInstance => write!(f, "the instance contains no sensors"),
+            OrientError::MstConstruction(msg) => write!(f, "MST construction failed: {msg}"),
+            OrientError::UnsupportedAntennaCount { k } => {
+                write!(f, "unsupported antenna count k = {k} (expected 1..=5)")
+            }
+            OrientError::InsufficientSpread {
+                requested,
+                required,
+            } => write!(
+                f,
+                "angular budget {requested:.4} rad is below the {required:.4} rad the algorithm requires"
+            ),
+            OrientError::NoFeasibleLocalConfiguration { vertex } => write!(
+                f,
+                "no feasible local antenna configuration at vertex {vertex}"
+            ),
+            OrientError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OrientError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_key_data() {
+        let e = OrientError::UnsupportedAntennaCount { k: 9 };
+        assert!(e.to_string().contains('9'));
+        let e = OrientError::InsufficientSpread {
+            requested: 1.0,
+            required: 2.0,
+        };
+        assert!(e.to_string().contains("1.0000"));
+        assert!(e.to_string().contains("2.0000"));
+        let e = OrientError::NoFeasibleLocalConfiguration { vertex: 17 };
+        assert!(e.to_string().contains("17"));
+        assert!(OrientError::EmptyInstance.to_string().contains("no sensors"));
+        assert!(OrientError::MstConstruction("x".into()).to_string().contains('x'));
+        assert!(OrientError::Internal("boom".into()).to_string().contains("boom"));
+    }
+}

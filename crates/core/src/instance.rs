@@ -1,0 +1,140 @@
+//! Problem instances: a sensor point set together with its degree-5
+//! Euclidean MST substrate.
+
+use crate::error::OrientError;
+use antennae_geometry::Point;
+use antennae_graph::euclidean::EuclideanMst;
+use antennae_graph::rooted::RootedTree;
+use serde::{Deserialize, Serialize};
+
+/// A problem instance: the sensor locations, the degree-5 Euclidean MST the
+/// orientation algorithms walk, and its longest edge `lmax`.
+///
+/// Every radius reported by the algorithms and the experiments is naturally
+/// compared against `lmax`, the paper's lower bound on any feasible range
+/// (`lmax = 1` after the paper's normalization).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Instance {
+    points: Vec<Point>,
+    mst: EuclideanMst,
+}
+
+impl Instance {
+    /// Builds an instance from sensor locations.
+    ///
+    /// Fails on an empty point set or when the MST substrate cannot be
+    /// constructed.
+    pub fn new(points: Vec<Point>) -> Result<Self, OrientError> {
+        if points.is_empty() {
+            return Err(OrientError::EmptyInstance);
+        }
+        let mst = EuclideanMst::build(&points)
+            .map_err(|e| OrientError::MstConstruction(e.to_string()))?;
+        Ok(Instance { points, mst })
+    }
+
+    /// Number of sensors.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the instance has no sensors (never constructed by
+    /// [`Instance::new`], but kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Sensor locations.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The degree-5 Euclidean MST substrate.
+    pub fn mst(&self) -> &EuclideanMst {
+        &self.mst
+    }
+
+    /// The longest MST edge, the paper's lower bound on the antenna range
+    /// needed for strong connectivity (0 for a single sensor).
+    pub fn lmax(&self) -> f64 {
+        self.mst.lmax()
+    }
+
+    /// A rooted view of the MST, rooted at a degree-one vertex as the paper
+    /// prescribes.
+    pub fn rooted_tree(&self) -> RootedTree {
+        RootedTree::from_mst(&self.mst)
+    }
+
+    /// Returns a copy of the instance rescaled so that `lmax = 1`, matching
+    /// the paper's normalization.  A single-sensor instance (where `lmax` is
+    /// 0) is returned unchanged.
+    pub fn normalized(&self) -> Result<Instance, OrientError> {
+        let lmax = self.lmax();
+        if lmax <= 0.0 {
+            return Ok(self.clone());
+        }
+        let scaled: Vec<Point> = self
+            .points
+            .iter()
+            .map(|p| Point::new(p.x / lmax, p.y / lmax))
+            .collect();
+        Instance::new(scaled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square_points() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 2.0),
+            Point::new(0.0, 2.0),
+        ]
+    }
+
+    #[test]
+    fn construction_and_basic_accessors() {
+        let inst = Instance::new(square_points()).unwrap();
+        assert_eq!(inst.len(), 4);
+        assert!(!inst.is_empty());
+        assert_eq!(inst.points().len(), 4);
+        assert!((inst.lmax() - 2.0).abs() < 1e-12);
+        assert_eq!(inst.mst().edges().len(), 3);
+    }
+
+    #[test]
+    fn empty_point_set_is_rejected() {
+        assert!(matches!(Instance::new(vec![]), Err(OrientError::EmptyInstance)));
+    }
+
+    #[test]
+    fn single_sensor_instance() {
+        let inst = Instance::new(vec![Point::new(1.0, 1.0)]).unwrap();
+        assert_eq!(inst.len(), 1);
+        assert_eq!(inst.lmax(), 0.0);
+        let tree = inst.rooted_tree();
+        assert_eq!(tree.len(), 1);
+        // Normalization of a degenerate instance is a no-op.
+        assert_eq!(inst.normalized().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn normalization_rescales_lmax_to_one() {
+        let inst = Instance::new(square_points()).unwrap();
+        let norm = inst.normalized().unwrap();
+        assert!((norm.lmax() - 1.0).abs() < 1e-9);
+        assert_eq!(norm.len(), inst.len());
+    }
+
+    #[test]
+    fn rooted_tree_is_rooted_at_a_leaf() {
+        let inst = Instance::new(square_points()).unwrap();
+        let tree = inst.rooted_tree();
+        assert_eq!(tree.tree_degree(tree.root()), 1);
+        assert_eq!(tree.len(), 4);
+    }
+}

@@ -1,0 +1,52 @@
+//! # antennae-core
+//!
+//! Antenna-orientation algorithms for **strong connectivity with a bounded
+//! angular sum**, reproducing Bhattacharya, Hu, Shi, Kranakis, Krizanc,
+//! *"Sensor Network Connectivity with Multiple Directional Antennae of a
+//! Given Angular Sum"* (IPPS 2009).
+//!
+//! ## Problem
+//!
+//! Each of `n` sensors (points in the plane) carries `k` directional
+//! antennae, `1 ≤ k ≤ 5`.  The sum of the angular spreads of the antennae at
+//! each sensor is bounded by `φ_k`, and every antenna has the same range
+//! (radius) `r`.  Orient all antennae so that the induced directed graph
+//! (`u → v` iff `v` lies in one of `u`'s sectors) is strongly connected,
+//! while keeping `r` as small as possible.  Ranges are reported in units of
+//! `lmax`, the longest edge of a Euclidean MST of the point set, which lower
+//! bounds every feasible radius.
+//!
+//! ## What is implemented
+//!
+//! | result | module | guarantee (radius / lmax) |
+//! |---|---|---|
+//! | Lemma 1 (per-node spread bound) | [`algorithms::lemma1`] | spread `2π(d−k)/d` suffices at a degree-`d` node |
+//! | Theorem 2 (`φ_k ≥ 2π(5−k)/5`) | [`algorithms::theorem2`] | 1 |
+//! | Theorem 3.1 (`k = 2`, `φ₂ ≥ π`) | [`algorithms::theorem3`] | 2·sin(2π/9) |
+//! | Theorem 3.2 (`k = 2`, `2π/3 ≤ φ₂ < π`) | [`algorithms::theorem3`] | 2·sin(π/2 − φ₂/4) |
+//! | Theorem 5 (`k = 3`, spread 0) | [`algorithms::chains`] | √3 |
+//! | Theorem 6 (`k = 4`, spread 0) | [`algorithms::chains`] | √2 |
+//! | `k = 5`, spread 0 (folklore) | [`algorithms::chains`] | 1 |
+//! | `k = 2`, spread 0 ([14] row) | [`algorithms::chains`] | 2 |
+//! | `k = 1` baselines ([4], [14] rows) | [`algorithms::one_antenna`], [`algorithms::hamiltonian`] | 1 / ≈2 (heuristic) |
+//!
+//! [`algorithms::dispatch::orient`] picks the best algorithm for a given
+//! `(k, φ_k)` budget, and [`verify::verify`] independently checks strong
+//! connectivity and the radius/spread budgets of any scheme.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod algorithms;
+pub mod antenna;
+pub mod bounds;
+pub mod error;
+pub mod instance;
+pub mod scheme;
+pub mod verify;
+
+pub use antenna::{Antenna, AntennaBudget, SensorAssignment};
+pub use error::OrientError;
+pub use instance::Instance;
+pub use scheme::OrientationScheme;
+pub use verify::{verify, VerificationReport};

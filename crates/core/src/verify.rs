@@ -1,0 +1,295 @@
+//! Independent verification of orientation schemes.
+//!
+//! The algorithms in [`crate::algorithms`] are constructive and come with
+//! proofs, but every experiment in the harness *also* verifies its output
+//! through this module: the induced digraph is rebuilt from the sector
+//! coverage model and checked for strong connectivity, and the per-sensor
+//! budgets (antenna count, spread sum) and the radius are measured
+//! explicitly.  This is the safety net that catches implementation bugs and
+//! the tool used by the failure-injection tests.
+
+use crate::antenna::AntennaBudget;
+use crate::instance::Instance;
+use crate::scheme::OrientationScheme;
+use antennae_graph::scc::{largest_scc_size, scc_count};
+use serde::{Deserialize, Serialize};
+
+/// A violation detected while verifying a scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Violation {
+    /// The scheme does not assign antennae to every sensor.
+    MissingAssignments {
+        /// Number of sensors in the instance.
+        expected: usize,
+        /// Number of assignments in the scheme.
+        actual: usize,
+    },
+    /// A sensor uses more antennae than the budget allows.
+    TooManyAntennas {
+        /// Sensor index.
+        sensor: usize,
+        /// Number of antennae used.
+        used: usize,
+        /// Budgeted number.
+        allowed: usize,
+    },
+    /// A sensor's spread sum exceeds the budget.
+    SpreadExceeded {
+        /// Sensor index.
+        sensor: usize,
+        /// Spread sum used (radians).
+        used: f64,
+        /// Budgeted spread (radians).
+        allowed: f64,
+    },
+    /// The induced digraph is not strongly connected.
+    NotStronglyConnected {
+        /// Number of strongly connected components found.
+        components: usize,
+        /// Size of the largest component.
+        largest_component: usize,
+    },
+}
+
+/// The result of verifying a scheme against an instance (and optionally a
+/// budget).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// Whether the induced digraph is strongly connected.
+    pub is_strongly_connected: bool,
+    /// Number of strongly connected components of the induced digraph.
+    pub scc_count: usize,
+    /// Number of directed edges induced by the scheme.
+    pub edge_count: usize,
+    /// Largest antenna radius used in the scheme (absolute units).
+    pub max_radius: f64,
+    /// Largest antenna radius divided by `lmax` (the paper's normalization);
+    /// `f64::INFINITY` when `lmax` is zero and a positive radius is used.
+    pub max_radius_over_lmax: f64,
+    /// Largest per-sensor spread sum (radians).
+    pub max_spread_sum: f64,
+    /// Largest per-sensor antenna count.
+    pub max_antenna_count: usize,
+    /// All violations found (empty when the scheme is valid).
+    pub violations: Vec<Violation>,
+}
+
+impl VerificationReport {
+    /// Returns `true` when no violations were found.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Verifies `scheme` against `instance` without any budget constraints
+/// (connectivity and measurements only).
+pub fn verify(instance: &Instance, scheme: &OrientationScheme) -> VerificationReport {
+    verify_with_budget(instance, scheme, None)
+}
+
+/// Verifies `scheme` against `instance`, additionally checking the given
+/// per-sensor budget when `budget` is `Some`.
+pub fn verify_with_budget(
+    instance: &Instance,
+    scheme: &OrientationScheme,
+    budget: Option<AntennaBudget>,
+) -> VerificationReport {
+    let mut violations = Vec::new();
+    if scheme.len() != instance.len() {
+        violations.push(Violation::MissingAssignments {
+            expected: instance.len(),
+            actual: scheme.len(),
+        });
+    }
+    if let Some(budget) = budget {
+        for (i, assignment) in scheme.assignments.iter().enumerate() {
+            if assignment.antenna_count() > budget.k {
+                violations.push(Violation::TooManyAntennas {
+                    sensor: i,
+                    used: assignment.antenna_count(),
+                    allowed: budget.k,
+                });
+            }
+            if assignment.total_spread() > budget.phi + 1e-9 {
+                violations.push(Violation::SpreadExceeded {
+                    sensor: i,
+                    used: assignment.total_spread(),
+                    allowed: budget.phi,
+                });
+            }
+        }
+    }
+
+    let digraph = scheme.induced_digraph(instance.points());
+    let components = scc_count(&digraph);
+    let largest = largest_scc_size(&digraph);
+    let strongly_connected = instance.len() <= 1 || components == 1;
+    if !strongly_connected {
+        violations.push(Violation::NotStronglyConnected {
+            components,
+            largest_component: largest,
+        });
+    }
+
+    let max_radius = scheme.max_radius();
+    let lmax = instance.lmax();
+    let max_radius_over_lmax = if lmax > 0.0 {
+        max_radius / lmax
+    } else if max_radius > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    };
+
+    VerificationReport {
+        is_strongly_connected: strongly_connected,
+        scc_count: components,
+        edge_count: digraph.edge_count(),
+        max_radius,
+        max_radius_over_lmax,
+        max_spread_sum: scheme.max_spread_sum(),
+        max_antenna_count: scheme.max_antenna_count(),
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::antenna::{Antenna, SensorAssignment};
+    use antennae_geometry::Point;
+
+    fn line_instance() -> Instance {
+        Instance::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(2.0, 0.0),
+        ])
+        .unwrap()
+    }
+
+    fn valid_cycle_scheme(instance: &Instance) -> OrientationScheme {
+        let pts = instance.points();
+        let n = pts.len();
+        let assignments = (0..n)
+            .map(|i| {
+                let next = (i + 1) % n;
+                SensorAssignment::new(vec![Antenna::beam(
+                    &pts[i],
+                    &pts[next],
+                    pts[i].distance(&pts[next]),
+                )])
+            })
+            .collect();
+        OrientationScheme::new(assignments)
+    }
+
+    #[test]
+    fn valid_scheme_passes_verification() {
+        let instance = line_instance();
+        let scheme = valid_cycle_scheme(&instance);
+        let report = verify(&instance, &scheme);
+        assert!(report.is_valid());
+        assert!(report.is_strongly_connected);
+        assert_eq!(report.scc_count, 1);
+        assert!((report.max_radius - 2.0).abs() < 1e-12);
+        assert!((report.max_radius_over_lmax - 2.0).abs() < 1e-12);
+        assert_eq!(report.max_antenna_count, 1);
+    }
+
+    #[test]
+    fn broken_scheme_is_rejected() {
+        // Failure injection: an empty scheme cannot be strongly connected.
+        let instance = line_instance();
+        let scheme = OrientationScheme::empty(instance.len());
+        let report = verify(&instance, &scheme);
+        assert!(!report.is_valid());
+        assert!(!report.is_strongly_connected);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NotStronglyConnected { .. })));
+    }
+
+    #[test]
+    fn one_way_scheme_is_rejected() {
+        // Failure injection: every sensor beams only to the right; the last
+        // sensor cannot reach back.
+        let instance = line_instance();
+        let pts = instance.points();
+        let assignments = (0..pts.len())
+            .map(|i| {
+                if i + 1 < pts.len() {
+                    SensorAssignment::new(vec![Antenna::beam(&pts[i], &pts[i + 1], 1.0)])
+                } else {
+                    SensorAssignment::empty()
+                }
+            })
+            .collect();
+        let scheme = OrientationScheme::new(assignments);
+        let report = verify(&instance, &scheme);
+        assert!(!report.is_strongly_connected);
+        assert!(report.scc_count > 1);
+    }
+
+    #[test]
+    fn budget_violations_are_reported() {
+        let instance = line_instance();
+        let scheme = valid_cycle_scheme(&instance);
+        // The cycle scheme uses 1 antenna of spread 0 per sensor; a budget of
+        // zero antennae must flag every sensor.
+        let report = verify_with_budget(&instance, &scheme, Some(AntennaBudget::new(0, 0.0)));
+        let count = report
+            .violations
+            .iter()
+            .filter(|v| matches!(v, Violation::TooManyAntennas { .. }))
+            .count();
+        assert_eq!(count, 3);
+
+        // A generous budget produces no budget violations.
+        let report = verify_with_budget(&instance, &scheme, Some(AntennaBudget::new(1, 0.0)));
+        assert!(report.is_valid());
+    }
+
+    #[test]
+    fn spread_violations_are_reported() {
+        let instance = line_instance();
+        let pts = instance.points();
+        let wide = SensorAssignment::new(vec![Antenna::new(
+            antennae_geometry::Angle::ZERO,
+            antennae_geometry::PI,
+            5.0,
+        )]);
+        let assignments = vec![wide.clone(), wide.clone(), wide];
+        let scheme = OrientationScheme::new(assignments);
+        let report = verify_with_budget(&instance, &scheme, Some(AntennaBudget::new(1, 1.0)));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::SpreadExceeded { .. })));
+        // The wide antennas do connect everything though.
+        assert!(report.is_strongly_connected);
+        let _ = pts;
+    }
+
+    #[test]
+    fn missing_assignments_are_reported() {
+        let instance = line_instance();
+        let scheme = OrientationScheme::empty(1);
+        let report = verify(&instance, &scheme);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::MissingAssignments { expected: 3, actual: 1 })));
+    }
+
+    #[test]
+    fn single_sensor_is_trivially_connected() {
+        let instance = Instance::new(vec![Point::new(0.0, 0.0)]).unwrap();
+        let scheme = OrientationScheme::empty(1);
+        let report = verify(&instance, &scheme);
+        assert!(report.is_strongly_connected);
+        assert!(report.is_valid());
+        assert_eq!(report.max_radius_over_lmax, 0.0);
+    }
+}

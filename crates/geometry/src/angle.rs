@@ -1,0 +1,324 @@
+//! Normalized angles and counterclockwise angle arithmetic.
+//!
+//! The paper writes `∠uvw` for the **counterclockwise** angle at `v` between
+//! the ray `v→u` and the ray `v→w`; all of its case analyses (Lemma 1,
+//! Theorem 3, Theorems 5/6) are phrased in terms of such angles and of sums
+//! of consecutive angular gaps around a vertex.  [`Angle`] captures a
+//! direction normalized to `[0, 2π)` and provides the counterclockwise
+//! difference operation those analyses need.
+
+use crate::point::Point;
+use crate::{PI, TAU};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// An angle in radians, normalized to the half-open interval `[0, 2π)`.
+///
+/// `Angle` is used both for absolute *directions* (measured counterclockwise
+/// from the positive x axis) and for non-negative *spreads* (an antenna's
+/// angular aperture).  Spreads of exactly `2π` (the omnidirectional case)
+/// are represented by [`Angle::FULL`] via the dedicated constructor
+/// [`Angle::full`] and survive normalization because spread arithmetic is
+/// done on raw radians.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Angle {
+    radians: f64,
+}
+
+impl Angle {
+    /// The zero angle.
+    pub const ZERO: Angle = Angle { radians: 0.0 };
+    /// A full turn, 2π.  Only produced by [`Angle::full`]; the normalizing
+    /// constructors map 2π to 0.
+    pub const FULL: Angle = Angle { radians: TAU };
+    /// Half turn, π.
+    pub const HALF: Angle = Angle { radians: PI };
+    /// Quarter turn, π/2.
+    pub const QUARTER: Angle = Angle {
+        radians: PI / 2.0,
+    };
+
+    /// Creates an angle from radians, normalizing into `[0, 2π)`.
+    pub fn from_radians(radians: f64) -> Self {
+        Angle {
+            radians: normalize_radians(radians),
+        }
+    }
+
+    /// Creates an angle from degrees, normalizing into `[0°, 360°)`.
+    pub fn from_degrees(degrees: f64) -> Self {
+        Angle::from_radians(degrees.to_radians())
+    }
+
+    /// The full turn `2π`, representing an omnidirectional spread.
+    pub const fn full() -> Self {
+        Angle::FULL
+    }
+
+    /// Raw value in radians (in `[0, 2π]`).
+    #[inline]
+    pub const fn radians(&self) -> f64 {
+        self.radians
+    }
+
+    /// Value in degrees.
+    #[inline]
+    pub fn degrees(&self) -> f64 {
+        self.radians.to_degrees()
+    }
+
+    /// Counterclockwise difference from `self` to `other`, i.e. how far
+    /// `other` lies counterclockwise of `self`, in `[0, 2π)`.
+    pub fn ccw_to(&self, other: &Angle) -> Angle {
+        Angle::from_radians(other.radians - self.radians)
+    }
+
+    /// Smallest unsigned separation between the two directions, in `[0, π]`.
+    pub fn separation(&self, other: &Angle) -> f64 {
+        let d = (self.radians - other.radians).abs() % TAU;
+        if d > PI {
+            TAU - d
+        } else {
+            d
+        }
+    }
+
+    /// Direction obtained by rotating `self` counterclockwise by `delta`
+    /// radians.
+    pub fn rotate(&self, delta: f64) -> Angle {
+        Angle::from_radians(self.radians + delta)
+    }
+
+    /// The opposite direction (`self + π`).
+    pub fn opposite(&self) -> Angle {
+        self.rotate(PI)
+    }
+
+    /// Midpoint direction of the counterclockwise arc from `self` to `other`.
+    pub fn ccw_midpoint(&self, other: &Angle) -> Angle {
+        let span = self.ccw_to(other).radians();
+        self.rotate(span * 0.5)
+    }
+
+    /// Returns `true` when this direction lies on the counterclockwise arc
+    /// that starts at `from` and spans `spread` radians, within tolerance
+    /// `eps` (the arc is widened by `eps` on both ends).
+    pub fn within_ccw_arc(&self, from: &Angle, spread: f64, eps: f64) -> bool {
+        if spread >= TAU - eps {
+            return true;
+        }
+        let offset = from.ccw_to(self).radians();
+        offset <= spread + eps || offset >= TAU - eps
+    }
+
+    /// Direction of the ray from `from` towards `to`.
+    ///
+    /// Returns [`Angle::ZERO`] when the two points coincide.
+    pub fn of_ray(from: &Point, to: &Point) -> Angle {
+        from.vector_to(to).direction()
+    }
+
+    /// The paper's `∠uvw`: counterclockwise angle at apex `v` from the ray
+    /// `v→u` to the ray `v→w`, in `[0, 2π)`.
+    pub fn ccw_at(u: &Point, v: &Point, w: &Point) -> Angle {
+        let a = Angle::of_ray(v, u);
+        let b = Angle::of_ray(v, w);
+        a.ccw_to(&b)
+    }
+
+    /// The interior (unsigned, ≤ π) angle at apex `v` between rays `v→u` and
+    /// `v→w`.
+    pub fn interior_at(u: &Point, v: &Point, w: &Point) -> f64 {
+        v.vector_to(u).angle_between(&v.vector_to(w))
+    }
+
+    /// Returns `true` when the angle equals `other` up to `eps` radians,
+    /// treating 0 and 2π as identical directions.
+    pub fn approx_eq(&self, other: &Angle, eps: f64) -> bool {
+        self.separation(other) <= eps
+    }
+}
+
+impl Default for Angle {
+    fn default() -> Self {
+        Angle::ZERO
+    }
+}
+
+impl fmt::Display for Angle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} rad ({:.2}°)", self.radians, self.degrees())
+    }
+}
+
+impl Add for Angle {
+    type Output = Angle;
+    fn add(self, other: Angle) -> Angle {
+        Angle::from_radians(self.radians + other.radians)
+    }
+}
+
+impl Sub for Angle {
+    type Output = Angle;
+    fn sub(self, other: Angle) -> Angle {
+        Angle::from_radians(self.radians - other.radians)
+    }
+}
+
+/// Normalizes a raw radian value into `[0, 2π)`.
+pub fn normalize_radians(radians: f64) -> f64 {
+    if !radians.is_finite() {
+        return 0.0;
+    }
+    let mut r = radians % TAU;
+    if r < 0.0 {
+        r += TAU;
+    }
+    // `% TAU` can return TAU itself for values just below a multiple of 2π
+    // after the addition; clamp to keep the invariant half-open.
+    if r >= TAU {
+        r -= TAU;
+    }
+    r
+}
+
+/// Sums a slice of raw radian spreads without normalization (angular *sums*
+/// such as the paper's φ_k may legitimately exceed 2π when several antennae
+/// are wide).
+pub fn spread_sum(spreads: &[f64]) -> f64 {
+    spreads.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn normalization_wraps_into_range() {
+        assert!((Angle::from_radians(TAU + 0.5).radians() - 0.5).abs() < 1e-12);
+        assert!((Angle::from_radians(-0.5).radians() - (TAU - 0.5)).abs() < 1e-12);
+        assert_eq!(Angle::from_radians(0.0).radians(), 0.0);
+        assert_eq!(Angle::from_radians(TAU).radians(), 0.0);
+    }
+
+    #[test]
+    fn degrees_round_trip() {
+        let a = Angle::from_degrees(135.0);
+        assert!((a.degrees() - 135.0).abs() < 1e-9);
+        assert!((a.radians() - 3.0 * PI / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ccw_difference() {
+        let a = Angle::from_degrees(350.0);
+        let b = Angle::from_degrees(10.0);
+        assert!((a.ccw_to(&b).degrees() - 20.0).abs() < 1e-9);
+        assert!((b.ccw_to(&a).degrees() - 340.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separation_is_smallest_arc() {
+        let a = Angle::from_degrees(350.0);
+        let b = Angle::from_degrees(10.0);
+        assert!((a.separation(&b).to_degrees() - 20.0).abs() < 1e-9);
+        assert!((b.separation(&a).to_degrees() - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arc_membership_handles_wraparound() {
+        let from = Angle::from_degrees(350.0);
+        let spread = 30.0_f64.to_radians();
+        assert!(Angle::from_degrees(355.0).within_ccw_arc(&from, spread, 1e-9));
+        assert!(Angle::from_degrees(10.0).within_ccw_arc(&from, spread, 1e-9));
+        assert!(!Angle::from_degrees(30.0).within_ccw_arc(&from, spread, 1e-9));
+        assert!(!Angle::from_degrees(340.0).within_ccw_arc(&from, spread, 1e-9));
+    }
+
+    #[test]
+    fn full_spread_contains_everything() {
+        let from = Angle::from_degrees(123.0);
+        for deg in (0..360).step_by(7) {
+            assert!(Angle::from_degrees(deg as f64).within_ccw_arc(&from, TAU, 1e-9));
+        }
+    }
+
+    #[test]
+    fn zero_spread_contains_only_start_direction() {
+        let from = Angle::from_degrees(90.0);
+        assert!(Angle::from_degrees(90.0).within_ccw_arc(&from, 0.0, 1e-9));
+        assert!(!Angle::from_degrees(91.0).within_ccw_arc(&from, 0.0, 1e-9));
+    }
+
+    #[test]
+    fn angle_at_apex_matches_hand_computation() {
+        let v = Point::new(0.0, 0.0);
+        let u = Point::new(1.0, 0.0);
+        let w = Point::new(0.0, 1.0);
+        // Counterclockwise from ray v→u (0°) to ray v→w (90°) is 90°.
+        assert!((Angle::ccw_at(&u, &v, &w).degrees() - 90.0).abs() < 1e-9);
+        // And the other way around it is 270°.
+        assert!((Angle::ccw_at(&w, &v, &u).degrees() - 270.0).abs() < 1e-9);
+        // The interior angle is 90° either way.
+        assert!((Angle::interior_at(&u, &v, &w) - PI / 2.0).abs() < 1e-12);
+        assert!((Angle::interior_at(&w, &v, &u) - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn midpoint_of_wrapping_arc() {
+        let a = Angle::from_degrees(350.0);
+        let b = Angle::from_degrees(10.0);
+        assert!((a.ccw_midpoint(&b).degrees() - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opposite_is_half_turn_away() {
+        let a = Angle::from_degrees(30.0);
+        assert!((a.opposite().degrees() - 210.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spread_sum_adds_raw_values() {
+        assert!((spread_sum(&[PI, PI, PI]) - 3.0 * PI).abs() < 1e-12);
+        assert_eq!(spread_sum(&[]), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_normalized_in_range(r in -100.0..100.0f64) {
+            let a = Angle::from_radians(r);
+            prop_assert!(a.radians() >= 0.0 && a.radians() < TAU);
+        }
+
+        #[test]
+        fn prop_ccw_to_and_back_sums_to_full_turn(a in 0.0..TAU, b in 0.0..TAU) {
+            let x = Angle::from_radians(a);
+            let y = Angle::from_radians(b);
+            let fwd = x.ccw_to(&y).radians();
+            let bwd = y.ccw_to(&x).radians();
+            if fwd > 1e-9 && bwd > 1e-9 {
+                prop_assert!((fwd + bwd - TAU).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn prop_rotation_composes(a in 0.0..TAU, d1 in -10.0..10.0f64, d2 in -10.0..10.0f64) {
+            let x = Angle::from_radians(a);
+            let lhs = x.rotate(d1).rotate(d2);
+            let rhs = x.rotate(d1 + d2);
+            prop_assert!(lhs.separation(&rhs) < 1e-9);
+        }
+
+        #[test]
+        fn prop_arc_membership_consistent_with_offset(start in 0.0..TAU,
+                                                      spread in 0.0..TAU,
+                                                      probe in 0.0..TAU) {
+            let from = Angle::from_radians(start);
+            let p = Angle::from_radians(probe);
+            let offset = from.ccw_to(&p).radians();
+            let expect = offset <= spread + 1e-9 || offset >= TAU - 1e-9;
+            prop_assert_eq!(p.within_ccw_arc(&from, spread, 1e-9), expect);
+        }
+    }
+}

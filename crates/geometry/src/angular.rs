@@ -1,0 +1,357 @@
+//! Angular neighbourhood analysis around a pivot point.
+//!
+//! Lemma 1, Theorem 3 and the chain constructions of Theorems 5/6 all reason
+//! about the neighbours of an MST vertex `v` **sorted counterclockwise**
+//! around `v` and about the *gaps* (consecutive angular differences) between
+//! them.  This module provides those primitives:
+//!
+//! * [`sort_ccw`] — sort target points counterclockwise around a pivot,
+//!   optionally starting the ordering right after a reference direction (the
+//!   paper's "`u(1)` is the first neighbour of `u` when rotating the ray
+//!   `~up`").
+//! * [`circular_gaps`] — the `d` consecutive angular gaps `α_0 … α_{d-1}`
+//!   around the pivot (they sum to 2π).
+//! * [`max_window_sum`] — the maximum sum of `k` consecutive gaps, which is
+//!   the quantity `Σ ≥ 2πk/d` at the heart of Lemma 1's averaging argument.
+//! * [`largest_gaps_indices`] — the indices of the `m` largest gaps, used by
+//!   the chain constructions (drop the largest gaps, chain the rest).
+
+use crate::angle::Angle;
+use crate::point::Point;
+use crate::TAU;
+
+/// A target point together with its index in the caller's collection and its
+/// direction from the pivot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AngularNeighbor {
+    /// Index of the neighbour in the caller's collection.
+    pub index: usize,
+    /// Direction of the ray pivot → neighbour.
+    pub direction: Angle,
+    /// Distance from the pivot.
+    pub distance: f64,
+}
+
+/// Sorts `targets` counterclockwise around `pivot`.
+///
+/// The result starts from the target with the smallest absolute direction
+/// (angle measured from the positive x axis).  Targets coincident with the
+/// pivot are placed first with direction 0.
+pub fn sort_ccw(pivot: &Point, targets: &[Point]) -> Vec<AngularNeighbor> {
+    let mut out: Vec<AngularNeighbor> = targets
+        .iter()
+        .enumerate()
+        .map(|(index, t)| AngularNeighbor {
+            index,
+            direction: Angle::of_ray(pivot, t),
+            distance: pivot.distance(t),
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.direction
+            .radians()
+            .total_cmp(&b.direction.radians())
+            .then_with(|| a.distance.total_cmp(&b.distance))
+    });
+    out
+}
+
+/// Sorts `targets` counterclockwise around `pivot`, starting with the first
+/// target encountered when rotating counterclockwise from `reference`.
+///
+/// This matches the paper's convention "`u(1)` is the first neighbour of `u`
+/// when rotating the ray `~up`" (where `p` is the parent / imaginary point).
+pub fn sort_ccw_from(pivot: &Point, targets: &[Point], reference: Angle) -> Vec<AngularNeighbor> {
+    let mut out = sort_ccw(pivot, targets);
+    if out.is_empty() {
+        return out;
+    }
+    // Rotate the sorted list so that it starts at the first direction that is
+    // strictly counterclockwise of `reference`.
+    let start = out
+        .iter()
+        .position(|n| reference.ccw_to(&n.direction).radians() > 1e-12)
+        .unwrap_or(0);
+    out.rotate_left(start);
+    // Order by counterclockwise offset from the reference.
+    out.sort_by(|a, b| {
+        reference
+            .ccw_to(&a.direction)
+            .radians()
+            .total_cmp(&reference.ccw_to(&b.direction).radians())
+    });
+    out
+}
+
+/// The circular gaps between consecutive sorted directions (in radians).
+///
+/// `gaps[i]` is the counterclockwise angle from `sorted[i]` to
+/// `sorted[(i + 1) % d]`.  For a single direction the gap is the full 2π; for
+/// an empty input the result is empty.  The gaps always sum to 2π (up to
+/// floating point) when there is at least one direction.
+pub fn circular_gaps(sorted: &[AngularNeighbor]) -> Vec<f64> {
+    let d = sorted.len();
+    if d == 0 {
+        return Vec::new();
+    }
+    if d == 1 {
+        return vec![TAU];
+    }
+    (0..d)
+        .map(|i| {
+            sorted[i]
+                .direction
+                .ccw_to(&sorted[(i + 1) % d].direction)
+                .radians()
+        })
+        .map(|g| if d > 1 && g == 0.0 { 0.0 } else { g })
+        .collect()
+}
+
+/// Maximum sum of `k` consecutive gaps (circularly), returned as
+/// `(start_index, sum)`.
+///
+/// Lemma 1's averaging argument guarantees that for `d` gaps summing to 2π
+/// the maximum `k`-window sum is at least `2πk/d`.
+pub fn max_window_sum(gaps: &[f64], k: usize) -> Option<(usize, f64)> {
+    let d = gaps.len();
+    if d == 0 || k == 0 || k > d {
+        return None;
+    }
+    let mut best = (0, f64::NEG_INFINITY);
+    for start in 0..d {
+        let sum: f64 = (0..k).map(|j| gaps[(start + j) % d]).sum();
+        if sum > best.1 {
+            best = (start, sum);
+        }
+    }
+    Some(best)
+}
+
+/// Minimum sum of `k` consecutive gaps (circularly), returned as
+/// `(start_index, sum)`.
+pub fn min_window_sum(gaps: &[f64], k: usize) -> Option<(usize, f64)> {
+    let d = gaps.len();
+    if d == 0 || k == 0 || k > d {
+        return None;
+    }
+    let mut best = (0, f64::INFINITY);
+    for start in 0..d {
+        let sum: f64 = (0..k).map(|j| gaps[(start + j) % d]).sum();
+        if sum < best.1 {
+            best = (start, sum);
+        }
+    }
+    Some(best)
+}
+
+/// Indices of the `m` largest gaps, sorted by decreasing gap size
+/// (ties broken by smaller index first).
+pub fn largest_gaps_indices(gaps: &[f64], m: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..gaps.len()).collect();
+    idx.sort_by(|&a, &b| gaps[b].total_cmp(&gaps[a]).then(a.cmp(&b)));
+    idx.truncate(m);
+    idx
+}
+
+/// Index of the single largest gap (`None` for an empty slice).
+pub fn largest_gap_index(gaps: &[f64]) -> Option<usize> {
+    largest_gaps_indices(gaps, 1).first().copied()
+}
+
+/// Splits the circular sequence `0..d` into maximal chains by removing the
+/// gaps whose indices appear in `removed`.
+///
+/// A gap index `i` connects position `i` to position `(i + 1) % d`.  The
+/// result is a list of chains, each a list of positions in counterclockwise
+/// order.  Removing zero gaps yields a single chain that wraps all the way
+/// around (starting at position 0).
+pub fn split_into_chains(d: usize, removed: &[usize]) -> Vec<Vec<usize>> {
+    if d == 0 {
+        return Vec::new();
+    }
+    let removed_set: Vec<bool> = {
+        let mut v = vec![false; d];
+        for &r in removed {
+            if r < d {
+                v[r] = true;
+            }
+        }
+        v
+    };
+    if removed_set.iter().all(|&r| !r) {
+        return vec![(0..d).collect()];
+    }
+    // Start each chain right after a removed gap.
+    let mut chains = Vec::new();
+    for start_gap in 0..d {
+        if !removed_set[start_gap] {
+            continue;
+        }
+        let start_pos = (start_gap + 1) % d;
+        let mut chain = vec![start_pos];
+        let mut pos = start_pos;
+        while !removed_set[pos] {
+            pos = (pos + 1) % d;
+            chain.push(pos);
+        }
+        chains.push(chain);
+    }
+    chains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PI;
+    use proptest::prelude::*;
+
+    fn cross_points() -> Vec<Point> {
+        // East, North, West, South of the origin (given out of order).
+        vec![
+            Point::new(0.0, 1.0),  // 90°
+            Point::new(1.0, 0.0),  // 0°
+            Point::new(0.0, -1.0), // 270°
+            Point::new(-1.0, 0.0), // 180°
+        ]
+    }
+
+    #[test]
+    fn sort_ccw_orders_by_direction() {
+        let sorted = sort_ccw(&Point::ORIGIN, &cross_points());
+        let dirs: Vec<f64> = sorted.iter().map(|n| n.direction.degrees()).collect();
+        assert!((dirs[0] - 0.0).abs() < 1e-9);
+        assert!((dirs[1] - 90.0).abs() < 1e-9);
+        assert!((dirs[2] - 180.0).abs() < 1e-9);
+        assert!((dirs[3] - 270.0).abs() < 1e-9);
+        // Original indices preserved.
+        assert_eq!(sorted[0].index, 1);
+        assert_eq!(sorted[1].index, 0);
+    }
+
+    #[test]
+    fn sort_ccw_from_reference_starts_after_reference() {
+        let sorted = sort_ccw_from(&Point::ORIGIN, &cross_points(), Angle::from_degrees(45.0));
+        let dirs: Vec<f64> = sorted.iter().map(|n| n.direction.degrees()).collect();
+        assert!((dirs[0] - 90.0).abs() < 1e-9);
+        assert!((dirs[1] - 180.0).abs() < 1e-9);
+        assert!((dirs[2] - 270.0).abs() < 1e-9);
+        assert!((dirs[3] - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaps_of_cross_are_quarter_turns() {
+        let sorted = sort_ccw(&Point::ORIGIN, &cross_points());
+        let gaps = circular_gaps(&sorted);
+        assert_eq!(gaps.len(), 4);
+        for g in &gaps {
+            assert!((g - PI / 2.0).abs() < 1e-9);
+        }
+        assert!((gaps.iter().sum::<f64>() - TAU).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gaps_of_single_point_is_full_turn() {
+        let sorted = sort_ccw(&Point::ORIGIN, &[Point::new(1.0, 1.0)]);
+        let gaps = circular_gaps(&sorted);
+        assert_eq!(gaps, vec![TAU]);
+        assert!(circular_gaps(&[]).is_empty());
+    }
+
+    #[test]
+    fn window_sums() {
+        let gaps = vec![1.0, 2.0, 3.0, 0.2832];
+        let (idx, sum) = max_window_sum(&gaps, 2).unwrap();
+        assert_eq!(idx, 1);
+        assert!((sum - 5.0).abs() < 1e-9);
+        let (min_idx, min_sum) = min_window_sum(&gaps, 2).unwrap();
+        assert_eq!(min_idx, 3);
+        assert!((min_sum - 1.2832).abs() < 1e-9);
+        assert!(max_window_sum(&gaps, 0).is_none());
+        assert!(max_window_sum(&gaps, 5).is_none());
+    }
+
+    #[test]
+    fn lemma1_averaging_bound_holds_on_gaps() {
+        // For any gap vector summing to 2π, max k-window ≥ 2πk/d.
+        let gaps = vec![0.5, 1.5, 2.0, 1.0, TAU - 5.0];
+        let d = gaps.len();
+        for k in 1..=d {
+            let (_, sum) = max_window_sum(&gaps, k).unwrap();
+            assert!(sum + 1e-9 >= TAU * k as f64 / d as f64);
+        }
+    }
+
+    #[test]
+    fn largest_gaps_are_identified() {
+        let gaps = vec![0.1, 2.5, 0.3, 1.9, 1.4831];
+        assert_eq!(largest_gap_index(&gaps), Some(1));
+        assert_eq!(largest_gaps_indices(&gaps, 2), vec![1, 3]);
+        assert_eq!(largest_gaps_indices(&gaps, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn chain_splitting() {
+        // 5 positions, remove gaps 1 and 3: chains are [2,3], [4,0,1]... let's
+        // verify: gap i connects i to i+1. Removing gap 1 cuts 1-2; removing
+        // gap 3 cuts 3-4. Chains: starting after gap 1 -> [2, 3]; starting
+        // after gap 3 -> [4, 0, 1].
+        let chains = split_into_chains(5, &[1, 3]);
+        assert_eq!(chains.len(), 2);
+        assert!(chains.contains(&vec![2, 3]));
+        assert!(chains.contains(&vec![4, 0, 1]));
+        // Removing nothing yields one full chain.
+        let all = split_into_chains(4, &[]);
+        assert_eq!(all, vec![vec![0, 1, 2, 3]]);
+        // Removing every gap yields singleton chains.
+        let singles = split_into_chains(3, &[0, 1, 2]);
+        assert_eq!(singles.len(), 3);
+        assert!(singles.iter().all(|c| c.len() == 1));
+        assert!(split_into_chains(0, &[]).is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gaps_sum_to_full_turn(
+            xs in proptest::collection::vec((-10.0..10.0f64, -10.0..10.0f64), 1..15)
+        ) {
+            let targets: Vec<Point> = xs
+                .iter()
+                .map(|&(x, y)| Point::new(x, y))
+                .filter(|p| !p.coincident(&Point::ORIGIN))
+                .collect();
+            prop_assume!(!targets.is_empty());
+            let sorted = sort_ccw(&Point::ORIGIN, &targets);
+            let gaps = circular_gaps(&sorted);
+            let total: f64 = gaps.iter().sum();
+            prop_assert!((total - TAU).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_max_window_at_least_average(
+            raw in proptest::collection::vec(0.0..1.0f64, 1..12),
+            k in 1usize..12,
+        ) {
+            prop_assume!(k <= raw.len());
+            // Normalize so the gaps sum to 2π.
+            let s: f64 = raw.iter().sum();
+            prop_assume!(s > 1e-9);
+            let gaps: Vec<f64> = raw.iter().map(|g| g / s * TAU).collect();
+            let (_, best) = max_window_sum(&gaps, k).unwrap();
+            prop_assert!(best + 1e-9 >= TAU * k as f64 / gaps.len() as f64);
+        }
+
+        #[test]
+        fn prop_chains_partition_all_positions(d in 1usize..12, removal_mask in 0u32..4096) {
+            let removed: Vec<usize> = (0..d).filter(|i| removal_mask & (1 << i) != 0).collect();
+            let chains = split_into_chains(d, &removed);
+            let mut seen: Vec<usize> = chains.concat();
+            seen.sort_unstable();
+            let expected: Vec<usize> = (0..d).collect();
+            prop_assert_eq!(seen, expected);
+            if !removed.is_empty() {
+                prop_assert_eq!(chains.len(), removed.len());
+            }
+        }
+    }
+}

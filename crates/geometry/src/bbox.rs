@@ -1,0 +1,137 @@
+//! Axis-aligned bounding boxes.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned bounding box (AABB).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    /// Minimum corner.
+    pub min: Point,
+    /// Maximum corner.
+    pub max: Point,
+}
+
+impl Aabb {
+    /// Creates a box from two corner points (they are re-ordered so that
+    /// `min ≤ max` componentwise).
+    pub fn new(a: Point, b: Point) -> Self {
+        Aabb {
+            min: Point::new(a.x.min(b.x), a.y.min(b.y)),
+            max: Point::new(a.x.max(b.x), a.y.max(b.y)),
+        }
+    }
+
+    /// The smallest box containing every point of the slice, or `None` for an
+    /// empty slice.
+    pub fn from_points(points: &[Point]) -> Option<Aabb> {
+        let first = points.first()?;
+        let mut bb = Aabb::new(*first, *first);
+        for p in &points[1..] {
+            bb.expand(p);
+        }
+        Some(bb)
+    }
+
+    /// Grows the box (in place) to contain `p`.
+    pub fn expand(&mut self, p: &Point) {
+        self.min = Point::new(self.min.x.min(p.x), self.min.y.min(p.y));
+        self.max = Point::new(self.max.x.max(p.x), self.max.y.max(p.y));
+    }
+
+    /// Width of the box.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height of the box.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area of the box.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center of the box.
+    pub fn center(&self) -> Point {
+        self.min.midpoint(&self.max)
+    }
+
+    /// Length of the diagonal.
+    pub fn diagonal(&self) -> f64 {
+        self.min.distance(&self.max)
+    }
+
+    /// Returns `true` when `p` lies in the closed box.
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// Returns `true` when the two boxes overlap (closed intersection).
+    pub fn intersects(&self, other: &Aabb) -> bool {
+        self.min.x <= other.max.x
+            && self.max.x >= other.min.x
+            && self.min.y <= other.max.y
+            && self.max.y >= other.min.y
+    }
+
+    /// Minimum distance from `p` to the box (0 when inside).
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        let dx = (self.min.x - p.x).max(0.0).max(p.x - self.max.x);
+        let dy = (self.min.y - p.y).max(0.0).max(p.y - self.max.y);
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_reorders_corners() {
+        let bb = Aabb::new(Point::new(2.0, -1.0), Point::new(-1.0, 3.0));
+        assert!(bb.min.approx_eq(&Point::new(-1.0, -1.0), 1e-12));
+        assert!(bb.max.approx_eq(&Point::new(2.0, 3.0), 1e-12));
+        assert!((bb.width() - 3.0).abs() < 1e-12);
+        assert!((bb.height() - 4.0).abs() < 1e-12);
+        assert!((bb.area() - 12.0).abs() < 1e-12);
+        assert!((bb.diagonal() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_points_and_containment() {
+        let pts = vec![Point::new(0.0, 0.0), Point::new(3.0, 1.0), Point::new(1.0, 5.0)];
+        let bb = Aabb::from_points(&pts).unwrap();
+        for p in &pts {
+            assert!(bb.contains(p));
+        }
+        assert!(!bb.contains(&Point::new(4.0, 0.0)));
+        assert!(Aabb::from_points(&[]).is_none());
+    }
+
+    #[test]
+    fn intersection_test() {
+        let a = Aabb::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let b = Aabb::new(Point::new(1.0, 1.0), Point::new(3.0, 3.0));
+        let c = Aabb::new(Point::new(5.0, 5.0), Point::new(6.0, 6.0));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn distance_to_point() {
+        let bb = Aabb::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        assert_eq!(bb.distance_to_point(&Point::new(1.0, 1.0)), 0.0);
+        assert!((bb.distance_to_point(&Point::new(5.0, 2.0)) - 3.0).abs() < 1e-12);
+        assert!((bb.distance_to_point(&Point::new(5.0, 6.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn center_of_box() {
+        let bb = Aabb::new(Point::new(0.0, 0.0), Point::new(4.0, 2.0));
+        assert!(bb.center().approx_eq(&Point::new(2.0, 1.0), 1e-12));
+    }
+}

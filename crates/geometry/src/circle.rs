@@ -1,0 +1,153 @@
+//! Circles and disks.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// A circle (and its closed disk) with a center and radius.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Circle {
+    /// Center of the circle.
+    pub center: Point,
+    /// Radius of the circle.
+    pub radius: f64,
+}
+
+impl Circle {
+    /// Creates a circle; negative radii are clamped to zero.
+    pub fn new(center: Point, radius: f64) -> Self {
+        Circle {
+            center,
+            radius: radius.max(0.0),
+        }
+    }
+
+    /// The unit circle at the origin.
+    pub fn unit() -> Self {
+        Circle::new(Point::ORIGIN, 1.0)
+    }
+
+    /// Returns `true` when `p` lies in the closed disk (within `eps`).
+    pub fn contains(&self, p: &Point, eps: f64) -> bool {
+        self.center.distance(p) <= self.radius + eps
+    }
+
+    /// Returns `true` when `p` lies on the circle boundary (within `eps`).
+    pub fn on_boundary(&self, p: &Point, eps: f64) -> bool {
+        (self.center.distance(p) - self.radius).abs() <= eps
+    }
+
+    /// Area of the disk.
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// Circumference of the circle.
+    pub fn circumference(&self) -> f64 {
+        std::f64::consts::TAU * self.radius
+    }
+
+    /// Point on the circle at angle `theta` (counterclockwise from +x).
+    pub fn point_at(&self, theta: f64) -> Point {
+        Point::new(
+            self.center.x + self.radius * theta.cos(),
+            self.center.y + self.radius * theta.sin(),
+        )
+    }
+
+    /// Returns `true` when the two closed disks intersect.
+    pub fn intersects(&self, other: &Circle) -> bool {
+        self.center.distance(&other.center) <= self.radius + other.radius
+    }
+
+    /// Smallest circle through two points (diameter circle).
+    pub fn from_diameter(a: &Point, b: &Point) -> Circle {
+        Circle::new(a.midpoint(b), a.distance(b) * 0.5)
+    }
+
+    /// Circumcircle of three points, or `None` when they are (nearly)
+    /// collinear.
+    pub fn circumcircle(a: &Point, b: &Point, c: &Point) -> Option<Circle> {
+        let d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+        if d.abs() < 1e-12 {
+            return None;
+        }
+        let a2 = a.x * a.x + a.y * a.y;
+        let b2 = b.x * b.x + b.y * b.y;
+        let c2 = c.x * c.x + c.y * c.y;
+        let ux = (a2 * (b.y - c.y) + b2 * (c.y - a.y) + c2 * (a.y - b.y)) / d;
+        let uy = (a2 * (c.x - b.x) + b2 * (a.x - c.x) + c2 * (b.x - a.x)) / d;
+        let center = Point::new(ux, uy);
+        Some(Circle::new(center, center.distance(a)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn containment() {
+        let c = Circle::new(Point::new(1.0, 1.0), 2.0);
+        assert!(c.contains(&Point::new(2.0, 2.0), 1e-9));
+        assert!(c.contains(&Point::new(3.0, 1.0), 1e-9)); // boundary
+        assert!(!c.contains(&Point::new(3.5, 1.0), 1e-9));
+        assert!(c.on_boundary(&Point::new(3.0, 1.0), 1e-9));
+        assert!(!c.on_boundary(&Point::new(2.0, 1.0), 1e-9));
+    }
+
+    #[test]
+    fn area_and_circumference() {
+        let c = Circle::unit();
+        assert!((c.area() - std::f64::consts::PI).abs() < 1e-12);
+        assert!((c.circumference() - std::f64::consts::TAU).abs() < 1e-12);
+    }
+
+    #[test]
+    fn point_at_angle_lies_on_boundary() {
+        let c = Circle::new(Point::new(2.0, -1.0), 3.0);
+        for k in 0..8 {
+            let theta = k as f64 * std::f64::consts::FRAC_PI_4;
+            assert!(c.on_boundary(&c.point_at(theta), 1e-9));
+        }
+    }
+
+    #[test]
+    fn disk_intersection() {
+        let a = Circle::new(Point::new(0.0, 0.0), 1.0);
+        let b = Circle::new(Point::new(1.5, 0.0), 1.0);
+        let c = Circle::new(Point::new(3.0, 0.0), 0.5);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn circumcircle_of_right_triangle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(2.0, 0.0);
+        let c = Point::new(0.0, 2.0);
+        let circ = Circle::circumcircle(&a, &b, &c).unwrap();
+        // Hypotenuse midpoint is the circumcenter of a right triangle.
+        assert!(circ.center.approx_eq(&Point::new(1.0, 1.0), 1e-9));
+        assert!(circ.on_boundary(&a, 1e-9));
+        assert!(circ.on_boundary(&b, 1e-9));
+        assert!(circ.on_boundary(&c, 1e-9));
+    }
+
+    #[test]
+    fn circumcircle_of_collinear_points_is_none() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 1.0);
+        let c = Point::new(2.0, 2.0);
+        assert!(Circle::circumcircle(&a, &b, &c).is_none());
+    }
+
+    #[test]
+    fn diameter_circle_contains_both_points() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(4.0, 0.0);
+        let c = Circle::from_diameter(&a, &b);
+        assert!(c.on_boundary(&a, 1e-9));
+        assert!(c.on_boundary(&b, 1e-9));
+        assert!((c.radius - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,194 @@
+//! Closest pair of points (divide and conquer, O(n log n)).
+//!
+//! Used by the instance-quality checks of the simulation crate (a point set
+//! with coincident sensors has `lmax`-normalization issues) and by tests of
+//! the kd-tree.
+
+use crate::point::Point;
+
+/// Result of a closest-pair query: the indices of the two closest points and
+/// their distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClosestPair {
+    /// Index of the first point (in the input slice).
+    pub i: usize,
+    /// Index of the second point.
+    pub j: usize,
+    /// Euclidean distance between them.
+    pub distance: f64,
+}
+
+/// Computes the closest pair of a point set.
+///
+/// Returns `None` when fewer than two points are supplied.
+pub fn closest_pair(points: &[Point]) -> Option<ClosestPair> {
+    if points.len() < 2 {
+        return None;
+    }
+    let mut idx: Vec<usize> = (0..points.len()).collect();
+    idx.sort_by(|&a, &b| points[a].lex_cmp(&points[b]));
+    let mut by_y = idx.clone();
+    let mut best = ClosestPair {
+        i: idx[0],
+        j: idx[1],
+        distance: f64::INFINITY,
+    };
+    recurse(points, &mut idx, &mut by_y, &mut best);
+    // Normalize order of the reported indices.
+    if best.i > best.j {
+        std::mem::swap(&mut best.i, &mut best.j);
+    }
+    Some(best)
+}
+
+fn recurse(points: &[Point], by_x: &mut [usize], scratch: &mut [usize], best: &mut ClosestPair) {
+    let n = by_x.len();
+    if n <= 3 {
+        for a in 0..n {
+            for b in (a + 1)..n {
+                consider(points, by_x[a], by_x[b], best);
+            }
+        }
+        by_x.sort_by(|&a, &b| points[a].y.total_cmp(&points[b].y));
+        return;
+    }
+    let mid = n / 2;
+    let mid_x = points[by_x[mid]].x;
+    {
+        let (left, right) = by_x.split_at_mut(mid);
+        let (sl, sr) = scratch.split_at_mut(mid);
+        recurse(points, left, sl, best);
+        recurse(points, right, sr, best);
+    }
+    // Merge the two halves by y into scratch, then copy back (so that the
+    // slice is y-sorted for the parent call).
+    merge_by_y(points, by_x, mid, scratch);
+    by_x.copy_from_slice(scratch);
+
+    // Collect points within `best.distance` of the dividing line and scan
+    // each against the next few in y order.
+    let strip: Vec<usize> = by_x
+        .iter()
+        .copied()
+        .filter(|&i| (points[i].x - mid_x).abs() < best.distance)
+        .collect();
+    for a in 0..strip.len() {
+        for b in (a + 1)..strip.len() {
+            if points[strip[b]].y - points[strip[a]].y >= best.distance {
+                break;
+            }
+            consider(points, strip[a], strip[b], best);
+        }
+    }
+}
+
+fn merge_by_y(points: &[Point], by_x: &[usize], mid: usize, out: &mut [usize]) {
+    let (left, right) = by_x.split_at(mid);
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    while i < left.len() && j < right.len() {
+        if points[left[i]].y <= points[right[j]].y {
+            out[k] = left[i];
+            i += 1;
+        } else {
+            out[k] = right[j];
+            j += 1;
+        }
+        k += 1;
+    }
+    while i < left.len() {
+        out[k] = left[i];
+        i += 1;
+        k += 1;
+    }
+    while j < right.len() {
+        out[k] = right[j];
+        j += 1;
+        k += 1;
+    }
+}
+
+fn consider(points: &[Point], i: usize, j: usize, best: &mut ClosestPair) {
+    let d = points[i].distance(&points[j]);
+    if d < best.distance {
+        *best = ClosestPair { i, j, distance: d };
+    }
+}
+
+/// Brute-force closest pair, O(n²).  Exposed for testing and for tiny inputs.
+pub fn closest_pair_brute_force(points: &[Point]) -> Option<ClosestPair> {
+    if points.len() < 2 {
+        return None;
+    }
+    let mut best = ClosestPair {
+        i: 0,
+        j: 1,
+        distance: points[0].distance(&points[1]),
+    };
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let d = points[i].distance(&points[j]);
+            if d < best.distance {
+                best = ClosestPair { i, j, distance: d };
+            }
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_single_return_none() {
+        assert!(closest_pair(&[]).is_none());
+        assert!(closest_pair(&[Point::new(0.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn two_points() {
+        let pts = [Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+        let cp = closest_pair(&pts).unwrap();
+        assert_eq!((cp.i, cp.j), (0, 1));
+        assert!((cp.distance - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn obvious_closest_pair_is_found() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 10.0),
+            Point::new(10.05, 10.0),
+            Point::new(-7.0, 3.0),
+            Point::new(5.0, -8.0),
+        ];
+        let cp = closest_pair(&pts).unwrap();
+        assert_eq!((cp.i, cp.j), (1, 2));
+        assert!((cp.distance - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duplicate_points_have_distance_zero() {
+        let pts = [
+            Point::new(1.0, 1.0),
+            Point::new(5.0, 5.0),
+            Point::new(1.0, 1.0),
+        ];
+        let cp = closest_pair(&pts).unwrap();
+        assert_eq!(cp.distance, 0.0);
+        assert_eq!((cp.i, cp.j), (0, 2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_brute_force(
+            xs in proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 2..80)
+        ) {
+            let pts: Vec<Point> = xs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let fast = closest_pair(&pts).unwrap();
+            let brute = closest_pair_brute_force(&pts).unwrap();
+            prop_assert!((fast.distance - brute.distance).abs() < 1e-9);
+        }
+    }
+}

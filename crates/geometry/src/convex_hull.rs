@@ -1,0 +1,187 @@
+//! Convex hulls (Andrew's monotone chain).
+//!
+//! Used by the workload generators (hull-based extremal configurations) and
+//! by sanity checks on generated point sets.
+
+use crate::point::Point;
+use crate::predicates::cross_of_triple;
+
+/// Computes the convex hull of `points` using Andrew's monotone chain.
+///
+/// Returns the hull vertices in counterclockwise order, without repeating the
+/// first vertex.  Collinear points on the hull boundary are *not* included.
+/// Inputs with fewer than three distinct points return all distinct points in
+/// lexicographic order.
+pub fn convex_hull(points: &[Point]) -> Vec<Point> {
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.sort_by(|a, b| a.lex_cmp(b));
+    pts.dedup_by(|a, b| a.coincident(b));
+    let n = pts.len();
+    if n < 3 {
+        return pts;
+    }
+
+    let mut hull: Vec<Point> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for p in &pts {
+        while hull.len() >= 2
+            && cross_of_triple(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for p in pts.iter().rev() {
+        while hull.len() >= lower_len
+            && cross_of_triple(&hull[hull.len() - 2], &hull[hull.len() - 1], p) <= 0.0
+        {
+            hull.pop();
+        }
+        hull.push(*p);
+    }
+    hull.pop(); // last point equals the first
+    hull
+}
+
+/// Returns `true` when `p` lies inside or on the boundary of the convex hull
+/// given as a counterclockwise vertex list.
+pub fn hull_contains(hull: &[Point], p: &Point, eps: f64) -> bool {
+    if hull.is_empty() {
+        return false;
+    }
+    if hull.len() == 1 {
+        return hull[0].approx_eq(p, eps);
+    }
+    if hull.len() == 2 {
+        return crate::segment::Segment::new(hull[0], hull[1]).contains(p, eps);
+    }
+    for i in 0..hull.len() {
+        let a = &hull[i];
+        let b = &hull[(i + 1) % hull.len()];
+        if cross_of_triple(a, b, p) < -eps {
+            return false;
+        }
+    }
+    true
+}
+
+/// Perimeter of a polygon given as an ordered vertex list.
+pub fn polygon_perimeter(vertices: &[Point]) -> f64 {
+    if vertices.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..vertices.len() {
+        total += vertices[i].distance(&vertices[(i + 1) % vertices.len()]);
+    }
+    total
+}
+
+/// Area of a simple polygon given as an ordered vertex list (shoelace
+/// formula); positive for counterclockwise orientation.
+pub fn polygon_signed_area(vertices: &[Point]) -> f64 {
+    if vertices.len() < 3 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..vertices.len() {
+        let a = &vertices[i];
+        let b = &vertices[(i + 1) % vertices.len()];
+        acc += a.x * b.y - b.x * a.y;
+    }
+    acc * 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.5, 0.5),
+            Point::new(0.25, 0.75),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(polygon_signed_area(&hull) > 0.0);
+        assert!((polygon_signed_area(&hull) - 1.0).abs() < 1e-12);
+        assert!((polygon_perimeter(&hull) - 4.0).abs() < 1e-12);
+        for p in &pts {
+            assert!(hull_contains(&hull, p, 1e-9));
+        }
+        assert!(!hull_contains(&hull, &Point::new(2.0, 2.0), 1e-9));
+    }
+
+    #[test]
+    fn hull_of_collinear_points() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(3.0, 3.0),
+        ];
+        let hull = convex_hull(&pts);
+        // Degenerate hull: only the two extremes survive the turn filter.
+        assert!(hull.len() <= 2 || polygon_signed_area(&hull).abs() < 1e-9);
+        assert!(hull_contains(&convex_hull(&pts[..2]), &Point::new(0.5, 0.5), 1e-9));
+    }
+
+    #[test]
+    fn hull_of_few_points() {
+        assert!(convex_hull(&[]).is_empty());
+        let single = convex_hull(&[Point::new(1.0, 2.0)]);
+        assert_eq!(single.len(), 1);
+        let double = convex_hull(&[Point::new(1.0, 2.0), Point::new(3.0, 4.0)]);
+        assert_eq!(double.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_points_are_deduplicated() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 1.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_hull_contains_all_input_points(
+            xs in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 3..40)
+        ) {
+            let pts: Vec<Point> = xs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let hull = convex_hull(&pts);
+            prop_assume!(hull.len() >= 3);
+            for p in &pts {
+                prop_assert!(hull_contains(&hull, p, 1e-6));
+            }
+        }
+
+        #[test]
+        fn prop_hull_is_convex(
+            xs in proptest::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 3..40)
+        ) {
+            let pts: Vec<Point> = xs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let hull = convex_hull(&pts);
+            prop_assume!(hull.len() >= 3);
+            for i in 0..hull.len() {
+                let a = hull[i];
+                let b = hull[(i + 1) % hull.len()];
+                let c = hull[(i + 2) % hull.len()];
+                prop_assert!(cross_of_triple(&a, &b, &c) > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! A 2-d tree (kd-tree) over points, supporting nearest-neighbour and range
+//! queries.
+//!
+//! The Euclidean MST builder in `antennae-graph` uses the kd-tree to find the
+//! nearest unconnected neighbour of each Prim frontier vertex, and the
+//! simulation crate uses range queries to compute interference metrics
+//! (receivers inside a sector).
+
+use crate::bbox::Aabb;
+use crate::point::Point;
+
+/// A static kd-tree built once over a point set.
+///
+/// Indices returned by queries refer to positions in the original slice the
+/// tree was built from.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    points: Vec<Point>,
+    root: Option<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Index into `points`.
+    point_idx: usize,
+    /// Splitting axis: 0 for x, 1 for y.
+    axis: u8,
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+impl KdTree {
+    /// Builds a kd-tree over `points`.  An empty slice yields an empty tree.
+    pub fn build(points: &[Point]) -> Self {
+        let pts = points.to_vec();
+        let mut idx: Vec<usize> = (0..pts.len()).collect();
+        let mut nodes = Vec::with_capacity(pts.len());
+        let root = Self::build_recursive(&pts, &mut idx[..], 0, &mut nodes);
+        KdTree {
+            nodes,
+            points: pts,
+            root,
+        }
+    }
+
+    fn build_recursive(
+        points: &[Point],
+        idx: &mut [usize],
+        depth: usize,
+        nodes: &mut Vec<Node>,
+    ) -> Option<usize> {
+        if idx.is_empty() {
+            return None;
+        }
+        let axis = (depth % 2) as u8;
+        idx.sort_by(|&a, &b| {
+            if axis == 0 {
+                points[a].x.total_cmp(&points[b].x)
+            } else {
+                points[a].y.total_cmp(&points[b].y)
+            }
+        });
+        let mid = idx.len() / 2;
+        let point_idx = idx[mid];
+        let node_pos = nodes.len();
+        nodes.push(Node {
+            point_idx,
+            axis,
+            left: None,
+            right: None,
+        });
+        let (left_slice, rest) = idx.split_at_mut(mid);
+        let right_slice = &mut rest[1..];
+        let left = Self::build_recursive(points, left_slice, depth + 1, nodes);
+        let right = Self::build_recursive(points, right_slice, depth + 1, nodes);
+        nodes[node_pos].left = left;
+        nodes[node_pos].right = right;
+        Some(node_pos)
+    }
+
+    /// Number of points stored.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the tree stores no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Nearest neighbour of `query` among the stored points, optionally
+    /// skipping indices for which `skip` returns `true` (e.g. the query point
+    /// itself, or points already attached to a growing MST).
+    ///
+    /// Returns `(index, distance)` or `None` when every point is skipped.
+    pub fn nearest_filtered<F: Fn(usize) -> bool>(
+        &self,
+        query: &Point,
+        skip: F,
+    ) -> Option<(usize, f64)> {
+        let root = self.root?;
+        let mut best: Option<(usize, f64)> = None;
+        self.nearest_rec(root, query, &skip, &mut best);
+        best
+    }
+
+    /// Nearest neighbour of `query` (no filtering).
+    pub fn nearest(&self, query: &Point) -> Option<(usize, f64)> {
+        self.nearest_filtered(query, |_| false)
+    }
+
+    fn nearest_rec<F: Fn(usize) -> bool>(
+        &self,
+        node_idx: usize,
+        query: &Point,
+        skip: &F,
+        best: &mut Option<(usize, f64)>,
+    ) {
+        let node = &self.nodes[node_idx];
+        let p = &self.points[node.point_idx];
+        if !skip(node.point_idx) {
+            let d = query.distance(p);
+            if best.is_none_or(|(_, bd)| d < bd) {
+                *best = Some((node.point_idx, d));
+            }
+        }
+        let diff = if node.axis == 0 {
+            query.x - p.x
+        } else {
+            query.y - p.y
+        };
+        let (near, far) = if diff <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.nearest_rec(n, query, skip, best);
+        }
+        let must_check_far = best.is_none_or(|(_, bd)| diff.abs() < bd);
+        if must_check_far {
+            if let Some(f) = far {
+                self.nearest_rec(f, query, skip, best);
+            }
+        }
+    }
+
+    /// All indices of points within `radius` of `query` (closed ball).
+    pub fn within_radius(&self, query: &Point, radius: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        if let Some(root) = self.root {
+            self.radius_rec(root, query, radius, &mut out);
+        }
+        out.sort_unstable();
+        out
+    }
+
+    fn radius_rec(&self, node_idx: usize, query: &Point, radius: f64, out: &mut Vec<usize>) {
+        let node = &self.nodes[node_idx];
+        let p = &self.points[node.point_idx];
+        if query.distance(p) <= radius {
+            out.push(node.point_idx);
+        }
+        let diff = if node.axis == 0 {
+            query.x - p.x
+        } else {
+            query.y - p.y
+        };
+        if diff <= radius {
+            if let Some(l) = node.left {
+                self.radius_rec(l, query, radius, out);
+            }
+        }
+        if -diff <= radius {
+            if let Some(r) = node.right {
+                self.radius_rec(r, query, radius, out);
+            }
+        }
+    }
+
+    /// All indices of points inside the axis-aligned box.
+    pub fn within_box(&self, bbox: &Aabb) -> Vec<usize> {
+        let mut out: Vec<usize> = (0..self.points.len())
+            .filter(|&i| bbox.contains(&self.points[i]))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// The `k` nearest neighbours of `query`, sorted by increasing distance.
+    pub fn k_nearest(&self, query: &Point, k: usize) -> Vec<(usize, f64)> {
+        // Simple approach: keep a sorted vector of the best k.  The tree is
+        // small (thousands of sensors), so this is plenty fast and simpler to
+        // verify than a heap-based pruning search.
+        let mut all: Vec<(usize, f64)> = (0..self.points.len())
+            .map(|i| (i, query.distance(&self.points[i])))
+            .collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1));
+        all.truncate(k);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_points() -> Vec<Point> {
+        vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+            Point::new(-1.0, 3.0),
+            Point::new(4.0, -2.0),
+            Point::new(0.5, 0.4),
+        ]
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t = KdTree::build(&[]);
+        assert!(t.is_empty());
+        assert!(t.nearest(&Point::ORIGIN).is_none());
+        assert!(t.within_radius(&Point::ORIGIN, 10.0).is_empty());
+    }
+
+    #[test]
+    fn nearest_neighbour_simple() {
+        let pts = sample_points();
+        let t = KdTree::build(&pts);
+        let (idx, d) = t.nearest(&Point::new(0.6, 0.5)).unwrap();
+        assert_eq!(idx, 5);
+        assert!(d < 0.2);
+    }
+
+    #[test]
+    fn nearest_with_skip_excludes_self() {
+        let pts = sample_points();
+        let t = KdTree::build(&pts);
+        let (idx, _) = t.nearest_filtered(&pts[0], |i| i == 0).unwrap();
+        assert_eq!(idx, 5); // (0.5, 0.4) is the closest other point
+    }
+
+    #[test]
+    fn within_radius_returns_ball_members() {
+        let pts = sample_points();
+        let t = KdTree::build(&pts);
+        let hits = t.within_radius(&Point::new(0.0, 0.0), 1.5);
+        assert_eq!(hits, vec![0, 1, 5]);
+    }
+
+    #[test]
+    fn within_box_query() {
+        let pts = sample_points();
+        let t = KdTree::build(&pts);
+        let bbox = Aabb::new(Point::new(-0.1, -0.1), Point::new(1.1, 1.1));
+        assert_eq!(t.within_box(&bbox), vec![0, 1, 5]);
+    }
+
+    #[test]
+    fn k_nearest_is_sorted() {
+        let pts = sample_points();
+        let t = KdTree::build(&pts);
+        let knn = t.k_nearest(&Point::new(0.0, 0.0), 3);
+        assert_eq!(knn.len(), 3);
+        assert!(knn.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(knn[0].0, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_nearest_matches_linear_scan(
+            xs in proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 1..60),
+            qx in -50.0..50.0f64, qy in -50.0..50.0f64,
+        ) {
+            let pts: Vec<Point> = xs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let q = Point::new(qx, qy);
+            let t = KdTree::build(&pts);
+            let (idx, d) = t.nearest(&q).unwrap();
+            let best_lin = pts.iter().map(|p| q.distance(p)).fold(f64::INFINITY, f64::min);
+            prop_assert!((d - best_lin).abs() < 1e-9);
+            prop_assert!((q.distance(&pts[idx]) - d).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_radius_query_matches_linear_scan(
+            xs in proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 1..60),
+            qx in -50.0..50.0f64, qy in -50.0..50.0f64,
+            r in 0.0..100.0f64,
+        ) {
+            let pts: Vec<Point> = xs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let q = Point::new(qx, qy);
+            let t = KdTree::build(&pts);
+            let mut expected: Vec<usize> = (0..pts.len()).filter(|&i| q.distance(&pts[i]) <= r).collect();
+            expected.sort_unstable();
+            prop_assert_eq!(t.within_radius(&q, r), expected);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Rays: half-lines from an origin in a given direction.
+//!
+//! The paper's constructions constantly talk about "the ray `~up`" (from a
+//! sensor `u` towards its parent `p`) and sectors bounded by two such rays.
+
+use crate::angle::Angle;
+use crate::point::Point;
+use crate::vector::Vector;
+use serde::{Deserialize, Serialize};
+
+/// A ray (half-line) rooted at `origin`, pointing in `direction`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Ray {
+    /// Apex of the ray.
+    pub origin: Point,
+    /// Direction of the ray.
+    pub direction: Angle,
+}
+
+impl Ray {
+    /// Creates a ray from an origin and a direction.
+    pub fn new(origin: Point, direction: Angle) -> Self {
+        Ray { origin, direction }
+    }
+
+    /// Creates the ray from `origin` through `target`.
+    ///
+    /// If the two points coincide the direction defaults to [`Angle::ZERO`].
+    pub fn towards(origin: Point, target: Point) -> Self {
+        Ray::new(origin, Angle::of_ray(&origin, &target))
+    }
+
+    /// The point at parameter `t ≥ 0` along the ray.
+    pub fn at(&self, t: f64) -> Point {
+        self.origin + Vector::from_angle(self.direction) * t
+    }
+
+    /// Perpendicular distance from `p` to the ray (distance to the nearest
+    /// point of the half-line, which may be the origin).
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        let d = Vector::from_angle(self.direction);
+        let v = self.origin.vector_to(p);
+        let t = v.dot(&d);
+        if t <= 0.0 {
+            self.origin.distance(p)
+        } else {
+            self.at(t).distance(p)
+        }
+    }
+
+    /// Returns `true` when `p` lies (approximately) on the ray, within
+    /// distance `eps`.
+    pub fn contains(&self, p: &Point, eps: f64) -> bool {
+        self.distance_to_point(p) <= eps
+    }
+
+    /// Counterclockwise angle from this ray to `other` (both must share the
+    /// same origin for the result to be geometrically meaningful; only the
+    /// directions are compared).
+    pub fn ccw_angle_to(&self, other: &Ray) -> Angle {
+        self.direction.ccw_to(&other.direction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PI;
+
+    #[test]
+    fn point_along_ray() {
+        let r = Ray::new(Point::new(1.0, 1.0), Angle::from_degrees(90.0));
+        let p = r.at(2.0);
+        assert!(p.approx_eq(&Point::new(1.0, 3.0), 1e-12));
+    }
+
+    #[test]
+    fn towards_builds_correct_direction() {
+        let r = Ray::towards(Point::new(0.0, 0.0), Point::new(-1.0, 0.0));
+        assert!((r.direction.radians() - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_to_point_behind_origin_uses_origin() {
+        let r = Ray::new(Point::ORIGIN, Angle::ZERO);
+        // Point behind the ray (negative x): closest point is the origin.
+        let p = Point::new(-3.0, 4.0);
+        assert!((r.distance_to_point(&p) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_to_point_beside_ray_is_perpendicular() {
+        let r = Ray::new(Point::ORIGIN, Angle::ZERO);
+        let p = Point::new(5.0, 2.0);
+        assert!((r.distance_to_point(&p) - 2.0).abs() < 1e-12);
+        assert!(r.contains(&Point::new(7.0, 0.0), 1e-9));
+        assert!(!r.contains(&p, 1e-9));
+    }
+
+    #[test]
+    fn ccw_angle_between_rays() {
+        let a = Ray::new(Point::ORIGIN, Angle::from_degrees(10.0));
+        let b = Ray::new(Point::ORIGIN, Angle::from_degrees(100.0));
+        assert!((a.ccw_angle_to(&b).degrees() - 90.0).abs() < 1e-9);
+        assert!((b.ccw_angle_to(&a).degrees() - 270.0).abs() < 1e-9);
+    }
+}

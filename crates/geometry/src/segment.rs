@@ -1,0 +1,155 @@
+//! Line segments.
+
+use crate::point::Point;
+use crate::predicates::{orientation, Orientation};
+use crate::vector::Vector;
+use serde::{Deserialize, Serialize};
+
+/// A closed line segment between two endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// First endpoint.
+    pub a: Point,
+    /// Second endpoint.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment between `a` and `b`.
+    pub const fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment.
+    pub fn length(&self) -> f64 {
+        self.a.distance(&self.b)
+    }
+
+    /// Squared length of the segment.
+    pub fn length_squared(&self) -> f64 {
+        self.a.distance_squared(&self.b)
+    }
+
+    /// Midpoint of the segment.
+    pub fn midpoint(&self) -> Point {
+        self.a.midpoint(&self.b)
+    }
+
+    /// Point at parameter `t ∈ [0, 1]` along the segment.
+    pub fn at(&self, t: f64) -> Point {
+        self.a.lerp(&self.b, t)
+    }
+
+    /// Distance from `p` to the closest point of the segment.
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        self.closest_point(p).distance(p)
+    }
+
+    /// The point of the segment closest to `p`.
+    pub fn closest_point(&self, p: &Point) -> Point {
+        let ab: Vector = self.b - self.a;
+        let denom = ab.norm_squared();
+        if denom <= f64::EPSILON {
+            return self.a;
+        }
+        let t = ((*p - self.a).dot(&ab) / denom).clamp(0.0, 1.0);
+        self.at(t)
+    }
+
+    /// Returns `true` when `p` lies on the segment within distance `eps`.
+    pub fn contains(&self, p: &Point, eps: f64) -> bool {
+        self.distance_to_point(p) <= eps
+    }
+
+    /// Returns `true` when this segment properly or improperly intersects
+    /// `other` (shared endpoints count as intersections).
+    pub fn intersects(&self, other: &Segment) -> bool {
+        let o1 = orientation(&self.a, &self.b, &other.a);
+        let o2 = orientation(&self.a, &self.b, &other.b);
+        let o3 = orientation(&other.a, &other.b, &self.a);
+        let o4 = orientation(&other.a, &other.b, &self.b);
+
+        if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear
+            && o3 != Orientation::Collinear && o4 != Orientation::Collinear
+        {
+            return true;
+        }
+        // Collinear special cases: check bounding-box overlap of the
+        // collinear endpoint on the other segment.
+        let on = |s: &Segment, p: &Point| {
+            p.x <= s.a.x.max(s.b.x) + 1e-12
+                && p.x >= s.a.x.min(s.b.x) - 1e-12
+                && p.y <= s.a.y.max(s.b.y) + 1e-12
+                && p.y >= s.a.y.min(s.b.y) - 1e-12
+        };
+        (o1 == Orientation::Collinear && on(self, &other.a))
+            || (o2 == Orientation::Collinear && on(self, &other.b))
+            || (o3 == Orientation::Collinear && on(other, &self.a))
+            || (o4 == Orientation::Collinear && on(other, &self.b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_and_midpoint() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        assert!((s.length() - 5.0).abs() < 1e-12);
+        assert!((s.length_squared() - 25.0).abs() < 1e-12);
+        assert!(s.midpoint().approx_eq(&Point::new(1.5, 2.0), 1e-12));
+    }
+
+    #[test]
+    fn closest_point_interior_and_endpoints() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert!(s.closest_point(&Point::new(5.0, 3.0)).approx_eq(&Point::new(5.0, 0.0), 1e-12));
+        assert!(s.closest_point(&Point::new(-5.0, 3.0)).approx_eq(&Point::new(0.0, 0.0), 1e-12));
+        assert!(s.closest_point(&Point::new(15.0, -3.0)).approx_eq(&Point::new(10.0, 0.0), 1e-12));
+        assert!((s.distance_to_point(&Point::new(5.0, 3.0)) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_segment_closest_point_is_endpoint() {
+        let s = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+        assert!(s.closest_point(&Point::new(4.0, 5.0)).approx_eq(&Point::new(1.0, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn crossing_segments_intersect() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        let s2 = Segment::new(Point::new(0.0, 2.0), Point::new(2.0, 0.0));
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn parallel_segments_do_not_intersect() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        let s2 = Segment::new(Point::new(0.0, 1.0), Point::new(2.0, 1.0));
+        assert!(!s1.intersects(&s2));
+    }
+
+    #[test]
+    fn shared_endpoint_counts_as_intersection() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 0.0));
+        let s2 = Segment::new(Point::new(2.0, 0.0), Point::new(3.0, 5.0));
+        assert!(s1.intersects(&s2));
+    }
+
+    #[test]
+    fn collinear_overlapping_segments_intersect() {
+        let s1 = Segment::new(Point::new(0.0, 0.0), Point::new(4.0, 0.0));
+        let s2 = Segment::new(Point::new(2.0, 0.0), Point::new(6.0, 0.0));
+        assert!(s1.intersects(&s2));
+        let s3 = Segment::new(Point::new(5.0, 0.0), Point::new(6.0, 0.0));
+        assert!(!s1.intersects(&s3));
+    }
+
+    #[test]
+    fn contains_points_on_segment() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        assert!(s.contains(&Point::new(1.0, 1.0), 1e-9));
+        assert!(!s.contains(&Point::new(1.0, 1.5), 1e-9));
+    }
+}

@@ -1,0 +1,183 @@
+//! Rigid and similarity transforms of the plane.
+//!
+//! The orientation algorithms are invariant under translation, rotation and
+//! uniform scaling of the input point set (the paper normalizes everything by
+//! `lmax`); the property-test suites use [`Transform`] to assert exactly
+//! that.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// A similarity transform: uniform scale, then rotation, then translation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Transform {
+    /// Uniform scale factor (must be positive for an orientation-preserving
+    /// similarity).
+    pub scale: f64,
+    /// Rotation in radians (counterclockwise).
+    pub rotation: f64,
+    /// Translation applied after scaling and rotating.
+    pub translation: (f64, f64),
+}
+
+impl Transform {
+    /// The identity transform.
+    pub fn identity() -> Self {
+        Transform {
+            scale: 1.0,
+            rotation: 0.0,
+            translation: (0.0, 0.0),
+        }
+    }
+
+    /// Pure translation.
+    pub fn translation(dx: f64, dy: f64) -> Self {
+        Transform {
+            scale: 1.0,
+            rotation: 0.0,
+            translation: (dx, dy),
+        }
+    }
+
+    /// Pure rotation around the origin.
+    pub fn rotation(theta: f64) -> Self {
+        Transform {
+            scale: 1.0,
+            rotation: theta,
+            translation: (0.0, 0.0),
+        }
+    }
+
+    /// Pure uniform scaling around the origin.
+    pub fn scaling(s: f64) -> Self {
+        Transform {
+            scale: s,
+            rotation: 0.0,
+            translation: (0.0, 0.0),
+        }
+    }
+
+    /// General similarity transform.
+    pub fn similarity(scale: f64, rotation: f64, dx: f64, dy: f64) -> Self {
+        Transform {
+            scale,
+            rotation,
+            translation: (dx, dy),
+        }
+    }
+
+    /// Applies the transform to a point.
+    pub fn apply(&self, p: &Point) -> Point {
+        let (s, c) = self.rotation.sin_cos();
+        let x = self.scale * (p.x * c - p.y * s) + self.translation.0;
+        let y = self.scale * (p.x * s + p.y * c) + self.translation.1;
+        Point::new(x, y)
+    }
+
+    /// Applies the transform to every point of a slice.
+    pub fn apply_all(&self, points: &[Point]) -> Vec<Point> {
+        points.iter().map(|p| self.apply(p)).collect()
+    }
+
+    /// Composition: `self.then(other)` applies `self` first, then `other`.
+    pub fn then(&self, other: &Transform) -> Transform {
+        // other(self(p)) = other.scale * R(other.rot) * (self.scale * R(self.rot) p + self.t) + other.t
+        let (s, c) = other.rotation.sin_cos();
+        let tx = other.scale * (self.translation.0 * c - self.translation.1 * s) + other.translation.0;
+        let ty = other.scale * (self.translation.0 * s + self.translation.1 * c) + other.translation.1;
+        Transform {
+            scale: self.scale * other.scale,
+            rotation: self.rotation + other.rotation,
+            translation: (tx, ty),
+        }
+    }
+
+    /// Inverse transform (requires a non-zero scale).
+    pub fn inverse(&self) -> Transform {
+        let inv_scale = 1.0 / self.scale;
+        let (s, c) = (-self.rotation).sin_cos();
+        let tx = -inv_scale * (self.translation.0 * c - self.translation.1 * s);
+        let ty = -inv_scale * (self.translation.0 * s + self.translation.1 * c);
+        Transform {
+            scale: inv_scale,
+            rotation: -self.rotation,
+            translation: (tx, ty),
+        }
+    }
+}
+
+impl Default for Transform {
+    fn default() -> Self {
+        Transform::identity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_leaves_points_unchanged() {
+        let p = Point::new(3.0, -2.0);
+        assert!(Transform::identity().apply(&p).approx_eq(&p, 1e-12));
+    }
+
+    #[test]
+    fn translation_moves_points() {
+        let t = Transform::translation(1.0, 2.0);
+        assert!(t.apply(&Point::new(0.0, 0.0)).approx_eq(&Point::new(1.0, 2.0), 1e-12));
+    }
+
+    #[test]
+    fn rotation_by_quarter_turn() {
+        let t = Transform::rotation(std::f64::consts::FRAC_PI_2);
+        assert!(t.apply(&Point::new(1.0, 0.0)).approx_eq(&Point::new(0.0, 1.0), 1e-12));
+    }
+
+    #[test]
+    fn scaling_scales_distances() {
+        let t = Transform::scaling(3.0);
+        let a = t.apply(&Point::new(1.0, 0.0));
+        let b = t.apply(&Point::new(0.0, 1.0));
+        assert!((a.distance(&b) - 3.0 * 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_applies_in_order() {
+        let first = Transform::rotation(std::f64::consts::FRAC_PI_2);
+        let second = Transform::translation(1.0, 0.0);
+        let both = first.then(&second);
+        let p = Point::new(1.0, 0.0);
+        let expected = second.apply(&first.apply(&p));
+        assert!(both.apply(&p).approx_eq(&expected, 1e-12));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_inverse_round_trips(
+            px in -100.0..100.0f64, py in -100.0..100.0f64,
+            scale in 0.1..10.0f64, rot in 0.0..std::f64::consts::TAU,
+            dx in -100.0..100.0f64, dy in -100.0..100.0f64,
+        ) {
+            let t = Transform::similarity(scale, rot, dx, dy);
+            let p = Point::new(px, py);
+            let q = t.inverse().apply(&t.apply(&p));
+            prop_assert!(q.approx_eq(&p, 1e-6));
+        }
+
+        #[test]
+        fn prop_similarity_scales_distances_uniformly(
+            ax in -100.0..100.0f64, ay in -100.0..100.0f64,
+            bx in -100.0..100.0f64, by in -100.0..100.0f64,
+            scale in 0.1..10.0f64, rot in 0.0..std::f64::consts::TAU,
+        ) {
+            let t = Transform::similarity(scale, rot, 5.0, -3.0);
+            let a = Point::new(ax, ay);
+            let b = Point::new(bx, by);
+            let before = a.distance(&b);
+            let after = t.apply(&a).distance(&t.apply(&b));
+            prop_assert!((after - scale * before).abs() < 1e-6 * (1.0 + after));
+        }
+    }
+}

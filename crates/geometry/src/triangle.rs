@@ -1,0 +1,128 @@
+//! Triangles.
+//!
+//! Fact 1 of the paper states that for two adjacent MST neighbours `u`, `w`
+//! of a vertex `v`, the triangle `△uvw` is empty of other input points; the
+//! verification harness uses [`Triangle::contains`] to check this fact
+//! empirically on generated instances.
+
+use crate::point::Point;
+use crate::predicates::{orientation, Orientation};
+use serde::{Deserialize, Serialize};
+
+/// A triangle defined by three vertices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Triangle {
+    /// First vertex.
+    pub a: Point,
+    /// Second vertex.
+    pub b: Point,
+    /// Third vertex.
+    pub c: Point,
+}
+
+impl Triangle {
+    /// Creates a triangle.
+    pub const fn new(a: Point, b: Point, c: Point) -> Self {
+        Triangle { a, b, c }
+    }
+
+    /// Signed area (positive when the vertices are in counterclockwise
+    /// order).
+    pub fn signed_area(&self) -> f64 {
+        0.5 * ((self.b.x - self.a.x) * (self.c.y - self.a.y)
+            - (self.c.x - self.a.x) * (self.b.y - self.a.y))
+    }
+
+    /// Unsigned area.
+    pub fn area(&self) -> f64 {
+        self.signed_area().abs()
+    }
+
+    /// Returns `true` when the triangle is degenerate (its vertices are
+    /// collinear within `eps` of area).
+    pub fn is_degenerate(&self, eps: f64) -> bool {
+        self.area() <= eps
+    }
+
+    /// Perimeter of the triangle.
+    pub fn perimeter(&self) -> f64 {
+        self.a.distance(&self.b) + self.b.distance(&self.c) + self.c.distance(&self.a)
+    }
+
+    /// Returns `true` when `p` lies inside the closed triangle.
+    ///
+    /// Points on edges and vertices count as contained.  `strict` excludes
+    /// the boundary.
+    pub fn contains(&self, p: &Point, strict: bool) -> bool {
+        let o1 = orientation(&self.a, &self.b, p);
+        let o2 = orientation(&self.b, &self.c, p);
+        let o3 = orientation(&self.c, &self.a, p);
+        let has_cw = [o1, o2, o3].contains(&Orientation::Clockwise);
+        let has_ccw = [o1, o2, o3].contains(&Orientation::CounterClockwise);
+        let inside_or_boundary = !(has_cw && has_ccw);
+        if !strict {
+            return inside_or_boundary;
+        }
+        inside_or_boundary && [o1, o2, o3].iter().all(|&o| o != Orientation::Collinear)
+    }
+
+    /// Centroid of the triangle.
+    pub fn centroid(&self) -> Point {
+        Point::new(
+            (self.a.x + self.b.x + self.c.x) / 3.0,
+            (self.a.y + self.b.y + self.c.y) / 3.0,
+        )
+    }
+
+    /// Longest edge length.
+    pub fn longest_edge(&self) -> f64 {
+        self.a
+            .distance(&self.b)
+            .max(self.b.distance(&self.c))
+            .max(self.c.distance(&self.a))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_right_triangle() -> Triangle {
+        Triangle::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0))
+    }
+
+    #[test]
+    fn area_of_unit_right_triangle() {
+        let t = unit_right_triangle();
+        assert!((t.area() - 0.5).abs() < 1e-12);
+        assert!(t.signed_area() > 0.0);
+        // Reversed orientation flips the sign.
+        let r = Triangle::new(t.a, t.c, t.b);
+        assert!(r.signed_area() < 0.0);
+    }
+
+    #[test]
+    fn containment_interior_boundary_exterior() {
+        let t = unit_right_triangle();
+        assert!(t.contains(&Point::new(0.25, 0.25), false));
+        assert!(t.contains(&Point::new(0.25, 0.25), true));
+        assert!(t.contains(&Point::new(0.5, 0.0), false)); // on edge
+        assert!(!t.contains(&Point::new(0.5, 0.0), true)); // strict excludes edge
+        assert!(!t.contains(&Point::new(1.0, 1.0), false));
+    }
+
+    #[test]
+    fn degenerate_triangle_detection() {
+        let t = Triangle::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0));
+        assert!(t.is_degenerate(1e-12));
+        assert!(!unit_right_triangle().is_degenerate(1e-12));
+    }
+
+    #[test]
+    fn centroid_and_perimeter() {
+        let t = unit_right_triangle();
+        assert!(t.centroid().approx_eq(&Point::new(1.0 / 3.0, 1.0 / 3.0), 1e-12));
+        assert!((t.perimeter() - (2.0 + 2.0_f64.sqrt())).abs() < 1e-12);
+        assert!((t.longest_edge() - 2.0_f64.sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,249 @@
+//! Planar displacement vectors.
+
+use crate::angle::Angle;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A displacement vector in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vector {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+}
+
+impl Vector {
+    /// The zero vector.
+    pub const ZERO: Vector = Vector { x: 0.0, y: 0.0 };
+    /// Unit vector along the positive x axis.
+    pub const UNIT_X: Vector = Vector { x: 1.0, y: 0.0 };
+    /// Unit vector along the positive y axis.
+    pub const UNIT_Y: Vector = Vector { x: 0.0, y: 1.0 };
+
+    /// Creates a vector from components.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vector { x, y }
+    }
+
+    /// Unit vector pointing in direction `angle` (counterclockwise from the
+    /// positive x axis).
+    #[inline]
+    pub fn from_angle(angle: Angle) -> Self {
+        let (s, c) = angle.radians().sin_cos();
+        Vector::new(c, s)
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm_squared().sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_squared(&self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(&self, other: &Vector) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2D cross product (z component of the 3D cross product).  Positive when
+    /// `other` is counterclockwise from `self`.
+    #[inline]
+    pub fn cross(&self, other: &Vector) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// Returns the normalized vector, or `None` when the norm is (close to)
+    /// zero.
+    pub fn normalized(&self) -> Option<Vector> {
+        let n = self.norm();
+        if n <= f64::EPSILON {
+            None
+        } else {
+            Some(Vector::new(self.x / n, self.y / n))
+        }
+    }
+
+    /// Direction of the vector as an [`Angle`] in `[0, 2π)`.
+    ///
+    /// The zero vector maps to angle 0 by convention.
+    #[inline]
+    pub fn direction(&self) -> Angle {
+        Angle::from_radians(self.y.atan2(self.x))
+    }
+
+    /// The vector rotated counterclockwise by `theta` radians.
+    pub fn rotated(&self, theta: f64) -> Vector {
+        let (s, c) = theta.sin_cos();
+        Vector::new(self.x * c - self.y * s, self.x * s + self.y * c)
+    }
+
+    /// Perpendicular vector (rotated +90°).
+    #[inline]
+    pub fn perp(&self) -> Vector {
+        Vector::new(-self.y, self.x)
+    }
+
+    /// Unsigned angle between two vectors in `[0, π]`.
+    pub fn angle_between(&self, other: &Vector) -> f64 {
+        let denom = self.norm() * other.norm();
+        if denom <= f64::EPSILON {
+            return 0.0;
+        }
+        (self.dot(other) / denom).clamp(-1.0, 1.0).acos()
+    }
+
+    /// Scalar projection of `self` onto `other`.
+    pub fn scalar_projection(&self, other: &Vector) -> f64 {
+        let n = other.norm();
+        if n <= f64::EPSILON {
+            0.0
+        } else {
+            self.dot(other) / n
+        }
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.6}, {:.6}>", self.x, self.y)
+    }
+}
+
+impl Add for Vector {
+    type Output = Vector;
+    fn add(self, o: Vector) -> Vector {
+        Vector::new(self.x + o.x, self.y + o.y)
+    }
+}
+
+impl Sub for Vector {
+    type Output = Vector;
+    fn sub(self, o: Vector) -> Vector {
+        Vector::new(self.x - o.x, self.y - o.y)
+    }
+}
+
+impl Neg for Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        Vector::new(-self.x, -self.y)
+    }
+}
+
+impl Mul<f64> for Vector {
+    type Output = Vector;
+    fn mul(self, s: f64) -> Vector {
+        Vector::new(self.x * s, self.y * s)
+    }
+}
+
+impl Div<f64> for Vector {
+    type Output = Vector;
+    fn div(self, s: f64) -> Vector {
+        Vector::new(self.x / s, self.y / s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PI;
+    use proptest::prelude::*;
+
+    #[test]
+    fn norm_and_dot() {
+        let v = Vector::new(3.0, 4.0);
+        assert!((v.norm() - 5.0).abs() < 1e-12);
+        assert!((v.dot(&v) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_sign_indicates_orientation() {
+        let x = Vector::UNIT_X;
+        let y = Vector::UNIT_Y;
+        assert!(x.cross(&y) > 0.0);
+        assert!(y.cross(&x) < 0.0);
+        assert_eq!(x.cross(&x), 0.0);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vector::new(0.0, 2.0);
+        let n = v.normalized().unwrap();
+        assert!((n.norm() - 1.0).abs() < 1e-12);
+        assert!(Vector::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn direction_of_axes() {
+        assert!((Vector::UNIT_X.direction().radians() - 0.0).abs() < 1e-12);
+        assert!((Vector::UNIT_Y.direction().radians() - PI / 2.0).abs() < 1e-12);
+        let neg_x = Vector::new(-1.0, 0.0);
+        assert!((neg_x.direction().radians() - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_by_right_angle_equals_perp() {
+        let v = Vector::new(2.0, 1.0);
+        let r = v.rotated(PI / 2.0);
+        let p = v.perp();
+        assert!((r.x - p.x).abs() < 1e-12 && (r.y - p.y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_between_is_symmetric() {
+        let a = Vector::new(1.0, 0.0);
+        let b = Vector::new(1.0, 1.0);
+        assert!((a.angle_between(&b) - PI / 4.0).abs() < 1e-12);
+        assert!((b.angle_between(&a) - PI / 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_angle_round_trips() {
+        for deg in [0.0_f64, 30.0, 90.0, 123.0, 250.0, 359.0] {
+            let a = Angle::from_degrees(deg);
+            let v = Vector::from_angle(a);
+            assert!((v.direction().radians() - a.radians()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scalar_projection_on_axis() {
+        let v = Vector::new(3.0, 4.0);
+        assert!((v.scalar_projection(&Vector::UNIT_X) - 3.0).abs() < 1e-12);
+        assert!((v.scalar_projection(&Vector::UNIT_Y) - 4.0).abs() < 1e-12);
+        assert_eq!(v.scalar_projection(&Vector::ZERO), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rotation_preserves_norm(x in -1e3..1e3f64, y in -1e3..1e3f64,
+                                        theta in 0.0..std::f64::consts::TAU) {
+            let v = Vector::new(x, y);
+            prop_assert!((v.rotated(theta).norm() - v.norm()).abs() < 1e-6 * (1.0 + v.norm()));
+        }
+
+        #[test]
+        fn prop_cauchy_schwarz(ax in -1e3..1e3f64, ay in -1e3..1e3f64,
+                               bx in -1e3..1e3f64, by in -1e3..1e3f64) {
+            let a = Vector::new(ax, ay);
+            let b = Vector::new(bx, by);
+            prop_assert!(a.dot(&b).abs() <= a.norm() * b.norm() + 1e-6);
+        }
+
+        #[test]
+        fn prop_perp_is_orthogonal(x in -1e3..1e3f64, y in -1e3..1e3f64) {
+            let v = Vector::new(x, y);
+            prop_assert!(v.dot(&v.perp()).abs() < 1e-9 * (1.0 + v.norm_squared()));
+        }
+    }
+}

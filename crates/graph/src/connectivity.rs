@@ -1,0 +1,189 @@
+//! Strong c-connectivity (fault tolerance) of directed graphs.
+//!
+//! The paper's conclusion poses as an open problem "ensuring that for a given
+//! integer `c` the resulting network is strongly c-connected, i.e., it
+//! remains strongly connected after the deletion of any `c − 1` nodes".  This
+//! module provides the measurement side of that question: exact (exhaustive)
+//! checks of strong c-connectivity for the small `c` values of interest
+//! (`c ≤ 3`), used by the EXP-CC experiment to quantify how fault tolerant
+//! the paper's orientations actually are.
+
+use crate::digraph::DiGraph;
+use crate::scc::is_strongly_connected;
+
+/// Returns the digraph obtained by deleting the given vertices (edges
+/// incident to them disappear; the remaining vertices are re-indexed in
+/// increasing order of their original index).
+pub fn remove_vertices(g: &DiGraph, removed: &[usize]) -> DiGraph {
+    let n = g.len();
+    let mut keep = vec![true; n];
+    for &r in removed {
+        if r < n {
+            keep[r] = false;
+        }
+    }
+    // Map old indices to new ones.
+    let mut new_index = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for v in 0..n {
+        if keep[v] {
+            new_index[v] = next;
+            next += 1;
+        }
+    }
+    let mut out = DiGraph::new(next);
+    for u in 0..n {
+        if !keep[u] {
+            continue;
+        }
+        for &v in g.out_neighbors(u) {
+            if keep[v] {
+                out.add_edge(new_index[u], new_index[v]);
+            }
+        }
+    }
+    out
+}
+
+/// Returns `true` when `g` remains strongly connected after deleting **any**
+/// set of at most `c − 1` vertices (i.e. `g` is strongly `c`-connected).
+///
+/// The check is exhaustive over all subsets of size `c − 1`; it is intended
+/// for the small `c` (1, 2, 3) the experiments use.  A graph with `n ≤ c`
+/// vertices is considered strongly `c`-connected iff it is strongly
+/// connected (the removal would leave at most one vertex).
+pub fn is_strongly_c_connected(g: &DiGraph, c: usize) -> bool {
+    if c == 0 {
+        return true;
+    }
+    if !is_strongly_connected(g) {
+        return false;
+    }
+    let n = g.len();
+    let faults = c - 1;
+    if faults == 0 || n <= c {
+        return true;
+    }
+    let mut subset: Vec<usize> = Vec::with_capacity(faults);
+    subsets_survive(g, 0, faults, &mut subset)
+}
+
+fn subsets_survive(g: &DiGraph, start: usize, remaining: usize, subset: &mut Vec<usize>) -> bool {
+    if remaining == 0 {
+        return is_strongly_connected(&remove_vertices(g, subset));
+    }
+    for v in start..g.len() {
+        subset.push(v);
+        let ok = subsets_survive(g, v + 1, remaining - 1, subset);
+        subset.pop();
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// The strong vertex connectivity of `g`, capped at `cap`: the smallest
+/// number of vertices whose removal leaves a digraph that is not strongly
+/// connected, or `cap` if every removal of fewer than `cap` vertices keeps it
+/// strongly connected.  Returns 0 for a digraph that is not strongly
+/// connected to begin with.
+pub fn strong_vertex_connectivity(g: &DiGraph, cap: usize) -> usize {
+    if !is_strongly_connected(g) {
+        return 0;
+    }
+    for c in 2..=cap {
+        if !is_strongly_c_connected(g, c) {
+            return c - 1;
+        }
+    }
+    cap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn directed_cycle(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    fn bidirectional_complete(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for u in 0..n {
+            for v in 0..n {
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn remove_vertices_reindexes_consistently() {
+        let g = directed_cycle(5);
+        let reduced = remove_vertices(&g, &[2]);
+        assert_eq!(reduced.len(), 4);
+        // The cycle is broken: 1 (old) can no longer reach 3 (old).
+        assert!(!is_strongly_connected(&reduced));
+        // Removing nothing is the identity up to re-indexing.
+        let same = remove_vertices(&g, &[]);
+        assert_eq!(same.len(), 5);
+        assert!(is_strongly_connected(&same));
+    }
+
+    #[test]
+    fn a_simple_cycle_is_exactly_strongly_1_connected() {
+        let g = directed_cycle(6);
+        assert!(is_strongly_c_connected(&g, 1));
+        assert!(!is_strongly_c_connected(&g, 2));
+        assert_eq!(strong_vertex_connectivity(&g, 4), 1);
+    }
+
+    #[test]
+    fn complete_digraph_is_highly_connected() {
+        let g = bidirectional_complete(6);
+        assert!(is_strongly_c_connected(&g, 1));
+        assert!(is_strongly_c_connected(&g, 2));
+        assert!(is_strongly_c_connected(&g, 3));
+        assert_eq!(strong_vertex_connectivity(&g, 4), 4);
+    }
+
+    #[test]
+    fn disconnected_graph_has_zero_connectivity() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        assert!(!is_strongly_c_connected(&g, 1));
+        assert_eq!(strong_vertex_connectivity(&g, 3), 0);
+    }
+
+    #[test]
+    fn two_cycles_sharing_one_vertex_have_a_cut_vertex() {
+        // Vertex 0 is shared by two directed triangles; removing it
+        // disconnects them.
+        let mut g = DiGraph::new(5);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(0, 3);
+        g.add_edge(3, 4);
+        g.add_edge(4, 0);
+        assert!(is_strongly_c_connected(&g, 1));
+        assert!(!is_strongly_c_connected(&g, 2));
+        assert_eq!(strong_vertex_connectivity(&g, 3), 1);
+    }
+
+    #[test]
+    fn tiny_graphs_and_c_zero() {
+        assert!(is_strongly_c_connected(&DiGraph::new(1), 3));
+        assert!(is_strongly_c_connected(&DiGraph::new(0), 2));
+        let g = directed_cycle(2);
+        assert!(is_strongly_c_connected(&g, 2)); // n ≤ c
+        assert!(is_strongly_c_connected(&g, 0));
+    }
+}

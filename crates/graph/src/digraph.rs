@@ -1,0 +1,262 @@
+//! Directed graphs over vertices `0..n`.
+//!
+//! The communication graph induced by an antenna orientation is directed: a
+//! sensor `u` reaches `v` when `v` lies inside one of `u`'s sectors, but not
+//! necessarily vice versa.  [`DiGraph`] stores such graphs and answers the
+//! reachability / strong-connectivity queries the verification layer needs.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// A directed graph stored as out- and in-adjacency lists.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DiGraph {
+    out_adj: Vec<Vec<usize>>,
+    in_adj: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+impl DiGraph {
+    /// Creates a digraph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Returns `true` when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.out_adj.is_empty()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds the directed edge `u → v` (duplicates are ignored).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.len() && v < self.len(), "edge endpoint out of range");
+        if u == v || self.out_adj[u].contains(&v) {
+            return;
+        }
+        self.out_adj[u].push(v);
+        self.in_adj[v].push(u);
+        self.edge_count += 1;
+    }
+
+    /// Returns `true` when the edge `u → v` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.out_adj[u].contains(&v)
+    }
+
+    /// Out-neighbours of `u`.
+    pub fn out_neighbors(&self, u: usize) -> &[usize] {
+        &self.out_adj[u]
+    }
+
+    /// In-neighbours of `u`.
+    pub fn in_neighbors(&self, u: usize) -> &[usize] {
+        &self.in_adj[u]
+    }
+
+    /// Out-degree of `u`.
+    pub fn out_degree(&self, u: usize) -> usize {
+        self.out_adj[u].len()
+    }
+
+    /// In-degree of `u`.
+    pub fn in_degree(&self, u: usize) -> usize {
+        self.in_adj[u].len()
+    }
+
+    /// Maximum out-degree over all vertices.
+    pub fn max_out_degree(&self) -> usize {
+        (0..self.len()).map(|u| self.out_degree(u)).max().unwrap_or(0)
+    }
+
+    /// All directed edges as `(u, v)` pairs.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.edge_count);
+        for u in 0..self.len() {
+            for &v in &self.out_adj[u] {
+                out.push((u, v));
+            }
+        }
+        out
+    }
+
+    /// The set of vertices reachable from `start` (including `start`),
+    /// as a boolean membership vector.
+    pub fn reachable_from(&self, start: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        if start >= self.len() {
+            return seen;
+        }
+        let mut queue = VecDeque::new();
+        seen[start] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.out_adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Number of vertices reachable from `start` (including itself).
+    pub fn reachable_count(&self, start: usize) -> usize {
+        self.reachable_from(start).iter().filter(|&&b| b).count()
+    }
+
+    /// The reverse digraph (every edge flipped).
+    pub fn reversed(&self) -> DiGraph {
+        let mut rev = DiGraph::new(self.len());
+        for u in 0..self.len() {
+            for &v in &self.out_adj[u] {
+                rev.add_edge(v, u);
+            }
+        }
+        rev
+    }
+
+    /// Returns `true` when the digraph is strongly connected.
+    ///
+    /// The empty digraph and the single-vertex digraph are considered
+    /// strongly connected.  This check runs two BFS passes (forward and on
+    /// the reverse graph); for SCC decompositions see [`crate::scc`].
+    pub fn is_strongly_connected(&self) -> bool {
+        let n = self.len();
+        if n <= 1 {
+            return true;
+        }
+        if self.reachable_count(0) != n {
+            return false;
+        }
+        self.reversed().reachable_count(0) == n
+    }
+
+    /// BFS hop distances from `start` (`None` where unreachable).
+    pub fn hop_distances(&self, start: usize) -> Vec<Option<usize>> {
+        let mut dist = vec![None; self.len()];
+        if start >= self.len() {
+            return dist;
+        }
+        let mut queue = VecDeque::new();
+        dist[start] = Some(0);
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.out_adj[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(dist[u].unwrap() + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> DiGraph {
+        let mut g = DiGraph::new(n);
+        for i in 0..n {
+            g.add_edge(i, (i + 1) % n);
+        }
+        g
+    }
+
+    #[test]
+    fn add_edge_and_queries() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 1); // duplicate ignored
+        g.add_edge(2, 2); // self loop ignored
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.out_degree(0), 1);
+        assert_eq!(g.in_degree(2), 1);
+        assert_eq!(g.out_neighbors(1), &[2]);
+        assert_eq!(g.in_neighbors(1), &[0]);
+        assert_eq!(g.max_out_degree(), 1);
+    }
+
+    #[test]
+    fn directed_cycle_is_strongly_connected() {
+        assert!(cycle(5).is_strongly_connected());
+    }
+
+    #[test]
+    fn path_is_not_strongly_connected() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert!(!g.is_strongly_connected());
+    }
+
+    #[test]
+    fn trivial_graphs_are_strongly_connected() {
+        assert!(DiGraph::new(0).is_strongly_connected());
+        assert!(DiGraph::new(1).is_strongly_connected());
+        assert!(!DiGraph::new(2).is_strongly_connected());
+    }
+
+    #[test]
+    fn reachability_and_hops() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        // vertex 3 unreachable
+        let reach = g.reachable_from(0);
+        assert_eq!(reach, vec![true, true, true, false]);
+        assert_eq!(g.reachable_count(0), 3);
+        let d = g.hop_distances(0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), None]);
+    }
+
+    #[test]
+    fn reversed_flips_edges() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        let r = g.reversed();
+        assert!(r.has_edge(1, 0));
+        assert!(r.has_edge(2, 1));
+        assert!(!r.has_edge(0, 1));
+        assert_eq!(r.edge_count(), 2);
+    }
+
+    #[test]
+    fn edges_listing() {
+        let g = cycle(3);
+        let mut e = g.edges();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    #[test]
+    fn strongly_connected_after_adding_back_edge() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert!(!g.is_strongly_connected());
+        g.add_edge(3, 0);
+        assert!(g.is_strongly_connected());
+    }
+}

@@ -1,0 +1,438 @@
+//! Euclidean minimum spanning trees with maximum degree 5.
+//!
+//! The paper's constructions all operate on "an arbitrary minimum weight
+//! spanning tree (MST) induced when edges between any two points are weighted
+//! by their corresponding Euclidean distance", and use the well-known fact
+//! that **an MST of maximum degree 5 always exists**.  In exact arithmetic,
+//! any Euclidean MST already has maximum degree ≤ 6, and degree 6 only occurs
+//! when six neighbours sit at exactly 60° from each other at identical
+//! distances; a local exchange (replace one of the two tied star edges by the
+//! equally long edge between the two neighbours) removes the tie without
+//! increasing the weight.  [`EuclideanMst::build`] performs a dense Prim pass
+//! with deterministic tie-breaking followed by that repair pass, and the
+//! test-suite checks the degree bound on adversarial inputs (hexagonal
+//! lattices) as well as random ones.
+
+use crate::graph::{Edge, Graph};
+use antennae_geometry::angular::{circular_gaps, sort_ccw};
+use antennae_geometry::Point;
+use serde::{Deserialize, Serialize};
+
+/// Maximum vertex degree the orientation algorithms assume (`Δ(T) ≤ 5`).
+pub const MAX_MST_DEGREE: usize = 5;
+
+/// Errors that can occur while building a Euclidean MST.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EmstError {
+    /// The input point set was empty.
+    EmptyPointSet,
+    /// The degree-repair pass failed to reduce the maximum degree to 5.
+    ///
+    /// This cannot happen for point sets in general position; it is reported
+    /// rather than panicking so that degenerate inputs fail loudly.
+    DegreeRepairFailed {
+        /// The maximum degree that remained after the repair pass.
+        remaining_max_degree: usize,
+    },
+}
+
+impl std::fmt::Display for EmstError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EmstError::EmptyPointSet => write!(f, "cannot build an MST over an empty point set"),
+            EmstError::DegreeRepairFailed {
+                remaining_max_degree,
+            } => write!(
+                f,
+                "failed to reduce the MST maximum degree to {MAX_MST_DEGREE} (still {remaining_max_degree})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EmstError {}
+
+/// A Euclidean MST over a point set, with maximum degree at most 5.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EuclideanMst {
+    points: Vec<Point>,
+    tree: Graph,
+    lmax: f64,
+}
+
+impl EuclideanMst {
+    /// Builds the Euclidean MST of `points` and repairs it to maximum degree
+    /// 5.
+    ///
+    /// Runs in O(n²) time and O(n) additional memory (dense Prim), which
+    /// comfortably handles the tens of thousands of sensors used in the
+    /// benchmark harness.
+    pub fn build(points: &[Point]) -> Result<Self, EmstError> {
+        if points.is_empty() {
+            return Err(EmstError::EmptyPointSet);
+        }
+        let n = points.len();
+        let mut tree = Graph::new(n);
+        if n > 1 {
+            for e in dense_prim(points) {
+                tree.add_edge(e.u, e.v, e.weight);
+            }
+            repair_degree(points, &mut tree);
+        }
+        let max_degree = tree.max_degree();
+        if max_degree > MAX_MST_DEGREE {
+            return Err(EmstError::DegreeRepairFailed {
+                remaining_max_degree: max_degree,
+            });
+        }
+        let lmax = tree.max_edge_weight();
+        Ok(EuclideanMst {
+            points: points.to_vec(),
+            tree,
+            lmax,
+        })
+    }
+
+    /// The underlying point set (indices of the tree refer to this slice).
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The tree as an undirected weighted graph.
+    pub fn tree(&self) -> &Graph {
+        &self.tree
+    }
+
+    /// Number of sensors.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the MST has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The longest edge of the MST (`lmax`), the paper's lower bound on the
+    /// antenna range needed for connectivity.  Zero for a single point.
+    pub fn lmax(&self) -> f64 {
+        self.lmax
+    }
+
+    /// Total weight of the tree.
+    pub fn total_weight(&self) -> f64 {
+        self.tree.total_weight()
+    }
+
+    /// Degree of vertex `v` in the tree.
+    pub fn degree(&self, v: usize) -> usize {
+        self.tree.degree(v)
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        self.tree.max_degree()
+    }
+
+    /// Neighbours of `v` in the tree (with edge lengths).
+    pub fn neighbors(&self, v: usize) -> &[(usize, f64)] {
+        self.tree.neighbors(v)
+    }
+
+    /// Edges of the tree.
+    pub fn edges(&self) -> Vec<Edge> {
+        self.tree.edges()
+    }
+
+    /// Indices of the degree-one vertices (leaves).  Every tree with ≥ 2
+    /// vertices has at least two.
+    pub fn leaves(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&v| self.degree(v) == 1).collect()
+    }
+
+    /// The minimum interior angle (radians) between two tree edges sharing a
+    /// vertex, over all such pairs — Fact 1(1) of the paper states that this
+    /// is at least π/3 for a true MST.  Returns `None` when no vertex has two
+    /// or more neighbours.
+    pub fn min_adjacent_edge_angle(&self) -> Option<f64> {
+        let mut min_angle: Option<f64> = None;
+        for v in 0..self.len() {
+            let neighbors: Vec<Point> = self
+                .neighbors(v)
+                .iter()
+                .map(|&(u, _)| self.points[u])
+                .collect();
+            if neighbors.len() < 2 {
+                continue;
+            }
+            let sorted = sort_ccw(&self.points[v], &neighbors);
+            let gaps = circular_gaps(&sorted);
+            // Adjacent-edge angles are the circular gaps; exclude the single
+            // "wrap-around" gap only when there are exactly 2 neighbours
+            // (both gaps are genuine angles then as well, so keep all).
+            for g in gaps {
+                if min_angle.is_none_or(|m| g < m) {
+                    min_angle = Some(g);
+                }
+            }
+        }
+        min_angle
+    }
+}
+
+/// Dense Prim over the complete Euclidean graph: O(n²) time, O(n) memory.
+///
+/// Ties between equal candidate distances are broken by preferring the
+/// lexicographically smaller `(target, source)` pair, which keeps the tree
+/// deterministic and helps avoid the degree-6 tie configurations.
+fn dense_prim(points: &[Point]) -> Vec<Edge> {
+    let n = points.len();
+    let mut in_tree = vec![false; n];
+    // best_dist[v] = squared distance from v to the tree, best_from[v] = the
+    // tree vertex realising it.
+    let mut best_dist = vec![f64::INFINITY; n];
+    let mut best_from = vec![0usize; n];
+    let mut edges = Vec::with_capacity(n - 1);
+
+    in_tree[0] = true;
+    for v in 1..n {
+        best_dist[v] = points[0].distance_squared(&points[v]);
+        best_from[v] = 0;
+    }
+    for _ in 1..n {
+        // Pick the unvisited vertex closest to the tree.
+        let mut pick = usize::MAX;
+        for v in 0..n {
+            if in_tree[v] {
+                continue;
+            }
+            if pick == usize::MAX
+                || best_dist[v] < best_dist[pick]
+                || (best_dist[v] == best_dist[pick] && v < pick)
+            {
+                pick = v;
+            }
+        }
+        let from = best_from[pick];
+        edges.push(Edge::new(from, pick, points[from].distance(&points[pick])));
+        in_tree[pick] = true;
+        // Relax the remaining vertices.
+        for v in 0..n {
+            if in_tree[v] {
+                continue;
+            }
+            let d = points[pick].distance_squared(&points[v]);
+            if d < best_dist[v] || (d == best_dist[v] && pick < best_from[v]) {
+                best_dist[v] = d;
+                best_from[v] = pick;
+            }
+        }
+    }
+    edges
+}
+
+/// Local exchange pass that reduces vertices of degree > 5 (which can only
+/// arise from exact 60° / equal-length ties) without increasing the tree
+/// weight by more than floating-point noise.
+fn repair_degree(points: &[Point], tree: &mut Graph) {
+    let n = points.len();
+    // A generous iteration cap: each exchange strictly reduces the number of
+    // (vertex, excess-degree) units, but guard against pathological floating
+    // point behaviour anyway.
+    let mut budget = 4 * n + 16;
+    loop {
+        let Some(v) = (0..n).find(|&v| tree.degree(v) > MAX_MST_DEGREE) else {
+            return;
+        };
+        if budget == 0 {
+            return;
+        }
+        budget -= 1;
+        // Sort v's neighbours counterclockwise and find the angularly closest
+        // adjacent pair.
+        let neighbor_ids: Vec<usize> = tree.neighbors(v).iter().map(|&(u, _)| u).collect();
+        let neighbor_pts: Vec<Point> = neighbor_ids.iter().map(|&u| points[u]).collect();
+        let sorted = sort_ccw(&points[v], &neighbor_pts);
+        let gaps = circular_gaps(&sorted);
+        let d = sorted.len();
+        let (closest_pair_idx, _) = gaps
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("degree > 5 vertex has neighbours");
+        let a = neighbor_ids[sorted[closest_pair_idx].index];
+        let b = neighbor_ids[sorted[(closest_pair_idx + 1) % d].index];
+        // Replace the longer of (v,a),(v,b) by (a,b).
+        let da = points[v].distance(&points[a]);
+        let db = points[v].distance(&points[b]);
+        let drop_endpoint = if da >= db { a } else { b };
+        tree.remove_edge(v, drop_endpoint);
+        tree.add_edge(a, b, points[a].distance(&points[b]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mst::kruskal_mst;
+    use antennae_geometry::PI;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..100.0), rng.random_range(0.0..100.0)))
+            .collect()
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        match EuclideanMst::build(&[]) {
+            Err(EmstError::EmptyPointSet) => {}
+            other => panic!("expected EmptyPointSet error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_point_tree() {
+        let mst = EuclideanMst::build(&[Point::new(1.0, 2.0)]).unwrap();
+        assert_eq!(mst.len(), 1);
+        assert_eq!(mst.lmax(), 0.0);
+        assert!(mst.edges().is_empty());
+        assert_eq!(mst.max_degree(), 0);
+    }
+
+    #[test]
+    fn two_points_single_edge() {
+        let mst = EuclideanMst::build(&[Point::new(0.0, 0.0), Point::new(3.0, 4.0)]).unwrap();
+        assert_eq!(mst.edges().len(), 1);
+        assert!((mst.lmax() - 5.0).abs() < 1e-12);
+        assert_eq!(mst.leaves(), vec![0, 1]);
+    }
+
+    #[test]
+    fn collinear_points_form_a_path() {
+        let pts: Vec<Point> = (0..6).map(|i| Point::new(i as f64, 0.0)).collect();
+        let mst = EuclideanMst::build(&pts).unwrap();
+        assert_eq!(mst.edges().len(), 5);
+        assert!((mst.total_weight() - 5.0).abs() < 1e-12);
+        assert!((mst.lmax() - 1.0).abs() < 1e-12);
+        assert_eq!(mst.max_degree(), 2);
+        assert_eq!(mst.leaves().len(), 2);
+    }
+
+    #[test]
+    fn matches_kruskal_on_random_points() {
+        for seed in 0..5 {
+            let pts = random_points(60, seed);
+            let mst = EuclideanMst::build(&pts).unwrap();
+            let complete = Graph::complete(pts.len(), |u, v| pts[u].distance(&pts[v]));
+            let reference = kruskal_mst(&complete);
+            assert!(
+                (mst.total_weight() - reference.total_weight).abs() < 1e-6,
+                "seed {seed}: {} vs {}",
+                mst.total_weight(),
+                reference.total_weight
+            );
+        }
+    }
+
+    #[test]
+    fn max_degree_is_at_most_five_on_random_points() {
+        for seed in 0..10 {
+            let pts = random_points(200, seed);
+            let mst = EuclideanMst::build(&pts).unwrap();
+            assert!(mst.max_degree() <= MAX_MST_DEGREE);
+        }
+    }
+
+    #[test]
+    fn hexagonal_star_is_repaired_to_degree_five() {
+        // A centre with 6 neighbours at exactly 60° and equal distance: the
+        // adversarial tie configuration that produces degree 6.
+        let mut pts = vec![Point::new(0.0, 0.0)];
+        for k in 0..6 {
+            let theta = k as f64 * PI / 3.0;
+            pts.push(Point::new(theta.cos(), theta.sin()));
+        }
+        let mst = EuclideanMst::build(&pts).unwrap();
+        assert!(mst.max_degree() <= MAX_MST_DEGREE);
+        // The repair must preserve the spanning property and the weight.
+        assert_eq!(mst.edges().len(), pts.len() - 1);
+        assert!((mst.total_weight() - 6.0).abs() < 1e-9);
+        assert!((mst.lmax() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hexagonal_lattice_is_repaired() {
+        // Several rings of a triangular lattice: many exact ties at once.
+        let mut pts = Vec::new();
+        for i in -3i32..=3 {
+            for j in -3i32..=3 {
+                let x = i as f64 + 0.5 * j as f64;
+                let y = j as f64 * (3.0f64).sqrt() / 2.0;
+                pts.push(Point::new(x, y));
+            }
+        }
+        let mst = EuclideanMst::build(&pts).unwrap();
+        assert!(mst.max_degree() <= MAX_MST_DEGREE);
+        assert_eq!(mst.edges().len(), pts.len() - 1);
+    }
+
+    #[test]
+    fn duplicate_points_are_connected_with_zero_length_edges() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+        ];
+        let mst = EuclideanMst::build(&pts).unwrap();
+        assert_eq!(mst.edges().len(), 2);
+        assert!((mst.total_weight() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fact1_minimum_adjacent_angle_at_least_sixty_degrees() {
+        // Fact 1(1): adjacent MST edges form an angle of at least π/3.  We
+        // allow a tiny tolerance for floating point and for the repair pass.
+        for seed in 20..26 {
+            let pts = random_points(150, seed);
+            let mst = EuclideanMst::build(&pts).unwrap();
+            if let Some(min_angle) = mst.min_adjacent_edge_angle() {
+                assert!(
+                    min_angle >= PI / 3.0 - 1e-6,
+                    "seed {seed}: min adjacent angle {min_angle} < π/3"
+                );
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_spanning_tree_with_degree_bound(
+            xs in proptest::collection::vec((0.0..50.0f64, 0.0..50.0f64), 1..80)
+        ) {
+            let pts: Vec<Point> = xs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let mst = EuclideanMst::build(&pts).unwrap();
+            prop_assert_eq!(mst.edges().len(), pts.len() - 1);
+            prop_assert!(mst.max_degree() <= MAX_MST_DEGREE);
+            // lmax is indeed the maximum edge weight.
+            let lmax = mst.edges().iter().map(|e| e.weight).fold(0.0, f64::max);
+            prop_assert!((mst.lmax() - lmax).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_weight_matches_kruskal(
+            xs in proptest::collection::vec((0.0..50.0f64, 0.0..50.0f64), 2..40)
+        ) {
+            let pts: Vec<Point> = xs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let mst = EuclideanMst::build(&pts).unwrap();
+            let complete = Graph::complete(pts.len(), |u, v| pts[u].distance(&pts[v]));
+            let reference = kruskal_mst(&complete);
+            prop_assert!((mst.total_weight() - reference.total_weight).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Borůvka's MST algorithm.
+
+use super::MstResult;
+use crate::graph::{Edge, Graph};
+use crate::union_find::UnionFind;
+
+/// Computes a minimum spanning forest of `g` with Borůvka's algorithm.
+///
+/// Each phase attaches, for every current component, its cheapest outgoing
+/// edge (ties broken by endpoint indices for determinism).
+pub fn boruvka_mst(g: &Graph) -> MstResult {
+    let n = g.len();
+    let mut uf = UnionFind::new(n);
+    let mut chosen: Vec<Edge> = Vec::new();
+    let all_edges = g.edges();
+    if n == 0 || all_edges.is_empty() {
+        return MstResult::from_edges(chosen);
+    }
+
+    loop {
+        // cheapest[c] = best outgoing edge for the component rooted at c.
+        let mut cheapest: Vec<Option<Edge>> = vec![None; n];
+        let mut any = false;
+        for e in &all_edges {
+            let ru = uf.find(e.u);
+            let rv = uf.find(e.v);
+            if ru == rv {
+                continue;
+            }
+            any = true;
+            for root in [ru, rv] {
+                let better = match &cheapest[root] {
+                    None => true,
+                    Some(current) => {
+                        e.weight.total_cmp(&current.weight).then(e.u.cmp(&current.u)).then(e.v.cmp(&current.v))
+                            == std::cmp::Ordering::Less
+                    }
+                };
+                if better {
+                    cheapest[root] = Some(*e);
+                }
+            }
+        }
+        if !any {
+            break;
+        }
+        let mut progressed = false;
+        for candidate in cheapest.iter().take(n) {
+            if let Some(e) = *candidate {
+                if uf.union(e.u, e.v) {
+                    chosen.push(e);
+                    progressed = true;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    MstResult::from_edges(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_triangle() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 2.0);
+        let mst = boruvka_mst(&g);
+        assert!((mst.total_weight - 3.0).abs() < 1e-12);
+        assert!(mst.spans(3));
+    }
+
+    #[test]
+    fn handles_equal_weights_without_cycles() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 0, 1.0);
+        g.add_edge(0, 2, 1.0);
+        let mst = boruvka_mst(&g);
+        assert_eq!(mst.edges.len(), 3);
+        assert!((mst.total_weight - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new(0);
+        assert!(boruvka_mst(&g).edges.is_empty());
+    }
+}

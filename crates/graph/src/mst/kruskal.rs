@@ -1,0 +1,61 @@
+//! Kruskal's MST algorithm.
+
+use super::MstResult;
+use crate::graph::Graph;
+use crate::union_find::UnionFind;
+
+/// Computes a minimum spanning forest of `g` with Kruskal's algorithm.
+///
+/// Ties are broken deterministically by `(weight, u, v)` so repeated runs on
+/// the same graph produce the same tree.
+pub fn kruskal_mst(g: &Graph) -> MstResult {
+    let mut edges = g.edges();
+    edges.sort_by(|a, b| {
+        a.weight
+            .total_cmp(&b.weight)
+            .then(a.u.cmp(&b.u))
+            .then(a.v.cmp(&b.v))
+    });
+    let mut uf = UnionFind::new(g.len());
+    let mut chosen = Vec::with_capacity(g.len().saturating_sub(1));
+    for e in edges {
+        if uf.union(e.u, e.v) {
+            chosen.push(e);
+            if chosen.len() + 1 == g.len() {
+                break;
+            }
+        }
+    }
+    MstResult::from_edges(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_cheapest_spanning_edges() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 2.0);
+        let mst = kruskal_mst(&g);
+        assert_eq!(mst.edges.len(), 2);
+        assert!((mst.total_weight - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_under_ties() {
+        let mut g = Graph::new(4);
+        // A 4-cycle with all equal weights: two different MSTs exist; the
+        // deterministic tie-break must always pick the same one.
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 0, 1.0);
+        let a = kruskal_mst(&g);
+        let b = kruskal_mst(&g);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.edges.len(), 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Prim's MST algorithm (binary-heap based).
+
+use super::MstResult;
+use crate::graph::{Edge, Graph};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A heap entry ordered by weight (then endpoints, for determinism).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEdge {
+    weight: f64,
+    from: usize,
+    to: usize,
+}
+
+impl Eq for HeapEdge {}
+
+impl PartialOrd for HeapEdge {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEdge {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.weight
+            .total_cmp(&other.weight)
+            .then(self.from.cmp(&other.from))
+            .then(self.to.cmp(&other.to))
+    }
+}
+
+/// Computes a minimum spanning forest of `g` with Prim's algorithm, starting
+/// a new tree from every yet-unvisited vertex (so disconnected graphs yield a
+/// forest).
+pub fn prim_mst(g: &Graph) -> MstResult {
+    let n = g.len();
+    let mut in_tree = vec![false; n];
+    let mut chosen: Vec<Edge> = Vec::with_capacity(n.saturating_sub(1));
+
+    for start in 0..n {
+        if in_tree[start] {
+            continue;
+        }
+        in_tree[start] = true;
+        let mut heap: BinaryHeap<Reverse<HeapEdge>> = BinaryHeap::new();
+        for &(v, w) in g.neighbors(start) {
+            heap.push(Reverse(HeapEdge {
+                weight: w,
+                from: start,
+                to: v,
+            }));
+        }
+        while let Some(Reverse(e)) = heap.pop() {
+            if in_tree[e.to] {
+                continue;
+            }
+            in_tree[e.to] = true;
+            chosen.push(Edge::new(e.from, e.to, e.weight));
+            for &(v, w) in g.neighbors(e.to) {
+                if !in_tree[v] {
+                    heap.push(Reverse(HeapEdge {
+                        weight: w,
+                        from: e.to,
+                        to: v,
+                    }));
+                }
+            }
+        }
+    }
+    MstResult::from_edges(chosen)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_triangle() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(0, 2, 2.0);
+        let mst = prim_mst(&g);
+        assert!((mst.total_weight - 3.0).abs() < 1e-12);
+        assert!(mst.spans(3));
+    }
+
+    #[test]
+    fn forest_on_disconnected_input() {
+        let mut g = Graph::new(5);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 4, 2.0);
+        let mst = prim_mst(&g);
+        assert_eq!(mst.edges.len(), 3);
+        assert!(!mst.spans(5));
+    }
+
+    #[test]
+    fn heap_edge_ordering_is_by_weight() {
+        let a = HeapEdge { weight: 1.0, from: 5, to: 6 };
+        let b = HeapEdge { weight: 2.0, from: 0, to: 1 };
+        assert!(a < b);
+    }
+}

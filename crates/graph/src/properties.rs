@@ -1,0 +1,150 @@
+//! Structural statistics of graphs and digraphs, used by the experiment
+//! drivers to report the "shape" of generated instances (degree
+//! distributions, MST edge-length statistics, out-degree histograms of the
+//! induced communication graphs).
+
+use crate::digraph::DiGraph;
+use crate::graph::Graph;
+use serde::{Deserialize, Serialize};
+
+/// Degree histogram of an undirected graph: `histogram[d]` counts vertices of
+/// degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let max_deg = g.max_degree();
+    let mut hist = vec![0usize; max_deg + 1];
+    for v in 0..g.len() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Out-degree histogram of a directed graph.
+pub fn out_degree_histogram(g: &DiGraph) -> Vec<usize> {
+    let max_deg = g.max_out_degree();
+    let mut hist = vec![0usize; max_deg + 1];
+    for v in 0..g.len() {
+        hist[g.out_degree(v)] += 1;
+    }
+    hist
+}
+
+/// Summary statistics of a set of edge lengths / weights.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeightStats {
+    /// Number of edges considered.
+    pub count: usize,
+    /// Minimum weight (0 when empty).
+    pub min: f64,
+    /// Maximum weight (0 when empty).
+    pub max: f64,
+    /// Mean weight (0 when empty).
+    pub mean: f64,
+    /// Population standard deviation (0 when empty).
+    pub std_dev: f64,
+}
+
+/// Computes weight statistics over all edges of `g`.
+pub fn edge_weight_stats(g: &Graph) -> WeightStats {
+    let weights: Vec<f64> = g.edges().iter().map(|e| e.weight).collect();
+    weight_stats(&weights)
+}
+
+/// Computes summary statistics of an arbitrary weight slice.
+pub fn weight_stats(weights: &[f64]) -> WeightStats {
+    if weights.is_empty() {
+        return WeightStats {
+            count: 0,
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            std_dev: 0.0,
+        };
+    }
+    let count = weights.len();
+    let min = weights.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = weights.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = weights.iter().sum::<f64>() / count as f64;
+    let var = weights.iter().map(|w| (w - mean).powi(2)).sum::<f64>() / count as f64;
+    WeightStats {
+        count,
+        min,
+        max,
+        mean,
+        std_dev: var.sqrt(),
+    }
+}
+
+/// Density of a directed graph: edges divided by the maximum possible
+/// `n·(n−1)`.  Zero for graphs with fewer than two vertices.
+pub fn digraph_density(g: &DiGraph) -> f64 {
+    let n = g.len();
+    if n < 2 {
+        return 0.0;
+    }
+    g.edge_count() as f64 / (n * (n - 1)) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_histogram_of_star() {
+        let mut g = Graph::new(5);
+        for leaf in 1..5 {
+            g.add_edge(0, leaf, 1.0);
+        }
+        let hist = degree_histogram(&g);
+        assert_eq!(hist, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn out_degree_histogram_of_cycle() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        assert_eq!(out_degree_histogram(&g), vec![0, 3]);
+    }
+
+    #[test]
+    fn weight_stats_of_known_values() {
+        let stats = weight_stats(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(stats.count, 4);
+        assert_eq!(stats.min, 1.0);
+        assert_eq!(stats.max, 4.0);
+        assert!((stats.mean - 2.5).abs() < 1e-12);
+        assert!((stats.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_stats_empty() {
+        let stats = weight_stats(&[]);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.mean, 0.0);
+    }
+
+    #[test]
+    fn edge_weight_stats_matches_manual() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 2, 4.0);
+        let stats = edge_weight_stats(&g);
+        assert_eq!(stats.count, 2);
+        assert!((stats.mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_of_complete_digraph_is_one() {
+        let mut g = DiGraph::new(3);
+        for u in 0..3 {
+            for v in 0..3 {
+                if u != v {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        assert!((digraph_density(&g) - 1.0).abs() < 1e-12);
+        assert_eq!(digraph_density(&DiGraph::new(1)), 0.0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Strongly connected components.
+//!
+//! Two independent implementations are provided — Tarjan's single-pass
+//! algorithm (iterative, used in production paths) and Kosaraju's two-pass
+//! algorithm (simpler, used as a cross-check in tests and kept public for
+//! callers that want the components in reverse topological order of the
+//! condensation).
+
+use crate::digraph::DiGraph;
+
+/// Computes the strongly connected components of `g` using an iterative
+/// version of Tarjan's algorithm.
+///
+/// Returns the list of components; each component is a sorted list of vertex
+/// indices.  Components are emitted in reverse topological order of the
+/// condensation (i.e. a component is emitted only after every component it
+/// can reach).
+pub fn tarjan_scc(g: &DiGraph) -> Vec<Vec<usize>> {
+    let n = g.len();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut components: Vec<Vec<usize>> = Vec::new();
+
+    // Explicit DFS stack of (vertex, next-child-position).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != usize::MAX {
+            continue;
+        }
+        call_stack.push((start, 0));
+        while let Some(&mut (v, ref mut child_pos)) = call_stack.last_mut() {
+            if *child_pos == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            let out = g.out_neighbors(v);
+            if *child_pos < out.len() {
+                let w = out[*child_pos];
+                *child_pos += 1;
+                if index[w] == usize::MAX {
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                // Finished v.
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.sort_unstable();
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// Computes the strongly connected components of `g` using Kosaraju's
+/// algorithm.  Returned components are sorted internally; the component order
+/// follows the finishing order of the first DFS pass.
+pub fn kosaraju_scc(g: &DiGraph) -> Vec<Vec<usize>> {
+    let n = g.len();
+    // First pass: order vertices by DFS finish time (iteratively).
+    let mut visited = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let mut stack = vec![(start, 0usize)];
+        visited[start] = true;
+        while let Some(&mut (v, ref mut pos)) = stack.last_mut() {
+            let out = g.out_neighbors(v);
+            if *pos < out.len() {
+                let w = out[*pos];
+                *pos += 1;
+                if !visited[w] {
+                    visited[w] = true;
+                    stack.push((w, 0));
+                }
+            } else {
+                order.push(v);
+                stack.pop();
+            }
+        }
+    }
+    // Second pass: DFS on the reverse graph in reverse finishing order.
+    let rev = g.reversed();
+    let mut assigned = vec![false; n];
+    let mut components = Vec::new();
+    for &start in order.iter().rev() {
+        if assigned[start] {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut stack = vec![start];
+        assigned[start] = true;
+        while let Some(v) = stack.pop() {
+            component.push(v);
+            for &w in rev.out_neighbors(v) {
+                if !assigned[w] {
+                    assigned[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+/// Number of strongly connected components of `g`.
+pub fn scc_count(g: &DiGraph) -> usize {
+    tarjan_scc(g).len()
+}
+
+/// Returns `true` when the digraph consists of a single strongly connected
+/// component covering every vertex (trivially true for 0 or 1 vertices).
+pub fn is_strongly_connected(g: &DiGraph) -> bool {
+    g.len() <= 1 || scc_count(g) == 1
+}
+
+/// Size of the largest strongly connected component (0 for an empty graph).
+pub fn largest_scc_size(g: &DiGraph) -> usize {
+    tarjan_scc(g).iter().map(|c| c.len()).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn normalize(mut sccs: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+        sccs.sort();
+        sccs
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let mut g = DiGraph::new(4);
+        for i in 0..4 {
+            g.add_edge(i, (i + 1) % 4);
+        }
+        assert_eq!(tarjan_scc(&g).len(), 1);
+        assert_eq!(kosaraju_scc(&g).len(), 1);
+        assert!(is_strongly_connected(&g));
+        assert_eq!(largest_scc_size(&g), 4);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        assert_eq!(scc_count(&g), 4);
+        assert!(!is_strongly_connected(&g));
+        assert_eq!(largest_scc_size(&g), 1);
+    }
+
+    #[test]
+    fn two_cycles_connected_by_one_edge() {
+        let mut g = DiGraph::new(6);
+        // Cycle A: 0-1-2, Cycle B: 3-4-5, bridge 2 -> 3.
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
+        g.add_edge(5, 3);
+        g.add_edge(2, 3);
+        let sccs = normalize(tarjan_scc(&g));
+        assert_eq!(sccs, vec![vec![0, 1, 2], vec![3, 4, 5]]);
+        assert_eq!(normalize(kosaraju_scc(&g)), sccs);
+    }
+
+    #[test]
+    fn tarjan_emits_reverse_topological_order() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        let sccs = tarjan_scc(&g);
+        // Sink component {3} must come first, source {0} last.
+        assert_eq!(sccs.first().unwrap(), &vec![3]);
+        assert_eq!(sccs.last().unwrap(), &vec![0]);
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        assert_eq!(scc_count(&DiGraph::new(0)), 0);
+        assert!(is_strongly_connected(&DiGraph::new(0)));
+        assert_eq!(scc_count(&DiGraph::new(1)), 1);
+        assert!(is_strongly_connected(&DiGraph::new(1)));
+        assert_eq!(scc_count(&DiGraph::new(3)), 3);
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        // The iterative implementations must handle long paths.
+        let n = 200_000;
+        let mut g = DiGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1);
+        }
+        assert_eq!(scc_count(&g), n);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn prop_tarjan_matches_kosaraju(n in 1usize..30, edges in proptest::collection::vec((0usize..30, 0usize..30), 0..120)) {
+            let mut g = DiGraph::new(n);
+            for (u, v) in edges {
+                if u < n && v < n && u != v {
+                    g.add_edge(u, v);
+                }
+            }
+            prop_assert_eq!(normalize(tarjan_scc(&g)), normalize(kosaraju_scc(&g)));
+        }
+
+        #[test]
+        fn prop_scc_agrees_with_digraph_check(n in 1usize..20, edges in proptest::collection::vec((0usize..20, 0usize..20), 0..80)) {
+            let mut g = DiGraph::new(n);
+            for (u, v) in edges {
+                if u < n && v < n && u != v {
+                    g.add_edge(u, v);
+                }
+            }
+            prop_assert_eq!(is_strongly_connected(&g), g.is_strongly_connected());
+        }
+    }
+}

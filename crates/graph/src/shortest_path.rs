@@ -1,0 +1,178 @@
+//! Shortest paths on weighted undirected graphs and directed graphs.
+
+use crate::digraph::DiGraph;
+use crate::graph::Graph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A heap entry for Dijkstra ordered by tentative distance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct State {
+    dist: f64,
+    vertex: usize,
+}
+
+impl Eq for State {}
+
+impl PartialOrd for State {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for State {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.dist
+            .total_cmp(&other.dist)
+            .then(self.vertex.cmp(&other.vertex))
+    }
+}
+
+/// Dijkstra single-source shortest paths on an undirected weighted graph.
+///
+/// Returns the distance to every vertex (`None` where unreachable).
+/// Panics if a negative edge weight is encountered.
+pub fn dijkstra(g: &Graph, source: usize) -> Vec<Option<f64>> {
+    let n = g.len();
+    let mut dist: Vec<Option<f64>> = vec![None; n];
+    if source >= n {
+        return dist;
+    }
+    let mut heap = BinaryHeap::new();
+    dist[source] = Some(0.0);
+    heap.push(Reverse(State {
+        dist: 0.0,
+        vertex: source,
+    }));
+    while let Some(Reverse(State { dist: d, vertex: u })) = heap.pop() {
+        if dist[u].is_some_and(|best| d > best + 1e-15) {
+            continue;
+        }
+        for &(v, w) in g.neighbors(u) {
+            assert!(w >= 0.0, "Dijkstra requires non-negative edge weights");
+            let candidate = d + w;
+            if dist[v].is_none_or(|best| candidate < best) {
+                dist[v] = Some(candidate);
+                heap.push(Reverse(State {
+                    dist: candidate,
+                    vertex: v,
+                }));
+            }
+        }
+    }
+    dist
+}
+
+/// Graph-distance diameter of a connected undirected graph: the largest
+/// shortest-path distance over all vertex pairs.  Returns `None` when the
+/// graph is disconnected or empty.
+pub fn weighted_diameter(g: &Graph) -> Option<f64> {
+    if g.is_empty() {
+        return None;
+    }
+    let mut best = 0.0f64;
+    for source in 0..g.len() {
+        let dist = dijkstra(g, source);
+        for d in &dist {
+            match d {
+                None => return None,
+                Some(x) => best = best.max(*x),
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Hop-count diameter of a directed graph (longest shortest hop distance over
+/// ordered reachable pairs); `None` when some ordered pair is unreachable.
+pub fn hop_diameter(g: &DiGraph) -> Option<usize> {
+    if g.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for source in 0..g.len() {
+        for d in g.hop_distances(source) {
+            match d {
+                None => return None,
+                Some(h) => best = best.max(h),
+            }
+        }
+    }
+    Some(best)
+}
+
+/// Average hop distance over all ordered pairs of a strongly connected
+/// digraph; `None` when unreachable pairs exist or fewer than two vertices.
+pub fn average_hop_distance(g: &DiGraph) -> Option<f64> {
+    let n = g.len();
+    if n < 2 {
+        return None;
+    }
+    let mut total = 0usize;
+    for source in 0..n {
+        for (target, d) in g.hop_distances(source).iter().enumerate() {
+            if target == source {
+                continue;
+            }
+            total += (*d)?;
+        }
+    }
+    Some(total as f64 / (n * (n - 1)) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dijkstra_on_weighted_path() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        g.add_edge(2, 3, 3.0);
+        g.add_edge(0, 3, 10.0);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[0], Some(0.0));
+        assert_eq!(d[1], Some(1.0));
+        assert_eq!(d[2], Some(3.0));
+        assert_eq!(d[3], Some(6.0)); // the path is shorter than the direct edge
+    }
+
+    #[test]
+    fn dijkstra_unreachable_vertices_are_none() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let d = dijkstra(&g, 0);
+        assert_eq!(d[2], None);
+    }
+
+    #[test]
+    fn weighted_diameter_of_path() {
+        let mut g = Graph::new(4);
+        for i in 0..3 {
+            g.add_edge(i, i + 1, 2.0);
+        }
+        assert_eq!(weighted_diameter(&g), Some(6.0));
+        let disconnected = Graph::new(3);
+        assert_eq!(weighted_diameter(&disconnected), None);
+    }
+
+    #[test]
+    fn hop_diameter_of_directed_cycle() {
+        let mut g = DiGraph::new(4);
+        for i in 0..4 {
+            g.add_edge(i, (i + 1) % 4);
+        }
+        assert_eq!(hop_diameter(&g), Some(3));
+        assert!((average_hop_distance(&g).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hop_diameter_none_when_not_strongly_connected() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        assert_eq!(hop_diameter(&g), None);
+        assert_eq!(average_hop_distance(&g), None);
+    }
+}

@@ -1,0 +1,151 @@
+//! A simple radiated-energy model for directional antennae.
+//!
+//! Following the energy-consumption literature the paper cites ([9], [11]),
+//! the power a sensor spends to sustain a sector of spread `θ` and range `r`
+//! is modelled as proportional to the fraction of the disk it illuminates
+//! times the usual path-loss term:
+//!
+//! ```text
+//! P(θ, r) = (θ / 2π) · r^α        (α = path-loss exponent, typically 2–4)
+//! ```
+//!
+//! A zero-spread beam is given a small non-zero beam width `θ_min` so that it
+//! still costs energy proportional to `r^α` (a physical antenna always has a
+//! main lobe).  The energy experiment (EXP-EN) compares the per-sensor and
+//! network-wide energy of the paper's orientations against an
+//! omnidirectional deployment at the radius each scheme actually needs.
+
+use antennae_core::scheme::OrientationScheme;
+use antennae_geometry::TAU;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Path-loss exponent `α` (2 = free space, 4 = lossy environments).
+    pub path_loss_exponent: f64,
+    /// Effective beam width (radians) charged for zero-spread antennae.
+    pub min_beam_width: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            path_loss_exponent: 2.0,
+            min_beam_width: TAU / 90.0, // a 4° main lobe
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Creates a model with the given path-loss exponent and the default
+    /// 4° minimum beam width.
+    pub fn with_exponent(alpha: f64) -> Self {
+        EnergyModel {
+            path_loss_exponent: alpha,
+            ..EnergyModel::default()
+        }
+    }
+
+    /// Power of a single antenna of spread `theta` and range `r`.
+    pub fn antenna_power(&self, theta: f64, r: f64) -> f64 {
+        let effective = theta.max(self.min_beam_width).min(TAU);
+        (effective / TAU) * r.powf(self.path_loss_exponent)
+    }
+
+    /// Power of an omnidirectional antenna of range `r`.
+    pub fn omnidirectional_power(&self, r: f64) -> f64 {
+        self.antenna_power(TAU, r)
+    }
+
+    /// Per-sensor power of an orientation scheme.
+    pub fn per_sensor_power(&self, scheme: &OrientationScheme) -> Vec<f64> {
+        scheme
+            .assignments
+            .iter()
+            .map(|assignment| {
+                assignment
+                    .antennas
+                    .iter()
+                    .map(|a| self.antenna_power(a.spread, a.radius))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Total network power of an orientation scheme.
+    pub fn total_power(&self, scheme: &OrientationScheme) -> f64 {
+        self.per_sensor_power(scheme).iter().sum()
+    }
+
+    /// Maximum per-sensor power of an orientation scheme (the sensor that
+    /// drains its battery first).
+    pub fn max_sensor_power(&self, scheme: &OrientationScheme) -> f64 {
+        self.per_sensor_power(scheme)
+            .into_iter()
+            .fold(0.0, f64::max)
+    }
+
+    /// Total power of an omnidirectional deployment where every one of `n`
+    /// sensors uses range `r`.
+    pub fn omnidirectional_total(&self, n: usize, r: f64) -> f64 {
+        n as f64 * self.omnidirectional_power(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antennae_core::antenna::{Antenna, SensorAssignment};
+    use antennae_geometry::{Angle, Point, PI};
+
+    #[test]
+    fn power_scales_with_spread_and_radius() {
+        let m = EnergyModel::default();
+        let narrow = m.antenna_power(PI / 4.0, 1.0);
+        let wide = m.antenna_power(PI / 2.0, 1.0);
+        assert!((wide / narrow - 2.0).abs() < 1e-9);
+        let short = m.antenna_power(PI, 1.0);
+        let long = m.antenna_power(PI, 3.0);
+        assert!((long / short - 9.0).abs() < 1e-9); // α = 2
+    }
+
+    #[test]
+    fn zero_spread_beams_still_cost_energy() {
+        let m = EnergyModel::default();
+        assert!(m.antenna_power(0.0, 2.0) > 0.0);
+        assert!(m.antenna_power(0.0, 2.0) < m.antenna_power(PI, 2.0));
+    }
+
+    #[test]
+    fn path_loss_exponent_changes_range_sensitivity() {
+        let free_space = EnergyModel::with_exponent(2.0);
+        let lossy = EnergyModel::with_exponent(4.0);
+        assert!(lossy.antenna_power(PI, 2.0) > free_space.antenna_power(PI, 2.0));
+        assert!((lossy.antenna_power(PI, 2.0) / lossy.antenna_power(PI, 1.0) - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scheme_aggregation() {
+        let m = EnergyModel::default();
+        let apex = Point::ORIGIN;
+        let scheme = OrientationScheme::new(vec![
+            SensorAssignment::new(vec![Antenna::beam(&apex, &Point::new(1.0, 0.0), 1.0)]),
+            SensorAssignment::new(vec![Antenna::new(Angle::ZERO, PI, 2.0)]),
+        ]);
+        let per = m.per_sensor_power(&scheme);
+        assert_eq!(per.len(), 2);
+        assert!(per[1] > per[0]);
+        assert!((m.total_power(&scheme) - (per[0] + per[1])).abs() < 1e-12);
+        assert_eq!(m.max_sensor_power(&scheme), per[1]);
+    }
+
+    #[test]
+    fn directional_schemes_beat_omnidirectional_at_same_radius() {
+        // A sector of spread π at range r uses half the energy of an
+        // omnidirectional antenna at the same range.
+        let m = EnergyModel::default();
+        assert!((m.omnidirectional_power(2.0) / m.antenna_power(PI, 2.0) - 2.0).abs() < 1e-9);
+        assert!((m.omnidirectional_total(10, 1.0) - 10.0 * m.omnidirectional_power(1.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! A minimal discrete-event queue used by the flooding simulator.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A timestamped event carrying a payload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event<T> {
+    /// Simulation time at which the event fires.
+    pub time: f64,
+    /// Monotone sequence number breaking ties deterministically (FIFO for
+    /// equal times).
+    pub sequence: u64,
+    /// The payload.
+    pub payload: T,
+}
+
+impl<T> Eq for Event<T> where T: PartialEq {}
+
+impl<T: PartialEq> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: PartialEq> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then(self.sequence.cmp(&other.sequence))
+    }
+}
+
+/// A discrete-event queue ordered by (time, insertion order).
+#[derive(Debug, Default)]
+pub struct EventQueue<T: PartialEq> {
+    heap: BinaryHeap<Reverse<Event<T>>>,
+    next_sequence: u64,
+}
+
+impl<T: PartialEq> EventQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_sequence: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `payload` at the given simulation time.
+    pub fn schedule(&mut self, time: f64, payload: T) {
+        let event = Event {
+            time,
+            sequence: self.next_sequence,
+            payload,
+        };
+        self.next_sequence += 1;
+        self.heap.push(Reverse(event));
+    }
+
+    /// Pops the earliest event, if any.
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, "c");
+        q.schedule(1.0, "a");
+        q.schedule(2.0, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(1.0));
+        assert_eq!(q.pop().unwrap().payload, "a");
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.pop().unwrap().payload, "c");
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, 1);
+        q.schedule(1.0, 2);
+        q.schedule(1.0, 3);
+        assert_eq!(q.pop().unwrap().payload, 1);
+        assert_eq!(q.pop().unwrap().payload, 2);
+        assert_eq!(q.pop().unwrap().payload, 3);
+    }
+
+    #[test]
+    fn interleaved_scheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, "late");
+        q.schedule(1.0, "early");
+        assert_eq!(q.pop().unwrap().payload, "early");
+        q.schedule(2.0, "mid");
+        assert_eq!(q.pop().unwrap().payload, "mid");
+        assert_eq!(q.pop().unwrap().payload, "late");
+    }
+}

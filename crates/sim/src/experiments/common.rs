@@ -1,0 +1,115 @@
+//! Shared report-formatting helpers.
+
+use std::fmt;
+
+/// A simple fixed-width text table used by every experiment report.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; the row is padded or truncated to the header width.
+    pub fn add_row<S: Into<String>>(&mut self, row: Vec<S>) {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn column_widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if cell.len() > widths[i] {
+                    widths[i] = cell.len();
+                }
+            }
+        }
+        widths
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.column_widths();
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (cell, width) in cells.iter().zip(&widths) {
+                write!(f, " {cell:<width$} |", width = width)?;
+            }
+            writeln!(f)
+        };
+        write_row(f, &self.header)?;
+        write!(f, "|")?;
+        for width in &widths {
+            write!(f, "{}|", "-".repeat(width + 2))?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats an optional bound for display (`-` when absent).
+pub fn fmt_bound(bound: Option<f64>) -> String {
+    match bound {
+        Some(b) if b.is_finite() => format!("{b:.4}"),
+        _ => "-".to_string(),
+    }
+}
+
+/// Formats a boolean as a check mark / cross for report tables.
+pub fn fmt_check(ok: bool) -> String {
+    if ok { "yes".to_string() } else { "NO".to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_with_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.add_row(vec!["alpha", "1"]);
+        t.add_row(vec!["a-much-longer-name", "12345"]);
+        let rendered = t.to_string();
+        assert!(rendered.contains("| name"));
+        assert!(rendered.contains("a-much-longer-name"));
+        // Header separator present.
+        assert!(rendered.lines().nth(1).unwrap().starts_with("|-"));
+        assert_eq!(t.row_count(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["only-one"]);
+        let rendered = t.to_string();
+        assert_eq!(rendered.lines().count(), 3);
+    }
+
+    #[test]
+    fn bound_and_check_formatting() {
+        assert_eq!(fmt_bound(Some(1.23456)), "1.2346");
+        assert_eq!(fmt_bound(None), "-");
+        assert_eq!(fmt_bound(Some(f64::INFINITY)), "-");
+        assert_eq!(fmt_check(true), "yes");
+        assert_eq!(fmt_check(false), "NO");
+    }
+}

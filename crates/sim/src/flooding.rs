@@ -1,0 +1,257 @@
+//! Discrete-event flooding (broadcast) simulation over the induced
+//! communication digraph.
+//!
+//! The paper proves strong connectivity; this simulator demonstrates what
+//! that buys operationally: a message flooded from any source reaches every
+//! sensor, and the latency penalty of directional antennae relative to an
+//! omnidirectional deployment can be measured.  Link latency is modelled as
+//! `base_latency + distance / propagation_speed`, so longer antenna hops cost
+//! proportionally more.
+
+use crate::events::EventQueue;
+use antennae_core::scheme::OrientationScheme;
+use antennae_geometry::Point;
+use antennae_graph::DiGraph;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the flooding simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FloodingConfig {
+    /// Fixed per-hop processing/transmission latency.
+    pub base_latency: f64,
+    /// Propagation speed (distance units per time unit).
+    pub propagation_speed: f64,
+}
+
+impl Default for FloodingConfig {
+    fn default() -> Self {
+        FloodingConfig {
+            base_latency: 1.0,
+            propagation_speed: 1000.0,
+        }
+    }
+}
+
+/// Result of flooding a message from one source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FloodingResult {
+    /// The source sensor.
+    pub source: usize,
+    /// Number of sensors that received the message (including the source).
+    pub delivered: usize,
+    /// Total number of sensors.
+    pub total: usize,
+    /// Time at which the last sensor received the message (0 when nothing
+    /// was delivered beyond the source).
+    pub completion_time: f64,
+    /// Maximum hop count over delivered sensors.
+    pub max_hops: usize,
+    /// Per-sensor delivery time (`None` for sensors never reached).
+    pub delivery_time: Vec<Option<f64>>,
+}
+
+impl FloodingResult {
+    /// Fraction of sensors reached, in `[0, 1]`.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.total as f64
+        }
+    }
+
+    /// Returns `true` when every sensor was reached.
+    pub fn fully_delivered(&self) -> bool {
+        self.delivered == self.total
+    }
+}
+
+/// Floods a message from `source` over the digraph induced by `scheme` on
+/// `points`.
+pub fn flood(
+    points: &[Point],
+    scheme: &OrientationScheme,
+    source: usize,
+    config: FloodingConfig,
+) -> FloodingResult {
+    let digraph = scheme.induced_digraph(points);
+    flood_over_digraph(points, &digraph, source, config)
+}
+
+/// Floods a message over an explicit digraph (used to compare the induced
+/// directional digraph against an omnidirectional baseline).
+pub fn flood_over_digraph(
+    points: &[Point],
+    digraph: &DiGraph,
+    source: usize,
+    config: FloodingConfig,
+) -> FloodingResult {
+    let n = points.len();
+    let mut delivery_time: Vec<Option<f64>> = vec![None; n];
+    let mut hops: Vec<usize> = vec![0; n];
+    let mut queue: EventQueue<(usize, usize)> = EventQueue::new(); // (vertex, hop)
+    if source < n {
+        delivery_time[source] = Some(0.0);
+        queue.schedule(0.0, (source, 0));
+    }
+    let mut completion_time = 0.0f64;
+    let mut max_hops = 0usize;
+    while let Some(event) = queue.pop() {
+        let (u, hop) = event.payload;
+        // Only the first delivery at a vertex triggers retransmission; later
+        // (slower) deliveries are ignored.
+        if delivery_time[u].is_none_or(|t| event.time > t + 1e-12) {
+            continue;
+        }
+        completion_time = completion_time.max(event.time);
+        max_hops = max_hops.max(hop);
+        hops[u] = hop;
+        for &v in digraph.out_neighbors(u) {
+            let latency =
+                config.base_latency + points[u].distance(&points[v]) / config.propagation_speed;
+            let arrival = event.time + latency;
+            if delivery_time[v].is_none_or(|t| arrival < t - 1e-12) {
+                delivery_time[v] = Some(arrival);
+                queue.schedule(arrival, (v, hop + 1));
+            }
+        }
+    }
+    let delivered = delivery_time.iter().filter(|t| t.is_some()).count();
+    FloodingResult {
+        source,
+        delivered,
+        total: n,
+        completion_time,
+        max_hops,
+        delivery_time,
+    }
+}
+
+/// Builds the omnidirectional communication digraph in which every sensor
+/// reaches every other sensor within `radius` (a symmetric unit-disk graph).
+pub fn omnidirectional_digraph(points: &[Point], radius: f64) -> DiGraph {
+    let n = points.len();
+    let mut g = DiGraph::new(n);
+    for u in 0..n {
+        for v in 0..n {
+            if u != v && points[u].distance(&points[v]) <= radius + 1e-12 {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antennae_core::algorithms::dispatch::orient;
+    use antennae_core::antenna::AntennaBudget;
+    use antennae_core::instance::Instance;
+    use antennae_geometry::PI;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..10.0), rng.random_range(0.0..10.0)))
+            .collect()
+    }
+
+    #[test]
+    fn flooding_over_strongly_connected_scheme_reaches_everyone() {
+        let points = random_points(40, 5);
+        let instance = Instance::new(points.clone()).unwrap();
+        let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+        for source in [0, 7, 39] {
+            let result = flood(&points, &scheme, source, FloodingConfig::default());
+            assert!(result.fully_delivered(), "source {source}");
+            assert!((result.delivery_ratio() - 1.0).abs() < 1e-12);
+            assert!(result.completion_time > 0.0);
+            assert!(result.max_hops >= 1);
+        }
+    }
+
+    #[test]
+    fn flooding_over_partial_scheme_reports_partial_delivery() {
+        // Only the first sensor has an antenna: nothing beyond its target is
+        // ever reached, and the delivery ratio reflects that.
+        let points = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(5.0, 5.0),
+        ];
+        let mut scheme = OrientationScheme::empty(points.len());
+        scheme.assignments[0] = antennae_core::antenna::SensorAssignment::new(vec![
+            antennae_core::antenna::Antenna::beam(&points[0], &points[1], 1.0),
+        ]);
+        let result = flood(&points, &scheme, 0, FloodingConfig::default());
+        assert_eq!(result.delivered, 2);
+        assert!(!result.fully_delivered());
+        assert!(result.delivery_time[2].is_none());
+    }
+
+    #[test]
+    fn latency_accounts_for_distance() {
+        let points = vec![Point::new(0.0, 0.0), Point::new(100.0, 0.0)];
+        let mut scheme = OrientationScheme::empty(2);
+        scheme.assignments[0] = antennae_core::antenna::SensorAssignment::new(vec![
+            antennae_core::antenna::Antenna::beam(&points[0], &points[1], 100.0),
+        ]);
+        let config = FloodingConfig {
+            base_latency: 1.0,
+            propagation_speed: 100.0,
+        };
+        let result = flood(&points, &scheme, 0, config);
+        assert!((result.delivery_time[1].unwrap() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn omnidirectional_digraph_is_symmetric() {
+        let points = random_points(20, 9);
+        let g = omnidirectional_digraph(&points, 4.0);
+        for (u, v) in g.edges() {
+            assert!(g.has_edge(v, u));
+        }
+    }
+
+    #[test]
+    fn directional_latency_at_least_omnidirectional() {
+        // With the same radius available, the omnidirectional graph is a
+        // supergraph of any induced directional graph, so flooding can only
+        // be faster.
+        let points = random_points(30, 11);
+        let instance = Instance::new(points.clone()).unwrap();
+        let scheme = orient(&instance, AntennaBudget::new(3, 0.0)).unwrap();
+        let radius = scheme.max_radius();
+        let directional = flood(&points, &scheme, 0, FloodingConfig::default());
+        let omni = flood_over_digraph(
+            &points,
+            &omnidirectional_digraph(&points, radius),
+            0,
+            FloodingConfig::default(),
+        );
+        assert!(omni.fully_delivered());
+        assert!(directional.fully_delivered());
+        assert!(omni.completion_time <= directional.completion_time + 1e-9);
+    }
+
+    #[test]
+    fn empty_and_single_point_floods() {
+        let empty = flood_over_digraph(&[], &DiGraph::new(0), 0, FloodingConfig::default());
+        assert_eq!(empty.delivered, 0);
+        assert_eq!(empty.delivery_ratio(), 0.0);
+
+        let single = vec![Point::new(0.0, 0.0)];
+        let result = flood(
+            &single,
+            &OrientationScheme::empty(1),
+            0,
+            FloodingConfig::default(),
+        );
+        assert_eq!(result.delivered, 1);
+        assert!(result.fully_delivered());
+        assert_eq!(result.max_hops, 0);
+    }
+}

@@ -1,0 +1,362 @@
+//! Seeded sensor-deployment generators.
+//!
+//! Two families are provided: *stochastic* deployments (uniform, clustered,
+//! perturbed grids, annuli) that model the ad-hoc networks the paper's
+//! introduction targets, and *extremal* deployments (regular polygons with a
+//! centre, stars with long arms, paths) that realize the worst-case
+//! configurations used in the paper's proofs (the regular `d`-gon of Lemma 1,
+//! the degree-5 MST vertices of Theorem 3, the fan configurations of
+//! Figures 5 and 6).
+
+use antennae_geometry::{Point, TAU};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A reproducible description of a point-set workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PointSetGenerator {
+    /// `n` points uniform in the axis-aligned square `[0, side]²`.
+    UniformSquare {
+        /// Number of sensors.
+        n: usize,
+        /// Side length of the square.
+        side: f64,
+    },
+    /// `n` points uniform in a disk of the given radius.
+    UniformDisk {
+        /// Number of sensors.
+        n: usize,
+        /// Radius of the deployment disk.
+        radius: f64,
+    },
+    /// `n` points split evenly across `clusters` Gaussian-ish clusters whose
+    /// centres are uniform in `[0, side]²`.
+    Clustered {
+        /// Number of sensors.
+        n: usize,
+        /// Number of clusters.
+        clusters: usize,
+        /// Side length of the region containing the cluster centres.
+        side: f64,
+        /// Standard deviation (spread) of each cluster.
+        spread: f64,
+    },
+    /// A `cols × rows` unit grid.
+    Grid {
+        /// Number of columns.
+        cols: usize,
+        /// Number of rows.
+        rows: usize,
+    },
+    /// A `cols × rows` unit grid with every point perturbed uniformly by at
+    /// most `jitter` in each coordinate.
+    PerturbedGrid {
+        /// Number of columns.
+        cols: usize,
+        /// Number of rows.
+        rows: usize,
+        /// Maximum absolute perturbation per coordinate.
+        jitter: f64,
+    },
+    /// `n` points uniform in an annulus (models deployments around an
+    /// obstacle).
+    Annulus {
+        /// Number of sensors.
+        n: usize,
+        /// Inner radius.
+        inner: f64,
+        /// Outer radius.
+        outer: f64,
+    },
+    /// A centre point surrounded by a regular `d`-gon at unit distance — the
+    /// extremal configuration of Lemma 1's necessity argument (Figure 1).
+    RegularPolygonStar {
+        /// Number of polygon vertices (the centre's degree).
+        d: usize,
+    },
+    /// A centre with `arms` straight arms of `arm_length` unit-spaced
+    /// sensors each — forces high-degree MST vertices (Figures 5/6).
+    StarArms {
+        /// Number of arms.
+        arms: usize,
+        /// Sensors per arm (excluding the centre).
+        arm_length: usize,
+    },
+    /// `n` collinear sensors at unit spacing — the degenerate path instance.
+    Path {
+        /// Number of sensors.
+        n: usize,
+    },
+}
+
+impl PointSetGenerator {
+    /// A human-readable label used in experiment reports.
+    pub fn label(&self) -> String {
+        match self {
+            PointSetGenerator::UniformSquare { n, .. } => format!("uniform(n={n})"),
+            PointSetGenerator::UniformDisk { n, .. } => format!("disk(n={n})"),
+            PointSetGenerator::Clustered { n, clusters, .. } => {
+                format!("clustered(n={n},c={clusters})")
+            }
+            PointSetGenerator::Grid { cols, rows } => format!("grid({cols}x{rows})"),
+            PointSetGenerator::PerturbedGrid { cols, rows, .. } => {
+                format!("pgrid({cols}x{rows})")
+            }
+            PointSetGenerator::Annulus { n, .. } => format!("annulus(n={n})"),
+            PointSetGenerator::RegularPolygonStar { d } => format!("polygon(d={d})"),
+            PointSetGenerator::StarArms { arms, arm_length } => {
+                format!("star(a={arms},l={arm_length})")
+            }
+            PointSetGenerator::Path { n } => format!("path(n={n})"),
+        }
+    }
+
+    /// Number of sensors the generator produces.
+    pub fn size(&self) -> usize {
+        match self {
+            PointSetGenerator::UniformSquare { n, .. }
+            | PointSetGenerator::UniformDisk { n, .. }
+            | PointSetGenerator::Clustered { n, .. }
+            | PointSetGenerator::Annulus { n, .. }
+            | PointSetGenerator::Path { n } => *n,
+            PointSetGenerator::Grid { cols, rows }
+            | PointSetGenerator::PerturbedGrid { cols, rows, .. } => cols * rows,
+            PointSetGenerator::RegularPolygonStar { d } => d + 1,
+            PointSetGenerator::StarArms { arms, arm_length } => arms * arm_length + 1,
+        }
+    }
+
+    /// Generates the point set with a deterministic seed.
+    pub fn generate(&self, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            PointSetGenerator::UniformSquare { n, side } => (0..n)
+                .map(|_| Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
+                .collect(),
+            PointSetGenerator::UniformDisk { n, radius } => (0..n)
+                .map(|_| {
+                    let theta: f64 = rng.random_range(0.0..TAU);
+                    // sqrt for a uniform area density.
+                    let r = radius * rng.random_range(0.0f64..1.0).sqrt();
+                    Point::new(r * theta.cos(), r * theta.sin())
+                })
+                .collect(),
+            PointSetGenerator::Clustered {
+                n,
+                clusters,
+                side,
+                spread,
+            } => {
+                let clusters = clusters.max(1);
+                let centers: Vec<Point> = (0..clusters)
+                    .map(|_| Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
+                    .collect();
+                (0..n)
+                    .map(|i| {
+                        let c = centers[i % clusters];
+                        // Sum of two uniforms approximates a Gaussian well
+                        // enough for workload purposes.
+                        let dx = (rng.random_range(-1.0..1.0f64) + rng.random_range(-1.0..1.0f64))
+                            * spread;
+                        let dy = (rng.random_range(-1.0..1.0f64) + rng.random_range(-1.0..1.0f64))
+                            * spread;
+                        Point::new(c.x + dx, c.y + dy)
+                    })
+                    .collect()
+            }
+            PointSetGenerator::Grid { cols, rows } => (0..rows)
+                .flat_map(|r| (0..cols).map(move |c| Point::new(c as f64, r as f64)))
+                .collect(),
+            PointSetGenerator::PerturbedGrid { cols, rows, jitter } => (0..rows)
+                .flat_map(|r| (0..cols).map(move |c| (c, r)))
+                .map(|(c, r)| {
+                    Point::new(
+                        c as f64 + rng.random_range(-jitter..=jitter),
+                        r as f64 + rng.random_range(-jitter..=jitter),
+                    )
+                })
+                .collect(),
+            PointSetGenerator::Annulus { n, inner, outer } => (0..n)
+                .map(|_| {
+                    let theta: f64 = rng.random_range(0.0..TAU);
+                    let r2 = rng.random_range((inner * inner)..(outer * outer));
+                    let r = r2.sqrt();
+                    Point::new(r * theta.cos(), r * theta.sin())
+                })
+                .collect(),
+            PointSetGenerator::RegularPolygonStar { d } => {
+                let mut pts = vec![Point::new(0.0, 0.0)];
+                pts.extend((0..d).map(|i| {
+                    let theta = TAU * i as f64 / d.max(1) as f64;
+                    Point::new(theta.cos(), theta.sin())
+                }));
+                pts
+            }
+            PointSetGenerator::StarArms { arms, arm_length } => {
+                let mut pts = vec![Point::new(0.0, 0.0)];
+                for a in 0..arms {
+                    let theta = TAU * a as f64 / arms.max(1) as f64;
+                    for step in 1..=arm_length {
+                        pts.push(Point::new(
+                            step as f64 * theta.cos(),
+                            step as f64 * theta.sin(),
+                        ));
+                    }
+                }
+                pts
+            }
+            PointSetGenerator::Path { n } => {
+                (0..n).map(|i| Point::new(i as f64, 0.0)).collect()
+            }
+        }
+    }
+}
+
+/// The default stochastic workload mix used by the Table 1 experiment:
+/// uniform squares of three sizes, a clustered deployment and a perturbed
+/// grid.
+pub fn standard_workloads() -> Vec<PointSetGenerator> {
+    vec![
+        PointSetGenerator::UniformSquare { n: 50, side: 10.0 },
+        PointSetGenerator::UniformSquare { n: 100, side: 10.0 },
+        PointSetGenerator::UniformSquare { n: 250, side: 20.0 },
+        PointSetGenerator::Clustered {
+            n: 100,
+            clusters: 5,
+            side: 30.0,
+            spread: 1.5,
+        },
+        PointSetGenerator::PerturbedGrid {
+            cols: 10,
+            rows: 10,
+            jitter: 0.3,
+        },
+    ]
+}
+
+/// The extremal workloads used by the worst-case gallery example and the
+/// figure experiments.
+pub fn extremal_workloads() -> Vec<PointSetGenerator> {
+    vec![
+        PointSetGenerator::RegularPolygonStar { d: 5 },
+        PointSetGenerator::StarArms {
+            arms: 5,
+            arm_length: 3,
+        },
+        PointSetGenerator::Path { n: 20 },
+        PointSetGenerator::Annulus {
+            n: 60,
+            inner: 5.0,
+            outer: 6.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antennae_geometry::Aabb;
+
+    #[test]
+    fn generators_produce_declared_sizes() {
+        for g in standard_workloads().into_iter().chain(extremal_workloads()) {
+            let pts = g.generate(7);
+            assert_eq!(pts.len(), g.size(), "{}", g.label());
+            assert!(pts.iter().all(|p| p.is_finite()));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let g = PointSetGenerator::UniformSquare { n: 30, side: 5.0 };
+        assert_eq!(g.generate(1), g.generate(1));
+        assert_ne!(g.generate(1), g.generate(2));
+    }
+
+    #[test]
+    fn uniform_square_stays_in_bounds() {
+        let g = PointSetGenerator::UniformSquare { n: 200, side: 3.0 };
+        let bbox = Aabb::from_points(&g.generate(11)).unwrap();
+        assert!(bbox.min.x >= 0.0 && bbox.min.y >= 0.0);
+        assert!(bbox.max.x <= 3.0 && bbox.max.y <= 3.0);
+    }
+
+    #[test]
+    fn disk_and_annulus_respect_radii() {
+        let disk = PointSetGenerator::UniformDisk { n: 300, radius: 2.0 };
+        for p in disk.generate(3) {
+            assert!(p.distance(&Point::ORIGIN) <= 2.0 + 1e-9);
+        }
+        let annulus = PointSetGenerator::Annulus {
+            n: 300,
+            inner: 1.0,
+            outer: 2.0,
+        };
+        for p in annulus.generate(3) {
+            let d = p.distance(&Point::ORIGIN);
+            assert!((1.0 - 1e-9..=2.0 + 1e-9).contains(&d));
+        }
+    }
+
+    #[test]
+    fn grid_produces_integer_lattice() {
+        let g = PointSetGenerator::Grid { cols: 4, rows: 3 };
+        let pts = g.generate(0);
+        assert_eq!(pts.len(), 12);
+        assert!(pts.contains(&Point::new(3.0, 2.0)));
+        assert!(pts.contains(&Point::new(0.0, 0.0)));
+    }
+
+    #[test]
+    fn regular_polygon_star_has_unit_spokes() {
+        let g = PointSetGenerator::RegularPolygonStar { d: 6 };
+        let pts = g.generate(0);
+        assert_eq!(pts.len(), 7);
+        for p in &pts[1..] {
+            assert!((p.distance(&pts[0]) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn star_arms_are_straight_and_unit_spaced() {
+        let g = PointSetGenerator::StarArms {
+            arms: 4,
+            arm_length: 3,
+        };
+        let pts = g.generate(0);
+        assert_eq!(pts.len(), 13);
+        // The first arm lies along the +x axis.
+        assert!(pts[1].approx_eq(&Point::new(1.0, 0.0), 1e-9));
+        assert!(pts[2].approx_eq(&Point::new(2.0, 0.0), 1e-9));
+        assert!(pts[3].approx_eq(&Point::new(3.0, 0.0), 1e-9));
+    }
+
+    #[test]
+    fn labels_are_informative() {
+        assert_eq!(
+            PointSetGenerator::UniformSquare { n: 10, side: 1.0 }.label(),
+            "uniform(n=10)"
+        );
+        assert_eq!(PointSetGenerator::Path { n: 4 }.label(), "path(n=4)");
+        assert_eq!(
+            PointSetGenerator::RegularPolygonStar { d: 5 }.label(),
+            "polygon(d=5)"
+        );
+    }
+
+    #[test]
+    fn clustered_points_follow_their_centers() {
+        let g = PointSetGenerator::Clustered {
+            n: 120,
+            clusters: 3,
+            side: 100.0,
+            spread: 0.5,
+        };
+        let pts = g.generate(9);
+        assert_eq!(pts.len(), 120);
+        // The overall bounding box is much larger than a single cluster.
+        let bbox = Aabb::from_points(&pts).unwrap();
+        assert!(bbox.diagonal() > 5.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Interference metrics for directional orientations.
+//!
+//! The capacity analysis of [19] that the paper cites argues that a narrower
+//! transmission angle reduces the expected number of unintended receivers
+//! inside a transmission zone, which is the source of the `√(2π/α)` capacity
+//! gain.  This module measures exactly that quantity on concrete
+//! orientations: for each antenna, the number of sensors lying inside its
+//! sector (its potential interference set), minus the one intended receiver.
+
+use antennae_core::scheme::OrientationScheme;
+use antennae_geometry::Point;
+use serde::{Deserialize, Serialize};
+
+/// Interference statistics for an orientation scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct InterferenceStats {
+    /// Total number of (antenna, covered sensor) incidences, excluding the
+    /// antenna's own sensor.
+    pub total_covered: usize,
+    /// Mean number of sensors covered per antenna.
+    pub mean_covered_per_antenna: f64,
+    /// Maximum number of sensors covered by any single antenna.
+    pub max_covered_per_antenna: usize,
+    /// Number of antennae considered.
+    pub antennas: usize,
+}
+
+/// Computes interference statistics: how many sensors fall inside each
+/// antenna's sector.
+pub fn interference_stats(points: &[Point], scheme: &OrientationScheme) -> InterferenceStats {
+    let mut total = 0usize;
+    let mut max_per_antenna = 0usize;
+    let mut antenna_count = 0usize;
+    for (u, assignment) in scheme.assignments.iter().enumerate() {
+        if u >= points.len() {
+            break;
+        }
+        let apex = points[u];
+        for antenna in &assignment.antennas {
+            antenna_count += 1;
+            let sector = antenna.sector(apex);
+            let covered = points
+                .iter()
+                .enumerate()
+                .filter(|&(v, p)| v != u && sector.contains(p))
+                .count();
+            total += covered;
+            max_per_antenna = max_per_antenna.max(covered);
+        }
+    }
+    InterferenceStats {
+        total_covered: total,
+        mean_covered_per_antenna: if antenna_count == 0 {
+            0.0
+        } else {
+            total as f64 / antenna_count as f64
+        },
+        max_covered_per_antenna: max_per_antenna,
+        antennas: antenna_count,
+    }
+}
+
+/// The interference of an omnidirectional deployment at range `radius`:
+/// every sensor's disk covers all sensors within the radius.
+pub fn omnidirectional_interference(points: &[Point], radius: f64) -> InterferenceStats {
+    let n = points.len();
+    let mut total = 0usize;
+    let mut max_per = 0usize;
+    for u in 0..n {
+        let covered = (0..n)
+            .filter(|&v| v != u && points[u].distance(&points[v]) <= radius + 1e-12)
+            .count();
+        total += covered;
+        max_per = max_per.max(covered);
+    }
+    InterferenceStats {
+        total_covered: total,
+        mean_covered_per_antenna: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+        max_covered_per_antenna: max_per,
+        antennas: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antennae_core::algorithms::dispatch::orient;
+    use antennae_core::antenna::AntennaBudget;
+    use antennae_core::instance::Instance;
+    use antennae_geometry::PI;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..10.0), rng.random_range(0.0..10.0)))
+            .collect()
+    }
+
+    #[test]
+    fn directional_orientation_interferes_less_than_omnidirectional() {
+        let points = random_points(60, 3);
+        let instance = Instance::new(points.clone()).unwrap();
+        let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+        let directional = interference_stats(&points, &scheme);
+        let omni = omnidirectional_interference(&points, scheme.max_radius());
+        assert!(directional.total_covered > 0);
+        assert!(
+            directional.mean_covered_per_antenna < omni.mean_covered_per_antenna,
+            "directional {} vs omni {}",
+            directional.mean_covered_per_antenna,
+            omni.mean_covered_per_antenna
+        );
+    }
+
+    #[test]
+    fn empty_scheme_has_zero_interference() {
+        let points = random_points(10, 4);
+        let stats = interference_stats(&points, &OrientationScheme::empty(points.len()));
+        assert_eq!(stats.total_covered, 0);
+        assert_eq!(stats.antennas, 0);
+        assert_eq!(stats.mean_covered_per_antenna, 0.0);
+    }
+
+    #[test]
+    fn omnidirectional_interference_with_huge_radius_covers_all_pairs() {
+        let points = random_points(12, 5);
+        let stats = omnidirectional_interference(&points, 1e6);
+        assert_eq!(stats.total_covered, 12 * 11);
+        assert_eq!(stats.max_covered_per_antenna, 11);
+    }
+}

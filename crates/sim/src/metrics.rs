@@ -1,0 +1,121 @@
+//! Summary-statistics helpers used by the experiment drivers.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of `f64` values.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Minimum value (0 when empty).
+    pub min: f64,
+    /// Maximum value (0 when empty).
+    pub max: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median (0 when empty).
+    pub median: f64,
+    /// 95th percentile (0 when empty).
+    pub p95: f64,
+    /// Population standard deviation (0 when empty).
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics of `values`.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary::default();
+        }
+        let mut sorted = values.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let count = sorted.len();
+        let min = sorted[0];
+        let max = sorted[count - 1];
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let var = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / count as f64;
+        Summary {
+            count,
+            min,
+            max,
+            mean,
+            median: percentile_of_sorted(&sorted, 50.0),
+            p95: percentile_of_sorted(&sorted, 95.0),
+            std_dev: var.sqrt(),
+        }
+    }
+}
+
+/// Percentile of an already sorted slice using linear interpolation between
+/// closest ranks.  `pct` is in `[0, 100]`.
+pub fn percentile_of_sorted(sorted: &[f64], pct: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = (pct / 100.0).clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Ratio of two values with a protected denominator (returns 0 when the
+/// denominator is 0).
+pub fn safe_ratio(numerator: f64, denominator: f64) -> f64 {
+    if denominator.abs() < f64::EPSILON {
+        0.0
+    } else {
+        numerator / denominator
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_values() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.count, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert!(s.p95 >= 3.5 && s.p95 <= 4.0);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_of_empty_and_single() {
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+        let single = Summary::of(&[7.0]);
+        assert_eq!(single.count, 1);
+        assert_eq!(single.median, 7.0);
+        assert_eq!(single.p95, 7.0);
+        assert_eq!(single.std_dev, 0.0);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let sorted = vec![0.0, 10.0];
+        assert!((percentile_of_sorted(&sorted, 50.0) - 5.0).abs() < 1e-12);
+        assert_eq!(percentile_of_sorted(&sorted, 0.0), 0.0);
+        assert_eq!(percentile_of_sorted(&sorted, 100.0), 10.0);
+        assert_eq!(percentile_of_sorted(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn safe_ratio_protects_zero_denominator() {
+        assert_eq!(safe_ratio(4.0, 2.0), 2.0);
+        assert_eq!(safe_ratio(4.0, 0.0), 0.0);
+    }
+}

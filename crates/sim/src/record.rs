@@ -1,0 +1,114 @@
+//! Serde-serializable experiment records.
+//!
+//! Every experiment driver produces plain-text tables for human consumption
+//! *and* structured records so that downstream tooling (plotting scripts,
+//! regression tracking) can consume the same data.
+
+use serde::{Deserialize, Serialize};
+
+/// One measurement of one algorithm on one generated instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Workload label (generator description).
+    pub workload: String,
+    /// Seed used for the workload.
+    pub seed: u64,
+    /// Number of sensors.
+    pub n: usize,
+    /// Antennae per sensor.
+    pub k: usize,
+    /// Spread budget (radians).
+    pub phi: f64,
+    /// Algorithm that produced the scheme.
+    pub algorithm: String,
+    /// Whether the verifier confirmed strong connectivity.
+    pub strongly_connected: bool,
+    /// Measured maximum radius divided by `lmax`.
+    pub radius_over_lmax: f64,
+    /// Measured maximum per-sensor spread sum (radians).
+    pub max_spread: f64,
+    /// The radius bound claimed by the paper for this configuration
+    /// (`None` when no row of Table 1 applies).
+    pub paper_bound: Option<f64>,
+    /// The bound guaranteed by the implemented algorithm (`None` for the
+    /// heuristic k = 1 baseline).
+    pub implemented_bound: Option<f64>,
+}
+
+impl RunRecord {
+    /// Returns `true` when the measured radius respects the implemented
+    /// algorithm's guarantee (trivially true when there is no guarantee).
+    pub fn within_implemented_bound(&self, tolerance: f64) -> bool {
+        self.implemented_bound
+            .is_none_or(|b| self.radius_over_lmax <= b + tolerance)
+    }
+
+    /// Returns `true` when the measured radius respects the paper's bound
+    /// (trivially true when no row applies).
+    pub fn within_paper_bound(&self, tolerance: f64) -> bool {
+        self.paper_bound
+            .is_none_or(|b| self.radius_over_lmax <= b + tolerance)
+    }
+}
+
+/// A generic labelled scalar series (used for trade-off curves).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SeriesPoint {
+    /// Independent variable (e.g. spread φ₂ in radians).
+    pub x: f64,
+    /// Dependent variable (e.g. worst measured radius / lmax).
+    pub y: f64,
+    /// Optional second dependent variable (e.g. the paper's bound).
+    pub y_reference: Option<f64>,
+    /// Label of the series this point belongs to.
+    pub series: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> RunRecord {
+        RunRecord {
+            workload: "uniform(n=50)".into(),
+            seed: 3,
+            n: 50,
+            k: 2,
+            phi: std::f64::consts::PI,
+            algorithm: "theorem3".into(),
+            strongly_connected: true,
+            radius_over_lmax: 1.2,
+            max_spread: 2.9,
+            paper_bound: Some(1.2856),
+            implemented_bound: Some(1.2856),
+        }
+    }
+
+    #[test]
+    fn bound_checks() {
+        let r = sample_record();
+        assert!(r.within_paper_bound(1e-9));
+        assert!(r.within_implemented_bound(1e-9));
+        let mut over = sample_record();
+        over.radius_over_lmax = 1.5;
+        assert!(!over.within_paper_bound(1e-9));
+        let mut unbounded = sample_record();
+        unbounded.paper_bound = None;
+        unbounded.implemented_bound = None;
+        unbounded.radius_over_lmax = 99.0;
+        assert!(unbounded.within_paper_bound(1e-9));
+        assert!(unbounded.within_implemented_bound(1e-9));
+    }
+
+    #[test]
+    fn series_point_holds_reference_values() {
+        let p = SeriesPoint {
+            x: 1.0,
+            y: 2.0,
+            y_reference: Some(2.5),
+            series: "measured".into(),
+        };
+        assert_eq!(p.series, "measured");
+        assert!(p.y < p.y_reference.unwrap());
+    }
+}

@@ -1,0 +1,61 @@
+//! Flood a message through the directional network and compare delivery and
+//! latency against an omnidirectional deployment using the same radius.
+//!
+//! Run with: `cargo run --release --example network_flooding [n]`
+
+use antennae::prelude::*;
+use antennae::sim::flooding::{
+    flood, flood_over_digraph, omnidirectional_digraph, FloodingConfig,
+};
+use std::f64::consts::PI;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(120);
+
+    let generator = PointSetGenerator::UniformSquare { n, side: (n as f64).sqrt() * 1.5 };
+    let points = generator.generate(11);
+    let instance = Instance::new(points.clone()).expect("non-empty");
+
+    println!("{n} sensors; comparing directional orientations against omnidirectional\n");
+    println!(
+        "{:>16} {:>10} {:>12} {:>12} {:>10}",
+        "configuration", "radius", "delivery", "latency", "max hops"
+    );
+
+    let config = FloodingConfig::default();
+    for (label, k, phi) in [
+        ("k=2, φ=π", 2usize, PI),
+        ("k=3, beams", 3, 0.0),
+        ("k=5, beams", 5, 0.0),
+    ] {
+        let scheme = orient(&instance, AntennaBudget::new(k, phi)).expect("orientable");
+        let radius = scheme.max_radius();
+        let result = flood(&points, &scheme, 0, config);
+        println!(
+            "{:>16} {:>10.3} {:>11.0}% {:>12.2} {:>10}",
+            label,
+            radius,
+            result.delivery_ratio() * 100.0,
+            result.completion_time,
+            result.max_hops
+        );
+
+        // Omnidirectional baseline at the same radius.
+        let omni = omnidirectional_digraph(&points, radius);
+        let omni_result = flood_over_digraph(&points, &omni, 0, config);
+        println!(
+            "{:>16} {:>10.3} {:>11.0}% {:>12.2} {:>10}",
+            "  (omni same r)",
+            radius,
+            omni_result.delivery_ratio() * 100.0,
+            omni_result.completion_time,
+            omni_result.max_hops
+        );
+    }
+
+    println!("\ndirectional orientations deliver to 100% of sensors (strong connectivity),");
+    println!("at a modest latency/hop penalty relative to the omnidirectional baseline.");
+}

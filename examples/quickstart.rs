@@ -1,0 +1,57 @@
+//! Quickstart: orient two antennae per sensor on a small random deployment,
+//! verify strong connectivity and inspect the scheme.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use antennae::prelude::*;
+use std::f64::consts::PI;
+
+fn main() {
+    // A reproducible deployment of 30 sensors in a 10×10 field.
+    let generator = PointSetGenerator::UniformSquare { n: 30, side: 10.0 };
+    let points = generator.generate(2024);
+    let instance = Instance::new(points).expect("non-empty deployment");
+
+    println!(
+        "deployment: {} sensors, lmax (longest MST edge) = {:.3}",
+        instance.len(),
+        instance.lmax()
+    );
+
+    // Budget: two antennae per sensor, spreads summing to at most π.
+    let budget = AntennaBudget::new(2, PI);
+    let outcome = orient_with_report(&instance, budget).expect("orientation exists");
+    println!(
+        "algorithm: {}, guaranteed radius: {:?} · lmax",
+        outcome.algorithm, outcome.guaranteed_radius_over_lmax
+    );
+
+    // Independently verify the result.
+    let report = verify(&instance, &outcome.scheme);
+    println!(
+        "strongly connected: {}, measured radius = {:.3} · lmax, max spread sum = {:.3} rad",
+        report.is_strongly_connected, report.max_radius_over_lmax, report.max_spread_sum
+    );
+    assert!(report.is_strongly_connected);
+
+    // Show the antennae of the first few sensors.
+    println!("\nfirst three sensors:");
+    for (i, assignment) in outcome.scheme.assignments.iter().take(3).enumerate() {
+        println!("  sensor {i} at {}:", instance.points()[i]);
+        for antenna in &assignment.antennas {
+            println!(
+                "    antenna: start {:.1}°, spread {:.1}°, range {:.3}",
+                antenna.start.degrees(),
+                antenna.spread.to_degrees(),
+                antenna.radius
+            );
+        }
+    }
+
+    // The paper's Table 1 bound for this budget.
+    let bound = bounds::table1_radius(2, PI).unwrap();
+    println!(
+        "\npaper bound for (k=2, φ₂=π): {:.4} · lmax — measured {:.4} · lmax",
+        bound, report.max_radius_over_lmax
+    );
+}

@@ -1,0 +1,53 @@
+//! A gallery of the extremal configurations used in the paper's proofs, and
+//! what each algorithm does on them: the regular polygon of Lemma 1, the
+//! five-armed star that forces degree-5 MST vertices, the collinear path,
+//! and a dense annulus.
+//!
+//! Run with: `cargo run --example worst_case_gallery`
+
+use antennae::prelude::*;
+use antennae::core::algorithms::dispatch::{orient_with_report, paper_radius_bound};
+use antennae::sim::generators::extremal_workloads;
+use std::f64::consts::PI;
+
+fn main() {
+    let budgets = [
+        (1usize, 8.0 * PI / 5.0),
+        (2, PI),
+        (2, 2.0 * PI / 3.0),
+        (3, 0.0),
+        (4, 0.0),
+        (5, 0.0),
+    ];
+
+    for generator in extremal_workloads() {
+        let points = generator.generate(7);
+        let instance = Instance::new(points).expect("non-empty");
+        println!(
+            "\n=== {} — {} sensors, lmax = {:.3} ===",
+            generator.label(),
+            instance.len(),
+            instance.lmax()
+        );
+        println!(
+            "{:>4} {:>8} {:>14} {:>16} {:>14} {:>10}",
+            "k", "φ/π", "algorithm", "measured r/lmax", "paper bound", "connected"
+        );
+        for &(k, phi) in &budgets {
+            let budget = AntennaBudget::new(k, phi);
+            let outcome = orient_with_report(&instance, budget).expect("orientable");
+            let report = verify(&instance, &outcome.scheme);
+            println!(
+                "{:>4} {:>8.3} {:>14} {:>16.4} {:>14} {:>10}",
+                k,
+                phi / PI,
+                outcome.algorithm.to_string(),
+                report.max_radius_over_lmax,
+                paper_radius_bound(k, phi)
+                    .map(|b| format!("{b:.4}"))
+                    .unwrap_or_else(|| "-".into()),
+                report.is_strongly_connected
+            );
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! # antennae
+//!
+//! Umbrella crate for the reproduction of Bhattacharya, Hu, Shi, Kranakis and
+//! Krizanc, *"Sensor Network Connectivity with Multiple Directional Antennae
+//! of a Given Angular Sum"* (IPPS 2009).
+//!
+//! The workspace is split into focused crates; this crate simply re-exports
+//! them under one roof so that applications (and the runnable examples in
+//! `examples/`) can depend on a single facade:
+//!
+//! * [`geometry`] — planar geometry substrate (points, angles, sectors,
+//!   spatial indexing).
+//! * [`graph`] — graph substrate (Euclidean MSTs with maximum degree 5,
+//!   rooted trees, strong connectivity).
+//! * [`core`] — the paper's contribution: antenna orientation algorithms for
+//!   every row of Table 1, plus the verification machinery.
+//! * [`sim`] — workload generators, energy model, flooding simulation and the
+//!   experiment drivers that regenerate every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use antennae::prelude::*;
+//!
+//! // A small deployment of sensors in the unit square.
+//! let points = vec![
+//!     Point::new(0.0, 0.0),
+//!     Point::new(1.0, 0.2),
+//!     Point::new(0.4, 0.9),
+//!     Point::new(1.3, 1.1),
+//!     Point::new(0.1, 1.4),
+//! ];
+//!
+//! // Each sensor has two antennae whose spreads sum to at most π.
+//! let instance = Instance::new(points).expect("valid instance");
+//! let scheme = orient(&instance, AntennaBudget::new(2, std::f64::consts::PI))
+//!     .expect("orientation exists");
+//!
+//! // The induced directed graph is strongly connected and every antenna's
+//! // range is at most 2·sin(2π/9) times the longest MST edge.
+//! let report = verify(&instance, &scheme);
+//! assert!(report.is_strongly_connected);
+//! assert!(scheme.max_radius() <= instance.lmax() * (2.0 * (2.0 * std::f64::consts::PI / 9.0).sin()) + 1e-9);
+//! ```
+
+pub use antennae_core as core;
+pub use antennae_geometry as geometry;
+pub use antennae_graph as graph;
+pub use antennae_sim as sim;
+
+/// Convenience re-exports of the types used by almost every application.
+pub mod prelude {
+    pub use antennae_core::algorithms::dispatch::{orient, orient_with_report};
+    pub use antennae_core::antenna::{Antenna, AntennaBudget, SensorAssignment};
+    pub use antennae_core::bounds;
+    pub use antennae_core::instance::Instance;
+    pub use antennae_core::scheme::OrientationScheme;
+    pub use antennae_core::verify::{verify, VerificationReport};
+    pub use antennae_geometry::{Angle, Point, Sector};
+    pub use antennae_graph::euclidean::EuclideanMst;
+    pub use antennae_sim::generators::{self, PointSetGenerator};
+}

@@ -1,0 +1,100 @@
+//! Cross-crate consistency tests: the geometry/graph substrates, the core
+//! algorithms and the simulation layer must agree with each other.
+
+use antennae::graph::euclidean::EuclideanMst;
+use antennae::graph::scc::is_strongly_connected;
+use antennae::prelude::*;
+use antennae::sim::flooding::{flood, FloodingConfig};
+use antennae::sim::interference::interference_stats;
+use std::f64::consts::PI;
+
+#[test]
+fn flooding_delivers_everywhere_iff_scc_says_strongly_connected() {
+    let generator = PointSetGenerator::UniformSquare { n: 50, side: 10.0 };
+    for seed in 0..3u64 {
+        let points = generator.generate(seed);
+        let instance = Instance::new(points.clone()).unwrap();
+        let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+        let digraph = scheme.induced_digraph(&points);
+        assert!(is_strongly_connected(&digraph));
+        // Flooding from several sources reaches everyone.
+        for source in [0usize, points.len() / 2, points.len() - 1] {
+            let result = flood(&points, &scheme, source, FloodingConfig::default());
+            assert!(result.fully_delivered(), "seed {seed} source {source}");
+        }
+    }
+}
+
+#[test]
+fn broken_scheme_detected_by_both_scc_and_flooding() {
+    let generator = PointSetGenerator::UniformSquare { n: 30, side: 8.0 };
+    let points = generator.generate(1);
+    let instance = Instance::new(points.clone()).unwrap();
+    // Remove every antenna from one sensor: it can still receive but never
+    // transmit, so strong connectivity must fail and flooding from it must
+    // only reach itself.
+    let mut scheme = orient(&instance, AntennaBudget::new(3, 0.0)).unwrap();
+    scheme.assignments[7] = antennae::core::antenna::SensorAssignment::empty();
+    let report = verify(&instance, &scheme);
+    assert!(!report.is_strongly_connected);
+    let result = flood(&points, &scheme, 7, FloodingConfig::default());
+    assert_eq!(result.delivered, 1);
+}
+
+#[test]
+fn scheme_radius_never_below_lmax_and_mst_degree_bounded() {
+    let generator = PointSetGenerator::Clustered {
+        n: 80,
+        clusters: 5,
+        side: 40.0,
+        spread: 1.0,
+    };
+    for seed in 0..3u64 {
+        let points = generator.generate(seed);
+        let mst = EuclideanMst::build(&points).unwrap();
+        assert!(mst.max_degree() <= 5);
+        let instance = Instance::new(points).unwrap();
+        assert!((instance.lmax() - mst.lmax()).abs() < 1e-12);
+        for k in 2..=5usize {
+            let scheme = orient(&instance, AntennaBudget::beams_only(k)).unwrap();
+            let report = verify(&instance, &scheme);
+            assert!(report.is_strongly_connected);
+            // lmax is a lower bound on any feasible radius.
+            assert!(report.max_radius_over_lmax >= 1.0 - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn directional_interference_decreases_with_narrower_budgets() {
+    let generator = PointSetGenerator::UniformSquare { n: 80, side: 9.0 };
+    let points = generator.generate(5);
+    let instance = Instance::new(points.clone()).unwrap();
+    // Wide antennae (theorem 2, k=1 needs spread up to 8π/5) cover more
+    // unintended receivers than beam-only schemes.
+    let wide = orient(&instance, AntennaBudget::new(1, 8.0 * PI / 5.0)).unwrap();
+    let narrow = orient(&instance, AntennaBudget::beams_only(5)).unwrap();
+    let wide_stats = interference_stats(&points, &wide);
+    let narrow_stats = interference_stats(&points, &narrow);
+    assert!(
+        narrow_stats.mean_covered_per_antenna <= wide_stats.mean_covered_per_antenna,
+        "narrow {} vs wide {}",
+        narrow_stats.mean_covered_per_antenna,
+        wide_stats.mean_covered_per_antenna
+    );
+}
+
+#[test]
+fn induced_digraph_contains_every_mst_edge_for_theorem2() {
+    // Theorem 2 covers all MST neighbours at every vertex, so the induced
+    // digraph must contain both directions of every MST edge.
+    let generator = PointSetGenerator::UniformSquare { n: 60, side: 10.0 };
+    let points = generator.generate(9);
+    let instance = Instance::new(points.clone()).unwrap();
+    let scheme = orient(&instance, AntennaBudget::new(2, 6.0 * PI / 5.0)).unwrap();
+    let digraph = scheme.induced_digraph(&points);
+    for edge in instance.mst().edges() {
+        assert!(digraph.has_edge(edge.u, edge.v), "missing {} -> {}", edge.u, edge.v);
+        assert!(digraph.has_edge(edge.v, edge.u), "missing {} -> {}", edge.v, edge.u);
+    }
+}

@@ -1,0 +1,123 @@
+//! End-to-end integration tests: every Table 1 regime, exercised through the
+//! public facade (`antennae::prelude`), on several workload families.
+
+use antennae::core::algorithms::dispatch::{
+    implemented_radius_guarantee, orient_with_report, paper_radius_bound,
+};
+use antennae::core::verify::verify_with_budget;
+use antennae::prelude::*;
+use std::f64::consts::PI;
+
+fn table1_budgets() -> Vec<(usize, f64)> {
+    vec![
+        (1, 0.0),
+        (1, 8.0 * PI / 5.0),
+        (2, 0.0),
+        (2, 2.0 * PI / 3.0),
+        (2, PI),
+        (2, 6.0 * PI / 5.0),
+        (3, 0.0),
+        (3, 4.0 * PI / 5.0),
+        (4, 0.0),
+        (4, 2.0 * PI / 5.0),
+        (5, 0.0),
+    ]
+}
+
+fn workloads() -> Vec<PointSetGenerator> {
+    vec![
+        PointSetGenerator::UniformSquare { n: 60, side: 12.0 },
+        PointSetGenerator::Clustered {
+            n: 60,
+            clusters: 4,
+            side: 25.0,
+            spread: 1.0,
+        },
+        PointSetGenerator::StarArms {
+            arms: 5,
+            arm_length: 4,
+        },
+        PointSetGenerator::Path { n: 25 },
+    ]
+}
+
+#[test]
+fn every_table1_regime_is_strongly_connected_within_its_guarantee() {
+    for generator in workloads() {
+        for seed in 0..2u64 {
+            let instance = Instance::new(generator.generate(seed)).unwrap();
+            for (k, phi) in table1_budgets() {
+                let budget = AntennaBudget::new(k, phi);
+                let outcome = orient_with_report(&instance, budget).unwrap();
+                let report = verify_with_budget(&instance, &outcome.scheme, Some(budget));
+                assert!(
+                    report.is_valid(),
+                    "{} seed {seed} k={k} phi={phi}: {:?}",
+                    generator.label(),
+                    report.violations
+                );
+                if let Some(bound) = outcome.guaranteed_radius_over_lmax {
+                    assert!(
+                        report.max_radius_over_lmax <= bound + 1e-6,
+                        "{} seed {seed} k={k} phi={phi}: radius {} > guarantee {bound}",
+                        generator.label(),
+                        report.max_radius_over_lmax,
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn implemented_guarantees_match_paper_bounds_where_reimplemented() {
+    // For every regime except the k = 1 intermediate one, the implemented
+    // guarantee equals the paper's Table 1 bound.
+    for (k, phi) in table1_budgets() {
+        let paper = paper_radius_bound(k, phi).unwrap();
+        match implemented_radius_guarantee(k, phi) {
+            Some(ours) => assert!(
+                (ours - paper).abs() < 1e-9 || ours >= paper,
+                "k={k} phi={phi}: implemented {ours} vs paper {paper}"
+            ),
+            None => assert_eq!(k, 1, "only the k=1 heuristic rows lack a guarantee"),
+        }
+    }
+}
+
+#[test]
+fn normalized_instances_give_identical_radius_ratios() {
+    // The algorithms are scale-invariant: normalizing lmax to 1 must not
+    // change the measured radius-to-lmax ratio.
+    let generator = PointSetGenerator::UniformSquare { n: 50, side: 200.0 };
+    let instance = Instance::new(generator.generate(3)).unwrap();
+    let normalized = instance.normalized().unwrap();
+    assert!((normalized.lmax() - 1.0).abs() < 1e-9);
+    for (k, phi) in [(2usize, PI), (3, 0.0)] {
+        let budget = AntennaBudget::new(k, phi);
+        let raw = verify(&instance, &orient(&instance, budget).unwrap()).max_radius_over_lmax;
+        let norm = verify(&normalized, &orient(&normalized, budget).unwrap()).max_radius_over_lmax;
+        assert!(
+            (raw - norm).abs() < 1e-6,
+            "k={k}: {raw} (raw) vs {norm} (normalized)"
+        );
+    }
+}
+
+#[test]
+fn doc_example_pipeline_works_via_prelude() {
+    let points = vec![
+        Point::new(0.0, 0.0),
+        Point::new(1.0, 0.2),
+        Point::new(0.4, 0.9),
+        Point::new(1.3, 1.1),
+        Point::new(0.1, 1.4),
+    ];
+    let instance = Instance::new(points).unwrap();
+    let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+    let report = verify(&instance, &scheme);
+    assert!(report.is_strongly_connected);
+    assert!(
+        scheme.max_radius() <= instance.lmax() * (2.0 * (2.0 * PI / 9.0).sin()) + 1e-9
+    );
+}

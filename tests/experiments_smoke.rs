@@ -1,0 +1,66 @@
+//! Smoke tests of every experiment driver (the logic behind each report
+//! binary), run in their quick configurations.
+
+use antennae::sim::experiments::{
+    chain_constructions, energy_compare, lemma1_polygon, mst_facts, table1, theorem3_cases,
+    tradeoff,
+};
+
+#[test]
+fn table1_quick_report_reproduces_every_row_within_bounds() {
+    let report = table1::run(&table1::Table1Config::quick());
+    assert_eq!(report.rows.len(), 12);
+    assert!(report.all_valid());
+    for row in &report.rows {
+        assert!(row.within_paper_bound || row.implemented_bound.is_none(),
+            "row '{}' exceeded the paper bound: measured {:.4} vs {:?}",
+            row.row.regime, row.worst_radius, row.row.paper_bound);
+    }
+    let text = report.to_string();
+    assert!(text.contains("Table 1"));
+    assert!(text.contains("Theorem"));
+}
+
+#[test]
+fn lemma1_report_confirms_necessity_and_sufficiency() {
+    let report = lemma1_polygon::run(5);
+    assert!(report.all_hold());
+    assert_eq!(report.cells.len(), 15);
+}
+
+#[test]
+fn mst_facts_hold_on_quick_workloads() {
+    let report = mst_facts::run(&mst_facts::MstFactsConfig::quick());
+    assert!(report.all_facts_hold());
+}
+
+#[test]
+fn theorem3_case_histogram_covers_all_degrees_seen() {
+    let report = theorem3_cases::run(&theorem3_cases::Theorem3CasesConfig::quick());
+    for histogram in &report.histograms {
+        assert!(histogram.all_connected);
+        assert!(histogram.worst_radius <= histogram.bound.unwrap() + 1e-6);
+        assert!(!histogram.counts.is_empty());
+    }
+}
+
+#[test]
+fn chain_constructions_respect_their_bounds() {
+    let report = chain_constructions::run(&chain_constructions::ChainConfig::quick());
+    assert!(report.all_within_bounds());
+}
+
+#[test]
+fn tradeoff_curves_stay_below_paper_bounds() {
+    let report = tradeoff::run(&tradeoff::TradeoffConfig::quick());
+    assert!(report.all_connected);
+    for point in &report.phi_sweep {
+        assert!(point.y <= point.y_reference.unwrap() + 1e-6);
+    }
+}
+
+#[test]
+fn energy_experiment_shows_directional_gain() {
+    let report = energy_compare::run(&energy_compare::EnergyConfig::quick());
+    assert!(report.rows.iter().all(|r| r.energy_gain() > 1.0));
+}

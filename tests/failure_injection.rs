@@ -1,0 +1,110 @@
+//! Failure-injection tests: deliberately corrupted orientation schemes must
+//! be rejected by the independent verifier, and the verifier's measurements
+//! must expose exactly what was broken.
+
+use antennae::core::antenna::{Antenna, SensorAssignment};
+use antennae::core::verify::{verify_with_budget, Violation};
+use antennae::geometry::Angle;
+use antennae::prelude::*;
+use std::f64::consts::PI;
+
+fn instance_and_scheme() -> (Instance, OrientationScheme) {
+    let generator = PointSetGenerator::UniformSquare { n: 40, side: 10.0 };
+    let instance = Instance::new(generator.generate(17)).unwrap();
+    let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+    (instance, scheme)
+}
+
+#[test]
+fn valid_scheme_passes_then_each_corruption_is_caught() {
+    let (instance, scheme) = instance_and_scheme();
+    let budget = AntennaBudget::new(2, PI);
+    assert!(verify_with_budget(&instance, &scheme, Some(budget)).is_valid());
+
+    // Corruption 1: silence one sensor entirely.
+    let mut silenced = scheme.clone();
+    silenced.assignments[3] = SensorAssignment::empty();
+    let report = verify_with_budget(&instance, &silenced, Some(budget));
+    assert!(!report.is_strongly_connected);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::NotStronglyConnected { .. })));
+
+    // Corruption 2: rotate one sensor's antennae away from their targets.
+    let mut rotated = scheme.clone();
+    for antenna in &mut rotated.assignments[5].antennas {
+        antenna.start = antenna.start.rotate(PI * 0.9);
+    }
+    let report = verify_with_budget(&instance, &rotated, Some(budget));
+    // Rotating by ~162° may or may not disconnect the graph depending on the
+    // local geometry, but the verifier must at least keep the measurement
+    // consistent; when it is disconnected the violation must be reported.
+    assert_eq!(
+        report.is_strongly_connected,
+        !report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::NotStronglyConnected { .. }))
+    );
+
+    // Corruption 3: shrink every radius below lmax — connectivity must break
+    // (lmax is a lower bound on the necessary range).
+    let mut shrunk = scheme.clone();
+    let too_small = instance.lmax() * 0.49;
+    for assignment in &mut shrunk.assignments {
+        for antenna in &mut assignment.antennas {
+            antenna.radius = antenna.radius.min(too_small);
+        }
+    }
+    let report = verify_with_budget(&instance, &shrunk, Some(budget));
+    assert!(!report.is_strongly_connected);
+
+    // Corruption 4: exceed the antenna-count budget.
+    let mut extra = scheme.clone();
+    extra.assignments[0]
+        .antennas
+        .push(Antenna::new(Angle::ZERO, 0.0, 1.0));
+    extra.assignments[0]
+        .antennas
+        .push(Antenna::new(Angle::HALF, 0.0, 1.0));
+    let report = verify_with_budget(&instance, &extra, Some(budget));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::TooManyAntennas { sensor: 0, .. })));
+
+    // Corruption 5: exceed the spread budget.
+    let mut wide = scheme;
+    wide.assignments[1].antennas = vec![Antenna::new(Angle::ZERO, 1.5 * PI, 2.0)];
+    let report = verify_with_budget(&instance, &wide, Some(budget));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::SpreadExceeded { sensor: 1, .. })));
+}
+
+#[test]
+fn truncated_scheme_is_reported_as_missing_assignments() {
+    let (instance, scheme) = instance_and_scheme();
+    let mut truncated = scheme;
+    truncated.assignments.truncate(instance.len() - 5);
+    let report = verify_with_budget(&instance, &truncated, None);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::MissingAssignments { .. })));
+}
+
+#[test]
+fn radius_measurement_reflects_injected_inflation() {
+    let (instance, mut scheme) = instance_and_scheme();
+    let before = verify(&instance, &scheme).max_radius_over_lmax;
+    // Inflate one antenna's radius: connectivity is unaffected but the
+    // measured maximum radius must grow accordingly.
+    scheme.assignments[2].antennas[0].radius = instance.lmax() * 10.0;
+    let after = verify(&instance, &scheme);
+    assert!(after.is_strongly_connected);
+    assert!(after.max_radius_over_lmax >= 10.0 - 1e-9);
+    assert!(after.max_radius_over_lmax > before);
+}
