@@ -1,0 +1,45 @@
+//! Scaling ablation of the two Euclidean MST engines: O(n²) dense Prim vs
+//! the kd-tree Borůvka engine, on identical point sets.
+//!
+//! The interesting output is the crossover: dense Prim wins at small `n` (no
+//! spatial index to build), the kd-tree engine wins from well below n = 2000
+//! and the gap widens roughly linearly in `n` afterwards.  `Auto` should
+//! track the better of the two at every size.
+
+use antennae_bench::workloads::uniform_instance;
+use antennae_graph::euclidean::{EuclideanMst, MstEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const SIZES: &[usize] = &[125, 250, 500, 1000, 2000, 4000, 8000];
+
+fn bench_engine(c: &mut Criterion, group_name: &str, engine: MstEngine) {
+    let mut group = c.benchmark_group(group_name);
+    for &n in SIZES {
+        // Skip quadratic runs past the point where they only burn time.
+        if engine == MstEngine::DensePrim && n > 4000 {
+            continue;
+        }
+        let instance = uniform_instance(n, 42);
+        let points = instance.points().to_vec();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &points, |b, pts| {
+            b.iter(|| EuclideanMst::build_with_engine(black_box(pts), engine).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_prim(c: &mut Criterion) {
+    bench_engine(c, "mst_scaling/dense_prim", MstEngine::DensePrim);
+}
+
+fn bench_kdtree_boruvka(c: &mut Criterion) {
+    bench_engine(c, "mst_scaling/kdtree_boruvka", MstEngine::KdTreeBoruvka);
+}
+
+fn bench_auto(c: &mut Criterion) {
+    bench_engine(c, "mst_scaling/auto", MstEngine::Auto);
+}
+
+criterion_group!(benches, bench_dense_prim, bench_kdtree_boruvka, bench_auto);
+criterion_main!(benches);

@@ -27,25 +27,32 @@
 //! | Theorem 5 (`k = 3`, spread 0) | [`algorithms::chains`] | √3 |
 //! | Theorem 6 (`k = 4`, spread 0) | [`algorithms::chains`] | √2 |
 //! | `k = 5`, spread 0 (folklore) | [`algorithms::chains`] | 1 |
-//! | `k = 2`, spread 0 ([14] row) | [`algorithms::chains`] | 2 |
-//! | `k = 1` baselines ([4], [14] rows) | [`algorithms::one_antenna`], [`algorithms::hamiltonian`] | 1 / ≈2 (heuristic) |
+//! | `k = 2`, spread 0 (\[14\] row) | [`algorithms::chains`] | 2 |
+//! | `k = 1` baselines (\[4\], \[14\] rows) | [`algorithms::one_antenna`], [`algorithms::hamiltonian`] | 1 / ≈2 (heuristic) |
 //!
 //! [`algorithms::dispatch::orient`] picks the best algorithm for a given
 //! `(k, φ_k)` budget, and [`verify::verify`] independently checks strong
 //! connectivity and the radius/spread budgets of any scheme.
+//!
+//! For whole budget grids or fleets of deployments, [`batch::BatchOrienter`]
+//! shares one MST substrate across every dispatch and fans the work out over
+//! the order-preserving [`parallel::parallel_map`].
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod algorithms;
 pub mod antenna;
+pub mod batch;
 pub mod bounds;
 pub mod error;
 pub mod instance;
+pub mod parallel;
 pub mod scheme;
 pub mod verify;
 
 pub use antenna::{Antenna, AntennaBudget, SensorAssignment};
+pub use batch::BatchOrienter;
 pub use error::OrientError;
 pub use instance::Instance;
 pub use scheme::OrientationScheme;

@@ -1,10 +1,16 @@
-//! A 2-d tree (kd-tree) over points, supporting nearest-neighbour and range
-//! queries.
+//! A 2-d tree (kd-tree) over points, supporting nearest-neighbour, k-nearest,
+//! nearest-foreign-component and range queries.
 //!
-//! The Euclidean MST builder in `antennae-graph` uses the kd-tree to find the
-//! nearest unconnected neighbour of each Prim frontier vertex, and the
-//! simulation crate uses range queries to compute interference metrics
-//! (receivers inside a sector).
+//! The sub-quadratic Euclidean MST builder in `antennae-graph` drives its
+//! Borůvka rounds through [`KdTree::nearest_foreign`] (the nearest point that
+//! belongs to a *different* connected component), and the simulation crate
+//! uses range queries to compute interference metrics (receivers inside a
+//! sector).
+//!
+//! Ties on distance are broken towards the smaller point index everywhere, so
+//! every query is deterministic even on degenerate inputs (duplicate points,
+//! co-circular neighbours).  The MST builder relies on that determinism for
+//! its tie-broken total order on candidate edges.
 
 use crate::bbox::Aabb;
 use crate::point::Point;
@@ -94,15 +100,74 @@ impl KdTree {
     /// itself, or points already attached to a growing MST).
     ///
     /// Returns `(index, distance)` or `None` when every point is skipped.
+    /// Distance ties are broken towards the smaller index.
     pub fn nearest_filtered<F: Fn(usize) -> bool>(
         &self,
         query: &Point,
         skip: F,
     ) -> Option<(usize, f64)> {
         let root = self.root?;
-        let mut best: Option<(usize, f64)> = None;
+        // Sentinel seed: accepts any real point, never reported.
+        let mut best = (usize::MAX, f64::INFINITY);
         self.nearest_rec(root, query, &skip, &mut best);
-        best
+        (best.0 != usize::MAX).then(|| (best.0, best.1.sqrt()))
+    }
+
+    /// Nearest point to `query` whose component label differs from `label`.
+    ///
+    /// `labels[i]` is the component of stored point `i` (indices refer to the
+    /// slice the tree was built from); points whose label equals `label` are
+    /// invisible to the search.  This is the inner query of the kd-tree
+    /// Borůvka MST engine: each Borůvka round asks, for every vertex, for the
+    /// nearest vertex *outside* its own component.  Distance ties are broken
+    /// towards the smaller index so that concurrent component searches agree
+    /// on a single total order of candidate edges.
+    ///
+    /// Returns `(index, distance)`, or `None` when every point carries
+    /// `label`.
+    pub fn nearest_foreign(
+        &self,
+        query: &Point,
+        labels: &[usize],
+        label: usize,
+    ) -> Option<(usize, f64)> {
+        self.nearest_foreign_within(query, labels, label, f64::INFINITY)
+    }
+
+    /// Like [`KdTree::nearest_foreign`], but only reports points at distance
+    /// `max_dist` or closer.
+    ///
+    /// Subtrees beyond `max_dist` are pruned from the start, which is what
+    /// makes the Borůvka engine's late rounds cheap: once one vertex of a
+    /// component has found a nearby foreign point, its component-mates search
+    /// only within that radius.  A point at exactly `max_dist` is still
+    /// reported (the bound behaves like an already-seen candidate with an
+    /// infinite index), so a component's minimum candidate edge under the
+    /// `(distance, index)` tie order is never lost.  The bound is widened by
+    /// a few ulps before use — callers commonly pass a distance a previous
+    /// query returned, and the `sqrt`/square round-trip may otherwise land
+    /// one ulp *below* the tied candidate's squared distance and hide it; the
+    /// widening can only admit marginally farther points, never lose one,
+    /// and a returned point is always the true nearest foreigner.
+    pub fn nearest_foreign_within(
+        &self,
+        query: &Point,
+        labels: &[usize],
+        label: usize,
+        max_dist: f64,
+    ) -> Option<(usize, f64)> {
+        assert_eq!(
+            labels.len(),
+            self.points.len(),
+            "one label per stored point"
+        );
+        let Some(root) = self.root else {
+            return None;
+        };
+        let bound_sq = (max_dist * max_dist) * (1.0 + 4.0 * f64::EPSILON);
+        let mut best = (usize::MAX, bound_sq);
+        self.nearest_rec(root, query, &|i| labels[i] == label, &mut best);
+        (best.0 != usize::MAX).then(|| (best.0, best.1.sqrt()))
     }
 
     /// Nearest neighbour of `query` (no filtering).
@@ -110,19 +175,22 @@ impl KdTree {
         self.nearest_filtered(query, |_| false)
     }
 
+    /// Recursive nearest search over *squared* distances (saves a `sqrt` per
+    /// visited node).  `best` is `(index, squared distance)` with
+    /// `usize::MAX` as the not-yet-found sentinel.
     fn nearest_rec<F: Fn(usize) -> bool>(
         &self,
         node_idx: usize,
         query: &Point,
         skip: &F,
-        best: &mut Option<(usize, f64)>,
+        best: &mut (usize, f64),
     ) {
         let node = &self.nodes[node_idx];
         let p = &self.points[node.point_idx];
         if !skip(node.point_idx) {
-            let d = query.distance(p);
-            if best.is_none_or(|(_, bd)| d < bd) {
-                *best = Some((node.point_idx, d));
+            let d2 = query.distance_squared(p);
+            if d2 < best.1 || (d2 == best.1 && node.point_idx < best.0) {
+                *best = (node.point_idx, d2);
             }
         }
         let diff = if node.axis == 0 {
@@ -138,8 +206,9 @@ impl KdTree {
         if let Some(n) = near {
             self.nearest_rec(n, query, skip, best);
         }
-        let must_check_far = best.is_none_or(|(_, bd)| diff.abs() < bd);
-        if must_check_far {
+        // `<=` (not `<`): with index tie-breaking an equally distant,
+        // smaller-indexed point on the far side must still be found.
+        if diff * diff <= best.1 {
             if let Some(f) = far {
                 self.nearest_rec(f, query, skip, best);
             }
@@ -188,17 +257,56 @@ impl KdTree {
         out
     }
 
-    /// The `k` nearest neighbours of `query`, sorted by increasing distance.
+    /// The `k` nearest neighbours of `query`, sorted by increasing distance
+    /// (ties towards the smaller index).
+    ///
+    /// The search keeps the current best `k` candidates and prunes every
+    /// subtree whose splitting plane is farther than the worst of them, so a
+    /// query costs O(k + log n) on typical inputs rather than the O(n log n)
+    /// of a scan-and-sort.
     pub fn k_nearest(&self, query: &Point, k: usize) -> Vec<(usize, f64)> {
-        // Simple approach: keep a sorted vector of the best k.  The tree is
-        // small (thousands of sensors), so this is plenty fast and simpler to
-        // verify than a heap-based pruning search.
-        let mut all: Vec<(usize, f64)> = (0..self.points.len())
-            .map(|i| (i, query.distance(&self.points[i])))
-            .collect();
-        all.sort_by(|a, b| a.1.total_cmp(&b.1));
-        all.truncate(k);
-        all
+        let mut best: Vec<(usize, f64)> = Vec::with_capacity(k.min(self.points.len()) + 1);
+        if k == 0 {
+            return best;
+        }
+        if let Some(root) = self.root {
+            self.k_nearest_rec(root, query, k, &mut best);
+        }
+        best
+    }
+
+    fn k_nearest_rec(&self, node_idx: usize, query: &Point, k: usize, best: &mut Vec<(usize, f64)>) {
+        let node = &self.nodes[node_idx];
+        let p = &self.points[node.point_idx];
+        let d = query.distance(p);
+        // Insert into the sorted candidate list (worst candidate last).
+        let pos = best
+            .iter()
+            .position(|&(bi, bd)| d < bd || (d == bd && node.point_idx < bi))
+            .unwrap_or(best.len());
+        if pos < k {
+            best.insert(pos, (node.point_idx, d));
+            best.truncate(k);
+        }
+        let diff = if node.axis == 0 {
+            query.x - p.x
+        } else {
+            query.y - p.y
+        };
+        let (near, far) = if diff <= 0.0 {
+            (node.left, node.right)
+        } else {
+            (node.right, node.left)
+        };
+        if let Some(n) = near {
+            self.k_nearest_rec(n, query, k, best);
+        }
+        let must_check_far = best.len() < k || best.last().is_none_or(|&(_, wd)| diff.abs() <= wd);
+        if must_check_far {
+            if let Some(f) = far {
+                self.k_nearest_rec(f, query, k, best);
+            }
+        }
     }
 }
 
@@ -269,6 +377,68 @@ mod tests {
         assert_eq!(knn[0].0, 0);
     }
 
+    #[test]
+    fn k_nearest_edge_cases() {
+        let pts = sample_points();
+        let t = KdTree::build(&pts);
+        assert!(t.k_nearest(&Point::ORIGIN, 0).is_empty());
+        // Asking for more neighbours than points returns all of them, sorted.
+        let all = t.k_nearest(&Point::ORIGIN, 100);
+        assert_eq!(all.len(), pts.len());
+        assert!(all.windows(2).all(|w| w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn nearest_foreign_skips_own_component() {
+        let pts = sample_points();
+        let t = KdTree::build(&pts);
+        // Points 0 and 5 share component 7; the nearest foreigner of point 0
+        // must therefore be point 1, not the closer point 5.
+        let labels = vec![7, 1, 1, 2, 2, 7];
+        let (idx, d) = t.nearest_foreign(&pts[0], &labels, 7).unwrap();
+        assert_eq!(idx, 1);
+        assert!((d - pts[0].distance(&pts[1])).abs() < 1e-12);
+        // A component holding every point sees no foreigner.
+        let all_same = vec![3; pts.len()];
+        assert!(t.nearest_foreign(&pts[0], &all_same, 3).is_none());
+    }
+
+    #[test]
+    fn nearest_foreign_within_respects_the_bound() {
+        let pts = sample_points();
+        let t = KdTree::build(&pts);
+        let labels = vec![7, 1, 1, 2, 2, 7];
+        let exact = t.nearest_foreign(&pts[0], &labels, 7).unwrap();
+        // A bound at exactly the true distance still reports the point…
+        let bounded = t
+            .nearest_foreign_within(&pts[0], &labels, 7, exact.1)
+            .unwrap();
+        assert_eq!(bounded.0, exact.0);
+        // …while a tighter bound hides everything.
+        assert!(t
+            .nearest_foreign_within(&pts[0], &labels, 7, exact.1 * 0.99)
+            .is_none());
+    }
+
+    #[test]
+    fn nearest_breaks_distance_ties_towards_smaller_index() {
+        // Two points equidistant from the query, straddling the splitting
+        // plane; the smaller index must win regardless of tree layout.
+        let pts = vec![
+            Point::new(-1.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 5.0),
+        ];
+        let t = KdTree::build(&pts);
+        let (idx, d) = t.nearest(&Point::ORIGIN).unwrap();
+        assert_eq!(idx, 0);
+        assert!((d - 1.0).abs() < 1e-12);
+        // Duplicate points: both at distance 0, index 0 wins.
+        let dup = vec![Point::new(2.0, 2.0), Point::new(2.0, 2.0)];
+        let td = KdTree::build(&dup);
+        assert_eq!(td.nearest(&Point::new(2.0, 2.0)).unwrap().0, 0);
+    }
+
     proptest! {
         #[test]
         fn prop_nearest_matches_linear_scan(
@@ -282,6 +452,52 @@ mod tests {
             let best_lin = pts.iter().map(|p| q.distance(p)).fold(f64::INFINITY, f64::min);
             prop_assert!((d - best_lin).abs() < 1e-9);
             prop_assert!((q.distance(&pts[idx]) - d).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_k_nearest_matches_linear_scan(
+            xs in proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 1..60),
+            qx in -50.0..50.0f64, qy in -50.0..50.0f64,
+            k in 1usize..12,
+        ) {
+            let pts: Vec<Point> = xs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let q = Point::new(qx, qy);
+            let t = KdTree::build(&pts);
+            let got = t.k_nearest(&q, k);
+            let mut expected: Vec<(usize, f64)> = (0..pts.len())
+                .map(|i| (i, q.distance(&pts[i])))
+                .collect();
+            expected.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            expected.truncate(k);
+            prop_assert_eq!(got.len(), expected.len());
+            for (g, e) in got.iter().zip(expected.iter()) {
+                prop_assert!((g.1 - e.1).abs() < 1e-12, "distance mismatch: {:?} vs {:?}", g, e);
+            }
+        }
+
+        #[test]
+        fn prop_nearest_foreign_matches_linear_scan(
+            xs in proptest::collection::vec((-50.0..50.0f64, -50.0..50.0f64, 0usize..4), 1..50),
+            qx in -50.0..50.0f64, qy in -50.0..50.0f64,
+            label in 0usize..4,
+        ) {
+            let pts: Vec<Point> = xs.iter().map(|&(x, y, _)| Point::new(x, y)).collect();
+            let labels: Vec<usize> = xs.iter().map(|&(_, _, l)| l).collect();
+            let q = Point::new(qx, qy);
+            let t = KdTree::build(&pts);
+            let got = t.nearest_foreign(&q, &labels, label);
+            let expected = (0..pts.len())
+                .filter(|&i| labels[i] != label)
+                .map(|i| (i, q.distance(&pts[i])))
+                .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            match (got, expected) {
+                (None, None) => {}
+                (Some((gi, gd)), Some((ei, ed))) => {
+                    prop_assert_eq!(gi, ei);
+                    prop_assert!((gd - ed).abs() < 1e-12);
+                }
+                other => prop_assert!(false, "mismatch: {:?}", other),
+            }
         }
 
         #[test]

@@ -8,18 +8,94 @@
 //! when six neighbours sit at exactly 60° from each other at identical
 //! distances; a local exchange (replace one of the two tied star edges by the
 //! equally long edge between the two neighbours) removes the tie without
-//! increasing the weight.  [`EuclideanMst::build`] performs a dense Prim pass
-//! with deterministic tie-breaking followed by that repair pass, and the
-//! test-suite checks the degree bound on adversarial inputs (hexagonal
-//! lattices) as well as random ones.
+//! increasing the weight.  [`EuclideanMst::build`] runs one of two engines
+//! followed by that repair pass, and the test-suite checks the degree bound
+//! on adversarial inputs (hexagonal lattices) as well as random ones.
+//!
+//! # Engines
+//!
+//! Two interchangeable MST engines produce the spanning edges (see
+//! [`MstEngine`]):
+//!
+//! * **Dense Prim** — the classic O(n²)-time, O(n)-memory pass over the
+//!   complete Euclidean graph.  Unbeatable for small inputs (no spatial index
+//!   to build) and kept as the *oracle* the kd-tree engine is property-tested
+//!   against.
+//! * **Kd-tree Borůvka** — Borůvka rounds whose "cheapest outgoing edge per
+//!   component" queries run as nearest-foreign-component searches against a
+//!   [`KdTree`].  O(n log n)-class on typical inputs: each of the O(log n)
+//!   rounds performs n pruned nearest-neighbour queries.
+//!
+//! Each engine breaks weight ties deterministically — dense Prim prefers the
+//! lexicographically smaller `(target, source)` pair, the Borůvka engine a
+//! total order on edges (weight, then smaller endpoint, then larger
+//! endpoint) — so each computes a true MST even on degenerate inputs.  The
+//! two orders differ, so the *trees* may differ on tied inputs; but since
+//! **every** MST of a graph has the same multiset of edge weights, the
+//! engines always agree on `total_weight` and `lmax`, which is exactly what
+//! the cross-engine property tests assert.
+//!
+//! [`EuclideanMst::build`] selects the engine by input size (the
+//! [`KDTREE_CROSSOVER`] threshold); `build_with_engine` pins one explicitly.
 
 use crate::graph::{Edge, Graph};
+use crate::union_find::UnionFind;
 use antennae_geometry::angular::{circular_gaps, sort_ccw};
-use antennae_geometry::Point;
+use antennae_geometry::{KdTree, Point};
 use serde::{Deserialize, Serialize};
 
 /// Maximum vertex degree the orientation algorithms assume (`Δ(T) ≤ 5`).
 pub const MAX_MST_DEGREE: usize = 5;
+
+/// Input size at which [`MstEngine::Auto`] switches from dense Prim to the
+/// kd-tree Borůvka engine.
+///
+/// Below this size the O(n²) pass is faster in practice because it builds no
+/// spatial index and touches memory linearly.  The `mst_scaling` criterion
+/// bench in `antennae-bench` tracks the real crossover; on container
+/// hardware dense Prim wins at n = 500 (1.04 ms vs 1.35 ms) and loses from
+/// n = 1000 (3.66 ms vs 3.00 ms), so the threshold sits between those
+/// points.  Misclassifying slightly is cheap near the crossover (tens of
+/// percent on sub-millisecond builds) and expensive far above it
+/// (quadratic vs quasi-linear), which is why it leans low.
+pub const KDTREE_CROSSOVER: usize = 768;
+
+/// Which algorithm produces the spanning edges of a [`EuclideanMst`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MstEngine {
+    /// Pick by input size: dense Prim below [`KDTREE_CROSSOVER`] points,
+    /// kd-tree Borůvka at or above it.
+    Auto,
+    /// The O(n²) dense Prim pass (also the property-test oracle).
+    DensePrim,
+    /// Borůvka rounds over kd-tree nearest-foreign-component queries,
+    /// O(n log n)-class on typical inputs.
+    KdTreeBoruvka,
+}
+
+impl Default for MstEngine {
+    /// `Auto`, so that payloads serialized before the engine field existed
+    /// (and builders that don't care) get size-based selection.
+    fn default() -> Self {
+        MstEngine::Auto
+    }
+}
+
+impl MstEngine {
+    /// The concrete engine `Auto` resolves to for an input of `n` points.
+    pub fn resolve(self, n: usize) -> MstEngine {
+        match self {
+            MstEngine::Auto => {
+                if n >= KDTREE_CROSSOVER {
+                    MstEngine::KdTreeBoruvka
+                } else {
+                    MstEngine::DensePrim
+                }
+            }
+            other => other,
+        }
+    }
+}
 
 /// Errors that can occur while building a Euclidean MST.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -58,23 +134,56 @@ pub struct EuclideanMst {
     points: Vec<Point>,
     tree: Graph,
     lmax: f64,
+    #[serde(default)]
+    engine: MstEngine,
 }
 
 impl EuclideanMst {
     /// Builds the Euclidean MST of `points` and repairs it to maximum degree
-    /// 5.
+    /// 5, selecting the engine by input size ([`MstEngine::Auto`]).
     ///
-    /// Runs in O(n²) time and O(n) additional memory (dense Prim), which
-    /// comfortably handles the tens of thousands of sensors used in the
-    /// benchmark harness.
+    /// # Examples
+    ///
+    /// ```
+    /// use antennae_geometry::Point;
+    /// use antennae_graph::euclidean::EuclideanMst;
+    ///
+    /// let points = vec![
+    ///     Point::new(0.0, 0.0),
+    ///     Point::new(3.0, 4.0),
+    ///     Point::new(3.0, 5.0),
+    /// ];
+    /// let mst = EuclideanMst::build(&points)?;
+    /// assert_eq!(mst.edges().len(), 2);
+    /// // The longest edge (0,0)–(3,4) normalises every radius guarantee.
+    /// assert!((mst.lmax() - 5.0).abs() < 1e-12);
+    /// assert!(mst.max_degree() <= 5);
+    /// # Ok::<(), antennae_graph::euclidean::EmstError>(())
+    /// ```
     pub fn build(points: &[Point]) -> Result<Self, EmstError> {
+        Self::build_with_engine(points, MstEngine::Auto)
+    }
+
+    /// Builds the Euclidean MST of `points` with an explicitly chosen engine.
+    ///
+    /// `MstEngine::DensePrim` runs in O(n²) time and O(n) additional memory;
+    /// `MstEngine::KdTreeBoruvka` in O(n log n)-class time.  Both produce a
+    /// genuine MST (identical `total_weight` and `lmax`; the trees themselves
+    /// may differ on tied edge weights).
+    pub fn build_with_engine(points: &[Point], engine: MstEngine) -> Result<Self, EmstError> {
         if points.is_empty() {
             return Err(EmstError::EmptyPointSet);
         }
         let n = points.len();
+        let resolved = engine.resolve(n);
         let mut tree = Graph::new(n);
         if n > 1 {
-            for e in dense_prim(points) {
+            let spanning = match resolved {
+                MstEngine::DensePrim => dense_prim(points),
+                MstEngine::KdTreeBoruvka => kd_boruvka(points),
+                MstEngine::Auto => unreachable!("resolve() returns a concrete engine"),
+            };
+            for e in spanning {
                 tree.add_edge(e.u, e.v, e.weight);
             }
             repair_degree(points, &mut tree);
@@ -90,7 +199,18 @@ impl EuclideanMst {
             points: points.to_vec(),
             tree,
             lmax,
+            engine: resolved,
         })
+    }
+
+    /// The engine that produced this tree.
+    ///
+    /// Freshly built trees always report a concrete engine
+    /// ([`MstEngine::Auto`] is resolved before building); only a tree
+    /// deserialized from a payload predating the engine field reports the
+    /// [`MstEngine::default`] of `Auto`, meaning "provenance unknown".
+    pub fn engine(&self) -> MstEngine {
+        self.engine
     }
 
     /// The underlying point set (indices of the tree refer to this slice).
@@ -229,6 +349,98 @@ fn dense_prim(points: &[Point]) -> Vec<Edge> {
         }
     }
     edges
+}
+
+/// Kd-tree Borůvka over the implicit complete Euclidean graph.
+///
+/// Each round relabels every vertex with its component root, asks the kd-tree
+/// for every vertex's nearest *foreign* point ([`KdTree::nearest_foreign`]),
+/// keeps the minimal candidate edge per component, and merges.  Candidate
+/// edges are compared by the total order `(weight, min endpoint, max
+/// endpoint)`; because the kd-tree breaks distance ties towards the smaller
+/// index, each component's winner is *the* minimum outgoing edge under that
+/// order, which makes the procedure the plain Borůvka algorithm on a graph
+/// with all-distinct (tie-perturbed) weights: no cycles form, and the result
+/// is a true MST even for duplicate points and exact-tie lattices.
+///
+/// The component count at least halves per round, so there are O(log n)
+/// rounds of n pruned nearest-neighbour queries each.
+fn kd_boruvka(points: &[Point]) -> Vec<Edge> {
+    let n = points.len();
+    let tree = KdTree::build(points);
+    let mut uf = UnionFind::new(n);
+    let mut labels = vec![0usize; n];
+    let mut edges = Vec::with_capacity(n - 1);
+    // Cross-round cache: `cache[v]` is v's exact nearest foreign point from
+    // an earlier round.  Components only ever merge, so the cached point
+    // stays v's exact nearest foreigner for as long as it remains foreign —
+    // only vertices whose candidate got absorbed re-query the tree.
+    let mut cache: Vec<Option<(usize, f64)>> = vec![None; n];
+    // Vertices grouped by component so that a component's current-best
+    // distance can seed (bound) its later members' searches.
+    let mut order: Vec<usize> = (0..n).collect();
+
+    while uf.component_count() > 1 {
+        for (v, label) in labels.iter_mut().enumerate() {
+            *label = uf.find(v);
+        }
+        order.sort_unstable_by_key(|&v| labels[v]);
+        // Minimal outgoing candidate per component root, as
+        // (weight, min endpoint, max endpoint).
+        let mut best: Vec<Option<(f64, usize, usize)>> = vec![None; n];
+        for &v in &order {
+            let root = labels[v];
+            let candidate = match cache[v] {
+                Some((u, d)) if labels[u] != root => Some((u, d)),
+                _ => {
+                    // Seed the search with the component's current best: a
+                    // farther point cannot win the component anyway.  Points
+                    // at exactly the bound are still found, so the winner is
+                    // the same edge an unbounded search would select.
+                    let bound = best[root].map_or(f64::INFINITY, |(d, _, _)| d);
+                    let found = tree.nearest_foreign_within(&points[v], &labels, root, bound);
+                    // A bounded `Some` is v's true nearest foreigner (the
+                    // bound only hides strictly farther points); `None` just
+                    // means "cannot beat the component best", so nothing
+                    // cacheable was learned.
+                    if found.is_some() {
+                        cache[v] = found;
+                    }
+                    found
+                }
+            };
+            let Some((u, d)) = candidate else {
+                continue;
+            };
+            let candidate = (d, v.min(u), v.max(u));
+            let slot = &mut best[root];
+            if slot.is_none_or(|b| edge_order(candidate, b) == std::cmp::Ordering::Less) {
+                *slot = Some(candidate);
+            }
+        }
+        let mut round: Vec<(f64, usize, usize)> = best.into_iter().flatten().collect();
+        round.sort_by(|&a, &b| edge_order(a, b));
+        let before = uf.component_count();
+        for (d, a, b) in round {
+            // Two components may nominate the same edge; the second union is
+            // a no-op rather than a duplicate edge.
+            if uf.union(a, b) {
+                edges.push(Edge::new(a, b, d));
+            }
+        }
+        debug_assert!(
+            uf.component_count() < before,
+            "every Borůvka round merges at least two components"
+        );
+    }
+    edges
+}
+
+/// The tie-broken total order on candidate edges shared by both engines.
+fn edge_order(a: (f64, usize, usize), b: (f64, usize, usize)) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0)
+        .then_with(|| a.1.cmp(&b.1))
+        .then_with(|| a.2.cmp(&b.2))
 }
 
 /// Local exchange pass that reduces vertices of degree > 5 (which can only
@@ -409,8 +621,116 @@ mod tests {
         }
     }
 
+    #[test]
+    fn engines_agree_on_collinear_points() {
+        let pts: Vec<Point> = (0..40).map(|i| Point::new(i as f64, 0.0)).collect();
+        assert_engines_agree(&pts);
+    }
+
+    #[test]
+    fn engines_agree_on_duplicate_and_shared_coordinate_points() {
+        // Duplicates and duplicate-coordinate columns/rows: worst case for
+        // kd-tree splitting planes and for distance ties.
+        let mut pts = Vec::new();
+        for i in 0..8 {
+            for j in 0..4 {
+                pts.push(Point::new(i as f64, j as f64));
+                pts.push(Point::new(i as f64, j as f64)); // exact duplicate
+            }
+        }
+        assert_engines_agree(&pts);
+    }
+
+    #[test]
+    fn engines_agree_on_hexagonal_lattice() {
+        let mut pts = Vec::new();
+        for i in -3i32..=3 {
+            for j in -3i32..=3 {
+                let x = i as f64 + 0.5 * j as f64;
+                let y = j as f64 * (3.0f64).sqrt() / 2.0;
+                pts.push(Point::new(x, y));
+            }
+        }
+        assert_engines_agree(&pts);
+    }
+
+    #[test]
+    fn auto_engine_switches_at_the_crossover() {
+        let small = random_points(8, 1);
+        let mst = EuclideanMst::build(&small).unwrap();
+        assert_eq!(mst.engine(), MstEngine::DensePrim);
+
+        let big = random_points(KDTREE_CROSSOVER, 2);
+        let mst = EuclideanMst::build(&big).unwrap();
+        assert_eq!(mst.engine(), MstEngine::KdTreeBoruvka);
+        assert_eq!(mst.edges().len(), big.len() - 1);
+        assert!(mst.max_degree() <= MAX_MST_DEGREE);
+    }
+
+    #[test]
+    fn kd_engine_matches_dense_on_larger_random_sets() {
+        for seed in 0..3 {
+            let pts = random_points(600, 100 + seed);
+            assert_engines_agree(&pts);
+        }
+    }
+
+    /// Both engines must produce genuine MSTs: spanning, degree ≤ 5, and —
+    /// since all MSTs of a graph share one multiset of edge weights —
+    /// identical total weight and identical `lmax`.
+    fn assert_engines_agree(pts: &[Point]) {
+        let dense = EuclideanMst::build_with_engine(pts, MstEngine::DensePrim).unwrap();
+        let kd = EuclideanMst::build_with_engine(pts, MstEngine::KdTreeBoruvka).unwrap();
+        assert_eq!(dense.edges().len(), pts.len() - 1);
+        assert_eq!(kd.edges().len(), pts.len() - 1);
+        assert!(
+            (dense.total_weight() - kd.total_weight()).abs() < 1e-6,
+            "total weight: dense {} vs kd {}",
+            dense.total_weight(),
+            kd.total_weight()
+        );
+        assert!(
+            (dense.lmax() - kd.lmax()).abs() < 1e-9,
+            "lmax: dense {} vs kd {}",
+            dense.lmax(),
+            kd.lmax()
+        );
+        assert!(kd.max_degree() <= MAX_MST_DEGREE);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn prop_kdtree_engine_matches_dense_oracle(
+            xs in proptest::collection::vec((0.0..50.0f64, 0.0..50.0f64), 1..120)
+        ) {
+            let pts: Vec<Point> = xs.iter().map(|&(x, y)| Point::new(x, y)).collect();
+            let dense = EuclideanMst::build_with_engine(&pts, MstEngine::DensePrim).unwrap();
+            let kd = EuclideanMst::build_with_engine(&pts, MstEngine::KdTreeBoruvka).unwrap();
+            prop_assert_eq!(kd.edges().len(), pts.len() - 1);
+            prop_assert!((dense.total_weight() - kd.total_weight()).abs() < 1e-6,
+                "weight {} vs {}", dense.total_weight(), kd.total_weight());
+            prop_assert!((dense.lmax() - kd.lmax()).abs() < 1e-9,
+                "lmax {} vs {}", dense.lmax(), kd.lmax());
+            prop_assert!(kd.max_degree() <= MAX_MST_DEGREE);
+        }
+
+        #[test]
+        fn prop_kdtree_engine_handles_snapped_degenerate_grids(
+            xs in proptest::collection::vec((0usize..12, 0usize..12), 2..80)
+        ) {
+            // Integer-snapped points: many exact duplicates, shared x/y
+            // columns, and tied candidate distances in every round.
+            let pts: Vec<Point> = xs.iter().map(|&(x, y)| Point::new(x as f64, y as f64)).collect();
+            let dense = EuclideanMst::build_with_engine(&pts, MstEngine::DensePrim).unwrap();
+            let kd = EuclideanMst::build_with_engine(&pts, MstEngine::KdTreeBoruvka).unwrap();
+            prop_assert!((dense.total_weight() - kd.total_weight()).abs() < 1e-6,
+                "weight {} vs {}", dense.total_weight(), kd.total_weight());
+            prop_assert!((dense.lmax() - kd.lmax()).abs() < 1e-9,
+                "lmax {} vs {}", dense.lmax(), kd.lmax());
+            prop_assert!(kd.max_degree() <= MAX_MST_DEGREE);
+        }
+
         #[test]
         fn prop_spanning_tree_with_degree_bound(
             xs in proptest::collection::vec((0.0..50.0f64, 0.0..50.0f64), 1..80)

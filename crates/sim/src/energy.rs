@@ -1,6 +1,6 @@
 //! A simple radiated-energy model for directional antennae.
 //!
-//! Following the energy-consumption literature the paper cites ([9], [11]),
+//! Following the energy-consumption literature the paper cites (\[9\], \[11\]),
 //! the power a sensor spends to sustain a sector of spread `θ` and range `r`
 //! is modelled as proportional to the fraction of the disk it illuminates
 //! times the usual path-loss term:

@@ -2,13 +2,13 @@
 //! omnidirectional deployment.
 //!
 //! The introduction of the paper motivates directional antennae with energy
-//! and capacity arguments (citing [9], [11], [19]) but never quantifies them.
+//! and capacity arguments (citing \[9\], \[11\], \[19\]) but never quantifies them.
 //! This driver closes that loop with the simulation substrate: for each
 //! `(k, φ_k)` regime of Table 1 it reports the total and maximum per-sensor
 //! energy of the produced orientation, the energy of an omnidirectional
 //! deployment that uses the radius the scheme actually needed, and the mean
 //! number of unintended receivers per antenna (the interference proxy
-//! of [19]).
+//! of \[19\]).
 
 use crate::energy::EnergyModel;
 use crate::experiments::common::TextTable;

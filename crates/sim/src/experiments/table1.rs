@@ -11,12 +11,10 @@ use crate::generators::{standard_workloads, PointSetGenerator};
 use crate::metrics::Summary;
 use crate::record::RunRecord;
 use crate::sweep::{default_threads, parallel_map};
-use antennae_core::algorithms::dispatch::{
-    implemented_radius_guarantee, orient_with_report, paper_radius_bound,
-};
+use antennae_core::algorithms::dispatch::{implemented_radius_guarantee, paper_radius_bound};
 use antennae_core::antenna::AntennaBudget;
+use antennae_core::batch::BatchOrienter;
 use antennae_core::bounds;
-use antennae_core::instance::Instance;
 use antennae_core::verify::verify_with_budget;
 use antennae_geometry::PI;
 use serde::{Deserialize, Serialize};
@@ -237,50 +235,64 @@ impl fmt::Display for Table1Report {
 }
 
 /// Runs the Table 1 experiment.
+///
+/// Each `(workload, seed)` deployment is materialised as **one** instance
+/// whose Euclidean MST is shared by all twelve budget rows through
+/// [`BatchOrienter`] — the batch pipeline removes the per-row MST rebuild the
+/// naive row-major sweep would pay.  Deployments fan out over the sweep's
+/// worker threads; within a deployment the batch runs sequentially (the
+/// outer level already saturates the pool).
 pub fn run(config: &Table1Config) -> Table1Report {
     let rows = table1_rows();
-    // Build the full job list: every row on every (workload, seed).
-    let mut jobs: Vec<(usize, PointSetGenerator, u64)> = Vec::new();
-    for (row_idx, _) in rows.iter().enumerate() {
-        for workload in &config.workloads {
-            for seed in 0..config.seeds_per_workload {
-                jobs.push((row_idx, workload.clone(), seed));
-            }
+    let budgets: Vec<AntennaBudget> = rows.iter().map(|r| AntennaBudget::new(r.k, r.phi)).collect();
+    // One job per (workload, seed): all twelve rows share the instance.
+    let mut jobs: Vec<(PointSetGenerator, u64)> = Vec::new();
+    for workload in &config.workloads {
+        for seed in 0..config.seeds_per_workload {
+            jobs.push((workload.clone(), seed));
         }
     }
 
-    let records: Vec<RunRecord> = parallel_map(&jobs, config.threads, |(row_idx, workload, seed)| {
-        let row = &rows[*row_idx];
+    let per_job: Vec<Vec<RunRecord>> = parallel_map(&jobs, config.threads, |(workload, seed)| {
         let points = workload.generate(*seed);
-        let instance = Instance::new(points).expect("generated workloads are non-empty");
-        let budget = AntennaBudget::new(row.k, row.phi);
-        let outcome = orient_with_report(&instance, budget).expect("dispatch succeeds");
-        let report = verify_with_budget(&instance, &outcome.scheme, Some(budget));
-        RunRecord {
-            workload: workload.label(),
-            seed: *seed,
-            n: instance.len(),
-            k: row.k,
-            phi: row.phi,
-            algorithm: outcome.algorithm.to_string(),
-            strongly_connected: report.is_valid() && report.is_strongly_connected,
-            radius_over_lmax: report.max_radius_over_lmax,
-            max_spread: report.max_spread_sum,
-            paper_bound: paper_radius_bound(row.k, row.phi),
-            implemented_bound: implemented_radius_guarantee(row.k, row.phi),
-        }
+        let batch = BatchOrienter::new(points)
+            .expect("generated workloads are non-empty")
+            .with_threads(1);
+        let outcomes = batch.orient_budgets(&budgets);
+        rows.iter()
+            .zip(budgets.iter())
+            .zip(outcomes)
+            .map(|((row, budget), outcome)| {
+                let outcome = outcome.expect("dispatch succeeds");
+                let report = verify_with_budget(batch.instance(), &outcome.scheme, Some(*budget));
+                RunRecord {
+                    workload: workload.label(),
+                    seed: *seed,
+                    n: batch.instance().len(),
+                    k: row.k,
+                    phi: row.phi,
+                    algorithm: outcome.algorithm.to_string(),
+                    strongly_connected: report.is_valid() && report.is_strongly_connected,
+                    radius_over_lmax: report.max_radius_over_lmax,
+                    max_spread: report.max_spread_sum,
+                    paper_bound: paper_radius_bound(row.k, row.phi),
+                    implemented_bound: implemented_radius_guarantee(row.k, row.phi),
+                }
+            })
+            .collect()
     });
+    let records: Vec<RunRecord> = per_job.into_iter().flatten().collect();
 
     // Aggregate per row.
     let per_row: Vec<Table1RowResult> = rows
         .iter()
-        .enumerate()
-        .map(|(row_idx, row)| {
+        .map(|row| {
+            // Rows are uniquely keyed by their (k, φ) pair (asserted by the
+            // row-layout test), so records can be matched back without a
+            // row-index side channel.
             let row_records: Vec<&RunRecord> = records
                 .iter()
-                .zip(jobs.iter())
-                .filter(|(_, (idx, _, _))| *idx == row_idx)
-                .map(|(rec, _)| rec)
+                .filter(|rec| rec.k == row.k && rec.phi == row.phi)
                 .collect();
             let radii: Vec<f64> = row_records.iter().map(|r| r.radius_over_lmax).collect();
             let summary = Summary::of(&radii);
@@ -318,6 +330,13 @@ mod tests {
         assert_eq!(rows.iter().filter(|r| r.k == 3).count(), 2);
         assert_eq!(rows.iter().filter(|r| r.k == 4).count(), 2);
         assert_eq!(rows.iter().filter(|r| r.k == 5).count(), 1);
+        // Rows must stay uniquely keyed by (k, φ): run() matches records back
+        // to rows through that pair.
+        for (i, a) in rows.iter().enumerate() {
+            for b in rows.iter().skip(i + 1) {
+                assert!(a.k != b.k || a.phi != b.phi, "duplicate (k, φ) row key");
+            }
+        }
         // The bounds decrease down the k=2 block.
         let k2: Vec<f64> = rows
             .iter()

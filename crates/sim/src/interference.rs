@@ -1,6 +1,6 @@
 //! Interference metrics for directional orientations.
 //!
-//! The capacity analysis of [19] that the paper cites argues that a narrower
+//! The capacity analysis of \[19\] that the paper cites argues that a narrower
 //! transmission angle reduces the expected number of unintended receivers
 //! inside a transmission zone, which is the source of the `√(2π/α)` capacity
 //! gain.  This module measures exactly that quantity on concrete

@@ -23,7 +23,8 @@
 //! * [`interference`] — receivers-per-sector interference metric.
 //! * [`metrics`] — summary statistics helpers.
 //! * [`record`] — serde-serializable experiment records.
-//! * [`sweep`] — parallel parameter sweeps (crossbeam scoped threads).
+//! * [`sweep`] — parallel parameter sweeps (order-preserving scoped-thread
+//!   map, shared with `antennae_core::batch`).
 //! * [`experiments`] — one driver per table/figure: Table 1, Lemma 1 /
 //!   Figure 1, Facts 1–2 / Figure 2, the Theorem 3 case histograms /
 //!   Figures 3–4, the chain constructions / Figures 5–6, the spread–radius

@@ -1,108 +1,38 @@
 //! Parallel parameter sweeps.
 //!
 //! The experiments evaluate many independent `(workload, seed, k, φ)`
-//! configurations; this module fans them out over a crossbeam scoped thread
-//! pool.  Results are returned in input order so reports stay deterministic
+//! configurations; this module fans them out over an order-preserving
+//! parallel map.  The primitive itself lives in
+//! [`antennae_core::parallel`] so that the batch orientation pipeline
+//! ([`antennae_core::batch::BatchOrienter`]) and the experiment drivers
+//! share one implementation; this module re-exports it under the historic
+//! `sweep` path.
+//!
+//! Results are returned in input order, so reports stay deterministic
 //! regardless of the thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! use antennae_sim::sweep::parallel_map;
+//!
+//! let items: Vec<u64> = (0..100).collect();
+//! let squares = parallel_map(&items, 4, |x| x * x);
+//! assert_eq!(squares[9], 81);
+//! assert_eq!(squares.len(), 100);
+//! ```
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
-
-/// Maps `f` over `items` using up to `threads` worker threads, preserving the
-/// input order of the results.
-///
-/// With `threads <= 1` (or a single item) the map runs inline on the calling
-/// thread — handy for debugging and for comparing sequential vs parallel
-/// throughput in the benches.
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    if threads <= 1 || items.len() == 1 {
-        return items.iter().map(&f).collect();
-    }
-    let worker_count = threads.min(items.len());
-    let next = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<R>>> = (0..items.len()).map(|_| Mutex::new(None)).collect();
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..worker_count {
-            scope.spawn(|_| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= items.len() {
-                    break;
-                }
-                let value = f(&items[index]);
-                *results[index].lock() = Some(value);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-
-    results
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every slot is filled"))
-        .collect()
-}
-
-/// The number of worker threads the sweeps use by default: the machine's
-/// available parallelism, capped at 8 (the sweeps are memory-light but the
-/// instances are small enough that more threads stop paying off).
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(8)
-}
+pub use antennae_core::parallel::{default_threads, parallel_map};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU32;
 
+    /// The behavioural suite lives with the implementation in
+    /// `antennae_core::parallel`; this only pins the re-exported paths.
     #[test]
-    fn empty_input_yields_empty_output() {
-        let out: Vec<i32> = parallel_map(&Vec::<i32>::new(), 4, |x| *x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn sequential_and_parallel_agree_and_preserve_order() {
-        let items: Vec<u64> = (0..200).collect();
-        let seq = parallel_map(&items, 1, |x| x * x);
-        let par = parallel_map(&items, 4, |x| x * x);
-        assert_eq!(seq, par);
-        assert_eq!(seq[10], 100);
-        assert_eq!(seq.len(), 200);
-    }
-
-    #[test]
-    fn every_item_is_processed_exactly_once() {
-        let counter = AtomicU32::new(0);
-        let items: Vec<u32> = (0..500).collect();
-        let out = parallel_map(&items, 8, |x| {
-            counter.fetch_add(1, Ordering::Relaxed);
-            *x
-        });
-        assert_eq!(out.len(), 500);
-        assert_eq!(counter.load(Ordering::Relaxed), 500);
-    }
-
-    #[test]
-    fn more_threads_than_items_is_fine() {
-        let items = vec![1, 2, 3];
-        let out = parallel_map(&items, 64, |x| x + 1);
-        assert_eq!(out, vec![2, 3, 4]);
-    }
-
-    #[test]
-    fn default_threads_is_positive() {
-        assert!(default_threads() >= 1);
-        assert!(default_threads() <= 8);
+    fn reexports_resolve_and_run() {
+        let out = parallel_map(&[1u32, 2, 3], default_threads(), |x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
     }
 }

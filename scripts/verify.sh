@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Repo verification gate: build, full test suite, and warning-free rustdoc.
+#
+#   ./scripts/verify.sh          # everything (tier-1 + workspace + docs)
+#   ./scripts/verify.sh --quick  # tier-1 only (release build + root tests)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+if [[ "${1:-}" == "--quick" ]]; then
+    echo "== tier-1: tests =="
+    cargo test -q
+    echo "verify: tier-1 OK (quick mode, skipped workspace tests and docs)"
+    exit 0
+fi
+
+# The workspace run is a strict superset of the tier-1 `cargo test -q`
+# (which covers the root package only), so the full gate runs it once.
+echo "== workspace tests (unit + property + doctests) =="
+cargo test --workspace -q
+
+echo "== rustdoc, warnings as errors =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+    -p antennae \
+    -p antennae-geometry \
+    -p antennae-graph \
+    -p antennae-core \
+    -p antennae-sim \
+    -p antennae-bench
+
+echo "verify: all gates OK"

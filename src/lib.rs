@@ -52,6 +52,7 @@ pub use antennae_sim as sim;
 pub mod prelude {
     pub use antennae_core::algorithms::dispatch::{orient, orient_with_report};
     pub use antennae_core::antenna::{Antenna, AntennaBudget, SensorAssignment};
+    pub use antennae_core::batch::BatchOrienter;
     pub use antennae_core::bounds;
     pub use antennae_core::instance::Instance;
     pub use antennae_core::scheme::OrientationScheme;

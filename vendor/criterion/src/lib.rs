@@ -1,0 +1,237 @@
+//! Offline stub of `criterion` — enough of the API to compile and run this
+//! workspace's benches without crates.io access.
+//!
+//! Each benchmark is timed with `std::time::Instant`: a short warm-up, then
+//! batches of iterations until a time budget is spent, reporting the best
+//! (minimum) per-iteration time, which is the most noise-robust point
+//! statistic for comparing implementations.  There are no statistical
+//! analyses, plots or baselines; output is one line per benchmark on stdout:
+//!
+//! ```text
+//! bench group/id ... 1234.5 ns/iter (n iters)
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (stub of `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into_bench_id(), &mut f);
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub sizes runs by time budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; the stub uses a fixed time budget.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `self.name/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_bench_id());
+        run_one(&full, &mut f);
+        self
+    }
+
+    /// Benchmarks `f(bencher, input)` under `self.name/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_bench_id());
+        run_one(&full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (no-op in the stub).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group (stub of
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), parameter))
+    }
+
+    /// An id that is just a parameter value.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Conversion of the various id forms criterion accepts into a display
+/// string.
+pub trait IntoBenchId {
+    /// The display form of the id.
+    fn into_bench_id(self) -> String;
+}
+
+impl IntoBenchId for &str {
+    fn into_bench_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchId for String {
+    fn into_bench_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchId for BenchmarkId {
+    fn into_bench_id(self) -> String {
+        self.0
+    }
+}
+
+/// Times closures handed to it by a benchmark function (stub of
+/// `criterion::Bencher`).
+#[derive(Debug, Default)]
+pub struct Bencher {
+    best_ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `f` repeatedly and records its best per-iteration wall time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..2 {
+            black_box(f());
+        }
+        // Batches of geometrically growing size until the budget is spent;
+        // the best batch mean filters out scheduler noise.
+        let budget = Duration::from_millis(
+            std::env::var("CRITERION_STUB_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(120),
+        );
+        let started = Instant::now();
+        let mut batch = 1u64;
+        let mut best = f64::INFINITY;
+        let mut total_iters = 0u64;
+        while started.elapsed() < budget {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = t0.elapsed().as_nanos() as f64 / batch as f64;
+            best = best.min(per_iter);
+            total_iters += batch;
+            if batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+        self.best_ns_per_iter = best;
+        self.iters = total_iters;
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    let ns = bencher.best_ns_per_iter;
+    let human = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!("bench {name} ... {human}/iter ({} iters)", bencher.iters);
+}
+
+/// Builds a function running a list of benchmark functions (stub of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Builds `main` from one or more groups (stub of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_format() {
+        assert_eq!(BenchmarkId::from_parameter(100).to_string(), "100");
+        assert_eq!(BenchmarkId::new("build", 7).to_string(), "build/7");
+    }
+
+    #[test]
+    fn bencher_records_time() {
+        std::env::set_var("CRITERION_STUB_MS", "5");
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        std::env::remove_var("CRITERION_STUB_MS");
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace's sources derive `Serialize`/`Deserialize` on their data
+//! types so that experiment records can be exported once the real serde is
+//! available, but nothing in-tree performs actual serialization.  This stub
+//! keeps those derives compiling without network access:
+//!
+//! * the derive macros (re-exported from the `serde_derive` stub) expand to
+//!   nothing, and
+//! * the `Serialize`/`Deserialize` traits carry blanket impls so that any
+//!   generic `T: Serialize` bound is satisfied.
+//!
+//! Swap this path dependency for the real crates.io `serde` to restore real
+//! serialization; no source changes are required.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Blanket-implemented owned-deserialization marker.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}

@@ -1,0 +1,23 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build container has no access to crates.io, so this crate provides
+//! no-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros: they
+//! accept the same syntax (including `#[serde(...)]` helper attributes) and
+//! expand to nothing.  The matching trait impls come from blanket impls in
+//! the sibling `serde` stub, so generic bounds like `T: Serialize` still
+//! hold.  Replace both stubs with the real crates once a registry is
+//! reachable — no source changes are required.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
