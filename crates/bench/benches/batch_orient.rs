@@ -40,11 +40,10 @@ fn bench_naive_rebuild(c: &mut Criterion) {
                     .map(|budget| {
                         // The rebuild a caller without the batch pipeline pays.
                         let instance = Instance::new(black_box(pts.clone())).unwrap();
-                        antennae_core::algorithms::dispatch::orient_with_report(
-                            &instance,
-                            *budget,
-                        )
-                        .unwrap()
+                        antennae_core::solver::Solver::on(&instance)
+                            .with_budget(*budget)
+                            .run()
+                            .unwrap()
                     })
                     .count()
             })

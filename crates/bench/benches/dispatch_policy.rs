@@ -1,0 +1,102 @@
+//! Selection-policy cost: `BestGuarantee` (one construction per solve)
+//! vs. `Portfolio` (every applicable construction per solve, fanned out over
+//! the worker pool).
+//!
+//! The portfolio's price is the extra candidate runs; its payoff is the
+//! smallest *measured* radius (never worse than the dispatcher's pick, see
+//! `examples/portfolio.rs`).  Both variants solve against a prebuilt
+//! instance, so the MST substrate is out of the measurement and the gap is
+//! pure policy overhead.
+
+use antennae_bench::workloads::uniform_instance;
+use antennae_core::parallel::default_threads;
+use antennae_core::solver::{SelectionPolicy, Solver};
+use antennae_geometry::PI;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const SIZES: &[usize] = &[500, 2000];
+
+/// The representative budgets each policy solves per iteration: the paper's
+/// headline two-antenna regime and a zero-spread chains regime (three
+/// portfolio candidates each).
+const BUDGETS: &[(usize, f64)] = &[(2, PI), (3, 0.0)];
+
+fn bench_best_guarantee(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_policy/best_guarantee");
+    for &n in SIZES {
+        let instance = uniform_instance(n, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, inst| {
+            b.iter(|| {
+                BUDGETS
+                    .iter()
+                    .map(|&(k, phi)| {
+                        Solver::on(black_box(inst))
+                            .budget(k, phi)
+                            .policy(SelectionPolicy::BestGuarantee)
+                            .run()
+                            .unwrap()
+                            .measured_radius_over_lmax
+                    })
+                    .fold(0.0, f64::max)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_portfolio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_policy/portfolio");
+    for &n in SIZES {
+        let instance = uniform_instance(n, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, inst| {
+            b.iter(|| {
+                BUDGETS
+                    .iter()
+                    .map(|&(k, phi)| {
+                        Solver::on(black_box(inst))
+                            .budget(k, phi)
+                            .policy(SelectionPolicy::Portfolio)
+                            .threads(default_threads())
+                            .run()
+                            .unwrap()
+                            .measured_radius_over_lmax
+                    })
+                    .fold(0.0, f64::max)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_portfolio_sequential(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_policy/portfolio_sequential");
+    for &n in SIZES {
+        let instance = uniform_instance(n, 11);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, inst| {
+            b.iter(|| {
+                BUDGETS
+                    .iter()
+                    .map(|&(k, phi)| {
+                        Solver::on(black_box(inst))
+                            .budget(k, phi)
+                            .policy(SelectionPolicy::Portfolio)
+                            .threads(1)
+                            .run()
+                            .unwrap()
+                            .measured_radius_over_lmax
+                    })
+                    .fold(0.0, f64::max)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_best_guarantee,
+    bench_portfolio,
+    bench_portfolio_sequential
+);
+criterion_main!(benches);

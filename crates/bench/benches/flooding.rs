@@ -2,7 +2,7 @@
 //! communication graphs.
 
 use antennae_bench::workloads::uniform_instance;
-use antennae_core::algorithms::dispatch::orient;
+use antennae_core::solver::Solver;
 use antennae_core::antenna::AntennaBudget;
 use antennae_sim::flooding::{flood, flood_over_digraph, omnidirectional_digraph, FloodingConfig};
 use antennae_geometry::PI;
@@ -13,7 +13,11 @@ fn bench_flood_directional(c: &mut Criterion) {
     let mut group = c.benchmark_group("flood_directional");
     for &n in &[200usize, 500, 1000] {
         let instance = uniform_instance(n, 5);
-        let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+        let scheme = Solver::on(&instance)
+        .with_budget(AntennaBudget::new(2, PI))
+        .run()
+        .unwrap()
+        .scheme;
         let points = instance.points().to_vec();
         group.bench_with_input(
             BenchmarkId::from_parameter(n),
@@ -29,7 +33,11 @@ fn bench_flood_directional(c: &mut Criterion) {
 fn bench_flood_omnidirectional(c: &mut Criterion) {
     let mut group = c.benchmark_group("flood_omnidirectional");
     let instance = uniform_instance(500, 5);
-    let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+    let scheme = Solver::on(&instance)
+        .with_budget(AntennaBudget::new(2, PI))
+        .run()
+        .unwrap()
+        .scheme;
     let radius = scheme.max_radius();
     let points = instance.points().to_vec();
     let digraph = omnidirectional_digraph(&points, radius);

@@ -1,7 +1,7 @@
 //! Ablation of the parallel sweep driver: sequential vs. multi-threaded
 //! evaluation of a Table-1 style batch of instances.
 
-use antennae_core::algorithms::dispatch::orient;
+use antennae_core::solver::Solver;
 use antennae_core::antenna::AntennaBudget;
 use antennae_core::instance::Instance;
 use antennae_core::verify::verify;
@@ -16,7 +16,11 @@ fn run_batch(seeds: &[u64], threads: usize) -> f64 {
     let results = parallel_map(seeds, threads, |seed| {
         let points = generator.generate(*seed);
         let instance = Instance::new(points).unwrap();
-        let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+        let scheme = Solver::on(&instance)
+        .with_budget(AntennaBudget::new(2, PI))
+        .run()
+        .unwrap()
+        .scheme;
         verify(&instance, &scheme).max_radius_over_lmax
     });
     results.into_iter().fold(0.0, f64::max)

@@ -2,7 +2,7 @@
 //! strong-connectivity checking.
 
 use antennae_bench::workloads::uniform_instance;
-use antennae_core::algorithms::dispatch::orient;
+use antennae_core::solver::Solver;
 use antennae_core::antenna::AntennaBudget;
 use antennae_core::verify::verify;
 use antennae_graph::scc::{kosaraju_scc, tarjan_scc};
@@ -14,7 +14,11 @@ fn bench_verify(c: &mut Criterion) {
     let mut group = c.benchmark_group("verify_scheme");
     for &n in &[100usize, 500, 1000] {
         let instance = uniform_instance(n, 3);
-        let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+        let scheme = Solver::on(&instance)
+        .with_budget(AntennaBudget::new(2, PI))
+        .run()
+        .unwrap()
+        .scheme;
         group.bench_with_input(
             BenchmarkId::from_parameter(n),
             &(instance, scheme),
@@ -27,7 +31,11 @@ fn bench_verify(c: &mut Criterion) {
 fn bench_scc_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("scc_on_induced_digraph");
     let instance = uniform_instance(1000, 3);
-    let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+    let scheme = Solver::on(&instance)
+        .with_budget(AntennaBudget::new(2, PI))
+        .run()
+        .unwrap()
+        .scheme;
     let digraph = scheme.induced_digraph(instance.points());
     group.bench_function("tarjan", |b| b.iter(|| tarjan_scc(black_box(&digraph))));
     group.bench_function("kosaraju", |b| b.iter(|| kosaraju_scc(black_box(&digraph))));

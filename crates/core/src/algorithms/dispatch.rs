@@ -1,135 +1,73 @@
-//! Budget-driven algorithm selection.
+//! Legacy budget-driven dispatch — thin deprecated shims over the
+//! [`solver`](crate::solver) API.
 //!
-//! Given a per-sensor budget `(k, φ_k)`, [`orient`] selects the algorithm
-//! with the best radius guarantee among those whose preconditions are met —
-//! i.e. it walks down the relevant rows of Table 1 — runs it, and
-//! [`orient_with_report`] additionally reports which algorithm ran and the
-//! radius it guarantees (in units of `lmax`).
+//! Historically this module owned the `(k, φ_k)` → algorithm decision table.
+//! That logic now lives in exactly one place — the
+//! [`Registry`](crate::solver::Registry) of [`Orienter`](crate::solver::Orienter)
+//! trait objects consulted by [`Solver`] — and the
+//! free functions here simply run
+//! [`SelectionPolicy::BestGuarantee`](crate::solver::SelectionPolicy::BestGuarantee)
+//! on the shared paper registry.  New code should use the builder:
+//!
+//! ```
+//! use antennae_core::solver::Solver;
+//! # use antennae_core::instance::Instance;
+//! # use antennae_geometry::Point;
+//! # let instance = Instance::new(vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)]).unwrap();
+//! let outcome = Solver::on(&instance).budget(2, std::f64::consts::PI).run()?;
+//! # Ok::<(), antennae_core::error::OrientError>(())
+//! ```
 
-use crate::algorithms::{chains, hamiltonian, one_antenna, theorem2, theorem3, AlgorithmKind};
 use crate::antenna::AntennaBudget;
-use crate::bounds::{self, theorem2_spread_threshold};
+use crate::bounds;
 use crate::error::OrientError;
 use crate::instance::Instance;
 use crate::scheme::OrientationScheme;
-use antennae_geometry::PI;
-use serde::{Deserialize, Serialize};
+use crate::solver::Solver;
 
-/// The outcome of a dispatched orientation.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct OrientationOutcome {
-    /// The orientation scheme.
-    pub scheme: OrientationScheme,
-    /// The algorithm that produced it.
-    pub algorithm: AlgorithmKind,
-    /// The radius the algorithm guarantees, in units of `lmax`.
-    ///
-    /// `None` for the `k = 1` Hamiltonian heuristic, whose factor-2 guarantee
-    /// is inherited from prior work rather than re-proved here (see
-    /// DESIGN.md).
-    pub guaranteed_radius_over_lmax: Option<f64>,
-}
+pub use crate::solver::{implemented_radius_guarantee, OrientationOutcome};
 
 /// Orients the antennae of `instance` under the given per-sensor budget,
 /// returning only the scheme.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Solver::on(&instance).with_budget(budget).run()` (SelectionPolicy::BestGuarantee)"
+)]
 pub fn orient(instance: &Instance, budget: AntennaBudget) -> Result<OrientationScheme, OrientError> {
-    orient_with_report(instance, budget).map(|o| o.scheme)
+    Solver::on(instance)
+        .with_budget(budget)
+        .run()
+        .map(|o| o.scheme)
 }
 
 /// Orients the antennae of `instance` under the given per-sensor budget and
 /// reports which algorithm was used and what it guarantees.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Solver::on(&instance).with_budget(budget).run()` (SelectionPolicy::BestGuarantee)"
+)]
 pub fn orient_with_report(
     instance: &Instance,
     budget: AntennaBudget,
 ) -> Result<OrientationOutcome, OrientError> {
-    let AntennaBudget { k, phi } = budget;
-    if !(1..=5).contains(&k) {
-        return Err(OrientError::UnsupportedAntennaCount { k });
-    }
-
-    // Theorem 2 applies whenever the spread budget reaches 2π(5−k)/5 and
-    // always achieves radius lmax — nothing can beat that.
-    if phi + 1e-9 >= theorem2_spread_threshold(k) {
-        return Ok(OrientationOutcome {
-            scheme: theorem2::orient_theorem2(instance, k)?,
-            algorithm: AlgorithmKind::Theorem2,
-            guaranteed_radius_over_lmax: Some(1.0),
-        });
-    }
-
-    match k {
-        1 => {
-            // Below the 8π/5 threshold the only general construction we
-            // implement is the Hamiltonian-cycle heuristic.
-            let outcome = one_antenna::orient_one_antenna(instance, phi)?;
-            Ok(OrientationOutcome {
-                scheme: outcome.scheme,
-                algorithm: AlgorithmKind::Hamiltonian,
-                guaranteed_radius_over_lmax: None,
-            })
-        }
-        2 => {
-            if phi + 1e-9 >= 2.0 * PI / 3.0 {
-                let outcome = theorem3::orient_two_antennae(instance, phi)?;
-                Ok(OrientationOutcome {
-                    scheme: outcome.scheme,
-                    algorithm: AlgorithmKind::Theorem3,
-                    guaranteed_radius_over_lmax: theorem3::guaranteed_radius(phi),
-                })
-            } else {
-                Ok(OrientationOutcome {
-                    scheme: chains::orient_chains(instance, 2)?,
-                    algorithm: AlgorithmKind::Chains { k: 2 },
-                    guaranteed_radius_over_lmax: chains::guaranteed_radius(2),
-                })
-            }
-        }
-        3..=5 => Ok(OrientationOutcome {
-            scheme: chains::orient_chains(instance, k)?,
-            algorithm: AlgorithmKind::Chains { k },
-            guaranteed_radius_over_lmax: chains::guaranteed_radius(k),
-        }),
-        _ => unreachable!("k validated above"),
-    }
-}
-
-/// Convenience wrapper used by the experiment harness: the best radius bound
-/// the implemented algorithms guarantee for a `(k, φ)` budget — this is the
-/// Table 1 value except for the `k = 1` intermediate regime where the `[4]`
-/// construction is not re-implemented (see DESIGN.md).
-pub fn implemented_radius_guarantee(k: usize, phi: f64) -> Option<f64> {
-    if !(1..=5).contains(&k) {
-        return None;
-    }
-    if phi + 1e-9 >= theorem2_spread_threshold(k) {
-        return Some(1.0);
-    }
-    match k {
-        1 => None,
-        2 => {
-            if phi + 1e-9 >= 2.0 * PI / 3.0 {
-                theorem3::guaranteed_radius(phi)
-            } else {
-                chains::guaranteed_radius(2)
-            }
-        }
-        _ => chains::guaranteed_radius(k),
-    }
+    Solver::on(instance).with_budget(budget).run()
 }
 
 /// The paper's Table 1 bound for the same budget (used for the "paper" column
 /// of reports).
+#[deprecated(since = "0.2.0", note = "use `bounds::table1_radius` directly")]
 pub fn paper_radius_bound(k: usize, phi: f64) -> Option<f64> {
     bounds::table1_radius(k, phi)
 }
 
 /// Re-export used by the experiment harness for the `k = 1` heuristic row.
-pub use hamiltonian::orient_hamiltonian;
+pub use crate::algorithms::hamiltonian::orient_hamiltonian;
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::verify::{verify, verify_with_budget};
+    use crate::solver::SelectionPolicy;
     use antennae_geometry::{Point, TAU};
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -143,7 +81,7 @@ mod tests {
     }
 
     #[test]
-    fn rejects_invalid_k() {
+    fn shims_keep_rejecting_invalid_k() {
         let instance = random_instance(10, 1);
         assert!(matches!(
             orient(&instance, AntennaBudget::new(0, 1.0)),
@@ -156,82 +94,29 @@ mod tests {
     }
 
     #[test]
-    fn selects_theorem2_when_spread_is_large() {
-        let instance = random_instance(40, 2);
-        for k in 1..=5 {
-            let budget = AntennaBudget::new(k, theorem2_spread_threshold(k));
-            let outcome = orient_with_report(&instance, budget).unwrap();
-            assert_eq!(outcome.algorithm, AlgorithmKind::Theorem2, "k={k}");
-            assert_eq!(outcome.guaranteed_radius_over_lmax, Some(1.0));
-            let report = verify_with_budget(&instance, &outcome.scheme, Some(budget));
-            assert!(report.is_valid(), "k={k}: {:?}", report.violations);
-        }
-    }
-
-    #[test]
-    fn selects_theorem3_for_two_antennas_with_medium_spread() {
-        let instance = random_instance(40, 3);
-        let budget = AntennaBudget::new(2, PI);
-        let outcome = orient_with_report(&instance, budget).unwrap();
-        assert_eq!(outcome.algorithm, AlgorithmKind::Theorem3);
-        let bound = outcome.guaranteed_radius_over_lmax.unwrap();
-        let report = verify_with_budget(&instance, &outcome.scheme, Some(budget));
-        assert!(report.is_valid(), "{:?}", report.violations);
-        assert!(report.max_radius_over_lmax <= bound + 1e-9);
-    }
-
-    #[test]
-    fn selects_chains_for_zero_spread() {
-        let instance = random_instance(40, 4);
-        for k in 2..=5 {
-            let budget = AntennaBudget::beams_only(k);
-            let outcome = orient_with_report(&instance, budget).unwrap();
-            if k == 5 {
-                // φ = 0 already meets the Theorem 2 threshold for k = 5.
-                assert_eq!(outcome.algorithm, AlgorithmKind::Theorem2);
-            } else {
-                assert_eq!(outcome.algorithm, AlgorithmKind::Chains { k });
-            }
-            let report = verify_with_budget(&instance, &outcome.scheme, Some(budget));
-            assert!(report.is_valid(), "k={k}: {:?}", report.violations);
-            assert!(
-                report.max_radius_over_lmax
-                    <= outcome.guaranteed_radius_over_lmax.unwrap() + 1e-9
-            );
-        }
-    }
-
-    #[test]
-    fn selects_hamiltonian_for_single_narrow_antenna() {
-        let instance = random_instance(40, 5);
-        let budget = AntennaBudget::new(1, 1.0);
-        let outcome = orient_with_report(&instance, budget).unwrap();
-        assert_eq!(outcome.algorithm, AlgorithmKind::Hamiltonian);
-        assert!(outcome.guaranteed_radius_over_lmax.is_none());
-        assert!(verify(&instance, &outcome.scheme).is_strongly_connected);
-    }
-
-    #[test]
-    fn every_budget_produces_a_strongly_connected_scheme() {
-        let instance = random_instance(50, 6);
+    fn shims_agree_with_the_best_guarantee_policy() {
+        let instance = random_instance(45, 2);
         for k in 1..=5 {
             for phi_step in 0..=8 {
-                let phi = TAU * phi_step as f64 / 8.0;
-                let budget = AntennaBudget::new(k, phi);
-                let outcome = orient_with_report(&instance, budget).unwrap();
-                let report = verify_with_budget(&instance, &outcome.scheme, Some(budget));
-                assert!(
-                    report.is_valid(),
-                    "k={k} phi={phi}: {:?}",
-                    report.violations
+                let budget = AntennaBudget::new(k, TAU * phi_step as f64 / 8.0);
+                let shim = orient_with_report(&instance, budget).unwrap();
+                let solver = Solver::on(&instance)
+                    .with_budget(budget)
+                    .policy(SelectionPolicy::BestGuarantee)
+                    .run()
+                    .unwrap();
+                assert_eq!(shim.algorithm, solver.algorithm, "budget {budget:?}");
+                assert_eq!(
+                    shim.guaranteed_radius_over_lmax, solver.guaranteed_radius_over_lmax,
+                    "budget {budget:?}"
                 );
-                if let Some(bound) = outcome.guaranteed_radius_over_lmax {
-                    assert!(
-                        report.max_radius_over_lmax <= bound + 1e-9,
-                        "k={k} phi={phi}: {} > {bound}",
-                        report.max_radius_over_lmax
-                    );
-                }
+                assert_eq!(
+                    shim.scheme.max_radius(),
+                    solver.scheme.max_radius(),
+                    "budget {budget:?}"
+                );
+                let scheme_only = orient(&instance, budget).unwrap();
+                assert_eq!(scheme_only.max_radius(), solver.scheme.max_radius());
             }
         }
     }

@@ -51,6 +51,9 @@ pub enum AlgorithmKind {
     },
     /// The Hamiltonian-cycle baseline (single beam per sensor).
     Hamiltonian,
+    /// The `[4]` baseline row: a single wide antenna per sensor covering all
+    /// MST neighbours (`φ₁ ≥ 8π/5`, radius `lmax`).
+    OneAntennaWide,
 }
 
 impl std::fmt::Display for AlgorithmKind {
@@ -60,6 +63,7 @@ impl std::fmt::Display for AlgorithmKind {
             AlgorithmKind::Theorem3 => write!(f, "theorem3"),
             AlgorithmKind::Chains { k } => write!(f, "chains(k={k})"),
             AlgorithmKind::Hamiltonian => write!(f, "hamiltonian"),
+            AlgorithmKind::OneAntennaWide => write!(f, "one-antenna-wide"),
         }
     }
 }
@@ -74,5 +78,6 @@ mod tests {
         assert_eq!(AlgorithmKind::Theorem3.to_string(), "theorem3");
         assert_eq!(AlgorithmKind::Chains { k: 3 }.to_string(), "chains(k=3)");
         assert_eq!(AlgorithmKind::Hamiltonian.to_string(), "hamiltonian");
+        assert_eq!(AlgorithmKind::OneAntennaWide.to_string(), "one-antenna-wide");
     }
 }

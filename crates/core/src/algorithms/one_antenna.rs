@@ -12,7 +12,7 @@
 
 use crate::algorithms::hamiltonian::orient_hamiltonian;
 use crate::algorithms::theorem2::orient_theorem2;
-use crate::bounds::theorem2_spread_threshold;
+use crate::bounds::{theorem2_spread_threshold, SPREAD_EPS};
 use crate::error::OrientError;
 use crate::instance::Instance;
 use crate::scheme::OrientationScheme;
@@ -42,7 +42,7 @@ pub fn orient_one_antenna(
     instance: &Instance,
     phi1: f64,
 ) -> Result<OneAntennaOutcome, OrientError> {
-    if phi1 + 1e-9 >= theorem2_spread_threshold(1) {
+    if phi1 + SPREAD_EPS >= theorem2_spread_threshold(1) {
         Ok(OneAntennaOutcome {
             scheme: orient_theorem2(instance, 1)?,
             regime: OneAntennaRegime::WideCoverage,

@@ -34,7 +34,7 @@
 //! configuration shapes are tallied for the Figure 3 / Figure 4 experiments.
 
 use crate::antenna::{Antenna, SensorAssignment};
-use crate::bounds::theorem3_radius;
+use crate::bounds::{theorem3_radius, SPREAD_EPS};
 use crate::error::OrientError;
 use crate::instance::Instance;
 use crate::scheme::OrientationScheme;
@@ -99,7 +99,7 @@ pub fn orient_two_antennae(
     phi2: f64,
 ) -> Result<TwoAntennaOutcome, OrientError> {
     let required = 2.0 * PI / 3.0;
-    if phi2 < required - 1e-9 {
+    if phi2 < required - SPREAD_EPS {
         return Err(OrientError::InsufficientSpread {
             requested: phi2,
             required,
@@ -245,7 +245,7 @@ fn best_local_config(
                 continue;
             }
             let spread = members[i].direction.ccw_to(&members[j].direction).radians();
-            if spread > phi + 1e-9 {
+            if spread > phi + SPREAD_EPS {
                 continue;
             }
             let covered = covered_members(&members, members[i].direction, spread);
@@ -265,7 +265,7 @@ fn best_local_config(
         let remaining = phi - spread1;
         let mut secondary_options: Vec<Option<&(Antenna, Vec<usize>, f64)>> = vec![None];
         for cand in &primaries {
-            if cand.2 <= remaining + 1e-9 {
+            if cand.2 <= remaining + SPREAD_EPS {
                 secondary_options.push(Some(cand));
             }
         }
@@ -283,7 +283,7 @@ fn best_local_config(
                 }
                 antennas.push(*a2);
                 total_spread += spread2;
-                two_wide = *spread1 > 1e-9 && *spread2 > 1e-9;
+                two_wide = *spread1 > SPREAD_EPS && *spread2 > SPREAD_EPS;
             }
             // The imaginary point must be covered by the vertex itself.
             if !covered[0] {

@@ -1,22 +1,26 @@
-//! Batch orientation pipeline: many `(k, φ_k)` budgets against one point
-//! set, or one budget against many instances, sharing MST substrates and a
-//! thread pool.
+//! Batch orientation pipelines: many `(k, φ_k)` budgets against one point
+//! set ([`BatchOrienter`]), or one budget against many instances
+//! ([`InstanceBatch`]), sharing MST substrates and a thread pool.
 //!
-//! [`crate::algorithms::dispatch::orient`] is the single-shot entry point; a
-//! caller sweeping a budget grid with it would rebuild the
-//! [`Instance`] — and with it the Euclidean MST, the single most expensive
-//! step of the whole stack — once per call.  [`BatchOrienter`] hoists that
-//! cost out of the loop: the instance (and its degree-5 MST) is built exactly
-//! once, then every budget is dispatched against it in parallel through
-//! [`crate::parallel::parallel_map`] (the same primitive the simulation
-//! crate's sweeps use, re-exported there as `antennae_sim::sweep`).
+//! [`crate::solver::Solver`] is the single-shot entry point; a caller
+//! sweeping a budget grid with it would rebuild the [`Instance`] — and with
+//! it the Euclidean MST, the single most expensive step of the whole stack —
+//! once per call.  The batch types hoist that cost out of the loop: each
+//! instance (and its degree-5 MST) is built exactly once, then every solve
+//! runs against it in parallel through [`crate::parallel::parallel_map`]
+//! (the same primitive the simulation crate's sweeps use, re-exported there
+//! as `antennae_sim::sweep`).  Both types accept a
+//! [`SelectionPolicy`], so a whole grid can be solved under
+//! [`SelectionPolicy::Portfolio`] as easily as under the default
+//! [`SelectionPolicy::BestGuarantee`].
 
-use crate::algorithms::dispatch::{orient_with_report, OrientationOutcome};
 use crate::antenna::AntennaBudget;
 use crate::error::OrientError;
 use crate::instance::Instance;
 use crate::parallel::{default_threads, parallel_map};
+use crate::solver::{OrientationOutcome, Registry, SelectionPolicy, Solver};
 use antennae_geometry::Point;
+use std::sync::Arc;
 
 /// Orients many antenna budgets against one sensor deployment, building the
 /// Euclidean MST substrate exactly once.
@@ -51,11 +55,14 @@ use antennae_geometry::Point;
 pub struct BatchOrienter {
     instance: Instance,
     threads: usize,
+    policy: SelectionPolicy,
+    registry: Arc<Registry>,
 }
 
 impl BatchOrienter {
     /// Builds the shared [`Instance`] (one Euclidean MST construction) for
-    /// `points` and readies a pipeline with the default thread count.
+    /// `points` and readies a pipeline with the default thread count and
+    /// [`SelectionPolicy::BestGuarantee`].
     pub fn new(points: Vec<Point>) -> Result<Self, OrientError> {
         Ok(Self::from_instance(Instance::new(points)?))
     }
@@ -65,6 +72,8 @@ impl BatchOrienter {
         BatchOrienter {
             instance,
             threads: default_threads(),
+            policy: SelectionPolicy::default(),
+            registry: Registry::shared_paper(),
         }
     }
 
@@ -74,35 +83,143 @@ impl BatchOrienter {
         self
     }
 
-    /// The shared instance every budget is dispatched against.
+    /// Sets the selection policy every budget is solved under.
+    pub fn with_policy(mut self, policy: SelectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the algorithm registry every budget is solved against.
+    pub fn with_registry(mut self, registry: impl Into<Arc<Registry>>) -> Self {
+        self.registry = registry.into();
+        self
+    }
+
+    /// The shared instance every budget is solved against.
     pub fn instance(&self) -> &Instance {
         &self.instance
     }
 
-    /// Orients every budget in `budgets` against the shared instance, in
+    /// Solves every budget in `budgets` against the shared instance, in
     /// parallel, returning outcomes in input order.
     pub fn orient_budgets(
         &self,
         budgets: &[AntennaBudget],
     ) -> Vec<Result<OrientationOutcome, OrientError>> {
+        // When the outer fan-out saturates the pool the inner solves run
+        // sequentially; short batches hand their idle workers to the inner
+        // portfolios instead.
+        let inner_threads = (self.threads / budgets.len().max(1)).max(1);
         parallel_map(budgets, self.threads, |budget| {
-            orient_with_report(&self.instance, *budget)
+            Solver::on(&self.instance)
+                .with_budget(*budget)
+                .policy(self.policy)
+                .registry(Arc::clone(&self.registry))
+                .threads(inner_threads)
+                .run()
         })
     }
 
-    /// Orients one `budget` against many prebuilt instances, in parallel,
-    /// returning outcomes in input order.
-    ///
-    /// This is the many-deployments-one-budget dual of
-    /// [`BatchOrienter::orient_budgets`]; instances are borrowed so their MST
-    /// substrates are shared with the caller.
+    /// Orients one `budget` against many prebuilt instances.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `InstanceBatch::new(instances).with_threads(threads).orient(budget)`"
+    )]
     pub fn orient_instances(
         instances: &[Instance],
         budget: AntennaBudget,
         threads: usize,
     ) -> Vec<Result<OrientationOutcome, OrientError>> {
-        parallel_map(instances, threads, |instance| {
-            orient_with_report(instance, budget)
+        InstanceBatch::new(instances)
+            .with_threads(threads)
+            .orient(budget)
+    }
+}
+
+/// Orients budgets against many prebuilt instances — the
+/// many-deployments dual of [`BatchOrienter`].
+///
+/// Instances are borrowed, so their MST substrates stay shared with the
+/// caller; every `(instance, budget)` solve fans out over
+/// [`crate::parallel::parallel_map`] under the configured policy.
+///
+/// # Examples
+///
+/// ```
+/// use antennae_core::batch::InstanceBatch;
+/// use antennae_core::antenna::AntennaBudget;
+/// use antennae_core::instance::Instance;
+/// use antennae_geometry::Point;
+///
+/// let deployments: Vec<Instance> = (0..3)
+///     .map(|i| {
+///         Instance::new(vec![
+///             Point::new(0.0, i as f64),
+///             Point::new(1.0, 0.3),
+///             Point::new(0.2, 1.1),
+///         ])
+///     })
+///     .collect::<Result<_, _>>()?;
+/// let outcomes = InstanceBatch::new(&deployments).orient(AntennaBudget::new(3, 0.0));
+/// assert_eq!(outcomes.len(), 3);
+/// # Ok::<(), antennae_core::error::OrientError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct InstanceBatch<'a> {
+    instances: &'a [Instance],
+    threads: usize,
+    policy: SelectionPolicy,
+    registry: Arc<Registry>,
+}
+
+impl<'a> InstanceBatch<'a> {
+    /// Readies a pipeline over `instances` with the default thread count and
+    /// [`SelectionPolicy::BestGuarantee`].
+    pub fn new(instances: &'a [Instance]) -> Self {
+        InstanceBatch {
+            instances,
+            threads: default_threads(),
+            policy: SelectionPolicy::default(),
+            registry: Registry::shared_paper(),
+        }
+    }
+
+    /// Sets the worker-thread count (`1` forces a sequential pipeline).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the selection policy every instance is solved under.
+    pub fn with_policy(mut self, policy: SelectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replaces the algorithm registry every instance is solved against.
+    pub fn with_registry(mut self, registry: impl Into<Arc<Registry>>) -> Self {
+        self.registry = registry.into();
+        self
+    }
+
+    /// The instances every budget is solved against.
+    pub fn instances(&self) -> &[Instance] {
+        self.instances
+    }
+
+    /// Solves `budget` against every instance, in parallel, returning
+    /// outcomes in input order.
+    pub fn orient(&self, budget: AntennaBudget) -> Vec<Result<OrientationOutcome, OrientError>> {
+        // Same split as `BatchOrienter::orient_budgets`: idle outer workers
+        // are handed to the inner solves of short batches.
+        let inner_threads = (self.threads / self.instances.len().max(1)).max(1);
+        parallel_map(self.instances, self.threads, |instance| {
+            Solver::on(instance)
+                .with_budget(budget)
+                .policy(self.policy)
+                .registry(Arc::clone(&self.registry))
+                .threads(inner_threads)
+                .run()
         })
     }
 }
@@ -110,7 +227,6 @@ impl BatchOrienter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::algorithms::dispatch::orient_with_report;
     use crate::verify::verify_with_budget;
     use antennae_geometry::{PI, TAU};
     use rand::rngs::StdRng;
@@ -134,14 +250,14 @@ mod tests {
     }
 
     #[test]
-    fn batch_matches_single_shot_dispatch() {
+    fn batch_matches_single_shot_solves() {
         let points = random_points(40, 11);
         let batch = BatchOrienter::new(points.clone()).unwrap();
         let budgets = budget_grid();
         let batched = batch.orient_budgets(&budgets);
 
         for (budget, outcome) in budgets.iter().zip(batched) {
-            let single = orient_with_report(batch.instance(), *budget).unwrap();
+            let single = Solver::on(batch.instance()).with_budget(*budget).run().unwrap();
             let outcome = outcome.unwrap();
             assert_eq!(outcome.algorithm, single.algorithm, "budget {budget:?}");
             assert_eq!(
@@ -193,20 +309,50 @@ mod tests {
     }
 
     #[test]
+    fn portfolio_policy_rides_the_batch_pipeline() {
+        let batch = BatchOrienter::new(random_points(30, 14))
+            .unwrap()
+            .with_policy(SelectionPolicy::Portfolio);
+        let budgets = vec![AntennaBudget::new(3, 0.0), AntennaBudget::new(2, PI)];
+        let best = BatchOrienter::from_instance(batch.instance().clone())
+            .orient_budgets(&budgets);
+        for (portfolio, best) in batch.orient_budgets(&budgets).into_iter().zip(best) {
+            let (portfolio, best) = (portfolio.unwrap(), best.unwrap());
+            assert!(portfolio.candidates.len() > 1);
+            assert!(
+                portfolio.measured_radius_over_lmax <= best.measured_radius_over_lmax + 1e-12
+            );
+        }
+    }
+
+    #[test]
     fn one_budget_many_instances() {
         let instances: Vec<Instance> = (0..6)
             .map(|seed| Instance::new(random_points(25, 20 + seed)).unwrap())
             .collect();
-        let outcomes = BatchOrienter::orient_instances(&instances, AntennaBudget::new(3, 0.0), 4);
+        let budget = AntennaBudget::new(3, 0.0);
+        let outcomes = InstanceBatch::new(&instances).with_threads(4).orient(budget);
         assert_eq!(outcomes.len(), instances.len());
         for (instance, outcome) in instances.iter().zip(outcomes) {
             let outcome = outcome.unwrap();
-            let report = verify_with_budget(
-                instance,
-                &outcome.scheme,
-                Some(AntennaBudget::new(3, 0.0)),
-            );
+            let report = verify_with_budget(instance, &outcome.scheme, Some(budget));
             assert!(report.is_valid(), "{:?}", report.violations);
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_orient_instances_shim_matches_instance_batch() {
+        let instances: Vec<Instance> = (0..4)
+            .map(|seed| Instance::new(random_points(20, 40 + seed)).unwrap())
+            .collect();
+        let budget = AntennaBudget::new(2, PI);
+        let shim = BatchOrienter::orient_instances(&instances, budget, 2);
+        let batch = InstanceBatch::new(&instances).with_threads(2).orient(budget);
+        for (s, b) in shim.iter().zip(batch.iter()) {
+            let (s, b) = (s.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(s.algorithm, b.algorithm);
+            assert_eq!(s.scheme.max_radius(), b.scheme.max_radius());
         }
     }
 }

@@ -8,6 +8,18 @@
 
 use antennae_geometry::{PI, TAU};
 
+/// Absolute tolerance used whenever a spread budget is compared against one
+/// of the paper's angular thresholds (Theorem 2's `2π(5−k)/5`, Theorem 3's
+/// `2π/3`, …).
+///
+/// Budgets are produced by floating-point expressions like `2.0 * PI / 3.0`
+/// or `TAU * step / n`, so an exact `>=` would reject budgets that are one
+/// ulp below the threshold they were meant to hit.  Every spread-threshold
+/// comparison in the crate — algorithm applicability, the per-algorithm
+/// precondition checks, and the verifier's budget check — uses this single
+/// constant.
+pub const SPREAD_EPS: f64 = 1e-9;
+
 /// Spread threshold of Theorem 2: with `k` antennae per sensor and total
 /// spread at least `2π(5−k)/5`, radius 1 (= `lmax`) suffices.
 pub fn theorem2_spread_threshold(k: usize) -> f64 {

@@ -1,5 +1,6 @@
 //! Error types for instance construction and orientation.
 
+use crate::algorithms::AlgorithmKind;
 use serde::{Deserialize, Serialize};
 
 /// Errors produced by the orientation algorithms.
@@ -32,6 +33,26 @@ pub enum OrientError {
         /// Index of the vertex where the search failed.
         vertex: usize,
     },
+    /// No registered algorithm accepts the requested budget (raised by the
+    /// solver when a custom [`Registry`](crate::solver::Registry) has no
+    /// applicable entry; the paper registry always has one for `k ∈ 1..=5`).
+    NoApplicableAlgorithm {
+        /// The requested antenna count.
+        k: usize,
+        /// The requested spread budget in radians.
+        phi: f64,
+    },
+    /// The specifically requested algorithm is not registered, or its
+    /// applicability check rejects the budget
+    /// ([`SelectionPolicy::Specific`](crate::solver::SelectionPolicy::Specific)).
+    AlgorithmNotApplicable {
+        /// The requested algorithm.
+        algorithm: AlgorithmKind,
+        /// The requested antenna count.
+        k: usize,
+        /// The requested spread budget in radians.
+        phi: f64,
+    },
     /// An internal invariant was violated (reported with context).
     Internal(String),
 }
@@ -54,6 +75,15 @@ impl std::fmt::Display for OrientError {
             OrientError::NoFeasibleLocalConfiguration { vertex } => write!(
                 f,
                 "no feasible local antenna configuration at vertex {vertex}"
+            ),
+            OrientError::NoApplicableAlgorithm { k, phi } => write!(
+                f,
+                "no registered algorithm accepts the budget (k = {k}, φ = {phi:.4} rad)"
+            ),
+            OrientError::AlgorithmNotApplicable { algorithm, k, phi } => write!(
+                f,
+                "algorithm {algorithm} is not registered or not applicable to the budget \
+                 (k = {k}, φ = {phi:.4} rad)"
             ),
             OrientError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
@@ -78,6 +108,16 @@ mod tests {
         assert!(e.to_string().contains("2.0000"));
         let e = OrientError::NoFeasibleLocalConfiguration { vertex: 17 };
         assert!(e.to_string().contains("17"));
+        let e = OrientError::NoApplicableAlgorithm { k: 3, phi: 1.5 };
+        assert!(e.to_string().contains("k = 3"));
+        assert!(e.to_string().contains("1.5000"));
+        let e = OrientError::AlgorithmNotApplicable {
+            algorithm: AlgorithmKind::Theorem3,
+            k: 4,
+            phi: 0.25,
+        };
+        assert!(e.to_string().contains("theorem3"));
+        assert!(e.to_string().contains("k = 4"));
         assert!(OrientError::EmptyInstance.to_string().contains("no sensors"));
         assert!(OrientError::MstConstruction("x".into()).to_string().contains('x'));
         assert!(OrientError::Internal("boom".into()).to_string().contains("boom"));

@@ -18,25 +18,33 @@
 //!
 //! ## What is implemented
 //!
-//! | result | module | guarantee (radius / lmax) |
-//! |---|---|---|
-//! | Lemma 1 (per-node spread bound) | [`algorithms::lemma1`] | spread `2π(d−k)/d` suffices at a degree-`d` node |
-//! | Theorem 2 (`φ_k ≥ 2π(5−k)/5`) | [`algorithms::theorem2`] | 1 |
-//! | Theorem 3.1 (`k = 2`, `φ₂ ≥ π`) | [`algorithms::theorem3`] | 2·sin(2π/9) |
-//! | Theorem 3.2 (`k = 2`, `2π/3 ≤ φ₂ < π`) | [`algorithms::theorem3`] | 2·sin(π/2 − φ₂/4) |
-//! | Theorem 5 (`k = 3`, spread 0) | [`algorithms::chains`] | √3 |
-//! | Theorem 6 (`k = 4`, spread 0) | [`algorithms::chains`] | √2 |
-//! | `k = 5`, spread 0 (folklore) | [`algorithms::chains`] | 1 |
-//! | `k = 2`, spread 0 (\[14\] row) | [`algorithms::chains`] | 2 |
-//! | `k = 1` baselines (\[4\], \[14\] rows) | [`algorithms::one_antenna`], [`algorithms::hamiltonian`] | 1 / ≈2 (heuristic) |
+//! Every Table 1 construction is a first-class [`solver::Orienter`] held in
+//! a [`solver::Registry`] (the [`solver::Registry::paper`] set below); the
+//! algorithm internals live one module per theorem:
 //!
-//! [`algorithms::dispatch::orient`] picks the best algorithm for a given
-//! `(k, φ_k)` budget, and [`verify::verify`] independently checks strong
-//! connectivity and the radius/spread budgets of any scheme.
+//! | result | [`solver::Orienter`] | module | guarantee (radius / lmax) |
+//! |---|---|---|---|
+//! | Lemma 1 (per-node spread bound) | — (primitive used by Theorem 2) | [`algorithms::lemma1`] | spread `2π(d−k)/d` suffices at a degree-`d` node |
+//! | Theorem 2 (`φ_k ≥ 2π(5−k)/5`) | [`solver::Theorem2Orienter`] | [`algorithms::theorem2`] | 1 |
+//! | Theorem 3.1 (`k = 2`, `φ₂ ≥ π`) | [`solver::Theorem3Orienter`] | [`algorithms::theorem3`] | 2·sin(2π/9) |
+//! | Theorem 3.2 (`k = 2`, `2π/3 ≤ φ₂ < π`) | [`solver::Theorem3Orienter`] | [`algorithms::theorem3`] | 2·sin(π/2 − φ₂/4) |
+//! | Theorem 5 (`k = 3`, spread 0) | [`solver::ChainsOrienter`] | [`algorithms::chains`] | √3 |
+//! | Theorem 6 (`k = 4`, spread 0) | [`solver::ChainsOrienter`] | [`algorithms::chains`] | √2 |
+//! | `k = 5`, spread 0 (folklore) | [`solver::ChainsOrienter`] | [`algorithms::chains`] | 1 |
+//! | `k = 2`, spread 0 (\[14\] row) | [`solver::ChainsOrienter`] | [`algorithms::chains`] | 2 |
+//! | `k = 1`, `φ₁ ≥ 8π/5` (\[4\] row) | [`solver::OneAntennaWideOrienter`] | [`algorithms::one_antenna`] | 1 |
+//! | `k = 1` cycle baseline (\[14\] row) | [`solver::HamiltonianOrienter`] | [`algorithms::hamiltonian`] | ≈2 (heuristic) |
+//!
+//! [`solver::Solver`] is the entry point: it selects among the registered
+//! constructions under a [`solver::SelectionPolicy`] — the best proven
+//! guarantee (the classic dispatch), one specific algorithm, or a parallel
+//! portfolio that keeps the smallest *measured* radius — and
+//! [`verify::verify`] independently checks strong connectivity and the
+//! radius/spread budgets of any scheme.
 //!
 //! For whole budget grids or fleets of deployments, [`batch::BatchOrienter`]
-//! shares one MST substrate across every dispatch and fans the work out over
-//! the order-preserving [`parallel::parallel_map`].
+//! and [`batch::InstanceBatch`] share MST substrates across every solve and
+//! fan the work out over the order-preserving [`parallel::parallel_map`].
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -49,11 +57,15 @@ pub mod error;
 pub mod instance;
 pub mod parallel;
 pub mod scheme;
+pub mod solver;
 pub mod verify;
 
 pub use antenna::{Antenna, AntennaBudget, SensorAssignment};
-pub use batch::BatchOrienter;
+pub use batch::{BatchOrienter, InstanceBatch};
 pub use error::OrientError;
 pub use instance::Instance;
 pub use scheme::OrientationScheme;
+pub use solver::{
+    Guarantee, Orienter, OrientationOutcome, Registry, SelectionPolicy, Solver,
+};
 pub use verify::{verify, VerificationReport};

@@ -9,6 +9,7 @@
 //! the tool used by the failure-injection tests.
 
 use crate::antenna::AntennaBudget;
+use crate::bounds::SPREAD_EPS;
 use crate::instance::Instance;
 use crate::scheme::OrientationScheme;
 use antennae_graph::scc::{largest_scc_size, scc_count};
@@ -110,7 +111,7 @@ pub fn verify_with_budget(
                     allowed: budget.k,
                 });
             }
-            if assignment.total_spread() > budget.phi + 1e-9 {
+            if assignment.total_spread() > budget.phi + SPREAD_EPS {
                 violations.push(Violation::SpreadExceeded {
                     sensor: i,
                     used: assignment.total_spread(),

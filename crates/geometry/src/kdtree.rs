@@ -161,9 +161,7 @@ impl KdTree {
             self.points.len(),
             "one label per stored point"
         );
-        let Some(root) = self.root else {
-            return None;
-        };
+        let root = self.root?;
         let bound_sq = (max_dist * max_dist) * (1.0 + 4.0 * f64::EPSILON);
         let mut best = (usize::MAX, bound_sq);
         self.nearest_rec(root, query, &|i| labels[i] == label, &mut best);

@@ -12,9 +12,9 @@
 use crate::experiments::common::TextTable;
 use crate::generators::PointSetGenerator;
 use crate::sweep::{default_threads, parallel_map};
-use antennae_core::algorithms::dispatch::orient;
 use antennae_core::antenna::AntennaBudget;
 use antennae_core::instance::Instance;
+use antennae_core::solver::Solver;
 use antennae_graph::connectivity::{is_strongly_c_connected, remove_vertices};
 use antennae_graph::scc::is_strongly_connected;
 use antennae_geometry::PI;
@@ -126,7 +126,11 @@ pub fn run(config: &CConnectivityConfig) -> CConnectivityReport {
             let results = parallel_map(&jobs, config.threads, |seed| {
                 let points = config.workload.generate(*seed);
                 let instance = Instance::new(points.clone()).expect("non-empty workload");
-                let scheme = orient(&instance, AntennaBudget::new(k, phi)).expect("valid budget");
+                let scheme = Solver::on(&instance)
+                    .with_budget(AntennaBudget::new(k, phi))
+                    .run()
+                    .expect("valid budget")
+                    .scheme;
                 let digraph = scheme.induced_digraph(&points);
                 let connected = is_strongly_connected(&digraph);
                 let survives = is_strongly_c_connected(&digraph, 2);

@@ -15,9 +15,9 @@ use crate::experiments::common::TextTable;
 use crate::generators::PointSetGenerator;
 use crate::interference::{interference_stats, omnidirectional_interference};
 use crate::sweep::{default_threads, parallel_map};
-use antennae_core::algorithms::dispatch::orient_with_report;
 use antennae_core::antenna::AntennaBudget;
 use antennae_core::instance::Instance;
+use antennae_core::solver::Solver;
 use antennae_geometry::PI;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -158,7 +158,10 @@ pub fn run(config: &EnergyConfig) -> EnergyReport {
                 let points = config.workload.generate(*seed);
                 let instance = Instance::new(points.clone()).expect("non-empty workload");
                 let budget = AntennaBudget::new(k, phi);
-                let outcome = orient_with_report(&instance, budget).expect("valid budget");
+                let outcome = Solver::on(&instance)
+                    .with_budget(budget)
+                    .run()
+                    .expect("valid budget");
                 let scheme = outcome.scheme;
                 let radius = scheme.max_radius();
                 let lmax = instance.lmax().max(f64::MIN_POSITIVE);

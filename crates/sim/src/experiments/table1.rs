@@ -11,10 +11,10 @@ use crate::generators::{standard_workloads, PointSetGenerator};
 use crate::metrics::Summary;
 use crate::record::RunRecord;
 use crate::sweep::{default_threads, parallel_map};
-use antennae_core::algorithms::dispatch::{implemented_radius_guarantee, paper_radius_bound};
 use antennae_core::antenna::AntennaBudget;
 use antennae_core::batch::BatchOrienter;
 use antennae_core::bounds;
+use antennae_core::solver::implemented_radius_guarantee;
 use antennae_core::verify::verify_with_budget;
 use antennae_geometry::PI;
 use serde::{Deserialize, Serialize};
@@ -275,7 +275,7 @@ pub fn run(config: &Table1Config) -> Table1Report {
                     strongly_connected: report.is_valid() && report.is_strongly_connected,
                     radius_over_lmax: report.max_radius_over_lmax,
                     max_spread: report.max_spread_sum,
-                    paper_bound: paper_radius_bound(row.k, row.phi),
+                    paper_bound: bounds::table1_radius(row.k, row.phi),
                     implemented_bound: implemented_radius_guarantee(row.k, row.phi),
                 }
             })

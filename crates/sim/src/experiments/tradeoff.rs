@@ -13,11 +13,10 @@ use crate::experiments::common::{fmt_bound, TextTable};
 use crate::generators::{standard_workloads, PointSetGenerator};
 use crate::record::SeriesPoint;
 use crate::sweep::{default_threads, parallel_map};
-use antennae_core::algorithms::dispatch::{
-    implemented_radius_guarantee, orient_with_report, paper_radius_bound,
-};
 use antennae_core::antenna::AntennaBudget;
+use antennae_core::bounds::table1_radius;
 use antennae_core::instance::Instance;
+use antennae_core::solver::{implemented_radius_guarantee, Solver};
 use antennae_core::verify::verify_with_budget;
 use antennae_geometry::PI;
 use serde::{Deserialize, Serialize};
@@ -115,7 +114,10 @@ fn worst_radius_for_budget(
     let results = parallel_map(&jobs, config.threads, |(workload, seed)| {
         let points = workload.generate(*seed);
         let instance = Instance::new(points).expect("non-empty workload");
-        let outcome = orient_with_report(&instance, budget).expect("valid budget");
+        let outcome = Solver::on(&instance)
+            .with_budget(budget)
+            .run()
+            .expect("valid budget");
         let report = verify_with_budget(&instance, &outcome.scheme, Some(budget));
         (report.max_radius_over_lmax, report.is_valid())
     });
@@ -142,7 +144,7 @@ pub fn run(config: &TradeoffConfig) -> TradeoffReport {
         phi_sweep.push(SeriesPoint {
             x: phi,
             y: worst,
-            y_reference: paper_radius_bound(2, phi),
+            y_reference: table1_radius(2, phi),
             series: "k=2 measured".into(),
         });
     }
@@ -156,7 +158,7 @@ pub fn run(config: &TradeoffConfig) -> TradeoffReport {
         k_sweep.push(SeriesPoint {
             x: k as f64,
             y: worst,
-            y_reference: paper_radius_bound(k, 0.0),
+            y_reference: table1_radius(k, 0.0),
             series: "zero-spread measured".into(),
         });
         // Record the implemented guarantee check (used in tests via records).

@@ -145,9 +145,9 @@ pub fn omnidirectional_digraph(points: &[Point], radius: f64) -> DiGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use antennae_core::algorithms::dispatch::orient;
     use antennae_core::antenna::AntennaBudget;
     use antennae_core::instance::Instance;
+    use antennae_core::solver::Solver;
     use antennae_geometry::PI;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -163,7 +163,11 @@ mod tests {
     fn flooding_over_strongly_connected_scheme_reaches_everyone() {
         let points = random_points(40, 5);
         let instance = Instance::new(points.clone()).unwrap();
-        let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+        let scheme = Solver::on(&instance)
+            .with_budget(AntennaBudget::new(2, PI))
+            .run()
+            .unwrap()
+            .scheme;
         for source in [0, 7, 39] {
             let result = flood(&points, &scheme, source, FloodingConfig::default());
             assert!(result.fully_delivered(), "source {source}");
@@ -223,7 +227,11 @@ mod tests {
         // be faster.
         let points = random_points(30, 11);
         let instance = Instance::new(points.clone()).unwrap();
-        let scheme = orient(&instance, AntennaBudget::new(3, 0.0)).unwrap();
+        let scheme = Solver::on(&instance)
+            .with_budget(AntennaBudget::new(3, 0.0))
+            .run()
+            .unwrap()
+            .scheme;
         let radius = scheme.max_radius();
         let directional = flood(&points, &scheme, 0, FloodingConfig::default());
         let omni = flood_over_digraph(

@@ -84,9 +84,9 @@ pub fn omnidirectional_interference(points: &[Point], radius: f64) -> Interferen
 #[cfg(test)]
 mod tests {
     use super::*;
-    use antennae_core::algorithms::dispatch::orient;
     use antennae_core::antenna::AntennaBudget;
     use antennae_core::instance::Instance;
+    use antennae_core::solver::Solver;
     use antennae_geometry::PI;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -102,7 +102,11 @@ mod tests {
     fn directional_orientation_interferes_less_than_omnidirectional() {
         let points = random_points(60, 3);
         let instance = Instance::new(points.clone()).unwrap();
-        let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+        let scheme = Solver::on(&instance)
+            .with_budget(AntennaBudget::new(2, PI))
+            .run()
+            .unwrap()
+            .scheme;
         let directional = interference_stats(&points, &scheme);
         let omni = omnidirectional_interference(&points, scheme.max_radius());
         assert!(directional.total_covered > 0);

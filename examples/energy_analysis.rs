@@ -33,7 +33,11 @@ fn main() {
         ("k=4, beams", 4, 0.0),
         ("k=5, beams", 5, 0.0),
     ] {
-        let scheme = orient(&instance, AntennaBudget::new(k, phi)).expect("orientable");
+        let scheme = Solver::on(&instance)
+            .budget(k, phi)
+            .run()
+            .expect("orientable")
+            .scheme;
         let report = verify(&instance, &scheme);
         assert!(report.is_strongly_connected);
         let total = model.total_power(&scheme);

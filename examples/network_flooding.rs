@@ -31,7 +31,11 @@ fn main() {
         ("k=3, beams", 3, 0.0),
         ("k=5, beams", 5, 0.0),
     ] {
-        let scheme = orient(&instance, AntennaBudget::new(k, phi)).expect("orientable");
+        let scheme = Solver::on(&instance)
+            .budget(k, phi)
+            .run()
+            .expect("orientable")
+            .scheme;
         let radius = scheme.max_radius();
         let result = flood(&points, &scheme, 0, config);
         println!(

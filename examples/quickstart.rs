@@ -1,5 +1,6 @@
-//! Quickstart: orient two antennae per sensor on a small random deployment,
-//! verify strong connectivity and inspect the scheme.
+//! Quickstart: orient two antennae per sensor on a small random deployment
+//! through the policy-driven solver, verify strong connectivity and inspect
+//! the scheme.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -18,12 +19,18 @@ fn main() {
         instance.lmax()
     );
 
-    // Budget: two antennae per sensor, spreads summing to at most π.
-    let budget = AntennaBudget::new(2, PI);
-    let outcome = orient_with_report(&instance, budget).expect("orientation exists");
+    // Budget: two antennae per sensor, spreads summing to at most π.  The
+    // default policy (SelectionPolicy::BestGuarantee) picks the Table 1
+    // construction with the best proven radius bound.
+    let outcome = Solver::on(&instance)
+        .budget(2, PI)
+        .run()
+        .expect("orientation exists");
     println!(
-        "algorithm: {}, guaranteed radius: {:?} · lmax",
-        outcome.algorithm, outcome.guaranteed_radius_over_lmax
+        "algorithm: {}, guaranteed radius: {:?} · lmax, measured: {:.3} · lmax",
+        outcome.algorithm,
+        outcome.guaranteed_radius_over_lmax,
+        outcome.measured_radius_over_lmax
     );
 
     // Independently verify the result.
@@ -52,6 +59,6 @@ fn main() {
     let bound = bounds::table1_radius(2, PI).unwrap();
     println!(
         "\npaper bound for (k=2, φ₂=π): {:.4} · lmax — measured {:.4} · lmax",
-        bound, report.max_radius_over_lmax
+        bound, outcome.measured_radius_over_lmax
     );
 }

@@ -5,7 +5,6 @@
 //! Run with: `cargo run --release --example tradeoff_sweep [n] [seeds]`
 
 use antennae::prelude::*;
-use antennae::core::algorithms::dispatch::paper_radius_bound;
 use std::f64::consts::PI;
 
 fn main() {
@@ -26,12 +25,16 @@ fn main() {
             let points =
                 PointSetGenerator::UniformSquare { n, side: (n as f64).sqrt() }.generate(seed);
             let instance = Instance::new(points).expect("non-empty");
-            let scheme = orient(&instance, AntennaBudget::new(2, phi)).expect("orientable");
+            let scheme = Solver::on(&instance)
+                .budget(2, phi)
+                .run()
+                .expect("orientable")
+                .scheme;
             let report = verify(&instance, &scheme);
             assert!(report.is_strongly_connected, "φ₂={phi} seed={seed}");
             worst = worst.max(report.max_radius_over_lmax);
         }
-        let bound = paper_radius_bound(2, phi).unwrap();
+        let bound = bounds::table1_radius(2, phi).unwrap();
         println!("{:>10.3} {:>10.4} {:>16.4} {:>14.4}", phi / PI, phi, worst, bound);
     }
 

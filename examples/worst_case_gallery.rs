@@ -6,7 +6,6 @@
 //! Run with: `cargo run --example worst_case_gallery`
 
 use antennae::prelude::*;
-use antennae::core::algorithms::dispatch::{orient_with_report, paper_radius_bound};
 use antennae::sim::generators::extremal_workloads;
 use std::f64::consts::PI;
 
@@ -34,8 +33,7 @@ fn main() {
             "k", "φ/π", "algorithm", "measured r/lmax", "paper bound", "connected"
         );
         for &(k, phi) in &budgets {
-            let budget = AntennaBudget::new(k, phi);
-            let outcome = orient_with_report(&instance, budget).expect("orientable");
+            let outcome = Solver::on(&instance).budget(k, phi).run().expect("orientable");
             let report = verify(&instance, &outcome.scheme);
             println!(
                 "{:>4} {:>8.3} {:>14} {:>16.4} {:>14} {:>10}",
@@ -43,7 +41,7 @@ fn main() {
                 phi / PI,
                 outcome.algorithm.to_string(),
                 report.max_radius_over_lmax,
-                paper_radius_bound(k, phi)
+                bounds::table1_radius(k, phi)
                     .map(|b| format!("{b:.4}"))
                     .unwrap_or_else(|| "-".into()),
                 report.is_strongly_connected

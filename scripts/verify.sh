@@ -21,6 +21,9 @@ fi
 echo "== workspace tests (unit + property + doctests) =="
 cargo test --workspace -q
 
+echo "== clippy, warnings as errors =="
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "== rustdoc, warnings as errors =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p antennae \

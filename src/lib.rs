@@ -31,16 +31,28 @@
 //!     Point::new(0.1, 1.4),
 //! ];
 //!
-//! // Each sensor has two antennae whose spreads sum to at most π.
+//! // Each sensor has two antennae whose spreads sum to at most π; the
+//! // solver picks the Table 1 construction with the best proven guarantee.
 //! let instance = Instance::new(points).expect("valid instance");
-//! let scheme = orient(&instance, AntennaBudget::new(2, std::f64::consts::PI))
+//! let outcome = Solver::on(&instance)
+//!     .budget(2, std::f64::consts::PI)
+//!     .run()
 //!     .expect("orientation exists");
 //!
 //! // The induced directed graph is strongly connected and every antenna's
 //! // range is at most 2·sin(2π/9) times the longest MST edge.
-//! let report = verify(&instance, &scheme);
+//! let report = verify(&instance, &outcome.scheme);
 //! assert!(report.is_strongly_connected);
-//! assert!(scheme.max_radius() <= instance.lmax() * (2.0 * (2.0 * std::f64::consts::PI / 9.0).sin()) + 1e-9);
+//! assert!(outcome.measured_radius_over_lmax <= 2.0 * (2.0 * std::f64::consts::PI / 9.0).sin() + 1e-9);
+//!
+//! // Running *every* applicable construction and keeping the measured best
+//! // is a one-line policy change:
+//! let portfolio = Solver::on(&instance)
+//!     .budget(2, std::f64::consts::PI)
+//!     .policy(SelectionPolicy::Portfolio)
+//!     .run()
+//!     .expect("orientation exists");
+//! assert!(portfolio.measured_radius_over_lmax <= outcome.measured_radius_over_lmax);
 //! ```
 
 pub use antennae_core as core;
@@ -50,12 +62,19 @@ pub use antennae_sim as sim;
 
 /// Convenience re-exports of the types used by almost every application.
 pub mod prelude {
+    // The deprecated dispatch shims stay re-exported so pre-0.2 callers keep
+    // compiling; new code should use `Solver`.
+    #[allow(deprecated)]
     pub use antennae_core::algorithms::dispatch::{orient, orient_with_report};
+    pub use antennae_core::algorithms::AlgorithmKind;
     pub use antennae_core::antenna::{Antenna, AntennaBudget, SensorAssignment};
-    pub use antennae_core::batch::BatchOrienter;
+    pub use antennae_core::batch::{BatchOrienter, InstanceBatch};
     pub use antennae_core::bounds;
     pub use antennae_core::instance::Instance;
     pub use antennae_core::scheme::OrientationScheme;
+    pub use antennae_core::solver::{
+        Guarantee, Orienter, OrientationOutcome, Registry, SelectionPolicy, Solver,
+    };
     pub use antennae_core::verify::{verify, VerificationReport};
     pub use antennae_geometry::{Angle, Point, Sector};
     pub use antennae_graph::euclidean::EuclideanMst;

@@ -14,7 +14,7 @@ fn flooding_delivers_everywhere_iff_scc_says_strongly_connected() {
     for seed in 0..3u64 {
         let points = generator.generate(seed);
         let instance = Instance::new(points.clone()).unwrap();
-        let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+        let scheme = Solver::on(&instance).budget(2, PI).run().unwrap().scheme;
         let digraph = scheme.induced_digraph(&points);
         assert!(is_strongly_connected(&digraph));
         // Flooding from several sources reaches everyone.
@@ -33,7 +33,7 @@ fn broken_scheme_detected_by_both_scc_and_flooding() {
     // Remove every antenna from one sensor: it can still receive but never
     // transmit, so strong connectivity must fail and flooding from it must
     // only reach itself.
-    let mut scheme = orient(&instance, AntennaBudget::new(3, 0.0)).unwrap();
+    let mut scheme = Solver::on(&instance).budget(3, 0.0).run().unwrap().scheme;
     scheme.assignments[7] = antennae::core::antenna::SensorAssignment::empty();
     let report = verify(&instance, &scheme);
     assert!(!report.is_strongly_connected);
@@ -56,7 +56,7 @@ fn scheme_radius_never_below_lmax_and_mst_degree_bounded() {
         let instance = Instance::new(points).unwrap();
         assert!((instance.lmax() - mst.lmax()).abs() < 1e-12);
         for k in 2..=5usize {
-            let scheme = orient(&instance, AntennaBudget::beams_only(k)).unwrap();
+            let scheme = Solver::on(&instance).budget(k, 0.0).run().unwrap().scheme;
             let report = verify(&instance, &scheme);
             assert!(report.is_strongly_connected);
             // lmax is a lower bound on any feasible radius.
@@ -72,8 +72,8 @@ fn directional_interference_decreases_with_narrower_budgets() {
     let instance = Instance::new(points.clone()).unwrap();
     // Wide antennae (theorem 2, k=1 needs spread up to 8π/5) cover more
     // unintended receivers than beam-only schemes.
-    let wide = orient(&instance, AntennaBudget::new(1, 8.0 * PI / 5.0)).unwrap();
-    let narrow = orient(&instance, AntennaBudget::beams_only(5)).unwrap();
+    let wide = Solver::on(&instance).budget(1, 8.0 * PI / 5.0).run().unwrap().scheme;
+    let narrow = Solver::on(&instance).budget(5, 0.0).run().unwrap().scheme;
     let wide_stats = interference_stats(&points, &wide);
     let narrow_stats = interference_stats(&points, &narrow);
     assert!(
@@ -91,7 +91,7 @@ fn induced_digraph_contains_every_mst_edge_for_theorem2() {
     let generator = PointSetGenerator::UniformSquare { n: 60, side: 10.0 };
     let points = generator.generate(9);
     let instance = Instance::new(points.clone()).unwrap();
-    let scheme = orient(&instance, AntennaBudget::new(2, 6.0 * PI / 5.0)).unwrap();
+    let scheme = Solver::on(&instance).budget(2, 6.0 * PI / 5.0).run().unwrap().scheme;
     let digraph = scheme.induced_digraph(&points);
     for edge in instance.mst().edges() {
         assert!(digraph.has_edge(edge.u, edge.v), "missing {} -> {}", edge.u, edge.v);

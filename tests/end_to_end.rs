@@ -1,9 +1,7 @@
 //! End-to-end integration tests: every Table 1 regime, exercised through the
 //! public facade (`antennae::prelude`), on several workload families.
 
-use antennae::core::algorithms::dispatch::{
-    implemented_radius_guarantee, orient_with_report, paper_radius_bound,
-};
+use antennae::core::solver::implemented_radius_guarantee;
 use antennae::core::verify::verify_with_budget;
 use antennae::prelude::*;
 use std::f64::consts::PI;
@@ -48,7 +46,7 @@ fn every_table1_regime_is_strongly_connected_within_its_guarantee() {
             let instance = Instance::new(generator.generate(seed)).unwrap();
             for (k, phi) in table1_budgets() {
                 let budget = AntennaBudget::new(k, phi);
-                let outcome = orient_with_report(&instance, budget).unwrap();
+                let outcome = Solver::on(&instance).with_budget(budget).run().unwrap();
                 let report = verify_with_budget(&instance, &outcome.scheme, Some(budget));
                 assert!(
                     report.is_valid(),
@@ -74,7 +72,7 @@ fn implemented_guarantees_match_paper_bounds_where_reimplemented() {
     // For every regime except the k = 1 intermediate one, the implemented
     // guarantee equals the paper's Table 1 bound.
     for (k, phi) in table1_budgets() {
-        let paper = paper_radius_bound(k, phi).unwrap();
+        let paper = bounds::table1_radius(k, phi).unwrap();
         match implemented_radius_guarantee(k, phi) {
             Some(ours) => assert!(
                 (ours - paper).abs() < 1e-9 || ours >= paper,
@@ -95,8 +93,16 @@ fn normalized_instances_give_identical_radius_ratios() {
     assert!((normalized.lmax() - 1.0).abs() < 1e-9);
     for (k, phi) in [(2usize, PI), (3, 0.0)] {
         let budget = AntennaBudget::new(k, phi);
-        let raw = verify(&instance, &orient(&instance, budget).unwrap()).max_radius_over_lmax;
-        let norm = verify(&normalized, &orient(&normalized, budget).unwrap()).max_radius_over_lmax;
+        let raw = Solver::on(&instance)
+            .with_budget(budget)
+            .run()
+            .unwrap()
+            .measured_radius_over_lmax;
+        let norm = Solver::on(&normalized)
+            .with_budget(budget)
+            .run()
+            .unwrap()
+            .measured_radius_over_lmax;
         assert!(
             (raw - norm).abs() < 1e-6,
             "k={k}: {raw} (raw) vs {norm} (normalized)"
@@ -114,10 +120,8 @@ fn doc_example_pipeline_works_via_prelude() {
         Point::new(0.1, 1.4),
     ];
     let instance = Instance::new(points).unwrap();
-    let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
-    let report = verify(&instance, &scheme);
+    let outcome = Solver::on(&instance).budget(2, PI).run().unwrap();
+    let report = verify(&instance, &outcome.scheme);
     assert!(report.is_strongly_connected);
-    assert!(
-        scheme.max_radius() <= instance.lmax() * (2.0 * (2.0 * PI / 9.0).sin()) + 1e-9
-    );
+    assert!(outcome.measured_radius_over_lmax <= 2.0 * (2.0 * PI / 9.0).sin() + 1e-9);
 }

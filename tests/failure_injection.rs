@@ -11,7 +11,11 @@ use std::f64::consts::PI;
 fn instance_and_scheme() -> (Instance, OrientationScheme) {
     let generator = PointSetGenerator::UniformSquare { n: 40, side: 10.0 };
     let instance = Instance::new(generator.generate(17)).unwrap();
-    let scheme = orient(&instance, AntennaBudget::new(2, PI)).unwrap();
+    let scheme = Solver::on(&instance)
+        .budget(2, PI)
+        .run()
+        .unwrap()
+        .scheme;
     (instance, scheme)
 }
 
