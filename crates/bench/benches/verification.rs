@@ -1,29 +1,112 @@
-//! Benchmarks of the verification pipeline: induced-digraph construction and
-//! strong-connectivity checking.
+//! Benchmarks of the verification pipeline: dense vs kd-tree induced-digraph
+//! construction, session reuse, batch fan-out, and the SCC back end.
+//!
+//! `verify_scheme/{dense,kdtree}/n` is the crossover experiment recorded in
+//! `docs/ARCHITECTURE.md` (§ Verification engine); `verify_batch` measures
+//! the parallel many-schemes path against a sequential loop.
 
 use antennae_bench::workloads::uniform_instance;
-use antennae_core::solver::Solver;
 use antennae_core::antenna::AntennaBudget;
-use antennae_core::verify::verify;
+use antennae_core::scheme::OrientationScheme;
+use antennae_core::solver::{SelectionPolicy, Solver};
+use antennae_core::verify::{DigraphStrategy, VerificationEngine};
 use antennae_graph::scc::{kosaraju_scc, tarjan_scc};
 use antennae_geometry::PI;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_verify(c: &mut Criterion) {
-    let mut group = c.benchmark_group("verify_scheme");
-    for &n in &[100usize, 500, 1000] {
-        let instance = uniform_instance(n, 3);
-        let scheme = Solver::on(&instance)
+/// The solver scheme the verifier sees in production runs.
+fn scheme_for(instance: &antennae_core::instance::Instance) -> OrientationScheme {
+    Solver::on(instance)
         .with_budget(AntennaBudget::new(2, PI))
         .run()
         .unwrap()
-        .scheme;
+        .scheme
+}
+
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_scheme");
+    for &n in &[32usize, 100, 250, 1000, 4000] {
+        let instance = uniform_instance(n, 3);
+        let scheme = scheme_for(&instance);
+        for (label, strategy) in [
+            ("dense", DigraphStrategy::Dense),
+            ("kdtree", DigraphStrategy::KdTree),
+        ] {
+            let engine = VerificationEngine::new().with_strategy(strategy);
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &(&instance, &scheme),
+                |b, (inst, sch)| b.iter(|| engine.verify(black_box(inst), black_box(sch))),
+            );
+        }
+        // Session: the kd-tree is prebuilt once and amortised — the
+        // per-scheme marginal cost the Portfolio/batch paths pay.
+        let session = VerificationEngine::new()
+            .with_strategy(DigraphStrategy::KdTree)
+            .session(&instance);
         group.bench_with_input(
-            BenchmarkId::from_parameter(n),
-            &(instance, scheme),
-            |b, (inst, sch)| b.iter(|| verify(black_box(inst), black_box(sch))),
+            BenchmarkId::new("session", n),
+            &scheme,
+            |b, sch| b.iter(|| session.verify(black_box(sch))),
         );
+    }
+    group.finish();
+}
+
+fn bench_verify_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify_batch");
+    let instance = uniform_instance(2000, 3);
+    // The Portfolio case: every applicable k=2 construction's scheme for one
+    // instance.
+    let portfolio = Solver::on(&instance)
+        .with_budget(AntennaBudget::new(2, PI))
+        .policy(SelectionPolicy::Portfolio)
+        .run()
+        .unwrap();
+    let schemes: Vec<&OrientationScheme> = portfolio
+        .candidates
+        .iter()
+        .map(|c| c.scheme.as_ref().unwrap())
+        .collect();
+    let session_seq = VerificationEngine::new()
+        .with_threads(1)
+        .session(&instance);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            schemes
+                .iter()
+                .map(|s| session_seq.verify(black_box(s)))
+                .collect::<Vec<_>>()
+        })
+    });
+    let session_par = VerificationEngine::new().session(&instance);
+    group.bench_function("parallel", |b| {
+        b.iter(|| session_par.verify_schemes(black_box(&schemes), None))
+    });
+    group.finish();
+}
+
+fn bench_portfolio_end_to_end(c: &mut Criterion) {
+    // The PR 2 pain point: a Portfolio solve at n = 2000 with verification
+    // of every candidate, dense vs engine-backed.
+    let mut group = c.benchmark_group("portfolio_verified");
+    let instance = uniform_instance(2000, 3);
+    for (label, strategy) in [
+        ("dense", DigraphStrategy::Dense),
+        ("auto", DigraphStrategy::Auto),
+    ] {
+        let engine = VerificationEngine::new().with_strategy(strategy);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                Solver::on(black_box(&instance))
+                    .with_budget(AntennaBudget::new(2, PI))
+                    .policy(SelectionPolicy::Portfolio)
+                    .engine(engine)
+                    .run_verified()
+                    .unwrap()
+            })
+        });
     }
     group.finish();
 }
@@ -31,16 +114,18 @@ fn bench_verify(c: &mut Criterion) {
 fn bench_scc_algorithms(c: &mut Criterion) {
     let mut group = c.benchmark_group("scc_on_induced_digraph");
     let instance = uniform_instance(1000, 3);
-    let scheme = Solver::on(&instance)
-        .with_budget(AntennaBudget::new(2, PI))
-        .run()
-        .unwrap()
-        .scheme;
-    let digraph = scheme.induced_digraph(instance.points());
+    let scheme = scheme_for(&instance);
+    let digraph = VerificationEngine::new().induced_digraph(instance.points(), &scheme);
     group.bench_function("tarjan", |b| b.iter(|| tarjan_scc(black_box(&digraph))));
     group.bench_function("kosaraju", |b| b.iter(|| kosaraju_scc(black_box(&digraph))));
     group.finish();
 }
 
-criterion_group!(benches, bench_verify, bench_scc_algorithms);
+criterion_group!(
+    benches,
+    bench_verify,
+    bench_verify_batch,
+    bench_portfolio_end_to_end,
+    bench_scc_algorithms
+);
 criterion_main!(benches);

@@ -18,7 +18,8 @@ use crate::antenna::AntennaBudget;
 use crate::error::OrientError;
 use crate::instance::Instance;
 use crate::parallel::{default_threads, parallel_map};
-use crate::solver::{OrientationOutcome, Registry, SelectionPolicy, Solver};
+use crate::solver::{OrientationOutcome, Registry, SelectionPolicy, Solver, VerifiedOutcome};
+use crate::verify::VerificationEngine;
 use antennae_geometry::Point;
 use std::sync::Arc;
 
@@ -57,6 +58,7 @@ pub struct BatchOrienter {
     threads: usize,
     policy: SelectionPolicy,
     registry: Arc<Registry>,
+    engine: VerificationEngine,
 }
 
 impl BatchOrienter {
@@ -74,6 +76,7 @@ impl BatchOrienter {
             threads: default_threads(),
             policy: SelectionPolicy::default(),
             registry: Registry::shared_paper(),
+            engine: VerificationEngine::new(),
         }
     }
 
@@ -92,6 +95,14 @@ impl BatchOrienter {
     /// Replaces the algorithm registry every budget is solved against.
     pub fn with_registry(mut self, registry: impl Into<Arc<Registry>>) -> Self {
         self.registry = registry.into();
+        self
+    }
+
+    /// Replaces the verification engine
+    /// [`BatchOrienter::orient_budgets_verified`] routes through (the
+    /// default uses the `Auto` digraph strategy).
+    pub fn with_engine(mut self, engine: VerificationEngine) -> Self {
+        self.engine = engine;
         self
     }
 
@@ -117,6 +128,35 @@ impl BatchOrienter {
                 .registry(Arc::clone(&self.registry))
                 .threads(inner_threads)
                 .run()
+        })
+    }
+
+    /// Solves every budget in `budgets` against the shared instance and
+    /// independently verifies every produced scheme (including every
+    /// Portfolio candidate) through the configured
+    /// [`VerificationEngine`].
+    ///
+    /// The whole grid shares one
+    /// [`crate::verify::VerificationSession`]: the spatial index over the
+    /// instance is built exactly once — like the MST substrate — no matter
+    /// how many budgets or candidates ride the pipeline.  Each scheme is
+    /// verified under the budget it was solved for.
+    pub fn orient_budgets_verified(
+        &self,
+        budgets: &[AntennaBudget],
+    ) -> Vec<Result<VerifiedOutcome, OrientError>> {
+        let inner_threads = (self.threads / budgets.len().max(1)).max(1);
+        // The outer fan-out is across budgets; each budget verifies its own
+        // candidates sequentially on the shared session.
+        let session = self.engine.with_threads(1).session(&self.instance);
+        parallel_map(budgets, self.threads, |budget| {
+            Solver::on(&self.instance)
+                .with_budget(*budget)
+                .policy(self.policy)
+                .registry(Arc::clone(&self.registry))
+                .threads(inner_threads)
+                .run()
+                .map(|outcome| VerifiedOutcome::from_session(outcome, &session, Some(*budget)))
         })
     }
 
@@ -323,6 +363,52 @@ mod tests {
                 portfolio.measured_radius_over_lmax <= best.measured_radius_over_lmax + 1e-12
             );
         }
+    }
+
+    #[test]
+    fn verified_batch_matches_unverified_solves_and_reports_are_sound() {
+        let points = random_points(35, 15);
+        let batch = BatchOrienter::new(points)
+            .unwrap()
+            .with_policy(SelectionPolicy::Portfolio);
+        let budgets = vec![AntennaBudget::new(2, PI), AntennaBudget::new(3, 0.0)];
+        let verified = batch.orient_budgets_verified(&budgets);
+        let plain = batch.orient_budgets(&budgets);
+        assert_eq!(verified.len(), plain.len());
+        for ((budget, verified), plain) in budgets.iter().zip(verified).zip(plain) {
+            let (verified, plain) = (verified.unwrap(), plain.unwrap());
+            assert_eq!(verified.outcome.algorithm, plain.algorithm);
+            assert!(verified.is_valid(), "budget {budget:?}");
+            assert_eq!(
+                verified.candidate_reports.len(),
+                verified.outcome.candidates.len()
+            );
+            // Every candidate report matches an independent re-verification.
+            for (candidate, report) in verified
+                .outcome
+                .candidates
+                .iter()
+                .zip(&verified.candidate_reports)
+            {
+                let scheme = candidate.scheme.as_ref().unwrap();
+                assert_eq!(
+                    *report,
+                    verify_with_budget(batch.instance(), scheme, Some(*budget))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verified_batch_surfaces_per_budget_errors() {
+        let batch = BatchOrienter::new(random_points(10, 16)).unwrap();
+        let outcomes =
+            batch.orient_budgets_verified(&[AntennaBudget::new(0, 0.0), AntennaBudget::new(2, PI)]);
+        assert!(matches!(
+            outcomes[0],
+            Err(OrientError::UnsupportedAntennaCount { k: 0 })
+        ));
+        assert!(outcomes[1].as_ref().unwrap().is_valid());
     }
 
     #[test]

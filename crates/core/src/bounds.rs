@@ -20,6 +20,32 @@ use antennae_geometry::{PI, TAU};
 /// constant.
 pub const SPREAD_EPS: f64 = 1e-9;
 
+/// Normalizes a measured antenna radius by `lmax`, the paper's unit.
+///
+/// The degenerate cases are pinned down once, here, so the verifier's
+/// [`VerificationReport::max_radius_over_lmax`](crate::verify::VerificationReport::max_radius_over_lmax)
+/// and the solver's measured radius agree bit-for-bit even on coincident
+/// point sets:
+///
+/// * `lmax > 0` → the plain ratio `max_radius / lmax`;
+/// * `lmax == 0` (all sensors coincide) with a positive radius →
+///   `f64::INFINITY` (any positive range is infinitely larger than needed);
+/// * `lmax == 0` with `max_radius == 0` → `0.0` (the zero scheme is optimal
+///   on a degenerate instance).
+///
+/// The result is never NaN for the non-negative inputs produced by
+/// [`OrientationScheme::max_radius`](crate::scheme::OrientationScheme::max_radius)
+/// and [`Instance::lmax`](crate::instance::Instance::lmax).
+pub fn radius_over_lmax(max_radius: f64, lmax: f64) -> f64 {
+    if lmax > 0.0 {
+        max_radius / lmax
+    } else if max_radius > 0.0 {
+        f64::INFINITY
+    } else {
+        0.0
+    }
+}
+
 /// Spread threshold of Theorem 2: with `k` antennae per sensor and total
 /// spread at least `2π(5−k)/5`, radius 1 (= `lmax`) suffices.
 pub fn theorem2_spread_threshold(k: usize) -> f64 {
@@ -133,6 +159,15 @@ pub fn table1_row_radius(k: usize, phi: f64) -> Option<f64> {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    #[test]
+    fn radius_over_lmax_degenerate_cases() {
+        assert_eq!(radius_over_lmax(3.0, 2.0), 1.5);
+        assert_eq!(radius_over_lmax(0.0, 2.0), 0.0);
+        // Coincident-points instance: lmax = 0.
+        assert_eq!(radius_over_lmax(1e-300, 0.0), f64::INFINITY);
+        assert_eq!(radius_over_lmax(0.0, 0.0), 0.0);
+    }
 
     #[test]
     fn theorem2_thresholds_match_table1() {

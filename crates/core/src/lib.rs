@@ -40,7 +40,12 @@
 //! guarantee (the classic dispatch), one specific algorithm, or a parallel
 //! portfolio that keeps the smallest *measured* radius — and
 //! [`verify::verify`] independently checks strong connectivity and the
-//! radius/spread budgets of any scheme.
+//! radius/spread budgets of any scheme.  Verification itself is served by
+//! the sub-quadratic [`verify::VerificationEngine`] (kd-tree range queries
+//! with a dense fallback, oracle-tested to be bit-identical to the pairwise
+//! construction); [`solver::Solver::run_verified`] and
+//! [`batch::BatchOrienter::orient_budgets_verified`] bundle solving with
+//! engine-backed verification, sharing one spatial index per instance.
 //!
 //! For whole budget grids or fleets of deployments, [`batch::BatchOrienter`]
 //! and [`batch::InstanceBatch`] share MST substrates across every solve and
@@ -66,6 +71,8 @@ pub use error::OrientError;
 pub use instance::Instance;
 pub use scheme::OrientationScheme;
 pub use solver::{
-    Guarantee, Orienter, OrientationOutcome, Registry, SelectionPolicy, Solver,
+    Guarantee, Orienter, OrientationOutcome, Registry, SelectionPolicy, Solver, VerifiedOutcome,
 };
-pub use verify::{verify, VerificationReport};
+pub use verify::{
+    verify, DigraphStrategy, VerificationEngine, VerificationReport, VerificationSession,
+};

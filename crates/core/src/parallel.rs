@@ -1,7 +1,9 @@
-//! Order-preserving parallel map, the execution primitive under both the
-//! batch orientation pipeline ([`crate::batch::BatchOrienter`]) and the
-//! simulation crate's parameter sweeps (`antennae_sim::sweep` re-exports
-//! these functions).
+//! Order-preserving parallel map, the execution primitive under the batch
+//! orientation pipeline ([`crate::batch::BatchOrienter`]), the verification
+//! engine's fan-outs ([`crate::verify::VerificationEngine::verify_batch`],
+//! [`crate::verify::VerificationSession::verify_schemes`] and large
+//! single-digraph rebuilds) and the simulation crate's parameter sweeps
+//! (`antennae_sim::sweep` re-exports these functions).
 //!
 //! Work items are pulled off a shared atomic counter by
 //! `std::thread::scope` workers, so no item is processed twice and results

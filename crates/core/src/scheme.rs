@@ -70,8 +70,13 @@ impl OrientationScheme {
     /// Builds the induced directed communication graph over `points`:
     /// `u → v` iff some antenna of sensor `u` covers the location of `v`.
     ///
-    /// Runs in O(n² · k); the instances in the paper's regime (hundreds to a
-    /// few thousands of sensors) are well within reach.
+    /// This is the *dense reference construction*: Θ(n² · k) pairwise sector
+    /// tests, visited in ascending index order.  It doubles as the oracle
+    /// the sub-quadratic [`crate::verify::VerificationEngine`] is
+    /// property-tested against — the engine's kd-tree path must reproduce
+    /// this construction bit-for-bit (same edges, same adjacency order).
+    /// Callers on a hot path should go through the engine, which picks the
+    /// cheaper of the two constructions per instance size.
     pub fn induced_digraph(&self, points: &[Point]) -> DiGraph {
         let n = points.len().min(self.assignments.len());
         let mut g = DiGraph::new(points.len());

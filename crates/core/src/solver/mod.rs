@@ -59,6 +59,7 @@ use crate::error::OrientError;
 use crate::instance::Instance;
 use crate::parallel::{default_threads, parallel_map};
 use crate::scheme::OrientationScheme;
+use crate::verify::{VerificationEngine, VerificationReport, VerificationSession};
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, OnceLock};
 
@@ -317,18 +318,68 @@ pub struct OrientationOutcome {
     pub candidates: Vec<CandidateOutcome>,
 }
 
-/// The measured max radius of `scheme` in units of `instance`'s `lmax`,
-/// mirroring the verifier's normalization (`∞` when `lmax` is zero but a
-/// positive radius is used).
+/// The measured max radius of `scheme` in units of `instance`'s `lmax` —
+/// [`crate::bounds::radius_over_lmax`], the single normalization shared with
+/// the verifier (so the solver's measurement and a
+/// [`VerificationReport`](crate::verify::VerificationReport)'s
+/// `max_radius_over_lmax` are bit-identical, including the coincident-points
+/// `lmax == 0` cases).
 fn measured_radius_over_lmax(instance: &Instance, scheme: &OrientationScheme) -> f64 {
-    let max_radius = scheme.max_radius();
-    let lmax = instance.lmax();
-    if lmax > 0.0 {
-        max_radius / lmax
-    } else if max_radius > 0.0 {
-        f64::INFINITY
-    } else {
-        0.0
+    crate::bounds::radius_over_lmax(scheme.max_radius(), instance.lmax())
+}
+
+/// An [`OrientationOutcome`] bundled with independent verification of every
+/// candidate scheme, produced by [`Solver::run_verified`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerifiedOutcome {
+    /// The solve outcome (selected scheme + candidate table).
+    pub outcome: OrientationOutcome,
+    /// Verification of the *selected* scheme under the solve's budget.
+    pub report: VerificationReport,
+    /// Verification of every candidate, aligned index-for-index with
+    /// [`OrientationOutcome::candidates`].  Under the single-candidate
+    /// policies this is one entry (equal to
+    /// [`VerifiedOutcome::report`]); under
+    /// [`SelectionPolicy::Portfolio`] every candidate scheme is verified
+    /// through one shared [`crate::verify::VerificationSession`] — the
+    /// spatial index is built once per solve, not once per candidate.
+    pub candidate_reports: Vec<VerificationReport>,
+}
+
+impl VerifiedOutcome {
+    /// Returns `true` when the selected scheme passed verification.
+    pub fn is_valid(&self) -> bool {
+        self.report.is_valid()
+    }
+
+    /// Verifies every candidate of `outcome` through `session` (one shared
+    /// spatial index) under `budget`, and bundles the reports.
+    ///
+    /// This is the shared back half of [`Solver::run_verified`] and the
+    /// batch pipeline's
+    /// [`orient_budgets_verified`](crate::batch::BatchOrienter::orient_budgets_verified),
+    /// which reuses one session across a whole budget grid.
+    pub fn from_session(
+        outcome: OrientationOutcome,
+        session: &VerificationSession<'_>,
+        budget: Option<AntennaBudget>,
+    ) -> Self {
+        let schemes: Vec<&OrientationScheme> = outcome
+            .candidates
+            .iter()
+            .map(|c| c.scheme.as_ref().unwrap_or(&outcome.scheme))
+            .collect();
+        let candidate_reports = session.verify_schemes(&schemes, budget);
+        let selected = outcome
+            .candidates
+            .iter()
+            .position(|c| c.selected)
+            .expect("every outcome flags a selected candidate");
+        VerifiedOutcome {
+            report: candidate_reports[selected].clone(),
+            candidate_reports,
+            outcome,
+        }
     }
 }
 
@@ -345,6 +396,7 @@ pub struct Solver<'a> {
     policy: SelectionPolicy,
     registry: Arc<Registry>,
     threads: usize,
+    engine: VerificationEngine,
 }
 
 impl<'a> Solver<'a> {
@@ -357,6 +409,7 @@ impl<'a> Solver<'a> {
             policy: SelectionPolicy::default(),
             registry: Registry::shared_paper(),
             threads: default_threads(),
+            engine: VerificationEngine::new(),
         }
     }
 
@@ -391,6 +444,32 @@ impl<'a> Solver<'a> {
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Replaces the verification engine [`Solver::run_verified`] uses (the
+    /// default is [`VerificationEngine::new`], i.e. the `Auto` strategy).
+    pub fn engine(mut self, engine: VerificationEngine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Runs the solve and independently verifies every produced scheme
+    /// through the configured [`VerificationEngine`].
+    ///
+    /// All verifications of the solve share one
+    /// [`crate::verify::VerificationSession`], so the spatial index over the
+    /// instance is built at most once regardless of how many Portfolio
+    /// candidates there are.  The budget passed to the verifier is the
+    /// solve's own budget: a construction that overspends the budget it
+    /// declared applicable is reported, not silently accepted.
+    pub fn run_verified(&self) -> Result<VerifiedOutcome, OrientError> {
+        let outcome = self.run()?;
+        let session = self.engine.session(self.instance);
+        Ok(VerifiedOutcome::from_session(
+            outcome,
+            &session,
+            Some(self.budget),
+        ))
     }
 
     /// Runs the solve.
@@ -827,6 +906,118 @@ mod tests {
         assert_eq!(implemented_radius_guarantee(6, 1.0), None);
         assert_eq!(implemented_radius_guarantee(1, 0.5), None);
         assert_eq!(implemented_radius_guarantee(5, 0.0), Some(1.0));
+    }
+
+    #[test]
+    fn run_verified_checks_selected_and_all_candidates() {
+        let instance = random_instance(40, 9);
+        // Single-candidate policy: one report, equal to the selected one.
+        let verified = Solver::on(&instance).budget(2, PI).run_verified().unwrap();
+        assert!(verified.is_valid());
+        assert_eq!(verified.candidate_reports.len(), 1);
+        assert_eq!(verified.candidate_reports[0], verified.report);
+        assert_eq!(
+            verified.report,
+            verify_with_budget(
+                &instance,
+                &verified.outcome.scheme,
+                Some(AntennaBudget::new(2, PI))
+            )
+        );
+
+        // Portfolio: one report per candidate, aligned by index, all from a
+        // shared session.
+        let verified = Solver::on(&instance)
+            .budget(2, PI)
+            .policy(SelectionPolicy::Portfolio)
+            .run_verified()
+            .unwrap();
+        assert!(verified.outcome.candidates.len() > 1);
+        assert_eq!(
+            verified.candidate_reports.len(),
+            verified.outcome.candidates.len()
+        );
+        for (candidate, report) in verified
+            .outcome
+            .candidates
+            .iter()
+            .zip(&verified.candidate_reports)
+        {
+            assert!(report.is_valid(), "{}: {:?}", candidate.algorithm, report.violations);
+            let scheme = candidate.scheme.as_ref().unwrap();
+            assert_eq!(
+                *report,
+                verify_with_budget(&instance, scheme, Some(AntennaBudget::new(2, PI)))
+            );
+        }
+        let selected = verified
+            .outcome
+            .candidates
+            .iter()
+            .position(|c| c.selected)
+            .unwrap();
+        assert_eq!(verified.report, verified.candidate_reports[selected]);
+        assert_eq!(
+            verified.report.max_radius_over_lmax,
+            verified.outcome.measured_radius_over_lmax
+        );
+    }
+
+    #[test]
+    fn run_verified_flags_a_budget_overspending_orienter() {
+        /// A deliberately broken construction: declares itself applicable to
+        /// one beam but mounts two.
+        struct Overspender;
+        impl Orienter for Overspender {
+            fn kind(&self) -> AlgorithmKind {
+                AlgorithmKind::Hamiltonian
+            }
+            fn applicability(&self, _budget: &AntennaBudget) -> Option<Guarantee> {
+                Some(Guarantee::heuristic())
+            }
+            fn orient(
+                &self,
+                instance: &Instance,
+                _budget: AntennaBudget,
+            ) -> Result<OrientationScheme, OrientError> {
+                let points = instance.points();
+                let n = points.len();
+                let assignments = (0..n)
+                    .map(|i| {
+                        let next = (i + 1) % n;
+                        let prev = (i + n - 1) % n;
+                        crate::antenna::SensorAssignment::new(vec![
+                            crate::antenna::Antenna::beam(
+                                &points[i],
+                                &points[next],
+                                points[i].distance(&points[next]),
+                            ),
+                            crate::antenna::Antenna::beam(
+                                &points[i],
+                                &points[prev],
+                                points[i].distance(&points[prev]),
+                            ),
+                        ])
+                    })
+                    .collect();
+                Ok(OrientationScheme::new(assignments))
+            }
+        }
+
+        let instance = random_instance(12, 10);
+        let mut registry = Registry::empty();
+        registry.register(Box::new(Overspender));
+        let verified = Solver::on(&instance)
+            .budget(1, 0.0)
+            .registry(registry)
+            .run_verified()
+            .unwrap();
+        assert!(!verified.is_valid());
+        assert!(verified
+            .report
+            .violations
+            .iter()
+            .any(|v| matches!(v, crate::verify::Violation::TooManyAntennas { .. })));
     }
 
     #[test]

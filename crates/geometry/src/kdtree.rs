@@ -216,11 +216,24 @@ impl KdTree {
     /// All indices of points within `radius` of `query` (closed ball).
     pub fn within_radius(&self, query: &Point, radius: f64) -> Vec<usize> {
         let mut out = Vec::new();
+        self.within_radius_into(query, radius, &mut out);
+        out
+    }
+
+    /// Like [`KdTree::within_radius`], but clears and fills a caller-owned
+    /// buffer instead of allocating a fresh `Vec` per query.
+    ///
+    /// The verification engine in `antennae-core` issues one range query per
+    /// sensor while rebuilding an induced communication digraph; reusing a
+    /// single buffer across the whole sweep keeps that loop allocation-free.
+    /// Results are sorted ascending, exactly as [`KdTree::within_radius`]
+    /// returns them.
+    pub fn within_radius_into(&self, query: &Point, radius: f64, out: &mut Vec<usize>) {
+        out.clear();
         if let Some(root) = self.root {
-            self.radius_rec(root, query, radius, &mut out);
+            self.radius_rec(root, query, radius, out);
         }
         out.sort_unstable();
-        out
     }
 
     fn radius_rec(&self, node_idx: usize, query: &Point, radius: f64, out: &mut Vec<usize>) {
@@ -355,6 +368,17 @@ mod tests {
         let t = KdTree::build(&pts);
         let hits = t.within_radius(&Point::new(0.0, 0.0), 1.5);
         assert_eq!(hits, vec![0, 1, 5]);
+    }
+
+    #[test]
+    fn within_radius_into_reuses_the_buffer() {
+        let pts = sample_points();
+        let t = KdTree::build(&pts);
+        let mut buf = vec![99, 98]; // stale contents must be cleared
+        t.within_radius_into(&Point::new(0.0, 0.0), 1.5, &mut buf);
+        assert_eq!(buf, vec![0, 1, 5]);
+        t.within_radius_into(&Point::new(100.0, 100.0), 0.5, &mut buf);
+        assert!(buf.is_empty());
     }
 
     #[test]

@@ -9,7 +9,12 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// A directed graph stored as out- and in-adjacency lists.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Equality is structural *including adjacency order*: two digraphs compare
+/// equal iff every vertex lists the same out-neighbours in the same order.
+/// The verification layer relies on this to assert that its kd-tree and
+/// dense induced-digraph builders are bit-identical.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct DiGraph {
     out_adj: Vec<Vec<usize>>,
     in_adj: Vec<Vec<usize>>,
@@ -50,6 +55,32 @@ impl DiGraph {
         self.out_adj[u].push(v);
         self.in_adj[v].push(u);
         self.edge_count += 1;
+    }
+
+    /// Builds a digraph over `n` vertices from per-vertex out-adjacency
+    /// rows: row `u` of `rows` lists the out-neighbours of vertex `u`.
+    ///
+    /// `rows` may yield fewer than `n` rows (remaining vertices stay
+    /// isolated) but never more.  Duplicate neighbours and self-loops are
+    /// ignored exactly as [`DiGraph::add_edge`] ignores them, and neighbour
+    /// order within each row is preserved — feeding this builder the rows of
+    /// an existing digraph reproduces it bit-for-bit.  This is the bridge
+    /// the sub-quadratic verification engine uses: candidate neighbour lists
+    /// are computed per sensor (possibly in parallel) and assembled here in
+    /// one deterministic pass.
+    pub fn from_adjacency<I>(n: usize, rows: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: IntoIterator<Item = usize>,
+    {
+        let mut g = DiGraph::new(n);
+        for (u, row) in rows.into_iter().enumerate() {
+            assert!(u < n, "more adjacency rows than vertices");
+            for v in row {
+                g.add_edge(u, v);
+            }
+        }
+        g
     }
 
     /// Returns `true` when the edge `u → v` exists.
@@ -194,6 +225,28 @@ mod tests {
         assert_eq!(g.out_neighbors(1), &[2]);
         assert_eq!(g.in_neighbors(1), &[0]);
         assert_eq!(g.max_out_degree(), 1);
+    }
+
+    #[test]
+    fn from_adjacency_reproduces_incremental_construction() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 2);
+        g.add_edge(0, 1);
+        g.add_edge(2, 3);
+        // Same rows, same order → structurally equal (vertex 1 and 3 rows
+        // may be omitted entirely).
+        let built = DiGraph::from_adjacency(4, vec![vec![0, 2, 1], vec![], vec![3, 2]]);
+        assert_eq!(built, g);
+        // A different neighbour order is a different structure.
+        let reordered = DiGraph::from_adjacency(4, vec![vec![1, 2], vec![], vec![3]]);
+        assert_ne!(reordered, g);
+        assert_eq!(reordered.edges().len(), g.edges().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "more adjacency rows than vertices")]
+    fn from_adjacency_rejects_extra_rows() {
+        let _ = DiGraph::from_adjacency(1, vec![vec![], vec![0]]);
     }
 
     #[test]

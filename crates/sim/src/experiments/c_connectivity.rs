@@ -15,6 +15,7 @@ use crate::sweep::{default_threads, parallel_map};
 use antennae_core::antenna::AntennaBudget;
 use antennae_core::instance::Instance;
 use antennae_core::solver::Solver;
+use antennae_core::verify::VerificationEngine;
 use antennae_graph::connectivity::{is_strongly_c_connected, remove_vertices};
 use antennae_graph::scc::is_strongly_connected;
 use antennae_geometry::PI;
@@ -131,7 +132,16 @@ pub fn run(config: &CConnectivityConfig) -> CConnectivityReport {
                     .run()
                     .expect("valid budget")
                     .scheme;
-                let digraph = scheme.induced_digraph(&points);
+                // The sub-quadratic engine rebuilds the digraph; the n
+                // subsequent remove-one-vertex connectivity probes dwarf the
+                // build either way, but the build is no longer Θ(n²).
+                // threads = 1: this closure already runs inside the seed
+                // fan-out above, and the outer level saturates the pool (the
+                // same no-nested-oversubscription split the batch pipeline
+                // and table1 use).
+                let digraph = VerificationEngine::new()
+                    .with_threads(1)
+                    .induced_digraph(&points, &scheme);
                 let connected = is_strongly_connected(&digraph);
                 let survives = is_strongly_c_connected(&digraph, 2);
                 // Count critical sensors: vertices whose removal disconnects

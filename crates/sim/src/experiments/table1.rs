@@ -15,7 +15,7 @@ use antennae_core::antenna::AntennaBudget;
 use antennae_core::batch::BatchOrienter;
 use antennae_core::bounds;
 use antennae_core::solver::implemented_radius_guarantee;
-use antennae_core::verify::verify_with_budget;
+use antennae_core::verify::VerificationEngine;
 use antennae_geometry::PI;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -259,12 +259,16 @@ pub fn run(config: &Table1Config) -> Table1Report {
             .expect("generated workloads are non-empty")
             .with_threads(1);
         let outcomes = batch.orient_budgets(&budgets);
+        // All twelve rows verify against one instance, so they share one
+        // verification session: the engine's spatial index is built once per
+        // deployment, like the MST substrate.
+        let session = VerificationEngine::new().with_threads(1).session(batch.instance());
         rows.iter()
             .zip(budgets.iter())
             .zip(outcomes)
             .map(|((row, budget), outcome)| {
                 let outcome = outcome.expect("dispatch succeeds");
-                let report = verify_with_budget(batch.instance(), &outcome.scheme, Some(*budget));
+                let report = session.verify_with_budget(&outcome.scheme, Some(*budget));
                 RunRecord {
                     workload: workload.label(),
                     seed: *seed,

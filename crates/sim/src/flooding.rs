@@ -10,6 +10,7 @@
 
 use crate::events::EventQueue;
 use antennae_core::scheme::OrientationScheme;
+use antennae_core::verify::VerificationEngine;
 use antennae_geometry::Point;
 use antennae_graph::DiGraph;
 use serde::{Deserialize, Serialize};
@@ -68,13 +69,19 @@ impl FloodingResult {
 
 /// Floods a message from `source` over the digraph induced by `scheme` on
 /// `points`.
+///
+/// The digraph is rebuilt through the sub-quadratic
+/// [`VerificationEngine`] (kd-tree range queries above the crossover size,
+/// dense pairwise below it) — output-identical to
+/// [`OrientationScheme::induced_digraph`] but no longer the bottleneck when
+/// flooding large deployments from many sources.
 pub fn flood(
     points: &[Point],
     scheme: &OrientationScheme,
     source: usize,
     config: FloodingConfig,
 ) -> FloodingResult {
-    let digraph = scheme.induced_digraph(points);
+    let digraph = VerificationEngine::new().induced_digraph(points, scheme);
     flood_over_digraph(points, &digraph, source, config)
 }
 

@@ -46,24 +46,26 @@ fn main() {
                     .policy(SelectionPolicy::BestGuarantee)
                     .run()
                     .expect("orientable");
-                let portfolio = Solver::on(&instance)
+                // `run_verified` re-verifies every candidate through ONE
+                // shared VerificationEngine session (the kd-tree over the
+                // deployment is built once, not once per candidate).
+                let verified = Solver::on(&instance)
                     .budget(k, phi)
                     .policy(SelectionPolicy::Portfolio)
-                    .run()
+                    .run_verified()
                     .expect("orientable");
+                let portfolio = &verified.outcome;
 
                 // The portfolio is never worse than the dispatcher's pick…
                 assert!(
                     portfolio.measured_radius_over_lmax
                         <= best.measured_radius_over_lmax + 1e-12
                 );
-                // …and every candidate it evaluated is independently verified.
-                for candidate in &portfolio.candidates {
-                    let scheme = candidate
-                        .scheme
-                        .as_ref()
-                        .expect("portfolio candidates carry schemes");
-                    assert!(verify(&instance, scheme).is_strongly_connected);
+                // …and every candidate it evaluated passed independent
+                // verification under the solve's own budget.
+                assert!(verified.is_valid());
+                for report in &verified.candidate_reports {
+                    assert!(report.is_valid());
                 }
 
                 if seed == 0 {

@@ -18,8 +18,13 @@ fi
 
 # The workspace run is a strict superset of the tier-1 `cargo test -q`
 # (which covers the root package only), so the full gate runs it once.
-echo "== workspace tests (unit + property + doctests) =="
-cargo test --workspace -q
+# PROPTEST_CASES pins every property suite — including the verification
+# engine's oracle suite (tests/verification_oracle.rs, fast kd-tree path vs
+# dense reference) — to a fixed budget: large enough to sweep degenerate
+# geometry, deterministic in CI time.  The vendored proptest stub derives
+# every case from the test name + case index, so the run is reproducible.
+echo "== workspace tests (unit + property + doctests; PROPTEST_CASES=128) =="
+PROPTEST_CASES=128 cargo test --workspace -q
 
 echo "== clippy, warnings as errors =="
 cargo clippy --workspace --all-targets -- -D warnings

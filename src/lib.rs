@@ -74,8 +74,11 @@ pub mod prelude {
     pub use antennae_core::scheme::OrientationScheme;
     pub use antennae_core::solver::{
         Guarantee, Orienter, OrientationOutcome, Registry, SelectionPolicy, Solver,
+        VerifiedOutcome,
     };
-    pub use antennae_core::verify::{verify, VerificationReport};
+    pub use antennae_core::verify::{
+        verify, DigraphStrategy, VerificationEngine, VerificationReport, VerificationSession,
+    };
     pub use antennae_geometry::{Angle, Point, Sector};
     pub use antennae_graph::euclidean::EuclideanMst;
     pub use antennae_sim::generators::{self, PointSetGenerator};

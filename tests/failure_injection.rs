@@ -8,6 +8,27 @@ use antennae::geometry::Angle;
 use antennae::prelude::*;
 use std::f64::consts::PI;
 
+/// Verifies `scheme` through the dense oracle AND the kd-tree fast path,
+/// asserts the two reports are bit-identical (same measurements, same
+/// `Violation` variants in the same order), and returns the shared report.
+fn verify_both_paths(
+    instance: &Instance,
+    scheme: &OrientationScheme,
+    budget: Option<AntennaBudget>,
+) -> VerificationReport {
+    let dense = VerificationEngine::new()
+        .with_strategy(DigraphStrategy::Dense)
+        .verify_with_budget(instance, scheme, budget);
+    let fast = VerificationEngine::new()
+        .with_strategy(DigraphStrategy::KdTree)
+        .verify_with_budget(instance, scheme, budget);
+    assert_eq!(
+        dense, fast,
+        "fast and dense verifiers disagree on an injected failure"
+    );
+    dense
+}
+
 fn instance_and_scheme() -> (Instance, OrientationScheme) {
     let generator = PointSetGenerator::UniformSquare { n: 40, side: 10.0 };
     let instance = Instance::new(generator.generate(17)).unwrap();
@@ -98,6 +119,118 @@ fn truncated_scheme_is_reported_as_missing_assignments() {
         .violations
         .iter()
         .any(|v| matches!(v, Violation::MissingAssignments { .. })));
+}
+
+#[test]
+fn shrinking_one_radius_below_lmax_is_caught_identically_by_both_paths() {
+    // The MST edge that realises lmax has a unique endpoint pair; shrinking
+    // every antenna of ONE sensor below lmax is only fatal when that sensor
+    // carried a critical long link, so scan all sensors and require (a) the
+    // two verifier paths always agree exactly and (b) at least one mutation
+    // actually disconnects the graph.
+    let (instance, scheme) = instance_and_scheme();
+    let budget = AntennaBudget::new(2, PI);
+    let too_small = instance.lmax() * 0.9;
+    let mut any_disconnected = false;
+    for sensor in 0..instance.len() {
+        let mut mutated = scheme.clone();
+        let had_long_antenna = mutated.assignments[sensor]
+            .antennas
+            .iter()
+            .any(|a| a.radius > too_small);
+        for antenna in &mut mutated.assignments[sensor].antennas {
+            antenna.radius = antenna.radius.min(too_small);
+        }
+        if !had_long_antenna {
+            continue; // mutation is a no-op for this sensor
+        }
+        let report = verify_both_paths(&instance, &mutated, Some(budget));
+        if !report.is_strongly_connected {
+            any_disconnected = true;
+            assert!(report
+                .violations
+                .iter()
+                .any(|v| matches!(v, Violation::NotStronglyConnected { .. })));
+        }
+    }
+    assert!(
+        any_disconnected,
+        "shrinking some sensor's antennae below lmax must break connectivity"
+    );
+}
+
+#[test]
+fn rotating_one_sector_off_its_neighbour_is_caught_identically_by_both_paths() {
+    // Rotate each sensor's antennae by half a turn in sequence; both
+    // verifier paths must agree on every mutant, and at least one rotation
+    // must disconnect the network.
+    let (instance, scheme) = instance_and_scheme();
+    let budget = AntennaBudget::new(2, PI);
+    let mut any_disconnected = false;
+    for sensor in 0..instance.len() {
+        let mut mutated = scheme.clone();
+        for antenna in &mut mutated.assignments[sensor].antennas {
+            antenna.start = antenna.start.rotate(PI);
+        }
+        let report = verify_both_paths(&instance, &mutated, Some(budget));
+        any_disconnected |= !report.is_strongly_connected;
+    }
+    assert!(
+        any_disconnected,
+        "rotating some sensor's sectors off their targets must break connectivity"
+    );
+}
+
+#[test]
+fn dropping_one_assignment_is_caught_identically_by_both_paths() {
+    // Removing one sensor's assignment entirely (truncation) must be
+    // reported as MissingAssignments by both paths, with identical reports.
+    let (instance, scheme) = instance_and_scheme();
+    let mut truncated = scheme.clone();
+    truncated.assignments.pop();
+    let report = verify_both_paths(&instance, &truncated, Some(AntennaBudget::new(2, PI)));
+    assert!(report.violations.iter().any(|v| matches!(
+        v,
+        Violation::MissingAssignments { expected, actual }
+            if *expected == instance.len() && *actual == instance.len() - 1
+    )));
+
+    // Silencing (rather than removing) a sensor keeps the lengths equal but
+    // must still break connectivity — again identically on both paths.
+    let mut silenced = scheme;
+    silenced.assignments[0] = SensorAssignment::empty();
+    let report = verify_both_paths(&instance, &silenced, Some(AntennaBudget::new(2, PI)));
+    assert!(!report.is_strongly_connected);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::NotStronglyConnected { .. })));
+}
+
+#[test]
+fn budget_and_spread_injections_are_caught_identically_by_both_paths() {
+    let (instance, scheme) = instance_and_scheme();
+    let budget = AntennaBudget::new(2, PI);
+
+    // Extra antennae on one sensor.
+    let mut extra = scheme.clone();
+    extra.assignments[4]
+        .antennas
+        .extend([Antenna::new(Angle::ZERO, 0.0, 1.0); 2]);
+    let report = verify_both_paths(&instance, &extra, Some(budget));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::TooManyAntennas { sensor: 4, .. })));
+
+    // An over-wide sector on another.
+    let mut wide = scheme;
+    wide.assignments[6].antennas = vec![Antenna::new(Angle::ZERO, 1.5 * PI, 2.0)];
+    let report = verify_both_paths(&instance, &wide, Some(budget));
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| matches!(v, Violation::SpreadExceeded { sensor: 6, .. })));
 }
 
 #[test]

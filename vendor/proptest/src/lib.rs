@@ -187,9 +187,17 @@ pub mod test_runner {
 
     impl Default for Config {
         fn default() -> Self {
-            // Real proptest defaults to 256; 64 keeps the offline suite fast
+            // Like real proptest, the PROPTEST_CASES environment variable
+            // overrides the per-test case count — CI pins it so property
+            // suites run under a fixed, deterministic budget.  Without it,
+            // real proptest defaults to 256; 64 keeps the offline suite fast
             // while still exercising degenerate geometry with good odds.
-            Config { cases: 64 }
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse::<u32>().ok())
+                .filter(|&c| c > 0)
+                .unwrap_or(64);
+            Config { cases }
         }
     }
 
