@@ -11,6 +11,7 @@
 use antennae_bench::workloads::uniform_instance;
 use antennae_core::parallel::default_threads;
 use antennae_core::solver::{SelectionPolicy, Solver};
+use antennae_graph::RootedTree;
 use antennae_geometry::PI;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -93,10 +94,33 @@ fn bench_portfolio_sequential(c: &mut Criterion) {
     group.finish();
 }
 
+/// The rooted-tree cache win (PR 4): `hamiltonian`, `chains` and `theorem3`
+/// each walk `Instance::rooted_tree()`, so a Portfolio solve used to re-root
+/// and re-sort the identical tree once per candidate.  `rebuild` is the old
+/// per-orient cost, `cached` the steady-state cost after the `OnceLock`
+/// landed; the policy benches above measure the end-to-end effect (their
+/// sequential-portfolio numbers are the ones the ARCHITECTURE.md table
+/// records as before/after).
+fn bench_rooted_tree_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_policy/rooted_tree");
+    for &n in SIZES {
+        let instance = uniform_instance(n, 11);
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &instance, |b, inst| {
+            b.iter(|| RootedTree::from_mst(black_box(inst).mst()))
+        });
+        instance.rooted_tree(); // prime the cache
+        group.bench_with_input(BenchmarkId::new("cached", n), &instance, |b, inst| {
+            b.iter(|| black_box(inst).rooted_tree().root())
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_best_guarantee,
     bench_portfolio,
-    bench_portfolio_sequential
+    bench_portfolio_sequential,
+    bench_rooted_tree_cache
 );
 criterion_main!(benches);

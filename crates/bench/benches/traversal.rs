@@ -1,0 +1,127 @@
+//! Benchmarks of the CSR digraph core and its traversal kernels.
+//!
+//! Three comparisons, each against the preserved pre-refactor
+//! implementation (`antennae_graph::reference::AdjListDiGraph`):
+//!
+//! * `traversal/strong_connectivity` — one verdict on an induced digraph:
+//!   CSR kernels (scratch reused vs throwaway) vs the legacy
+//!   adjacency-list two-BFS (which materializes a reversed copy).
+//! * `traversal/c_connectivity_sweep` — the EXP-CC inner loop (n per-vertex
+//!   fault probes): masked kernels on one CSR vs the legacy
+//!   clone-`remove_vertices`-per-candidate path.  This is the headline
+//!   number recorded in `BENCH_4.json` and `docs/ARCHITECTURE.md`.
+//! * `traversal/digraph_build` — bulk construction from adjacency rows:
+//!   the O(n + m) CSR counting builder vs legacy per-edge insertion with
+//!   its O(deg) duplicate scan.
+//!
+//! `scripts/bench_smoke.sh` runs this bench in quick mode and appends the
+//! parsed results to `BENCH_4.json`.
+
+use antennae_bench::workloads::uniform_instance;
+use antennae_core::antenna::AntennaBudget;
+use antennae_core::solver::Solver;
+use antennae_core::verify::VerificationEngine;
+use antennae_graph::reference::AdjListDiGraph;
+use antennae_graph::{DiGraph, TraversalScratch, VertexMask};
+use antennae_geometry::PI;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const SIZES: &[usize] = &[250, 1000];
+
+/// The induced digraph of a solver-produced scheme, in both layouts.
+fn induced_pair(n: usize) -> (DiGraph, AdjListDiGraph) {
+    let instance = uniform_instance(n, 3);
+    let scheme = Solver::on(&instance)
+        .with_budget(AntennaBudget::new(2, PI))
+        .run()
+        .unwrap()
+        .scheme;
+    let csr = VerificationEngine::new().induced_digraph(instance.points(), &scheme);
+    let legacy = AdjListDiGraph::from(&csr);
+    (csr, legacy)
+}
+
+fn bench_strong_connectivity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traversal/strong_connectivity");
+    for &n in SIZES {
+        let (csr, legacy) = induced_pair(n);
+        let mut scratch = TraversalScratch::with_capacity(n);
+        group.bench_with_input(BenchmarkId::new("csr_scratch", n), &csr, |b, g| {
+            b.iter(|| scratch.is_strongly_connected(black_box(g), None))
+        });
+        group.bench_with_input(BenchmarkId::new("csr_throwaway", n), &csr, |b, g| {
+            b.iter(|| black_box(g).is_strongly_connected())
+        });
+        group.bench_with_input(BenchmarkId::new("legacy", n), &legacy, |b, g| {
+            b.iter(|| black_box(g).is_strongly_connected())
+        });
+    }
+    group.finish();
+}
+
+fn bench_c_connectivity_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traversal/c_connectivity_sweep");
+    for &n in SIZES {
+        let (csr, legacy) = induced_pair(n);
+        // Masked kernels: one CSR, one scratch, one mask, n probes.
+        let mut scratch = TraversalScratch::with_capacity(n);
+        let mut mask = VertexMask::new(n);
+        group.bench_with_input(BenchmarkId::new("masked", n), &csr, |b, g| {
+            b.iter(|| {
+                let mut critical = 0usize;
+                for v in 0..g.len() {
+                    mask.remove(v);
+                    if !scratch.is_strongly_connected(black_box(g), Some(&mask)) {
+                        critical += 1;
+                    }
+                    mask.restore(v);
+                }
+                critical
+            })
+        });
+        // Legacy path: clone a re-indexed subgraph per candidate vertex.
+        group.bench_with_input(BenchmarkId::new("clone", n), &legacy, |b, g| {
+            b.iter(|| {
+                let mut critical = 0usize;
+                for v in 0..g.len() {
+                    if !black_box(g).remove_vertices(&[v]).is_strongly_connected() {
+                        critical += 1;
+                    }
+                }
+                critical
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_digraph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("traversal/digraph_build");
+    for &n in SIZES {
+        let (csr, _) = induced_pair(n);
+        let rows: Vec<Vec<usize>> = (0..n)
+            .map(|u| csr.out_neighbors(u).iter().map(|&v| v as usize).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::new("csr_counting", n), &rows, |b, rows| {
+            b.iter(|| DiGraph::from_adjacency(rows.len(), black_box(rows).iter().map(|r| r.iter().copied())))
+        });
+        group.bench_with_input(BenchmarkId::new("legacy_add_edge", n), &rows, |b, rows| {
+            b.iter(|| {
+                AdjListDiGraph::from_adjacency(
+                    rows.len(),
+                    black_box(rows).iter().map(|r| r.iter().copied()),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_strong_connectivity,
+    bench_c_connectivity_sweep,
+    bench_digraph_build
+);
+criterion_main!(benches);

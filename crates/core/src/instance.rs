@@ -6,6 +6,7 @@ use antennae_geometry::Point;
 use antennae_graph::euclidean::EuclideanMst;
 use antennae_graph::rooted::RootedTree;
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// A problem instance: the sensor locations, the degree-5 Euclidean MST the
 /// orientation algorithms walk, and its longest edge `lmax`.
@@ -13,10 +14,19 @@ use serde::{Deserialize, Serialize};
 /// Every radius reported by the algorithms and the experiments is naturally
 /// compared against `lmax`, the paper's lower bound on any feasible range
 /// (`lmax = 1` after the paper's normalization).
+///
+/// The rooted view of the MST is derived lazily and cached
+/// ([`Instance::rooted_tree`]): a Portfolio solve runs several tree-walking
+/// constructions against the same instance, and before the cache each of
+/// them re-rooted and re-sorted the same tree.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Instance {
     points: Vec<Point>,
     mst: EuclideanMst,
+    /// Lazily built rooted view of `mst` (not serialized: it is derived
+    /// state, rebuilt on first use after deserialization).
+    #[serde(skip)]
+    rooted: OnceLock<RootedTree>,
 }
 
 impl Instance {
@@ -30,7 +40,11 @@ impl Instance {
         }
         let mst = EuclideanMst::build(&points)
             .map_err(|e| OrientError::MstConstruction(e.to_string()))?;
-        Ok(Instance { points, mst })
+        Ok(Instance {
+            points,
+            mst,
+            rooted: OnceLock::new(),
+        })
     }
 
     /// Number of sensors.
@@ -62,24 +76,34 @@ impl Instance {
 
     /// A rooted view of the MST, rooted at a degree-one vertex as the paper
     /// prescribes.
-    pub fn rooted_tree(&self) -> RootedTree {
-        RootedTree::from_mst(&self.mst)
+    ///
+    /// Built on first call and cached for the lifetime of the instance:
+    /// `hamiltonian`, `chains` and `theorem3` all walk this view, so a
+    /// Portfolio solve used to rebuild the identical tree once per
+    /// candidate construction.
+    pub fn rooted_tree(&self) -> &RootedTree {
+        self.rooted.get_or_init(|| RootedTree::from_mst(&self.mst))
     }
 
     /// Returns a copy of the instance rescaled so that `lmax = 1`, matching
     /// the paper's normalization.  A single-sensor instance (where `lmax` is
     /// 0) is returned unchanged.
+    ///
+    /// MST topology is scale-invariant, so the substrate is rescaled
+    /// directly ([`EuclideanMst::rescaled`]) instead of re-running the full
+    /// engine build: the normalized instance has the *exact* same edge set
+    /// and `lmax == 1.0` exactly.
     pub fn normalized(&self) -> Result<Instance, OrientError> {
         let lmax = self.lmax();
         if lmax <= 0.0 {
             return Ok(self.clone());
         }
-        let scaled: Vec<Point> = self
-            .points
-            .iter()
-            .map(|p| Point::new(p.x / lmax, p.y / lmax))
-            .collect();
-        Instance::new(scaled)
+        let mst = self.mst.rescaled(lmax);
+        Ok(Instance {
+            points: mst.points().to_vec(),
+            mst,
+            rooted: OnceLock::new(),
+        })
     }
 }
 
@@ -126,8 +150,45 @@ mod tests {
     fn normalization_rescales_lmax_to_one() {
         let inst = Instance::new(square_points()).unwrap();
         let norm = inst.normalized().unwrap();
-        assert!((norm.lmax() - 1.0).abs() < 1e-9);
+        // Rescaling (not rebuilding) makes this exact.
+        assert_eq!(norm.lmax(), 1.0);
         assert_eq!(norm.len(), inst.len());
+    }
+
+    #[test]
+    fn normalization_preserves_the_exact_edge_set() {
+        // A tie-heavy lattice would let a rebuild pick a different (equally
+        // minimal) tree; the rescaling path must preserve the edge set
+        // bit-for-bit.
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            for j in 0..4 {
+                pts.push(Point::new(i as f64 * 3.0, j as f64 * 3.0));
+            }
+        }
+        let inst = Instance::new(pts).unwrap();
+        let norm = inst.normalized().unwrap();
+        assert_eq!(norm.lmax(), 1.0);
+        let key = |e: &antennae_graph::Edge| (e.u.min(e.v), e.u.max(e.v));
+        let mut original: Vec<_> = inst.mst().edges().iter().map(key).collect();
+        let mut rescaled: Vec<_> = norm.mst().edges().iter().map(key).collect();
+        original.sort_unstable();
+        rescaled.sort_unstable();
+        assert_eq!(original, rescaled);
+        // The instance's own points match the rescaled substrate's points.
+        assert_eq!(norm.points(), norm.mst().points());
+    }
+
+    #[test]
+    fn rooted_tree_is_cached_and_stable() {
+        let inst = Instance::new(square_points()).unwrap();
+        let first = inst.rooted_tree() as *const RootedTree;
+        let second = inst.rooted_tree() as *const RootedTree;
+        assert_eq!(first, second, "second call must hit the cache");
+        // A clone gets its own (equal-content) tree.
+        let cloned = inst.clone();
+        assert_eq!(cloned.rooted_tree().root(), inst.rooted_tree().root());
+        assert_eq!(cloned.rooted_tree().len(), inst.rooted_tree().len());
     }
 
     #[test]

@@ -75,20 +75,22 @@ impl OrientationScheme {
     /// the sub-quadratic [`crate::verify::VerificationEngine`] is
     /// property-tested against — the engine's kd-tree path must reproduce
     /// this construction bit-for-bit (same edges, same adjacency order).
-    /// Callers on a hot path should go through the engine, which picks the
-    /// cheaper of the two constructions per instance size.
+    /// Both paths emit the flat CSR arrays directly (no per-edge insertion,
+    /// no nested adjacency).  Callers on a hot path should go through the
+    /// engine, which picks the cheaper of the two constructions per
+    /// instance size.
     pub fn induced_digraph(&self, points: &[Point]) -> DiGraph {
         let n = points.len().min(self.assignments.len());
-        let mut g = DiGraph::new(points.len());
-        for u in 0..n {
-            let apex = &points[u];
-            for (v, target) in points.iter().enumerate() {
-                if u != v && self.assignments[u].covers(apex, target) {
-                    g.add_edge(u, v);
-                }
-            }
-        }
-        g
+        DiGraph::from_adjacency(
+            points.len(),
+            (0..n).map(|u| {
+                let apex = &points[u];
+                let assignment = &self.assignments[u];
+                points.iter().enumerate().filter_map(move |(v, target)| {
+                    (u != v && assignment.covers(apex, target)).then_some(v)
+                })
+            }),
+        )
     }
 
     /// Scales every antenna radius by `factor` (used by experiments that

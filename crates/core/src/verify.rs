@@ -40,7 +40,7 @@ use crate::instance::Instance;
 use crate::parallel::{default_threads, parallel_map};
 use crate::scheme::OrientationScheme;
 use antennae_geometry::{KdTree, Point, EPS};
-use antennae_graph::scc::{largest_scc_size, scc_count};
+use antennae_graph::scc::scc_summary;
 use antennae_graph::DiGraph;
 use serde::{Deserialize, Serialize};
 
@@ -309,6 +309,10 @@ impl VerificationEngine {
     /// superset), then the exact per-antenna sector test the dense path
     /// applies.  Candidates arrive sorted ascending, so the assembled
     /// adjacency lists match the dense construction's visit order exactly.
+    ///
+    /// The sequential path writes the CSR arrays directly — per-sensor
+    /// candidate lists become rows of one flat target vector, handed to
+    /// [`DiGraph::from_csr`] without any intermediate nested adjacency.
     fn kd_induced_digraph(
         &self,
         points: &[Point],
@@ -327,7 +331,9 @@ impl VerificationEngine {
             });
             DiGraph::from_adjacency(points.len(), rows)
         } else {
-            let mut g = DiGraph::new(points.len());
+            let mut offsets: Vec<u32> = Vec::with_capacity(points.len() + 1);
+            offsets.push(0);
+            let mut targets: Vec<u32> = Vec::new();
             let mut buf = Vec::new();
             for u in 0..n {
                 let assignment = scheme.assignment(u);
@@ -335,11 +341,12 @@ impl VerificationEngine {
                 tree.within_radius_into(apex, assignment.max_radius() + EPS, &mut buf);
                 for &v in &buf {
                     if v != u && assignment.covers(apex, &points[v]) {
-                        g.add_edge(u, v);
+                        targets.push(v as u32);
                     }
                 }
+                offsets.push(targets.len() as u32);
             }
-            g
+            DiGraph::from_csr(points.len(), offsets, targets)
         }
     }
 }
@@ -448,8 +455,11 @@ fn report_from_digraph(
         }
     }
 
-    let components = scc_count(digraph);
-    let largest = largest_scc_size(digraph);
+    // One masked-kernel Tarjan pass yields both the component count and the
+    // largest size (this used to be two full decompositions).
+    let summary = scc_summary(digraph);
+    let components = summary.count;
+    let largest = summary.largest;
     let strongly_connected = instance.len() <= 1 || components == 1;
     if !strongly_connected {
         violations.push(Violation::NotStronglyConnected {

@@ -7,13 +7,26 @@
 //! checks of strong c-connectivity for the small `c` values of interest
 //! (`c ≤ 3`), used by the EXP-CC experiment to quantify how fault tolerant
 //! the paper's orientations actually are.
+//!
+//! Every check runs on the **masked traversal kernels**
+//! ([`crate::traversal::TraversalScratch`]): candidate fault sets are
+//! toggled in a [`VertexMask`] and probed in place on the original CSR —
+//! one scratch, zero allocations per probe — instead of materializing a
+//! re-indexed subgraph per candidate as [`remove_vertices`] does.
+//! `remove_vertices` is kept for callers that genuinely need the subgraph
+//! (and as the baseline the `traversal` bench measures the mask win
+//! against).
 
 use crate::digraph::DiGraph;
-use crate::scc::is_strongly_connected;
+use crate::traversal::{TraversalScratch, VertexMask};
 
 /// Returns the digraph obtained by deleting the given vertices (edges
 /// incident to them disappear; the remaining vertices are re-indexed in
 /// increasing order of their original index).
+///
+/// This materializes a new CSR digraph in O(n + m); fault sweeps that only
+/// need connectivity verdicts should use the masked kernels instead (see
+/// [`is_strongly_c_connected`], [`critical_vertices`]).
 pub fn remove_vertices(g: &DiGraph, removed: &[usize]) -> DiGraph {
     let n = g.len();
     let mut keep = vec![true; n];
@@ -23,26 +36,30 @@ pub fn remove_vertices(g: &DiGraph, removed: &[usize]) -> DiGraph {
         }
     }
     // Map old indices to new ones.
-    let mut new_index = vec![usize::MAX; n];
-    let mut next = 0usize;
+    let mut new_index = vec![u32::MAX; n];
+    let mut next = 0u32;
     for v in 0..n {
         if keep[v] {
             new_index[v] = next;
             next += 1;
         }
     }
-    let mut out = DiGraph::new(next);
+    // One flat counting pass: surviving rows, filtered and re-indexed.
+    let mut offsets: Vec<u32> = Vec::with_capacity(next as usize + 1);
+    offsets.push(0);
+    let mut targets: Vec<u32> = Vec::new();
     for u in 0..n {
         if !keep[u] {
             continue;
         }
         for &v in g.out_neighbors(u) {
-            if keep[v] {
-                out.add_edge(new_index[u], new_index[v]);
+            if keep[v as usize] {
+                targets.push(new_index[v as usize]);
             }
         }
+        offsets.push(targets.len() as u32);
     }
-    out
+    DiGraph::from_csr(next as usize, offsets, targets)
 }
 
 /// Returns `true` when `g` remains strongly connected after deleting **any**
@@ -51,12 +68,15 @@ pub fn remove_vertices(g: &DiGraph, removed: &[usize]) -> DiGraph {
 /// The check is exhaustive over all subsets of size `c − 1`; it is intended
 /// for the small `c` (1, 2, 3) the experiments use.  A graph with `n ≤ c`
 /// vertices is considered strongly `c`-connected iff it is strongly
-/// connected (the removal would leave at most one vertex).
+/// connected (the removal would leave at most one vertex).  Each subset is
+/// probed through one reusable [`TraversalScratch`] and [`VertexMask`] —
+/// no per-subset subgraph clone.
 pub fn is_strongly_c_connected(g: &DiGraph, c: usize) -> bool {
     if c == 0 {
         return true;
     }
-    if !is_strongly_connected(g) {
+    let mut scratch = TraversalScratch::new();
+    if !(g.len() <= 1 || scratch.is_strongly_connected(g, None)) {
         return false;
     }
     let n = g.len();
@@ -64,23 +84,54 @@ pub fn is_strongly_c_connected(g: &DiGraph, c: usize) -> bool {
     if faults == 0 || n <= c {
         return true;
     }
-    let mut subset: Vec<usize> = Vec::with_capacity(faults);
-    subsets_survive(g, 0, faults, &mut subset)
+    let mut mask = VertexMask::new(n);
+    subsets_survive(g, 0, faults, &mut mask, &mut scratch)
 }
 
-fn subsets_survive(g: &DiGraph, start: usize, remaining: usize, subset: &mut Vec<usize>) -> bool {
+fn subsets_survive(
+    g: &DiGraph,
+    start: usize,
+    remaining: usize,
+    mask: &mut VertexMask,
+    scratch: &mut TraversalScratch,
+) -> bool {
     if remaining == 0 {
-        return is_strongly_connected(&remove_vertices(g, subset));
+        return scratch.is_strongly_connected(g, Some(mask));
     }
     for v in start..g.len() {
-        subset.push(v);
-        let ok = subsets_survive(g, v + 1, remaining - 1, subset);
-        subset.pop();
+        mask.remove(v);
+        let ok = subsets_survive(g, v + 1, remaining - 1, mask, scratch);
+        mask.restore(v);
         if !ok {
             return false;
         }
     }
     true
+}
+
+/// The vertices whose individual removal leaves a digraph that is not
+/// strongly connected ("critical sensors" in the EXP-CC experiment), in
+/// ascending order.
+///
+/// Returns the empty vector when `g` is not strongly connected to begin
+/// with (every vertex is then equally useless to probe) or has at most two
+/// vertices.  One CSR, one scratch, `n` masked two-pass probes.
+pub fn critical_vertices(g: &DiGraph) -> Vec<usize> {
+    let n = g.len();
+    let mut scratch = TraversalScratch::new();
+    if n <= 2 || !scratch.is_strongly_connected(g, None) {
+        return Vec::new();
+    }
+    let mut mask = VertexMask::new(n);
+    let mut critical = Vec::new();
+    for v in 0..n {
+        mask.remove(v);
+        if !scratch.is_strongly_connected(g, Some(&mask)) {
+            critical.push(v);
+        }
+        mask.restore(v);
+    }
+    critical
 }
 
 /// The strong vertex connectivity of `g`, capped at `cap`: the smallest
@@ -89,7 +140,7 @@ fn subsets_survive(g: &DiGraph, start: usize, remaining: usize, subset: &mut Vec
 /// strongly connected.  Returns 0 for a digraph that is not strongly
 /// connected to begin with.
 pub fn strong_vertex_connectivity(g: &DiGraph, cap: usize) -> usize {
-    if !is_strongly_connected(g) {
+    if !g.is_strongly_connected() {
         return 0;
     }
     for c in 2..=cap {
@@ -103,6 +154,7 @@ pub fn strong_vertex_connectivity(g: &DiGraph, cap: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scc::is_strongly_connected;
 
     fn directed_cycle(n: usize) -> DiGraph {
         let mut g = DiGraph::new(n);
@@ -113,15 +165,7 @@ mod tests {
     }
 
     fn bidirectional_complete(n: usize) -> DiGraph {
-        let mut g = DiGraph::new(n);
-        for u in 0..n {
-            for v in 0..n {
-                if u != v {
-                    g.add_edge(u, v);
-                }
-            }
-        }
-        g
+        DiGraph::from_adjacency(n, (0..n).map(|u| (0..n).filter(move |&v| v != u)))
     }
 
     #[test]
@@ -143,6 +187,8 @@ mod tests {
         assert!(is_strongly_c_connected(&g, 1));
         assert!(!is_strongly_c_connected(&g, 2));
         assert_eq!(strong_vertex_connectivity(&g, 4), 1);
+        // Every vertex of a bare cycle is critical.
+        assert_eq!(critical_vertices(&g), vec![0, 1, 2, 3, 4, 5]);
     }
 
     #[test]
@@ -152,6 +198,7 @@ mod tests {
         assert!(is_strongly_c_connected(&g, 2));
         assert!(is_strongly_c_connected(&g, 3));
         assert_eq!(strong_vertex_connectivity(&g, 4), 4);
+        assert!(critical_vertices(&g).is_empty());
     }
 
     #[test]
@@ -160,6 +207,7 @@ mod tests {
         g.add_edge(0, 1);
         assert!(!is_strongly_c_connected(&g, 1));
         assert_eq!(strong_vertex_connectivity(&g, 3), 0);
+        assert!(critical_vertices(&g).is_empty());
     }
 
     #[test]
@@ -176,6 +224,9 @@ mod tests {
         assert!(is_strongly_c_connected(&g, 1));
         assert!(!is_strongly_c_connected(&g, 2));
         assert_eq!(strong_vertex_connectivity(&g, 3), 1);
+        // Removing any single triangle vertex breaks the directed cycle it
+        // belongs to, so every vertex is critical here.
+        assert_eq!(critical_vertices(&g), vec![0, 1, 2, 3, 4]);
     }
 
     #[test]
@@ -185,5 +236,22 @@ mod tests {
         let g = directed_cycle(2);
         assert!(is_strongly_c_connected(&g, 2)); // n ≤ c
         assert!(is_strongly_c_connected(&g, 0));
+        assert!(critical_vertices(&g).is_empty());
+    }
+
+    #[test]
+    fn masked_checks_agree_with_materialized_subgraphs() {
+        // Cross-check the mask path against remove_vertices on a digraph
+        // with both redundant and critical structure.
+        let mut g = bidirectional_complete(4);
+        // Attach a pendant cycle through vertex 0: 0 → 4 → 5 → 0.
+        let mut edges = g.edges();
+        edges.extend([(0, 4), (4, 5), (5, 0)]);
+        g = DiGraph::from_edges(6, &edges);
+        for v in 0..g.len() {
+            let masked_breaks = critical_vertices(&g).contains(&v);
+            let clone_breaks = !is_strongly_connected(&remove_vertices(&g, &[v]));
+            assert_eq!(masked_breaks, clone_breaks, "vertex {v}");
+        }
     }
 }

@@ -203,6 +203,38 @@ impl EuclideanMst {
         })
     }
 
+    /// Returns a copy of the tree with every coordinate and edge length
+    /// divided by `divisor` (which must be positive and finite).
+    ///
+    /// A Euclidean MST's topology is scale-invariant, so no rebuild is
+    /// needed: the edge set is preserved exactly and only the lengths
+    /// change.  Dividing each stored weight `w` by `divisor` makes
+    /// `rescaled(lmax).lmax() == 1.0` *exact* (`x/x == 1.0` for any finite
+    /// positive `x`), which is what `Instance::normalized` relies on.  Note
+    /// the rescaled weights may differ by an ulp from distances recomputed
+    /// from the rescaled coordinates — `(xu − xv)/d` is not bit-identical
+    /// to `xu/d − xv/d` in floating point — so don't assert exact equality
+    /// between the two.
+    pub fn rescaled(&self, divisor: f64) -> EuclideanMst {
+        assert!(
+            divisor.is_finite() && divisor > 0.0,
+            "rescale divisor must be positive and finite"
+        );
+        let points: Vec<Point> = self
+            .points
+            .iter()
+            .map(|p| Point::new(p.x / divisor, p.y / divisor))
+            .collect();
+        let mut tree = self.tree.clone();
+        tree.map_weights(|w| w / divisor);
+        EuclideanMst {
+            points,
+            tree,
+            lmax: self.lmax / divisor,
+            engine: self.engine,
+        }
+    }
+
     /// The engine that produced this tree.
     ///
     /// Freshly built trees always report a concrete engine
@@ -619,6 +651,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn rescaled_preserves_topology_and_normalizes_lmax_exactly() {
+        let pts = random_points(80, 7);
+        let mst = EuclideanMst::build(&pts).unwrap();
+        let scaled = mst.rescaled(mst.lmax());
+        // lmax/lmax is exactly 1.0 — no tolerance needed.
+        assert_eq!(scaled.lmax(), 1.0);
+        assert_eq!(scaled.engine(), mst.engine());
+        // Identical edge sets (topology is scale-invariant), lengths divided.
+        let key = |e: &Edge| (e.u.min(e.v), e.u.max(e.v));
+        let mut original: Vec<_> = mst.edges().iter().map(key).collect();
+        let mut rescaled: Vec<_> = scaled.edges().iter().map(key).collect();
+        original.sort_unstable();
+        rescaled.sort_unstable();
+        assert_eq!(original, rescaled);
+        for e in scaled.edges() {
+            let expected = mst.points()[e.u].distance(&mst.points()[e.v]) / mst.lmax();
+            assert!((e.weight - expected).abs() < 1e-15);
+        }
+        assert!(scaled.max_degree() <= MAX_MST_DEGREE);
     }
 
     #[test]

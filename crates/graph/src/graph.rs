@@ -148,6 +148,17 @@ impl Graph {
         out
     }
 
+    /// Applies `f` to every edge weight in place (both directions of each
+    /// stored edge see the same new value).  Used by the rescaling path of
+    /// `EuclideanMst`, where topology is preserved and only lengths change.
+    pub fn map_weights<F: Fn(f64) -> f64>(&mut self, f: F) {
+        for row in &mut self.adjacency {
+            for (_, w) in row {
+                *w = f(*w);
+            }
+        }
+    }
+
     /// Total weight of all edges.
     pub fn total_weight(&self) -> f64 {
         self.edges().iter().map(|e| e.weight).sum()

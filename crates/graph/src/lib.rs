@@ -3,8 +3,11 @@
 //! Graph substrate for the directional-antenna reproduction: weighted
 //! undirected graphs, minimum spanning trees, **Euclidean MSTs of maximum
 //! degree 5** (the structural backbone every orientation algorithm of the
-//! paper walks), rooted trees with counterclockwise-sorted children, directed
-//! communication graphs and strong-connectivity checks.
+//! paper walks), rooted trees with counterclockwise-sorted children, and
+//! directed communication graphs in a flat **CSR layout** with
+//! allocation-free, mask-aware traversal kernels ([`traversal`], [`scc`],
+//! [`connectivity`]; the pre-CSR adjacency-list implementation survives in
+//! [`mod@reference`] as the property-test oracle).
 //!
 //! The paper's constructions all start from the same substrate:
 //!
@@ -24,6 +27,7 @@ pub mod euclidean;
 pub mod graph;
 pub mod mst;
 pub mod properties;
+pub mod reference;
 pub mod rooted;
 pub mod scc;
 pub mod shortest_path;
@@ -34,4 +38,5 @@ pub use digraph::DiGraph;
 pub use euclidean::EuclideanMst;
 pub use graph::{Edge, Graph};
 pub use rooted::RootedTree;
+pub use traversal::{TraversalScratch, VertexMask};
 pub use union_find::UnionFind;

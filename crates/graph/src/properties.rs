@@ -18,12 +18,24 @@ pub fn degree_histogram(g: &Graph) -> Vec<usize> {
     hist
 }
 
-/// Out-degree histogram of a directed graph.
+/// Out-degree histogram of a directed graph (per-vertex degrees are offset
+/// differences in the CSR layout, so this is two O(n) passes).
 pub fn out_degree_histogram(g: &DiGraph) -> Vec<usize> {
     let max_deg = g.max_out_degree();
     let mut hist = vec![0usize; max_deg + 1];
     for v in 0..g.len() {
         hist[g.out_degree(v)] += 1;
+    }
+    hist
+}
+
+/// In-degree histogram of a directed graph — cheap now that the digraph
+/// stores its in-CSR alongside the out-CSR.
+pub fn in_degree_histogram(g: &DiGraph) -> Vec<usize> {
+    let max_deg = (0..g.len()).map(|v| g.in_degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max_deg + 1];
+    for v in 0..g.len() {
+        hist[g.in_degree(v)] += 1;
     }
     hist
 }
@@ -105,6 +117,15 @@ mod tests {
         g.add_edge(1, 2);
         g.add_edge(2, 0);
         assert_eq!(out_degree_histogram(&g), vec![0, 3]);
+        assert_eq!(in_degree_histogram(&g), vec![0, 3]);
+    }
+
+    #[test]
+    fn in_degree_histogram_of_star() {
+        // Everything beams at vertex 0.
+        let g = DiGraph::from_edges(4, &[(1, 0), (2, 0), (3, 0)]);
+        assert_eq!(in_degree_histogram(&g), vec![3, 0, 0, 1]);
+        assert_eq!(out_degree_histogram(&g), vec![1, 3]);
     }
 
     #[test]

@@ -1,0 +1,321 @@
+//! The pre-CSR `Vec<Vec<usize>>` digraph, preserved as an oracle.
+//!
+//! [`crate::digraph::DiGraph`] moved to a flat CSR layout with
+//! allocation-free traversal kernels; this module keeps the original
+//! adjacency-list representation and its traversal algorithms **verbatim**
+//! so that
+//!
+//! * the oracle property suite (`tests/digraph_oracle.rs`) can assert that
+//!   every CSR kernel — BFS order, hop distances, strong connectivity, SCC
+//!   decomposition, masked variants via
+//!   [`AdjListDiGraph::remove_vertices`] — is output-identical to the
+//!   pre-refactor behaviour, and
+//! * the `traversal` criterion bench can measure the dense-vs-CSR and
+//!   clone-vs-mask deltas against the real historical baseline rather than
+//!   a synthetic one.
+//!
+//! This mirrors the repo's standing pattern of keeping the slow reference
+//! alive (dense Prim for the MST engine, the dense pairwise
+//! induced-digraph construction for the verification engine).  Nothing in
+//! the production paths uses this module.
+
+use crate::digraph::DiGraph;
+use std::collections::VecDeque;
+
+/// The legacy adjacency-list digraph (out- and in-rows as nested vectors).
+///
+/// Duplicate edges and self-loops are ignored via the original per-insert
+/// linear scan.  Equality is structural including adjacency order, exactly
+/// like the CSR [`DiGraph`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AdjListDiGraph {
+    out_adj: Vec<Vec<usize>>,
+    in_adj: Vec<Vec<usize>>,
+    edge_count: usize,
+}
+
+impl AdjListDiGraph {
+    /// Creates a digraph with `n` isolated vertices.
+    pub fn new(n: usize) -> Self {
+        AdjListDiGraph {
+            out_adj: vec![Vec::new(); n],
+            in_adj: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.out_adj.len()
+    }
+
+    /// Returns `true` when the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.out_adj.is_empty()
+    }
+
+    /// Number of directed edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds the directed edge `u → v` (duplicates ignored via the original
+    /// O(deg) `contains` scan this module exists to preserve).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.len() && v < self.len(), "edge endpoint out of range");
+        if u == v || self.out_adj[u].contains(&v) {
+            return;
+        }
+        self.out_adj[u].push(v);
+        self.in_adj[v].push(u);
+        self.edge_count += 1;
+    }
+
+    /// Builds a digraph from per-vertex out-adjacency rows (same contract
+    /// as [`DiGraph::from_adjacency`]).
+    pub fn from_adjacency<I>(n: usize, rows: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: IntoIterator<Item = usize>,
+    {
+        let mut g = AdjListDiGraph::new(n);
+        for (u, row) in rows.into_iter().enumerate() {
+            assert!(u < n, "more adjacency rows than vertices");
+            for v in row {
+                g.add_edge(u, v);
+            }
+        }
+        g
+    }
+
+    /// Out-neighbours of `u`.
+    pub fn out_neighbors(&self, u: usize) -> &[usize] {
+        &self.out_adj[u]
+    }
+
+    /// Returns `true` when the edge `u → v` exists.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.out_adj[u].contains(&v)
+    }
+
+    /// Breadth-first visit order from `start` (the queue-BFS order every
+    /// CSR kernel must reproduce).
+    pub fn bfs_order(&self, start: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.len()];
+        let mut order = Vec::new();
+        if start >= self.len() {
+            return order;
+        }
+        let mut queue = VecDeque::new();
+        seen[start] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            order.push(u);
+            for &v in &self.out_adj[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        order
+    }
+
+    /// Number of vertices reachable from `start` (including itself).
+    pub fn reachable_count(&self, start: usize) -> usize {
+        self.bfs_order(start).len()
+    }
+
+    /// The reverse digraph (every edge flipped), rebuilt edge by edge as the
+    /// legacy strong-connectivity check did.
+    pub fn reversed(&self) -> AdjListDiGraph {
+        let mut rev = AdjListDiGraph::new(self.len());
+        for u in 0..self.len() {
+            for &v in &self.out_adj[u] {
+                rev.add_edge(v, u);
+            }
+        }
+        rev
+    }
+
+    /// Returns `true` when the digraph is strongly connected (two BFS
+    /// passes, the backward one over a materialized reverse copy).
+    pub fn is_strongly_connected(&self) -> bool {
+        let n = self.len();
+        if n <= 1 {
+            return true;
+        }
+        if self.reachable_count(0) != n {
+            return false;
+        }
+        self.reversed().reachable_count(0) == n
+    }
+
+    /// BFS hop distances from `start` (`None` where unreachable).
+    pub fn hop_distances(&self, start: usize) -> Vec<Option<usize>> {
+        let mut dist = vec![None; self.len()];
+        if start >= self.len() {
+            return dist;
+        }
+        let mut queue = VecDeque::new();
+        dist[start] = Some(0);
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.out_adj[u] {
+                if dist[v].is_none() {
+                    dist[v] = Some(dist[u].unwrap() + 1);
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Iterative Tarjan SCC decomposition (sorted components, reverse
+    /// topological order of the condensation).
+    pub fn tarjan_scc(&self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut index = vec![usize::MAX; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        let mut call_stack: Vec<(usize, usize)> = Vec::new();
+
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            call_stack.push((start, 0));
+            while let Some(&mut (v, ref mut child_pos)) = call_stack.last_mut() {
+                if *child_pos == 0 {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                let out = &self.out_adj[v];
+                if *child_pos < out.len() {
+                    let w = out[*child_pos];
+                    *child_pos += 1;
+                    if index[w] == usize::MAX {
+                        call_stack.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    call_stack.pop();
+                    if let Some(&(parent, _)) = call_stack.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut component = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        component.sort_unstable();
+                        components.push(component);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// The digraph obtained by deleting the given vertices (remaining
+    /// vertices re-indexed in increasing order of their original index) —
+    /// the clone-per-probe subgraph path masked kernels replace.
+    pub fn remove_vertices(&self, removed: &[usize]) -> AdjListDiGraph {
+        let n = self.len();
+        let mut keep = vec![true; n];
+        for &r in removed {
+            if r < n {
+                keep[r] = false;
+            }
+        }
+        let mut new_index = vec![usize::MAX; n];
+        let mut next = 0usize;
+        for v in 0..n {
+            if keep[v] {
+                new_index[v] = next;
+                next += 1;
+            }
+        }
+        let mut out = AdjListDiGraph::new(next);
+        for u in 0..n {
+            if !keep[u] {
+                continue;
+            }
+            for &v in &self.out_adj[u] {
+                if keep[v] {
+                    out.add_edge(new_index[u], new_index[v]);
+                }
+            }
+        }
+        out
+    }
+
+    /// Converts to the CSR representation (preserving adjacency order, so
+    /// the result is structurally equal by the CSR ordered-equality
+    /// contract).
+    pub fn to_csr(&self) -> DiGraph {
+        DiGraph::from_adjacency(self.len(), self.out_adj.iter().map(|row| row.iter().copied()))
+    }
+}
+
+impl From<&DiGraph> for AdjListDiGraph {
+    /// Re-expresses a CSR digraph in the legacy layout (adjacency order
+    /// preserved).
+    fn from(g: &DiGraph) -> Self {
+        AdjListDiGraph::from_adjacency(
+            g.len(),
+            (0..g.len()).map(|u| g.out_neighbors(u).iter().map(|&v| v as usize).collect::<Vec<_>>()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> AdjListDiGraph {
+        let mut g = AdjListDiGraph::new(5);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)] {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    #[test]
+    fn basic_queries_match_legacy_semantics() {
+        let g = two_triangles();
+        assert_eq!(g.len(), 5);
+        assert_eq!(g.edge_count(), 6);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.out_neighbors(0), &[1, 3]);
+        assert!(g.is_strongly_connected());
+        assert_eq!(g.bfs_order(1), vec![1, 2, 0, 3, 4]);
+        assert_eq!(g.hop_distances(0), vec![Some(0), Some(1), Some(2), Some(1), Some(2)]);
+        assert_eq!(g.tarjan_scc().len(), 1);
+        assert!(!g.remove_vertices(&[0]).is_strongly_connected());
+        assert!(!g.is_empty());
+        assert_eq!(g.reversed().out_neighbors(0), &[2, 4]);
+    }
+
+    #[test]
+    fn round_trips_through_csr() {
+        let g = two_triangles();
+        let csr = g.to_csr();
+        assert_eq!(csr.edge_count(), g.edge_count());
+        let back = AdjListDiGraph::from(&csr);
+        assert_eq!(back, g);
+    }
+}

@@ -1,12 +1,113 @@
 //! Strongly connected components.
 //!
-//! Two independent implementations are provided — Tarjan's single-pass
-//! algorithm (iterative, used in production paths) and Kosaraju's two-pass
-//! algorithm (simpler, used as a cross-check in tests and kept public for
-//! callers that want the components in reverse topological order of the
-//! condensation).
+//! Three entry points at different cost/detail trade-offs:
+//!
+//! * [`TraversalScratch::scc_summary`] — a masked, allocation-free Tarjan
+//!   pass returning only component count and largest size (what the
+//!   verification report needs), reusing the shared traversal scratch.
+//! * [`tarjan_scc`] — full decomposition (iterative Tarjan, production
+//!   paths that need the components themselves).
+//! * [`kosaraju_scc`] — a second, independent implementation kept as a
+//!   cross-check in tests and for callers that want the components in
+//!   reverse topological order of the condensation.
 
 use crate::digraph::DiGraph;
+use crate::traversal::{alive, debug_assert_mask_matches, TraversalScratch, VertexMask};
+
+/// Component count and largest component size, as computed by one masked
+/// Tarjan pass ([`TraversalScratch::scc_summary`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SccSummary {
+    /// Number of strongly connected components of the alive subgraph.
+    pub count: usize,
+    /// Size of the largest component (0 when no vertex is alive).
+    pub largest: usize,
+}
+
+impl SccSummary {
+    /// Returns `true` when the summarized (sub)graph of `alive_vertices`
+    /// vertices is strongly connected (trivially true for 0 or 1 vertices).
+    pub fn is_strongly_connected(&self, alive_vertices: usize) -> bool {
+        alive_vertices <= 1 || self.count == 1
+    }
+}
+
+impl TraversalScratch {
+    /// Computes the SCC count and largest component size of the alive
+    /// subgraph of `g` in one iterative Tarjan pass, without materializing
+    /// the components — zero steady-state allocation (the Tarjan buffers
+    /// live in the scratch).
+    ///
+    /// Masked-out vertices are skipped entirely; results are over alive
+    /// vertices only.
+    pub fn scc_summary(&mut self, g: &DiGraph, mask: Option<&VertexMask>) -> SccSummary {
+        debug_assert_mask_matches(g, mask);
+        let n = g.len();
+        self.begin(n);
+        let mut next_index: u32 = 0;
+        let mut count = 0usize;
+        let mut largest = 0usize;
+        for start in 0..n {
+            if self.is_marked(start as u32) || !alive(mask, start) {
+                continue;
+            }
+            self.call.push((start as u32, 0));
+            while let Some(&mut (v, ref mut child_pos)) = self.call.last_mut() {
+                let v_us = v as usize;
+                if *child_pos == 0 {
+                    self.visited[v_us] = self.epoch;
+                    self.value[v_us] = next_index;
+                    self.low[v_us] = next_index;
+                    next_index += 1;
+                    self.stack.push(v);
+                    self.on_stack[v_us] = true;
+                }
+                let out = g.out_neighbors(v_us);
+                if (*child_pos as usize) < out.len() {
+                    let w = out[*child_pos as usize];
+                    *child_pos += 1;
+                    let w_us = w as usize;
+                    if !alive(mask, w_us) {
+                        continue;
+                    }
+                    if self.visited[w_us] != self.epoch {
+                        self.call.push((w, 0));
+                    } else if self.on_stack[w_us] {
+                        self.low[v_us] = self.low[v_us].min(self.value[w_us]);
+                    }
+                } else {
+                    // Finished v.
+                    self.call.pop();
+                    if let Some(&(parent, _)) = self.call.last() {
+                        let p = parent as usize;
+                        self.low[p] = self.low[p].min(self.low[v_us]);
+                    }
+                    if self.low[v_us] == self.value[v_us] {
+                        let mut size = 0usize;
+                        loop {
+                            let w = self.stack.pop().expect("tarjan stack underflow");
+                            self.on_stack[w as usize] = false;
+                            size += 1;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        count += 1;
+                        largest = largest.max(size);
+                    }
+                }
+            }
+        }
+        SccSummary { count, largest }
+    }
+}
+
+/// Computes the SCC count and largest component size of `g` with a
+/// throwaway scratch; loops over many graphs or masks should hold a
+/// [`TraversalScratch`] and call [`TraversalScratch::scc_summary`] directly.
+pub fn scc_summary(g: &DiGraph) -> SccSummary {
+    TraversalScratch::new().scc_summary(g, None)
+}
 
 /// Computes the strongly connected components of `g` using an iterative
 /// version of Tarjan's algorithm.
@@ -17,18 +118,18 @@ use crate::digraph::DiGraph;
 /// can reach).
 pub fn tarjan_scc(g: &DiGraph) -> Vec<Vec<usize>> {
     let n = g.len();
-    let mut index = vec![usize::MAX; n];
-    let mut lowlink = vec![0usize; n];
+    let mut index = vec![u32::MAX; n];
+    let mut lowlink = vec![0u32; n];
     let mut on_stack = vec![false; n];
     let mut stack: Vec<usize> = Vec::new();
-    let mut next_index = 0usize;
+    let mut next_index = 0u32;
     let mut components: Vec<Vec<usize>> = Vec::new();
 
     // Explicit DFS stack of (vertex, next-child-position).
     let mut call_stack: Vec<(usize, usize)> = Vec::new();
 
     for start in 0..n {
-        if index[start] != usize::MAX {
+        if index[start] != u32::MAX {
             continue;
         }
         call_stack.push((start, 0));
@@ -42,9 +143,9 @@ pub fn tarjan_scc(g: &DiGraph) -> Vec<Vec<usize>> {
             }
             let out = g.out_neighbors(v);
             if *child_pos < out.len() {
-                let w = out[*child_pos];
+                let w = out[*child_pos] as usize;
                 *child_pos += 1;
-                if index[w] == usize::MAX {
+                if index[w] == u32::MAX {
                     call_stack.push((w, 0));
                 } else if on_stack[w] {
                     lowlink[v] = lowlink[v].min(index[w]);
@@ -77,6 +178,9 @@ pub fn tarjan_scc(g: &DiGraph) -> Vec<Vec<usize>> {
 /// Computes the strongly connected components of `g` using Kosaraju's
 /// algorithm.  Returned components are sorted internally; the component order
 /// follows the finishing order of the first DFS pass.
+///
+/// The second pass walks the digraph's stored in-CSR directly — no reversed
+/// copy is materialized.
 pub fn kosaraju_scc(g: &DiGraph) -> Vec<Vec<usize>> {
     let n = g.len();
     // First pass: order vertices by DFS finish time (iteratively).
@@ -91,7 +195,7 @@ pub fn kosaraju_scc(g: &DiGraph) -> Vec<Vec<usize>> {
         while let Some(&mut (v, ref mut pos)) = stack.last_mut() {
             let out = g.out_neighbors(v);
             if *pos < out.len() {
-                let w = out[*pos];
+                let w = out[*pos] as usize;
                 *pos += 1;
                 if !visited[w] {
                     visited[w] = true;
@@ -103,8 +207,8 @@ pub fn kosaraju_scc(g: &DiGraph) -> Vec<Vec<usize>> {
             }
         }
     }
-    // Second pass: DFS on the reverse graph in reverse finishing order.
-    let rev = g.reversed();
+    // Second pass: DFS against the edge direction (in-CSR) in reverse
+    // finishing order.
     let mut assigned = vec![false; n];
     let mut components = Vec::new();
     for &start in order.iter().rev() {
@@ -116,10 +220,10 @@ pub fn kosaraju_scc(g: &DiGraph) -> Vec<Vec<usize>> {
         assigned[start] = true;
         while let Some(v) = stack.pop() {
             component.push(v);
-            for &w in rev.out_neighbors(v) {
-                if !assigned[w] {
-                    assigned[w] = true;
-                    stack.push(w);
+            for &w in g.in_neighbors(v) {
+                if !assigned[w as usize] {
+                    assigned[w as usize] = true;
+                    stack.push(w as usize);
                 }
             }
         }
@@ -131,18 +235,18 @@ pub fn kosaraju_scc(g: &DiGraph) -> Vec<Vec<usize>> {
 
 /// Number of strongly connected components of `g`.
 pub fn scc_count(g: &DiGraph) -> usize {
-    tarjan_scc(g).len()
+    scc_summary(g).count
 }
 
 /// Returns `true` when the digraph consists of a single strongly connected
 /// component covering every vertex (trivially true for 0 or 1 vertices).
 pub fn is_strongly_connected(g: &DiGraph) -> bool {
-    g.len() <= 1 || scc_count(g) == 1
+    g.len() <= 1 || TraversalScratch::new().is_strongly_connected(g, None)
 }
 
 /// Size of the largest strongly connected component (0 for an empty graph).
 pub fn largest_scc_size(g: &DiGraph) -> usize {
-    tarjan_scc(g).iter().map(|c| c.len()).max().unwrap_or(0)
+    scc_summary(g).largest
 }
 
 #[cfg(test)]
@@ -165,6 +269,7 @@ mod tests {
         assert_eq!(kosaraju_scc(&g).len(), 1);
         assert!(is_strongly_connected(&g));
         assert_eq!(largest_scc_size(&g), 4);
+        assert_eq!(scc_summary(&g), SccSummary { count: 1, largest: 4 });
     }
 
     #[test]
@@ -192,6 +297,7 @@ mod tests {
         let sccs = normalize(tarjan_scc(&g));
         assert_eq!(sccs, vec![vec![0, 1, 2], vec![3, 4, 5]]);
         assert_eq!(normalize(kosaraju_scc(&g)), sccs);
+        assert_eq!(scc_summary(&g), SccSummary { count: 2, largest: 3 });
     }
 
     #[test]
@@ -213,17 +319,44 @@ mod tests {
         assert_eq!(scc_count(&DiGraph::new(1)), 1);
         assert!(is_strongly_connected(&DiGraph::new(1)));
         assert_eq!(scc_count(&DiGraph::new(3)), 3);
+        let empty = scc_summary(&DiGraph::new(0));
+        assert!(empty.is_strongly_connected(0));
+        assert_eq!(empty.largest, 0);
     }
 
     #[test]
     fn deep_path_does_not_overflow_stack() {
         // The iterative implementations must handle long paths.
         let n = 200_000;
-        let mut g = DiGraph::new(n);
-        for i in 0..n - 1 {
-            g.add_edge(i, i + 1);
-        }
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let g = DiGraph::from_edges(n, &edges);
         assert_eq!(scc_count(&g), n);
+        assert_eq!(tarjan_scc(&g).len(), n);
+    }
+
+    #[test]
+    fn masked_summary_matches_subgraph_decomposition() {
+        // Two triangles sharing vertex 0.
+        let g = DiGraph::from_edges(
+            5,
+            &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)],
+        );
+        let mut scratch = TraversalScratch::new();
+        assert_eq!(scratch.scc_summary(&g, None), SccSummary { count: 1, largest: 5 });
+        let mut mask = VertexMask::new(5);
+        mask.remove(0);
+        let masked = scratch.scc_summary(&g, Some(&mask));
+        // Without the shared vertex both triangles fall apart into paths.
+        assert_eq!(masked.count, 4);
+        assert_eq!(masked.largest, 1);
+        assert!(!masked.is_strongly_connected(4));
+        // Masking everything yields the empty summary.
+        for v in 1..5 {
+            mask.remove(v);
+        }
+        let empty = scratch.scc_summary(&g, Some(&mask));
+        assert_eq!(empty, SccSummary { count: 0, largest: 0 });
+        assert!(empty.is_strongly_connected(0));
     }
 
     proptest! {
@@ -248,6 +381,18 @@ mod tests {
                 }
             }
             prop_assert_eq!(is_strongly_connected(&g), g.is_strongly_connected());
+        }
+
+        #[test]
+        fn prop_summary_matches_full_decomposition(n in 1usize..24, edges in proptest::collection::vec((0usize..24, 0usize..24), 0..96)) {
+            let pairs: Vec<(usize, usize)> = edges.into_iter()
+                .filter(|&(u, v)| u < n && v < n && u != v)
+                .collect();
+            let g = DiGraph::from_edges(n, &pairs);
+            let full = tarjan_scc(&g);
+            let summary = scc_summary(&g);
+            prop_assert_eq!(summary.count, full.len());
+            prop_assert_eq!(summary.largest, full.iter().map(|c| c.len()).max().unwrap_or(0));
         }
     }
 }

@@ -2,6 +2,7 @@
 
 use crate::digraph::DiGraph;
 use crate::graph::Graph;
+use crate::traversal::TraversalScratch;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -85,36 +86,47 @@ pub fn weighted_diameter(g: &Graph) -> Option<f64> {
 
 /// Hop-count diameter of a directed graph (longest shortest hop distance over
 /// ordered reachable pairs); `None` when some ordered pair is unreachable.
+///
+/// Runs `n` BFS passes through one reused [`TraversalScratch`] — no
+/// per-source allocation.
 pub fn hop_diameter(g: &DiGraph) -> Option<usize> {
     if g.is_empty() {
         return None;
     }
-    let mut best = 0usize;
+    let mut scratch = TraversalScratch::new();
+    let mut best = 0u32;
     for source in 0..g.len() {
-        for d in g.hop_distances(source) {
-            match d {
-                None => return None,
-                Some(h) => best = best.max(h),
+        for &d in scratch.hop_distances(g, source, None) {
+            if d == u32::MAX {
+                return None;
             }
+            best = best.max(d);
         }
     }
-    Some(best)
+    Some(best as usize)
 }
 
 /// Average hop distance over all ordered pairs of a strongly connected
 /// digraph; `None` when unreachable pairs exist or fewer than two vertices.
+///
+/// Runs `n` BFS passes through one reused [`TraversalScratch`] — no
+/// per-source allocation.
 pub fn average_hop_distance(g: &DiGraph) -> Option<f64> {
     let n = g.len();
     if n < 2 {
         return None;
     }
-    let mut total = 0usize;
+    let mut scratch = TraversalScratch::new();
+    let mut total = 0u64;
     for source in 0..n {
-        for (target, d) in g.hop_distances(source).iter().enumerate() {
+        for (target, &d) in scratch.hop_distances(g, source, None).iter().enumerate() {
             if target == source {
                 continue;
             }
-            total += (*d)?;
+            if d == u32::MAX {
+                return None;
+            }
+            total += d as u64;
         }
     }
     Some(total as f64 / (n * (n - 1)) as f64)

@@ -16,8 +16,7 @@ use antennae_core::antenna::AntennaBudget;
 use antennae_core::instance::Instance;
 use antennae_core::solver::Solver;
 use antennae_core::verify::VerificationEngine;
-use antennae_graph::connectivity::{is_strongly_c_connected, remove_vertices};
-use antennae_graph::scc::is_strongly_connected;
+use antennae_graph::traversal::{TraversalScratch, VertexMask};
 use antennae_geometry::PI;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -132,9 +131,9 @@ pub fn run(config: &CConnectivityConfig) -> CConnectivityReport {
                     .run()
                     .expect("valid budget")
                     .scheme;
-                // The sub-quadratic engine rebuilds the digraph; the n
-                // subsequent remove-one-vertex connectivity probes dwarf the
-                // build either way, but the build is no longer Θ(n²).
+                // One CSR build per deployment (sub-quadratic engine), then
+                // n masked strong-connectivity probes through one reused
+                // scratch — no per-candidate subgraph clone.
                 // threads = 1: this closure already runs inside the seed
                 // fan-out above, and the outer level saturates the pool (the
                 // same no-nested-oversubscription split the batch pipeline
@@ -142,13 +141,24 @@ pub fn run(config: &CConnectivityConfig) -> CConnectivityReport {
                 let digraph = VerificationEngine::new()
                     .with_threads(1)
                     .induced_digraph(&points, &scheme);
-                let connected = is_strongly_connected(&digraph);
-                let survives = is_strongly_c_connected(&digraph, 2);
-                // Count critical sensors: vertices whose removal disconnects
-                // the rest.
-                let critical = (0..digraph.len())
-                    .filter(|&v| !is_strongly_connected(&remove_vertices(&digraph, &[v])))
-                    .count();
+                let n = digraph.len();
+                let mut scratch = TraversalScratch::new();
+                let connected = n <= 1 || scratch.is_strongly_connected(&digraph, None);
+                // Critical sensors: vertices whose individual removal
+                // disconnects the rest — probed for every deployment
+                // (connected or not, matching the pre-mask statistics) with
+                // the one scratch and mask.  A deployment survives any
+                // single failure iff it is connected and has none.
+                let mut mask = VertexMask::new(n);
+                let mut critical = 0usize;
+                for v in 0..n {
+                    mask.remove(v);
+                    if !scratch.is_strongly_connected(&digraph, Some(&mask)) {
+                        critical += 1;
+                    }
+                    mask.restore(v);
+                }
+                let survives = connected && critical == 0;
                 (
                     connected,
                     survives,

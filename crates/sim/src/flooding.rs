@@ -114,6 +114,7 @@ pub fn flood_over_digraph(
         max_hops = max_hops.max(hop);
         hops[u] = hop;
         for &v in digraph.out_neighbors(u) {
+            let v = v as usize;
             let latency =
                 config.base_latency + points[u].distance(&points[v]) / config.propagation_speed;
             let arrival = event.time + latency;
@@ -136,17 +137,17 @@ pub fn flood_over_digraph(
 
 /// Builds the omnidirectional communication digraph in which every sensor
 /// reaches every other sensor within `radius` (a symmetric unit-disk graph).
+///
+/// Assembled through the CSR counting builder — one pass, no per-edge
+/// duplicate scans even for the dense all-pairs case.
 pub fn omnidirectional_digraph(points: &[Point], radius: f64) -> DiGraph {
     let n = points.len();
-    let mut g = DiGraph::new(n);
-    for u in 0..n {
-        for v in 0..n {
-            if u != v && points[u].distance(&points[v]) <= radius + 1e-12 {
-                g.add_edge(u, v);
-            }
-        }
-    }
-    g
+    DiGraph::from_adjacency(
+        n,
+        (0..n).map(|u| {
+            (0..n).filter(move |&v| u != v && points[u].distance(&points[v]) <= radius + 1e-12)
+        }),
+    )
 }
 
 #[cfg(test)]

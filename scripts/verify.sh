@@ -29,6 +29,13 @@ PROPTEST_CASES=128 cargo test --workspace -q
 echo "== clippy, warnings as errors =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Benches are not exercised by the test suite; building them (without
+# running) keeps them from rotting.  `scripts/bench_smoke.sh` runs the
+# traversal/verification/dispatch_policy benches in quick mode and records
+# the numbers in BENCH_4.json.
+echo "== benches compile (cargo bench --no-run) =="
+cargo bench --no-run
+
 echo "== rustdoc, warnings as errors =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p antennae \

@@ -1,0 +1,130 @@
+//! Zero-allocation contract of the traversal kernels.
+//!
+//! `TraversalScratch` promises that steady-state traversals — after one
+//! warm-up query has sized the buffers — perform **zero heap allocations**,
+//! no matter how many queries, masks or graphs (of no larger size) follow.
+//! This file pins that contract with a counting global allocator: warm the
+//! scratch, snapshot the allocation counter, run a full masked
+//! c-connectivity-style sweep plus every other kernel, and assert the
+//! counter did not move.
+//!
+//! The test lives alone in its own integration-test binary so the global
+//! allocator hook and the single-threaded counting discipline cannot
+//! interfere with unrelated tests.
+
+use antennae::graph::{DiGraph, TraversalScratch, VertexMask};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+/// System allocator wrapper that counts every allocation request made by
+/// the *current thread* (the libtest harness keeps service threads alive
+/// that may allocate concurrently; a global counter would pick those up).
+struct CountingAllocator;
+
+thread_local! {
+    static THREAD_ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+fn thread_allocations() -> usize {
+    THREAD_ALLOCATIONS.with(|c| c.get())
+}
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// A deterministic digraph with enough structure to exercise every kernel:
+/// a long cycle with chords and a few dead-end branches.
+fn test_digraph(n: usize) -> DiGraph {
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for v in 0..n {
+        edges.push((v, (v + 1) % n));
+        if v % 3 == 0 {
+            edges.push((v, (v + 7) % n));
+        }
+        if v % 5 == 0 {
+            edges.push(((v + 2) % n, v));
+        }
+    }
+    DiGraph::from_edges(n, &edges)
+}
+
+#[test]
+fn steady_state_traversals_do_not_allocate() {
+    let n = 300;
+    let g = test_digraph(n);
+    let mut scratch = TraversalScratch::new();
+    let mut mask = VertexMask::new(n);
+
+    // Warm-up: one query of every kernel sizes the scratch buffers for this
+    // graph (and the capacity snapshot below proves they never grow again).
+    assert!(scratch.is_strongly_connected(&g, None));
+    mask.remove(0);
+    let _ = scratch.is_strongly_connected(&g, Some(&mask));
+    mask.restore(0);
+    let _ = scratch.bfs(&g, 0, None).len();
+    let _ = scratch.hop_distances(&g, 0, None)[n - 1];
+    let _ = scratch.scc_summary(&g, None);
+
+    let before = thread_allocations();
+
+    // A full vertex-fault sweep (the c-connectivity inner loop) plus every
+    // other kernel, many times over.
+    let mut critical = 0usize;
+    for round in 0..3 {
+        for v in 0..n {
+            mask.remove(v);
+            if !scratch.is_strongly_connected(&g, Some(&mask)) {
+                critical += 1;
+            }
+            let summary = scratch.scc_summary(&g, Some(&mask));
+            assert!(summary.count >= 1);
+            mask.restore(v);
+        }
+        let order_len = scratch.bfs(&g, round, None).len();
+        assert_eq!(order_len, n);
+        assert_eq!(scratch.reachable_count(&g, round, Some(&mask)), n);
+        let hops = scratch.hop_distances(&g, round, None);
+        assert!(hops.iter().all(|&d| d != u32::MAX));
+    }
+
+    let after = thread_allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "steady-state traversal kernels must not allocate ({} allocations observed, {critical} critical vertices found)",
+        after - before
+    );
+
+    // `with_capacity(n)` pre-sizes every buffer, so even the *first* query
+    // of a fresh scratch must be allocation-free on a graph of ≤ n vertices.
+    let mut presized = TraversalScratch::with_capacity(n);
+    let mut fresh_mask = VertexMask::new(n);
+    fresh_mask.remove(1);
+    let presized_before = thread_allocations();
+    assert!(presized.is_strongly_connected(&g, None));
+    let _ = presized.is_strongly_connected(&g, Some(&fresh_mask));
+    let _ = presized.bfs(&g, 0, None).len();
+    let _ = presized.hop_distances(&g, 0, None)[n - 1];
+    let _ = presized.scc_summary(&g, Some(&fresh_mask));
+    assert_eq!(
+        thread_allocations() - presized_before,
+        0,
+        "a pre-sized scratch must not allocate on its first queries"
+    );
+}
