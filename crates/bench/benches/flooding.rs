@@ -2,10 +2,10 @@
 //! communication graphs.
 
 use antennae_bench::workloads::uniform_instance;
-use antennae_core::solver::Solver;
 use antennae_core::antenna::AntennaBudget;
-use antennae_sim::flooding::{flood, flood_over_digraph, omnidirectional_digraph, FloodingConfig};
+use antennae_core::solver::Solver;
 use antennae_geometry::PI;
+use antennae_sim::flooding::{flood, flood_over_digraph, omnidirectional_digraph, FloodingConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -14,10 +14,10 @@ fn bench_flood_directional(c: &mut Criterion) {
     for &n in &[200usize, 500, 1000] {
         let instance = uniform_instance(n, 5);
         let scheme = Solver::on(&instance)
-        .with_budget(AntennaBudget::new(2, PI))
-        .run()
-        .unwrap()
-        .scheme;
+            .with_budget(AntennaBudget::new(2, PI))
+            .run()
+            .unwrap()
+            .scheme;
         let points = instance.points().to_vec();
         group.bench_with_input(
             BenchmarkId::from_parameter(n),
@@ -54,5 +54,9 @@ fn bench_flood_omnidirectional(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_flood_directional, bench_flood_omnidirectional);
+criterion_group!(
+    benches,
+    bench_flood_directional,
+    bench_flood_omnidirectional
+);
 criterion_main!(benches);

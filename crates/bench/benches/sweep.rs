@@ -1,13 +1,13 @@
 //! Ablation of the parallel sweep driver: sequential vs. multi-threaded
 //! evaluation of a Table-1 style batch of instances.
 
-use antennae_core::solver::Solver;
 use antennae_core::antenna::AntennaBudget;
 use antennae_core::instance::Instance;
+use antennae_core::solver::Solver;
 use antennae_core::verify::verify;
+use antennae_geometry::PI;
 use antennae_sim::generators::PointSetGenerator;
 use antennae_sim::sweep::parallel_map;
-use antennae_geometry::PI;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -17,10 +17,10 @@ fn run_batch(seeds: &[u64], threads: usize) -> f64 {
         let points = generator.generate(*seed);
         let instance = Instance::new(points).unwrap();
         let scheme = Solver::on(&instance)
-        .with_budget(AntennaBudget::new(2, PI))
-        .run()
-        .unwrap()
-        .scheme;
+            .with_budget(AntennaBudget::new(2, PI))
+            .run()
+            .unwrap()
+            .scheme;
         verify(&instance, &scheme).max_radius_over_lmax
     });
     results.into_iter().fold(0.0, f64::max)

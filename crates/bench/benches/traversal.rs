@@ -21,9 +21,9 @@ use antennae_bench::workloads::uniform_instance;
 use antennae_core::antenna::AntennaBudget;
 use antennae_core::solver::Solver;
 use antennae_core::verify::VerificationEngine;
+use antennae_geometry::PI;
 use antennae_graph::reference::AdjListDiGraph;
 use antennae_graph::{DiGraph, TraversalScratch, VertexMask};
-use antennae_geometry::PI;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -104,7 +104,12 @@ fn bench_digraph_build(c: &mut Criterion) {
             .map(|u| csr.out_neighbors(u).iter().map(|&v| v as usize).collect())
             .collect();
         group.bench_with_input(BenchmarkId::new("csr_counting", n), &rows, |b, rows| {
-            b.iter(|| DiGraph::from_adjacency(rows.len(), black_box(rows).iter().map(|r| r.iter().copied())))
+            b.iter(|| {
+                DiGraph::from_adjacency(
+                    rows.len(),
+                    black_box(rows).iter().map(|r| r.iter().copied()),
+                )
+            })
         });
         group.bench_with_input(BenchmarkId::new("legacy_add_edge", n), &rows, |b, rows| {
             b.iter(|| {

@@ -10,8 +10,8 @@ use antennae_core::antenna::AntennaBudget;
 use antennae_core::scheme::OrientationScheme;
 use antennae_core::solver::{SelectionPolicy, Solver};
 use antennae_core::verify::{DigraphStrategy, VerificationEngine};
-use antennae_graph::scc::{kosaraju_scc, tarjan_scc};
 use antennae_geometry::PI;
+use antennae_graph::scc::{kosaraju_scc, tarjan_scc};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -45,11 +45,9 @@ fn bench_verify(c: &mut Criterion) {
         let session = VerificationEngine::new()
             .with_strategy(DigraphStrategy::KdTree)
             .session(&instance);
-        group.bench_with_input(
-            BenchmarkId::new("session", n),
-            &scheme,
-            |b, sch| b.iter(|| session.verify(black_box(sch))),
-        );
+        group.bench_with_input(BenchmarkId::new("session", n), &scheme, |b, sch| {
+            b.iter(|| session.verify(black_box(sch)))
+        });
     }
     group.finish();
 }
@@ -69,9 +67,7 @@ fn bench_verify_batch(c: &mut Criterion) {
         .iter()
         .map(|c| c.scheme.as_ref().unwrap())
         .collect();
-    let session_seq = VerificationEngine::new()
-        .with_threads(1)
-        .session(&instance);
+    let session_seq = VerificationEngine::new().with_threads(1).session(&instance);
     group.bench_function("sequential", |b| {
         b.iter(|| {
             schemes

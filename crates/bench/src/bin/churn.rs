@@ -1,0 +1,20 @@
+//! EXP-CHURN: dynamic deployments under arrival/failure/mobility churn.
+//!
+//! Usage: `cargo run --release -p antennae-bench --bin churn [--quick]`
+
+use antennae_bench::workloads::quick_flag;
+use antennae_sim::experiments::churn::{run, ChurnConfig};
+
+fn main() {
+    let config = if quick_flag() {
+        ChurnConfig::quick()
+    } else {
+        ChurnConfig::full()
+    };
+    let report = run(&config);
+    println!("{report}");
+    if !report.all_valid() {
+        eprintln!("WARNING: some edit produced an invalid verdict");
+        std::process::exit(1);
+    }
+}

@@ -17,15 +17,22 @@ pub mod workloads {
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
 
+    /// The raw point set behind [`uniform_instance`]: `n` sensors uniform in
+    /// a square whose side scales with `√n` (constant density across sizes).
+    /// The dynamic-instance benches start from points rather than a built
+    /// instance because building the substrate *is* what they measure.
+    pub fn uniform_points(n: usize, seed: u64) -> Vec<Point> {
+        let side = (n as f64).sqrt() * 2.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
+            .collect()
+    }
+
     /// A reproducible uniform-random instance of `n` sensors in a square
     /// whose side scales with `√n` (keeps density constant across sizes).
     pub fn uniform_instance(n: usize, seed: u64) -> Instance {
-        let side = (n as f64).sqrt() * 2.0;
-        let mut rng = StdRng::seed_from_u64(seed);
-        let points: Vec<Point> = (0..n)
-            .map(|_| Point::new(rng.random_range(0.0..side), rng.random_range(0.0..side)))
-            .collect();
-        Instance::new(points).expect("non-empty instance")
+        Instance::new(uniform_points(n, seed)).expect("non-empty instance")
     }
 
     /// Returns `true` when `--quick` was passed on the command line.

@@ -27,7 +27,9 @@ use crate::antenna::{Antenna, SensorAssignment};
 use crate::error::OrientError;
 use crate::instance::Instance;
 use crate::scheme::OrientationScheme;
-use antennae_geometry::angular::{circular_gaps, largest_gaps_indices, sort_ccw, split_into_chains};
+use antennae_geometry::angular::{
+    circular_gaps, largest_gaps_indices, sort_ccw, split_into_chains,
+};
 use antennae_geometry::Point;
 use serde::{Deserialize, Serialize};
 
@@ -116,7 +118,11 @@ pub fn orient_chains_with_stats(
                 .collect();
             // u beams at the chain head.
             let head = vertices[0];
-            beams[u].push(Antenna::beam(&apex, &points[head], apex.distance(&points[head])));
+            beams[u].push(Antenna::beam(
+                &apex,
+                &points[head],
+                apex.distance(&points[head]),
+            ));
             // Chain members beam at their successor; the tail beams at u.
             for (i, &v) in vertices.iter().enumerate() {
                 if i + 1 < vertices.len() {

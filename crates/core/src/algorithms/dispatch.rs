@@ -33,7 +33,10 @@ pub use crate::solver::{implemented_radius_guarantee, OrientationOutcome};
     since = "0.2.0",
     note = "use `Solver::on(&instance).with_budget(budget).run()` (SelectionPolicy::BestGuarantee)"
 )]
-pub fn orient(instance: &Instance, budget: AntennaBudget) -> Result<OrientationScheme, OrientError> {
+pub fn orient(
+    instance: &Instance,
+    budget: AntennaBudget,
+) -> Result<OrientationScheme, OrientError> {
     Solver::on(instance)
         .with_budget(budget)
         .run()

@@ -93,7 +93,11 @@ pub fn improve_bottleneck_two_opt(
             if j == worst_idx || (j + 1) % n == worst_idx || (worst_idx + 1) % n == j {
                 continue;
             }
-            let (i, j_) = if worst_idx < j { (worst_idx, j) } else { (j, worst_idx) };
+            let (i, j_) = if worst_idx < j {
+                (worst_idx, j)
+            } else {
+                (j, worst_idx)
+            };
             // 2-opt reconnection: (c_i, c_{i+1}) and (c_j, c_{j+1}) become
             // (c_i, c_j) and (c_{i+1}, c_{j+1}).
             let new_a = points[cycle[i]].distance(&points[cycle[j_]]);
@@ -106,7 +110,11 @@ pub fn improve_bottleneck_two_opt(
         let Some((j, _)) = best else {
             break;
         };
-        let (i, j_) = if worst_idx < j { (worst_idx, j) } else { (j, worst_idx) };
+        let (i, j_) = if worst_idx < j {
+            (worst_idx, j)
+        } else {
+            (j, worst_idx)
+        };
         cycle[i + 1..=j_].reverse();
     }
     (0..n).map(|i| hop(cycle, i)).fold(0.0, f64::max)
@@ -149,7 +157,8 @@ fn orient_along_cycle(
             let next = cycle[(i + 1) % n];
             let d = points[v].distance(&points[next]);
             bottleneck = bottleneck.max(d);
-            assignments[v] = SensorAssignment::new(vec![Antenna::beam(&points[v], &points[next], d)]);
+            assignments[v] =
+                SensorAssignment::new(vec![Antenna::beam(&points[v], &points[next], d)]);
         }
     }
     let lmax = instance.lmax();

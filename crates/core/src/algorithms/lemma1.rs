@@ -41,6 +41,20 @@ pub fn orient_node(apex: &Point, neighbors: &[Point], k: usize) -> Vec<Antenna> 
 
     let sorted = sort_ccw(apex, neighbors);
     let gaps = circular_gaps(&sorted);
+    if gaps.iter().sum::<f64>() <= 0.0 {
+        // Degenerate multiset: every neighbour reports the *same* direction
+        // from the apex (duplicates of the apex included — a zero vector
+        // yields that constant direction too), so the circular gaps carry no
+        // angular mass and the windowing argument below would degrade to a
+        // full-circle antenna.  One zero-spread beam of sufficient range
+        // covers everyone instead: collinear neighbours share the beam's
+        // exact direction, and apex-coincident neighbours are covered by the
+        // verifier's apex rule regardless of direction.  Surfaced by the
+        // churn experiments, where mobility clamping can pile several
+        // sensors onto one exact location.
+        let radius = sorted.iter().map(|m| m.distance).fold(0.0, f64::max);
+        return vec![Antenna::new(sorted[0].direction, 0.0, radius)];
+    }
     let (start, window_sum) =
         max_window_sum(&gaps, k).expect("k < d implies a valid window exists");
 
@@ -163,6 +177,40 @@ mod tests {
     }
 
     #[test]
+    fn coincident_and_collinear_neighbors_get_one_beam_within_budget() {
+        // Regression (churn experiments): a sensor whose neighbours all
+        // coincide with it used to receive a full-circle antenna (spread 2π)
+        // because the circular gaps carry no angular mass.  The degenerate
+        // path must stay within the Lemma 1 spread bound.
+        let apex = Point::new(2.0, 3.0);
+        let coincident = vec![apex, apex, apex];
+        for k in 1..=2 {
+            let antennas = orient_node(&apex, &coincident, k);
+            let spread: f64 = antennas.iter().map(|a| a.spread).sum();
+            assert!(spread <= sufficient_spread(3, k) + 1e-9, "k={k}: {spread}");
+            assert_all_covered(&apex, &coincident, &antennas);
+        }
+        // Same-direction collinear neighbours: one beam of sufficient range.
+        let collinear = vec![
+            Point::new(3.0, 3.0),
+            Point::new(5.0, 3.0),
+            Point::new(9.0, 3.0),
+        ];
+        let antennas = orient_node(&apex, &collinear, 2);
+        assert_eq!(antennas.len(), 1);
+        assert_eq!(antennas[0].spread, 0.0);
+        assert!((antennas[0].radius - 7.0).abs() < 1e-12);
+        assert_all_covered(&apex, &collinear, &antennas);
+        // Mixed: a coincident duplicate plus real neighbours still goes down
+        // the regular windowing path and stays within budget.
+        let mixed = vec![apex, Point::new(3.0, 3.0), Point::new(2.0, 5.0)];
+        let antennas = orient_node(&apex, &mixed, 2);
+        let spread: f64 = antennas.iter().map(|a| a.spread).sum();
+        assert!(spread <= sufficient_spread(3, 2) + 1e-9);
+        assert_all_covered(&apex, &mixed, &antennas);
+    }
+
+    #[test]
     fn radii_are_no_larger_than_farthest_neighbor() {
         let apex = Point::ORIGIN;
         let neighbors = vec![
@@ -171,7 +219,10 @@ mod tests {
             Point::new(-1.5, 0.0),
             Point::new(0.0, -0.5),
         ];
-        let far = neighbors.iter().map(|p| apex.distance(p)).fold(0.0, f64::max);
+        let far = neighbors
+            .iter()
+            .map(|p| apex.distance(p))
+            .fold(0.0, f64::max);
         for k in 1..=4 {
             let antennas = orient_node(&apex, &neighbors, k);
             assert_all_covered(&apex, &neighbors, &antennas);

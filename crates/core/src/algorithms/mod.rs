@@ -78,6 +78,9 @@ mod tests {
         assert_eq!(AlgorithmKind::Theorem3.to_string(), "theorem3");
         assert_eq!(AlgorithmKind::Chains { k: 3 }.to_string(), "chains(k=3)");
         assert_eq!(AlgorithmKind::Hamiltonian.to_string(), "hamiltonian");
-        assert_eq!(AlgorithmKind::OneAntennaWide.to_string(), "one-antenna-wide");
+        assert_eq!(
+            AlgorithmKind::OneAntennaWide.to_string(),
+            "one-antenna-wide"
+        );
     }
 }

@@ -78,7 +78,8 @@ mod tests {
         let phi = 8.0 * PI / 5.0;
         let outcome = orient_one_antenna(&instance, phi).unwrap();
         assert_eq!(outcome.regime, OneAntennaRegime::WideCoverage);
-        let report = verify_with_budget(&instance, &outcome.scheme, Some(AntennaBudget::new(1, phi)));
+        let report =
+            verify_with_budget(&instance, &outcome.scheme, Some(AntennaBudget::new(1, phi)));
         assert!(report.is_valid(), "{:?}", report.violations);
         assert!(report.is_strongly_connected);
         assert!(report.max_radius_over_lmax <= 1.0 + 1e-9);
@@ -89,7 +90,8 @@ mod tests {
         let instance = random_instance(60, 22);
         let outcome = orient_one_antenna(&instance, PI).unwrap();
         assert_eq!(outcome.regime, OneAntennaRegime::HamiltonianCycle);
-        let report = verify_with_budget(&instance, &outcome.scheme, Some(AntennaBudget::new(1, PI)));
+        let report =
+            verify_with_budget(&instance, &outcome.scheme, Some(AntennaBudget::new(1, PI)));
         assert!(report.is_valid(), "{:?}", report.violations);
         assert!(report.is_strongly_connected);
         assert_eq!(report.max_spread_sum, 0.0);
@@ -99,8 +101,11 @@ mod tests {
     fn zero_spread_budget_is_honoured() {
         let instance = random_instance(30, 23);
         let outcome = orient_one_antenna(&instance, 0.0).unwrap();
-        let report =
-            verify_with_budget(&instance, &outcome.scheme, Some(AntennaBudget::beams_only(1)));
+        let report = verify_with_budget(
+            &instance,
+            &outcome.scheme,
+            Some(AntennaBudget::beams_only(1)),
+        );
         assert!(report.is_valid(), "{:?}", report.violations);
         assert!(report.is_strongly_connected);
     }

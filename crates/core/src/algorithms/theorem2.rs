@@ -32,11 +32,7 @@ pub fn orient_theorem2(instance: &Instance, k: usize) -> Result<OrientationSchem
     let points = instance.points();
     let mut assignments = Vec::with_capacity(points.len());
     for (v, apex) in points.iter().enumerate() {
-        let neighbors: Vec<Point> = mst
-            .neighbors(v)
-            .iter()
-            .map(|&(u, _)| points[u])
-            .collect();
+        let neighbors: Vec<Point> = mst.neighbors(v).iter().map(|&(u, _)| points[u]).collect();
         let antennas = lemma1::orient_node(apex, &neighbors, k);
         assignments.push(SensorAssignment::new(antennas));
     }

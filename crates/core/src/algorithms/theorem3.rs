@@ -188,12 +188,7 @@ struct Member {
 ///
 /// `p` is the point the vertex must cover, `children` the locations of its
 /// children, `phi` the per-sensor spread budget.
-fn best_local_config(
-    apex: &Point,
-    p: &Point,
-    children: &[Point],
-    phi: f64,
-) -> Option<LocalConfig> {
+fn best_local_config(apex: &Point, p: &Point, children: &[Point], phi: f64) -> Option<LocalConfig> {
     let m = children.len();
     // A leaf only needs a beam at p.
     if m == 0 {
@@ -411,7 +406,15 @@ fn best_sibling_matching(
             }
             used[slot] = true;
             current.push(coverer);
-            recurse(pos + 1, uncovered, covered_children, used, current, best, distance);
+            recurse(
+                pos + 1,
+                uncovered,
+                covered_children,
+                used,
+                current,
+                best,
+                distance,
+            );
             current.pop();
             used[slot] = false;
         }
@@ -508,7 +511,11 @@ mod tests {
                     &outcome.scheme,
                     Some(AntennaBudget::new(2, phi)),
                 );
-                assert!(report.is_valid(), "phi={phi} seed={seed}: {:?}", report.violations);
+                assert!(
+                    report.is_valid(),
+                    "phi={phi} seed={seed}: {:?}",
+                    report.violations
+                );
                 assert!(
                     report.max_radius_over_lmax <= bound + 1e-9,
                     "phi={phi} seed={seed}: measured {} > bound {bound}",

@@ -297,7 +297,10 @@ mod tests {
         let batched = batch.orient_budgets(&budgets);
 
         for (budget, outcome) in budgets.iter().zip(batched) {
-            let single = Solver::on(batch.instance()).with_budget(*budget).run().unwrap();
+            let single = Solver::on(batch.instance())
+                .with_budget(*budget)
+                .run()
+                .unwrap();
             let outcome = outcome.unwrap();
             assert_eq!(outcome.algorithm, single.algorithm, "budget {budget:?}");
             assert_eq!(
@@ -305,7 +308,11 @@ mod tests {
                 "budget {budget:?}"
             );
             let report = verify_with_budget(batch.instance(), &outcome.scheme, Some(*budget));
-            assert!(report.is_valid(), "budget {budget:?}: {:?}", report.violations);
+            assert!(
+                report.is_valid(),
+                "budget {budget:?}: {:?}",
+                report.violations
+            );
         }
     }
 
@@ -354,14 +361,11 @@ mod tests {
             .unwrap()
             .with_policy(SelectionPolicy::Portfolio);
         let budgets = vec![AntennaBudget::new(3, 0.0), AntennaBudget::new(2, PI)];
-        let best = BatchOrienter::from_instance(batch.instance().clone())
-            .orient_budgets(&budgets);
+        let best = BatchOrienter::from_instance(batch.instance().clone()).orient_budgets(&budgets);
         for (portfolio, best) in batch.orient_budgets(&budgets).into_iter().zip(best) {
             let (portfolio, best) = (portfolio.unwrap(), best.unwrap());
             assert!(portfolio.candidates.len() > 1);
-            assert!(
-                portfolio.measured_radius_over_lmax <= best.measured_radius_over_lmax + 1e-12
-            );
+            assert!(portfolio.measured_radius_over_lmax <= best.measured_radius_over_lmax + 1e-12);
         }
     }
 
@@ -417,7 +421,9 @@ mod tests {
             .map(|seed| Instance::new(random_points(25, 20 + seed)).unwrap())
             .collect();
         let budget = AntennaBudget::new(3, 0.0);
-        let outcomes = InstanceBatch::new(&instances).with_threads(4).orient(budget);
+        let outcomes = InstanceBatch::new(&instances)
+            .with_threads(4)
+            .orient(budget);
         assert_eq!(outcomes.len(), instances.len());
         for (instance, outcome) in instances.iter().zip(outcomes) {
             let outcome = outcome.unwrap();
@@ -434,7 +440,9 @@ mod tests {
             .collect();
         let budget = AntennaBudget::new(2, PI);
         let shim = BatchOrienter::orient_instances(&instances, budget, 2);
-        let batch = InstanceBatch::new(&instances).with_threads(2).orient(budget);
+        let batch = InstanceBatch::new(&instances)
+            .with_threads(2)
+            .orient(budget);
         for (s, b) in shim.iter().zip(batch.iter()) {
             let (s, b) = (s.as_ref().unwrap(), b.as_ref().unwrap());
             assert_eq!(s.algorithm, b.algorithm);

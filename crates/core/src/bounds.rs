@@ -113,9 +113,9 @@ pub fn table1_radius(k: usize, phi: f64) -> Option<f64> {
     if !(1..=5).contains(&k) {
         return None;
     }
-    (1..=k).filter_map(|k_used| table1_row_radius(k_used, phi)).fold(None, |acc, r| {
-        Some(acc.map_or(r, |a: f64| a.min(r)))
-    })
+    (1..=k)
+        .filter_map(|k_used| table1_row_radius(k_used, phi))
+        .fold(None, |acc, r| Some(acc.map_or(r, |a: f64| a.min(r))))
 }
 
 /// The radius bound of the Table 1 rows for exactly `k` antennae with spread

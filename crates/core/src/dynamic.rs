@@ -1,0 +1,738 @@
+//! Dynamic instances: incremental edits with solver and verifier reuse.
+//!
+//! Every other entry point in this crate assumes a *static* deployment; the
+//! paper's target — ad-hoc sensor networks — is defined by churn.  This
+//! module is the dynamic front door:
+//!
+//! * [`DynamicInstance`] wraps the incrementally maintained degree-5
+//!   Euclidean MST ([`antennae_graph::dynamic::DynamicEmst`]: buffered
+//!   kd-tree edits, Kruskal-merge inserts, localized Borůvka removal
+//!   repair) and materializes a regular [`Instance`] on demand — live slots
+//!   in ascending order, the maintained tree handed over without a rebuild.
+//! * [`DynamicSolverSession`] owns a dynamic instance plus one budget and
+//!   keeps the orientation scheme, the induced digraph and the verification
+//!   verdict continuously up to date across edits.  When the budget admits
+//!   the Theorem 2 construction (whose per-vertex Lemma 1 orientation is
+//!   purely local), re-orientation touches only the sensors whose tree
+//!   neighborhood changed; the induced digraph is repaired row-wise (dirty
+//!   rows = re-oriented sensors plus every sensor whose coverage ball
+//!   contains an edited location, found through the shared spatial index);
+//!   strong connectivity is then re-checked on the repaired CSR.
+//!
+//! The correctness story mirrors the earlier engines: the dynamic path is a
+//! *different route to the same values*.  After every edit, the maintained
+//! MST has the same weight and `lmax` as a from-scratch build, the scheme
+//! equals a full re-orientation on the materialized instance, the digraph
+//! equals the verification engine's from-scratch construction, and the
+//! report equals a fresh [`crate::verify::verify_with_budget`] — all pinned
+//! by the edit-script oracle suite in `tests/dynamic_oracle.rs`.
+
+use crate::algorithms::lemma1::orient_node;
+use crate::algorithms::AlgorithmKind;
+use crate::antenna::{AntennaBudget, SensorAssignment};
+use crate::error::OrientError;
+use crate::instance::Instance;
+use crate::scheme::OrientationScheme;
+use crate::solver::{Orienter, SelectionPolicy, Solver, Theorem2Orienter};
+use crate::verify::{report_from_digraph, VerificationReport};
+use antennae_geometry::{Point, EPS};
+use antennae_graph::dynamic::{DynamicEmst, DynamicEmstError};
+use antennae_graph::DiGraph;
+
+/// Stable identifier of a sensor inside a [`DynamicInstance`].
+///
+/// Ids are assigned monotonically by [`DynamicInstance::insert`] (the
+/// initial deployment gets `0..n`) and never reused; a removed id stays dead
+/// forever.  Ids are *not* the indices of the materialized [`Instance`] —
+/// the dense index of a live id is its rank among the live ids.
+pub type SensorId = usize;
+
+fn map_emst_error(e: DynamicEmstError) -> OrientError {
+    match e {
+        DynamicEmstError::UnknownSlot(id) => OrientError::UnknownSensor { id },
+        DynamicEmstError::WouldBeEmpty => OrientError::EmptyInstance,
+    }
+}
+
+/// A sensor deployment under churn: accepts insert/remove/move edits while
+/// incrementally maintaining the kd-tree, the Euclidean MST and `lmax`, and
+/// the cached materialized [`Instance`] (with its lazily rooted tree).
+///
+/// # Examples
+///
+/// ```
+/// use antennae_core::dynamic::DynamicInstance;
+/// use antennae_geometry::Point;
+///
+/// let mut deployment = DynamicInstance::new(&[
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 0.0),
+///     Point::new(2.0, 0.0),
+/// ])?;
+/// let id = deployment.insert(Point::new(3.0, 0.0));
+/// deployment.move_sensor(id, Point::new(3.0, 1.0))?;
+/// deployment.remove(0)?;
+/// assert_eq!(deployment.len(), 3);
+/// // The materialized instance is a regular `Instance` over the live set.
+/// assert_eq!(deployment.instance()?.len(), 3);
+/// # Ok::<(), antennae_core::error::OrientError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicInstance {
+    emst: DynamicEmst,
+    /// Materialized dense instance (invalidated by every edit).
+    cache: Option<Instance>,
+    /// Live ids in ascending order, aligned with the cached instance.
+    live_ids: Vec<SensorId>,
+    /// id → dense index in the cached instance (`u32::MAX` when dead).
+    dense_of_id: Vec<u32>,
+}
+
+impl DynamicInstance {
+    /// Builds a dynamic instance over an initial deployment; sensor `i` of
+    /// `points` gets id `i`.
+    pub fn new(points: &[Point]) -> Result<Self, OrientError> {
+        if points.is_empty() {
+            return Err(OrientError::EmptyInstance);
+        }
+        let emst =
+            DynamicEmst::new(points).map_err(|e| OrientError::MstConstruction(e.to_string()))?;
+        Ok(DynamicInstance {
+            emst,
+            cache: None,
+            live_ids: Vec::new(),
+            dense_of_id: Vec::new(),
+        })
+    }
+
+    /// Number of live sensors.
+    pub fn len(&self) -> usize {
+        self.emst.live_count()
+    }
+
+    /// Returns `true` when no sensor is live (unreachable through the public
+    /// API, which refuses to drain the last sensor).
+    pub fn is_empty(&self) -> bool {
+        self.emst.live_count() == 0
+    }
+
+    /// Returns `true` when `id` names a live sensor.
+    pub fn is_alive(&self, id: SensorId) -> bool {
+        self.emst.is_alive(id)
+    }
+
+    /// The live sensor ids in ascending order (the materialized instance's
+    /// dense index order).
+    pub fn ids(&self) -> Vec<SensorId> {
+        self.emst.live_slots()
+    }
+
+    /// The location of a live sensor.
+    pub fn point(&self, id: SensorId) -> Result<Point, OrientError> {
+        if !self.emst.is_alive(id) {
+            return Err(OrientError::UnknownSensor { id });
+        }
+        Ok(self.emst.point(id))
+    }
+
+    /// The longest MST edge over the live deployment.
+    pub fn lmax(&self) -> f64 {
+        self.emst.lmax()
+    }
+
+    /// Total weight of the maintained MST.
+    pub fn mst_total_weight(&self) -> f64 {
+        self.emst.total_weight()
+    }
+
+    /// Ids whose MST neighborhood changed in the most recent edit.
+    pub fn changed_ids(&self) -> &[SensorId] {
+        self.emst.changed_slots()
+    }
+
+    /// The underlying incremental MST engine (spatial index included).
+    pub fn emst(&self) -> &DynamicEmst {
+        &self.emst
+    }
+
+    /// Inserts a sensor, returning its id.
+    pub fn insert(&mut self, p: Point) -> SensorId {
+        self.cache = None;
+        self.emst.insert(p)
+    }
+
+    /// Removes a live sensor (the last live sensor cannot be removed).
+    pub fn remove(&mut self, id: SensorId) -> Result<(), OrientError> {
+        self.cache = None;
+        self.emst.remove(id).map_err(map_emst_error)
+    }
+
+    /// Moves a live sensor to a new location (id is preserved).
+    pub fn move_sensor(&mut self, id: SensorId, p: Point) -> Result<(), OrientError> {
+        self.cache = None;
+        self.emst.move_to(id, p).map_err(map_emst_error)
+    }
+
+    /// The dense index of a live id in the materialized instance.  Only
+    /// valid after [`DynamicInstance::instance`] since the last edit.
+    fn dense_of(&self, id: SensorId) -> u32 {
+        self.dense_of_id[id]
+    }
+
+    /// Materializes (and caches) the live deployment as a regular
+    /// [`Instance`]: live ids ascending, the maintained MST handed over
+    /// without a rebuild, the rooted view re-derived lazily as usual.
+    pub fn instance(&mut self) -> Result<&Instance, OrientError> {
+        if self.cache.is_none() {
+            let mst = self
+                .emst
+                .materialize()
+                .map_err(|e| OrientError::MstConstruction(e.to_string()))?;
+            self.live_ids = self.emst.live_slots();
+            self.dense_of_id = vec![u32::MAX; self.live_ids.last().map_or(0, |&s| s + 1)];
+            for (dense, &id) in self.live_ids.iter().enumerate() {
+                self.dense_of_id[id] = dense as u32;
+            }
+            let points = mst.points().to_vec();
+            self.cache = Some(Instance::from_prebuilt(points, mst));
+        }
+        Ok(self.cache.as_ref().expect("cache was just filled"))
+    }
+}
+
+/// One edit applied to a [`DynamicSolverSession`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Edit {
+    /// A sensor arrives at the given location.
+    Insert(Point),
+    /// The sensor with the given id fails.
+    Remove(SensorId),
+    /// The sensor with the given id moves to the given location.
+    Move(SensorId, Point),
+}
+
+/// What one [`DynamicSolverSession::apply`] did: the refreshed verdict plus
+/// the incrementality counters the churn experiment records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EditOutcome {
+    /// The id the edit referenced (the fresh id for an insert).
+    pub id: SensorId,
+    /// The construction that produced the current scheme.
+    pub algorithm: AlgorithmKind,
+    /// Whether re-orientation took the incremental per-vertex path (`false`
+    /// means a full solve on the materialized instance).
+    pub incremental_orientation: bool,
+    /// Sensors whose MST neighborhood changed (and were re-oriented on the
+    /// incremental path).
+    pub mst_changed: usize,
+    /// Induced-digraph rows recomputed by the verification repair.
+    pub rows_recomputed: usize,
+    /// The verification verdict for the refreshed scheme under the
+    /// session's budget.
+    pub report: VerificationReport,
+    /// The refreshed scheme's measured max radius in units of `lmax`.
+    pub measured_radius_over_lmax: f64,
+}
+
+/// A solver+verifier session over a [`DynamicInstance`]: one budget, a
+/// continuously maintained orientation scheme, induced digraph and
+/// verification verdict.
+///
+/// When the budget admits Theorem 2 (`φ_k ≥ 2π(5−k)/5` — exactly the regime
+/// where the registry's best guarantee *is* Theorem 2), the session
+/// re-orients incrementally: only sensors whose MST neighborhood changed get
+/// a fresh per-vertex Lemma 1 orientation, and only digraph rows that could
+/// have changed are recomputed.  Other budgets fall back to a full
+/// [`Solver`] run per edit, still reusing the incrementally maintained MST
+/// substrate and spatial index.
+///
+/// # Examples
+///
+/// ```
+/// use antennae_core::antenna::AntennaBudget;
+/// use antennae_core::bounds::theorem2_spread_threshold;
+/// use antennae_core::dynamic::{DynamicInstance, DynamicSolverSession, Edit};
+/// use antennae_geometry::Point;
+///
+/// let deployment = DynamicInstance::new(&[
+///     Point::new(0.0, 0.0),
+///     Point::new(1.0, 0.1),
+///     Point::new(2.0, 0.3),
+///     Point::new(1.1, 1.2),
+/// ])?;
+/// let budget = AntennaBudget::new(2, theorem2_spread_threshold(2));
+/// let mut session = DynamicSolverSession::new(deployment, budget)?;
+/// assert!(session.report().is_valid());
+///
+/// let outcome = session.apply(Edit::Insert(Point::new(0.5, 0.8)))?;
+/// assert!(outcome.incremental_orientation);
+/// assert!(outcome.report.is_strongly_connected);
+/// # Ok::<(), antennae_core::error::OrientError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DynamicSolverSession {
+    inst: DynamicInstance,
+    budget: AntennaBudget,
+    /// `true` when the session runs the incremental Theorem 2 path.
+    incremental: bool,
+    algorithm: AlgorithmKind,
+    /// Per-id assignments (dead ids hold empty assignments).
+    assignments: Vec<SensorAssignment>,
+    /// Per-id induced-digraph rows, targets in id space, ascending.
+    rows: Vec<Vec<u32>>,
+    /// Largest antenna radius across all live assignments.
+    max_radius: f64,
+    scheme: OrientationScheme,
+    digraph: DiGraph,
+    report: VerificationReport,
+    /// Scratch buffers for the row queries (allocation-free steady state).
+    scratch: Vec<usize>,
+    row_buf: Vec<usize>,
+}
+
+impl DynamicSolverSession {
+    /// Opens a session: solves and verifies the initial deployment under
+    /// `budget` and keeps the state warm for [`DynamicSolverSession::apply`].
+    pub fn new(inst: DynamicInstance, budget: AntennaBudget) -> Result<Self, OrientError> {
+        let incremental = Theorem2Orienter.applicability(&budget).is_some();
+        let mut session = DynamicSolverSession {
+            inst,
+            budget,
+            incremental,
+            algorithm: AlgorithmKind::Theorem2,
+            assignments: Vec::new(),
+            rows: Vec::new(),
+            max_radius: 0.0,
+            scheme: OrientationScheme::empty(0),
+            digraph: DiGraph::from_edges(0, &[]),
+            report: VerificationReport {
+                is_strongly_connected: true,
+                scc_count: 0,
+                edge_count: 0,
+                max_radius: 0.0,
+                max_radius_over_lmax: 0.0,
+                max_spread_sum: 0.0,
+                max_antenna_count: 0,
+                violations: Vec::new(),
+            },
+            scratch: Vec::new(),
+            row_buf: Vec::new(),
+        };
+        session.reorient_full()?;
+        let all: Vec<SensorId> = session.inst.ids();
+        session.recompute_rows(&all);
+        session.refresh_verdict()?;
+        Ok(session)
+    }
+
+    /// The session's budget.
+    pub fn budget(&self) -> AntennaBudget {
+        self.budget
+    }
+
+    /// Returns `true` when the session re-orients incrementally (Theorem 2
+    /// regime).
+    pub fn is_incremental(&self) -> bool {
+        self.incremental
+    }
+
+    /// The dynamic instance (read-only; edits go through
+    /// [`DynamicSolverSession::apply`] so the cached state stays in sync).
+    pub fn instance(&self) -> &DynamicInstance {
+        &self.inst
+    }
+
+    /// The materialized static instance for the current live deployment.
+    pub fn materialized(&mut self) -> Result<&Instance, OrientError> {
+        self.inst.instance()
+    }
+
+    /// The current orientation scheme (dense, aligned with
+    /// [`DynamicSolverSession::materialized`]).
+    pub fn scheme(&self) -> &OrientationScheme {
+        &self.scheme
+    }
+
+    /// The current induced communication digraph (dense).
+    pub fn digraph(&self) -> &DiGraph {
+        &self.digraph
+    }
+
+    /// The current verification verdict.
+    pub fn report(&self) -> &VerificationReport {
+        &self.report
+    }
+
+    /// Applies one edit: updates the MST substrate, re-orients (incrementally
+    /// in the Theorem 2 regime), repairs the induced digraph row-wise and
+    /// re-checks strong connectivity.
+    pub fn apply(&mut self, edit: Edit) -> Result<EditOutcome, OrientError> {
+        // Edited locations drive the reverse row-repair queries below.
+        let mut edited_positions: Vec<Point> = Vec::with_capacity(2);
+        let id = match edit {
+            Edit::Insert(p) => {
+                edited_positions.push(p);
+                self.inst.insert(p)
+            }
+            Edit::Remove(id) => {
+                edited_positions.push(self.inst.point(id)?);
+                self.inst.remove(id)?;
+                id
+            }
+            Edit::Move(id, p) => {
+                edited_positions.push(self.inst.point(id)?);
+                edited_positions.push(p);
+                self.inst.move_sensor(id, p)?;
+                id
+            }
+        };
+        let changed: Vec<SensorId> = self.inst.changed_ids().to_vec();
+        let old_max_radius = self.max_radius;
+
+        // Re-orient.
+        let (mst_changed, reoriented_all) = if self.incremental {
+            self.grow_id_tables();
+            if !self.inst.is_alive(id) {
+                self.assignments[id] = SensorAssignment::empty();
+            }
+            for &slot in &changed {
+                self.assignments[slot] = self.orient_one(slot);
+            }
+            self.refresh_max_radius();
+            (changed.len(), false)
+        } else {
+            self.reorient_full()?;
+            (changed.len(), true)
+        };
+
+        // Repair the induced digraph: dirty rows are the re-oriented sensors
+        // plus every sensor whose coverage ball contains an edited location.
+        let dirty: Vec<SensorId> = if reoriented_all {
+            self.inst.ids()
+        } else {
+            let reverse_radius = self.max_radius.max(old_max_radius) + EPS;
+            let mut dirty = changed;
+            let mut hits = Vec::new();
+            for p in &edited_positions {
+                self.inst.emst().kd().within_radius_with(
+                    p,
+                    reverse_radius,
+                    &mut self.scratch,
+                    &mut hits,
+                );
+                dirty.extend_from_slice(&hits);
+            }
+            dirty.sort_unstable();
+            dirty.dedup();
+            dirty.retain(|&s| self.inst.is_alive(s));
+            dirty
+        };
+        if !self.inst.is_alive(id) {
+            if let Some(row) = self.rows.get_mut(id) {
+                row.clear();
+            }
+        }
+        self.recompute_rows(&dirty);
+        self.refresh_verdict()?;
+
+        Ok(EditOutcome {
+            id,
+            algorithm: self.algorithm,
+            incremental_orientation: !reoriented_all,
+            mst_changed,
+            rows_recomputed: dirty.len(),
+            report: self.report.clone(),
+            measured_radius_over_lmax: self.report.max_radius_over_lmax,
+        })
+    }
+
+    /// Grows the per-id tables to cover freshly assigned ids.
+    fn grow_id_tables(&mut self) {
+        let slots = self
+            .inst
+            .ids()
+            .last()
+            .map_or(0, |&s| s + 1)
+            .max(self.assignments.len());
+        self.assignments.resize(slots, SensorAssignment::empty());
+        self.rows.resize(slots, Vec::new());
+    }
+
+    /// The per-vertex Theorem 2 orientation of one live sensor: Lemma 1 over
+    /// its current MST neighbours (ascending id order — the same neighbour
+    /// order the materialized instance presents to a full re-orientation).
+    fn orient_one(&self, id: SensorId) -> SensorAssignment {
+        let apex = self.inst.emst().point(id);
+        let neighbors: Vec<Point> = self
+            .inst
+            .emst()
+            .neighbors(id)
+            .iter()
+            .map(|&(u, _)| self.inst.emst().point(u))
+            .collect();
+        SensorAssignment::new(orient_node(&apex, &neighbors, self.budget.k))
+    }
+
+    /// Full re-orientation: the incremental path rebuilds every per-vertex
+    /// assignment (initial solve), the fallback path runs the policy solver
+    /// on the materialized instance and scatters the dense scheme back into
+    /// id space.
+    fn reorient_full(&mut self) -> Result<(), OrientError> {
+        self.grow_id_tables();
+        for a in &mut self.assignments {
+            *a = SensorAssignment::empty();
+        }
+        if self.incremental {
+            self.algorithm = AlgorithmKind::Theorem2;
+            for id in self.inst.ids() {
+                self.assignments[id] = self.orient_one(id);
+            }
+        } else {
+            let budget = self.budget;
+            let outcome = {
+                let instance = self.inst.instance()?;
+                Solver::on(instance)
+                    .with_budget(budget)
+                    .policy(SelectionPolicy::BestGuarantee)
+                    .run()?
+            };
+            self.algorithm = outcome.algorithm;
+            for (dense, id) in self.inst.ids().into_iter().enumerate() {
+                self.assignments[id] = outcome.scheme.assignments[dense].clone();
+            }
+        }
+        self.refresh_max_radius();
+        Ok(())
+    }
+
+    fn refresh_max_radius(&mut self) {
+        self.max_radius = self
+            .inst
+            .ids()
+            .into_iter()
+            .map(|id| self.assignments[id].max_radius())
+            .fold(0.0, f64::max);
+    }
+
+    /// Recomputes the induced-digraph rows of `ids` (live, id space): one
+    /// bounded range query against the shared spatial index, then the exact
+    /// sector filter — the same candidate-superset contract as the static
+    /// verification engine, so the assembled rows are bit-identical to a
+    /// from-scratch rebuild.
+    fn recompute_rows(&mut self, ids: &[SensorId]) {
+        self.grow_id_tables();
+        for &u in ids {
+            debug_assert!(self.inst.is_alive(u));
+            let assignment = std::mem::take(&mut self.assignments[u]);
+            let apex = self.inst.emst().point(u);
+            self.inst.emst().kd().within_radius_with(
+                &apex,
+                assignment.max_radius() + EPS,
+                &mut self.scratch,
+                &mut self.row_buf,
+            );
+            let row = &mut self.rows[u];
+            row.clear();
+            for &v in self.row_buf.iter() {
+                if v != u && assignment.covers(&apex, &self.inst.emst().point(v)) {
+                    row.push(v as u32);
+                }
+            }
+            self.assignments[u] = assignment;
+        }
+    }
+
+    /// Rebuilds the dense scheme + digraph from the id-space state and
+    /// refreshes the verification verdict.
+    fn refresh_verdict(&mut self) -> Result<(), OrientError> {
+        let ids = self.inst.ids();
+        self.inst.instance()?;
+        let assignments: Vec<SensorAssignment> =
+            ids.iter().map(|&id| self.assignments[id].clone()).collect();
+        self.scheme = OrientationScheme::new(assignments);
+        // Id → dense is monotone over ascending live ids, so the ascending
+        // id-space rows map to ascending dense rows.
+        self.digraph = DiGraph::from_adjacency(
+            ids.len(),
+            ids.iter().map(|&u| {
+                self.rows[u]
+                    .iter()
+                    .map(|&v| self.inst.dense_of(v as usize) as usize)
+            }),
+        );
+        let instance = self.inst.cache.as_ref().expect("materialized above");
+        self.report = report_from_digraph(instance, &self.scheme, Some(self.budget), &self.digraph);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bounds::theorem2_spread_threshold;
+    use crate::verify::{verify_with_budget, DigraphStrategy, VerificationEngine};
+    use antennae_geometry::PI;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..10.0), rng.random_range(0.0..10.0)))
+            .collect()
+    }
+
+    /// The session's scheme, digraph and report must equal the from-scratch
+    /// static pipeline on the materialized instance.
+    fn assert_matches_static(session: &mut DynamicSolverSession) {
+        let budget = session.budget();
+        let scheme = session.scheme().clone();
+        let digraph = session.digraph().clone();
+        let report = session.report().clone();
+        let instance = session.materialized().unwrap().clone();
+        let dense = VerificationEngine::new()
+            .with_strategy(DigraphStrategy::Dense)
+            .induced_digraph(instance.points(), &scheme);
+        assert_eq!(digraph, dense, "digraph diverged from static rebuild");
+        let fresh = verify_with_budget(&instance, &scheme, Some(budget));
+        assert_eq!(report, fresh, "report diverged from static verify");
+        if session.is_incremental() {
+            let full = crate::algorithms::theorem2::orient_theorem2(&instance, budget.k).unwrap();
+            assert_eq!(scheme, full, "incremental scheme diverged from full orient");
+        }
+    }
+
+    #[test]
+    fn incremental_session_tracks_static_pipeline() {
+        let budget = AntennaBudget::new(2, theorem2_spread_threshold(2));
+        let inst = DynamicInstance::new(&random_points(40, 1)).unwrap();
+        let mut session = DynamicSolverSession::new(inst, budget).unwrap();
+        assert!(session.is_incremental());
+        assert!(session.report().is_valid());
+        assert_matches_static(&mut session);
+
+        let mut rng = StdRng::seed_from_u64(7);
+        for step in 0..30 {
+            let edit = match step % 3 {
+                0 => Edit::Insert(Point::new(
+                    rng.random_range(0.0..10.0),
+                    rng.random_range(0.0..10.0),
+                )),
+                1 => {
+                    let ids = session.instance().ids();
+                    Edit::Remove(ids[rng.random_range(0..ids.len())])
+                }
+                _ => {
+                    let ids = session.instance().ids();
+                    Edit::Move(
+                        ids[rng.random_range(0..ids.len())],
+                        Point::new(rng.random_range(0.0..10.0), rng.random_range(0.0..10.0)),
+                    )
+                }
+            };
+            let outcome = session.apply(edit).unwrap();
+            assert!(outcome.incremental_orientation);
+            assert_eq!(outcome.algorithm, AlgorithmKind::Theorem2);
+            assert!(
+                outcome.report.is_valid(),
+                "step {step}: {:?}",
+                outcome.report
+            );
+            assert_matches_static(&mut session);
+        }
+    }
+
+    #[test]
+    fn incremental_edits_touch_few_rows_on_a_path() {
+        // A long path: one interior move must not re-verify the far ends.
+        let pts: Vec<Point> = (0..200).map(|i| Point::new(i as f64, 0.0)).collect();
+        let inst = DynamicInstance::new(&pts).unwrap();
+        let budget = AntennaBudget::new(3, theorem2_spread_threshold(3));
+        let mut session = DynamicSolverSession::new(inst, budget).unwrap();
+        let outcome = session
+            .apply(Edit::Move(100, Point::new(100.0, 0.2)))
+            .unwrap();
+        assert!(outcome.incremental_orientation);
+        assert!(
+            outcome.rows_recomputed < 20,
+            "rows_recomputed = {} is not local",
+            outcome.rows_recomputed
+        );
+        assert!(outcome.report.is_valid());
+        assert_matches_static(&mut session);
+    }
+
+    #[test]
+    fn fallback_session_uses_the_policy_solver() {
+        // (2, π) admits Theorem 3 but not Theorem 2 → full-solve fallback.
+        let inst = DynamicInstance::new(&random_points(25, 3)).unwrap();
+        let mut session = DynamicSolverSession::new(inst, AntennaBudget::new(2, PI)).unwrap();
+        assert!(!session.is_incremental());
+        assert_eq!(session.report().violations, vec![]);
+        assert_matches_static(&mut session);
+        let outcome = session.apply(Edit::Insert(Point::new(5.0, 5.0))).unwrap();
+        assert!(!outcome.incremental_orientation);
+        assert_eq!(outcome.algorithm, AlgorithmKind::Theorem3);
+        assert!(outcome.report.is_valid());
+        assert_matches_static(&mut session);
+    }
+
+    #[test]
+    fn drain_to_one_sensor_and_regrow() {
+        let inst = DynamicInstance::new(&random_points(6, 4)).unwrap();
+        let budget = AntennaBudget::new(1, theorem2_spread_threshold(1));
+        let mut session = DynamicSolverSession::new(inst, budget).unwrap();
+        while session.instance().len() > 1 {
+            let victim = session.instance().ids()[0];
+            let outcome = session.apply(Edit::Remove(victim)).unwrap();
+            assert!(outcome.report.is_valid());
+            assert_matches_static(&mut session);
+        }
+        // A single live sensor is trivially strongly connected…
+        assert!(session.report().is_strongly_connected);
+        assert_eq!(session.instance().lmax(), 0.0);
+        // …and the last one cannot be removed.
+        let last = session.instance().ids()[0];
+        assert!(matches!(
+            session.apply(Edit::Remove(last)),
+            Err(OrientError::EmptyInstance)
+        ));
+        // Regrowing works.
+        let outcome = session.apply(Edit::Insert(Point::new(1.0, 2.0))).unwrap();
+        assert!(outcome.report.is_valid());
+        assert_matches_static(&mut session);
+    }
+
+    #[test]
+    fn dead_ids_are_rejected() {
+        let inst = DynamicInstance::new(&random_points(5, 5)).unwrap();
+        let budget = AntennaBudget::new(2, theorem2_spread_threshold(2));
+        let mut session = DynamicSolverSession::new(inst, budget).unwrap();
+        session.apply(Edit::Remove(2)).unwrap();
+        assert!(matches!(
+            session.apply(Edit::Remove(2)),
+            Err(OrientError::UnknownSensor { id: 2 })
+        ));
+        assert!(matches!(
+            session.apply(Edit::Move(2, Point::ORIGIN)),
+            Err(OrientError::UnknownSensor { id: 2 })
+        ));
+        // The session state is still consistent after the rejected edits.
+        assert_matches_static(&mut session);
+    }
+
+    #[test]
+    fn duplicate_point_edits_stay_consistent() {
+        let inst = DynamicInstance::new(&[Point::new(0.0, 0.0), Point::new(1.0, 0.0)]).unwrap();
+        let budget = AntennaBudget::new(2, theorem2_spread_threshold(2));
+        let mut session = DynamicSolverSession::new(inst, budget).unwrap();
+        let dup = session.apply(Edit::Insert(Point::new(1.0, 0.0))).unwrap();
+        assert!(dup.report.is_valid());
+        assert_matches_static(&mut session);
+        let moved = session
+            .apply(Edit::Move(dup.id, Point::new(0.0, 0.0)))
+            .unwrap();
+        assert!(moved.report.is_valid());
+        assert_matches_static(&mut session);
+    }
+}

@@ -53,6 +53,12 @@ pub enum OrientError {
         /// The requested spread budget in radians.
         phi: f64,
     },
+    /// A dynamic-instance edit referenced a sensor id that is not live
+    /// (never assigned, or already removed).
+    UnknownSensor {
+        /// The offending sensor id.
+        id: usize,
+    },
     /// An internal invariant was violated (reported with context).
     Internal(String),
 }
@@ -85,6 +91,9 @@ impl std::fmt::Display for OrientError {
                 "algorithm {algorithm} is not registered or not applicable to the budget \
                  (k = {k}, φ = {phi:.4} rad)"
             ),
+            OrientError::UnknownSensor { id } => {
+                write!(f, "sensor id {id} is not live in the dynamic instance")
+            }
             OrientError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -118,8 +127,14 @@ mod tests {
         };
         assert!(e.to_string().contains("theorem3"));
         assert!(e.to_string().contains("k = 4"));
-        assert!(OrientError::EmptyInstance.to_string().contains("no sensors"));
-        assert!(OrientError::MstConstruction("x".into()).to_string().contains('x'));
-        assert!(OrientError::Internal("boom".into()).to_string().contains("boom"));
+        assert!(OrientError::EmptyInstance
+            .to_string()
+            .contains("no sensors"));
+        assert!(OrientError::MstConstruction("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(OrientError::Internal("boom".into())
+            .to_string()
+            .contains("boom"));
     }
 }

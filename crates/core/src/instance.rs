@@ -47,6 +47,17 @@ impl Instance {
         })
     }
 
+    /// Wraps an already-built MST substrate without re-running an engine —
+    /// the materialization hook of [`crate::dynamic::DynamicInstance`],
+    /// whose incrementally maintained tree is handed over as-is.
+    pub(crate) fn from_prebuilt(points: Vec<Point>, mst: EuclideanMst) -> Self {
+        Instance {
+            points,
+            mst,
+            rooted: OnceLock::new(),
+        }
+    }
+
     /// Number of sensors.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -132,7 +143,10 @@ mod tests {
 
     #[test]
     fn empty_point_set_is_rejected() {
-        assert!(matches!(Instance::new(vec![]), Err(OrientError::EmptyInstance)));
+        assert!(matches!(
+            Instance::new(vec![]),
+            Err(OrientError::EmptyInstance)
+        ));
     }
 
     #[test]

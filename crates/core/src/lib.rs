@@ -50,6 +50,12 @@
 //! For whole budget grids or fleets of deployments, [`batch::BatchOrienter`]
 //! and [`batch::InstanceBatch`] share MST substrates across every solve and
 //! fan the work out over the order-preserving [`parallel::parallel_map`].
+//!
+//! Deployments under churn go through [`dynamic::DynamicInstance`] and
+//! [`dynamic::DynamicSolverSession`]: insert/remove/move edits incrementally
+//! maintain the spatial index, the MST, the orientation scheme and the
+//! verification verdict, with every layer oracle-tested against the
+//! from-scratch pipeline.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -58,6 +64,7 @@ pub mod algorithms;
 pub mod antenna;
 pub mod batch;
 pub mod bounds;
+pub mod dynamic;
 pub mod error;
 pub mod instance;
 pub mod parallel;
@@ -67,11 +74,12 @@ pub mod verify;
 
 pub use antenna::{Antenna, AntennaBudget, SensorAssignment};
 pub use batch::{BatchOrienter, InstanceBatch};
+pub use dynamic::{DynamicInstance, DynamicSolverSession, Edit, EditOutcome};
 pub use error::OrientError;
 pub use instance::Instance;
 pub use scheme::OrientationScheme;
 pub use solver::{
-    Guarantee, Orienter, OrientationOutcome, Registry, SelectionPolicy, Solver, VerifiedOutcome,
+    Guarantee, OrientationOutcome, Orienter, Registry, SelectionPolicy, Solver, VerifiedOutcome,
 };
 pub use verify::{
     verify, DigraphStrategy, VerificationEngine, VerificationReport, VerificationSession,

@@ -49,8 +49,7 @@
 mod orienters;
 
 pub use orienters::{
-    ChainsOrienter, HamiltonianOrienter, OneAntennaWideOrienter, Theorem2Orienter,
-    Theorem3Orienter,
+    ChainsOrienter, HamiltonianOrienter, OneAntennaWideOrienter, Theorem2Orienter, Theorem3Orienter,
 };
 
 use crate::algorithms::AlgorithmKind;
@@ -133,7 +132,9 @@ pub struct Registry {
 
 impl std::fmt::Debug for Registry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Registry").field("kinds", &self.kinds()).finish()
+        f.debug_struct("Registry")
+            .field("kinds", &self.kinds())
+            .finish()
     }
 }
 
@@ -771,14 +772,14 @@ mod tests {
                 AlgorithmKind::Hamiltonian,
             ]
         );
-        assert_eq!(
-            outcome.candidates.iter().filter(|c| c.selected).count(),
-            1
-        );
+        assert_eq!(outcome.candidates.iter().filter(|c| c.selected).count(), 1);
         // Every candidate respects the budget it was solved under (all
         // portfolio candidates carry their scheme).
         for candidate in &outcome.candidates {
-            let scheme = candidate.scheme.as_ref().expect("portfolio candidate scheme");
+            let scheme = candidate
+                .scheme
+                .as_ref()
+                .expect("portfolio candidate scheme");
             let report = verify_with_budget(&instance, scheme, Some(budget));
             assert!(
                 report.is_valid(),
@@ -943,7 +944,12 @@ mod tests {
             .iter()
             .zip(&verified.candidate_reports)
         {
-            assert!(report.is_valid(), "{}: {:?}", candidate.algorithm, report.violations);
+            assert!(
+                report.is_valid(),
+                "{}: {:?}",
+                candidate.algorithm,
+                report.violations
+            );
             let scheme = candidate.scheme.as_ref().unwrap();
             assert_eq!(
                 *report,

@@ -74,8 +74,8 @@ impl Orienter for Theorem3Orienter {
         // construction run under a sliver budget satisfies the threshold
         // bound.)
         let phi = budget.phi.max(threshold);
-        let bound = theorem3::guaranteed_radius(phi)
-            .expect("phi clamped into the Theorem 3 regime");
+        let bound =
+            theorem3::guaranteed_radius(phi).expect("phi clamped into the Theorem 3 regime");
         Some(Guarantee::proven(bound))
     }
 
@@ -242,7 +242,9 @@ mod tests {
     fn theorem3_applies_to_exactly_its_table1_row() {
         let o = Theorem3Orienter;
         assert!(o.applicability(&AntennaBudget::new(2, PI)).is_some());
-        assert!(o.applicability(&AntennaBudget::new(2, 2.0 * PI / 3.0)).is_some());
+        assert!(o
+            .applicability(&AntennaBudget::new(2, 2.0 * PI / 3.0))
+            .is_some());
         assert!(o.applicability(&AntennaBudget::new(2, 1.0)).is_none());
         // k ≠ 2 budgets are covered by other rows (keeps BestGuarantee
         // identical to the legacy dispatcher).

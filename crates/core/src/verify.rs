@@ -411,9 +411,7 @@ impl VerificationSession<'_> {
         let sequential = self.engine.with_threads(1);
         parallel_map(schemes, self.engine.threads, |scheme| {
             let digraph = match &self.tree {
-                Some(tree) => {
-                    sequential.kd_induced_digraph(self.instance.points(), scheme, tree)
-                }
+                Some(tree) => sequential.kd_induced_digraph(self.instance.points(), scheme, tree),
                 None => scheme.induced_digraph(self.instance.points()),
             };
             report_from_digraph(self.instance, scheme, budget, &digraph)
@@ -422,8 +420,9 @@ impl VerificationSession<'_> {
 }
 
 /// Assembles a [`VerificationReport`] from an already-built induced digraph
-/// — the shared back half of every verification path.
-fn report_from_digraph(
+/// — the shared back half of every verification path (including the
+/// incrementally maintained digraph in [`crate::dynamic`]).
+pub(crate) fn report_from_digraph(
     instance: &Instance,
     scheme: &OrientationScheme,
     budget: Option<AntennaBudget>,
@@ -628,10 +627,13 @@ mod tests {
         let instance = line_instance();
         let scheme = OrientationScheme::empty(1);
         let report = verify(&instance, &scheme);
-        assert!(report
-            .violations
-            .iter()
-            .any(|v| matches!(v, Violation::MissingAssignments { expected: 3, actual: 1 })));
+        assert!(report.violations.iter().any(|v| matches!(
+            v,
+            Violation::MissingAssignments {
+                expected: 3,
+                actual: 1
+            }
+        )));
     }
 
     #[test]
@@ -649,8 +651,7 @@ mod tests {
         // Two coincident sensors: lmax = 0.  A positive radius must report
         // an infinite normalized radius from BOTH digraph paths, a zero
         // radius must report 0.
-        let instance =
-            Instance::new(vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)]).unwrap();
+        let instance = Instance::new(vec![Point::new(1.0, 1.0), Point::new(1.0, 1.0)]).unwrap();
         assert_eq!(instance.lmax(), 0.0);
         let positive = OrientationScheme::new(vec![
             SensorAssignment::new(vec![Antenna::new(antennae_geometry::Angle::ZERO, 0.0, 0.5)]),

@@ -35,9 +35,7 @@ impl Angle {
     /// Half turn, π.
     pub const HALF: Angle = Angle { radians: PI };
     /// Quarter turn, π/2.
-    pub const QUARTER: Angle = Angle {
-        radians: PI / 2.0,
-    };
+    pub const QUARTER: Angle = Angle { radians: PI / 2.0 };
 
     /// Creates an angle from radians, normalizing into `[0, 2π)`.
     pub fn from_radians(radians: f64) -> Self {

@@ -102,7 +102,11 @@ mod tests {
 
     #[test]
     fn from_points_and_containment() {
-        let pts = vec![Point::new(0.0, 0.0), Point::new(3.0, 1.0), Point::new(1.0, 5.0)];
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 1.0),
+            Point::new(1.0, 5.0),
+        ];
         let bb = Aabb::from_points(&pts).unwrap();
         for p in &pts {
             assert!(bb.contains(p));

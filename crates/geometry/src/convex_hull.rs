@@ -131,7 +131,11 @@ mod tests {
         let hull = convex_hull(&pts);
         // Degenerate hull: only the two extremes survive the turn filter.
         assert!(hull.len() <= 2 || polygon_signed_area(&hull).abs() < 1e-9);
-        assert!(hull_contains(&convex_hull(&pts[..2]), &Point::new(0.5, 0.5), 1e-9));
+        assert!(hull_contains(
+            &convex_hull(&pts[..2]),
+            &Point::new(0.5, 0.5),
+            1e-9
+        ));
     }
 
     #[test]

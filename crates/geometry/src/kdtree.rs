@@ -90,6 +90,14 @@ impl KdTree {
         self.points.len()
     }
 
+    /// The stored point at index `i` (the index space query results use).
+    ///
+    /// The dynamic wrapper ([`crate::dynamic::DynamicKdTree`]) reads points
+    /// back out of its snapshot through this when compacting its edit log.
+    pub fn point(&self, i: usize) -> Point {
+        self.points[i]
+    }
+
     /// Returns `true` when the tree stores no points.
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
@@ -286,7 +294,13 @@ impl KdTree {
         best
     }
 
-    fn k_nearest_rec(&self, node_idx: usize, query: &Point, k: usize, best: &mut Vec<(usize, f64)>) {
+    fn k_nearest_rec(
+        &self,
+        node_idx: usize,
+        query: &Point,
+        k: usize,
+        best: &mut Vec<(usize, f64)>,
+    ) {
         let node = &self.nodes[node_idx];
         let p = &self.points[node.point_idx];
         let d = query.distance(p);

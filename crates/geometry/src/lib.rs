@@ -40,6 +40,7 @@ pub mod bbox;
 pub mod circle;
 pub mod closest_pair;
 pub mod convex_hull;
+pub mod dynamic;
 pub mod kdtree;
 pub mod point;
 pub mod predicates;
@@ -53,6 +54,7 @@ pub mod vector;
 pub use angle::Angle;
 pub use bbox::Aabb;
 pub use circle::Circle;
+pub use dynamic::DynamicKdTree;
 pub use kdtree::KdTree;
 pub use point::Point;
 pub use ray::Ray;

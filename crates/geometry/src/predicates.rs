@@ -33,7 +33,12 @@ pub fn orientation_eps(a: &Point, b: &Point, c: &Point, eps: f64) -> Orientation
     // Scale the tolerance by the extent of the triple so that the predicate
     // is meaningful both for unit-square instances and for kilometre-scale
     // deployments.
-    let scale = (b.x - a.x).abs().max((b.y - a.y).abs()).max((c.x - a.x).abs()).max((c.y - a.y).abs()).max(1.0);
+    let scale = (b.x - a.x)
+        .abs()
+        .max((b.y - a.y).abs())
+        .max((c.x - a.x).abs())
+        .max((c.y - a.y).abs())
+        .max(1.0);
     if cross > eps * scale {
         Orientation::CounterClockwise
     } else if cross < -eps * scale {

@@ -108,7 +108,12 @@ impl Sector {
         }
         let start = dirs[(best_idx + 1) % n];
         let spread = TAU - best_gap;
-        Some(Sector::new(apex, Angle::from_radians(start), spread, radius))
+        Some(Sector::new(
+            apex,
+            Angle::from_radians(start),
+            spread,
+            radius,
+        ))
     }
 
     /// Direction of the counterclockwise-most boundary ray.
@@ -155,7 +160,12 @@ impl Sector {
     /// Returns a copy rotated counterclockwise by `delta` radians around its
     /// apex.
     pub fn rotated(&self, delta: f64) -> Sector {
-        Sector::new(self.apex, self.start.rotate(delta), self.spread, self.radius)
+        Sector::new(
+            self.apex,
+            self.start.rotate(delta),
+            self.spread,
+            self.radius,
+        )
     }
 
     /// Returns `true` when this sector's arc fully contains the direction

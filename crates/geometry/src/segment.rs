@@ -69,8 +69,12 @@ impl Segment {
         let o3 = orientation(&other.a, &other.b, &self.a);
         let o4 = orientation(&other.a, &other.b, &self.b);
 
-        if o1 != o2 && o3 != o4 && o1 != Orientation::Collinear && o2 != Orientation::Collinear
-            && o3 != Orientation::Collinear && o4 != Orientation::Collinear
+        if o1 != o2
+            && o3 != o4
+            && o1 != Orientation::Collinear
+            && o2 != Orientation::Collinear
+            && o3 != Orientation::Collinear
+            && o4 != Orientation::Collinear
         {
             return true;
         }
@@ -104,16 +108,24 @@ mod tests {
     #[test]
     fn closest_point_interior_and_endpoints() {
         let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
-        assert!(s.closest_point(&Point::new(5.0, 3.0)).approx_eq(&Point::new(5.0, 0.0), 1e-12));
-        assert!(s.closest_point(&Point::new(-5.0, 3.0)).approx_eq(&Point::new(0.0, 0.0), 1e-12));
-        assert!(s.closest_point(&Point::new(15.0, -3.0)).approx_eq(&Point::new(10.0, 0.0), 1e-12));
+        assert!(s
+            .closest_point(&Point::new(5.0, 3.0))
+            .approx_eq(&Point::new(5.0, 0.0), 1e-12));
+        assert!(s
+            .closest_point(&Point::new(-5.0, 3.0))
+            .approx_eq(&Point::new(0.0, 0.0), 1e-12));
+        assert!(s
+            .closest_point(&Point::new(15.0, -3.0))
+            .approx_eq(&Point::new(10.0, 0.0), 1e-12));
         assert!((s.distance_to_point(&Point::new(5.0, 3.0)) - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn degenerate_segment_closest_point_is_endpoint() {
         let s = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
-        assert!(s.closest_point(&Point::new(4.0, 5.0)).approx_eq(&Point::new(1.0, 1.0), 1e-12));
+        assert!(s
+            .closest_point(&Point::new(4.0, 5.0))
+            .approx_eq(&Point::new(1.0, 1.0), 1e-12));
     }
 
     #[test]

@@ -83,8 +83,10 @@ impl Transform {
     pub fn then(&self, other: &Transform) -> Transform {
         // other(self(p)) = other.scale * R(other.rot) * (self.scale * R(self.rot) p + self.t) + other.t
         let (s, c) = other.rotation.sin_cos();
-        let tx = other.scale * (self.translation.0 * c - self.translation.1 * s) + other.translation.0;
-        let ty = other.scale * (self.translation.0 * s + self.translation.1 * c) + other.translation.1;
+        let tx =
+            other.scale * (self.translation.0 * c - self.translation.1 * s) + other.translation.0;
+        let ty =
+            other.scale * (self.translation.0 * s + self.translation.1 * c) + other.translation.1;
         Transform {
             scale: self.scale * other.scale,
             rotation: self.rotation + other.rotation,
@@ -126,13 +128,17 @@ mod tests {
     #[test]
     fn translation_moves_points() {
         let t = Transform::translation(1.0, 2.0);
-        assert!(t.apply(&Point::new(0.0, 0.0)).approx_eq(&Point::new(1.0, 2.0), 1e-12));
+        assert!(t
+            .apply(&Point::new(0.0, 0.0))
+            .approx_eq(&Point::new(1.0, 2.0), 1e-12));
     }
 
     #[test]
     fn rotation_by_quarter_turn() {
         let t = Transform::rotation(std::f64::consts::FRAC_PI_2);
-        assert!(t.apply(&Point::new(1.0, 0.0)).approx_eq(&Point::new(0.0, 1.0), 1e-12));
+        assert!(t
+            .apply(&Point::new(1.0, 0.0))
+            .approx_eq(&Point::new(0.0, 1.0), 1e-12));
     }
 
     #[test]

@@ -88,7 +88,11 @@ mod tests {
     use super::*;
 
     fn unit_right_triangle() -> Triangle {
-        Triangle::new(Point::new(0.0, 0.0), Point::new(1.0, 0.0), Point::new(0.0, 1.0))
+        Triangle::new(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 1.0),
+        )
     }
 
     #[test]
@@ -113,7 +117,11 @@ mod tests {
 
     #[test]
     fn degenerate_triangle_detection() {
-        let t = Triangle::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0), Point::new(2.0, 2.0));
+        let t = Triangle::new(
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(2.0, 2.0),
+        );
         assert!(t.is_degenerate(1e-12));
         assert!(!unit_right_triangle().is_degenerate(1e-12));
     }
@@ -121,7 +129,9 @@ mod tests {
     #[test]
     fn centroid_and_perimeter() {
         let t = unit_right_triangle();
-        assert!(t.centroid().approx_eq(&Point::new(1.0 / 3.0, 1.0 / 3.0), 1e-12));
+        assert!(t
+            .centroid()
+            .approx_eq(&Point::new(1.0 / 3.0, 1.0 / 3.0), 1e-12));
         assert!((t.perimeter() - (2.0 + 2.0_f64.sqrt())).abs() < 1e-12);
         assert!((t.longest_edge() - 2.0_f64.sqrt()).abs() < 1e-12);
     }

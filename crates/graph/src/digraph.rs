@@ -126,7 +126,10 @@ impl DiGraph {
     /// [`DiGraph::from_edges`] or [`DiGraph::from_csr`], which build in
     /// O(n + m) *total*.
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.len() && v < self.len(), "edge endpoint out of range");
+        assert!(
+            u < self.len() && v < self.len(),
+            "edge endpoint out of range"
+        );
         if u == v || self.has_edge(u, v) {
             return;
         }
@@ -135,7 +138,8 @@ impl DiGraph {
             "edge count exceeds u32 capacity"
         );
         // Append v at the end of u's out row (preserving supply order).
-        self.out_targets.insert(self.out_offsets[u + 1] as usize, v as u32);
+        self.out_targets
+            .insert(self.out_offsets[u + 1] as usize, v as u32);
         for off in &mut self.out_offsets[u + 1..] {
             *off += 1;
         }
@@ -350,7 +354,10 @@ impl DiGraph {
 
     /// Maximum out-degree over all vertices.
     pub fn max_out_degree(&self) -> usize {
-        (0..self.len()).map(|u| self.out_degree(u)).max().unwrap_or(0)
+        (0..self.len())
+            .map(|u| self.out_degree(u))
+            .max()
+            .unwrap_or(0)
     }
 
     /// All directed edges as `(u, v)` pairs.

@@ -1,0 +1,664 @@
+//! Incrementally maintained Euclidean MSTs for dynamic deployments.
+//!
+//! [`DynamicEmst`] keeps a degree-5 Euclidean MST correct under three edits —
+//! [`insert`](DynamicEmst::insert), [`remove`](DynamicEmst::remove) and
+//! [`move_to`](DynamicEmst::move_to) — without re-running the full engine:
+//!
+//! * **Insert** uses the classic vertex-insertion fact (Chin & Houck): a
+//!   minimum spanning tree of `P ∪ {q}` exists inside `T ∪ star(q)`, where
+//!   `T` is any MST of `P` and `star(q)` are the edges from `q` to every
+//!   point.  The cached tree edges are kept sorted, so one Kruskal pass over
+//!   the merge of two sorted lists (`n − 1` old edges, `n` star edges)
+//!   rebuilds the tree in O(n log n) with a tiny constant — no spatial
+//!   queries, no Borůvka rounds.
+//! * **Remove** deletes the vertex's ≤ 5 incident edges, which splits the
+//!   tree into at most 5 components, every remaining tree edge still being
+//!   MST-valid (each stays a minimum edge across its own cut).  The repair is
+//!   a *localized Borůvka*: repeatedly take the smallest component and ask
+//!   the cached [`DynamicKdTree`] for its minimum outgoing edge
+//!   (nearest-foreign queries per member), merging until one component
+//!   remains — at most 4 merges, each exact by the cut property.
+//! * **Move** is detach + re-attach under the same slot.
+//!
+//! Vertices are identified by stable **slots** (monotonically assigned
+//! `usize` ids); removed slots are tombstoned, and the spatial index compacts
+//! itself via [`DynamicKdTree`]'s threshold rebuilds.  After every edit the
+//! engine reports which live slots had their tree neighborhood changed
+//! ([`DynamicEmst::changed_slots`]) — the hook the incremental re-orientation
+//! in `antennae-core` keys its dirty set off.
+//!
+//! Exactness contract (pinned by the edit-script oracle suite in the root
+//! `tests/`): after every edit the maintained tree is a genuine MST of the
+//! live point set — same total weight and same `lmax` as a from-scratch
+//! [`EuclideanMst::build`] — and its maximum degree is repaired to 5 with the
+//! same tie-exchange the static engine uses.
+
+use crate::euclidean::{EmstError, EuclideanMst, MAX_MST_DEGREE};
+use crate::graph::Graph;
+use crate::union_find::UnionFind;
+use antennae_geometry::angular::{circular_gaps, sort_ccw};
+use antennae_geometry::{DynamicKdTree, Point};
+
+/// A tree edge in slot space, ordered by the engines' shared tie-broken
+/// total order `(weight, min slot, max slot)`.
+type SlotEdge = (f64, u32, u32);
+
+fn edge_order(a: SlotEdge, b: SlotEdge) -> std::cmp::Ordering {
+    a.0.total_cmp(&b.0)
+        .then_with(|| a.1.cmp(&b.1))
+        .then_with(|| a.2.cmp(&b.2))
+}
+
+fn make_edge(w: f64, a: usize, b: usize) -> SlotEdge {
+    (w, a.min(b) as u32, a.max(b) as u32)
+}
+
+/// Errors reported by [`DynamicEmst`] edits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DynamicEmstError {
+    /// The referenced slot is not a live sensor.
+    UnknownSlot(usize),
+    /// Removing the slot would leave an empty deployment.
+    WouldBeEmpty,
+}
+
+impl std::fmt::Display for DynamicEmstError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DynamicEmstError::UnknownSlot(slot) => {
+                write!(f, "slot {slot} is not a live sensor")
+            }
+            DynamicEmstError::WouldBeEmpty => {
+                write!(f, "cannot remove the last live sensor")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DynamicEmstError {}
+
+/// An incrementally maintained degree-5 Euclidean MST (see the
+/// [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct DynamicEmst {
+    /// Slot-indexed sensor locations (tombstoned slots keep a stale point).
+    points: Vec<Point>,
+    alive: Vec<bool>,
+    live: usize,
+    /// Slot-space tree adjacency, each list sorted ascending by slot.
+    adj: Vec<Vec<(usize, f64)>>,
+    /// The tree's edges sorted by the shared `(w, min, max)` order — both
+    /// the cache the insert path's Kruskal merge runs against and the
+    /// source of `lmax` (its last entry).
+    sorted_edges: Vec<SlotEdge>,
+    kd: DynamicKdTree,
+    /// Live slots whose tree neighborhood changed in the last edit.
+    changed: Vec<usize>,
+}
+
+impl DynamicEmst {
+    /// Builds the engine over an initial deployment (slot `i` = point `i`),
+    /// delegating the first tree to the static [`EuclideanMst::build`].
+    pub fn new(points: &[Point]) -> Result<Self, EmstError> {
+        let initial = EuclideanMst::build(points)?;
+        let n = points.len();
+        let mut sorted_edges: Vec<SlotEdge> = initial
+            .edges()
+            .iter()
+            .map(|e| make_edge(e.weight, e.u, e.v))
+            .collect();
+        sorted_edges.sort_unstable_by(|&a, &b| edge_order(a, b));
+        let mut emst = DynamicEmst {
+            points: points.to_vec(),
+            alive: vec![true; n],
+            live: n,
+            adj: vec![Vec::new(); n],
+            sorted_edges,
+            kd: DynamicKdTree::from_dense(points),
+            changed: Vec::new(),
+        };
+        emst.rebuild_adjacency();
+        Ok(emst)
+    }
+
+    /// Number of live sensors.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` when `slot` holds a live sensor.
+    pub fn is_alive(&self, slot: usize) -> bool {
+        self.alive.get(slot).copied().unwrap_or(false)
+    }
+
+    /// The location of a live slot.
+    pub fn point(&self, slot: usize) -> Point {
+        debug_assert!(self.is_alive(slot));
+        self.points[slot]
+    }
+
+    /// Tree neighbours of a live slot, ascending by slot, with edge lengths.
+    pub fn neighbors(&self, slot: usize) -> &[(usize, f64)] {
+        &self.adj[slot]
+    }
+
+    /// The longest tree edge (`lmax`), 0 when fewer than two sensors live.
+    pub fn lmax(&self) -> f64 {
+        self.sorted_edges.last().map_or(0.0, |&(w, _, _)| w)
+    }
+
+    /// Total tree weight.
+    pub fn total_weight(&self) -> f64 {
+        self.sorted_edges.iter().map(|&(w, _, _)| w).sum()
+    }
+
+    /// Maximum tree degree over live slots.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Live slots in ascending order.
+    pub fn live_slots(&self) -> Vec<usize> {
+        (0..self.points.len()).filter(|&s| self.alive[s]).collect()
+    }
+
+    /// The shared spatial index over the live sensors (reused by the
+    /// verification side of a dynamic solver session).
+    pub fn kd(&self) -> &DynamicKdTree {
+        &self.kd
+    }
+
+    /// Live slots whose tree neighborhood changed in the most recent edit
+    /// (sorted, deduplicated; includes an inserted/moved slot itself).
+    pub fn changed_slots(&self) -> &[usize] {
+        &self.changed
+    }
+
+    /// Inserts a sensor, returning its freshly assigned slot.
+    pub fn insert(&mut self, p: Point) -> usize {
+        let slot = self.points.len();
+        self.points.push(p);
+        self.alive.push(true);
+        self.adj.push(Vec::new());
+        self.live += 1;
+        self.kd.insert(slot, p);
+        self.changed.clear();
+        self.changed.push(slot);
+        self.attach(slot);
+        self.finish_edit();
+        slot
+    }
+
+    /// Removes a live sensor (errors on dead slots and on the last sensor).
+    pub fn remove(&mut self, slot: usize) -> Result<(), DynamicEmstError> {
+        if !self.is_alive(slot) {
+            return Err(DynamicEmstError::UnknownSlot(slot));
+        }
+        if self.live == 1 {
+            return Err(DynamicEmstError::WouldBeEmpty);
+        }
+        self.changed.clear();
+        self.alive[slot] = false;
+        self.live -= 1;
+        self.kd.remove(slot);
+        self.detach(slot);
+        self.finish_edit();
+        Ok(())
+    }
+
+    /// Moves a live sensor to a new location, keeping its slot.
+    pub fn move_to(&mut self, slot: usize, p: Point) -> Result<(), DynamicEmstError> {
+        if !self.is_alive(slot) {
+            return Err(DynamicEmstError::UnknownSlot(slot));
+        }
+        self.changed.clear();
+        self.changed.push(slot);
+        // Detach from the tree, then re-attach at the new location.  The
+        // slot leaves the spatial index *before* the detach so the
+        // reconnection's nearest-foreign queries cannot wire an edge back to
+        // the vacating sensor.
+        self.kd.remove(slot);
+        self.alive[slot] = false;
+        self.live -= 1;
+        self.detach(slot);
+        self.points[slot] = p;
+        self.kd.insert(slot, p);
+        self.alive[slot] = true;
+        self.live += 1;
+        self.attach(slot);
+        self.finish_edit();
+        Ok(())
+    }
+
+    /// Dedup + drop-dead pass over the changed set after an edit.
+    fn finish_edit(&mut self) {
+        self.changed.retain(|&s| self.alive[s]);
+        self.changed.sort_unstable();
+        self.changed.dedup();
+    }
+
+    /// Connects `slot` (live, currently edge-less) to the spanning tree of
+    /// the other live slots via a Kruskal pass over the merge of the cached
+    /// sorted tree edges and `slot`'s sorted star.
+    fn attach(&mut self, slot: usize) {
+        if self.live <= 1 {
+            return;
+        }
+        let apex = self.points[slot];
+        let mut star: Vec<SlotEdge> = Vec::with_capacity(self.live - 1);
+        for t in 0..self.points.len() {
+            if t != slot && self.alive[t] {
+                star.push(make_edge(apex.distance(&self.points[t]), slot, t));
+            }
+        }
+        star.sort_unstable_by(|&a, &b| edge_order(a, b));
+
+        let mut uf = UnionFind::new(self.points.len());
+        let mut new_edges: Vec<SlotEdge> = Vec::with_capacity(self.live - 1);
+        let (mut i, mut j) = (0usize, 0usize);
+        while new_edges.len() < self.live - 1 {
+            let take_old = match (self.sorted_edges.get(i), star.get(j)) {
+                (Some(&a), Some(&b)) => edge_order(a, b) == std::cmp::Ordering::Less,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            let e = if take_old {
+                i += 1;
+                self.sorted_edges[i - 1]
+            } else {
+                j += 1;
+                star[j - 1]
+            };
+            if uf.union(e.1 as usize, e.2 as usize) {
+                new_edges.push(e);
+            }
+        }
+        self.apply_tree(new_edges);
+        self.repair_degrees();
+    }
+
+    /// Removes `slot`'s incident edges and reconnects the resulting ≤ 5
+    /// components with their minimum outgoing edges (localized Borůvka over
+    /// the cached kd-tree).  `slot` must already be excluded from the live
+    /// set (dead, or temporarily detached by a move).
+    fn detach(&mut self, slot: usize) {
+        let incident: Vec<(usize, f64)> = std::mem::take(&mut self.adj[slot]);
+        for &(u, w) in &incident {
+            self.adj[u].retain(|&(v, _)| v != slot);
+            self.remove_sorted(make_edge(w, slot, u));
+            self.changed.push(u);
+        }
+        if incident.len() >= 2 {
+            self.reconnect();
+        }
+        self.repair_degrees();
+    }
+
+    /// Borůvka-style reconnection of the current spanning forest of the live
+    /// slots into a single tree.
+    fn reconnect(&mut self) {
+        // Label every live slot with its forest component.
+        let mut uf = UnionFind::new(self.points.len());
+        for &(_, a, b) in &self.sorted_edges {
+            uf.union(a as usize, b as usize);
+        }
+        let mut labels = vec![usize::MAX; self.points.len()];
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        let mut component_of_root: Vec<usize> = vec![usize::MAX; self.points.len()];
+        for (s, alive) in self.alive.iter().enumerate() {
+            if !alive {
+                continue;
+            }
+            let root = uf.find(s);
+            if component_of_root[root] == usize::MAX {
+                component_of_root[root] = components.len();
+                components.push(Vec::new());
+            }
+            let c = component_of_root[root];
+            labels[s] = c;
+            components[c].push(s);
+        }
+
+        while components.len() > 1 {
+            // Smallest component first: its members issue the nearest-foreign
+            // queries, so the query volume tracks the small side of the cut.
+            let (ci, _) = components
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, m)| m.len())
+                .expect("non-empty component list");
+            let label = ci;
+            let mut best: Option<(SlotEdge, usize)> = None; // (edge, foreign slot)
+            for &v in &components[ci] {
+                let found = self
+                    .kd
+                    .nearest_filtered_slot(&self.points[v], |s| labels[s] == label);
+                if let Some((u, d)) = found {
+                    let e = make_edge(d, v, u);
+                    if best.is_none_or(|(b, _)| edge_order(e, b) == std::cmp::Ordering::Less) {
+                        best = Some((e, u));
+                    }
+                }
+            }
+            let (edge, foreign) = best.expect("a second component exists");
+            let (a, b) = (edge.1 as usize, edge.2 as usize);
+            self.adj_insert(a, b, edge.0);
+            self.adj_insert(b, a, edge.0);
+            self.insert_sorted(edge);
+            self.changed.push(a);
+            self.changed.push(b);
+
+            // Merge the small component into the foreign one.
+            let target = labels[foreign];
+            let members = std::mem::take(&mut components[ci]);
+            for &m in &members {
+                labels[m] = target;
+            }
+            components[target].extend(members);
+            components.swap_remove(ci);
+            // swap_remove moved the last component's index; fix its labels.
+            if ci < components.len() {
+                for &m in &components[ci] {
+                    labels[m] = ci;
+                }
+            }
+        }
+    }
+
+    /// Replaces the tree with `new_edges` (already in sorted edge order):
+    /// diffs against the old edge set to track changed slots, then rebuilds
+    /// the adjacency lists.
+    fn apply_tree(&mut self, new_edges: Vec<SlotEdge>) {
+        let mut old: Vec<(u32, u32)> = self.sorted_edges.iter().map(|&(_, a, b)| (a, b)).collect();
+        let mut new: Vec<(u32, u32)> = new_edges.iter().map(|&(_, a, b)| (a, b)).collect();
+        old.sort_unstable();
+        new.sort_unstable();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old.len() || j < new.len() {
+            match (old.get(i), new.get(j)) {
+                (Some(&a), Some(&b)) if a == b => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&a), Some(&b)) if a < b => {
+                    self.changed.push(a.0 as usize);
+                    self.changed.push(a.1 as usize);
+                    i += 1;
+                }
+                (Some(_), Some(&b)) => {
+                    self.changed.push(b.0 as usize);
+                    self.changed.push(b.1 as usize);
+                    j += 1;
+                }
+                (Some(&a), None) => {
+                    self.changed.push(a.0 as usize);
+                    self.changed.push(a.1 as usize);
+                    i += 1;
+                }
+                (None, Some(&b)) => {
+                    self.changed.push(b.0 as usize);
+                    self.changed.push(b.1 as usize);
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+        self.sorted_edges = new_edges;
+        self.rebuild_adjacency();
+    }
+
+    fn rebuild_adjacency(&mut self) {
+        for list in &mut self.adj {
+            list.clear();
+        }
+        for &(w, a, b) in &self.sorted_edges {
+            self.adj[a as usize].push((b as usize, w));
+            self.adj[b as usize].push((a as usize, w));
+        }
+        for list in &mut self.adj {
+            list.sort_unstable_by_key(|&(s, _)| s);
+        }
+    }
+
+    fn adj_insert(&mut self, u: usize, v: usize, w: f64) {
+        let list = &mut self.adj[u];
+        let pos = list.partition_point(|&(s, _)| s < v);
+        list.insert(pos, (v, w));
+    }
+
+    fn insert_sorted(&mut self, e: SlotEdge) {
+        let pos = self
+            .sorted_edges
+            .partition_point(|&x| edge_order(x, e) == std::cmp::Ordering::Less);
+        self.sorted_edges.insert(pos, e);
+    }
+
+    fn remove_sorted(&mut self, e: SlotEdge) {
+        let pos = self
+            .sorted_edges
+            .partition_point(|&x| edge_order(x, e) == std::cmp::Ordering::Less);
+        debug_assert!(
+            self.sorted_edges.get(pos) == Some(&e),
+            "edge {e:?} not in cache"
+        );
+        self.sorted_edges.remove(pos);
+    }
+
+    /// The same local tie-exchange the static engine runs: while some vertex
+    /// exceeds degree 5 (only possible under exact 60°/equal-length ties),
+    /// replace the longer of its two angularly closest star edges by the
+    /// edge between the two neighbours.
+    fn repair_degrees(&mut self) {
+        let mut budget = 4 * self.live + 16;
+        loop {
+            let Some(v) = (0..self.points.len())
+                .find(|&v| self.alive[v] && self.adj[v].len() > MAX_MST_DEGREE)
+            else {
+                return;
+            };
+            if budget == 0 {
+                return;
+            }
+            budget -= 1;
+            let neighbor_ids: Vec<usize> = self.adj[v].iter().map(|&(u, _)| u).collect();
+            let neighbor_pts: Vec<Point> = neighbor_ids.iter().map(|&u| self.points[u]).collect();
+            let sorted = sort_ccw(&self.points[v], &neighbor_pts);
+            let gaps = circular_gaps(&sorted);
+            let d = sorted.len();
+            let (closest_pair_idx, _) = gaps
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.total_cmp(b.1))
+                .expect("degree > 5 vertex has neighbours");
+            let a = neighbor_ids[sorted[closest_pair_idx].index];
+            let b = neighbor_ids[sorted[(closest_pair_idx + 1) % d].index];
+            let da = self.points[v].distance(&self.points[a]);
+            let db = self.points[v].distance(&self.points[b]);
+            let drop_endpoint = if da >= db { a } else { b };
+            let dropped_w = if da >= db { da } else { db };
+            self.adj[v].retain(|&(u, _)| u != drop_endpoint);
+            self.adj[drop_endpoint].retain(|&(u, _)| u != v);
+            self.remove_sorted(make_edge(dropped_w, v, drop_endpoint));
+            let w = self.points[a].distance(&self.points[b]);
+            self.adj_insert(a, b, w);
+            self.adj_insert(b, a, w);
+            self.insert_sorted(make_edge(w, a, b));
+            self.changed.push(v);
+            self.changed.push(a);
+            self.changed.push(b);
+        }
+    }
+
+    /// Materializes the live deployment as a dense [`EuclideanMst`].
+    ///
+    /// Live slots are mapped to dense indices in ascending slot order, and
+    /// tree edges are inserted sorted by `(min, max)` dense endpoints so
+    /// that every vertex's adjacency list comes out ascending — the same
+    /// canonical neighbour order the incremental re-orientation uses, which
+    /// is what makes the dynamic scheme bit-identical to a full re-orient on
+    /// the materialized instance even under angular ties.
+    pub fn materialize(&self) -> Result<EuclideanMst, EmstError> {
+        let slots = self.live_slots();
+        if slots.is_empty() {
+            return Err(EmstError::EmptyPointSet);
+        }
+        let mut dense_of = vec![u32::MAX; self.points.len()];
+        for (dense, &slot) in slots.iter().enumerate() {
+            dense_of[slot] = dense as u32;
+        }
+        let points: Vec<Point> = slots.iter().map(|&s| self.points[s]).collect();
+        let mut edges: Vec<(u32, u32, f64)> = self
+            .sorted_edges
+            .iter()
+            .map(|&(w, a, b)| {
+                // Slot→dense is monotone, so (min, max) is preserved.
+                (dense_of[a as usize], dense_of[b as usize], w)
+            })
+            .collect();
+        edges.sort_unstable_by_key(|&(a, b, _)| (a, b));
+        let mut tree = Graph::new(points.len());
+        for (a, b, w) in edges {
+            tree.add_edge(a as usize, b as usize, w);
+        }
+        EuclideanMst::from_precomputed(points, tree)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Point::new(rng.random_range(0.0..20.0), rng.random_range(0.0..20.0)))
+            .collect()
+    }
+
+    /// The maintained tree must match a from-scratch build: spanning, same
+    /// weight, same `lmax`, degree ≤ 5.
+    fn assert_matches_rebuild(emst: &DynamicEmst) {
+        let live: Vec<Point> = emst.live_slots().iter().map(|&s| emst.point(s)).collect();
+        let fresh = EuclideanMst::build(&live).unwrap();
+        assert_eq!(emst.sorted_edges.len(), live.len().saturating_sub(1));
+        let scale = fresh.total_weight().max(1.0);
+        assert!(
+            (emst.total_weight() - fresh.total_weight()).abs() < 1e-9 * scale,
+            "weight {} vs rebuild {}",
+            emst.total_weight(),
+            fresh.total_weight()
+        );
+        assert!(
+            (emst.lmax() - fresh.lmax()).abs() < 1e-9 * scale,
+            "lmax {} vs rebuild {}",
+            emst.lmax(),
+            fresh.lmax()
+        );
+        assert!(emst.max_degree() <= MAX_MST_DEGREE);
+        // The materialized dense tree round-trips.
+        let dense = emst.materialize().unwrap();
+        assert_eq!(dense.len(), live.len());
+        assert!((dense.total_weight() - emst.total_weight()).abs() < 1e-9 * scale);
+        assert_eq!(dense.lmax(), emst.lmax());
+    }
+
+    #[test]
+    fn insert_grows_a_correct_tree() {
+        let mut emst = DynamicEmst::new(&random_points(2, 1)).unwrap();
+        let extra = random_points(30, 2);
+        for p in extra {
+            emst.insert(p);
+            assert_matches_rebuild(&emst);
+            assert!(!emst.changed_slots().is_empty());
+        }
+        assert_eq!(emst.live_count(), 32);
+    }
+
+    #[test]
+    fn remove_repairs_the_tree() {
+        let pts = random_points(40, 3);
+        let mut emst = DynamicEmst::new(&pts).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        while emst.live_count() > 1 {
+            let live = emst.live_slots();
+            let victim = live[rng.random_range(0..live.len())];
+            emst.remove(victim).unwrap();
+            assert_matches_rebuild(&emst);
+        }
+        // Draining to one sensor leaves an edgeless tree with lmax 0.
+        assert_eq!(emst.lmax(), 0.0);
+        assert!(matches!(
+            emst.remove(emst.live_slots()[0]),
+            Err(DynamicEmstError::WouldBeEmpty)
+        ));
+    }
+
+    #[test]
+    fn moves_track_the_rebuild() {
+        let pts = random_points(25, 4);
+        let mut emst = DynamicEmst::new(&pts).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..40 {
+            let live = emst.live_slots();
+            let slot = live[rng.random_range(0..live.len())];
+            let p = Point::new(rng.random_range(0.0..20.0), rng.random_range(0.0..20.0));
+            emst.move_to(slot, p).unwrap();
+            assert!((emst.point(slot).x - p.x).abs() < 1e-15);
+            assert_matches_rebuild(&emst);
+            assert!(emst.changed_slots().contains(&slot));
+        }
+    }
+
+    #[test]
+    fn mixed_script_with_duplicates_and_ties() {
+        // Integer lattice plus exact duplicates: maximal tie pressure.
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            for j in 0..4 {
+                pts.push(Point::new(i as f64, j as f64));
+            }
+        }
+        let mut emst = DynamicEmst::new(&pts).unwrap();
+        let dup = emst.insert(Point::new(2.0, 2.0)); // exact duplicate
+        assert_matches_rebuild(&emst);
+        emst.insert(Point::new(2.0, 2.0));
+        assert_matches_rebuild(&emst);
+        emst.remove(dup).unwrap();
+        assert_matches_rebuild(&emst);
+        emst.move_to(7, Point::new(0.0, 0.0)).unwrap(); // onto another point
+        assert_matches_rebuild(&emst);
+    }
+
+    #[test]
+    fn dead_slots_are_rejected() {
+        let mut emst = DynamicEmst::new(&random_points(5, 6)).unwrap();
+        emst.remove(2).unwrap();
+        assert!(matches!(
+            emst.remove(2),
+            Err(DynamicEmstError::UnknownSlot(2))
+        ));
+        assert!(matches!(
+            emst.move_to(2, Point::ORIGIN),
+            Err(DynamicEmstError::UnknownSlot(2))
+        ));
+        assert!(!emst.is_alive(2));
+        assert_eq!(emst.live_slots(), vec![0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn changed_slots_are_local_for_isolated_edits() {
+        // A long path: moving one interior vertex slightly must not touch
+        // the far ends.
+        let pts: Vec<Point> = (0..50).map(|i| Point::new(i as f64, 0.0)).collect();
+        let mut emst = DynamicEmst::new(&pts).unwrap();
+        emst.move_to(25, Point::new(25.0, 0.1)).unwrap();
+        assert_matches_rebuild(&emst);
+        let changed = emst.changed_slots();
+        assert!(changed.contains(&25));
+        assert!(changed.len() <= 6, "changed set {changed:?} not local");
+        assert!(!changed.contains(&0) && !changed.contains(&49));
+    }
+}

@@ -203,6 +203,35 @@ impl EuclideanMst {
         })
     }
 
+    /// Wraps an already-computed spanning tree as a [`EuclideanMst`] without
+    /// re-running an engine — the materialization hook of the incremental
+    /// engine ([`crate::dynamic::DynamicEmst`]).
+    ///
+    /// The caller asserts that `tree` is a genuine Euclidean MST over
+    /// `points`; only the degree bound is re-validated here (the incremental
+    /// engine's repair pass mirrors the static one, so a violation means a
+    /// bug upstream).  `lmax` is derived from the tree, and the engine field
+    /// reports [`MstEngine::Auto`] ("provenance unknown"), matching the
+    /// contract for payloads that predate the engine field.
+    pub fn from_precomputed(points: Vec<Point>, tree: Graph) -> Result<Self, EmstError> {
+        if points.is_empty() {
+            return Err(EmstError::EmptyPointSet);
+        }
+        let max_degree = tree.max_degree();
+        if max_degree > MAX_MST_DEGREE {
+            return Err(EmstError::DegreeRepairFailed {
+                remaining_max_degree: max_degree,
+            });
+        }
+        let lmax = tree.max_edge_weight();
+        Ok(EuclideanMst {
+            points,
+            tree,
+            lmax,
+            engine: MstEngine::Auto,
+        })
+    }
+
     /// Returns a copy of the tree with every coordinate and edge length
     /// divided by `divisor` (which must be positive and finite).
     ///

@@ -26,7 +26,10 @@ impl Edge {
         } else if x == self.v {
             self.u
         } else {
-            panic!("vertex {x} is not an endpoint of edge ({}, {})", self.u, self.v)
+            panic!(
+                "vertex {x} is not an endpoint of edge ({}, {})",
+                self.u, self.v
+            )
         }
     }
 }
@@ -87,7 +90,10 @@ impl Graph {
     /// Adds an undirected edge; parallel edges are allowed but unused in this
     /// workspace.  Panics when an endpoint is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
-        assert!(u < self.len() && v < self.len(), "edge endpoint out of range");
+        assert!(
+            u < self.len() && v < self.len(),
+            "edge endpoint out of range"
+        );
         assert_ne!(u, v, "self-loops are not supported");
         self.adjacency[u].push((v, weight));
         self.adjacency[v].push((u, weight));

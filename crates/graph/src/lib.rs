@@ -23,6 +23,7 @@
 
 pub mod connectivity;
 pub mod digraph;
+pub mod dynamic;
 pub mod euclidean;
 pub mod graph;
 pub mod mst;
@@ -35,6 +36,7 @@ pub mod traversal;
 pub mod union_find;
 
 pub use digraph::DiGraph;
+pub use dynamic::{DynamicEmst, DynamicEmstError};
 pub use euclidean::EuclideanMst;
 pub use graph::{Edge, Graph};
 pub use rooted::RootedTree;

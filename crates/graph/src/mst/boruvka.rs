@@ -32,7 +32,10 @@ pub fn boruvka_mst(g: &Graph) -> MstResult {
                 let better = match &cheapest[root] {
                     None => true,
                     Some(current) => {
-                        e.weight.total_cmp(&current.weight).then(e.u.cmp(&current.u)).then(e.v.cmp(&current.v))
+                        e.weight
+                            .total_cmp(&current.weight)
+                            .then(e.u.cmp(&current.u))
+                            .then(e.v.cmp(&current.v))
                             == std::cmp::Ordering::Less
                     }
                 };

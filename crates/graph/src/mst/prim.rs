@@ -99,8 +99,16 @@ mod tests {
 
     #[test]
     fn heap_edge_ordering_is_by_weight() {
-        let a = HeapEdge { weight: 1.0, from: 5, to: 6 };
-        let b = HeapEdge { weight: 2.0, from: 0, to: 1 };
+        let a = HeapEdge {
+            weight: 1.0,
+            from: 5,
+            to: 6,
+        };
+        let b = HeapEdge {
+            weight: 2.0,
+            from: 0,
+            to: 1,
+        };
         assert!(a < b);
     }
 }

@@ -62,7 +62,10 @@ impl AdjListDiGraph {
     /// Adds the directed edge `u → v` (duplicates ignored via the original
     /// O(deg) `contains` scan this module exists to preserve).
     pub fn add_edge(&mut self, u: usize, v: usize) {
-        assert!(u < self.len() && v < self.len(), "edge endpoint out of range");
+        assert!(
+            u < self.len() && v < self.len(),
+            "edge endpoint out of range"
+        );
         if u == v || self.out_adj[u].contains(&v) {
             return;
         }
@@ -266,7 +269,10 @@ impl AdjListDiGraph {
     /// the result is structurally equal by the CSR ordered-equality
     /// contract).
     pub fn to_csr(&self) -> DiGraph {
-        DiGraph::from_adjacency(self.len(), self.out_adj.iter().map(|row| row.iter().copied()))
+        DiGraph::from_adjacency(
+            self.len(),
+            self.out_adj.iter().map(|row| row.iter().copied()),
+        )
     }
 }
 
@@ -276,7 +282,12 @@ impl From<&DiGraph> for AdjListDiGraph {
     fn from(g: &DiGraph) -> Self {
         AdjListDiGraph::from_adjacency(
             g.len(),
-            (0..g.len()).map(|u| g.out_neighbors(u).iter().map(|&v| v as usize).collect::<Vec<_>>()),
+            (0..g.len()).map(|u| {
+                g.out_neighbors(u)
+                    .iter()
+                    .map(|&v| v as usize)
+                    .collect::<Vec<_>>()
+            }),
         )
     }
 }
@@ -303,7 +314,10 @@ mod tests {
         assert_eq!(g.out_neighbors(0), &[1, 3]);
         assert!(g.is_strongly_connected());
         assert_eq!(g.bfs_order(1), vec![1, 2, 0, 3, 4]);
-        assert_eq!(g.hop_distances(0), vec![Some(0), Some(1), Some(2), Some(1), Some(2)]);
+        assert_eq!(
+            g.hop_distances(0),
+            vec![Some(0), Some(1), Some(2), Some(1), Some(2)]
+        );
         assert_eq!(g.tarjan_scc().len(), 1);
         assert!(!g.remove_vertices(&[0]).is_strongly_connected());
         assert!(!g.is_empty());

@@ -210,7 +210,10 @@ impl RootedTree {
 
     /// Maximum tree degree over all vertices.
     pub fn max_degree(&self) -> usize {
-        (0..self.len()).map(|v| self.tree_degree(v)).max().unwrap_or(0)
+        (0..self.len())
+            .map(|v| self.tree_degree(v))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -249,7 +252,9 @@ mod tests {
             }
         }
         // Exactly n-1 vertices have parents.
-        let with_parent = (0..tree.len()).filter(|&v| tree.parent(v).is_some()).count();
+        let with_parent = (0..tree.len())
+            .filter(|&v| tree.parent(v).is_some())
+            .count();
         assert_eq!(with_parent, tree.len() - 1);
     }
 
@@ -257,8 +262,8 @@ mod tests {
     fn children_sorted_counterclockwise() {
         let mst = plus_shape();
         let tree = RootedTree::with_root(&mst, 1); // root at the east leaf
-        // The centre (0) then has children north, west, south; sorted ccw by
-        // absolute angle: north (90°), west (180°), south (270°).
+                                                   // The centre (0) then has children north, west, south; sorted ccw by
+                                                   // absolute angle: north (90°), west (180°), south (270°).
         assert_eq!(tree.children(0), &[2, 3, 4]);
         // Relative to the ray towards the parent (east, 0°), the ccw order is
         // the same here.

@@ -269,7 +269,13 @@ mod tests {
         assert_eq!(kosaraju_scc(&g).len(), 1);
         assert!(is_strongly_connected(&g));
         assert_eq!(largest_scc_size(&g), 4);
-        assert_eq!(scc_summary(&g), SccSummary { count: 1, largest: 4 });
+        assert_eq!(
+            scc_summary(&g),
+            SccSummary {
+                count: 1,
+                largest: 4
+            }
+        );
     }
 
     #[test]
@@ -297,7 +303,13 @@ mod tests {
         let sccs = normalize(tarjan_scc(&g));
         assert_eq!(sccs, vec![vec![0, 1, 2], vec![3, 4, 5]]);
         assert_eq!(normalize(kosaraju_scc(&g)), sccs);
-        assert_eq!(scc_summary(&g), SccSummary { count: 2, largest: 3 });
+        assert_eq!(
+            scc_summary(&g),
+            SccSummary {
+                count: 2,
+                largest: 3
+            }
+        );
     }
 
     #[test]
@@ -337,12 +349,15 @@ mod tests {
     #[test]
     fn masked_summary_matches_subgraph_decomposition() {
         // Two triangles sharing vertex 0.
-        let g = DiGraph::from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)],
-        );
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
         let mut scratch = TraversalScratch::new();
-        assert_eq!(scratch.scc_summary(&g, None), SccSummary { count: 1, largest: 5 });
+        assert_eq!(
+            scratch.scc_summary(&g, None),
+            SccSummary {
+                count: 1,
+                largest: 5
+            }
+        );
         let mut mask = VertexMask::new(5);
         mask.remove(0);
         let masked = scratch.scc_summary(&g, Some(&mask));
@@ -355,7 +370,13 @@ mod tests {
             mask.remove(v);
         }
         let empty = scratch.scc_summary(&g, Some(&mask));
-        assert_eq!(empty, SccSummary { count: 0, largest: 0 });
+        assert_eq!(
+            empty,
+            SccSummary {
+                count: 0,
+                largest: 0
+            }
+        );
         assert!(empty.is_strongly_connected(0));
     }
 

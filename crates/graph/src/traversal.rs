@@ -203,13 +203,23 @@ impl TraversalScratch {
     ///
     /// The returned slice borrows the scratch's queue buffer and is valid
     /// until the next query.
-    pub fn bfs<'s>(&'s mut self, g: &DiGraph, start: usize, mask: Option<&VertexMask>) -> &'s [u32] {
+    pub fn bfs<'s>(
+        &'s mut self,
+        g: &DiGraph,
+        start: usize,
+        mask: Option<&VertexMask>,
+    ) -> &'s [u32] {
         self.bfs_directed(g, start, mask, false)
     }
 
     /// Number of alive vertices reachable from `start` (including itself)
     /// along out-edges; 0 when `start` is masked out or out of range.
-    pub fn reachable_count(&mut self, g: &DiGraph, start: usize, mask: Option<&VertexMask>) -> usize {
+    pub fn reachable_count(
+        &mut self,
+        g: &DiGraph,
+        start: usize,
+        mask: Option<&VertexMask>,
+    ) -> usize {
         self.bfs(g, start, mask).len()
     }
 
@@ -233,7 +243,11 @@ impl TraversalScratch {
         while head < self.queue.len() {
             let u = self.queue[head] as usize;
             head += 1;
-            let row = if backward { g.in_neighbors(u) } else { g.out_neighbors(u) };
+            let row = if backward {
+                g.in_neighbors(u)
+            } else {
+                g.out_neighbors(u)
+            };
             for &v in row {
                 if alive(mask, v as usize) && self.mark(v) {
                     self.queue.push(v);
@@ -533,10 +547,7 @@ mod tests {
     fn masked_strong_connectivity_matches_subgraph_semantics() {
         // Two triangles sharing vertex 0: strongly connected, but 0 is a cut
         // vertex.
-        let g = DiGraph::from_edges(
-            5,
-            &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)],
-        );
+        let g = DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]);
         let mut scratch = TraversalScratch::new();
         assert!(scratch.is_strongly_connected(&g, None));
         let mut mask = VertexMask::new(5);

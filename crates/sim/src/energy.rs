@@ -146,6 +146,8 @@ mod tests {
         // omnidirectional antenna at the same range.
         let m = EnergyModel::default();
         assert!((m.omnidirectional_power(2.0) / m.antenna_power(PI, 2.0) - 2.0).abs() < 1e-9);
-        assert!((m.omnidirectional_total(10, 1.0) - 10.0 * m.omnidirectional_power(1.0)).abs() < 1e-12);
+        assert!(
+            (m.omnidirectional_total(10, 1.0) - 10.0 * m.omnidirectional_power(1.0)).abs() < 1e-12
+        );
     }
 }

@@ -1,5 +1,11 @@
-//! A minimal discrete-event queue used by the flooding simulator.
+//! Discrete-event machinery: the event queue used by the flooding simulator
+//! and the churn traces (arrival / failure / mobility) driving the dynamic
+//! deployment experiments.
 
+use antennae_geometry::Point;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -79,9 +85,180 @@ impl<T: PartialEq> EventQueue<T> {
     }
 }
 
+/// Intensities of the three churn processes, as competing Poisson rates
+/// (events per unit simulation time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnMix {
+    /// Rate of sensor arrivals (uniform over the deployment region).
+    pub arrival: f64,
+    /// Rate of sensor failures (a uniformly random live sensor dies).
+    pub failure: f64,
+    /// Rate of mobility steps (a uniformly random live sensor takes a
+    /// bounded random step).
+    pub mobility: f64,
+}
+
+impl ChurnMix {
+    /// A balanced mix with the given total event rate.
+    pub fn balanced(total_rate: f64) -> Self {
+        ChurnMix {
+            arrival: total_rate / 3.0,
+            failure: total_rate / 3.0,
+            mobility: total_rate / 3.0,
+        }
+    }
+
+    /// The total event rate.
+    pub fn total(&self) -> f64 {
+        self.arrival + self.failure + self.mobility
+    }
+
+    /// A short label for report tables, e.g. `a1.0/f1.0/m1.0`.
+    pub fn label(&self) -> String {
+        format!(
+            "a{:.1}/f{:.1}/m{:.1}",
+            self.arrival, self.failure, self.mobility
+        )
+    }
+}
+
+/// One churn operation.  Failure and mobility do not name a concrete sensor
+/// — the live population changes as the trace is applied, so they carry a
+/// uniform `pick` draw that the applier reduces modulo the live count at
+/// application time.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChurnOp {
+    /// A sensor arrives at the given location.
+    Arrive(Point),
+    /// The `pick % live`-th live sensor (in ascending id order) fails.
+    Fail {
+        /// Uniform draw selecting the victim at application time.
+        pick: u64,
+    },
+    /// The `pick % live`-th live sensor takes the given displacement step.
+    Step {
+        /// Uniform draw selecting the mover at application time.
+        pick: u64,
+        /// Displacement in x.
+        dx: f64,
+        /// Displacement in y.
+        dy: f64,
+    },
+}
+
+/// A timestamped churn operation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnEvent {
+    /// Simulation time of the event.
+    pub time: f64,
+    /// The operation.
+    pub op: ChurnOp,
+}
+
+/// Generates a deterministic churn trace of `count` events: interarrival
+/// times are exponential with rate [`ChurnMix::total`], the event type is
+/// drawn proportionally to the mix, arrivals land uniformly in
+/// `[0, side]²`, and mobility steps are uniform in `[-max_step, max_step]²`.
+///
+/// A mix with zero total rate yields an empty trace.
+///
+/// # Examples
+///
+/// ```
+/// use antennae_sim::events::{churn_trace, ChurnMix};
+///
+/// let trace = churn_trace(ChurnMix::balanced(3.0), 100, 10.0, 0.5, 42);
+/// assert_eq!(trace.len(), 100);
+/// assert!(trace.windows(2).all(|w| w[0].time <= w[1].time));
+/// ```
+pub fn churn_trace(
+    mix: ChurnMix,
+    count: usize,
+    side: f64,
+    max_step: f64,
+    seed: u64,
+) -> Vec<ChurnEvent> {
+    let total = mix.total();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut time = 0.0;
+    let mut trace = Vec::with_capacity(count);
+    for _ in 0..count {
+        // Exponential interarrival with rate `total`.
+        let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        time += -u.ln() / total;
+        let which: f64 = rng.random_range(0.0..total);
+        let op = if which < mix.arrival {
+            ChurnOp::Arrive(Point::new(
+                rng.random_range(0.0..side),
+                rng.random_range(0.0..side),
+            ))
+        } else if which < mix.arrival + mix.failure {
+            ChurnOp::Fail { pick: rng.random() }
+        } else {
+            ChurnOp::Step {
+                pick: rng.random(),
+                dx: rng.random_range(-max_step..=max_step),
+                dy: rng.random_range(-max_step..=max_step),
+            }
+        };
+        trace.push(ChurnEvent { time, op });
+    }
+    trace
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn churn_trace_is_deterministic_and_ordered() {
+        let mix = ChurnMix {
+            arrival: 2.0,
+            failure: 1.0,
+            mobility: 1.0,
+        };
+        let a = churn_trace(mix, 200, 10.0, 0.5, 3);
+        let b = churn_trace(mix, 200, 10.0, 0.5, 3);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 200);
+        assert!(a.windows(2).all(|w| w[0].time < w[1].time));
+        assert_ne!(a, churn_trace(mix, 200, 10.0, 0.5, 4));
+    }
+
+    #[test]
+    fn churn_trace_respects_the_mix() {
+        // Arrival-only mix never kills or moves anyone.
+        let mix = ChurnMix {
+            arrival: 5.0,
+            failure: 0.0,
+            mobility: 0.0,
+        };
+        let trace = churn_trace(mix, 50, 4.0, 0.1, 1);
+        assert!(trace.iter().all(|e| matches!(e.op, ChurnOp::Arrive(_))));
+        for e in &trace {
+            if let ChurnOp::Arrive(p) = e.op {
+                assert!((0.0..=4.0).contains(&p.x) && (0.0..=4.0).contains(&p.y));
+            }
+        }
+        // Zero rate → empty trace.
+        let empty = churn_trace(
+            ChurnMix {
+                arrival: 0.0,
+                failure: 0.0,
+                mobility: 0.0,
+            },
+            50,
+            4.0,
+            0.1,
+            1,
+        );
+        assert!(empty.is_empty());
+        assert_eq!(ChurnMix::balanced(3.0).total(), 3.0);
+        assert_eq!(ChurnMix::balanced(3.0).label(), "a1.0/f1.0/m1.0");
+    }
 
     #[test]
     fn events_pop_in_time_order() {

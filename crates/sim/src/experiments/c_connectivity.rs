@@ -16,8 +16,8 @@ use antennae_core::antenna::AntennaBudget;
 use antennae_core::instance::Instance;
 use antennae_core::solver::Solver;
 use antennae_core::verify::VerificationEngine;
-use antennae_graph::traversal::{TraversalScratch, VertexMask};
 use antennae_geometry::PI;
+use antennae_graph::traversal::{TraversalScratch, VertexMask};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -92,13 +92,7 @@ impl CConnectivityConfig {
     /// Full configuration used by the report binary.
     pub fn full() -> Self {
         CConnectivityConfig {
-            regimes: vec![
-                (1, 8.0 * PI / 5.0),
-                (2, PI),
-                (3, 0.0),
-                (4, 0.0),
-                (5, 0.0),
-            ],
+            regimes: vec![(1, 8.0 * PI / 5.0), (2, PI), (3, 0.0), (4, 0.0), (5, 0.0)],
             workload: PointSetGenerator::UniformSquare { n: 60, side: 10.0 },
             seeds: 15,
             threads: default_threads(),

@@ -76,7 +76,11 @@ pub fn fmt_bound(bound: Option<f64>) -> String {
 
 /// Formats a boolean as a check mark / cross for report tables.
 pub fn fmt_check(ok: bool) -> String {
-    if ok { "yes".to_string() } else { "NO".to_string() }
+    if ok {
+        "yes".to_string()
+    } else {
+        "NO".to_string()
+    }
 }
 
 #[cfg(test)]

@@ -10,6 +10,7 @@
 //! | [`tradeoff`] | §1.1 / §5 trade-offs | radius as a function of the angular budget and of `k` |
 //! | [`energy_compare`] | §1 motivation | energy & interference of each scheme vs. an omnidirectional deployment |
 //! | [`c_connectivity`] | §5 open problem | fault tolerance (strong c-connectivity) of the produced orientations |
+//! | [`churn`] | §1 ad-hoc-network motivation | incremental re-orientation latency & radius drift under arrival/failure/mobility churn |
 //!
 //! Every driver has a `*Config` with `quick()` (seconds, used in tests) and
 //! `full()` (the defaults of the report binaries) constructors, produces a
@@ -17,6 +18,7 @@
 
 pub mod c_connectivity;
 pub mod chain_constructions;
+pub mod churn;
 pub mod common;
 pub mod energy_compare;
 pub mod lemma1_polygon;

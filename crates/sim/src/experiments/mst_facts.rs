@@ -87,9 +87,8 @@ impl fmt::Display for MstFactsReport {
                     s.degree5_min_consecutive, s.degree5_max_consecutive
                 )
             };
-            let holds = s.max_degree <= 5
-                && s.max_chord_ratio <= 1.0 + 1e-6
-                && s.non_empty_triangles == 0;
+            let holds =
+                s.max_degree <= 5 && s.max_chord_ratio <= 1.0 + 1e-6 && s.non_empty_triangles == 0;
             table.add_row(vec![
                 label.clone(),
                 s.n.to_string(),
@@ -197,7 +196,10 @@ impl MstFactsConfig {
     /// Full configuration used by the report binary.
     pub fn full() -> Self {
         let mut workloads = standard_workloads();
-        workloads.push(PointSetGenerator::UniformSquare { n: 1000, side: 40.0 });
+        workloads.push(PointSetGenerator::UniformSquare {
+            n: 1000,
+            side: 40.0,
+        });
         MstFactsConfig {
             workloads,
             seeds_per_workload: 10,

@@ -244,7 +244,10 @@ impl fmt::Display for Table1Report {
 /// outer level already saturates the pool).
 pub fn run(config: &Table1Config) -> Table1Report {
     let rows = table1_rows();
-    let budgets: Vec<AntennaBudget> = rows.iter().map(|r| AntennaBudget::new(r.k, r.phi)).collect();
+    let budgets: Vec<AntennaBudget> = rows
+        .iter()
+        .map(|r| AntennaBudget::new(r.k, r.phi))
+        .collect();
     // One job per (workload, seed): all twelve rows share the instance.
     let mut jobs: Vec<(PointSetGenerator, u64)> = Vec::new();
     for workload in &config.workloads {
@@ -262,7 +265,9 @@ pub fn run(config: &Table1Config) -> Table1Report {
         // All twelve rows verify against one instance, so they share one
         // verification session: the engine's spatial index is built once per
         // deployment, like the MST substrate.
-        let session = VerificationEngine::new().with_threads(1).session(batch.instance());
+        let session = VerificationEngine::new()
+            .with_threads(1)
+            .session(batch.instance());
         rows.iter()
             .zip(budgets.iter())
             .zip(outcomes)

@@ -101,10 +101,7 @@ impl fmt::Display for TradeoffReport {
     }
 }
 
-fn worst_radius_for_budget(
-    budget: AntennaBudget,
-    config: &TradeoffConfig,
-) -> (f64, bool) {
+fn worst_radius_for_budget(budget: AntennaBudget, config: &TradeoffConfig) -> (f64, bool) {
     let mut jobs: Vec<(PointSetGenerator, u64)> = Vec::new();
     for workload in &config.workloads {
         for seed in 0..config.seeds_per_workload {

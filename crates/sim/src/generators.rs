@@ -206,9 +206,7 @@ impl PointSetGenerator {
                 }
                 pts
             }
-            PointSetGenerator::Path { n } => {
-                (0..n).map(|i| Point::new(i as f64, 0.0)).collect()
-            }
+            PointSetGenerator::Path { n } => (0..n).map(|i| Point::new(i as f64, 0.0)).collect(),
         }
     }
 }
@@ -284,7 +282,10 @@ mod tests {
 
     #[test]
     fn disk_and_annulus_respect_radii() {
-        let disk = PointSetGenerator::UniformDisk { n: 300, radius: 2.0 };
+        let disk = PointSetGenerator::UniformDisk {
+            n: 300,
+            radius: 2.0,
+        };
         for p in disk.generate(3) {
             assert!(p.distance(&Point::ORIGIN) <= 2.0 + 1e-9);
         }

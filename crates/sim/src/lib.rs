@@ -19,7 +19,8 @@
 //!   annuli, extremal stars and polygons).
 //! * [`energy`] — sector-area / `r^α` energy model.
 //! * [`events`], [`flooding`] — discrete-event broadcast simulation over the
-//!   induced communication digraph.
+//!   induced communication digraph, plus the churn traces
+//!   (arrival/failure/mobility) driving the dynamic-deployment experiment.
 //! * [`interference`] — receivers-per-sector interference metric.
 //! * [`metrics`] — summary statistics helpers.
 //! * [`record`] — serde-serializable experiment records.
@@ -28,7 +29,8 @@
 //! * [`experiments`] — one driver per table/figure: Table 1, Lemma 1 /
 //!   Figure 1, Facts 1–2 / Figure 2, the Theorem 3 case histograms /
 //!   Figures 3–4, the chain constructions / Figures 5–6, the spread–radius
-//!   trade-off, and the energy comparison.
+//!   trade-off, the energy comparison, and the churn sweep over dynamic
+//!   deployments (EXP-CHURN).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]

@@ -1,0 +1,79 @@
+//! Dynamic deployments under churn: a `DynamicSolverSession` absorbing
+//! arrivals, failures and mobility while keeping the network verified.
+//!
+//! Run with `cargo run --release --example dynamic_churn`.
+
+use antennae::core::bounds::theorem2_spread_threshold;
+use antennae::prelude::*;
+use antennae::sim::events::{churn_trace, ChurnMix, ChurnOp};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A mid-sized uniform deployment and the paper's two-antenna budget in
+    // the Theorem 2 regime (φ₂ ≥ 6π/5), where re-orientation is per-vertex
+    // local and every edit is incremental.
+    let workload = PointSetGenerator::UniformSquare { n: 500, side: 15.0 };
+    let points = workload.generate(7);
+    let budget = AntennaBudget::new(2, theorem2_spread_threshold(2));
+    let mut session = DynamicSolverSession::new(DynamicInstance::new(&points)?, budget)?;
+    println!(
+        "initial deployment: n = {}, lmax = {:.4}, valid = {}, incremental = {}",
+        session.instance().len(),
+        session.instance().lmax(),
+        session.report().is_valid(),
+        session.is_incremental(),
+    );
+
+    // A deterministic churn trace: arrivals, failures and mobility steps.
+    let trace = churn_trace(ChurnMix::balanced(3.0), 200, 15.0, 0.75, 42);
+    let mut applied = 0usize;
+    let mut total_us = 0.0;
+    let mut max_rows = 0usize;
+    for event in &trace {
+        let ids = session.instance().ids();
+        let edit = match event.op {
+            ChurnOp::Arrive(p) => Edit::Insert(p),
+            ChurnOp::Fail { pick } => {
+                if ids.len() <= 2 {
+                    continue;
+                }
+                Edit::Remove(ids[(pick % ids.len() as u64) as usize])
+            }
+            ChurnOp::Step { pick, dx, dy } => {
+                let id = ids[(pick % ids.len() as u64) as usize];
+                let p = session.instance().point(id)?;
+                Edit::Move(id, Point::new(p.x + dx, p.y + dy))
+            }
+        };
+        let start = Instant::now();
+        let outcome = session.apply(edit)?;
+        total_us += start.elapsed().as_secs_f64() * 1e6;
+        applied += 1;
+        max_rows = max_rows.max(outcome.rows_recomputed);
+        assert!(outcome.report.is_valid(), "churn broke the network");
+    }
+    println!(
+        "applied {} edits: mean {:.0} µs/edit, worst row repair {} rows, n = {}, valid = {}",
+        applied,
+        total_us / applied as f64,
+        max_rows,
+        session.instance().len(),
+        session.report().is_valid(),
+    );
+
+    // The same state, re-solved from scratch, for scale.
+    let live = session.materialized()?.points().to_vec();
+    let start = Instant::now();
+    let instance = Instance::new(live)?;
+    let outcome = Solver::on(&instance).with_budget(budget).run()?;
+    let report =
+        antennae::core::verify::verify_with_budget(&instance, &outcome.scheme, Some(budget));
+    let rebuild_us = start.elapsed().as_secs_f64() * 1e6;
+    println!(
+        "from-scratch re-solve+re-verify of the same deployment: {:.0} µs ({}x the mean edit)",
+        rebuild_us,
+        (rebuild_us / (total_us / applied as f64)).round() as i64,
+    );
+    assert!(report.is_valid());
+    Ok(())
+}

@@ -14,12 +14,18 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(150);
 
-    let generator = PointSetGenerator::UniformSquare { n, side: (n as f64).sqrt() * 1.5 };
+    let generator = PointSetGenerator::UniformSquare {
+        n,
+        side: (n as f64).sqrt() * 1.5,
+    };
     let points = generator.generate(3);
     let instance = Instance::new(points.clone()).expect("non-empty");
     let model = EnergyModel::default();
 
-    println!("{n} sensors, path-loss exponent α = {}\n", model.path_loss_exponent);
+    println!(
+        "{n} sensors, path-loss exponent α = {}\n",
+        model.path_loss_exponent
+    );
     println!(
         "{:>14} {:>12} {:>14} {:>12} {:>10} {:>14}",
         "configuration", "radius/lmax", "total energy", "omni energy", "gain", "interference"
@@ -54,8 +60,9 @@ fn main() {
         );
     }
 
-    let omni_intf =
-        omnidirectional_interference(&points, instance.lmax()).mean_covered_per_antenna;
-    println!("\n(omnidirectional interference at radius lmax: {omni_intf:.2} receivers per sensor)");
+    let omni_intf = omnidirectional_interference(&points, instance.lmax()).mean_covered_per_antenna;
+    println!(
+        "\n(omnidirectional interference at radius lmax: {omni_intf:.2} receivers per sensor)"
+    );
     println!("narrow beams pay for their range with far less radiated energy and interference.");
 }

@@ -4,9 +4,7 @@
 //! Run with: `cargo run --release --example network_flooding [n]`
 
 use antennae::prelude::*;
-use antennae::sim::flooding::{
-    flood, flood_over_digraph, omnidirectional_digraph, FloodingConfig,
-};
+use antennae::sim::flooding::{flood, flood_over_digraph, omnidirectional_digraph, FloodingConfig};
 use std::f64::consts::PI;
 
 fn main() {
@@ -15,7 +13,10 @@ fn main() {
         .and_then(|a| a.parse().ok())
         .unwrap_or(120);
 
-    let generator = PointSetGenerator::UniformSquare { n, side: (n as f64).sqrt() * 1.5 };
+    let generator = PointSetGenerator::UniformSquare {
+        n,
+        side: (n as f64).sqrt() * 1.5,
+    };
     let points = generator.generate(11);
     let instance = Instance::new(points.clone()).expect("non-empty");
 

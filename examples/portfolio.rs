@@ -58,8 +58,7 @@ fn main() {
 
                 // The portfolio is never worse than the dispatcher's pick…
                 assert!(
-                    portfolio.measured_radius_over_lmax
-                        <= best.measured_radius_over_lmax + 1e-12
+                    portfolio.measured_radius_over_lmax <= best.measured_radius_over_lmax + 1e-12
                 );
                 // …and every candidate it evaluated passed independent
                 // verification under the solve's own budget.

@@ -28,9 +28,7 @@ fn main() {
         .expect("orientation exists");
     println!(
         "algorithm: {}, guaranteed radius: {:?} · lmax, measured: {:.3} · lmax",
-        outcome.algorithm,
-        outcome.guaranteed_radius_over_lmax,
-        outcome.measured_radius_over_lmax
+        outcome.algorithm, outcome.guaranteed_radius_over_lmax, outcome.measured_radius_over_lmax
     );
 
     // Independently verify the result.

@@ -13,7 +13,10 @@ fn main() {
     let seeds: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
 
     println!("two antennae per sensor, {n} sensors, {seeds} seeds per budget\n");
-    println!("{:>10} {:>10} {:>16} {:>14}", "φ₂/π", "φ₂ (rad)", "worst measured", "paper bound");
+    println!(
+        "{:>10} {:>10} {:>16} {:>14}",
+        "φ₂/π", "φ₂ (rad)", "worst measured", "paper bound"
+    );
 
     let lo = 2.0 * PI / 3.0;
     let hi = 6.0 * PI / 5.0;
@@ -22,8 +25,11 @@ fn main() {
         let phi = lo + (hi - lo) * i as f64 / steps as f64;
         let mut worst: f64 = 0.0;
         for seed in 0..seeds {
-            let points =
-                PointSetGenerator::UniformSquare { n, side: (n as f64).sqrt() }.generate(seed);
+            let points = PointSetGenerator::UniformSquare {
+                n,
+                side: (n as f64).sqrt(),
+            }
+            .generate(seed);
             let instance = Instance::new(points).expect("non-empty");
             let scheme = Solver::on(&instance)
                 .budget(2, phi)
@@ -35,7 +41,13 @@ fn main() {
             worst = worst.max(report.max_radius_over_lmax);
         }
         let bound = bounds::table1_radius(2, phi).unwrap();
-        println!("{:>10.3} {:>10.4} {:>16.4} {:>14.4}", phi / PI, phi, worst, bound);
+        println!(
+            "{:>10.3} {:>10.4} {:>16.4} {:>14.4}",
+            phi / PI,
+            phi,
+            worst,
+            bound
+        );
     }
 
     println!("\nthe measured radius always stays below the paper's bound, and both fall");

@@ -33,7 +33,10 @@ fn main() {
             "k", "φ/π", "algorithm", "measured r/lmax", "paper bound", "connected"
         );
         for &(k, phi) in &budgets {
-            let outcome = Solver::on(&instance).budget(k, phi).run().expect("orientable");
+            let outcome = Solver::on(&instance)
+                .budget(k, phi)
+                .run()
+                .expect("orientable");
             let report = verify(&instance, &outcome.scheme);
             println!(
                 "{:>4} {:>8.3} {:>14} {:>16.4} {:>14} {:>10}",

@@ -6,6 +6,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== formatting (cargo fmt --check) =="
+cargo fmt --all --check
+
 echo "== tier-1: release build =="
 cargo build --release
 
@@ -18,11 +21,14 @@ fi
 
 # The workspace run is a strict superset of the tier-1 `cargo test -q`
 # (which covers the root package only), so the full gate runs it once.
-# PROPTEST_CASES pins every property suite — including the verification
-# engine's oracle suite (tests/verification_oracle.rs, fast kd-tree path vs
-# dense reference) — to a fixed budget: large enough to sweep degenerate
-# geometry, deterministic in CI time.  The vendored proptest stub derives
-# every case from the test name + case index, so the run is reproducible.
+# PROPTEST_CASES pins every property suite — the verification engine's
+# oracle suite (tests/verification_oracle.rs, fast kd-tree path vs dense
+# reference) and the dynamic-instance edit-script oracle suite
+# (tests/dynamic_oracle.rs, incremental MST/scheme/digraph/verdict vs
+# from-scratch rebuild after every edit) — to a fixed budget: large enough
+# to sweep degenerate geometry, deterministic in CI time.  The vendored
+# proptest stub derives every case from the test name + case index, so the
+# run is reproducible.
 echo "== workspace tests (unit + property + doctests; PROPTEST_CASES=128) =="
 PROPTEST_CASES=128 cargo test --workspace -q
 
@@ -31,8 +37,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # Benches are not exercised by the test suite; building them (without
 # running) keeps them from rotting.  `scripts/bench_smoke.sh` runs the
-# traversal/verification/dispatch_policy benches in quick mode and records
-# the numbers in BENCH_4.json.
+# headline benches in quick mode and records the numbers in BENCH_5.json;
+# `scripts/bench_gate.sh` compares that run against the previous committed
+# BENCH_*.json and flags >2x regressions (advisory CI job).
 echo "== benches compile (cargo bench --no-run) =="
 cargo bench --no-run
 

@@ -70,11 +70,11 @@ pub mod prelude {
     pub use antennae_core::antenna::{Antenna, AntennaBudget, SensorAssignment};
     pub use antennae_core::batch::{BatchOrienter, InstanceBatch};
     pub use antennae_core::bounds;
+    pub use antennae_core::dynamic::{DynamicInstance, DynamicSolverSession, Edit, EditOutcome};
     pub use antennae_core::instance::Instance;
     pub use antennae_core::scheme::OrientationScheme;
     pub use antennae_core::solver::{
-        Guarantee, Orienter, OrientationOutcome, Registry, SelectionPolicy, Solver,
-        VerifiedOutcome,
+        Guarantee, OrientationOutcome, Orienter, Registry, SelectionPolicy, Solver, VerifiedOutcome,
     };
     pub use antennae_core::verify::{
         verify, DigraphStrategy, VerificationEngine, VerificationReport, VerificationSession,

@@ -72,7 +72,11 @@ fn directional_interference_decreases_with_narrower_budgets() {
     let instance = Instance::new(points.clone()).unwrap();
     // Wide antennae (theorem 2, k=1 needs spread up to 8π/5) cover more
     // unintended receivers than beam-only schemes.
-    let wide = Solver::on(&instance).budget(1, 8.0 * PI / 5.0).run().unwrap().scheme;
+    let wide = Solver::on(&instance)
+        .budget(1, 8.0 * PI / 5.0)
+        .run()
+        .unwrap()
+        .scheme;
     let narrow = Solver::on(&instance).budget(5, 0.0).run().unwrap().scheme;
     let wide_stats = interference_stats(&points, &wide);
     let narrow_stats = interference_stats(&points, &narrow);
@@ -91,10 +95,24 @@ fn induced_digraph_contains_every_mst_edge_for_theorem2() {
     let generator = PointSetGenerator::UniformSquare { n: 60, side: 10.0 };
     let points = generator.generate(9);
     let instance = Instance::new(points.clone()).unwrap();
-    let scheme = Solver::on(&instance).budget(2, 6.0 * PI / 5.0).run().unwrap().scheme;
+    let scheme = Solver::on(&instance)
+        .budget(2, 6.0 * PI / 5.0)
+        .run()
+        .unwrap()
+        .scheme;
     let digraph = scheme.induced_digraph(&points);
     for edge in instance.mst().edges() {
-        assert!(digraph.has_edge(edge.u, edge.v), "missing {} -> {}", edge.u, edge.v);
-        assert!(digraph.has_edge(edge.v, edge.u), "missing {} -> {}", edge.v, edge.u);
+        assert!(
+            digraph.has_edge(edge.u, edge.v),
+            "missing {} -> {}",
+            edge.u,
+            edge.v
+        );
+        assert!(
+            digraph.has_edge(edge.v, edge.u),
+            "missing {} -> {}",
+            edge.v,
+            edge.u
+        );
     }
 }

@@ -40,10 +40,7 @@ fn build_pair(n: usize, edges: &[(usize, usize)]) -> (DiGraph, AdjListDiGraph) {
     for &(u, v) in edges {
         incremental.add_edge(u, v);
     }
-    let from_rows = DiGraph::from_adjacency(
-        n,
-        (0..n).map(|u| legacy.out_neighbors(u).to_vec()),
-    );
+    let from_rows = DiGraph::from_adjacency(n, (0..n).map(|u| legacy.out_neighbors(u).to_vec()));
     assert_eq!(bulk, incremental, "from_edges vs add_edge");
     assert_eq!(bulk, from_rows, "from_edges vs from_adjacency");
     assert_eq!(bulk, legacy.to_csr(), "CSR vs legacy structure");
@@ -56,7 +53,11 @@ fn build_pair(n: usize, edges: &[(usize, usize)]) -> (DiGraph, AdjListDiGraph) {
 }
 
 /// Asserts every unmasked kernel agrees with the legacy implementation.
-fn assert_unmasked_kernels_match(csr: &DiGraph, legacy: &AdjListDiGraph, scratch: &mut TraversalScratch) {
+fn assert_unmasked_kernels_match(
+    csr: &DiGraph,
+    legacy: &AdjListDiGraph,
+    scratch: &mut TraversalScratch,
+) {
     let n = csr.len();
     assert_eq!(csr.is_strongly_connected(), legacy.is_strongly_connected());
     assert_eq!(
@@ -73,9 +74,16 @@ fn assert_unmasked_kernels_match(csr: &DiGraph, legacy: &AdjListDiGraph, scratch
     // The full CSR decomposition is order-identical to the legacy one.
     assert_eq!(tarjan_scc(csr), legacy_sccs);
     for start in 0..n {
-        let order: Vec<usize> = scratch.bfs(csr, start, None).iter().map(|&v| v as usize).collect();
+        let order: Vec<usize> = scratch
+            .bfs(csr, start, None)
+            .iter()
+            .map(|&v| v as usize)
+            .collect();
         assert_eq!(order, legacy.bfs_order(start), "BFS order from {start}");
-        assert_eq!(scratch.reachable_count(csr, start, None), legacy.reachable_count(start));
+        assert_eq!(
+            scratch.reachable_count(csr, start, None),
+            legacy.reachable_count(start)
+        );
         let hops: Vec<Option<usize>> = scratch
             .hop_distances(csr, start, None)
             .iter()
@@ -118,7 +126,11 @@ fn assert_masked_kernels_match(
     );
     let summary = scratch.scc_summary(csr, Some(&mask));
     let reduced_sccs = reduced.tarjan_scc();
-    assert_eq!(summary.count, reduced_sccs.len(), "SCC count under {faults:?}");
+    assert_eq!(
+        summary.count,
+        reduced_sccs.len(),
+        "SCC count under {faults:?}"
+    );
     assert_eq!(
         summary.largest,
         reduced_sccs.iter().map(|c| c.len()).max().unwrap_or(0),
@@ -137,7 +149,11 @@ fn assert_masked_kernels_match(
             .iter()
             .map(|&v| new_index[v as usize])
             .collect();
-        assert_eq!(mapped, reduced.bfs_order(new_index[start]), "masked BFS from {start}");
+        assert_eq!(
+            mapped,
+            reduced.bfs_order(new_index[start]),
+            "masked BFS from {start}"
+        );
         let masked_hops = scratch.hop_distances(csr, start, Some(&mask)).to_vec();
         let reduced_hops = reduced.hop_distances(new_index[start]);
         for v in 0..n {
@@ -172,11 +188,32 @@ fn exercise(n: usize, edges: &[(usize, usize)]) {
 fn hand_built_digraphs_match_reference() {
     // Directed cycle with chords, a DAG, two bridged cycles, isolated
     // vertices.
-    exercise(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (2, 5)]);
+    exercise(
+        6,
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 0),
+            (0, 3),
+            (2, 5),
+        ],
+    );
     exercise(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)]);
     exercise(
         7,
-        &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3), (6, 0)],
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 0),
+            (3, 4),
+            (4, 5),
+            (5, 3),
+            (2, 3),
+            (6, 0),
+        ],
     );
     exercise(1, &[]);
     exercise(0, &[]);
@@ -210,7 +247,11 @@ fn exercise_deployment(points: Vec<antennae::geometry::Point>, label: &str) {
         let csr = VerificationEngine::new()
             .with_strategy(strategy)
             .induced_digraph(points, &scheme);
-        assert_eq!(csr, legacy.to_csr(), "{label}: {strategy:?} vs legacy dense");
+        assert_eq!(
+            csr,
+            legacy.to_csr(),
+            "{label}: {strategy:?} vs legacy dense"
+        );
     }
     let csr = VerificationEngine::new().induced_digraph(points, &scheme);
     let mut scratch = TraversalScratch::new();
@@ -256,7 +297,10 @@ fn duplicate_point_deployment_matches_reference() {
 
 #[test]
 fn single_vertex_deployment_matches_reference() {
-    exercise_deployment(vec![antennae::geometry::Point::new(3.0, 4.0)], "single vertex");
+    exercise_deployment(
+        vec![antennae::geometry::Point::new(3.0, 4.0)],
+        "single vertex",
+    );
 }
 
 proptest! {

@@ -1,0 +1,256 @@
+//! Edit-script oracle tests for the dynamic-instance subsystem.
+//!
+//! After **every step** of an insert/remove/move script, the incrementally
+//! maintained state must agree with the from-scratch pipeline on the same
+//! live point set:
+//!
+//! * MST: same total weight and same `lmax` as a fresh `EuclideanMst::build`
+//!   (every MST of a point set shares one multiset of edge weights, so these
+//!   agree up to float summation noise even when tie-broken trees differ);
+//! * scheme: in the Theorem 2 regime, **exactly** the scheme a full
+//!   re-orientation produces on the materialized instance;
+//! * induced digraph: **exactly** the verification engine's from-scratch
+//!   construction (both the dense reference and the kd-tree fast path);
+//! * verdict: **exactly** the report of a fresh `verify_with_budget`.
+//!
+//! The deterministic sweep covers stochastic and extremal generators,
+//! drain-to-one-sensor scripts and duplicate-point edits; the property tests
+//! fuzz random scripts over snapped (tie-heavy) and continuous geometry.
+//! `scripts/verify.sh` runs this suite under the pinned `PROPTEST_CASES`
+//! budget.
+
+use antennae::core::antenna::AntennaBudget;
+use antennae::core::bounds::theorem2_spread_threshold;
+use antennae::core::dynamic::{DynamicInstance, DynamicSolverSession, Edit};
+use antennae::core::verify::verify_with_budget;
+use antennae::graph::euclidean::MAX_MST_DEGREE;
+use antennae::prelude::*;
+use antennae::sim::generators::{extremal_workloads, standard_workloads};
+use proptest::prelude::*;
+
+/// One fuzzable script step; `pick` indexes the live population mod its size.
+#[derive(Debug, Clone)]
+enum Step {
+    Insert(f64, f64),
+    Remove(u64),
+    Move(u64, f64, f64),
+}
+
+fn to_edit(session: &DynamicSolverSession, step: &Step) -> Option<Edit> {
+    match *step {
+        Step::Insert(x, y) => Some(Edit::Insert(Point::new(x, y))),
+        Step::Remove(pick) => {
+            let ids = session.instance().ids();
+            (ids.len() > 1).then(|| Edit::Remove(ids[(pick % ids.len() as u64) as usize]))
+        }
+        Step::Move(pick, x, y) => {
+            let ids = session.instance().ids();
+            Some(Edit::Move(
+                ids[(pick % ids.len() as u64) as usize],
+                Point::new(x, y),
+            ))
+        }
+    }
+}
+
+/// The full oracle: MST weight/`lmax` vs rebuild, scheme vs full re-orient,
+/// digraph vs both static constructions, report vs fresh verification.
+fn assert_oracle(session: &mut DynamicSolverSession) {
+    let budget = session.budget();
+    let scheme = session.scheme().clone();
+    let digraph = session.digraph().clone();
+    let report = session.report().clone();
+    let dynamic_weight = session.instance().mst_total_weight();
+    let dynamic_lmax = session.instance().lmax();
+    let instance = session.materialized().unwrap().clone();
+
+    // MST weight / lmax vs a from-scratch engine build.
+    let rebuilt = EuclideanMst::build(instance.points()).unwrap();
+    let scale = rebuilt.total_weight().max(1.0);
+    assert!(
+        (dynamic_weight - rebuilt.total_weight()).abs() < 1e-9 * scale,
+        "weight {} vs rebuild {}",
+        dynamic_weight,
+        rebuilt.total_weight()
+    );
+    assert!(
+        (dynamic_lmax - rebuilt.lmax()).abs() < 1e-9 * scale,
+        "lmax {} vs rebuild {}",
+        dynamic_lmax,
+        rebuilt.lmax()
+    );
+    assert!(instance.mst().max_degree() <= MAX_MST_DEGREE);
+    assert_eq!(instance.lmax(), dynamic_lmax);
+
+    // Scheme vs a full re-orientation (exact, including antenna parameters).
+    if session.is_incremental() {
+        let full = Solver::on(&instance)
+            .with_budget(budget)
+            .run()
+            .unwrap()
+            .scheme;
+        assert_eq!(scheme, full, "incremental scheme diverged from full solve");
+    }
+
+    // Digraph vs both static constructions (ordered-structural equality).
+    let dense = VerificationEngine::new()
+        .with_strategy(DigraphStrategy::Dense)
+        .induced_digraph(instance.points(), &scheme);
+    assert_eq!(digraph, dense, "digraph diverged from dense reference");
+    let kd = VerificationEngine::new()
+        .with_strategy(DigraphStrategy::KdTree)
+        .induced_digraph(instance.points(), &scheme);
+    assert_eq!(digraph, kd, "digraph diverged from kd-tree engine");
+
+    // Verdict vs a fresh from-scratch verification.
+    let fresh = verify_with_budget(&instance, &scheme, Some(budget));
+    assert_eq!(report, fresh, "report diverged from fresh verification");
+}
+
+fn replay(points: &[Point], budget: AntennaBudget, steps: &[Step]) {
+    let inst = DynamicInstance::new(points).unwrap();
+    let mut session = DynamicSolverSession::new(inst, budget).unwrap();
+    assert_oracle(&mut session);
+    for step in steps {
+        let Some(edit) = to_edit(&session, step) else {
+            continue;
+        };
+        session.apply(edit).unwrap();
+        assert_oracle(&mut session);
+    }
+}
+
+/// A deterministic mixed script exercising all three edit kinds.
+fn mixed_script(seed: u64) -> Vec<Step> {
+    (0..12)
+        .map(|i| {
+            let x = ((seed.wrapping_mul(31).wrapping_add(i * 7)) % 100) as f64 / 7.0;
+            let y = ((seed.wrapping_mul(17).wrapping_add(i * 13)) % 100) as f64 / 9.0;
+            match i % 3 {
+                0 => Step::Insert(x, y),
+                1 => Step::Remove(seed.wrapping_add(i)),
+                _ => Step::Move(seed.wrapping_add(i), x, y),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn mixed_scripts_over_stochastic_and_extremal_workloads() {
+    let budget = AntennaBudget::new(2, theorem2_spread_threshold(2));
+    for workload in standard_workloads().into_iter().chain(extremal_workloads()) {
+        // Cap the deployment size to keep the O(n²) dense oracle affordable
+        // across the per-step sweep.
+        if workload.size() > 120 {
+            continue;
+        }
+        let points = workload.generate(5);
+        replay(&points, budget, &mixed_script(workload.size() as u64));
+    }
+}
+
+#[test]
+fn fallback_budget_scripts_stay_exact() {
+    // (2, π) re-solves in full per edit (Theorem 3); the digraph/report
+    // oracles still must hold.
+    let points = PointSetGenerator::UniformSquare { n: 30, side: 8.0 }.generate(2);
+    replay(
+        &points,
+        AntennaBudget::new(2, std::f64::consts::PI),
+        &mixed_script(3),
+    );
+}
+
+#[test]
+fn drain_to_one_sensor_script() {
+    let points = PointSetGenerator::UniformSquare { n: 12, side: 5.0 }.generate(9);
+    let steps: Vec<Step> = (0..11).map(|i| Step::Remove(i * 3 + 1)).collect();
+    let budget = AntennaBudget::new(1, theorem2_spread_threshold(1));
+    let inst = DynamicInstance::new(&points).unwrap();
+    let mut session = DynamicSolverSession::new(inst, budget).unwrap();
+    for step in &steps {
+        if let Some(edit) = to_edit(&session, step) {
+            session.apply(edit).unwrap();
+            assert_oracle(&mut session);
+        }
+    }
+    assert_eq!(session.instance().len(), 1);
+    assert!(session.report().is_strongly_connected);
+    assert_eq!(session.instance().lmax(), 0.0);
+}
+
+#[test]
+fn duplicate_point_scripts_stay_exact() {
+    // Exact duplicates at every step: zero-length MST edges, coincident
+    // sensors covering each other through the apex rule.
+    let points = vec![
+        Point::new(0.0, 0.0),
+        Point::new(1.0, 0.0),
+        Point::new(1.0, 0.0),
+    ];
+    let steps = vec![
+        Step::Insert(0.0, 0.0),
+        Step::Insert(1.0, 0.0),
+        Step::Move(0, 1.0, 0.0),
+        Step::Remove(2),
+        Step::Move(1, 0.0, 0.0),
+        Step::Insert(0.5, 0.5),
+        Step::Remove(0),
+    ];
+    replay(
+        &points,
+        AntennaBudget::new(3, theorem2_spread_threshold(3)),
+        &steps,
+    );
+}
+
+proptest! {
+    #[test]
+    fn prop_random_scripts_match_rebuild_oracle(
+        initial in proptest::collection::vec((0.0..20.0f64, 0.0..20.0f64), 2..25),
+        script in proptest::collection::vec(
+            (0u8..3, 0u64..1_000_000u64, 0.0..20.0f64, 0.0..20.0f64),
+            1..15
+        ),
+        k in 1usize..=5,
+    ) {
+        let points: Vec<Point> = initial.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let steps: Vec<Step> = script
+            .iter()
+            .map(|&(op, pick, x, y)| match op {
+                0 => Step::Insert(x, y),
+                1 => Step::Remove(pick),
+                _ => Step::Move(pick, x, y),
+            })
+            .collect();
+        let budget = AntennaBudget::new(k, theorem2_spread_threshold(k));
+        replay(&points, budget, &steps);
+    }
+
+    #[test]
+    fn prop_snapped_grid_scripts_match_rebuild_oracle(
+        initial in proptest::collection::vec((0usize..8, 0usize..8), 2..20),
+        script in proptest::collection::vec(
+            (0u8..3, 0u64..1_000_000u64, 0usize..8, 0usize..8),
+            1..12
+        ),
+    ) {
+        // Integer-snapped geometry: exact duplicates, shared rows/columns and
+        // tied candidate edges in every repair — the worst case for the
+        // incremental tie-breaking.
+        let points: Vec<Point> = initial
+            .iter()
+            .map(|&(x, y)| Point::new(x as f64, y as f64))
+            .collect();
+        let steps: Vec<Step> = script
+            .iter()
+            .map(|&(op, pick, x, y)| match op {
+                0 => Step::Insert(x as f64, y as f64),
+                1 => Step::Remove(pick),
+                _ => Step::Move(pick, x as f64, y as f64),
+            })
+            .collect();
+        let budget = AntennaBudget::new(2, theorem2_spread_threshold(2));
+        replay(&points, budget, &steps);
+    }
+}

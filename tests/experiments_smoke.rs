@@ -12,9 +12,13 @@ fn table1_quick_report_reproduces_every_row_within_bounds() {
     assert_eq!(report.rows.len(), 12);
     assert!(report.all_valid());
     for row in &report.rows {
-        assert!(row.within_paper_bound || row.implemented_bound.is_none(),
+        assert!(
+            row.within_paper_bound || row.implemented_bound.is_none(),
             "row '{}' exceeded the paper bound: measured {:.4} vs {:?}",
-            row.row.regime, row.worst_radius, row.row.paper_bound);
+            row.row.regime,
+            row.worst_radius,
+            row.row.paper_bound
+        );
     }
     let text = report.to_string();
     assert!(text.contains("Table 1"));

@@ -32,11 +32,7 @@ fn verify_both_paths(
 fn instance_and_scheme() -> (Instance, OrientationScheme) {
     let generator = PointSetGenerator::UniformSquare { n: 40, side: 10.0 };
     let instance = Instance::new(generator.generate(17)).unwrap();
-    let scheme = Solver::on(&instance)
-        .budget(2, PI)
-        .run()
-        .unwrap()
-        .scheme;
+    let scheme = Solver::on(&instance).budget(2, PI).run().unwrap().scheme;
     (instance, scheme)
 }
 

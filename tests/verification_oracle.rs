@@ -205,7 +205,10 @@ fn oracle_parallel_rebuild_matches_sequential_and_dense() {
     // multi-thread engine forces the parallel branch regardless of the
     // machine's core count; threads = 1 forces the buffer-reusing
     // sequential branch on the identical input.
-    let generator = PointSetGenerator::UniformSquare { n: 1200, side: 35.0 };
+    let generator = PointSetGenerator::UniformSquare {
+        n: 1200,
+        side: 35.0,
+    };
     let instance = Instance::new(generator.generate(41)).unwrap();
     let budget = AntennaBudget::new(2, PI);
     let scheme = Solver::on(&instance)
