@@ -11,7 +11,11 @@
 //!   in ascending order, the maintained tree handed over without a rebuild.
 //! * [`DynamicSolverSession`] owns a dynamic instance plus one budget and
 //!   keeps the orientation scheme, the induced digraph and the verification
-//!   verdict continuously up to date across edits.  When the budget admits
+//!   verdict continuously up to date across edits — one at a time through
+//!   [`DynamicSolverSession::apply`], or as a coalesced burst through
+//!   [`DynamicSolverSession::apply_coalesced`], which pays the repair once
+//!   for the whole batch (the substrate under the deployment server's
+//!   edit-stream batching).  When the budget admits
 //!   the Theorem 2 construction (whose per-vertex Lemma 1 orientation is
 //!   purely local), re-orientation touches only the sensors whose tree
 //!   neighborhood changed; the induced digraph is repaired row-wise (dirty
@@ -50,7 +54,6 @@ pub type SensorId = usize;
 fn map_emst_error(e: DynamicEmstError) -> OrientError {
     match e {
         DynamicEmstError::UnknownSlot(id) => OrientError::UnknownSensor { id },
-        DynamicEmstError::WouldBeEmpty => OrientError::EmptyInstance,
     }
 }
 
@@ -91,10 +94,13 @@ pub struct DynamicInstance {
 impl DynamicInstance {
     /// Builds a dynamic instance over an initial deployment; sensor `i` of
     /// `points` gets id `i`.
+    ///
+    /// An empty `points` slice is allowed: the deployment starts with zero
+    /// live sensors and grows through [`DynamicInstance::insert`] — the shape
+    /// a deployment server needs when a tenant is registered before its
+    /// first sensor arrives.  (Only [`DynamicInstance::instance`] requires a
+    /// non-empty live set, because a static [`Instance`] cannot be empty.)
     pub fn new(points: &[Point]) -> Result<Self, OrientError> {
-        if points.is_empty() {
-            return Err(OrientError::EmptyInstance);
-        }
         let emst =
             DynamicEmst::new(points).map_err(|e| OrientError::MstConstruction(e.to_string()))?;
         Ok(DynamicInstance {
@@ -105,15 +111,29 @@ impl DynamicInstance {
         })
     }
 
+    /// A dynamic instance with zero live sensors (grow it with
+    /// [`DynamicInstance::insert`]).
+    pub fn empty() -> Self {
+        Self::new(&[]).expect("building an empty dynamic instance cannot fail")
+    }
+
     /// Number of live sensors.
     pub fn len(&self) -> usize {
         self.emst.live_count()
     }
 
-    /// Returns `true` when no sensor is live (unreachable through the public
-    /// API, which refuses to drain the last sensor).
+    /// Returns `true` when no sensor is live (a freshly created empty
+    /// deployment, or one drained to zero by removals).
     pub fn is_empty(&self) -> bool {
         self.emst.live_count() == 0
+    }
+
+    /// The id the next [`DynamicInstance::insert`] will assign.  Ids are
+    /// monotone and never reused, so this also bounds every id ever handed
+    /// out — the deployment server's edit validator projects id assignment
+    /// from it without mutating the instance.
+    pub fn next_id(&self) -> SensorId {
+        self.emst.slot_bound()
     }
 
     /// Returns `true` when `id` names a live sensor.
@@ -161,7 +181,8 @@ impl DynamicInstance {
         self.emst.insert(p)
     }
 
-    /// Removes a live sensor (the last live sensor cannot be removed).
+    /// Removes a live sensor.  Draining to zero is allowed; the deployment
+    /// can be regrown with [`DynamicInstance::insert`] afterwards.
     pub fn remove(&mut self, id: SensorId) -> Result<(), OrientError> {
         self.cache = None;
         self.emst.remove(id).map_err(map_emst_error)
@@ -182,7 +203,15 @@ impl DynamicInstance {
     /// Materializes (and caches) the live deployment as a regular
     /// [`Instance`]: live ids ascending, the maintained MST handed over
     /// without a rebuild, the rooted view re-derived lazily as usual.
+    ///
+    /// Errors with [`OrientError::EmptyInstance`] when no sensor is live —
+    /// a static [`Instance`] cannot be empty, so an empty deployment has no
+    /// materialization (its scheme/digraph/report are trivially empty, as
+    /// [`DynamicSolverSession`] defines them).
     pub fn instance(&mut self) -> Result<&Instance, OrientError> {
+        if self.is_empty() {
+            return Err(OrientError::EmptyInstance);
+        }
         if self.cache.is_none() {
             let mst = self
                 .emst
@@ -209,6 +238,35 @@ pub enum Edit {
     Remove(SensorId),
     /// The sensor with the given id moves to the given location.
     Move(SensorId, Point),
+}
+
+/// What one [`DynamicSolverSession::apply_coalesced`] did: the refreshed
+/// verdict plus the incrementality counters the deployment server's
+/// per-tenant stats record.
+///
+/// A coalesced batch pays the orientation/digraph repair **once** for the
+/// whole burst: `mst_changed` and `rows_recomputed` count the union of the
+/// per-edit dirty sets, not their sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchOutcome {
+    /// How many edits the batch applied.
+    pub applied: usize,
+    /// Ids assigned to the batch's inserts, in edit order.
+    pub inserted_ids: Vec<SensorId>,
+    /// The construction that produced the current scheme.
+    pub algorithm: AlgorithmKind,
+    /// Whether re-orientation took the incremental per-vertex path (`false`
+    /// means a full solve on the materialized instance).
+    pub incremental_orientation: bool,
+    /// Sensors whose MST neighborhood changed across the batch (union).
+    pub mst_changed: usize,
+    /// Induced-digraph rows recomputed by the verification repair (union).
+    pub rows_recomputed: usize,
+    /// The verification verdict for the refreshed scheme under the
+    /// session's budget.
+    pub report: VerificationReport,
+    /// The refreshed scheme's measured max radius in units of `lmax`.
+    pub measured_radius_over_lmax: f64,
 }
 
 /// What one [`DynamicSolverSession::apply`] did: the refreshed verdict plus
@@ -336,6 +394,11 @@ impl DynamicSolverSession {
         self.incremental
     }
 
+    /// The construction that produced the current scheme.
+    pub fn algorithm(&self) -> AlgorithmKind {
+        self.algorithm
+    }
+
     /// The dynamic instance (read-only; edits go through
     /// [`DynamicSolverSession::apply`] so the cached state stays in sync).
     pub fn instance(&self) -> &DynamicInstance {
@@ -366,50 +429,131 @@ impl DynamicSolverSession {
     /// Applies one edit: updates the MST substrate, re-orients (incrementally
     /// in the Theorem 2 regime), repairs the induced digraph row-wise and
     /// re-checks strong connectivity.
+    ///
+    /// Removing the last live sensor is allowed: the session drains to the
+    /// empty deployment (empty scheme and digraph, trivially valid report)
+    /// and can be regrown with inserts.
     pub fn apply(&mut self, edit: Edit) -> Result<EditOutcome, OrientError> {
-        // Edited locations drive the reverse row-repair queries below.
-        let mut edited_positions: Vec<Point> = Vec::with_capacity(2);
+        let outcome = self.apply_coalesced(std::slice::from_ref(&edit))?;
         let id = match edit {
-            Edit::Insert(p) => {
-                edited_positions.push(p);
-                self.inst.insert(p)
-            }
-            Edit::Remove(id) => {
-                edited_positions.push(self.inst.point(id)?);
-                self.inst.remove(id)?;
-                id
-            }
-            Edit::Move(id, p) => {
-                edited_positions.push(self.inst.point(id)?);
-                edited_positions.push(p);
-                self.inst.move_sensor(id, p)?;
-                id
-            }
+            Edit::Insert(_) => outcome.inserted_ids[0],
+            Edit::Remove(id) | Edit::Move(id, _) => id,
         };
-        let changed: Vec<SensorId> = self.inst.changed_ids().to_vec();
+        Ok(EditOutcome {
+            id,
+            algorithm: outcome.algorithm,
+            incremental_orientation: outcome.incremental_orientation,
+            mst_changed: outcome.mst_changed,
+            rows_recomputed: outcome.rows_recomputed,
+            report: outcome.report,
+            measured_radius_over_lmax: outcome.measured_radius_over_lmax,
+        })
+    }
+
+    /// Validates `edits` against a *projected* live set (ids are monotone,
+    /// so insert ids are predictable) without touching any state.  Returns
+    /// the ids the batch's inserts will be assigned.
+    fn validate_edits(&self, edits: &[Edit]) -> Result<Vec<SensorId>, OrientError> {
+        let mut alive = vec![false; self.inst.next_id()];
+        for id in self.inst.ids() {
+            alive[id] = true;
+        }
+        let mut inserted = Vec::new();
+        for edit in edits {
+            match *edit {
+                Edit::Insert(_) => {
+                    inserted.push(alive.len());
+                    alive.push(true);
+                }
+                Edit::Remove(id) => {
+                    if !alive.get(id).copied().unwrap_or(false) {
+                        return Err(OrientError::UnknownSensor { id });
+                    }
+                    alive[id] = false;
+                }
+                Edit::Move(id, _) => {
+                    if !alive.get(id).copied().unwrap_or(false) {
+                        return Err(OrientError::UnknownSensor { id });
+                    }
+                }
+            }
+        }
+        Ok(inserted)
+    }
+
+    /// Applies a **burst of edits with one repair**: every edit updates the
+    /// MST substrate immediately, but re-orientation, the row-wise digraph
+    /// repair and the connectivity re-check run once over the *union* of the
+    /// per-edit dirty sets — the batching layer the deployment server's
+    /// edit-stream coalescing sits on.
+    ///
+    /// The result is exactly the state that applying the edits one at a time
+    /// produces (pinned by the coalescing oracle in `tests/dynamic_oracle.rs`):
+    /// per-vertex orientation depends only on the final MST neighborhood, and
+    /// a row can differ from its pre-batch value only when its sensor was
+    /// re-oriented or some edited location lies inside its coverage ball —
+    /// both captured by the accumulated dirty set, with the reverse-radius
+    /// query widened to the larger of the pre- and post-batch max radius.
+    ///
+    /// The whole batch is validated against a projected live set before any
+    /// state changes, so an invalid edit (unknown or dead id anywhere in the
+    /// burst) rejects the batch atomically.
+    pub fn apply_coalesced(&mut self, edits: &[Edit]) -> Result<BatchOutcome, OrientError> {
+        let inserted_ids = self.validate_edits(edits)?;
         let old_max_radius = self.max_radius;
 
-        // Re-orient.
-        let (mst_changed, reoriented_all) = if self.incremental {
-            self.grow_id_tables();
-            if !self.inst.is_alive(id) {
-                self.assignments[id] = SensorAssignment::empty();
+        // Apply every edit to the substrate, accumulating the union of the
+        // per-edit changed neighborhoods and every edited location (the
+        // reverse row-repair queries below need both old and new positions).
+        let mut edited_positions: Vec<Point> = Vec::with_capacity(edits.len() + 1);
+        let mut changed: Vec<SensorId> = Vec::new();
+        let mut removed: Vec<SensorId> = Vec::new();
+        for edit in edits {
+            match *edit {
+                Edit::Insert(p) => {
+                    edited_positions.push(p);
+                    self.inst.insert(p);
+                }
+                Edit::Remove(id) => {
+                    edited_positions.push(self.inst.point(id)?);
+                    self.inst.remove(id)?;
+                    removed.push(id);
+                }
+                Edit::Move(id, p) => {
+                    edited_positions.push(self.inst.point(id)?);
+                    edited_positions.push(p);
+                    self.inst.move_sensor(id, p)?;
+                }
             }
+            changed.extend_from_slice(self.inst.changed_ids());
+        }
+        changed.sort_unstable();
+        changed.dedup();
+        changed.retain(|&s| self.inst.is_alive(s));
+        let mst_changed = changed.len();
+
+        // Re-orient: dead ids lose their assignment and row, changed live
+        // ids get a fresh per-vertex orientation (incremental path) or the
+        // whole deployment is re-solved (fallback path).
+        self.grow_id_tables();
+        for &id in &removed {
+            self.assignments[id] = SensorAssignment::empty();
+            self.rows[id].clear();
+        }
+        let incremental_orientation = if self.incremental {
             for &slot in &changed {
                 self.assignments[slot] = self.orient_one(slot);
             }
             self.refresh_max_radius();
-            (changed.len(), false)
+            true
         } else {
             self.reorient_full()?;
-            (changed.len(), true)
+            false
         };
 
         // Repair the induced digraph: dirty rows are the re-oriented sensors
         // plus every sensor whose coverage ball contains an edited location.
-        let dirty: Vec<SensorId> = if reoriented_all {
-            self.inst.ids()
-        } else {
+        let dirty: Vec<SensorId> = if incremental_orientation {
             let reverse_radius = self.max_radius.max(old_max_radius) + EPS;
             let mut dirty = changed;
             let mut hits = Vec::new();
@@ -426,19 +570,17 @@ impl DynamicSolverSession {
             dirty.dedup();
             dirty.retain(|&s| self.inst.is_alive(s));
             dirty
+        } else {
+            self.inst.ids()
         };
-        if !self.inst.is_alive(id) {
-            if let Some(row) = self.rows.get_mut(id) {
-                row.clear();
-            }
-        }
         self.recompute_rows(&dirty);
         self.refresh_verdict()?;
 
-        Ok(EditOutcome {
-            id,
+        Ok(BatchOutcome {
+            applied: edits.len(),
+            inserted_ids,
             algorithm: self.algorithm,
-            incremental_orientation: !reoriented_all,
+            incremental_orientation,
             mst_changed,
             rows_recomputed: dirty.len(),
             report: self.report.clone(),
@@ -446,14 +588,10 @@ impl DynamicSolverSession {
         })
     }
 
-    /// Grows the per-id tables to cover freshly assigned ids.
+    /// Grows the per-id tables to cover freshly assigned ids (including ids
+    /// inserted and removed again within one coalesced batch).
     fn grow_id_tables(&mut self) {
-        let slots = self
-            .inst
-            .ids()
-            .last()
-            .map_or(0, |&s| s + 1)
-            .max(self.assignments.len());
+        let slots = self.inst.next_id().max(self.assignments.len());
         self.assignments.resize(slots, SensorAssignment::empty());
         self.rows.resize(slots, Vec::new());
     }
@@ -481,6 +619,11 @@ impl DynamicSolverSession {
         self.grow_id_tables();
         for a in &mut self.assignments {
             *a = SensorAssignment::empty();
+        }
+        if self.inst.is_empty() {
+            // Nothing to orient; the empty deployment has the empty scheme.
+            self.max_radius = 0.0;
+            return Ok(());
         }
         if self.incremental {
             self.algorithm = AlgorithmKind::Theorem2;
@@ -544,8 +687,28 @@ impl DynamicSolverSession {
 
     /// Rebuilds the dense scheme + digraph from the id-space state and
     /// refreshes the verification verdict.
+    ///
+    /// The empty deployment (zero live sensors) is **defined** to be valid:
+    /// empty scheme, empty digraph, a report with zero components and no
+    /// violations — strong connectivity holds vacuously.  There is no
+    /// materialized [`Instance`] to verify against in that state.
     fn refresh_verdict(&mut self) -> Result<(), OrientError> {
         let ids = self.inst.ids();
+        if ids.is_empty() {
+            self.scheme = OrientationScheme::empty(0);
+            self.digraph = DiGraph::from_edges(0, &[]);
+            self.report = VerificationReport {
+                is_strongly_connected: true,
+                scc_count: 0,
+                edge_count: 0,
+                max_radius: 0.0,
+                max_radius_over_lmax: 0.0,
+                max_spread_sum: 0.0,
+                max_antenna_count: 0,
+                violations: Vec::new(),
+            };
+            return Ok(());
+        }
         self.inst.instance()?;
         let assignments: Vec<SensorAssignment> =
             ids.iter().map(|&id| self.assignments[id].clone()).collect();
@@ -691,15 +854,97 @@ mod tests {
         // A single live sensor is trivially strongly connected…
         assert!(session.report().is_strongly_connected);
         assert_eq!(session.instance().lmax(), 0.0);
-        // …and the last one cannot be removed.
+        // …and removing the last one drains the session to the (defined to
+        // be valid) empty deployment.
         let last = session.instance().ids()[0];
+        let drained = session.apply(Edit::Remove(last)).unwrap();
+        assert!(drained.report.is_valid());
+        assert!(drained.report.is_strongly_connected);
+        assert_eq!(drained.report.scc_count, 0);
+        assert_eq!(session.instance().len(), 0);
+        assert_eq!(session.scheme().len(), 0);
+        assert!(matches!(
+            session.materialized(),
+            Err(OrientError::EmptyInstance)
+        ));
+        // Edits on the empty deployment keep rejecting dead ids.
         assert!(matches!(
             session.apply(Edit::Remove(last)),
-            Err(OrientError::EmptyInstance)
+            Err(OrientError::UnknownSensor { .. })
         ));
         // Regrowing works.
         let outcome = session.apply(Edit::Insert(Point::new(1.0, 2.0))).unwrap();
         assert!(outcome.report.is_valid());
+        assert_matches_static(&mut session);
+    }
+
+    #[test]
+    fn empty_session_grows_from_nothing() {
+        let budget = AntennaBudget::new(2, theorem2_spread_threshold(2));
+        let mut session = DynamicSolverSession::new(DynamicInstance::empty(), budget).unwrap();
+        assert!(session.report().is_valid());
+        assert_eq!(session.instance().len(), 0);
+        assert_eq!(session.instance().next_id(), 0);
+        for i in 0..6 {
+            let p = Point::new(i as f64, (i * i % 3) as f64);
+            let outcome = session.apply(Edit::Insert(p)).unwrap();
+            assert_eq!(outcome.id, i);
+            assert!(outcome.report.is_valid());
+            assert_matches_static(&mut session);
+        }
+    }
+
+    #[test]
+    fn coalesced_batch_equals_one_at_a_time() {
+        let budget = AntennaBudget::new(2, theorem2_spread_threshold(2));
+        let points = random_points(30, 8);
+        let edits = vec![
+            Edit::Insert(Point::new(2.5, 2.5)),
+            Edit::Move(3, Point::new(9.0, 1.0)),
+            Edit::Remove(7),
+            Edit::Insert(Point::new(4.0, 8.0)),
+            Edit::Move(30, Point::new(0.5, 0.5)), // the first insert's id
+            Edit::Remove(31),                     // the second insert's id
+        ];
+
+        let mut batched =
+            DynamicSolverSession::new(DynamicInstance::new(&points).unwrap(), budget).unwrap();
+        let outcome = batched.apply_coalesced(&edits).unwrap();
+        assert_eq!(outcome.applied, edits.len());
+        assert_eq!(outcome.inserted_ids, vec![30, 31]);
+
+        let mut serial =
+            DynamicSolverSession::new(DynamicInstance::new(&points).unwrap(), budget).unwrap();
+        for &edit in &edits {
+            serial.apply(edit).unwrap();
+        }
+
+        assert_eq!(batched.scheme(), serial.scheme());
+        assert_eq!(batched.digraph(), serial.digraph());
+        assert_eq!(batched.report(), serial.report());
+        assert_matches_static(&mut batched);
+    }
+
+    #[test]
+    fn invalid_batch_is_rejected_atomically() {
+        let budget = AntennaBudget::new(2, theorem2_spread_threshold(2));
+        let points = random_points(10, 9);
+        let mut session =
+            DynamicSolverSession::new(DynamicInstance::new(&points).unwrap(), budget).unwrap();
+        let before_scheme = session.scheme().clone();
+        let before_len = session.instance().len();
+        // The remove of id 4 is fine, but the later move of the same id must
+        // reject the whole batch before any state changes.
+        let err = session
+            .apply_coalesced(&[
+                Edit::Insert(Point::new(1.0, 1.0)),
+                Edit::Remove(4),
+                Edit::Move(4, Point::new(2.0, 2.0)),
+            ])
+            .unwrap_err();
+        assert!(matches!(err, OrientError::UnknownSensor { id: 4 }));
+        assert_eq!(session.instance().len(), before_len);
+        assert_eq!(session.scheme(), &before_scheme);
         assert_matches_static(&mut session);
     }
 

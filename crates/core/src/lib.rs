@@ -74,7 +74,7 @@ pub mod verify;
 
 pub use antenna::{Antenna, AntennaBudget, SensorAssignment};
 pub use batch::{BatchOrienter, InstanceBatch};
-pub use dynamic::{DynamicInstance, DynamicSolverSession, Edit, EditOutcome};
+pub use dynamic::{BatchOutcome, DynamicInstance, DynamicSolverSession, Edit, EditOutcome};
 pub use error::OrientError;
 pub use instance::Instance;
 pub use scheme::OrientationScheme;

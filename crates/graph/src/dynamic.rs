@@ -58,8 +58,6 @@ fn make_edge(w: f64, a: usize, b: usize) -> SlotEdge {
 pub enum DynamicEmstError {
     /// The referenced slot is not a live sensor.
     UnknownSlot(usize),
-    /// Removing the slot would leave an empty deployment.
-    WouldBeEmpty,
 }
 
 impl std::fmt::Display for DynamicEmstError {
@@ -67,9 +65,6 @@ impl std::fmt::Display for DynamicEmstError {
         match self {
             DynamicEmstError::UnknownSlot(slot) => {
                 write!(f, "slot {slot} is not a live sensor")
-            }
-            DynamicEmstError::WouldBeEmpty => {
-                write!(f, "cannot remove the last live sensor")
             }
         }
     }
@@ -99,7 +94,23 @@ pub struct DynamicEmst {
 impl DynamicEmst {
     /// Builds the engine over an initial deployment (slot `i` = point `i`),
     /// delegating the first tree to the static [`EuclideanMst::build`].
+    ///
+    /// An **empty** initial deployment is allowed: the engine starts with no
+    /// live slots (edgeless, `lmax == 0`) and grows through
+    /// [`DynamicEmst::insert`] — the shape a long-running service needs when
+    /// a deployment is registered before its first sensor arrives.
     pub fn new(points: &[Point]) -> Result<Self, EmstError> {
+        if points.is_empty() {
+            return Ok(DynamicEmst {
+                points: Vec::new(),
+                alive: Vec::new(),
+                live: 0,
+                adj: Vec::new(),
+                sorted_edges: Vec::new(),
+                kd: DynamicKdTree::new(&[]),
+                changed: Vec::new(),
+            });
+        }
         let initial = EuclideanMst::build(points)?;
         let n = points.len();
         let mut sorted_edges: Vec<SlotEdge> = initial
@@ -162,6 +173,13 @@ impl DynamicEmst {
         (0..self.points.len()).filter(|&s| self.alive[s]).collect()
     }
 
+    /// One past the largest slot ever assigned — the slot the next
+    /// [`DynamicEmst::insert`] will return.  Lets callers (the deployment
+    /// server's edit validator) project id assignment without mutating.
+    pub fn slot_bound(&self) -> usize {
+        self.points.len()
+    }
+
     /// The shared spatial index over the live sensors (reused by the
     /// verification side of a dynamic solver session).
     pub fn kd(&self) -> &DynamicKdTree {
@@ -189,13 +207,12 @@ impl DynamicEmst {
         slot
     }
 
-    /// Removes a live sensor (errors on dead slots and on the last sensor).
+    /// Removes a live sensor (errors on dead slots).  Draining to zero is
+    /// allowed: removing the last sensor leaves an edgeless engine with
+    /// `lmax == 0` that can be regrown through [`DynamicEmst::insert`].
     pub fn remove(&mut self, slot: usize) -> Result<(), DynamicEmstError> {
         if !self.is_alive(slot) {
             return Err(DynamicEmstError::UnknownSlot(slot));
-        }
-        if self.live == 1 {
-            return Err(DynamicEmstError::WouldBeEmpty);
         }
         self.changed.clear();
         self.alive[slot] = false;
@@ -588,12 +605,43 @@ mod tests {
             emst.remove(victim).unwrap();
             assert_matches_rebuild(&emst);
         }
-        // Draining to one sensor leaves an edgeless tree with lmax 0.
+        // Draining to one sensor leaves an edgeless tree with lmax 0…
+        assert_eq!(emst.lmax(), 0.0);
+        // …and draining all the way to zero is allowed.
+        emst.remove(emst.live_slots()[0]).unwrap();
+        assert_eq!(emst.live_count(), 0);
+        assert_eq!(emst.lmax(), 0.0);
+        assert_eq!(emst.total_weight(), 0.0);
+        assert!(emst.live_slots().is_empty());
+    }
+
+    #[test]
+    fn empty_engine_grows_and_drains() {
+        let mut emst = DynamicEmst::new(&[]).unwrap();
+        assert_eq!(emst.live_count(), 0);
         assert_eq!(emst.lmax(), 0.0);
         assert!(matches!(
-            emst.remove(emst.live_slots()[0]),
-            Err(DynamicEmstError::WouldBeEmpty)
+            emst.remove(0),
+            Err(DynamicEmstError::UnknownSlot(0))
         ));
+
+        // Regrow from nothing; slots keep their monotone assignment.
+        let a = emst.insert(Point::new(0.0, 0.0));
+        let b = emst.insert(Point::new(3.0, 4.0));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(emst.slot_bound(), 2);
+        assert_eq!(emst.live_count(), 2);
+        assert!((emst.lmax() - 5.0).abs() < 1e-12);
+        assert_matches_rebuild(&emst);
+
+        // Drain back to zero and grow once more: tombstoned slots stay dead.
+        emst.remove(a).unwrap();
+        emst.remove(b).unwrap();
+        assert_eq!(emst.live_count(), 0);
+        let c = emst.insert(Point::new(1.0, 1.0));
+        assert_eq!(c, 2);
+        assert_eq!(emst.live_slots(), vec![2]);
+        assert_eq!(emst.lmax(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! # antennae-serve
+//!
+//! Orientation-as-a-service: a multi-tenant deployment server over the
+//! dynamic solver sessions of `antennae-core`.
+//!
+//! The crate is layered so every piece is testable without a socket:
+//!
+//! - [`protocol`] — the line protocol: total (never-panicking) request
+//!   parser, structured error codes, response serializer.  One request per
+//!   line, one response line per request.
+//! - [`registry`] — named deployments ("tenants"), each owning a
+//!   [`DynamicSolverSession`](antennae_core::DynamicSolverSession) behind a
+//!   per-tenant mutex, with buffered edits coalesced into one incremental
+//!   repair at the next `ORIENT`/`VERIFY`, and lock-free published
+//!   snapshots so `QUERY` never waits on a repair in flight.
+//! - [`service`] — request execution: the transport-independent
+//!   `handle_line` core both front doors share.
+//! - [`pool`] — a hand-rolled fixed-size worker pool (`Mutex<VecDeque>` +
+//!   `Condvar`); the container has no async runtime.
+//! - [`server`] — the `std::net` TCP front door with capped line framing
+//!   and clean shutdown.
+//! - [`client`] — a blocking socket client plus an in-process
+//!   [`LocalClient`] used by the oracle tests and the throughput bench.
+//!
+//! ## Protocol sketch
+//!
+//! ```text
+//! CREATE <name> <k> <phi> [x y]...      EDIT <name> INSERT <x> <y>
+//! EDIT <name> REMOVE <id>               EDIT <name> MOVE <id> <x> <y>
+//! ORIENT <name>      VERIFY <name>      QUERY <name> [id]
+//! STATS [<name>]     DROP <name>        PING        SHUTDOWN
+//! ```
+//!
+//! Responses are `OK <payload>` or `ERR <code> <message>`; see
+//! [`protocol::ErrorCode`] for the code vocabulary.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod pool;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+pub mod service;
+
+pub use client::{LocalClient, TcpClient};
+pub use protocol::{parse_request, ErrorCode, ProtocolError, Request, Response};
+pub use registry::{Registry, Snapshot, Tenant};
+pub use server::{Server, ServerHandle};
+pub use service::Service;

@@ -1,0 +1,157 @@
+//! A hand-rolled fixed-size worker pool over `Mutex<VecDeque>` + `Condvar`.
+//!
+//! The container has no async runtime, so [`crate::server::Server`] serves
+//! each accepted connection as a queued job on this pool: a bounded thread
+//! count regardless of how many clients connect, with back-pressure by
+//! queueing rather than thread-per-connection explosion.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Shared {
+    queue: Mutex<Queue>,
+    available: Condvar,
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// A fixed pool of worker threads draining a shared FIFO job queue.
+pub struct WorkerPool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers (clamped to at least one).
+    pub fn new(threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        });
+        let workers = (0..threads.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("orientd-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning a pool worker thread")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job.  Returns `false` (dropping the job) if the pool has
+    /// already been shut down.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        if queue.closed {
+            return false;
+        }
+        queue.jobs.push_back(Box::new(job));
+        drop(queue);
+        self.shared.available.notify_one();
+        true
+    }
+
+    /// Closes the queue and joins every worker.  Jobs already queued are
+    /// drained before workers exit.
+    pub fn shutdown(mut self) {
+        self.close();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    fn close(&self) {
+        let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
+        queue.closed = true;
+        drop(queue);
+        self.shared.available.notify_all();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Belt and braces for the non-`shutdown` path (e.g. a panic while
+        // the pool is alive): close the queue so workers exit instead of
+        // blocking forever on the condvar.
+        self.close();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("pool queue poisoned");
+            }
+        };
+        job();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.threads(), 4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let counter = Arc::clone(&counter);
+            assert!(pool.submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn rejects_jobs_after_shutdown_flagged() {
+        let pool = WorkerPool::new(1);
+        pool.shutdown();
+        // A fresh pool whose queue was closed via drop also rejects.
+        let pool = WorkerPool::new(1);
+        pool.close();
+        assert!(!pool.submit(|| {}));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn zero_thread_request_clamps_to_one() {
+        let pool = WorkerPool::new(0);
+        assert_eq!(pool.threads(), 1);
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&counter);
+        pool.submit(move || {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

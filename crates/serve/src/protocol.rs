@@ -1,0 +1,592 @@
+//! The line-delimited text protocol `orientd` speaks.
+//!
+//! One request per line, ASCII, whitespace-separated tokens; one response
+//! line per request.  The full grammar (square brackets mark optional parts,
+//! `...` repetition):
+//!
+//! ```text
+//! CREATE <name> <k> <phi> [<x> <y>]...     register a deployment
+//! EDIT <name> INSERT <x> <y>               buffer a sensor arrival
+//! EDIT <name> REMOVE <id>                  buffer a sensor failure
+//! EDIT <name> MOVE <id> <x> <y>            buffer a sensor relocation
+//! ORIENT <name>                            flush buffered edits, one repair
+//! VERIFY <name>                            flush + full verification verdict
+//! QUERY <name> [<id>]                      snapshot read (never repairs)
+//! STATS [<name>]                           server / per-tenant counters
+//! DROP <name>                              unregister a deployment
+//! PING                                     liveness probe
+//! SHUTDOWN                                 ask the server to stop accepting
+//! ```
+//!
+//! Responses are `OK <payload>` or `ERR <code> <message>`; the code is one
+//! of the kebab-case [`ErrorCode`] values, so clients can dispatch on it
+//! without parsing the human-readable message.  The parser is total: every
+//! input line — truncated, non-numeric, NaN/infinite coordinates, unknown
+//! verbs, oversized payloads — maps to either a request or a structured
+//! error, never a panic (pinned by the robustness suite in
+//! `tests/protocol_robustness.rs`).
+
+use std::fmt;
+
+/// Hard cap on one request line, in bytes.  The connection reader enforces
+/// it at the framing layer (a longer line is answered with
+/// [`ErrorCode::TooLarge`] and the connection is dropped); the parser
+/// re-checks it so in-process callers get the same contract.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Hard cap on a deployment name, in bytes.
+pub const MAX_NAME_BYTES: usize = 64;
+
+/// Hard cap on the number of seed points in one `CREATE`.
+pub const MAX_CREATE_POINTS: usize = 65_536;
+
+/// Structured error codes, stable across releases; the first token after
+/// `ERR` in a response line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The verb is not part of the protocol.
+    UnknownVerb,
+    /// The line is structurally malformed (missing/extra fields).
+    BadRequest,
+    /// A numeric field did not parse.
+    BadNumber,
+    /// A coordinate is NaN or infinite.
+    BadCoordinate,
+    /// The line, name or point payload exceeds a hard cap.
+    TooLarge,
+    /// The deployment name is empty or contains forbidden characters.
+    BadName,
+    /// `CREATE` named an already-registered deployment.
+    DuplicateDeployment,
+    /// The named deployment is not registered.
+    UnknownDeployment,
+    /// An edit referenced a sensor id that is not live.
+    UnknownSensor,
+    /// The requested antenna budget is outside what the registry serves.
+    BadBudget,
+    /// The operation needs at least one live sensor.
+    EmptyDeployment,
+    /// The server is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// An internal invariant failed (reported, never panicked).
+    Internal,
+}
+
+impl ErrorCode {
+    /// Every code in the vocabulary, for exhaustive wire-grammar checks.
+    pub const ALL: [ErrorCode; 13] = [
+        ErrorCode::UnknownVerb,
+        ErrorCode::BadRequest,
+        ErrorCode::BadNumber,
+        ErrorCode::BadCoordinate,
+        ErrorCode::TooLarge,
+        ErrorCode::BadName,
+        ErrorCode::DuplicateDeployment,
+        ErrorCode::UnknownDeployment,
+        ErrorCode::UnknownSensor,
+        ErrorCode::BadBudget,
+        ErrorCode::EmptyDeployment,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Internal,
+    ];
+
+    /// The kebab-case wire token.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ErrorCode::UnknownVerb => "unknown-verb",
+            ErrorCode::BadRequest => "bad-request",
+            ErrorCode::BadNumber => "bad-number",
+            ErrorCode::BadCoordinate => "bad-coordinate",
+            ErrorCode::TooLarge => "too-large",
+            ErrorCode::BadName => "bad-name",
+            ErrorCode::DuplicateDeployment => "duplicate-deployment",
+            ErrorCode::UnknownDeployment => "unknown-deployment",
+            ErrorCode::UnknownSensor => "unknown-sensor",
+            ErrorCode::BadBudget => "bad-budget",
+            ErrorCode::EmptyDeployment => "empty-deployment",
+            ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A structured protocol-level failure: the `ERR <code> <message>` half of
+/// the response grammar.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolError {
+    /// Machine-readable code (the first token after `ERR`).
+    pub code: ErrorCode,
+    /// Human-readable single-line message.
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// Builds an error, flattening any newlines out of the message so the
+    /// response stays a single line.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        let mut message = message.into();
+        if message.contains(['\n', '\r']) {
+            message = message.replace(['\n', '\r'], " ");
+        }
+        ProtocolError { code, message }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// One buffered edit operation (protocol-level; ids and coordinates are
+/// validated, liveness is checked against the tenant's projected live set).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EditOp {
+    /// A sensor arrives at `(x, y)`.
+    Insert(f64, f64),
+    /// The sensor with the given id fails.
+    Remove(usize),
+    /// The sensor with the given id moves to `(x, y)`.
+    Move(usize, f64, f64),
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// `CREATE <name> <k> <phi> [<x> <y>]...`
+    Create {
+        /// Deployment name (registry key).
+        name: String,
+        /// Antennae per sensor.
+        k: usize,
+        /// Total angular spread budget per sensor, radians.
+        phi: f64,
+        /// Seed sensor locations (may be empty — deployments can start
+        /// empty and grow through edits).
+        points: Vec<(f64, f64)>,
+    },
+    /// `EDIT <name> INSERT|REMOVE|MOVE ...`
+    Edit {
+        /// Deployment name.
+        name: String,
+        /// The buffered operation.
+        op: EditOp,
+    },
+    /// `ORIENT <name>` — flush buffered edits through one coalesced repair.
+    Orient {
+        /// Deployment name.
+        name: String,
+    },
+    /// `VERIFY <name>` — flush, then report the full verification verdict.
+    Verify {
+        /// Deployment name.
+        name: String,
+    },
+    /// `QUERY <name> [<id>]` — read the last repaired snapshot.
+    Query {
+        /// Deployment name.
+        name: String,
+        /// Optional sensor id to look up.
+        id: Option<usize>,
+    },
+    /// `STATS [<name>]` — server-wide or per-tenant counters.
+    Stats {
+        /// Deployment name (`None` = server-wide).
+        name: Option<String>,
+    },
+    /// `DROP <name>` — unregister the deployment.
+    Drop {
+        /// Deployment name.
+        name: String,
+    },
+    /// `PING` — liveness probe.
+    Ping,
+    /// `SHUTDOWN` — stop accepting connections and exit cleanly.
+    Shutdown,
+}
+
+fn err(code: ErrorCode, message: impl Into<String>) -> ProtocolError {
+    ProtocolError::new(code, message)
+}
+
+fn parse_name(token: &str) -> Result<String, ProtocolError> {
+    if token.is_empty() {
+        return Err(err(ErrorCode::BadName, "deployment name is empty"));
+    }
+    if token.len() > MAX_NAME_BYTES {
+        return Err(err(
+            ErrorCode::TooLarge,
+            format!("name exceeds {MAX_NAME_BYTES} bytes"),
+        ));
+    }
+    if !token
+        .bytes()
+        .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-' || b == b'.')
+    {
+        return Err(err(
+            ErrorCode::BadName,
+            format!("name {token:?} has characters outside [A-Za-z0-9_.-]"),
+        ));
+    }
+    Ok(token.to_string())
+}
+
+fn parse_usize(token: &str, what: &str) -> Result<usize, ProtocolError> {
+    token.parse::<usize>().map_err(|_| {
+        err(
+            ErrorCode::BadNumber,
+            format!("{what} {token:?} is not a non-negative integer"),
+        )
+    })
+}
+
+fn parse_f64(token: &str, what: &str) -> Result<f64, ProtocolError> {
+    let v = token.parse::<f64>().map_err(|_| {
+        err(
+            ErrorCode::BadNumber,
+            format!("{what} {token:?} is not a number"),
+        )
+    })?;
+    if !v.is_finite() {
+        return Err(err(
+            ErrorCode::BadCoordinate,
+            format!("{what} {token:?} is not finite"),
+        ));
+    }
+    Ok(v)
+}
+
+fn expect_end(tokens: &mut std::str::SplitWhitespace<'_>, verb: &str) -> Result<(), ProtocolError> {
+    match tokens.next() {
+        None => Ok(()),
+        Some(extra) => Err(err(
+            ErrorCode::BadRequest,
+            format!("{verb}: unexpected trailing token {extra:?}"),
+        )),
+    }
+}
+
+fn next_token<'a>(
+    tokens: &mut std::str::SplitWhitespace<'a>,
+    verb: &str,
+    what: &str,
+) -> Result<&'a str, ProtocolError> {
+    tokens
+        .next()
+        .ok_or_else(|| err(ErrorCode::BadRequest, format!("{verb}: missing {what}")))
+}
+
+/// Parses one request line.  Total: every possible input maps to a request
+/// or a [`ProtocolError`]; no input panics.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(err(
+            ErrorCode::TooLarge,
+            format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+        ));
+    }
+    let mut tokens = line.split_whitespace();
+    let verb = tokens
+        .next()
+        .ok_or_else(|| err(ErrorCode::BadRequest, "empty request line"))?;
+    // Verbs are case-sensitive uppercase; this is a machine protocol, and a
+    // single canonical spelling keeps replay logs diffable.
+    match verb {
+        "CREATE" => {
+            let name = parse_name(next_token(&mut tokens, "CREATE", "deployment name")?)?;
+            let k = parse_usize(next_token(&mut tokens, "CREATE", "antenna count k")?, "k")?;
+            let phi = parse_f64(
+                next_token(&mut tokens, "CREATE", "spread budget phi")?,
+                "phi",
+            )?;
+            if phi < 0.0 {
+                return Err(err(ErrorCode::BadBudget, "phi must be non-negative"));
+            }
+            let mut points = Vec::new();
+            while let Some(tx) = tokens.next() {
+                if points.len() >= MAX_CREATE_POINTS {
+                    return Err(err(
+                        ErrorCode::TooLarge,
+                        format!("CREATE carries more than {MAX_CREATE_POINTS} points"),
+                    ));
+                }
+                let x = parse_f64(tx, "x")?;
+                let y = parse_f64(next_token(&mut tokens, "CREATE", "y coordinate")?, "y")?;
+                points.push((x, y));
+            }
+            Ok(Request::Create {
+                name,
+                k,
+                phi,
+                points,
+            })
+        }
+        "EDIT" => {
+            let name = parse_name(next_token(&mut tokens, "EDIT", "deployment name")?)?;
+            let op_verb = next_token(&mut tokens, "EDIT", "operation (INSERT|REMOVE|MOVE)")?;
+            let op = match op_verb {
+                "INSERT" => {
+                    let x = parse_f64(next_token(&mut tokens, "EDIT INSERT", "x")?, "x")?;
+                    let y = parse_f64(next_token(&mut tokens, "EDIT INSERT", "y")?, "y")?;
+                    EditOp::Insert(x, y)
+                }
+                "REMOVE" => {
+                    let id =
+                        parse_usize(next_token(&mut tokens, "EDIT REMOVE", "sensor id")?, "id")?;
+                    EditOp::Remove(id)
+                }
+                "MOVE" => {
+                    let id = parse_usize(next_token(&mut tokens, "EDIT MOVE", "sensor id")?, "id")?;
+                    let x = parse_f64(next_token(&mut tokens, "EDIT MOVE", "x")?, "x")?;
+                    let y = parse_f64(next_token(&mut tokens, "EDIT MOVE", "y")?, "y")?;
+                    EditOp::Move(id, x, y)
+                }
+                other => {
+                    return Err(err(
+                        ErrorCode::BadRequest,
+                        format!("EDIT: unknown operation {other:?} (expected INSERT|REMOVE|MOVE)"),
+                    ))
+                }
+            };
+            expect_end(&mut tokens, "EDIT")?;
+            Ok(Request::Edit { name, op })
+        }
+        "ORIENT" => {
+            let name = parse_name(next_token(&mut tokens, "ORIENT", "deployment name")?)?;
+            expect_end(&mut tokens, "ORIENT")?;
+            Ok(Request::Orient { name })
+        }
+        "VERIFY" => {
+            let name = parse_name(next_token(&mut tokens, "VERIFY", "deployment name")?)?;
+            expect_end(&mut tokens, "VERIFY")?;
+            Ok(Request::Verify { name })
+        }
+        "QUERY" => {
+            let name = parse_name(next_token(&mut tokens, "QUERY", "deployment name")?)?;
+            let id = match tokens.next() {
+                None => None,
+                Some(t) => Some(parse_usize(t, "id")?),
+            };
+            expect_end(&mut tokens, "QUERY")?;
+            Ok(Request::Query { name, id })
+        }
+        "STATS" => {
+            let name = match tokens.next() {
+                None => None,
+                Some(t) => Some(parse_name(t)?),
+            };
+            expect_end(&mut tokens, "STATS")?;
+            Ok(Request::Stats { name })
+        }
+        "DROP" => {
+            let name = parse_name(next_token(&mut tokens, "DROP", "deployment name")?)?;
+            expect_end(&mut tokens, "DROP")?;
+            Ok(Request::Drop { name })
+        }
+        "PING" => {
+            expect_end(&mut tokens, "PING")?;
+            Ok(Request::Ping)
+        }
+        "SHUTDOWN" => {
+            expect_end(&mut tokens, "SHUTDOWN")?;
+            Ok(Request::Shutdown)
+        }
+        other => Err(err(
+            ErrorCode::UnknownVerb,
+            format!("unknown verb {other:?}"),
+        )),
+    }
+}
+
+/// A response line: `OK <payload>` or `ERR <code> <message>`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success, with a single-line payload.
+    Ok(String),
+    /// Structured failure.
+    Err(ProtocolError),
+}
+
+impl Response {
+    /// Success response from a payload (newlines flattened).
+    pub fn ok(payload: impl Into<String>) -> Self {
+        let mut payload = payload.into();
+        if payload.contains(['\n', '\r']) {
+            payload = payload.replace(['\n', '\r'], " ");
+        }
+        Response::Ok(payload)
+    }
+
+    /// Error response.
+    pub fn err(code: ErrorCode, message: impl Into<String>) -> Self {
+        Response::Err(ProtocolError::new(code, message))
+    }
+
+    /// Returns `true` for the `OK` variant.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Response::Ok(_))
+    }
+
+    /// Serializes to the wire line (without the trailing newline).
+    pub fn to_line(&self) -> String {
+        match self {
+            Response::Ok(payload) if payload.is_empty() => "OK".to_string(),
+            Response::Ok(payload) => format!("OK {payload}"),
+            Response::Err(e) => format!("ERR {} {}", e.code, e.message),
+        }
+    }
+
+    /// Parses a wire line back into a response (the client half).
+    pub fn from_line(line: &str) -> Result<Response, ProtocolError> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        if line == "OK" {
+            return Ok(Response::Ok(String::new()));
+        }
+        if let Some(payload) = line.strip_prefix("OK ") {
+            return Ok(Response::Ok(payload.to_string()));
+        }
+        if let Some(rest) = line.strip_prefix("ERR ") {
+            let (code_token, message) = rest.split_once(' ').unwrap_or((rest, ""));
+            let code = match code_token {
+                "unknown-verb" => ErrorCode::UnknownVerb,
+                "bad-request" => ErrorCode::BadRequest,
+                "bad-number" => ErrorCode::BadNumber,
+                "bad-coordinate" => ErrorCode::BadCoordinate,
+                "too-large" => ErrorCode::TooLarge,
+                "bad-name" => ErrorCode::BadName,
+                "duplicate-deployment" => ErrorCode::DuplicateDeployment,
+                "unknown-deployment" => ErrorCode::UnknownDeployment,
+                "unknown-sensor" => ErrorCode::UnknownSensor,
+                "bad-budget" => ErrorCode::BadBudget,
+                "empty-deployment" => ErrorCode::EmptyDeployment,
+                "shutting-down" => ErrorCode::ShuttingDown,
+                "internal" => ErrorCode::Internal,
+                other => {
+                    return Err(ProtocolError::new(
+                        ErrorCode::BadRequest,
+                        format!("unknown error code {other:?} in response"),
+                    ))
+                }
+            };
+            return Ok(Response::Err(ProtocolError::new(code, message)));
+        }
+        Err(ProtocolError::new(
+            ErrorCode::BadRequest,
+            format!("response line {line:?} starts with neither OK nor ERR"),
+        ))
+    }
+}
+
+/// Extracts a `key=value` field from an `OK` payload (helper for clients and
+/// tests; fields are space-separated `key=value` tokens).
+pub fn payload_field<'a>(payload: &'a str, key: &str) -> Option<&'a str> {
+    payload
+        .split_whitespace()
+        .find_map(|tok| tok.strip_prefix(key)?.strip_prefix('='))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_happy_path() {
+        let r = parse_request("CREATE west 2 3.7699 0 0 1 0.5 2 1").unwrap();
+        match r {
+            Request::Create {
+                name,
+                k,
+                phi,
+                points,
+            } => {
+                assert_eq!(name, "west");
+                assert_eq!(k, 2);
+                assert!((phi - 3.7699).abs() < 1e-12);
+                assert_eq!(points, vec![(0.0, 0.0), (1.0, 0.5), (2.0, 1.0)]);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+        assert_eq!(
+            parse_request("EDIT west MOVE 3 1.5 -2.5").unwrap(),
+            Request::Edit {
+                name: "west".into(),
+                op: EditOp::Move(3, 1.5, -2.5)
+            }
+        );
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(
+            parse_request("QUERY west 7").unwrap(),
+            Request::Query {
+                name: "west".into(),
+                id: Some(7)
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_map_to_structured_errors() {
+        let cases: &[(&str, ErrorCode)] = &[
+            ("", ErrorCode::BadRequest),
+            ("   ", ErrorCode::BadRequest),
+            ("FROBNICATE x", ErrorCode::UnknownVerb),
+            ("CREATE", ErrorCode::BadRequest),
+            ("CREATE a 2", ErrorCode::BadRequest),
+            ("CREATE a two 3.14", ErrorCode::BadNumber),
+            ("CREATE a 2 NaN", ErrorCode::BadCoordinate),
+            ("CREATE a 2 inf", ErrorCode::BadCoordinate),
+            ("CREATE a 2 3.14 1.0", ErrorCode::BadRequest), // dangling x
+            ("CREATE a 2 3.14 1.0 NaN", ErrorCode::BadCoordinate),
+            ("CREATE bad/name 2 3.14", ErrorCode::BadName),
+            ("EDIT a TELEPORT 1 2", ErrorCode::BadRequest),
+            ("EDIT a REMOVE -3", ErrorCode::BadNumber),
+            ("EDIT a MOVE 0 1.0", ErrorCode::BadRequest),
+            ("ORIENT a extra", ErrorCode::BadRequest),
+            ("ORIENT", ErrorCode::BadRequest),
+            ("QUERY a 1 2", ErrorCode::BadRequest),
+            ("PING twice", ErrorCode::BadRequest),
+        ];
+        for (line, code) in cases {
+            let e = parse_request(line).expect_err(line);
+            assert_eq!(e.code, *code, "line {line:?} -> {e:?}");
+        }
+        let long_name = format!("CREATE {} 2 3.14", "n".repeat(MAX_NAME_BYTES + 1));
+        assert_eq!(
+            parse_request(&long_name).unwrap_err().code,
+            ErrorCode::TooLarge
+        );
+    }
+
+    #[test]
+    fn responses_serialize_and_parse() {
+        let ok = Response::ok("created west n=5");
+        assert_eq!(ok.to_line(), "OK created west n=5");
+        assert_eq!(Response::from_line(&ok.to_line()).unwrap(), ok);
+
+        let e = Response::err(ErrorCode::UnknownDeployment, "no deployment named east");
+        assert_eq!(
+            e.to_line(),
+            "ERR unknown-deployment no deployment named east"
+        );
+        assert_eq!(Response::from_line(&e.to_line()).unwrap(), e);
+
+        // Multi-line payloads are flattened — the protocol stays line-framed.
+        let sneaky = Response::ok("a\nb");
+        assert_eq!(sneaky.to_line(), "OK a b");
+    }
+
+    #[test]
+    fn payload_fields_extract() {
+        let payload = "orient west n=12 algo=theorem2 radius_over_lmax=1.000";
+        assert_eq!(payload_field(payload, "n"), Some("12"));
+        assert_eq!(payload_field(payload, "algo"), Some("theorem2"));
+        assert_eq!(payload_field(payload, "missing"), None);
+    }
+}

@@ -1,0 +1,526 @@
+//! The deployment registry: many named tenants, each one dynamic solver
+//! session behind its own lock.
+//!
+//! Locking rules (the concurrency contract the oracle suite pins):
+//!
+//! * The registry map is an [`RwLock`]: request handlers take a read lock
+//!   just long enough to clone the tenant's [`Arc`], so traffic to distinct
+//!   tenants never serializes on the map.  `CREATE`/`DROP` take the write
+//!   lock briefly.
+//! * Each tenant's mutable state (the [`DynamicSolverSession`] plus the
+//!   buffered edit queue) sits behind one [`Mutex`]: edits and repairs on
+//!   one deployment are serialized, edits and repairs on different
+//!   deployments run in parallel.
+//! * Each tenant additionally keeps an immutable [`Snapshot`] behind an
+//!   [`RwLock`], rewritten at the end of every repair.  `QUERY` reads only
+//!   the snapshot — it never touches the state mutex, so snapshot reads are
+//!   served even while a repair on the same tenant is in flight.
+//! * Counters are atomics; `STATS` reads them without any lock.
+//!
+//! Edit-stream batching: `EDIT` requests validate against a *projected*
+//! live-id set (the session's live ids plus the buffered edits' effects) and
+//! append to the queue; the next `ORIENT`/`VERIFY` drains the queue through
+//! [`DynamicSolverSession::apply_coalesced`], paying one incremental repair
+//! for the whole burst.
+
+use crate::protocol::{EditOp, ErrorCode, ProtocolError};
+use antennae_core::algorithms::AlgorithmKind;
+use antennae_core::antenna::AntennaBudget;
+use antennae_core::dynamic::{BatchOutcome, DynamicInstance, DynamicSolverSession, Edit, SensorId};
+use antennae_core::error::OrientError;
+use antennae_core::verify::VerificationReport;
+use antennae_geometry::Point;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Maps a solver error onto the protocol error grammar.
+pub(crate) fn map_orient_error(e: &OrientError) -> ProtocolError {
+    let code = match e {
+        OrientError::UnknownSensor { .. } => ErrorCode::UnknownSensor,
+        OrientError::EmptyInstance => ErrorCode::EmptyDeployment,
+        OrientError::UnsupportedAntennaCount { .. }
+        | OrientError::InsufficientSpread { .. }
+        | OrientError::NoApplicableAlgorithm { .. }
+        | OrientError::AlgorithmNotApplicable { .. } => ErrorCode::BadBudget,
+        _ => ErrorCode::Internal,
+    };
+    ProtocolError::new(code, e.to_string())
+}
+
+/// Per-tenant request counters (atomics; `STATS` reads them lock-free).
+#[derive(Debug, Default)]
+pub struct TenantStats {
+    /// Edits accepted into the buffer.
+    pub edits_buffered: AtomicU64,
+    /// Edits drained through coalesced repairs.
+    pub edits_applied: AtomicU64,
+    /// Coalesced repairs run (`ORIENT` + `VERIFY` flushes).
+    pub batches: AtomicU64,
+    /// Largest single batch drained so far.
+    pub max_batch: AtomicU64,
+    /// Digraph rows recomputed across all repairs.
+    pub rows_recomputed: AtomicU64,
+    /// Sensors re-oriented across all repairs.
+    pub mst_changed: AtomicU64,
+    /// Snapshot reads served.
+    pub queries: AtomicU64,
+    /// Requests rejected with a structured error.
+    pub errors: AtomicU64,
+}
+
+/// An immutable view of a tenant's last repaired state.  `QUERY` is served
+/// from this (plus the pending-edit counter) without taking the tenant's
+/// state mutex.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Monotone repair counter (0 = the initial solve at `CREATE`).
+    pub revision: u64,
+    /// Live sensors at the last repair.
+    pub n: usize,
+    /// The session budget's antenna count.
+    pub k: usize,
+    /// The session budget's spread bound, radians.
+    pub phi: f64,
+    /// Longest MST edge at the last repair.
+    pub lmax: f64,
+    /// MST total weight at the last repair.
+    pub mst_weight: f64,
+    /// The construction that produced the current scheme.
+    pub algorithm: AlgorithmKind,
+    /// Whether the session runs the incremental Theorem 2 path.
+    pub incremental: bool,
+    /// The last repaired verification verdict.
+    pub report: VerificationReport,
+    /// Live `(id, position)` pairs, ascending by id.
+    pub positions: Vec<(SensorId, Point)>,
+}
+
+impl Snapshot {
+    fn of(session: &DynamicSolverSession, revision: u64) -> Self {
+        let inst = session.instance();
+        let budget = session.budget();
+        let positions: Vec<(SensorId, Point)> = inst
+            .ids()
+            .into_iter()
+            .map(|id| (id, inst.point(id).expect("live id has a position")))
+            .collect();
+        Snapshot {
+            revision,
+            n: positions.len(),
+            k: budget.k,
+            phi: budget.phi,
+            lmax: inst.lmax(),
+            mst_weight: inst.mst_total_weight(),
+            algorithm: session.algorithm(),
+            incremental: session.is_incremental(),
+            report: session.report().clone(),
+            positions,
+        }
+    }
+
+    /// The position of a live sensor id, if present in this snapshot.
+    pub fn position_of(&self, id: SensorId) -> Option<Point> {
+        self.positions
+            .binary_search_by_key(&id, |&(i, _)| i)
+            .ok()
+            .map(|at| self.positions[at].1)
+    }
+}
+
+/// Projected liveness of a tenant's id space: the session's live set with
+/// the buffered (not yet repaired) edits applied on top.  Lets `EDIT`
+/// validate ids immediately — and assign insert ids eagerly — without
+/// running a repair.
+#[derive(Debug)]
+struct Projection {
+    alive: Vec<bool>,
+}
+
+impl Projection {
+    fn of(session: &DynamicSolverSession) -> Self {
+        let mut alive = vec![false; session.instance().next_id()];
+        for id in session.instance().ids() {
+            alive[id] = true;
+        }
+        Projection { alive }
+    }
+
+    fn check_live(&self, id: SensorId) -> Result<(), ProtocolError> {
+        if self.alive.get(id).copied().unwrap_or(false) {
+            Ok(())
+        } else {
+            Err(ProtocolError::new(
+                ErrorCode::UnknownSensor,
+                format!("sensor id {id} is not live (or already removed by a buffered edit)"),
+            ))
+        }
+    }
+}
+
+/// Mutable tenant state, serialized by the tenant's mutex.
+struct TenantState {
+    session: DynamicSolverSession,
+    pending: Vec<Edit>,
+    projection: Projection,
+    revision: u64,
+}
+
+/// One named deployment: a solver session, its edit buffer, the lock-free
+/// snapshot and the per-tenant counters.
+pub struct Tenant {
+    name: String,
+    state: Mutex<TenantState>,
+    snapshot: RwLock<Arc<Snapshot>>,
+    /// Buffered-edit count, readable without the state mutex.
+    pending_count: AtomicUsize,
+    /// Per-tenant counters.
+    pub stats: TenantStats,
+}
+
+impl std::fmt::Debug for Tenant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tenant")
+            .field("name", &self.name)
+            .field("pending", &self.pending())
+            .finish_non_exhaustive()
+    }
+}
+
+/// What a flush (coalesced repair) reported, for response formatting.
+pub struct FlushOutcome {
+    /// The repair outcome (`applied == 0` when the buffer was empty).
+    pub outcome: BatchOutcome,
+    /// Live sensors after the repair.
+    pub n: usize,
+    /// `lmax` after the repair.
+    pub lmax: f64,
+    /// Snapshot revision after the repair.
+    pub revision: u64,
+}
+
+impl Tenant {
+    fn new(name: String, session: DynamicSolverSession) -> Self {
+        let snapshot = Arc::new(Snapshot::of(&session, 0));
+        let projection = Projection::of(&session);
+        Tenant {
+            name,
+            state: Mutex::new(TenantState {
+                session,
+                pending: Vec::new(),
+                projection,
+                revision: 0,
+            }),
+            snapshot: RwLock::new(snapshot),
+            pending_count: AtomicUsize::new(0),
+            stats: TenantStats::default(),
+        }
+    }
+
+    /// The tenant's registry key.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Buffered edits not yet drained by a repair (lock-free read).
+    pub fn pending(&self) -> usize {
+        self.pending_count.load(Ordering::Acquire)
+    }
+
+    /// The last repaired snapshot (lock-free with respect to repairs).
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.snapshot
+            .read()
+            .expect("snapshot lock poisoned")
+            .clone()
+    }
+
+    /// Runs `f` against the live solver session under the tenant mutex.
+    /// This is how the concurrency oracle compares served state against a
+    /// bare-session replay bit for bit; it is not part of the wire surface.
+    pub fn with_session<R>(&self, f: impl FnOnce(&DynamicSolverSession) -> R) -> R {
+        let state = self.state.lock().expect("tenant state lock poisoned");
+        f(&state.session)
+    }
+
+    /// Validates one edit against the projected live set and appends it to
+    /// the buffer.  Returns the assigned id for inserts and the new buffered
+    /// count.  No repair runs here.
+    pub fn buffer_edit(&self, op: EditOp) -> Result<(Option<SensorId>, usize), ProtocolError> {
+        let mut state = self.state.lock().expect("tenant state lock poisoned");
+        let (edit, inserted) = match op {
+            EditOp::Insert(x, y) => {
+                let id = state.projection.alive.len();
+                state.projection.alive.push(true);
+                (Edit::Insert(Point::new(x, y)), Some(id))
+            }
+            EditOp::Remove(id) => {
+                state.projection.check_live(id)?;
+                state.projection.alive[id] = false;
+                (Edit::Remove(id), None)
+            }
+            EditOp::Move(id, x, y) => {
+                state.projection.check_live(id)?;
+                (Edit::Move(id, Point::new(x, y)), None)
+            }
+        };
+        state.pending.push(edit);
+        let pending = state.pending.len();
+        self.pending_count.store(pending, Ordering::Release);
+        self.stats.edits_buffered.fetch_add(1, Ordering::Relaxed);
+        Ok((inserted, pending))
+    }
+
+    /// Drains the edit buffer through **one** coalesced repair and publishes
+    /// a fresh snapshot.  With an empty buffer this still refreshes the
+    /// verdict (a cheap no-op repair), so `ORIENT` doubles as "make sure the
+    /// published state is current".
+    pub fn flush(&self) -> Result<FlushOutcome, ProtocolError> {
+        let mut state = self.state.lock().expect("tenant state lock poisoned");
+        let edits = std::mem::take(&mut state.pending);
+        self.pending_count.store(0, Ordering::Release);
+        let applied = state.session.apply_coalesced(&edits);
+        // Whatever happened, re-derive the projection from the session so
+        // buffered-edit validation stays truthful (on the error path the
+        // batch was rejected atomically and the projection simply rolls back
+        // to the session's live set).
+        state.projection = Projection::of(&state.session);
+        let outcome = applied.map_err(|e| map_orient_error(&e))?;
+        state.revision += 1;
+        let revision = state.revision;
+        let snapshot = Arc::new(Snapshot::of(&state.session, revision));
+        let (n, lmax) = (snapshot.n, snapshot.lmax);
+        *self.snapshot.write().expect("snapshot lock poisoned") = snapshot;
+        self.stats.batches.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .edits_applied
+            .fetch_add(outcome.applied as u64, Ordering::Relaxed);
+        self.stats
+            .max_batch
+            .fetch_max(outcome.applied as u64, Ordering::Relaxed);
+        self.stats
+            .rows_recomputed
+            .fetch_add(outcome.rows_recomputed as u64, Ordering::Relaxed);
+        self.stats
+            .mst_changed
+            .fetch_add(outcome.mst_changed as u64, Ordering::Relaxed);
+        Ok(FlushOutcome {
+            outcome,
+            n,
+            lmax,
+            revision,
+        })
+    }
+}
+
+/// The server-wide tenant map plus global counters.
+#[derive(Default)]
+pub struct Registry {
+    tenants: RwLock<HashMap<String, Arc<Tenant>>>,
+    /// Deployments ever created.
+    pub created: AtomicU64,
+    /// Deployments dropped.
+    pub dropped: AtomicU64,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registered deployment count.
+    pub fn len(&self) -> usize {
+        self.tenants.read().expect("registry lock poisoned").len()
+    }
+
+    /// Returns `true` when no deployment is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Registered deployment names, sorted (for `STATS` output stability).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .tenants
+            .read()
+            .expect("registry lock poisoned")
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Looks a tenant up, cloning its `Arc` under a short read lock.
+    pub fn get(&self, name: &str) -> Result<Arc<Tenant>, ProtocolError> {
+        self.tenants
+            .read()
+            .expect("registry lock poisoned")
+            .get(name)
+            .cloned()
+            .ok_or_else(|| {
+                ProtocolError::new(
+                    ErrorCode::UnknownDeployment,
+                    format!("no deployment named {name:?}"),
+                )
+            })
+    }
+
+    /// Creates and registers a deployment.  The initial solve runs *outside*
+    /// the map's write lock; only the name reservation is serialized.
+    pub fn create(
+        &self,
+        name: &str,
+        budget: AntennaBudget,
+        points: &[Point],
+    ) -> Result<Arc<Tenant>, ProtocolError> {
+        // Reserve the name first so a concurrent duplicate CREATE fails fast
+        // instead of paying a redundant solve.
+        {
+            let tenants = self.tenants.read().expect("registry lock poisoned");
+            if tenants.contains_key(name) {
+                return Err(ProtocolError::new(
+                    ErrorCode::DuplicateDeployment,
+                    format!("deployment {name:?} already exists"),
+                ));
+            }
+        }
+        let inst = DynamicInstance::new(points).map_err(|e| map_orient_error(&e))?;
+        let session = DynamicSolverSession::new(inst, budget).map_err(|e| map_orient_error(&e))?;
+        let tenant = Arc::new(Tenant::new(name.to_string(), session));
+        let mut tenants = self.tenants.write().expect("registry lock poisoned");
+        if tenants.contains_key(name) {
+            // A racing CREATE won the name between our check and now.
+            return Err(ProtocolError::new(
+                ErrorCode::DuplicateDeployment,
+                format!("deployment {name:?} already exists"),
+            ));
+        }
+        tenants.insert(name.to_string(), tenant.clone());
+        self.created.fetch_add(1, Ordering::Relaxed);
+        Ok(tenant)
+    }
+
+    /// Unregisters a deployment.  In-flight requests holding the tenant's
+    /// `Arc` finish against the orphaned state.
+    pub fn drop_tenant(&self, name: &str) -> Result<(), ProtocolError> {
+        let removed = self
+            .tenants
+            .write()
+            .expect("registry lock poisoned")
+            .remove(name);
+        match removed {
+            Some(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            None => Err(ProtocolError::new(
+                ErrorCode::UnknownDeployment,
+                format!("no deployment named {name:?}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use antennae_core::bounds::theorem2_spread_threshold;
+
+    fn budget() -> AntennaBudget {
+        AntennaBudget::new(2, theorem2_spread_threshold(2))
+    }
+
+    fn grid(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(i as f64, (i % 3) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn create_edit_flush_round_trip() {
+        let reg = Registry::new();
+        let tenant = reg.create("west", budget(), &grid(6)).unwrap();
+        assert_eq!(reg.len(), 1);
+        assert_eq!(tenant.snapshot().n, 6);
+        assert_eq!(tenant.snapshot().revision, 0);
+
+        let (id, pending) = tenant.buffer_edit(EditOp::Insert(2.5, 2.5)).unwrap();
+        assert_eq!(id, Some(6));
+        assert_eq!(pending, 1);
+        let (_, pending) = tenant.buffer_edit(EditOp::Move(0, 0.25, 0.25)).unwrap();
+        assert_eq!(pending, 2);
+        // The snapshot is still the pre-edit state…
+        assert_eq!(tenant.snapshot().n, 6);
+        assert_eq!(tenant.pending(), 2);
+
+        let flushed = tenant.flush().unwrap();
+        assert_eq!(flushed.outcome.applied, 2);
+        assert_eq!(flushed.n, 7);
+        assert_eq!(flushed.revision, 1);
+        assert_eq!(tenant.pending(), 0);
+        assert_eq!(tenant.snapshot().n, 7);
+        assert!(tenant.snapshot().report.is_valid());
+        assert_eq!(tenant.snapshot().position_of(6), Some(Point::new(2.5, 2.5)));
+    }
+
+    #[test]
+    fn projection_rejects_buffered_dead_ids() {
+        let reg = Registry::new();
+        let tenant = reg.create("t", budget(), &grid(4)).unwrap();
+        tenant.buffer_edit(EditOp::Remove(2)).unwrap();
+        // Still buffered, but the projection already counts 2 as dead.
+        let e = tenant.buffer_edit(EditOp::Move(2, 0.0, 0.0)).unwrap_err();
+        assert_eq!(e.code, ErrorCode::UnknownSensor);
+        // A buffered insert's id is usable by later buffered edits.
+        let (id, _) = tenant.buffer_edit(EditOp::Insert(9.0, 9.0)).unwrap();
+        tenant
+            .buffer_edit(EditOp::Move(id.unwrap(), 8.0, 8.0))
+            .unwrap();
+        let flushed = tenant.flush().unwrap();
+        assert_eq!(flushed.outcome.applied, 3);
+        assert!(tenant.snapshot().report.is_valid());
+    }
+
+    #[test]
+    fn duplicate_and_unknown_names() {
+        let reg = Registry::new();
+        reg.create("a", budget(), &grid(3)).unwrap();
+        assert_eq!(
+            reg.create("a", budget(), &grid(3)).unwrap_err().code,
+            ErrorCode::DuplicateDeployment
+        );
+        assert_eq!(reg.get("b").unwrap_err().code, ErrorCode::UnknownDeployment);
+        reg.drop_tenant("a").unwrap();
+        assert_eq!(
+            reg.drop_tenant("a").unwrap_err().code,
+            ErrorCode::UnknownDeployment
+        );
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn empty_create_grows_through_edits() {
+        let reg = Registry::new();
+        let tenant = reg.create("empty", budget(), &[]).unwrap();
+        assert_eq!(tenant.snapshot().n, 0);
+        assert!(tenant.snapshot().report.is_valid());
+        for i in 0..5 {
+            let (id, _) = tenant
+                .buffer_edit(EditOp::Insert(i as f64, 0.5 * i as f64))
+                .unwrap();
+            assert_eq!(id, Some(i));
+        }
+        let flushed = tenant.flush().unwrap();
+        assert_eq!(flushed.n, 5);
+        assert!(tenant.snapshot().report.is_strongly_connected);
+        // Drain back to zero: the empty deployment is defined to be valid.
+        for i in 0..5 {
+            tenant.buffer_edit(EditOp::Remove(i)).unwrap();
+        }
+        let drained = tenant.flush().unwrap();
+        assert_eq!(drained.n, 0);
+        assert!(tenant.snapshot().report.is_valid());
+    }
+}

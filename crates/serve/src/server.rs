@@ -1,0 +1,306 @@
+//! The TCP front door: `std::net` listener + line framing over the shared
+//! [`Service`], one pooled job per connection.
+//!
+//! Framing is newline-delimited UTF-8 text, one request per line, one
+//! response line per request, in order.  A line longer than
+//! [`MAX_LINE_BYTES`] gets an
+//! `ERR too-large` response and the connection is closed — the server never
+//! buffers an unbounded line.  `SHUTDOWN` flips the service flag; the accept
+//! loop notices via a self-connection (no async reactor to interrupt a
+//! blocking `accept`), drains queued connections and joins the pool.
+
+use crate::pool::WorkerPool;
+use crate::protocol::{ErrorCode, ProtocolError, MAX_LINE_BYTES};
+use crate::service::Service;
+use antennae_core::parallel::default_threads;
+use std::io::{BufWriter, ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex, Weak};
+
+/// A running `orientd` server bound to a local address.
+pub struct Server {
+    service: Arc<Service>,
+    listener: TcpListener,
+    addr: SocketAddr,
+    threads: usize,
+}
+
+impl Server {
+    /// Binds to `addr` (use port 0 for an ephemeral port) with the default
+    /// worker count ([`default_threads`]).
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        Server::bind_with(addr, Arc::new(Service::new()), default_threads())
+    }
+
+    /// Binds to `addr` serving an existing [`Service`] with an explicit
+    /// worker count.
+    pub fn bind_with(addr: &str, service: Arc<Service>, threads: usize) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Server {
+            service,
+            listener,
+            addr,
+            threads,
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service behind this listener.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Serves until a `SHUTDOWN` request is accepted, then force-closes the
+    /// surviving connections, drains the pool and returns.  Blocks the
+    /// calling thread.
+    pub fn run(self) -> std::io::Result<()> {
+        let pool = WorkerPool::new(self.threads);
+        // Weak handles to every live connection so shutdown can unblock
+        // workers parked in a read; pruned of dead entries on each accept.
+        let connections: Mutex<Vec<Weak<TcpStream>>> = Mutex::new(Vec::new());
+        let mut accept_error = None;
+        for stream in self.listener.incoming() {
+            if self.service.shutdown_requested() {
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => Arc::new(stream),
+                // Transient accept errors (EINTR, resource pressure on a
+                // single connection) shouldn't kill the server.
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    accept_error = Some(e);
+                    break;
+                }
+            };
+            {
+                let mut connections = connections.lock().expect("connection registry poisoned");
+                connections.retain(|weak| weak.strong_count() > 0);
+                connections.push(Arc::downgrade(&stream));
+            }
+            let service = Arc::clone(&self.service);
+            let addr = self.addr;
+            pool.submit(move || {
+                serve_connection(&service, &stream);
+                // If this connection carried the SHUTDOWN (or closed during
+                // a drain), poke the listener so the blocking `accept`
+                // observes the flag without waiting for an outside caller.
+                if service.shutdown_requested() {
+                    let _ = TcpStream::connect(addr);
+                }
+            });
+            if self.service.shutdown_requested() {
+                break;
+            }
+        }
+        // Kick every worker out of its blocking read so the pool can drain.
+        for weak in connections
+            .lock()
+            .expect("connection registry poisoned")
+            .drain(..)
+        {
+            if let Some(stream) = weak.upgrade() {
+                let _ = stream.shutdown(Shutdown::Both);
+            }
+        }
+        pool.shutdown();
+        match accept_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Spawns [`Server::run`] on a background thread and returns a handle
+    /// that can stop it.  This is what the verify-script smoke test and the
+    /// churn replay test use.
+    pub fn spawn(self) -> ServerHandle {
+        let addr = self.addr;
+        let service = Arc::clone(&self.service);
+        let thread = std::thread::Builder::new()
+            .name("orientd-accept".into())
+            .spawn(move || self.run())
+            .expect("spawning the accept thread");
+        ServerHandle {
+            addr,
+            service,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    service: Arc<Service>,
+    thread: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+}
+
+impl ServerHandle {
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared service.
+    pub fn service(&self) -> &Arc<Service> {
+        &self.service
+    }
+
+    /// Requests shutdown and joins the accept thread.  Live connections are
+    /// force-closed by the accept loop on its way out.
+    pub fn stop(mut self) -> std::io::Result<()> {
+        self.service.request_shutdown();
+        // A throwaway connection unblocks the (blocking) `accept` so the
+        // loop observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        match self.thread.take() {
+            Some(thread) => thread.join().unwrap_or(Ok(())),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.service.request_shutdown();
+            let _ = TcpStream::connect(self.addr);
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Serves one connection: read lines, answer lines, until EOF, an oversized
+/// line, or a fatal socket error.
+fn serve_connection(service: &Service, stream: &TcpStream) {
+    let mut writer = BufWriter::new(stream);
+    let mut lines = LineReader::new(stream);
+    loop {
+        match lines.next_line() {
+            Ok(Some(line)) => {
+                let response = service.handle_line(&line);
+                if writer
+                    .write_all(response.as_bytes())
+                    .and_then(|()| writer.write_all(b"\n"))
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    return;
+                }
+                // Draining: once shutdown is requested, answer the request
+                // in flight and close — don't hold a worker for a client
+                // that can keep the socket open indefinitely.
+                if service.shutdown_requested() {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(LineError::TooLong) => {
+                let err = ProtocolError::new(
+                    ErrorCode::TooLarge,
+                    format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+                );
+                let _ = writer.write_all(crate::protocol::Response::Err(err).to_line().as_bytes());
+                let _ = writer.write_all(b"\n");
+                let _ = writer.flush();
+                return;
+            }
+            Err(LineError::Io) => return,
+        }
+    }
+}
+
+enum LineError {
+    TooLong,
+    Io,
+}
+
+/// Incremental newline framer with a hard cap on buffered bytes.  We roll
+/// our own instead of `BufRead::read_line` because the latter happily grows
+/// its buffer without bound on a malicious unterminated line.
+struct LineReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    start: usize,
+    end: usize,
+    pending: Vec<u8>,
+}
+
+impl<R: Read> LineReader<R> {
+    fn new(inner: R) -> Self {
+        LineReader {
+            inner,
+            buf: vec![0; 8 * 1024],
+            start: 0,
+            end: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// The next complete line (without the terminator), `None` on clean EOF.
+    fn next_line(&mut self) -> Result<Option<String>, LineError> {
+        loop {
+            // Scan what we have buffered for a newline.
+            if let Some(pos) = self.buf[self.start..self.end]
+                .iter()
+                .position(|&b| b == b'\n')
+            {
+                let mut line = std::mem::take(&mut self.pending);
+                line.extend_from_slice(&self.buf[self.start..self.start + pos]);
+                self.start += pos + 1;
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            }
+            // No newline buffered: stash the fragment and refill.
+            self.pending
+                .extend_from_slice(&self.buf[self.start..self.end]);
+            self.start = 0;
+            self.end = 0;
+            if self.pending.len() > MAX_LINE_BYTES {
+                return Err(LineError::TooLong);
+            }
+            match self.inner.read(&mut self.buf) {
+                Ok(0) => {
+                    if self.pending.is_empty() {
+                        return Ok(None);
+                    }
+                    // Final unterminated line.
+                    let line = std::mem::take(&mut self.pending);
+                    return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+                }
+                Ok(n) => self.end = n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => return Err(LineError::Io),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_reader_frames_and_caps() {
+        let input = b"PING\r\nSTATS\nlast-without-newline".to_vec();
+        let mut reader = LineReader::new(&input[..]);
+        assert_eq!(reader.next_line().ok().flatten().as_deref(), Some("PING"));
+        assert_eq!(reader.next_line().ok().flatten().as_deref(), Some("STATS"));
+        assert_eq!(
+            reader.next_line().ok().flatten().as_deref(),
+            Some("last-without-newline")
+        );
+        assert!(reader.next_line().ok().flatten().is_none());
+
+        let oversized = vec![b'x'; MAX_LINE_BYTES + 16];
+        let mut reader = LineReader::new(&oversized[..]);
+        assert!(matches!(reader.next_line(), Err(LineError::TooLong)));
+    }
+}

@@ -1,0 +1,360 @@
+//! The transport-independent service core: parse a request line, execute it
+//! against the [`Registry`], format a response line.
+//!
+//! Both front doors share this type: the TCP server
+//! ([`crate::server::Server`]) feeds it socket lines, the in-process client
+//! ([`crate::client::LocalClient`]) calls it directly — which is what the
+//! protocol robustness suite, the concurrency oracle and the `serve` bench
+//! drive, so the tested surface is exactly the served surface.
+
+use crate::protocol::{parse_request, EditOp, ErrorCode, Request, Response, MAX_CREATE_POINTS};
+use crate::registry::{Registry, Tenant};
+use antennae_core::antenna::AntennaBudget;
+use antennae_core::solver::Registry as AlgorithmRegistry;
+use antennae_geometry::Point;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Server-wide request counters.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Request lines handled (OK and ERR alike).
+    pub requests: AtomicU64,
+    /// Requests answered with a structured error.
+    pub errors: AtomicU64,
+    /// Edits buffered across all tenants.
+    pub edits_buffered: AtomicU64,
+    /// Coalesced repairs run across all tenants.
+    pub batches: AtomicU64,
+}
+
+/// The multi-tenant orientation service (see the [module docs](self)).
+#[derive(Default)]
+pub struct Service {
+    registry: Registry,
+    stats: ServiceStats,
+    shutdown: AtomicBool,
+}
+
+impl Service {
+    /// An empty service.
+    pub fn new() -> Self {
+        Service::default()
+    }
+
+    /// The tenant registry (tests and the bench reach through for setup).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Server-wide counters.
+    pub fn stats(&self) -> &ServiceStats {
+        &self.stats
+    }
+
+    /// Returns `true` once a `SHUTDOWN` request was accepted.
+    pub fn shutdown_requested(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Flips the shutdown flag directly (the wire-level `SHUTDOWN` verb does
+    /// the same; this is for hosts that own the service in process).
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Handles one request line end to end, returning the response line
+    /// (without the trailing newline).  Never panics: malformed input maps
+    /// to `ERR` lines (pinned by `tests/protocol_robustness.rs`).
+    pub fn handle_line(&self, line: &str) -> String {
+        self.stats.requests.fetch_add(1, Ordering::Relaxed);
+        let response = match parse_request(line) {
+            Ok(request) => self.execute(request),
+            Err(e) => Response::Err(e),
+        };
+        if !response.is_ok() {
+            self.stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        response.to_line()
+    }
+
+    /// Executes one parsed request.
+    pub fn execute(&self, request: Request) -> Response {
+        if self.shutdown_requested() && !matches!(request, Request::Ping | Request::Stats { .. }) {
+            return Response::err(ErrorCode::ShuttingDown, "server is shutting down");
+        }
+        match request {
+            Request::Create {
+                name,
+                k,
+                phi,
+                points,
+            } => self.create(&name, k, phi, &points),
+            Request::Edit { name, op } => self.edit(&name, op),
+            Request::Orient { name } => self.orient(&name),
+            Request::Verify { name } => self.verify(&name),
+            Request::Query { name, id } => self.query(&name, id),
+            Request::Stats { name } => self.stats_response(name.as_deref()),
+            Request::Drop { name } => match self.registry.drop_tenant(&name) {
+                Ok(()) => Response::ok(format!("dropped {name}")),
+                Err(e) => Response::Err(e),
+            },
+            Request::Ping => Response::ok("pong"),
+            Request::Shutdown => {
+                self.shutdown.store(true, Ordering::Release);
+                Response::ok("shutting-down")
+            }
+        }
+    }
+
+    fn create(&self, name: &str, k: usize, phi: f64, points: &[(f64, f64)]) -> Response {
+        if points.len() > MAX_CREATE_POINTS {
+            return Response::err(
+                ErrorCode::TooLarge,
+                format!("CREATE carries more than {MAX_CREATE_POINTS} points"),
+            );
+        }
+        let budget = AntennaBudget::new(k, phi);
+        // Reject budgets no registered construction serves *before* building
+        // the tenant, so `CREATE` fails fast with a budget error instead of
+        // a solver error halfway through session construction.  (k = 0 or
+        // k > 5 land here too: no paper construction covers them.)
+        if AlgorithmRegistry::paper().best_guarantee(&budget).is_none() {
+            return Response::err(
+                ErrorCode::BadBudget,
+                format!("no registered construction serves k={k} phi={phi:.4}"),
+            );
+        }
+        let pts: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        match self.registry.create(name, budget, &pts) {
+            Ok(tenant) => {
+                let snap = tenant.snapshot();
+                Response::ok(format!(
+                    "created {name} n={} k={k} phi={phi:.6} algo={} incremental={} valid={}",
+                    snap.n,
+                    snap.algorithm,
+                    snap.incremental,
+                    snap.report.is_valid()
+                ))
+            }
+            Err(e) => Response::Err(e),
+        }
+    }
+
+    fn with_tenant(&self, name: &str, f: impl FnOnce(&Arc<Tenant>) -> Response) -> Response {
+        match self.registry.get(name) {
+            Ok(tenant) => {
+                let response = f(&tenant);
+                if !response.is_ok() {
+                    tenant.stats.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                response
+            }
+            Err(e) => Response::Err(e),
+        }
+    }
+
+    fn edit(&self, name: &str, op: EditOp) -> Response {
+        self.with_tenant(name, |tenant| match tenant.buffer_edit(op) {
+            Ok((inserted, pending)) => {
+                self.stats.edits_buffered.fetch_add(1, Ordering::Relaxed);
+                match inserted {
+                    Some(id) => Response::ok(format!("edit {name} id={id} pending={pending}")),
+                    None => Response::ok(format!("edit {name} pending={pending}")),
+                }
+            }
+            Err(e) => Response::Err(e),
+        })
+    }
+
+    fn orient(&self, name: &str) -> Response {
+        self.with_tenant(name, |tenant| match tenant.flush() {
+            Ok(flushed) => {
+                self.stats.batches.fetch_add(1, Ordering::Relaxed);
+                let o = &flushed.outcome;
+                Response::ok(format!(
+                    "orient {name} n={} applied={} algo={} incremental={} mst_changed={} \
+                     rows={} valid={} radius={:.6} radius_over_lmax={:.6} revision={}",
+                    flushed.n,
+                    o.applied,
+                    o.algorithm,
+                    o.incremental_orientation,
+                    o.mst_changed,
+                    o.rows_recomputed,
+                    o.report.is_valid(),
+                    o.report.max_radius,
+                    o.measured_radius_over_lmax,
+                    flushed.revision,
+                ))
+            }
+            Err(e) => Response::Err(e),
+        })
+    }
+
+    fn verify(&self, name: &str) -> Response {
+        self.with_tenant(name, |tenant| match tenant.flush() {
+            Ok(flushed) => {
+                self.stats.batches.fetch_add(1, Ordering::Relaxed);
+                let r = &flushed.outcome.report;
+                Response::ok(format!(
+                    "verify {name} n={} valid={} strongly_connected={} scc={} edges={} \
+                     max_radius={:.6} radius_over_lmax={:.6} spread={:.6} antennas={} \
+                     violations={} revision={}",
+                    flushed.n,
+                    r.is_valid(),
+                    r.is_strongly_connected,
+                    r.scc_count,
+                    r.edge_count,
+                    r.max_radius,
+                    r.max_radius_over_lmax,
+                    r.max_spread_sum,
+                    r.max_antenna_count,
+                    r.violations.len(),
+                    flushed.revision,
+                ))
+            }
+            Err(e) => Response::Err(e),
+        })
+    }
+
+    fn query(&self, name: &str, id: Option<usize>) -> Response {
+        self.with_tenant(name, |tenant| {
+            tenant.stats.queries.fetch_add(1, Ordering::Relaxed);
+            let snap = tenant.snapshot();
+            match id {
+                None => Response::ok(format!(
+                    "query {name} n={} pending={} revision={} lmax={:.6} mst_weight={:.6} \
+                     algo={} valid={} strongly_connected={} edges={}",
+                    snap.n,
+                    tenant.pending(),
+                    snap.revision,
+                    snap.lmax,
+                    snap.mst_weight,
+                    snap.algorithm,
+                    snap.report.is_valid(),
+                    snap.report.is_strongly_connected,
+                    snap.report.edge_count,
+                )),
+                Some(id) => match snap.position_of(id) {
+                    Some(p) => Response::ok(format!(
+                        "query {name} id={id} x={:.6} y={:.6} revision={}",
+                        p.x, p.y, snap.revision
+                    )),
+                    None => Response::err(
+                        ErrorCode::UnknownSensor,
+                        format!(
+                            "sensor id {id} is not live in snapshot revision {}",
+                            snap.revision
+                        ),
+                    ),
+                },
+            }
+        })
+    }
+
+    fn stats_response(&self, name: Option<&str>) -> Response {
+        match name {
+            None => Response::ok(format!(
+                "stats deployments={} created={} dropped={} requests={} errors={} \
+                 edits_buffered={} batches={}",
+                self.registry.len(),
+                self.registry.created.load(Ordering::Relaxed),
+                self.registry.dropped.load(Ordering::Relaxed),
+                self.stats.requests.load(Ordering::Relaxed),
+                self.stats.errors.load(Ordering::Relaxed),
+                self.stats.edits_buffered.load(Ordering::Relaxed),
+                self.stats.batches.load(Ordering::Relaxed),
+            )),
+            Some(name) => self.with_tenant(name, |tenant| {
+                let s = &tenant.stats;
+                let snap = tenant.snapshot();
+                Response::ok(format!(
+                    "stats {name} n={} pending={} revision={} edits_buffered={} \
+                     edits_applied={} batches={} max_batch={} rows_recomputed={} \
+                     mst_changed={} queries={} errors={}",
+                    snap.n,
+                    tenant.pending(),
+                    snap.revision,
+                    s.edits_buffered.load(Ordering::Relaxed),
+                    s.edits_applied.load(Ordering::Relaxed),
+                    s.batches.load(Ordering::Relaxed),
+                    s.max_batch.load(Ordering::Relaxed),
+                    s.rows_recomputed.load(Ordering::Relaxed),
+                    s.mst_changed.load(Ordering::Relaxed),
+                    s.queries.load(Ordering::Relaxed),
+                    s.errors.load(Ordering::Relaxed),
+                ))
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::payload_field;
+    use antennae_core::bounds::theorem2_spread_threshold;
+
+    fn t2(k: usize) -> f64 {
+        theorem2_spread_threshold(k)
+    }
+
+    #[test]
+    fn end_to_end_session_over_handle_line() {
+        let svc = Service::new();
+        let phi = t2(2);
+        let created = svc.handle_line(&format!("CREATE west 2 {phi} 0 0 1 0 2 0.5 1.5 1.5"));
+        assert!(created.starts_with("OK created west n=4"), "{created}");
+
+        let buffered = svc.handle_line("EDIT west INSERT 0.5 0.75");
+        assert_eq!(buffered, "OK edit west id=4 pending=1");
+        let oriented = svc.handle_line("ORIENT west");
+        assert!(
+            oriented.starts_with("OK orient west n=5 applied=1"),
+            "{oriented}"
+        );
+        let payload = oriented.strip_prefix("OK ").unwrap();
+        assert_eq!(payload_field(payload, "valid"), Some("true"));
+        assert_eq!(payload_field(payload, "incremental"), Some("true"));
+
+        let verified = svc.handle_line("VERIFY west");
+        assert!(verified.contains("strongly_connected=true"), "{verified}");
+
+        let q = svc.handle_line("QUERY west 4");
+        assert!(q.starts_with("OK query west id=4 x=0.5"), "{q}");
+
+        let stats = svc.handle_line("STATS west");
+        assert!(stats.contains("edits_applied=1"), "{stats}");
+
+        assert_eq!(svc.handle_line("DROP west"), "OK dropped west");
+        assert!(svc
+            .handle_line("QUERY west")
+            .starts_with("ERR unknown-deployment"));
+    }
+
+    #[test]
+    fn bad_budgets_fail_fast() {
+        let svc = Service::new();
+        assert!(svc
+            .handle_line("CREATE a 0 1.0")
+            .starts_with("ERR bad-budget"));
+        assert!(svc
+            .handle_line("CREATE a 9 1.0")
+            .starts_with("ERR bad-budget"));
+        // Nothing was created along the way.
+        assert!(svc.registry().is_empty());
+    }
+
+    #[test]
+    fn shutdown_gates_new_work() {
+        let svc = Service::new();
+        assert_eq!(svc.handle_line("SHUTDOWN"), "OK shutting-down");
+        assert!(svc.shutdown_requested());
+        assert!(svc
+            .handle_line("CREATE a 2 3.8")
+            .starts_with("ERR shutting-down"));
+        // Liveness and stats still answer during drain.
+        assert_eq!(svc.handle_line("PING"), "OK pong");
+        assert!(svc.handle_line("STATS").starts_with("OK stats"));
+    }
+}

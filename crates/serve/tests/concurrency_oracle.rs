@@ -1,0 +1,355 @@
+//! Concurrency oracle: many client threads hammer many deployments through
+//! the full protocol path, then every deployment's final state is compared
+//! **bit for bit** against a bare [`DynamicSolverSession`] replaying the
+//! same edit sequence single-threaded.
+//!
+//! Design of the determinism argument: each deployment's edit stream is
+//! produced and issued by exactly one writer thread (so the per-tenant
+//! order is fixed), while threads interleave freely *across* deployments
+//! and extra reader threads fire `QUERY`/`STATS`/`VERIFY` at random tenants
+//! throughout.  Anything the service computes differently under that
+//! concurrency — a torn snapshot, a lost buffered edit, a repair racing a
+//! read — shows up as a mismatch against the serial replay.
+
+use antennae_core::antenna::AntennaBudget;
+use antennae_core::bounds::theorem2_spread_threshold;
+use antennae_core::dynamic::{DynamicInstance, DynamicSolverSession, Edit};
+use antennae_geometry::Point;
+use antennae_serve::{LocalClient, Service};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// One scripted deployment: seed points plus an edit stream with embedded
+/// flush points.
+#[derive(Clone)]
+struct Script {
+    name: String,
+    k: usize,
+    phi: f64,
+    seeds: Vec<Point>,
+    /// `(edit, flush_after)` — when `flush_after` is set the writer issues
+    /// ORIENT or VERIFY right after buffering this edit.
+    edits: Vec<(Edit, bool)>,
+}
+
+/// Deterministic per-deployment script; ids follow the serve-side
+/// projection rules (inserts get monotonically increasing ids).
+fn build_script(index: usize, rng: &mut StdRng) -> Script {
+    let k = 1 + index % 3;
+    let phi = theorem2_spread_threshold(k);
+    let n0 = 3 + rng.random_range(0..5usize);
+    let seeds: Vec<Point> = (0..n0)
+        .map(|_| Point::new(rng.random_range(-8.0..8.0), rng.random_range(-8.0..8.0)))
+        .collect();
+
+    // Track projected liveness exactly like the server's edit buffer does.
+    let mut alive: Vec<bool> = vec![true; n0];
+    let mut edits = Vec::new();
+    for _ in 0..rng.random_range(6..18usize) {
+        let live: Vec<usize> = (0..alive.len()).filter(|&i| alive[i]).collect();
+        let roll = rng.random_range(0.0..1.0f64);
+        let edit = if live.is_empty() || roll < 0.45 {
+            alive.push(true);
+            Edit::Insert(Point::new(
+                rng.random_range(-8.0..8.0),
+                rng.random_range(-8.0..8.0),
+            ))
+        } else if roll < 0.7 {
+            let id = live[rng.random_range(0..live.len())];
+            alive[id] = false;
+            Edit::Remove(id)
+        } else {
+            let id = live[rng.random_range(0..live.len())];
+            Edit::Move(
+                id,
+                Point::new(rng.random_range(-8.0..8.0), rng.random_range(-8.0..8.0)),
+            )
+        };
+        edits.push((edit, rng.random_range(0.0..1.0f64) < 0.3));
+    }
+    Script {
+        name: format!("tenant-{index}"),
+        k,
+        phi,
+        seeds,
+        edits,
+    }
+}
+
+fn edit_line(name: &str, edit: &Edit) -> String {
+    match edit {
+        Edit::Insert(p) => format!("EDIT {name} INSERT {} {}", p.x, p.y),
+        Edit::Remove(id) => format!("EDIT {name} REMOVE {id}"),
+        Edit::Move(id, p) => format!("EDIT {name} MOVE {id} {} {}", p.x, p.y),
+    }
+}
+
+/// Replays a script on a bare session, single-threaded, flushing at the
+/// same points the wire script flushes (batch boundaries must match for
+/// the comparison to be meaningful at the `apply_coalesced` level).
+fn serial_replay(script: &Script) -> DynamicSolverSession {
+    let inst = DynamicInstance::new(&script.seeds).expect("seed instance");
+    let mut session = DynamicSolverSession::new(inst, AntennaBudget::new(script.k, script.phi))
+        .expect("seed session");
+    let mut batch: Vec<Edit> = Vec::new();
+    for (edit, flush) in &script.edits {
+        batch.push(*edit);
+        if *flush {
+            session.apply_coalesced(&batch).expect("serial batch");
+            batch.clear();
+        }
+    }
+    session.apply_coalesced(&batch).expect("serial tail batch");
+    session
+}
+
+#[test]
+fn concurrent_tenants_match_serial_replay_bit_for_bit() {
+    let writers = 6;
+    let tenants_per_writer = 4;
+    let mut rng = StdRng::seed_from_u64(0x0907_2009);
+    let scripts: Vec<Script> = (0..writers * tenants_per_writer)
+        .map(|i| build_script(i, &mut rng))
+        .collect();
+
+    let service = Arc::new(Service::new());
+    let stop_readers = Arc::new(AtomicBool::new(false));
+
+    // Reader threads: constant snapshot/stat pressure on random tenants
+    // while the writers mutate them.  Responses must merely be structured;
+    // unknown-deployment is fine early on (CREATEs race the readers).
+    let reader_handles: Vec<_> = (0..3)
+        .map(|r| {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop_readers);
+            let names: Vec<String> = scripts.iter().map(|s| s.name.clone()).collect();
+            std::thread::spawn(move || {
+                let client = LocalClient::new(service);
+                let mut rng = StdRng::seed_from_u64(0xbeef + r as u64);
+                let mut reads = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    let name = &names[rng.random_range(0..names.len())];
+                    let line = match rng.random_range(0..3u8) {
+                        0 => format!("QUERY {name}"),
+                        1 => format!("STATS {name}"),
+                        _ => "STATS".to_string(),
+                    };
+                    let response = client.request(&line).to_line();
+                    assert!(
+                        response.starts_with("OK ") || response.starts_with("ERR "),
+                        "unstructured response under load: {response}"
+                    );
+                    reads += 1;
+                }
+                reads
+            })
+        })
+        .collect();
+
+    // Writer threads: each owns a disjoint slice of the scripts and drives
+    // them through the protocol, interleaving its tenants edit by edit.
+    let writer_handles: Vec<_> = scripts
+        .chunks(tenants_per_writer)
+        .map(|chunk| {
+            let service = Arc::clone(&service);
+            let chunk: Vec<Script> = chunk.to_vec();
+            std::thread::spawn(move || {
+                let client = LocalClient::new(service);
+                let mut rng = StdRng::seed_from_u64(chunk.len() as u64);
+                for script in &chunk {
+                    let mut line = format!("CREATE {} {} {}", script.name, script.k, script.phi);
+                    for p in &script.seeds {
+                        line.push_str(&format!(" {} {}", p.x, p.y));
+                    }
+                    let created = client.request(&line).to_line();
+                    assert!(created.starts_with("OK created"), "{created}");
+                }
+                // Interleave the chunk's tenants: cursors advance round-robin
+                // with random skips, so per-tenant order is preserved while
+                // cross-tenant order is scrambled.
+                let mut cursors = vec![0usize; chunk.len()];
+                loop {
+                    let open: Vec<usize> = (0..chunk.len())
+                        .filter(|&t| cursors[t] < chunk[t].edits.len())
+                        .collect();
+                    if open.is_empty() {
+                        break;
+                    }
+                    let t = open[rng.random_range(0..open.len())];
+                    let script = &chunk[t];
+                    let (edit, flush) = &script.edits[cursors[t]];
+                    cursors[t] += 1;
+                    let response = client.request(&edit_line(&script.name, edit)).to_line();
+                    assert!(response.starts_with("OK edit"), "{response}");
+                    if *flush {
+                        let verb = if cursors[t].is_multiple_of(2) {
+                            "ORIENT"
+                        } else {
+                            "VERIFY"
+                        };
+                        let flushed = client.request(&format!("{verb} {}", script.name)).to_line();
+                        assert!(flushed.starts_with("OK "), "{flushed}");
+                    }
+                }
+                // Drain whatever is still buffered.
+                for script in &chunk {
+                    let flushed = client.request(&format!("ORIENT {}", script.name)).to_line();
+                    assert!(flushed.starts_with("OK orient"), "{flushed}");
+                }
+            })
+        })
+        .collect();
+
+    for handle in writer_handles {
+        handle.join().expect("writer thread");
+    }
+    stop_readers.store(true, Ordering::Relaxed);
+    let mut total_reads = 0;
+    for handle in reader_handles {
+        total_reads += handle.join().expect("reader thread");
+    }
+    assert!(total_reads > 0, "readers never ran");
+
+    // Oracle comparison: served state == serial bare-session replay.
+    for script in &scripts {
+        let oracle = serial_replay(script);
+        let tenant = service.registry().get(&script.name).expect("tenant");
+        tenant.with_session(|served| {
+            let (a, b) = (served.instance(), oracle.instance());
+            assert_eq!(a.ids(), b.ids(), "{}: live ids", script.name);
+            for id in a.ids() {
+                assert_eq!(
+                    a.point(id).unwrap(),
+                    b.point(id).unwrap(),
+                    "{}: position of {id}",
+                    script.name
+                );
+            }
+            assert_eq!(
+                a.lmax().to_bits(),
+                b.lmax().to_bits(),
+                "{}: lmax",
+                script.name
+            );
+            assert_eq!(
+                a.mst_total_weight().to_bits(),
+                b.mst_total_weight().to_bits(),
+                "{}: MST weight",
+                script.name
+            );
+            assert_eq!(
+                served.algorithm(),
+                oracle.algorithm(),
+                "{}: algorithm",
+                script.name
+            );
+            assert_eq!(served.scheme(), oracle.scheme(), "{}: scheme", script.name);
+            assert_eq!(
+                served.digraph(),
+                oracle.digraph(),
+                "{}: digraph",
+                script.name
+            );
+            let (ra, rb) = (served.report(), oracle.report());
+            assert_eq!(
+                ra.is_strongly_connected, rb.is_strongly_connected,
+                "{}: connectivity",
+                script.name
+            );
+            assert_eq!(ra.scc_count, rb.scc_count, "{}: scc", script.name);
+            assert_eq!(ra.edge_count, rb.edge_count, "{}: edges", script.name);
+            assert_eq!(
+                ra.max_radius.to_bits(),
+                rb.max_radius.to_bits(),
+                "{}: max radius",
+                script.name
+            );
+            assert_eq!(
+                ra.max_radius_over_lmax.to_bits(),
+                rb.max_radius_over_lmax.to_bits(),
+                "{}: radius ratio",
+                script.name
+            );
+            assert_eq!(
+                ra.max_spread_sum.to_bits(),
+                rb.max_spread_sum.to_bits(),
+                "{}: spread",
+                script.name
+            );
+            assert_eq!(ra.violations, rb.violations, "{}: violations", script.name);
+        });
+
+        // The published snapshot agrees with the session it was taken from.
+        let snapshot = tenant.snapshot();
+        assert_eq!(
+            snapshot.n,
+            oracle.instance().len(),
+            "{}: snapshot n",
+            script.name
+        );
+        assert_eq!(
+            snapshot.lmax.to_bits(),
+            oracle.instance().lmax().to_bits(),
+            "{}: snapshot lmax",
+            script.name
+        );
+        assert_eq!(
+            snapshot.mst_weight.to_bits(),
+            oracle.instance().mst_total_weight().to_bits(),
+            "{}: snapshot MST weight",
+            script.name
+        );
+    }
+}
+
+/// A narrower but nastier variant: several writers share ONE deployment,
+/// each writer only inserting (commutative at the set level is NOT assumed
+/// — we assert the *count and liveness* invariants, not positions-by-id,
+/// since cross-writer interleaving is nondeterministic by design).
+#[test]
+fn shared_tenant_survives_racing_writers() {
+    let service = Arc::new(Service::new());
+    let client = LocalClient::new(Arc::clone(&service));
+    let phi = theorem2_spread_threshold(2);
+    let created = client
+        .request(&format!("CREATE shared 2 {phi} 0 0 3 0 0 3"))
+        .to_line();
+    assert!(created.starts_with("OK created"), "{created}");
+
+    let writers = 4;
+    let inserts_each = 25;
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                let client = LocalClient::new(service);
+                let mut rng = StdRng::seed_from_u64(w as u64);
+                for i in 0..inserts_each {
+                    let x = rng.random_range(-10.0..10.0);
+                    let y = rng.random_range(-10.0..10.0);
+                    let response = client
+                        .request(&format!("EDIT shared INSERT {x} {y}"))
+                        .to_line();
+                    assert!(response.starts_with("OK edit shared id="), "{response}");
+                    if i % 7 == 0 {
+                        let flushed = client.request("ORIENT shared").to_line();
+                        assert!(flushed.starts_with("OK orient shared"), "{flushed}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().expect("writer");
+    }
+
+    let final_verify = client.request("VERIFY shared").to_line();
+    assert!(final_verify.contains("valid=true"), "{final_verify}");
+    let snapshot = service.registry().get("shared").unwrap().snapshot();
+    assert_eq!(snapshot.n, 3 + writers * inserts_each, "no insert lost");
+    // Ids were handed out densely: every id below the bound is live.
+    let ids: Vec<usize> = snapshot.positions.iter().map(|&(id, _)| id).collect();
+    assert_eq!(ids, (0..snapshot.n).collect::<Vec<_>>());
+}

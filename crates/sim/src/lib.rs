@@ -43,6 +43,7 @@ pub mod generators;
 pub mod interference;
 pub mod metrics;
 pub mod record;
+pub mod serve_script;
 pub mod sweep;
 
 pub use generators::PointSetGenerator;

@@ -1,0 +1,155 @@
+//! Churn traces rendered as `orientd` protocol scripts.
+//!
+//! [`churn_protocol_script`] turns a seed deployment plus a
+//! [`churn_trace`](crate::events::churn_trace) into the exact request lines
+//! a client would send to the deployment server: one `CREATE`, a stream of
+//! `EDIT`s with periodic `ORIENT` flushes, and a closing `ORIENT`+`VERIFY`.
+//!
+//! The encoder is **pure string formatting** — it deliberately does not
+//! depend on the serve crate.  It mirrors the server's id-assignment rules
+//! (dense monotone ids, inserts numbered past every id ever used) so the
+//! emitted `REMOVE`/`MOVE` lines reference exactly the ids the server will
+//! have handed out; the round-trip is pinned by the root crate's
+//! `serve_churn` integration test, which replays a script over a real
+//! socket and checks the final deployment against a bare dynamic session.
+
+use crate::events::{ChurnEvent, ChurnOp};
+use antennae_geometry::Point;
+
+/// A churn trace rendered into protocol lines, plus the applied-edit record
+/// the oracle side needs to replay the same history without re-deriving the
+/// pick-mod-live victim resolution.
+#[derive(Debug, Clone)]
+pub struct ProtocolScript {
+    /// Request lines in send order (`CREATE` first, `VERIFY` last).
+    pub lines: Vec<String>,
+    /// Every edit the script performs, as `(id, op)` in order:
+    /// `op` is `Some(point)` for inserts/moves (the absolute location) and
+    /// `None` for removals.  Inserts carry the id the server will assign.
+    pub edits: Vec<(usize, Option<Point>)>,
+}
+
+/// Renders `trace` into an `orientd` session script for deployment `name`
+/// with budget `(k, phi)`, flushing with `ORIENT` every `flush_every`
+/// edits (0 means "only the final flush").
+///
+/// Victim/mover resolution matches the documented [`ChurnOp`] semantics:
+/// `pick % live` indexes the live ids in ascending order, evaluated against
+/// the *projected* state (seeds plus the effect of every earlier line), so
+/// the server accepts each line exactly as a serial applier would.  Failure
+/// events on an empty deployment are skipped (nothing to remove).
+pub fn churn_protocol_script(
+    name: &str,
+    k: usize,
+    phi: f64,
+    seeds: &[Point],
+    trace: &[ChurnEvent],
+    flush_every: usize,
+) -> ProtocolScript {
+    let mut lines = Vec::with_capacity(trace.len() + 3);
+    let mut create = format!("CREATE {name} {k} {phi}");
+    for p in seeds {
+        create.push_str(&format!(" {} {}", p.x, p.y));
+    }
+    lines.push(create);
+
+    // Projected state: position per ever-assigned id, None once removed.
+    let mut slots: Vec<Option<Point>> = seeds.iter().copied().map(Some).collect();
+    let mut edits = Vec::new();
+    let mut since_flush = 0usize;
+    for event in trace {
+        let live: Vec<usize> = (0..slots.len()).filter(|&i| slots[i].is_some()).collect();
+        match event.op {
+            ChurnOp::Arrive(p) => {
+                let id = slots.len();
+                slots.push(Some(p));
+                lines.push(format!("EDIT {name} INSERT {} {}", p.x, p.y));
+                edits.push((id, Some(p)));
+            }
+            ChurnOp::Fail { pick } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[(pick % live.len() as u64) as usize];
+                slots[id] = None;
+                lines.push(format!("EDIT {name} REMOVE {id}"));
+                edits.push((id, None));
+            }
+            ChurnOp::Step { pick, dx, dy } => {
+                if live.is_empty() {
+                    continue;
+                }
+                let id = live[(pick % live.len() as u64) as usize];
+                let from = slots[id].expect("live slot has a position");
+                let to = Point::new(from.x + dx, from.y + dy);
+                slots[id] = Some(to);
+                lines.push(format!("EDIT {name} MOVE {id} {} {}", to.x, to.y));
+                edits.push((id, Some(to)));
+            }
+        }
+        since_flush += 1;
+        if flush_every > 0 && since_flush >= flush_every {
+            lines.push(format!("ORIENT {name}"));
+            since_flush = 0;
+        }
+    }
+    lines.push(format!("ORIENT {name}"));
+    lines.push(format!("VERIFY {name}"));
+    ProtocolScript { lines, edits }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::{churn_trace, ChurnMix};
+
+    #[test]
+    fn script_shape_and_id_discipline() {
+        let seeds = vec![
+            Point::new(0.0, 0.0),
+            Point::new(3.0, 0.0),
+            Point::new(0.0, 3.0),
+        ];
+        let trace = churn_trace(ChurnMix::balanced(2.0), 40, 8.0, 0.5, 9);
+        let script = churn_protocol_script("t", 2, 4.0, &seeds, &trace, 5);
+
+        assert!(script.lines[0].starts_with("CREATE t 2 4"));
+        assert_eq!(script.lines[script.lines.len() - 2], "ORIENT t");
+        assert_eq!(script.lines[script.lines.len() - 1], "VERIFY t");
+
+        // Replay the edit record: ids must be dense-monotone for inserts and
+        // live at use for removals/moves.
+        let mut alive = vec![true; seeds.len()];
+        for &(id, op) in &script.edits {
+            if id == alive.len() {
+                assert!(op.is_some(), "a fresh id can only come from an insert");
+                alive.push(true);
+            } else {
+                assert!(alive[id], "edit referenced dead id {id}");
+                if op.is_none() {
+                    alive[id] = false;
+                }
+            }
+        }
+
+        // Every emitted EDIT line corresponds to one recorded edit.
+        let edit_lines = script
+            .lines
+            .iter()
+            .filter(|l| l.starts_with("EDIT "))
+            .count();
+        assert_eq!(edit_lines, script.edits.len());
+    }
+
+    #[test]
+    fn zero_flush_interval_defers_to_the_final_orient() {
+        let seeds = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let trace = churn_trace(ChurnMix::balanced(2.0), 20, 5.0, 0.3, 4);
+        let script = churn_protocol_script("t", 1, 6.0, &seeds, &trace, 0);
+        let orients = script.lines.iter().filter(|l| *l == "ORIENT t").count();
+        assert_eq!(
+            orients, 1,
+            "flush_every=0 must emit exactly the final ORIENT"
+        );
+    }
+}

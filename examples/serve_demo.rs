@@ -1,0 +1,73 @@
+//! Orientation-as-a-service demo: spin up the `orientd` server on an
+//! ephemeral loopback port, drive two tenant deployments over the real TCP
+//! protocol, and shut the server down cleanly.
+//!
+//! Run with `cargo run --release --example serve_demo`.
+
+use antennae::core::bounds::theorem2_spread_threshold;
+use antennae::prelude::*;
+use antennae::serve::{Server, TcpClient};
+
+fn send(client: &mut TcpClient, line: &str) -> Result<String, Box<dyn std::error::Error>> {
+    let response = client.request(line)?.to_line();
+    println!("> {line}\n< {response}");
+    Ok(response)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Port 0 = ephemeral: the demo never collides with a running server.
+    let server = Server::bind("127.0.0.1:0")?;
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    println!("orientd listening on {addr}\n");
+
+    let mut client = TcpClient::connect(addr)?;
+
+    // Tenant "west": a small two-antenna deployment seeded at CREATE time.
+    let phi2 = theorem2_spread_threshold(2);
+    let seeds = PointSetGenerator::UniformSquare { n: 12, side: 6.0 }.generate(11);
+    let mut create = format!("CREATE west 2 {phi2}");
+    for p in &seeds {
+        create.push_str(&format!(" {} {}", p.x, p.y));
+    }
+    send(&mut client, &create)?;
+
+    // Tenant "east": starts empty and grows entirely through edits.
+    let phi1 = theorem2_spread_threshold(1);
+    send(&mut client, &format!("CREATE east 1 {phi1}"))?;
+
+    // A burst of edits per tenant; the server buffers them and pays ONE
+    // coalesced incremental repair per ORIENT.
+    send(&mut client, "EDIT west INSERT 1.5 2.5")?;
+    send(&mut client, "EDIT west MOVE 3 4.0 4.0")?;
+    send(&mut client, "EDIT west REMOVE 7")?;
+    send(&mut client, "ORIENT west")?;
+
+    send(&mut client, "EDIT east INSERT 0 0")?;
+    send(&mut client, "EDIT east INSERT 1 0")?;
+    send(&mut client, "EDIT east INSERT 1 1")?;
+    send(&mut client, "VERIFY east")?;
+
+    // Snapshot reads and counters.
+    send(&mut client, "QUERY west")?;
+    send(&mut client, "QUERY east 2")?;
+    send(&mut client, "STATS west")?;
+    send(&mut client, "STATS")?;
+
+    // Drain-to-zero is a valid state: an empty deployment is vacuously
+    // strongly connected and can regrow later.
+    send(&mut client, "EDIT east REMOVE 0")?;
+    send(&mut client, "EDIT east REMOVE 1")?;
+    send(&mut client, "EDIT east REMOVE 2")?;
+    send(&mut client, "VERIFY east")?;
+    send(&mut client, "EDIT east INSERT 5 5")?;
+    send(&mut client, "ORIENT east")?;
+
+    send(&mut client, "DROP east")?;
+    let response = send(&mut client, "SHUTDOWN")?;
+    assert!(response.starts_with("OK"), "shutdown refused: {response}");
+    drop(client);
+    handle.stop()?;
+    println!("\nserver stopped cleanly");
+    Ok(())
+}

@@ -35,9 +35,51 @@ PROPTEST_CASES=128 cargo test --workspace -q
 echo "== clippy, warnings as errors =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+# Server smoke: boot the real `orientd` binary on an ephemeral loopback
+# port, drive one deployment over a raw TCP session (bash /dev/tcp — no
+# extra tooling), and require a clean SHUTDOWN exit.  The in-process tests
+# already cover the protocol exhaustively; this step pins the last mile the
+# test harness can't: the released binary, argument parsing, real sockets
+# and process exit.
+echo "== orientd server smoke (release binary over loopback) =="
+ORIENTD_LOG="$(mktemp)"
+./target/release/orientd --listen 127.0.0.1:0 --threads 2 --print-port \
+    > "$ORIENTD_LOG" 2>/dev/null &
+ORIENTD_PID=$!
+trap 'kill "$ORIENTD_PID" 2>/dev/null || true; rm -f "$ORIENTD_LOG"' EXIT
+PORT=""
+for _ in $(seq 1 50); do
+    PORT="$(awk '$1 == "PORT" { print $2; exit }' "$ORIENTD_LOG")"
+    [[ -n "$PORT" ]] && break
+    sleep 0.1
+done
+[[ -n "$PORT" ]] || { echo "orientd never reported its port" >&2; exit 1; }
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+smoke_request() {
+    local reply
+    printf '%s\n' "$1" >&3
+    IFS= read -r reply <&3
+    echo "  > $1"
+    echo "  < $reply"
+    [[ "$reply" == OK* ]] || { echo "smoke request failed: $1 -> $reply" >&2; exit 1; }
+}
+smoke_request "PING"
+smoke_request "CREATE smoke 2 3.7699111843077517 0 0 1 0 2 0.5 1.5 1.5"
+smoke_request "EDIT smoke INSERT 0.5 0.75"
+smoke_request "ORIENT smoke"
+smoke_request "VERIFY smoke"
+smoke_request "QUERY smoke"
+smoke_request "STATS"
+smoke_request "SHUTDOWN"
+exec 3<&- 3>&-
+wait "$ORIENTD_PID" || { echo "orientd exited non-zero" >&2; exit 1; }
+trap - EXIT
+rm -f "$ORIENTD_LOG"
+echo "orientd smoke OK (port $PORT, clean shutdown)"
+
 # Benches are not exercised by the test suite; building them (without
 # running) keeps them from rotting.  `scripts/bench_smoke.sh` runs the
-# headline benches in quick mode and records the numbers in BENCH_5.json;
+# headline benches in quick mode and records the numbers in BENCH_6.json;
 # `scripts/bench_gate.sh` compares that run against the previous committed
 # BENCH_*.json and flags >2x regressions (advisory CI job).
 echo "== benches compile (cargo bench --no-run) =="
@@ -49,6 +91,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p antennae-geometry \
     -p antennae-graph \
     -p antennae-core \
+    -p antennae-serve \
     -p antennae-sim \
     -p antennae-bench
 

@@ -1,0 +1,84 @@
+//! `orientd` — the orientation-as-a-service deployment server.
+//!
+//! Serves the line protocol of [`antennae::serve`] over TCP:
+//!
+//! ```text
+//! orientd [--listen ADDR] [--threads N] [--print-port]
+//! ```
+//!
+//! * `--listen ADDR` — bind address, default `127.0.0.1:7011`; use port 0
+//!   for an ephemeral port.
+//! * `--threads N` — worker pool size, default `min(cores, 8)`.
+//! * `--print-port` — print `PORT <n>` on stdout once bound (used by the
+//!   CI smoke test to discover an ephemeral port).
+//!
+//! The process exits cleanly after a `SHUTDOWN` request.
+
+use antennae::serve::{Server, Service};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+struct Args {
+    listen: String,
+    threads: usize,
+    print_port: bool,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: orientd [--listen ADDR] [--threads N] [--print-port]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        listen: "127.0.0.1:7011".to_string(),
+        threads: antennae::core::parallel::default_threads(),
+        print_port: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--listen" => match argv.next() {
+                Some(addr) => args.listen = addr,
+                None => usage(),
+            },
+            "--threads" => match argv.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => args.threads = n,
+                _ => usage(),
+            },
+            "--print-port" => args.print_port = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let server = match Server::bind_with(&args.listen, Arc::new(Service::new()), args.threads) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("orientd: cannot bind {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    if args.print_port {
+        // Machine-readable, flushed immediately: scripts wait for this line.
+        println!("PORT {}", addr.port());
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+    }
+    eprintln!("orientd: listening on {addr} ({} workers)", args.threads);
+    match server.run() {
+        Ok(()) => {
+            eprintln!("orientd: clean shutdown");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("orientd: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

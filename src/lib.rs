@@ -16,6 +16,8 @@
 //!   every row of Table 1, plus the verification machinery.
 //! * [`sim`] — workload generators, energy model, flooding simulation and the
 //!   experiment drivers that regenerate every table and figure.
+//! * [`serve`] — orientation-as-a-service: the `orientd` multi-tenant
+//!   deployment server, its line protocol, and in-process/TCP clients.
 //!
 //! ## Quickstart
 //!
@@ -58,6 +60,7 @@
 pub use antennae_core as core;
 pub use antennae_geometry as geometry;
 pub use antennae_graph as graph;
+pub use antennae_serve as serve;
 pub use antennae_sim as sim;
 
 /// Convenience re-exports of the types used by almost every application.
@@ -70,7 +73,9 @@ pub mod prelude {
     pub use antennae_core::antenna::{Antenna, AntennaBudget, SensorAssignment};
     pub use antennae_core::batch::{BatchOrienter, InstanceBatch};
     pub use antennae_core::bounds;
-    pub use antennae_core::dynamic::{DynamicInstance, DynamicSolverSession, Edit, EditOutcome};
+    pub use antennae_core::dynamic::{
+        BatchOutcome, DynamicInstance, DynamicSolverSession, Edit, EditOutcome,
+    };
     pub use antennae_core::instance::Instance;
     pub use antennae_core::scheme::OrientationScheme;
     pub use antennae_core::solver::{

@@ -204,7 +204,115 @@ fn duplicate_point_scripts_stay_exact() {
     );
 }
 
+/// Coalescing equivalence: resolve a script against a one-at-a-time serial
+/// session (recording the concrete edits it applied), then replay the same
+/// edit list on a second session in coalesced batches of `batch` edits.
+/// The batched final state must be **exactly** the serial final state —
+/// same scheme, digraph, report, and MST summary bits.
+fn assert_coalescing_equivalent(
+    points: &[Point],
+    budget: AntennaBudget,
+    steps: &[Step],
+    batch: usize,
+) {
+    let mut serial =
+        DynamicSolverSession::new(DynamicInstance::new(points).unwrap(), budget).unwrap();
+    let mut resolved = Vec::new();
+    for step in steps {
+        let Some(edit) = to_edit(&serial, step) else {
+            continue;
+        };
+        serial.apply(edit).unwrap();
+        resolved.push(edit);
+    }
+
+    let mut batched =
+        DynamicSolverSession::new(DynamicInstance::new(points).unwrap(), budget).unwrap();
+    for chunk in resolved.chunks(batch.max(1)) {
+        batched.apply_coalesced(chunk).unwrap();
+    }
+
+    assert_eq!(
+        batched.instance().ids(),
+        serial.instance().ids(),
+        "live ids diverged at batch={batch}"
+    );
+    assert_eq!(
+        batched.instance().lmax().to_bits(),
+        serial.instance().lmax().to_bits(),
+        "lmax diverged at batch={batch}"
+    );
+    assert_eq!(
+        batched.instance().mst_total_weight().to_bits(),
+        serial.instance().mst_total_weight().to_bits(),
+        "MST weight diverged at batch={batch}"
+    );
+    assert_eq!(
+        batched.scheme(),
+        serial.scheme(),
+        "scheme diverged at batch={batch}"
+    );
+    assert_eq!(
+        batched.digraph(),
+        serial.digraph(),
+        "digraph diverged at batch={batch}"
+    );
+    assert_eq!(
+        batched.report(),
+        serial.report(),
+        "report diverged at batch={batch}"
+    );
+    // And the batched state satisfies the full rebuild oracle on its own.
+    assert_oracle(&mut batched);
+}
+
+#[test]
+fn coalesced_batches_equal_serial_application() {
+    let budget = AntennaBudget::new(2, theorem2_spread_threshold(2));
+    for seed in 0..4u64 {
+        let points = PointSetGenerator::UniformSquare { n: 20, side: 9.0 }.generate(seed);
+        let steps = mixed_script(seed.wrapping_mul(11) + 5);
+        for batch in [1, 2, 3, 5, usize::MAX] {
+            assert_coalescing_equivalent(&points, budget, &steps, batch);
+        }
+    }
+}
+
+#[test]
+fn coalesced_batches_equal_serial_under_fallback_budget() {
+    // Theorem 3 regime: every repair is a full re-solve, but batching must
+    // still land on the identical final state.
+    let points = PointSetGenerator::UniformSquare { n: 16, side: 6.0 }.generate(3);
+    let budget = AntennaBudget::new(2, std::f64::consts::PI);
+    for batch in [2, 4, usize::MAX] {
+        assert_coalescing_equivalent(&points, budget, &mixed_script(8), batch);
+    }
+}
+
 proptest! {
+    #[test]
+    fn prop_coalesced_batches_match_serial(
+        initial in proptest::collection::vec((0.0..20.0f64, 0.0..20.0f64), 2..20),
+        script in proptest::collection::vec(
+            (0u8..3, 0u64..1_000_000u64, 0.0..20.0f64, 0.0..20.0f64),
+            1..12
+        ),
+        batch in 1usize..6,
+        k in 1usize..=3,
+    ) {
+        let points: Vec<Point> = initial.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let steps: Vec<Step> = script
+            .iter()
+            .map(|&(op, pick, x, y)| match op {
+                0 => Step::Insert(x, y),
+                1 => Step::Remove(pick),
+                _ => Step::Move(pick, x, y),
+            })
+            .collect();
+        let budget = AntennaBudget::new(k, theorem2_spread_threshold(k));
+        assert_coalescing_equivalent(&points, budget, &steps, batch);
+    }
+
     #[test]
     fn prop_random_scripts_match_rebuild_oracle(
         initial in proptest::collection::vec((0.0..20.0f64, 0.0..20.0f64), 2..25),

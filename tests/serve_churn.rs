@@ -1,0 +1,118 @@
+//! Over-the-wire churn replay: a sim-generated churn trace is rendered into
+//! an `orientd` protocol script (`antennae::sim::serve_script`), replayed
+//! through a real TCP server, and the served final state is compared against
+//! a bare [`DynamicSolverSession`] applying the recorded edits serially.
+//!
+//! This closes the loop across all four layers the PR touches: sim produces
+//! the workload, serve transports and coalesces it, core repairs it, and the
+//! verification report at the end must be bit-identical either way.
+
+use antennae::core::antenna::AntennaBudget;
+use antennae::core::bounds::theorem2_spread_threshold;
+use antennae::core::dynamic::{DynamicInstance, DynamicSolverSession, Edit};
+use antennae::prelude::*;
+use antennae::serve::{Server, TcpClient};
+use antennae::sim::events::{churn_trace, ChurnMix};
+use antennae::sim::serve_script::churn_protocol_script;
+
+#[test]
+fn churn_script_over_tcp_matches_bare_session() {
+    let k = 2;
+    let phi = theorem2_spread_threshold(k);
+    let seeds = PointSetGenerator::UniformSquare { n: 30, side: 10.0 }.generate(21);
+    let trace = churn_trace(ChurnMix::balanced(3.0), 120, 10.0, 0.8, 77);
+    let script = churn_protocol_script("churny", k, phi, &seeds, &trace, 7);
+
+    // Replay over a real socket.
+    let server = Server::bind("127.0.0.1:0").expect("bind ephemeral");
+    let addr = server.local_addr();
+    let handle = server.spawn();
+    let mut client = TcpClient::connect(addr).expect("connect");
+    let mut last_verify = String::new();
+    for line in &script.lines {
+        let response = client.request(line).expect("round trip").to_line();
+        assert!(response.starts_with("OK "), "{line:?} -> {response}");
+        if line.starts_with("VERIFY ") {
+            last_verify = response;
+        }
+    }
+    assert!(last_verify.contains("valid=true"), "{last_verify}");
+
+    // Bare-session oracle: apply the recorded edits serially (the encoder
+    // already resolved pick-mod-live victims into concrete ids).
+    let mut oracle = DynamicSolverSession::new(
+        DynamicInstance::new(&seeds).expect("seed instance"),
+        AntennaBudget::new(k, phi),
+    )
+    .expect("seed session");
+    for &(id, op) in &script.edits {
+        let edit = match op {
+            Some(p) if id == oracle.instance().next_id() => Edit::Insert(p),
+            Some(p) => Edit::Move(id, p),
+            None => Edit::Remove(id),
+        };
+        oracle.apply(edit).expect("oracle edit");
+    }
+
+    // Compare through the registry (state bits) and the snapshot (wire view).
+    let service = handle.service();
+    let tenant = service.registry().get("churny").expect("tenant exists");
+    tenant.with_session(|served| {
+        assert_eq!(served.instance().ids(), oracle.instance().ids(), "live ids");
+        assert_eq!(
+            served.instance().lmax().to_bits(),
+            oracle.instance().lmax().to_bits(),
+            "lmax"
+        );
+        assert_eq!(
+            served.instance().mst_total_weight().to_bits(),
+            oracle.instance().mst_total_weight().to_bits(),
+            "MST weight"
+        );
+        assert_eq!(served.scheme(), oracle.scheme(), "scheme");
+        assert_eq!(served.digraph(), oracle.digraph(), "digraph");
+        assert_eq!(served.report(), oracle.report(), "report");
+    });
+    let snapshot = tenant.snapshot();
+    assert_eq!(snapshot.n, oracle.instance().len());
+    for (id, p) in &snapshot.positions {
+        assert_eq!(
+            oracle.instance().point(*id).expect("live"),
+            *p,
+            "position of {id}"
+        );
+    }
+
+    drop(client);
+    handle.stop().expect("clean shutdown");
+}
+
+#[test]
+fn churn_script_survives_drain_heavy_mixes() {
+    // Failure-heavy mix on a tiny seed: the deployment repeatedly shrinks
+    // towards (and possibly through) the near-empty regime.
+    let k = 1;
+    let phi = theorem2_spread_threshold(k);
+    let seeds = vec![
+        Point::new(0.0, 0.0),
+        Point::new(2.0, 0.0),
+        Point::new(0.0, 2.0),
+    ];
+    let mix = ChurnMix {
+        arrival: 0.8,
+        failure: 2.0,
+        mobility: 0.2,
+    };
+    let trace = churn_trace(mix, 60, 5.0, 0.4, 13);
+    let script = churn_protocol_script("drainy", k, phi, &seeds, &trace, 3);
+
+    let server = Server::bind("127.0.0.1:0").expect("bind ephemeral");
+    let handle = server.spawn();
+    let mut client = TcpClient::connect(handle.local_addr()).expect("connect");
+    for line in &script.lines {
+        let response = client.request(line).expect("round trip").to_line();
+        assert!(response.starts_with("OK "), "{line:?} -> {response}");
+    }
+    drop(client);
+    handle.stop().expect("clean shutdown");
+}
