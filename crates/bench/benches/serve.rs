@@ -18,8 +18,10 @@
 //! * `serial_baseline` — no batching: `ORIENT` after every `EDIT`, one
 //!   deployment at a time, paying one incremental repair per edit.
 //!
-//! `BENCH_6.json` records all three; the acceptance bar is `parallel`
-//! ahead of `serial_baseline` at 1000 tenants.
+//! The committed `BENCH_*.json` trajectory records all three; the
+//! acceptance bar is `parallel` ahead of `serial_baseline` at 1000
+//! tenants.  The durable-mode twin of this sweep lives in the `store`
+//! bench (`store/serve_sweep_1000_tenants`).
 
 use antennae_bench::workloads::uniform_points;
 use antennae_core::bounds::theorem2_spread_threshold;

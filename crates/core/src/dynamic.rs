@@ -588,6 +588,65 @@ impl DynamicSolverSession {
         })
     }
 
+    /// Rebuilds a session from a durable image: a sparse `base` live set
+    /// (original ids, strictly ascending, below the `next_id` horizon) plus
+    /// a `tail` of logged-but-uncompacted edits — the shape a write-ahead
+    /// log hands recovery.
+    ///
+    /// Ids are monotone and never reused, so the sparse id space is
+    /// reconstructed on an empty session by inserting a sensor for **every**
+    /// id below the horizon (placeholders at the dead slots), removing the
+    /// placeholders, and appending the tail — all through **one**
+    /// [`DynamicSolverSession::apply_coalesced`] repair.  By the coalescing
+    /// and incremental-vs-fresh oracles (`tests/dynamic_oracle.rs`), the
+    /// result is bit-equal (`f64::to_bits` on `lmax`/MST weights, exact
+    /// scheme/digraph equality) to the session that lived through the
+    /// original edit history, whatever its batch boundaries were.
+    ///
+    /// Fails with [`OrientError::Internal`] on a malformed base, or with the
+    /// usual batch errors when the tail references ids the projected live
+    /// set does not hold (a salvaged-but-inconsistent log).
+    pub fn replay(
+        budget: AntennaBudget,
+        base: &[(SensorId, Point)],
+        next_id: SensorId,
+        tail: &[Edit],
+    ) -> Result<Self, OrientError> {
+        let mut prev: Option<SensorId> = None;
+        for &(id, _) in base {
+            if id >= next_id || prev.is_some_and(|p| p >= id) {
+                return Err(OrientError::Internal(format!(
+                    "replay base ids must be strictly ascending below the \
+                     next_id horizon {next_id} (got {id})"
+                )));
+            }
+            prev = Some(id);
+        }
+        let dead_count = next_id - base.len();
+        let mut edits = Vec::with_capacity(next_id + dead_count + tail.len());
+        let mut live = base.iter().peekable();
+        let mut dead: Vec<SensorId> = Vec::with_capacity(dead_count);
+        for id in 0..next_id {
+            match live.peek() {
+                Some(&&(lid, p)) if lid == id => {
+                    live.next();
+                    edits.push(Edit::Insert(p));
+                }
+                _ => {
+                    dead.push(id);
+                    edits.push(Edit::Insert(Point::new(0.0, 0.0)));
+                }
+            }
+        }
+        edits.extend(dead.into_iter().map(Edit::Remove));
+        edits.extend_from_slice(tail);
+        let mut session = DynamicSolverSession::new(DynamicInstance::empty(), budget)?;
+        if !edits.is_empty() {
+            session.apply_coalesced(&edits)?;
+        }
+        Ok(session)
+    }
+
     /// Grows the per-id tables to cover freshly assigned ids (including ids
     /// inserted and removed again within one coalesced batch).
     fn grow_id_tables(&mut self) {

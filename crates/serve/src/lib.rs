@@ -48,4 +48,4 @@ pub use client::{LocalClient, TcpClient};
 pub use protocol::{parse_request, ErrorCode, ProtocolError, Request, Response};
 pub use registry::{Registry, Snapshot, Tenant};
 pub use server::{Server, ServerHandle};
-pub use service::Service;
+pub use service::{RecoveryReport, Service};

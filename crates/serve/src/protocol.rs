@@ -68,13 +68,16 @@ pub enum ErrorCode {
     EmptyDeployment,
     /// The server is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The durability layer failed (WAL append, snapshot or tenant
+    /// directory I/O); the in-memory state did not change.
+    Storage,
     /// An internal invariant failed (reported, never panicked).
     Internal,
 }
 
 impl ErrorCode {
     /// Every code in the vocabulary, for exhaustive wire-grammar checks.
-    pub const ALL: [ErrorCode; 13] = [
+    pub const ALL: [ErrorCode; 14] = [
         ErrorCode::UnknownVerb,
         ErrorCode::BadRequest,
         ErrorCode::BadNumber,
@@ -87,6 +90,7 @@ impl ErrorCode {
         ErrorCode::BadBudget,
         ErrorCode::EmptyDeployment,
         ErrorCode::ShuttingDown,
+        ErrorCode::Storage,
         ErrorCode::Internal,
     ];
 
@@ -105,6 +109,7 @@ impl ErrorCode {
             ErrorCode::BadBudget => "bad-budget",
             ErrorCode::EmptyDeployment => "empty-deployment",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::Storage => "storage",
             ErrorCode::Internal => "internal",
         }
     }
@@ -234,6 +239,14 @@ fn parse_name(token: &str) -> Result<String, ProtocolError> {
         return Err(err(
             ErrorCode::BadName,
             format!("name {token:?} has characters outside [A-Za-z0-9_.-]"),
+        ));
+    }
+    // Durable mode maps names onto directories: the path-navigation names
+    // must never reach the filesystem layer.
+    if token == "." || token == ".." {
+        return Err(err(
+            ErrorCode::BadName,
+            format!("name {token:?} is reserved"),
         ));
     }
     Ok(token.to_string())
@@ -468,6 +481,7 @@ impl Response {
                 "bad-budget" => ErrorCode::BadBudget,
                 "empty-deployment" => ErrorCode::EmptyDeployment,
                 "shutting-down" => ErrorCode::ShuttingDown,
+                "storage" => ErrorCode::Storage,
                 "internal" => ErrorCode::Internal,
                 other => {
                     return Err(ProtocolError::new(
@@ -545,6 +559,9 @@ mod tests {
             ("CREATE a 2 3.14 1.0", ErrorCode::BadRequest), // dangling x
             ("CREATE a 2 3.14 1.0 NaN", ErrorCode::BadCoordinate),
             ("CREATE bad/name 2 3.14", ErrorCode::BadName),
+            ("CREATE . 2 3.14", ErrorCode::BadName),
+            ("CREATE .. 2 3.14", ErrorCode::BadName),
+            ("DROP ..", ErrorCode::BadName),
             ("EDIT a TELEPORT 1 2", ErrorCode::BadRequest),
             ("EDIT a REMOVE -3", ErrorCode::BadNumber),
             ("EDIT a MOVE 0 1.0", ErrorCode::BadRequest),

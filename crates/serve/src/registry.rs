@@ -30,9 +30,23 @@ use antennae_core::dynamic::{BatchOutcome, DynamicInstance, DynamicSolverSession
 use antennae_core::error::OrientError;
 use antennae_core::verify::VerificationReport;
 use antennae_geometry::Point;
+use antennae_store::TenantWal;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// A monotone process-relative clock in milliseconds, used to report
+/// last-snapshot ages through atomics (lock-free `STATS`).
+pub(crate) fn process_ms() -> u64 {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now).elapsed().as_millis() as u64
+}
+
+/// Maps a durability-layer I/O failure onto the protocol error grammar.
+pub(crate) fn storage_error(what: &str, e: &std::io::Error) -> ProtocolError {
+    ProtocolError::new(ErrorCode::Storage, format!("{what}: {e}"))
+}
 
 /// Maps a solver error onto the protocol error grammar.
 pub(crate) fn map_orient_error(e: &OrientError) -> ProtocolError {
@@ -67,6 +81,17 @@ pub struct TenantStats {
     pub queries: AtomicU64,
     /// Requests rejected with a structured error.
     pub errors: AtomicU64,
+    /// Records in the tenant's current-epoch WAL (0 for ephemeral tenants;
+    /// mirrored from the log after every append/flush so `STATS` stays
+    /// lock-free).
+    pub wal_records: AtomicU64,
+    /// Bytes in the tenant's current-epoch WAL (buffered included).
+    pub wal_bytes: AtomicU64,
+    /// Snapshot compactions performed this process.
+    pub snapshots: AtomicU64,
+    /// When the last compaction happened, as `process_ms() + 1` (0 = never;
+    /// the `+1` keeps a compaction at process start distinguishable).
+    pub last_snapshot_ms: AtomicU64,
 }
 
 /// An immutable view of a tenant's last repaired state.  `QUERY` is served
@@ -164,6 +189,10 @@ struct TenantState {
     pending: Vec<Edit>,
     projection: Projection,
     revision: u64,
+    /// The durable write-ahead log (`None` for ephemeral tenants).  Lives
+    /// under the same mutex as the session so the log's content always
+    /// equals the acknowledged edit history.
+    wal: Option<TenantWal>,
 }
 
 /// One named deployment: a solver session, its edit buffer, the lock-free
@@ -174,6 +203,8 @@ pub struct Tenant {
     snapshot: RwLock<Arc<Snapshot>>,
     /// Buffered-edit count, readable without the state mutex.
     pending_count: AtomicUsize,
+    /// Whether the tenant writes a WAL (fixed at construction).
+    durable: bool,
     /// Per-tenant counters.
     pub stats: TenantStats,
 }
@@ -200,26 +231,72 @@ pub struct FlushOutcome {
 }
 
 impl Tenant {
-    fn new(name: String, session: DynamicSolverSession) -> Self {
+    fn new(name: String, session: DynamicSolverSession, wal: Option<TenantWal>) -> Self {
         let snapshot = Arc::new(Snapshot::of(&session, 0));
         let projection = Projection::of(&session);
-        Tenant {
+        let tenant = Tenant {
             name,
+            durable: wal.is_some(),
             state: Mutex::new(TenantState {
                 session,
                 pending: Vec::new(),
                 projection,
                 revision: 0,
+                wal,
             }),
             snapshot: RwLock::new(snapshot),
             pending_count: AtomicUsize::new(0),
             stats: TenantStats::default(),
+        };
+        if let Some(wal) = tenant
+            .state
+            .lock()
+            .expect("tenant state lock poisoned")
+            .wal
+            .as_ref()
+        {
+            tenant.mirror_wal_stats(wal);
         }
+        tenant
     }
 
     /// The tenant's registry key.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Returns `true` when the tenant writes a WAL.
+    pub fn durable(&self) -> bool {
+        self.durable
+    }
+
+    /// Copies the WAL's counters into the lock-free stats mirror.
+    fn mirror_wal_stats(&self, wal: &TenantWal) {
+        self.stats
+            .wal_records
+            .store(wal.wal_records(), Ordering::Relaxed);
+        self.stats
+            .wal_bytes
+            .store(wal.wal_bytes(), Ordering::Relaxed);
+        self.stats
+            .snapshots
+            .store(wal.snapshots(), Ordering::Relaxed);
+        if let Some(at) = wal.last_snapshot() {
+            let at_ms = process_ms().saturating_sub(at.elapsed().as_millis() as u64);
+            self.stats
+                .last_snapshot_ms
+                .store(at_ms + 1, Ordering::Relaxed);
+        }
+    }
+
+    /// Flush + fsync the tenant's WAL, regardless of sync policy (clean
+    /// shutdown).  A no-op for ephemeral tenants.
+    pub fn sync_wal(&self) -> std::io::Result<()> {
+        let mut state = self.state.lock().expect("tenant state lock poisoned");
+        match state.wal.as_mut() {
+            Some(wal) => wal.sync(),
+            None => Ok(()),
+        }
     }
 
     /// Buffered edits not yet drained by a repair (lock-free read).
@@ -243,20 +320,23 @@ impl Tenant {
         f(&state.session)
     }
 
-    /// Validates one edit against the projected live set and appends it to
-    /// the buffer.  Returns the assigned id for inserts and the new buffered
-    /// count.  No repair runs here.
+    /// Validates one edit against the projected live set, logs it (durable
+    /// tenants), and appends it to the buffer.  Returns the assigned id for
+    /// inserts and the new buffered count.  No repair runs here.
+    ///
+    /// Ordering matters: validation must not mutate, and the WAL append
+    /// happens *before* the in-memory buffer mutation — an edit is
+    /// acknowledged only once the log holds it, and a storage failure
+    /// leaves no trace in memory.
     pub fn buffer_edit(&self, op: EditOp) -> Result<(Option<SensorId>, usize), ProtocolError> {
         let mut state = self.state.lock().expect("tenant state lock poisoned");
         let (edit, inserted) = match op {
             EditOp::Insert(x, y) => {
                 let id = state.projection.alive.len();
-                state.projection.alive.push(true);
                 (Edit::Insert(Point::new(x, y)), Some(id))
             }
             EditOp::Remove(id) => {
                 state.projection.check_live(id)?;
-                state.projection.alive[id] = false;
                 (Edit::Remove(id), None)
             }
             EditOp::Move(id, x, y) => {
@@ -264,10 +344,22 @@ impl Tenant {
                 (Edit::Move(id, Point::new(x, y)), None)
             }
         };
+        if let Some(wal) = state.wal.as_mut() {
+            wal.append_edit(&edit)
+                .map_err(|e| storage_error("wal append", &e))?;
+        }
+        match edit {
+            Edit::Insert(_) => state.projection.alive.push(true),
+            Edit::Remove(id) => state.projection.alive[id] = false,
+            Edit::Move(..) => {}
+        }
         state.pending.push(edit);
         let pending = state.pending.len();
         self.pending_count.store(pending, Ordering::Release);
         self.stats.edits_buffered.fetch_add(1, Ordering::Relaxed);
+        if let Some(wal) = state.wal.as_ref() {
+            self.mirror_wal_stats(wal);
+        }
         Ok((inserted, pending))
     }
 
@@ -285,10 +377,46 @@ impl Tenant {
         // batch was rejected atomically and the projection simply rolls back
         // to the session's live set).
         state.projection = Projection::of(&state.session);
-        let outcome = applied.map_err(|e| map_orient_error(&e))?;
+        let outcome = match applied {
+            Ok(outcome) => {
+                // The session holds the batch; the log may keep it.
+                if let Some(wal) = state.wal.as_mut() {
+                    wal.commit();
+                }
+                outcome
+            }
+            Err(e) => {
+                // The batch was rejected atomically — the log must forget
+                // it too, or recovery would replay edits the live session
+                // never applied.
+                if let Some(wal) = state.wal.as_mut() {
+                    if let Err(io) = wal.rollback() {
+                        return Err(storage_error("wal rollback", &io));
+                    }
+                    self.mirror_wal_stats(state.wal.as_ref().expect("wal checked above"));
+                }
+                return Err(map_orient_error(&e));
+            }
+        };
         state.revision += 1;
         let revision = state.revision;
         let snapshot = Arc::new(Snapshot::of(&state.session, revision));
+        // Compaction: once the log outgrows its thresholds, absorb it into
+        // a durable snapshot (the freshly built one already carries the
+        // exact live set).  Failure is non-fatal — the WAL alone still
+        // recovers — so it is counted, not surfaced.
+        if state.wal.as_ref().is_some_and(TenantWal::needs_compaction) {
+            let budget = state.session.budget();
+            let next_id = state.session.instance().next_id();
+            let live = snapshot.positions.clone();
+            let wal = state.wal.as_mut().expect("compaction check held a wal");
+            if wal.compact(budget.k, budget.phi, next_id, live).is_err() {
+                self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(wal) = state.wal.as_ref() {
+            self.mirror_wal_stats(wal);
+        }
         let (n, lmax) = (snapshot.n, snapshot.lmax);
         *self.snapshot.write().expect("snapshot lock poisoned") = snapshot;
         self.stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -352,6 +480,25 @@ impl Registry {
         names
     }
 
+    /// Returns `true` when a deployment with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tenants
+            .read()
+            .expect("registry lock poisoned")
+            .contains_key(name)
+    }
+
+    /// Clones every tenant's `Arc` under one short read lock (shutdown
+    /// sync, recovery bookkeeping).
+    pub fn tenants(&self) -> Vec<Arc<Tenant>> {
+        self.tenants
+            .read()
+            .expect("registry lock poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
     /// Looks a tenant up, cloning its `Arc` under a short read lock.
     pub fn get(&self, name: &str) -> Result<Arc<Tenant>, ProtocolError> {
         self.tenants
@@ -367,13 +514,27 @@ impl Registry {
             })
     }
 
-    /// Creates and registers a deployment.  The initial solve runs *outside*
-    /// the map's write lock; only the name reservation is serialized.
+    /// Creates and registers an ephemeral deployment (no WAL).
     pub fn create(
         &self,
         name: &str,
         budget: AntennaBudget,
         points: &[Point],
+    ) -> Result<Arc<Tenant>, ProtocolError> {
+        self.create_with_wal(name, budget, points, None)
+    }
+
+    /// Creates and registers a deployment, optionally with a durable write
+    /// handle.  The initial solve runs *outside* the map's write lock; only
+    /// the name reservation is serialized.  On any error the `wal` handle is
+    /// dropped (closing its file cleanly); removing the tenant's directory
+    /// is the caller's cleanup.
+    pub fn create_with_wal(
+        &self,
+        name: &str,
+        budget: AntennaBudget,
+        points: &[Point],
+        wal: Option<TenantWal>,
     ) -> Result<Arc<Tenant>, ProtocolError> {
         // Reserve the name first so a concurrent duplicate CREATE fails fast
         // instead of paying a redundant solve.
@@ -388,7 +549,7 @@ impl Registry {
         }
         let inst = DynamicInstance::new(points).map_err(|e| map_orient_error(&e))?;
         let session = DynamicSolverSession::new(inst, budget).map_err(|e| map_orient_error(&e))?;
-        let tenant = Arc::new(Tenant::new(name.to_string(), session));
+        let tenant = Arc::new(Tenant::new(name.to_string(), session, wal));
         let mut tenants = self.tenants.write().expect("registry lock poisoned");
         if tenants.contains_key(name) {
             // A racing CREATE won the name between our check and now.
@@ -399,6 +560,27 @@ impl Registry {
         }
         tenants.insert(name.to_string(), tenant.clone());
         self.created.fetch_add(1, Ordering::Relaxed);
+        Ok(tenant)
+    }
+
+    /// Registers a tenant rebuilt by crash recovery: an already-solved
+    /// session plus its reopened write handle.  Boot-time only; a duplicate
+    /// name (two recovery passes, or a race with `CREATE`) is refused.
+    pub fn install_recovered(
+        &self,
+        name: &str,
+        session: DynamicSolverSession,
+        wal: TenantWal,
+    ) -> Result<Arc<Tenant>, ProtocolError> {
+        let tenant = Arc::new(Tenant::new(name.to_string(), session, Some(wal)));
+        let mut tenants = self.tenants.write().expect("registry lock poisoned");
+        if tenants.contains_key(name) {
+            return Err(ProtocolError::new(
+                ErrorCode::DuplicateDeployment,
+                format!("deployment {name:?} already exists"),
+            ));
+        }
+        tenants.insert(name.to_string(), tenant.clone());
         Ok(tenant)
     }
 

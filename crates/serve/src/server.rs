@@ -177,29 +177,23 @@ impl Drop for ServerHandle {
 
 /// Serves one connection: read lines, answer lines, until EOF, an oversized
 /// line, or a fatal socket error.
+///
+/// Pipelining: a client that writes a burst of request lines before reading
+/// gets the whole burst's responses in one coalesced socket write — after
+/// answering a line, every *complete* line already sitting in the read
+/// buffer is answered into the `BufWriter` before the single flush.  A
+/// well-behaved request/response client sees identical behavior (its lone
+/// line is followed by an empty buffer), while a pipelined burst of `m`
+/// requests pays one syscall instead of `m` (measured by the `serve` bench's
+/// pipelined sweep).
 fn serve_connection(service: &Service, stream: &TcpStream) {
-    let mut writer = BufWriter::new(stream);
+    let mut writer = BufWriter::with_capacity(64 * 1024, stream);
     let mut lines = LineReader::new(stream);
-    loop {
-        match lines.next_line() {
-            Ok(Some(line)) => {
-                let response = service.handle_line(&line);
-                if writer
-                    .write_all(response.as_bytes())
-                    .and_then(|()| writer.write_all(b"\n"))
-                    .and_then(|()| writer.flush())
-                    .is_err()
-                {
-                    return;
-                }
-                // Draining: once shutdown is requested, answer the request
-                // in flight and close — don't hold a worker for a client
-                // that can keep the socket open indefinitely.
-                if service.shutdown_requested() {
-                    return;
-                }
-            }
-            Ok(None) => return,
+    'conn: loop {
+        // Block for the first line of the next burst.
+        let mut next = match lines.next_line() {
+            Ok(Some(line)) => Some(line),
+            Ok(None) => break 'conn,
             Err(LineError::TooLong) => {
                 let err = ProtocolError::new(
                     ErrorCode::TooLarge,
@@ -207,12 +201,32 @@ fn serve_connection(service: &Service, stream: &TcpStream) {
                 );
                 let _ = writer.write_all(crate::protocol::Response::Err(err).to_line().as_bytes());
                 let _ = writer.write_all(b"\n");
-                let _ = writer.flush();
-                return;
+                break 'conn;
             }
             Err(LineError::Io) => return,
+        };
+        while let Some(line) = next {
+            let response = service.handle_line(&line);
+            if writer
+                .write_all(response.as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .is_err()
+            {
+                return;
+            }
+            // Draining: once shutdown is requested, answer the request in
+            // flight and close — don't hold a worker for a client that can
+            // keep the socket open indefinitely.
+            if service.shutdown_requested() {
+                break 'conn;
+            }
+            next = lines.buffered_line();
+        }
+        if writer.flush().is_err() {
+            return;
         }
     }
+    let _ = writer.flush();
 }
 
 enum LineError {
@@ -242,21 +256,28 @@ impl<R: Read> LineReader<R> {
         }
     }
 
+    /// A complete line already sitting in the buffer, if any — never touches
+    /// the underlying stream.  This is what lets the connection loop answer
+    /// a whole pipelined burst before flushing once.
+    fn buffered_line(&mut self) -> Option<String> {
+        let pos = self.buf[self.start..self.end]
+            .iter()
+            .position(|&b| b == b'\n')?;
+        let mut line = std::mem::take(&mut self.pending);
+        line.extend_from_slice(&self.buf[self.start..self.start + pos]);
+        self.start += pos + 1;
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Some(String::from_utf8_lossy(&line).into_owned())
+    }
+
     /// The next complete line (without the terminator), `None` on clean EOF.
     fn next_line(&mut self) -> Result<Option<String>, LineError> {
         loop {
             // Scan what we have buffered for a newline.
-            if let Some(pos) = self.buf[self.start..self.end]
-                .iter()
-                .position(|&b| b == b'\n')
-            {
-                let mut line = std::mem::take(&mut self.pending);
-                line.extend_from_slice(&self.buf[self.start..self.start + pos]);
-                self.start += pos + 1;
-                if line.last() == Some(&b'\r') {
-                    line.pop();
-                }
-                return Ok(Some(String::from_utf8_lossy(&line).into_owned()));
+            if let Some(line) = self.buffered_line() {
+                return Ok(Some(line));
             }
             // No newline buffered: stash the fragment and refill.
             self.pending
@@ -302,5 +323,45 @@ mod tests {
         let oversized = vec![b'x'; MAX_LINE_BYTES + 16];
         let mut reader = LineReader::new(&oversized[..]);
         assert!(matches!(reader.next_line(), Err(LineError::TooLong)));
+    }
+
+    #[test]
+    fn buffered_line_drains_a_burst_without_reading() {
+        let input = b"PING\nPING\nPI".to_vec();
+        let mut reader = LineReader::new(&input[..]);
+        // The blocking read pulls the whole burst into the buffer…
+        assert_eq!(reader.next_line().ok().flatten().as_deref(), Some("PING"));
+        // …and the second complete line is available without another read.
+        assert_eq!(reader.buffered_line().as_deref(), Some("PING"));
+        // The trailing fragment is not a complete line.
+        assert_eq!(reader.buffered_line(), None);
+        // The fragment is still delivered by the next blocking read (EOF).
+        assert_eq!(reader.next_line().ok().flatten().as_deref(), Some("PI"));
+    }
+
+    #[test]
+    fn pipelined_bursts_answer_in_order_over_tcp() {
+        let server = Server::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+        let handle = server.spawn();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        // One write carrying a whole burst; responses must come back in
+        // request order, one line each.
+        let burst =
+            "PING\nCREATE p 2 3.8 0 0 1 0 0 1\nEDIT p INSERT 2 2\nORIENT p\nQUERY p\nPING\n";
+        stream.write_all(burst.as_bytes()).unwrap();
+        stream.shutdown(Shutdown::Write).unwrap();
+        let mut all = String::new();
+        stream.read_to_string(&mut all).unwrap();
+        let lines: Vec<&str> = all.lines().collect();
+        assert_eq!(lines.len(), 6, "{all:?}");
+        assert_eq!(lines[0], "OK pong");
+        assert!(lines[1].starts_with("OK created p n=3"), "{}", lines[1]);
+        assert_eq!(lines[2], "OK edit p id=3 pending=1");
+        assert!(lines[3].starts_with("OK orient p n=4"), "{}", lines[3]);
+        assert!(lines[4].starts_with("OK query p n=4"), "{}", lines[4]);
+        assert_eq!(lines[5], "OK pong");
+        handle.stop().unwrap();
     }
 }

@@ -8,10 +8,11 @@
 //! drive, so the tested surface is exactly the served surface.
 
 use crate::protocol::{parse_request, EditOp, ErrorCode, Request, Response, MAX_CREATE_POINTS};
-use crate::registry::{Registry, Tenant};
+use crate::registry::{process_ms, storage_error, Registry, Tenant};
 use antennae_core::antenna::AntennaBudget;
 use antennae_core::solver::Registry as AlgorithmRegistry;
 use antennae_geometry::Point;
+use antennae_store::{Store, WalTail};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -28,18 +29,81 @@ pub struct ServiceStats {
     pub batches: AtomicU64,
 }
 
+/// What [`Service::open_durable`] found on disk at boot.
+#[derive(Debug, Default)]
+pub struct RecoveryReport {
+    /// Names of the tenants rebuilt and re-registered, sorted.
+    pub recovered: Vec<String>,
+    /// Tenants recovery refused to rebuild, as `(name, reason)` — their
+    /// directories are left on disk untouched.
+    pub skipped: Vec<(String, String)>,
+    /// Tenants whose log had a torn or corrupt tail that was truncated.
+    pub truncated_tails: usize,
+    /// Total bytes discarded across all truncated tails.
+    pub lost_bytes: u64,
+}
+
 /// The multi-tenant orientation service (see the [module docs](self)).
 #[derive(Default)]
 pub struct Service {
     registry: Registry,
     stats: ServiceStats,
     shutdown: AtomicBool,
+    /// The durability layer (`None` = ephemeral mode, the default).
+    store: Option<Store>,
+    /// Tenants rebuilt from disk at boot.
+    recovered: AtomicU64,
 }
 
 impl Service {
-    /// An empty service.
+    /// An empty, ephemeral service (no durability).
     pub fn new() -> Self {
         Service::default()
+    }
+
+    /// Opens a durable service over `store`'s data directory: every tenant
+    /// directory is recovered into a live session (snapshot + salvaged WAL
+    /// tail, one coalesced replay each) and re-registered, and every
+    /// subsequent `CREATE`/`EDIT`/`DROP` is logged.  Structurally broken
+    /// tenant directories are skipped (reported in the
+    /// [`RecoveryReport`]), torn log tails are truncated — boot never
+    /// panics on bad bytes.
+    pub fn open_durable(store: Store) -> std::io::Result<(Self, RecoveryReport)> {
+        let service = Service {
+            store: Some(store),
+            ..Service::default()
+        };
+        let recovery = service
+            .store
+            .as_ref()
+            .expect("store was just installed")
+            .recover()?;
+        let mut report = RecoveryReport::default();
+        for tenant in recovery.tenants {
+            if tenant.wal_tail != WalTail::Clean {
+                report.truncated_tails += 1;
+                report.lost_bytes += tenant.lost_bytes;
+            }
+            match service
+                .registry
+                .install_recovered(&tenant.name, tenant.session, tenant.wal)
+            {
+                Ok(_) => report.recovered.push(tenant.name),
+                Err(e) => report.skipped.push((tenant.name, e.message)),
+            }
+        }
+        report
+            .skipped
+            .extend(recovery.skipped.into_iter().map(|s| (s.name, s.reason)));
+        service
+            .recovered
+            .store(report.recovered.len() as u64, Ordering::Relaxed);
+        Ok((service, report))
+    }
+
+    /// The durability layer, when the service runs durable.
+    pub fn store(&self) -> Option<&Store> {
+        self.store.as_ref()
     }
 
     /// The tenant registry (tests and the bench reach through for setup).
@@ -95,13 +159,21 @@ impl Service {
             Request::Verify { name } => self.verify(&name),
             Request::Query { name, id } => self.query(&name, id),
             Request::Stats { name } => self.stats_response(name.as_deref()),
-            Request::Drop { name } => match self.registry.drop_tenant(&name) {
-                Ok(()) => Response::ok(format!("dropped {name}")),
-                Err(e) => Response::Err(e),
-            },
+            Request::Drop { name } => self.drop_deployment(&name),
             Request::Ping => Response::ok("pong"),
             Request::Shutdown => {
                 self.shutdown.store(true, Ordering::Release);
+                // Clean shutdown promises durability regardless of the sync
+                // policy: fsync every tenant's log before acknowledging.
+                // Failures downgrade the promise, so they are surfaced.
+                for tenant in self.registry.tenants() {
+                    if let Err(e) = tenant.sync_wal() {
+                        return Response::Err(storage_error(
+                            &format!("wal sync for {:?} at shutdown", tenant.name()),
+                            &e,
+                        ));
+                    }
+                }
                 Response::ok("shutting-down")
             }
         }
@@ -126,7 +198,40 @@ impl Service {
             );
         }
         let pts: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
-        match self.registry.create(name, budget, &pts) {
+        let created = match &self.store {
+            None => self.registry.create(name, budget, &pts),
+            Some(store) => {
+                // Fail duplicates fast before touching the disk; the
+                // registry re-checks under its write lock, so a race still
+                // resolves correctly (the loser cleans its directory up).
+                if self.registry.contains(name) {
+                    Err(crate::protocol::ProtocolError::new(
+                        ErrorCode::DuplicateDeployment,
+                        format!("deployment {name:?} already exists"),
+                    ))
+                } else {
+                    match store.create_tenant(name, k, phi, &pts) {
+                        Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                            Err(crate::protocol::ProtocolError::new(
+                                ErrorCode::DuplicateDeployment,
+                                format!("deployment {name:?} already exists on disk"),
+                            ))
+                        }
+                        Err(e) => Err(storage_error("create tenant directory", &e)),
+                        Ok(wal) => self
+                            .registry
+                            .create_with_wal(name, budget, &pts, Some(wal))
+                            .inspect_err(|_| {
+                                // The solve or the name race failed after the
+                                // directory was written: remove it so the bad
+                                // CREATE leaves no durable trace.
+                                let _ = store.drop_tenant(name);
+                            }),
+                    }
+                }
+            }
+        };
+        match created {
             Ok(tenant) => {
                 let snap = tenant.snapshot();
                 Response::ok(format!(
@@ -139,6 +244,25 @@ impl Service {
             }
             Err(e) => Response::Err(e),
         }
+    }
+
+    fn drop_deployment(&self, name: &str) -> Response {
+        // The registry is authoritative: unregister first so no new request
+        // can reach the tenant, then remove its directory.  A directory
+        // removal failure is reported (the name is free again, but a restart
+        // would resurrect the tenant from the leftover files).
+        if let Err(e) = self.registry.drop_tenant(name) {
+            return Response::Err(e);
+        }
+        if let Some(store) = &self.store {
+            if let Err(e) = store.drop_tenant(name) {
+                return Response::Err(storage_error(
+                    &format!("dropped {name} from the registry, but removing its directory failed"),
+                    &e,
+                ));
+            }
+        }
+        Response::ok(format!("dropped {name}"))
     }
 
     fn with_tenant(&self, name: &str, f: impl FnOnce(&Arc<Tenant>) -> Response) -> Response {
@@ -255,11 +379,12 @@ impl Service {
     fn stats_response(&self, name: Option<&str>) -> Response {
         match name {
             None => Response::ok(format!(
-                "stats deployments={} created={} dropped={} requests={} errors={} \
-                 edits_buffered={} batches={}",
+                "stats deployments={} created={} dropped={} recovered={} requests={} \
+                 errors={} edits_buffered={} batches={}",
                 self.registry.len(),
                 self.registry.created.load(Ordering::Relaxed),
                 self.registry.dropped.load(Ordering::Relaxed),
+                self.recovered.load(Ordering::Relaxed),
                 self.stats.requests.load(Ordering::Relaxed),
                 self.stats.errors.load(Ordering::Relaxed),
                 self.stats.edits_buffered.load(Ordering::Relaxed),
@@ -268,10 +393,15 @@ impl Service {
             Some(name) => self.with_tenant(name, |tenant| {
                 let s = &tenant.stats;
                 let snap = tenant.snapshot();
+                let last_snapshot = match s.last_snapshot_ms.load(Ordering::Relaxed) {
+                    0 => "none".to_string(),
+                    stored => process_ms().saturating_sub(stored - 1).to_string(),
+                };
                 Response::ok(format!(
                     "stats {name} n={} pending={} revision={} edits_buffered={} \
                      edits_applied={} batches={} max_batch={} rows_recomputed={} \
-                     mst_changed={} queries={} errors={}",
+                     mst_changed={} queries={} errors={} durable={} wal_records={} \
+                     wal_bytes={} snapshots={} last_snapshot_age_ms={}",
                     snap.n,
                     tenant.pending(),
                     snap.revision,
@@ -283,6 +413,11 @@ impl Service {
                     s.mst_changed.load(Ordering::Relaxed),
                     s.queries.load(Ordering::Relaxed),
                     s.errors.load(Ordering::Relaxed),
+                    tenant.durable(),
+                    s.wal_records.load(Ordering::Relaxed),
+                    s.wal_bytes.load(Ordering::Relaxed),
+                    s.snapshots.load(Ordering::Relaxed),
+                    last_snapshot,
                 ))
             }),
         }

@@ -98,6 +98,25 @@ pub fn churn_protocol_script(
     ProtocolScript { lines, edits }
 }
 
+/// Splits a rendered script into `segments` consecutive line chunks for
+/// crash/restart drills: segment 0 starts with the `CREATE`, each later
+/// segment resumes mid-history (a durable server recovers the tenant
+/// between segments, so *any* boundary is a legal cut).  Chunks are as
+/// even as integer division allows; `segments` is clamped to the line
+/// count, and every line appears in exactly one segment, in order.
+pub fn restart_segments(script: &ProtocolScript, segments: usize) -> Vec<Vec<String>> {
+    let n = script.lines.len();
+    let segments = segments.clamp(1, n.max(1));
+    let mut out = Vec::with_capacity(segments);
+    let mut start = 0;
+    for s in 0..segments {
+        let end = ((s + 1) * n) / segments;
+        out.push(script.lines[start..end].to_vec());
+        start = end;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +158,21 @@ mod tests {
             .filter(|l| l.starts_with("EDIT "))
             .count();
         assert_eq!(edit_lines, script.edits.len());
+    }
+
+    #[test]
+    fn restart_segments_partition_the_script() {
+        let seeds = vec![Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let trace = churn_trace(ChurnMix::balanced(2.0), 30, 6.0, 0.4, 7);
+        let script = churn_protocol_script("t", 2, 4.0, &seeds, &trace, 4);
+        for segments in [1, 2, 3, 5, script.lines.len(), script.lines.len() + 9] {
+            let split = restart_segments(&script, segments);
+            assert_eq!(split.len(), segments.min(script.lines.len()));
+            let glued: Vec<String> = split.concat();
+            assert_eq!(glued, script.lines, "segments={segments}");
+            assert!(split.iter().all(|s| !s.is_empty()), "segments={segments}");
+        }
+        assert!(restart_segments(&script, 3)[0][0].starts_with("CREATE "));
     }
 
     #[test]

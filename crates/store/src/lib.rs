@@ -1,0 +1,54 @@
+//! # antennae-store
+//!
+//! The durability layer under `orientd`: every tenant gets a directory with
+//! a **write-ahead log** of its protocol-level mutations and a periodically
+//! compacted **snapshot**, and the whole data directory can be **recovered**
+//! into fully rebuilt [`DynamicSolverSession`](antennae_core::dynamic::DynamicSolverSession)s
+//! after a clean shutdown or a `kill -9`.
+//!
+//! The crate is deliberately free of external dependencies (the container is
+//! offline): the record checksum is a hand-rolled CRC32, the encoding is a
+//! fixed little-endian binary layout, and all I/O is `std::fs`.
+//!
+//! Layout of a data directory:
+//!
+//! ```text
+//! <data-dir>/
+//!   <tenant-name>/
+//!     snapshot.bin     # absent until the first compaction
+//!     wal.<epoch>.log  # epoch 0 until the first compaction
+//! ```
+//!
+//! - [`wal`] — the append-only record format (`[len][crc32][payload]`), the
+//!   buffered [`WalWriter`] with its explicit
+//!   [`SyncPolicy`], and the salvaging
+//!   [`read_wal`] reader that stops cleanly at the first
+//!   torn or corrupt record.
+//! - [`snapshot`] — the checksummed tenant snapshot (budget + live sensors +
+//!   id horizon), written atomically via `tmp` + `rename`, carrying the WAL
+//!   **epoch** that makes compaction crash-safe: a snapshot at epoch `e`
+//!   supersedes every record in `wal.<e-1>.log`, so a crash between the
+//!   snapshot rename and the old log's deletion can never double-apply.
+//! - [`store`] — the directory-level API: [`Store::open`](store::Store::open),
+//!   per-tenant create/drop, and [`Store::recover`](store::Store::recover),
+//!   which replays every tenant through **one** coalesced repair
+//!   ([`DynamicSolverSession::replay`](antennae_core::dynamic::DynamicSolverSession::replay)).
+//!
+//! The correctness bar is the same bit-equality the serve crate's
+//! concurrency oracle uses: a recovered tenant's `lmax`, MST weight, scheme,
+//! digraph and verification report are compared with `f64::to_bits` /
+//! structural equality against the live pre-crash session (root
+//! `tests/durability_oracle.rs` and `tests/durable_recovery.rs`).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod crc;
+pub mod snapshot;
+pub mod store;
+pub mod wal;
+
+pub use crc::crc32;
+pub use snapshot::SnapshotState;
+pub use store::{RecoveredTenant, Recovery, SkippedTenant, Store, StoreConfig, TenantWal};
+pub use wal::{read_wal, SyncPolicy, WalReadOutcome, WalRecord, WalTail, WalWriter};

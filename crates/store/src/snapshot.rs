@@ -1,0 +1,314 @@
+//! Checksummed tenant snapshots.
+//!
+//! A snapshot freezes everything recovery needs to rebuild a tenant without
+//! the WAL records it supersedes: the antenna budget, the live sensor set
+//! (with their **original ids** — ids are monotone and never reused, and the
+//! replay-equivalence oracle demands the recovered session agree on them),
+//! the id horizon `next_id`, and the WAL **epoch** the snapshot corresponds
+//! to.
+//!
+//! ## File format
+//!
+//! ```text
+//! snapshot.bin := "ASNP" ver:u32le len:u32le crc:u32le payload[len]
+//! payload      := epoch:u64 k:u32 phi:f64bits next_id:u64
+//!                 nlive:u32 (id:u64 x:f64bits y:f64bits)*nlive
+//! ```
+//!
+//! ## Crash-safety
+//!
+//! [`SnapshotState::write_atomic`] writes `snapshot.tmp`, fsyncs it, renames
+//! it over `snapshot.bin` and fsyncs the directory, so the tenant always has
+//! either the old complete snapshot or the new complete snapshot — never a
+//! torn one.  The epoch stitches the two files together: a snapshot at epoch
+//! `e` pairs with `wal.<e>.log`, and any `wal.<e'>.log` with `e' < e` is a
+//! leftover from a compaction that crashed after the rename — its records
+//! are already baked into the snapshot and must be ignored.
+
+use crate::crc::crc32;
+use antennae_geometry::Point;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"ASNP";
+const VERSION: u32 = 1;
+
+/// Upper bound on a snapshot payload; anything larger than a few hundred
+/// thousand sensors can only be a corrupt length prefix.
+const MAX_PAYLOAD_BYTES: u32 = 64 * 1024 * 1024;
+
+/// The durable image of one tenant at a compaction point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotState {
+    /// WAL epoch this snapshot pairs with: replay starts from this state
+    /// and applies `wal.<epoch>.log` only.
+    pub epoch: u64,
+    /// Antennae per sensor.
+    pub k: usize,
+    /// Angular spread budget, radians.
+    pub phi: f64,
+    /// The id horizon — the next id the session will assign.  Ids are
+    /// monotone and never reused, so this cannot be derived from the live
+    /// set once sensors have been removed.
+    pub next_id: usize,
+    /// Live sensors as `(id, position)`, ids strictly ascending.
+    pub live: Vec<(usize, Point)>,
+}
+
+/// What [`read_snapshot`] found.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotReadOutcome {
+    /// No `snapshot.bin` — the tenant has never compacted; recovery starts
+    /// from the `CREATE` record at the head of `wal.0.log`.
+    Missing,
+    /// The file exists but is structurally invalid (bad magic/version, torn
+    /// length, CRC mismatch, undecodable payload).  Recovery skips the
+    /// tenant with this reason rather than guessing.
+    Corrupt(String),
+    /// A complete, checksum-verified snapshot.
+    Valid(SnapshotState),
+}
+
+impl SnapshotState {
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + 8 + 4 + 8 + 8 + 4 + self.live.len() * 24);
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.k as u32).to_le_bytes());
+        out.extend_from_slice(&self.phi.to_bits().to_le_bytes());
+        out.extend_from_slice(&(self.next_id as u64).to_le_bytes());
+        out.extend_from_slice(&(self.live.len() as u32).to_le_bytes());
+        for (id, p) in &self.live {
+            out.extend_from_slice(&(*id as u64).to_le_bytes());
+            out.extend_from_slice(&p.x.to_bits().to_le_bytes());
+            out.extend_from_slice(&p.y.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    fn decode_payload(payload: &[u8]) -> Result<SnapshotState, String> {
+        let take = |at: &mut usize, n: usize| -> Result<&[u8], String> {
+            let bytes = payload
+                .get(*at..*at + n)
+                .ok_or_else(|| "short payload".to_string())?;
+            *at += n;
+            Ok(bytes)
+        };
+        let mut at = 0usize;
+        let u64le = |b: &[u8]| u64::from_le_bytes(b.try_into().unwrap());
+        let u32le = |b: &[u8]| u32::from_le_bytes(b.try_into().unwrap());
+        let epoch = u64le(take(&mut at, 8)?);
+        let k = u32le(take(&mut at, 4)?) as usize;
+        let phi = f64::from_bits(u64le(take(&mut at, 8)?));
+        let next_id = u64le(take(&mut at, 8)?) as usize;
+        let nlive = u32le(take(&mut at, 4)?) as usize;
+        if payload.len() != at + nlive * 24 {
+            return Err(format!(
+                "live-count {nlive} disagrees with payload length {}",
+                payload.len()
+            ));
+        }
+        let mut live = Vec::with_capacity(nlive);
+        let mut prev: Option<usize> = None;
+        for _ in 0..nlive {
+            let id = u64le(take(&mut at, 8)?) as usize;
+            let x = f64::from_bits(u64le(take(&mut at, 8)?));
+            let y = f64::from_bits(u64le(take(&mut at, 8)?));
+            if id >= next_id || prev.is_some_and(|p| p >= id) {
+                return Err(format!("live ids not ascending below next_id ({id})"));
+            }
+            prev = Some(id);
+            live.push((id, Point::new(x, y)));
+        }
+        Ok(SnapshotState {
+            epoch,
+            k,
+            phi,
+            next_id,
+            live,
+        })
+    }
+
+    /// Atomically (tmp + fsync + rename + directory fsync) replaces
+    /// `<dir>/snapshot.bin` with this state.
+    pub fn write_atomic(&self, dir: &Path) -> std::io::Result<()> {
+        let payload = self.encode_payload();
+        let mut bytes = Vec::with_capacity(16 + payload.len());
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+
+        let tmp = dir.join("snapshot.tmp");
+        let fin = dir.join("snapshot.bin");
+        {
+            let mut file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(&tmp)?;
+            file.write_all(&bytes)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, &fin)?;
+        // Make the rename itself durable.
+        File::open(dir)?.sync_all()
+    }
+}
+
+/// Reads `<path>` (normally `<tenant-dir>/snapshot.bin`).  Total: every
+/// byte-level anomaly maps to [`SnapshotReadOutcome::Corrupt`], a missing
+/// file to [`SnapshotReadOutcome::Missing`]; only environmental I/O errors
+/// surface as `Err`.
+pub fn read_snapshot(path: &Path) -> std::io::Result<SnapshotReadOutcome> {
+    let data = match std::fs::read(path) {
+        Ok(data) => data,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(SnapshotReadOutcome::Missing)
+        }
+        Err(e) => return Err(e),
+    };
+    let corrupt = |why: String| Ok(SnapshotReadOutcome::Corrupt(why));
+    if data.len() < 16 {
+        return corrupt(format!("file too short ({} bytes)", data.len()));
+    }
+    if &data[0..4] != MAGIC {
+        return corrupt("bad magic".to_string());
+    }
+    let version = u32::from_le_bytes(data[4..8].try_into().unwrap());
+    if version != VERSION {
+        return corrupt(format!("unsupported version {version}"));
+    }
+    let len = u32::from_le_bytes(data[8..12].try_into().unwrap());
+    let crc = u32::from_le_bytes(data[12..16].try_into().unwrap());
+    if len > MAX_PAYLOAD_BYTES {
+        return corrupt(format!("implausible payload length {len}"));
+    }
+    let len = len as usize;
+    if data.len() != 16 + len {
+        return corrupt(format!(
+            "payload length {len} disagrees with file size {}",
+            data.len()
+        ));
+    }
+    let payload = &data[16..];
+    if crc32(payload) != crc {
+        return corrupt("crc mismatch".to_string());
+    }
+    match SnapshotState::decode_payload(payload) {
+        Ok(state) => Ok(SnapshotReadOutcome::Valid(state)),
+        Err(why) => corrupt(why),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "antennae-snapshot-test-{}-{name}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample() -> SnapshotState {
+        SnapshotState {
+            epoch: 3,
+            k: 2,
+            phi: 2.094_395_102_393_195_5,
+            next_id: 9,
+            live: vec![
+                (0, Point::new(0.0, -0.0)),
+                (2, Point::new(1e-3, 250.5)),
+                (7, Point::new(-17.25, 3.5)),
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let dir = tmp_dir("round-trip");
+        sample().write_atomic(&dir).unwrap();
+        match read_snapshot(&dir.join("snapshot.bin")).unwrap() {
+            SnapshotReadOutcome::Valid(state) => {
+                assert_eq!(state, sample());
+                assert_eq!(state.phi.to_bits(), sample().phi.to_bits());
+                for ((_, a), (_, b)) in state.live.iter().zip(&sample().live) {
+                    assert_eq!(a.x.to_bits(), b.x.to_bits());
+                    assert_eq!(a.y.to_bits(), b.y.to_bits());
+                }
+            }
+            other => panic!("expected Valid, got {other:?}"),
+        }
+        // No tmp file left behind.
+        assert!(!dir.join("snapshot.tmp").exists());
+    }
+
+    #[test]
+    fn missing_file_reads_as_missing() {
+        let dir = tmp_dir("missing");
+        assert_eq!(
+            read_snapshot(&dir.join("snapshot.bin")).unwrap(),
+            SnapshotReadOutcome::Missing
+        );
+    }
+
+    #[test]
+    fn rewrite_replaces_previous_snapshot() {
+        let dir = tmp_dir("rewrite");
+        sample().write_atomic(&dir).unwrap();
+        let mut next = sample();
+        next.epoch = 4;
+        next.live.retain(|(id, _)| *id != 2);
+        next.write_atomic(&dir).unwrap();
+        match read_snapshot(&dir.join("snapshot.bin")).unwrap() {
+            SnapshotReadOutcome::Valid(state) => assert_eq!(state, next),
+            other => panic!("expected Valid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_byte_flip_is_detected() {
+        let dir = tmp_dir("flips");
+        sample().write_atomic(&dir).unwrap();
+        let path = dir.join("snapshot.bin");
+        let clean = std::fs::read(&path).unwrap();
+        for at in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            match read_snapshot(&path).unwrap() {
+                SnapshotReadOutcome::Corrupt(_) => {}
+                other => panic!("flip at byte {at} slipped through: {other:?}"),
+            }
+        }
+        // Truncations too.
+        for cut in [0, 1, 15, 16, clean.len() / 2, clean.len() - 1] {
+            std::fs::write(&path, &clean[..cut]).unwrap();
+            match read_snapshot(&path).unwrap() {
+                SnapshotReadOutcome::Corrupt(_) => {}
+                other => panic!("truncation to {cut} slipped through: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_non_ascending_live_ids() {
+        // Hand-build a payload with ids out of order; the CRC is valid, so
+        // only the structural check can catch it.
+        let mut state = sample();
+        state.live.swap(0, 2);
+        let dir = tmp_dir("bad-ids");
+        state.write_atomic(&dir).unwrap();
+        match read_snapshot(&dir.join("snapshot.bin")).unwrap() {
+            SnapshotReadOutcome::Corrupt(why) => assert!(why.contains("ascending"), "{why}"),
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,683 @@
+//! The per-tenant write-ahead log: an append-only file of length-prefixed,
+//! CRC32-checksummed records encoding the protocol-level mutations.
+//!
+//! ## Record format
+//!
+//! ```text
+//! record   := len:u32le  crc:u32le  payload[len]        (crc = CRC32(payload))
+//! payload  := 0x01 k:u32 phi:f64bits n:u32 (x:f64bits y:f64bits)*n   CREATE
+//!           | 0x02 x:f64bits y:f64bits                               INSERT
+//!           | 0x03 id:u64                                            REMOVE
+//!           | 0x04 id:u64 x:f64bits y:f64bits                        MOVE
+//! ```
+//!
+//! All integers are little-endian; coordinates are stored as
+//! [`f64::to_bits`] so the round trip is bit-exact (the recovery oracle
+//! compares `lmax`/MST weights with `to_bits` equality, so the log cannot
+//! afford a decimal detour).
+//!
+//! ## Failure semantics
+//!
+//! [`read_wal`] is **total and salvaging**: it walks records until the first
+//! anomaly — a truncated header, a length prefix that is zero or exceeds
+//! [`MAX_PAYLOAD_BYTES`] (a bit-flip in the prefix reads as garbage), a body
+//! shorter than its prefix (torn tail), a CRC mismatch (bit-flip anywhere in
+//! the payload), or an undecodable payload — reports how many bytes and
+//! records were salvaged, and never panics.  Recovery truncates the file to
+//! the salvaged prefix before appending again.
+
+use crate::crc::crc32;
+use antennae_core::dynamic::Edit;
+use antennae_geometry::Point;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Hard cap on one record's payload, in bytes.  A `CREATE` carrying the
+/// protocol's maximum of 65 536 seed points needs ~1 MiB; anything above the
+/// cap can only be a corrupt length prefix.
+pub const MAX_PAYLOAD_BYTES: u32 = 2 * 1024 * 1024;
+
+/// Userspace buffer threshold: the writer hands its buffer to the OS once it
+/// grows past this even when the sync policy demands nothing, so an
+/// `EveryN`/`Never` log never holds unbounded state in process memory.
+const FLUSH_THRESHOLD: usize = 64 * 1024;
+
+const TAG_CREATE: u8 = 0x01;
+const TAG_INSERT: u8 = 0x02;
+const TAG_REMOVE: u8 = 0x03;
+const TAG_MOVE: u8 = 0x04;
+
+/// When appended records are forced to disk (`fsync`).
+///
+/// Every policy still bounds userspace buffering (see `FLUSH_THRESHOLD`);
+/// the policy only controls how much acknowledged work a `kill -9` (or power
+/// loss) may take with it:
+///
+/// * [`SyncPolicy::Always`] — flush + `fsync` after every record; nothing
+///   acknowledged is ever lost.
+/// * [`SyncPolicy::EveryN`] — flush + `fsync` every `n` records; at most
+///   `n − 1` acknowledged edits are lost, amortizing the sync cost across a
+///   burst (the durable-mode default).
+/// * [`SyncPolicy::Never`] — never `fsync` mid-run (a clean shutdown still
+///   syncs on close); a crash loses whatever the OS had not written back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// `fsync` after every append.
+    Always,
+    /// `fsync` every `n` appends (`n ≥ 1`).
+    EveryN(u32),
+    /// Only sync on clean close.
+    Never,
+}
+
+impl Default for SyncPolicy {
+    /// The durable-mode default: amortized group commit, `every-n=32`.
+    fn default() -> Self {
+        SyncPolicy::EveryN(32)
+    }
+}
+
+impl SyncPolicy {
+    /// Parses the `orientd --sync` flag grammar:
+    /// `always`, `never`, `every-n` (default stride 32) or `every-n=<N>`.
+    pub fn parse(token: &str) -> Option<SyncPolicy> {
+        match token {
+            "always" => Some(SyncPolicy::Always),
+            "never" => Some(SyncPolicy::Never),
+            "every-n" => Some(SyncPolicy::EveryN(32)),
+            _ => {
+                let n: u32 = token.strip_prefix("every-n=")?.parse().ok()?;
+                if n == 0 {
+                    None
+                } else {
+                    Some(SyncPolicy::EveryN(n))
+                }
+            }
+        }
+    }
+
+    /// The canonical flag spelling (`SyncPolicy::parse` round-trips it).
+    pub fn as_flag(&self) -> String {
+        match self {
+            SyncPolicy::Always => "always".to_string(),
+            SyncPolicy::EveryN(n) => format!("every-n={n}"),
+            SyncPolicy::Never => "never".to_string(),
+        }
+    }
+}
+
+/// One durable record: the tenant-creating `CREATE` (budget + seed points)
+/// or a single edit.  `DROP` needs no record — dropping a tenant removes its
+/// directory.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// The tenant's birth: antenna budget plus seed deployment.  Always the
+    /// first record of a fresh (never-compacted) log.
+    Create {
+        /// Antennae per sensor.
+        k: usize,
+        /// Angular spread budget, radians.
+        phi: f64,
+        /// Seed sensor locations (ids `0..n` in order).
+        points: Vec<Point>,
+    },
+    /// One protocol edit (`INSERT`/`REMOVE`/`MOVE`), logged at `EDIT` time
+    /// *before* the edit enters the tenant's buffer.
+    Edit(Edit),
+}
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    push_u64(out, v.to_bits());
+}
+
+struct Cursor<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let bytes = self.data.get(self.at..self.at + n)?;
+        self.at += n;
+        Some(bytes)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    fn done(&self) -> bool {
+        self.at == self.data.len()
+    }
+}
+
+impl WalRecord {
+    /// Serializes the payload (without the `len`/`crc` frame).
+    pub fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::Create { k, phi, points } => {
+                out.push(TAG_CREATE);
+                push_u32(out, *k as u32);
+                push_f64(out, *phi);
+                push_u32(out, points.len() as u32);
+                for p in points {
+                    push_f64(out, p.x);
+                    push_f64(out, p.y);
+                }
+            }
+            WalRecord::Edit(Edit::Insert(p)) => {
+                out.push(TAG_INSERT);
+                push_f64(out, p.x);
+                push_f64(out, p.y);
+            }
+            WalRecord::Edit(Edit::Remove(id)) => {
+                out.push(TAG_REMOVE);
+                push_u64(out, *id as u64);
+            }
+            WalRecord::Edit(Edit::Move(id, p)) => {
+                out.push(TAG_MOVE);
+                push_u64(out, *id as u64);
+                push_f64(out, p.x);
+                push_f64(out, p.y);
+            }
+        }
+    }
+
+    /// Decodes one payload.  `None` on any structural anomaly: unknown tag,
+    /// short fields, trailing bytes, or a point count that disagrees with
+    /// the payload length.
+    pub fn decode_payload(payload: &[u8]) -> Option<WalRecord> {
+        let mut c = Cursor {
+            data: payload,
+            at: 0,
+        };
+        let record = match c.u8()? {
+            TAG_CREATE => {
+                let k = c.u32()? as usize;
+                let phi = c.f64()?;
+                let n = c.u32()? as usize;
+                // Guard the multiplication against a forged count before
+                // allocating.
+                if payload.len() < 1 + 4 + 8 + 4 || n > (payload.len() - 17) / 16 + 1 {
+                    return None;
+                }
+                let mut points = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let x = c.f64()?;
+                    let y = c.f64()?;
+                    points.push(Point::new(x, y));
+                }
+                WalRecord::Create { k, phi, points }
+            }
+            TAG_INSERT => WalRecord::Edit(Edit::Insert(Point::new(c.f64()?, c.f64()?))),
+            TAG_REMOVE => WalRecord::Edit(Edit::Remove(c.u64()? as usize)),
+            TAG_MOVE => {
+                let id = c.u64()? as usize;
+                WalRecord::Edit(Edit::Move(id, Point::new(c.f64()?, c.f64()?)))
+            }
+            _ => return None,
+        };
+        if c.done() {
+            Some(record)
+        } else {
+            None
+        }
+    }
+
+    /// Serializes the full framed record (`len` + `crc` + payload).
+    pub fn encode_framed(&self, out: &mut Vec<u8>) {
+        let mut payload = Vec::new();
+        self.encode_payload(&mut payload);
+        push_u32(out, payload.len() as u32);
+        push_u32(out, crc32(&payload));
+        out.extend_from_slice(&payload);
+    }
+}
+
+/// Why [`read_wal`] stopped where it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalTail {
+    /// The file ended exactly at a record boundary.
+    Clean,
+    /// Fewer than 8 bytes remained after the last good record (a torn
+    /// `len`/`crc` header).
+    TornHeader,
+    /// The length prefix promised more bytes than the file holds (a torn
+    /// write at the tail).
+    TornBody,
+    /// A structurally invalid record: zero/oversized length prefix, CRC
+    /// mismatch, or an undecodable payload.
+    Corrupt,
+}
+
+/// What [`read_wal`] salvaged.
+#[derive(Debug, Clone)]
+pub struct WalReadOutcome {
+    /// Every record up to the first anomaly, in append order.
+    pub records: Vec<WalRecord>,
+    /// Bytes of valid prefix (recovery truncates the file to this).
+    pub salvaged_bytes: u64,
+    /// Total file size, so callers can report how much was lost.
+    pub file_bytes: u64,
+    /// How the walk ended.
+    pub tail: WalTail,
+}
+
+impl WalReadOutcome {
+    /// Bytes past the valid prefix (0 on a clean tail).
+    pub fn lost_bytes(&self) -> u64 {
+        self.file_bytes - self.salvaged_bytes
+    }
+}
+
+/// Reads a WAL file, salvaging the longest valid record prefix.  A missing
+/// file reads as an empty, clean log (compaction creates the next epoch's
+/// log lazily, so "no file yet" is a legal state).  Never panics on any
+/// byte content.
+pub fn read_wal(path: &Path) -> std::io::Result<WalReadOutcome> {
+    let data = match std::fs::read(path) {
+        Ok(data) => data,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(e),
+    };
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    let tail = loop {
+        let remaining = data.len() - at;
+        if remaining == 0 {
+            break WalTail::Clean;
+        }
+        if remaining < 8 {
+            break WalTail::TornHeader;
+        }
+        let len = u32::from_le_bytes(data[at..at + 4].try_into().unwrap());
+        let crc = u32::from_le_bytes(data[at + 4..at + 8].try_into().unwrap());
+        if len == 0 || len > MAX_PAYLOAD_BYTES {
+            break WalTail::Corrupt;
+        }
+        let len = len as usize;
+        if remaining < 8 + len {
+            break WalTail::TornBody;
+        }
+        let payload = &data[at + 8..at + 8 + len];
+        if crc32(payload) != crc {
+            break WalTail::Corrupt;
+        }
+        match WalRecord::decode_payload(payload) {
+            Some(record) => records.push(record),
+            None => break WalTail::Corrupt,
+        }
+        at += 8 + len;
+    };
+    Ok(WalReadOutcome {
+        records,
+        salvaged_bytes: at as u64,
+        file_bytes: data.len() as u64,
+        tail,
+    })
+}
+
+/// The buffered appender.  Records accumulate in a userspace buffer, reach
+/// the OS at the latest when the buffer crosses `FLUSH_THRESHOLD`, and
+/// reach the disk per the [`SyncPolicy`].  The writer also tracks a
+/// **committed** watermark: the serve layer marks it after every successful
+/// coalesced repair, and rolls uncommitted records back when a repair
+/// rejects its batch — keeping the log's content exactly equal to the edits
+/// the live session actually holds.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    policy: SyncPolicy,
+    /// Appended but not yet written to the OS.
+    buf: Vec<u8>,
+    /// Bytes handed to the OS (== file length, the file is append-only).
+    written: u64,
+    since_sync: u32,
+    records: u64,
+    committed_records: u64,
+    committed_bytes: u64,
+}
+
+impl WalWriter {
+    /// Creates a fresh log (fails if the file exists).
+    pub fn create(path: &Path, policy: SyncPolicy) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .append(true)
+            .create_new(true)
+            .open(path)?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            buf: Vec::new(),
+            written: 0,
+            since_sync: 0,
+            records: 0,
+            committed_records: 0,
+            committed_bytes: 0,
+        })
+    }
+
+    /// Reopens a recovered log for appending: truncates to the salvaged
+    /// `valid_bytes` prefix (discarding any torn/corrupt tail) and resumes
+    /// with the salvaged record count.  Creates the file when recovery found
+    /// none (a compaction that crashed before creating the next epoch's
+    /// log).
+    pub fn open_salvaged(
+        path: &Path,
+        policy: SyncPolicy,
+        valid_bytes: u64,
+        valid_records: u64,
+    ) -> std::io::Result<Self> {
+        let file = OpenOptions::new().append(true).create(true).open(path)?;
+        file.set_len(valid_bytes)?;
+        Ok(WalWriter {
+            file,
+            path: path.to_path_buf(),
+            policy,
+            buf: Vec::new(),
+            written: valid_bytes,
+            since_sync: 0,
+            records: valid_records,
+            committed_records: valid_records,
+            committed_bytes: valid_bytes,
+        })
+    }
+
+    /// The log's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Records appended (committed or not).
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Logical log size in bytes (OS-written plus still-buffered).
+    pub fn bytes(&self) -> u64 {
+        self.written + self.buf.len() as u64
+    }
+
+    /// Appends one record and applies the sync policy.
+    pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
+        record.encode_framed(&mut self.buf);
+        self.records += 1;
+        match self.policy {
+            SyncPolicy::Always => {
+                self.flush_os()?;
+                self.file.sync_data()?;
+            }
+            SyncPolicy::EveryN(n) => {
+                self.since_sync += 1;
+                if self.since_sync >= n {
+                    self.flush_os()?;
+                    self.file.sync_data()?;
+                    self.since_sync = 0;
+                } else if self.buf.len() > FLUSH_THRESHOLD {
+                    self.flush_os()?;
+                }
+            }
+            SyncPolicy::Never => {
+                if self.buf.len() > FLUSH_THRESHOLD {
+                    self.flush_os()?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks everything appended so far as committed (called after the
+    /// records' edits were successfully applied to the live session).
+    pub fn commit(&mut self) {
+        self.committed_records = self.records;
+        self.committed_bytes = self.bytes();
+    }
+
+    /// Discards every record appended since the last [`WalWriter::commit`]
+    /// — the mirror of the session rejecting a coalesced batch atomically.
+    pub fn rollback_to_committed(&mut self) -> std::io::Result<()> {
+        if self.committed_bytes >= self.written {
+            // The uncommitted tail never left the userspace buffer.
+            self.buf
+                .truncate((self.committed_bytes - self.written) as usize);
+        } else {
+            // Part of the tail reached the OS; cut the file back.  The
+            // handle is append-mode, so subsequent writes land at the new
+            // end without an explicit seek.
+            self.buf.clear();
+            self.file.set_len(self.committed_bytes)?;
+            self.written = self.committed_bytes;
+        }
+        self.records = self.committed_records;
+        self.since_sync = 0;
+        Ok(())
+    }
+
+    /// Hands the userspace buffer to the OS (no `fsync`).
+    pub fn flush_os(&mut self) -> std::io::Result<()> {
+        if !self.buf.is_empty() {
+            self.file.write_all(&self.buf)?;
+            self.written += self.buf.len() as u64;
+            self.buf.clear();
+        }
+        Ok(())
+    }
+
+    /// Flush + `fsync`, regardless of policy (clean shutdown, and the final
+    /// barrier before a snapshot supersedes this log).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.flush_os()?;
+        self.file.sync_data()
+    }
+}
+
+impl Drop for WalWriter {
+    fn drop(&mut self) {
+        // Best-effort durability on clean shutdown; a crash skips this by
+        // definition and the sync policy bounds what it can lose.
+        let _ = self.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("antennae-wal-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("wal.0.log")
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Create {
+                k: 2,
+                phi: 3.769_911_184_307_751_7,
+                points: vec![Point::new(0.0, 0.0), Point::new(1.5, -2.25)],
+            },
+            WalRecord::Edit(Edit::Insert(Point::new(0.125, 7.75))),
+            WalRecord::Edit(Edit::Remove(1)),
+            WalRecord::Edit(Edit::Move(0, Point::new(-3.5, 0.0625))),
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_record_type() {
+        let path = tmp("round-trip");
+        let mut writer = WalWriter::create(&path, SyncPolicy::Always).unwrap();
+        for record in sample_records() {
+            writer.append(&record).unwrap();
+        }
+        writer.commit();
+        drop(writer);
+        let outcome = read_wal(&path).unwrap();
+        assert_eq!(outcome.tail, WalTail::Clean);
+        assert_eq!(outcome.records, sample_records());
+        assert_eq!(outcome.lost_bytes(), 0);
+        assert_eq!(outcome.salvaged_bytes, outcome.file_bytes);
+    }
+
+    #[test]
+    fn payload_round_trip_is_bit_exact() {
+        // Denormals, negative zero, extreme exponents: to_bits round trip.
+        let nasty = [0.0f64, -0.0, f64::MIN_POSITIVE / 2.0, 1e300, -1e-300];
+        for &x in &nasty {
+            for &y in &nasty {
+                let record = WalRecord::Edit(Edit::Move(7, Point::new(x, y)));
+                let mut payload = Vec::new();
+                record.encode_payload(&mut payload);
+                let back = WalRecord::decode_payload(&payload).unwrap();
+                match back {
+                    WalRecord::Edit(Edit::Move(id, p)) => {
+                        assert_eq!(id, 7);
+                        assert_eq!(p.x.to_bits(), x.to_bits());
+                        assert_eq!(p.y.to_bits(), y.to_bits());
+                    }
+                    other => panic!("wrong decode: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn never_policy_buffers_and_clean_close_persists() {
+        let path = tmp("never-close");
+        let mut writer = WalWriter::create(&path, SyncPolicy::Never).unwrap();
+        for record in sample_records() {
+            writer.append(&record).unwrap();
+        }
+        // Nothing forced out yet (buffer below threshold).
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0);
+        drop(writer); // clean close syncs
+        let outcome = read_wal(&path).unwrap();
+        assert_eq!(outcome.records.len(), 4);
+        assert_eq!(outcome.tail, WalTail::Clean);
+    }
+
+    #[test]
+    fn every_n_syncs_on_stride() {
+        let path = tmp("every-n");
+        let mut writer = WalWriter::create(&path, SyncPolicy::EveryN(3)).unwrap();
+        let record = WalRecord::Edit(Edit::Remove(0));
+        writer.append(&record).unwrap();
+        writer.append(&record).unwrap();
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 0, "pre-stride");
+        writer.append(&record).unwrap();
+        assert!(
+            std::fs::metadata(&path).unwrap().len() > 0,
+            "stride hit forces the buffer out"
+        );
+        std::mem::forget(writer); // simulate kill -9: no Drop sync
+        let outcome = read_wal(&path).unwrap();
+        assert_eq!(outcome.records.len(), 3);
+    }
+
+    #[test]
+    fn rollback_discards_uncommitted_records() {
+        let path = tmp("rollback");
+        let mut writer = WalWriter::create(&path, SyncPolicy::Always).unwrap();
+        writer
+            .append(&WalRecord::Edit(Edit::Insert(Point::new(1.0, 2.0))))
+            .unwrap();
+        writer.commit();
+        // Two uncommitted appends, one of which already hit the OS
+        // (Always syncs every record) — rollback must set_len the file.
+        writer.append(&WalRecord::Edit(Edit::Remove(9))).unwrap();
+        writer.append(&WalRecord::Edit(Edit::Remove(10))).unwrap();
+        assert_eq!(writer.records(), 3);
+        writer.rollback_to_committed().unwrap();
+        assert_eq!(writer.records(), 1);
+        // The log can keep appending after a rollback.
+        writer
+            .append(&WalRecord::Edit(Edit::Move(0, Point::new(5.0, 5.0))))
+            .unwrap();
+        writer.commit();
+        drop(writer);
+        let outcome = read_wal(&path).unwrap();
+        assert_eq!(outcome.tail, WalTail::Clean);
+        assert_eq!(
+            outcome.records,
+            vec![
+                WalRecord::Edit(Edit::Insert(Point::new(1.0, 2.0))),
+                WalRecord::Edit(Edit::Move(0, Point::new(5.0, 5.0))),
+            ]
+        );
+    }
+
+    #[test]
+    fn open_salvaged_truncates_and_resumes() {
+        let path = tmp("salvage-resume");
+        let mut writer = WalWriter::create(&path, SyncPolicy::Always).unwrap();
+        writer.append(&WalRecord::Edit(Edit::Remove(1))).unwrap();
+        drop(writer);
+        let good = std::fs::metadata(&path).unwrap().len();
+        // Torn tail: half a header.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0x55; 5]);
+        std::fs::write(&path, &bytes).unwrap();
+        let outcome = read_wal(&path).unwrap();
+        assert_eq!(outcome.tail, WalTail::TornHeader);
+        assert_eq!(outcome.salvaged_bytes, good);
+
+        let mut writer = WalWriter::open_salvaged(
+            &path,
+            SyncPolicy::Always,
+            outcome.salvaged_bytes,
+            outcome.records.len() as u64,
+        )
+        .unwrap();
+        writer.append(&WalRecord::Edit(Edit::Remove(2))).unwrap();
+        drop(writer);
+        let outcome = read_wal(&path).unwrap();
+        assert_eq!(outcome.tail, WalTail::Clean);
+        assert_eq!(
+            outcome.records,
+            vec![
+                WalRecord::Edit(Edit::Remove(1)),
+                WalRecord::Edit(Edit::Remove(2)),
+            ]
+        );
+    }
+
+    #[test]
+    fn sync_policy_flag_grammar() {
+        assert_eq!(SyncPolicy::parse("always"), Some(SyncPolicy::Always));
+        assert_eq!(SyncPolicy::parse("never"), Some(SyncPolicy::Never));
+        assert_eq!(SyncPolicy::parse("every-n"), Some(SyncPolicy::EveryN(32)));
+        assert_eq!(
+            SyncPolicy::parse("every-n=128"),
+            Some(SyncPolicy::EveryN(128))
+        );
+        assert_eq!(SyncPolicy::parse("every-n=0"), None);
+        assert_eq!(SyncPolicy::parse("sometimes"), None);
+        for policy in [SyncPolicy::Always, SyncPolicy::Never, SyncPolicy::EveryN(7)] {
+            assert_eq!(SyncPolicy::parse(&policy.as_flag()), Some(policy));
+        }
+    }
+}

@@ -1,0 +1,350 @@
+//! The corruption table: every row damages a tenant's on-disk state in a
+//! specific way, then asserts recovery (a) never panics, (b) salvages
+//! exactly the longest valid record prefix, and (c) rebuilds a session
+//! bit-equal to a live session that only ever saw the salvaged records.
+
+use antennae_core::dynamic::{DynamicInstance, DynamicSolverSession, Edit};
+use antennae_core::AntennaBudget;
+use antennae_geometry::Point;
+use antennae_store::wal::read_wal;
+use antennae_store::{Store, StoreConfig, SyncPolicy, WalRecord, WalTail};
+use std::path::{Path, PathBuf};
+
+fn tmp_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "antennae-corruption-test-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn seeds() -> Vec<Point> {
+    (0..8)
+        .map(|i| Point::new((i % 3) as f64 * 4.0, (i / 3) as f64 * 3.0 + (i % 2) as f64))
+        .collect()
+}
+
+fn churn() -> Vec<Edit> {
+    vec![
+        Edit::Insert(Point::new(12.0, 1.0)),
+        Edit::Remove(3),
+        Edit::Move(1, Point::new(-2.0, 5.5)),
+        Edit::Insert(Point::new(0.25, 9.75)),
+        Edit::Remove(8),
+        Edit::Move(0, Point::new(1.5, -1.5)),
+    ]
+}
+
+/// Builds a durable tenant with a committed churn history, closes the log
+/// cleanly, and returns the tenant's directory.
+fn build_tenant(root: &Path, name: &str) -> PathBuf {
+    let store = Store::open(
+        root,
+        StoreConfig {
+            sync: SyncPolicy::Always,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    let budget = AntennaBudget::new(2, 5.0);
+    let mut wal = store
+        .create_tenant(name, budget.k, budget.phi, &seeds())
+        .unwrap();
+    let mut live =
+        DynamicSolverSession::new(DynamicInstance::new(&seeds()).unwrap(), budget).unwrap();
+    for edit in churn() {
+        wal.append_edit(&edit).unwrap();
+        live.apply(edit).unwrap();
+    }
+    wal.commit();
+    wal.sync().unwrap();
+    root.join(name)
+}
+
+/// The oracle: a fresh session fed only the salvaged records, built without
+/// any store involvement.
+fn session_of_records(records: &[WalRecord]) -> DynamicSolverSession {
+    let mut records = records.iter();
+    let (budget, points) = match records.next() {
+        Some(WalRecord::Create { k, phi, points }) => {
+            (AntennaBudget::new(*k, *phi), points.clone())
+        }
+        other => panic!("log must start with CREATE, got {other:?}"),
+    };
+    let mut session =
+        DynamicSolverSession::new(DynamicInstance::new(&points).unwrap(), budget).unwrap();
+    for record in records {
+        match record {
+            WalRecord::Edit(edit) => {
+                session.apply(*edit).unwrap();
+            }
+            WalRecord::Create { .. } => panic!("CREATE mid-log"),
+        }
+    }
+    session
+}
+
+fn assert_sessions_bit_equal(a: &DynamicSolverSession, b: &DynamicSolverSession) {
+    assert_eq!(a.instance().ids(), b.instance().ids());
+    assert_eq!(a.instance().next_id(), b.instance().next_id());
+    for id in a.instance().ids() {
+        let pa = a.instance().point(id).unwrap();
+        let pb = b.instance().point(id).unwrap();
+        assert_eq!(pa.x.to_bits(), pb.x.to_bits());
+        assert_eq!(pa.y.to_bits(), pb.y.to_bits());
+    }
+    assert_eq!(a.instance().lmax().to_bits(), b.instance().lmax().to_bits());
+    assert_eq!(
+        a.instance().mst_total_weight().to_bits(),
+        b.instance().mst_total_weight().to_bits()
+    );
+    assert_eq!(a.algorithm(), b.algorithm());
+    assert_eq!(a.scheme(), b.scheme());
+    assert_eq!(a.digraph(), b.digraph());
+    assert_eq!(
+        a.report().max_radius.to_bits(),
+        b.report().max_radius.to_bits()
+    );
+}
+
+/// Returns the byte offsets at which each record of `wal_bytes` starts
+/// (walking the framing, not the checksums — corruption tests need offsets
+/// even for bytes they are about to damage).
+fn record_offsets(wal_bytes: &[u8]) -> Vec<usize> {
+    let mut offsets = Vec::new();
+    let mut at = 0usize;
+    while at + 8 <= wal_bytes.len() {
+        offsets.push(at);
+        let len = u32::from_le_bytes(wal_bytes[at..at + 4].try_into().unwrap()) as usize;
+        at += 8 + len;
+    }
+    offsets
+}
+
+/// One corruption-table row: damage the log with `damage`, recover, and
+/// check the salvaged prefix is exactly `expect_records` records with the
+/// expected tail kind — and that the recovered session matches the oracle
+/// session built from those records alone.
+fn run_row(
+    name: &str,
+    damage: impl FnOnce(&mut Vec<u8>, &[usize]),
+    expect_records: usize,
+    expect_tail: WalTail,
+) {
+    let root = tmp_root(name);
+    let dir = build_tenant(&root, name);
+    let wal_file = dir.join("wal.0.log");
+    let mut bytes = std::fs::read(&wal_file).unwrap();
+    let offsets = record_offsets(&bytes);
+    assert_eq!(offsets.len(), 7, "CREATE + 6 edits");
+    damage(&mut bytes, &offsets);
+    std::fs::write(&wal_file, &bytes).unwrap();
+
+    let store = Store::open(&root, StoreConfig::default()).unwrap();
+    let recovery = store.recover().unwrap();
+    assert!(recovery.skipped.is_empty(), "{:?}", recovery.skipped);
+    assert_eq!(recovery.tenants.len(), 1);
+    let tenant = &recovery.tenants[0];
+    assert_eq!(tenant.wal_tail, expect_tail, "tail kind");
+    assert_eq!(tenant.wal.wal_records(), expect_records as u64);
+    assert!(tenant.lost_bytes > 0, "a corruption row must lose bytes");
+
+    // The truncated file now reads clean and holds exactly the prefix.
+    let salvaged = read_wal(&wal_file).unwrap();
+    assert_eq!(salvaged.tail, WalTail::Clean, "tail was cut on reopen");
+    assert_eq!(salvaged.records.len(), expect_records);
+
+    let oracle = session_of_records(&salvaged.records);
+    assert_sessions_bit_equal(&tenant.session, &oracle);
+}
+
+#[test]
+fn truncated_tail_salvages_the_prefix() {
+    // Cut the file mid-way through the last record's body.
+    run_row(
+        "truncated-tail",
+        |bytes, offsets| bytes.truncate(offsets[6] + 10),
+        6,
+        WalTail::TornBody,
+    );
+}
+
+#[test]
+fn torn_header_salvages_the_prefix() {
+    // Leave only 3 bytes of the last record's header.
+    run_row(
+        "torn-header",
+        |bytes, offsets| bytes.truncate(offsets[6] + 3),
+        6,
+        WalTail::TornHeader,
+    );
+}
+
+#[test]
+fn flipped_body_byte_stops_at_the_crc_mismatch() {
+    // Flip one payload byte of the 5th record (index 4): records 0..=3
+    // survive, everything from the flip on is dropped.
+    run_row(
+        "flipped-body",
+        |bytes, offsets| bytes[offsets[4] + 8 + 2] ^= 0x10,
+        4,
+        WalTail::Corrupt,
+    );
+}
+
+#[test]
+fn flipped_length_prefix_stops_cleanly() {
+    // Make the 3rd record's length prefix enormous: the reader must treat
+    // it as corrupt (not attempt a giant allocation or read past the end).
+    run_row(
+        "flipped-length",
+        |bytes, offsets| {
+            let at = offsets[2];
+            bytes[at..at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        },
+        2,
+        WalTail::Corrupt,
+    );
+}
+
+#[test]
+fn plausible_flipped_length_still_fails_the_crc() {
+    // A small length flip stays under MAX_PAYLOAD_BYTES, so the reader
+    // frames a wrong-sized payload — the CRC catches it instead.
+    run_row(
+        "flipped-length-small",
+        |bytes, offsets| bytes[offsets[2]] ^= 0x01,
+        2,
+        WalTail::Corrupt,
+    );
+}
+
+#[test]
+fn zero_length_file_skips_the_tenant_without_panicking() {
+    let root = tmp_root("zero-length");
+    let dir = build_tenant(&root, "zero-length");
+    std::fs::write(dir.join("wal.0.log"), b"").unwrap();
+    let store = Store::open(&root, StoreConfig::default()).unwrap();
+    let recovery = store.recover().unwrap();
+    // No snapshot and no CREATE record: nothing to rebuild from.
+    assert!(recovery.tenants.is_empty());
+    assert_eq!(recovery.skipped.len(), 1);
+    assert!(
+        recovery.skipped[0].reason.contains("CREATE"),
+        "{}",
+        recovery.skipped[0].reason
+    );
+    // The directory is left in place for inspection.
+    assert!(dir.exists());
+}
+
+#[test]
+fn zero_length_log_with_snapshot_recovers_from_the_snapshot() {
+    // After a compaction the log alone may legitimately be empty.
+    let root = tmp_root("zero-log-snapshot");
+    let store = Store::open(
+        &root,
+        StoreConfig {
+            sync: SyncPolicy::Always,
+            ..StoreConfig::default()
+        },
+    )
+    .unwrap();
+    let budget = AntennaBudget::new(2, 5.0);
+    let mut wal = store
+        .create_tenant("snappy", budget.k, budget.phi, &seeds())
+        .unwrap();
+    let mut live =
+        DynamicSolverSession::new(DynamicInstance::new(&seeds()).unwrap(), budget).unwrap();
+    for edit in churn() {
+        wal.append_edit(&edit).unwrap();
+        live.apply(edit).unwrap();
+    }
+    wal.commit();
+    let live_set: Vec<(usize, Point)> = live
+        .instance()
+        .ids()
+        .into_iter()
+        .map(|id| (id, live.instance().point(id).unwrap()))
+        .collect();
+    wal.compact(budget.k, budget.phi, live.instance().next_id(), live_set)
+        .unwrap();
+    drop(wal);
+
+    // Truncate the (already empty) epoch-1 log to zero explicitly.
+    std::fs::write(root.join("snappy/wal.1.log"), b"").unwrap();
+    let recovery = store.recover().unwrap();
+    assert!(recovery.skipped.is_empty(), "{:?}", recovery.skipped);
+    assert_sessions_bit_equal(&recovery.tenants[0].session, &live);
+}
+
+#[test]
+fn corrupt_snapshot_skips_the_tenant_with_a_reason() {
+    let root = tmp_root("corrupt-snapshot");
+    let store = Store::open(&root, StoreConfig::default()).unwrap();
+    let budget = AntennaBudget::new(2, 5.0);
+    let mut wal = store
+        .create_tenant("badsnap", budget.k, budget.phi, &seeds())
+        .unwrap();
+    let mut live =
+        DynamicSolverSession::new(DynamicInstance::new(&seeds()).unwrap(), budget).unwrap();
+    for edit in churn() {
+        wal.append_edit(&edit).unwrap();
+        live.apply(edit).unwrap();
+    }
+    wal.commit();
+    let live_set: Vec<(usize, Point)> = live
+        .instance()
+        .ids()
+        .into_iter()
+        .map(|id| (id, live.instance().point(id).unwrap()))
+        .collect();
+    wal.compact(budget.k, budget.phi, live.instance().next_id(), live_set)
+        .unwrap();
+    drop(wal);
+
+    let snap = root.join("badsnap/snapshot.bin");
+    let mut bytes = std::fs::read(&snap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x80;
+    std::fs::write(&snap, &bytes).unwrap();
+
+    let recovery = store.recover().unwrap();
+    assert!(recovery.tenants.is_empty());
+    assert_eq!(recovery.skipped.len(), 1);
+    assert!(
+        recovery.skipped[0].reason.contains("corrupt snapshot"),
+        "{}",
+        recovery.skipped[0].reason
+    );
+}
+
+#[test]
+fn recovery_appends_after_a_cut_tail() {
+    // After salvage-and-truncate, the reopened handle must append records
+    // that a second recovery then reads cleanly.
+    let root = tmp_root("append-after-cut");
+    let dir = build_tenant(&root, "append-after-cut");
+    let wal_file = dir.join("wal.0.log");
+    let mut bytes = std::fs::read(&wal_file).unwrap();
+    let offsets = record_offsets(&bytes);
+    bytes.truncate(offsets[5] + 4);
+    std::fs::write(&wal_file, &bytes).unwrap();
+
+    let store = Store::open(&root, StoreConfig::default()).unwrap();
+    let mut recovery = store.recover().unwrap();
+    let mut tenant = recovery.tenants.remove(0);
+    let extra = Edit::Insert(Point::new(42.0, -42.0));
+    tenant.wal.append_edit(&extra).unwrap();
+    tenant.session.apply(extra).unwrap();
+    tenant.wal.commit();
+    tenant.wal.sync().unwrap();
+    let live = tenant.session;
+    drop(tenant.wal);
+
+    let recovery = store.recover().unwrap();
+    assert!(recovery.skipped.is_empty(), "{:?}", recovery.skipped);
+    assert_eq!(recovery.tenants[0].wal_tail, WalTail::Clean);
+    assert_sessions_bit_equal(&recovery.tenants[0].session, &live);
+}

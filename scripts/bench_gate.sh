@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Bench regression gate: runs scripts/bench_smoke.sh into BENCH_6.json and
+# Bench regression gate: runs scripts/bench_smoke.sh into BENCH_7.json and
 # compares every workload that also appears in the previous committed
 # BENCH_*.json, failing when any entry regressed by more than the gate
 # factor.
@@ -22,7 +22,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FACTOR="${BENCH_GATE_FACTOR:-2.0}"
-CURRENT="BENCH_6.json"
+CURRENT="BENCH_7.json"
 
 # Previous trajectory point: the highest-numbered committed BENCH_*.json
 # other than the current output.

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Bench smoke run: quick-mode passes of the headline criterion benches
-# (traversal, verification, dispatch_policy, dynamic, parallel, serve),
-# parsed into BENCH_6.json so every PR leaves a machine-readable point on
-# the bench trajectory.  `scripts/bench_gate.sh` compares this output
-# against the previous committed BENCH_*.json.
+# (traversal, verification, dispatch_policy, dynamic, parallel, serve,
+# store), parsed into BENCH_7.json so every PR leaves a machine-readable
+# point on the bench trajectory.  `scripts/bench_gate.sh` compares this
+# output against the previous committed BENCH_*.json.
 #
 #   ./scripts/bench_smoke.sh            # quick mode (40 ms budget per bench)
 #   CRITERION_STUB_MS=200 ./scripts/bench_smoke.sh   # steadier numbers
@@ -17,8 +17,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK_MS="${CRITERION_STUB_MS:-40}"
-OUT="${1:-BENCH_6.json}"
-BENCHES=(traversal verification dispatch_policy dynamic parallel serve)
+OUT="${1:-BENCH_7.json}"
+BENCHES=(traversal verification dispatch_policy dynamic parallel serve store)
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

@@ -77,9 +77,77 @@ trap - EXIT
 rm -f "$ORIENTD_LOG"
 echo "orientd smoke OK (port $PORT, clean shutdown)"
 
+# Durable recovery smoke: the same binary with --data-dir must carry a
+# deployment across a full process restart — write, SHUTDOWN, reboot on the
+# same directory, and answer QUERY/VERIFY for the recovered tenant.  The
+# crash-grade variants (SIGKILL mid-burst, torn tails) live in
+# tests/durable_recovery.rs and tests/durability_oracle.rs; this step pins
+# the operational happy path end to end, flags included.
+echo "== orientd durable recovery smoke (write -> SHUTDOWN -> restart -> QUERY) =="
+DURABLE_DIR="$(mktemp -d)"
+DURABLE_LOG="$(mktemp)"
+trap 'kill "$ORIENTD_PID" 2>/dev/null || true; rm -rf "$DURABLE_DIR"; rm -f "$DURABLE_LOG"' EXIT
+
+durable_boot() {
+    ./target/release/orientd --listen 127.0.0.1:0 --threads 2 --print-port \
+        --data-dir "$DURABLE_DIR" --sync every-n=4 > "$DURABLE_LOG" 2>&1 &
+    ORIENTD_PID=$!
+    PORT=""
+    for _ in $(seq 1 50); do
+        PORT="$(awk '$1 == "PORT" { print $2; exit }' "$DURABLE_LOG")"
+        [[ -n "$PORT" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$PORT" ]] || { echo "durable orientd never reported its port" >&2; exit 1; }
+}
+
+durable_request() {
+    printf '%s\n' "$1" >&3
+    IFS= read -r DURABLE_REPLY <&3
+    echo "  > $1"
+    echo "  < $DURABLE_REPLY"
+    [[ "$DURABLE_REPLY" == OK* ]] || { echo "durable request failed: $1 -> $DURABLE_REPLY" >&2; exit 1; }
+}
+
+durable_boot
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+durable_request "CREATE persisted 2 3.7699111843077517 0 0 1 0 2 0.5 1.5 1.5"
+durable_request "EDIT persisted INSERT 0.5 0.75"
+durable_request "ORIENT persisted"
+durable_request "QUERY persisted"
+BEFORE_RESTART="$DURABLE_REPLY"
+durable_request "SHUTDOWN"
+exec 3<&- 3>&-
+wait "$ORIENTD_PID" || { echo "durable orientd exited non-zero" >&2; exit 1; }
+
+durable_boot
+grep -q "recovered 1 deployment" "$DURABLE_LOG" \
+    || { echo "restart did not report a recovered deployment:" >&2; cat "$DURABLE_LOG" >&2; exit 1; }
+exec 3<>"/dev/tcp/127.0.0.1/$PORT"
+durable_request "QUERY persisted"
+AFTER_RESTART="$DURABLE_REPLY"
+# revision is a per-process repair counter; everything else must match.
+if [[ "$(sed 's/revision=[0-9]*/revision=_/' <<<"$BEFORE_RESTART")" \
+   != "$(sed 's/revision=[0-9]*/revision=_/' <<<"$AFTER_RESTART")" ]]; then
+    echo "recovered QUERY diverged:" >&2
+    echo "  before: $BEFORE_RESTART" >&2
+    echo "  after:  $AFTER_RESTART" >&2
+    exit 1
+fi
+durable_request "VERIFY persisted"
+[[ "$DURABLE_REPLY" == *"valid=true"* ]] \
+    || { echo "recovered deployment failed verification: $DURABLE_REPLY" >&2; exit 1; }
+durable_request "SHUTDOWN"
+exec 3<&- 3>&-
+wait "$ORIENTD_PID" || { echo "durable orientd exited non-zero after recovery" >&2; exit 1; }
+trap - EXIT
+rm -rf "$DURABLE_DIR"
+rm -f "$DURABLE_LOG"
+echo "orientd durable recovery smoke OK"
+
 # Benches are not exercised by the test suite; building them (without
 # running) keeps them from rotting.  `scripts/bench_smoke.sh` runs the
-# headline benches in quick mode and records the numbers in BENCH_6.json;
+# headline benches in quick mode and records the numbers in BENCH_7.json;
 # `scripts/bench_gate.sh` compares that run against the previous committed
 # BENCH_*.json and flags >2x regressions (advisory CI job).
 echo "== benches compile (cargo bench --no-run) =="
@@ -92,6 +160,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p antennae-graph \
     -p antennae-core \
     -p antennae-serve \
+    -p antennae-store \
     -p antennae-sim \
     -p antennae-bench
 

@@ -3,60 +3,143 @@
 //! Serves the line protocol of [`antennae::serve`] over TCP:
 //!
 //! ```text
-//! orientd [--listen ADDR] [--threads N] [--print-port]
+//! orientd [--listen ADDR | --port N] [--threads N] [--print-port]
+//!         [--data-dir DIR] [--sync always|every-n[=N]|never]
 //! ```
 //!
 //! * `--listen ADDR` — bind address, default `127.0.0.1:7011`; use port 0
 //!   for an ephemeral port.
+//! * `--port N` — shorthand for `--listen 127.0.0.1:N`.
 //! * `--threads N` — worker pool size, default `min(cores, 8)`.
 //! * `--print-port` — print `PORT <n>` on stdout once bound (used by the
 //!   CI smoke test to discover an ephemeral port).
+//! * `--data-dir DIR` — run durable: every deployment keeps a write-ahead
+//!   log + snapshot under `DIR/<name>/`, and boot recovers whatever a
+//!   previous process left there (crashed or not).
+//! * `--sync POLICY` — WAL fsync policy (requires `--data-dir`):
+//!   `always` (fsync every record), `every-n` or `every-n=N` (fsync every
+//!   N records, default 32), `never` (OS-buffered only; clean `SHUTDOWN`
+//!   still syncs).  Default `every-n`.
 //!
-//! The process exits cleanly after a `SHUTDOWN` request.
+//! Unknown or malformed flags exit with status 2 and print the usage line
+//! to stderr.  The process exits cleanly after a `SHUTDOWN` request.
 
 use antennae::serve::{Server, Service};
+use antennae::store::{Store, StoreConfig, SyncPolicy};
 use std::process::ExitCode;
 use std::sync::Arc;
 
+const USAGE: &str = "usage: orientd [--listen ADDR | --port N] [--threads N] [--print-port] \
+                     [--data-dir DIR] [--sync always|every-n[=N]|never]";
+
+#[derive(Debug)]
 struct Args {
     listen: String,
     threads: usize,
     print_port: bool,
+    data_dir: Option<std::path::PathBuf>,
+    sync: Option<SyncPolicy>,
 }
 
-fn usage() -> ! {
-    eprintln!("usage: orientd [--listen ADDR] [--threads N] [--print-port]");
-    std::process::exit(2);
-}
-
-fn parse_args() -> Args {
+fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
     let mut args = Args {
         listen: "127.0.0.1:7011".to_string(),
         threads: antennae::core::parallel::default_threads(),
         print_port: false,
+        data_dir: None,
+        sync: None,
     };
-    let mut argv = std::env::args().skip(1);
+    let mut argv = argv.peekable();
     while let Some(flag) = argv.next() {
         match flag.as_str() {
             "--listen" => match argv.next() {
                 Some(addr) => args.listen = addr,
-                None => usage(),
+                None => return Err("--listen needs an address".into()),
+            },
+            "--port" => match argv.next().and_then(|v| v.parse::<u16>().ok()) {
+                Some(port) => args.listen = format!("127.0.0.1:{port}"),
+                None => return Err("--port needs a port number".into()),
             },
             "--threads" => match argv.next().and_then(|v| v.parse().ok()) {
                 Some(n) if n > 0 => args.threads = n,
-                _ => usage(),
+                _ => return Err("--threads needs a positive integer".into()),
+            },
+            "--data-dir" => match argv.next() {
+                Some(dir) if !dir.is_empty() => args.data_dir = Some(dir.into()),
+                _ => return Err("--data-dir needs a directory path".into()),
+            },
+            "--sync" => match argv.next().as_deref().and_then(SyncPolicy::parse) {
+                Some(policy) => args.sync = Some(policy),
+                None => {
+                    return Err("--sync takes always, every-n, every-n=N or never".into());
+                }
             },
             "--print-port" => args.print_port = true,
-            "--help" | "-h" => usage(),
-            _ => usage(),
+            "--help" | "-h" => return Err(String::new()),
+            other => return Err(format!("unknown flag {other:?}")),
         }
     }
-    args
+    if args.sync.is_some() && args.data_dir.is_none() {
+        return Err("--sync requires --data-dir".into());
+    }
+    Ok(args)
 }
 
 fn main() -> ExitCode {
-    let args = parse_args();
-    let server = match Server::bind_with(&args.listen, Arc::new(Service::new()), args.threads) {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(args) => args,
+        Err(reason) if reason.is_empty() => {
+            // --help: usage on stdout, success.
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(reason) => {
+            eprintln!("orientd: {reason}");
+            eprintln!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let service = match &args.data_dir {
+        None => Arc::new(Service::new()),
+        Some(dir) => {
+            let config = StoreConfig {
+                sync: args.sync.unwrap_or_default(),
+                ..StoreConfig::default()
+            };
+            let store = match Store::open(dir, config) {
+                Ok(store) => store,
+                Err(e) => {
+                    eprintln!("orientd: cannot open data dir {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            match Service::open_durable(store) {
+                Ok((service, report)) => {
+                    for (name, reason) in &report.skipped {
+                        eprintln!("orientd: skipped tenant {name:?}: {reason}");
+                    }
+                    eprintln!(
+                        "orientd: recovered {} deployment(s) from {} \
+                         ({} skipped, {} torn tail(s), {} byte(s) discarded, sync={})",
+                        report.recovered.len(),
+                        dir.display(),
+                        report.skipped.len(),
+                        report.truncated_tails,
+                        report.lost_bytes,
+                        config.sync.as_flag(),
+                    );
+                    Arc::new(service)
+                }
+                Err(e) => {
+                    eprintln!("orientd: recovery failed in {}: {e}", dir.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+
+    let server = match Server::bind_with(&args.listen, service, args.threads) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("orientd: cannot bind {}: {e}", args.listen);
@@ -79,6 +162,55 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("orientd: accept loop failed: {e}");
             ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        parse_args(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn flag_grammar() {
+        let args = parse(&[
+            "--port",
+            "7050",
+            "--threads",
+            "3",
+            "--data-dir",
+            "/tmp/x",
+            "--sync",
+            "every-n=8",
+            "--print-port",
+        ])
+        .unwrap();
+        assert_eq!(args.listen, "127.0.0.1:7050");
+        assert_eq!(args.threads, 3);
+        assert_eq!(
+            args.data_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/x"))
+        );
+        assert_eq!(args.sync, Some(SyncPolicy::EveryN(8)));
+        assert!(args.print_port);
+
+        assert!(parse(&[]).unwrap().data_dir.is_none());
+        assert_eq!(parse(&["--help"]).unwrap_err(), "");
+        for bad in [
+            &["--frobnicate"][..],
+            &["--port"],
+            &["--port", "notaport"],
+            &["--threads", "0"],
+            &["--sync", "sometimes", "--data-dir", "/tmp/x"],
+            &["--sync", "every-n=0", "--data-dir", "/tmp/x"],
+            &["--sync", "always"], // requires --data-dir
+            &["--data-dir"],
+        ] {
+            let err = parse(bad).unwrap_err();
+            assert!(!err.is_empty(), "{bad:?} should be a hard flag error");
         }
     }
 }

@@ -18,6 +18,8 @@
 //!   experiment drivers that regenerate every table and figure.
 //! * [`serve`] — orientation-as-a-service: the `orientd` multi-tenant
 //!   deployment server, its line protocol, and in-process/TCP clients.
+//! * [`store`] — `orientd`'s durability layer: per-tenant write-ahead logs,
+//!   snapshot compaction and crash recovery.
 //!
 //! ## Quickstart
 //!
@@ -62,6 +64,7 @@ pub use antennae_geometry as geometry;
 pub use antennae_graph as graph;
 pub use antennae_serve as serve;
 pub use antennae_sim as sim;
+pub use antennae_store as store;
 
 /// Convenience re-exports of the types used by almost every application.
 pub mod prelude {

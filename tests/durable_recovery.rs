@@ -1,0 +1,200 @@
+//! Process-level crash recovery: a real `orientd` process (the shipped
+//! binary, spawned with `--data-dir`) is killed with SIGKILL mid-history and
+//! restarted, repeatedly; the surviving wire answers must match a process
+//! that never crashed.
+//!
+//! `--sync always` makes the drill deterministic: an edit is fsynced before
+//! its `OK` goes out, so the acknowledged history is exactly the recoverable
+//! history and wire-level equality against an uncrashed replay is an honest
+//! oracle.  A second drill kills the server under an *unacknowledged*
+//! pipelined burst, where the log legitimately holds some prefix of the
+//! burst — there the pin is salvage-without-panic plus a live, verifiable
+//! deployment.
+
+use antennae::core::bounds::theorem2_spread_threshold;
+use antennae::prelude::*;
+use antennae::serve::protocol::payload_field;
+use antennae::serve::Service;
+use antennae::sim::events::{churn_trace, ChurnMix};
+use antennae::sim::serve_script::{churn_protocol_script, restart_segments};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+fn tmp_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "antennae-durable-recovery-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawns the real `orientd` binary durable on `root`, waits for its
+/// `PORT <n>` banner, and returns the child plus the bound address.
+fn spawn_orientd(root: &Path) -> (Child, SocketAddr) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_orientd"))
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--print-port",
+            "--data-dir",
+            root.to_str().expect("utf-8 temp path"),
+            "--sync",
+            "always",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn orientd");
+    let mut banner = String::new();
+    BufReader::new(child.stdout.take().expect("piped stdout"))
+        .read_line(&mut banner)
+        .expect("read port banner");
+    let port: u16 = banner
+        .trim()
+        .strip_prefix("PORT ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .parse()
+        .expect("port number");
+    (child, SocketAddr::from(([127, 0, 0, 1], port)))
+}
+
+/// One request, one response line, over a dedicated throwaway connection.
+fn request(addr: SocketAddr, line: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send");
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("receive");
+    response.trim_end().to_string()
+}
+
+/// Blanks the `revision=` field: restarts reset the per-process repair
+/// counter, which is presentation state, not deployment state.
+fn mask_revision(line: &str) -> String {
+    line.split(' ')
+        .map(|tok| {
+            if tok.starts_with("revision=") {
+                "revision=_"
+            } else {
+                tok
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[test]
+fn sigkill_between_bursts_matches_an_uncrashed_replay() {
+    let root = tmp_root("kill9");
+    let k = 2;
+    let phi = theorem2_spread_threshold(k);
+    let seeds = PointSetGenerator::UniformSquare { n: 14, side: 8.0 }.generate(101);
+    let trace = churn_trace(ChurnMix::balanced(3.0), 80, 8.0, 0.6, 909);
+    let script = churn_protocol_script("kill9", k, phi, &seeds, &trace, 5);
+    let segments = restart_segments(&script, 3);
+
+    // The crashy run: serve each segment with a fresh process, SIGKILL it
+    // (no SHUTDOWN, no drain) after the segment's responses are in hand.
+    let mut crashy_query = String::new();
+    let mut crashy_verify = String::new();
+    for (i, segment) in segments.iter().enumerate() {
+        let (mut child, addr) = spawn_orientd(&root);
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone socket"));
+        for line in segment {
+            stream
+                .write_all(format!("{line}\n").as_bytes())
+                .expect("send");
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("receive");
+            assert!(
+                response.starts_with("OK "),
+                "segment {i}: {line:?} -> {response:?}"
+            );
+        }
+        // Close the segment connection first: the pool may be a single
+        // worker (one-core container), and `request` opens a fresh one.
+        drop(reader);
+        drop(stream);
+        if i + 1 == segments.len() {
+            crashy_query = request(addr, "QUERY kill9");
+            crashy_verify = request(addr, "VERIFY kill9");
+        }
+        child.kill().expect("SIGKILL");
+        let _ = child.wait();
+    }
+
+    // The uncrashed oracle: one in-process service replays the same lines
+    // (the segments partition the script, so the histories are identical).
+    let oracle = Service::new();
+    for line in &script.lines {
+        assert!(oracle.handle_line(line).starts_with("OK "), "{line:?}");
+    }
+    let oracle_query = oracle.handle_line("QUERY kill9");
+    let oracle_verify = oracle.handle_line("VERIFY kill9");
+
+    assert_eq!(
+        mask_revision(&crashy_query),
+        mask_revision(&oracle_query),
+        "QUERY answers diverged after two SIGKILLs"
+    );
+    assert_eq!(
+        mask_revision(&crashy_verify),
+        mask_revision(&oracle_verify),
+        "VERIFY answers diverged after two SIGKILLs"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn sigkill_mid_unacknowledged_burst_salvages_and_stays_live() {
+    let root = tmp_root("midburst");
+    let phi = theorem2_spread_threshold(2);
+    let n_seeds = 6;
+    let burst_len = 40;
+    {
+        let (mut child, addr) = spawn_orientd(&root);
+        let mut create = format!("CREATE m 2 {phi}");
+        for i in 0..n_seeds {
+            create.push_str(&format!(" {} {}", i, (i * i) % 5));
+        }
+        assert!(request(addr, &create).starts_with("OK created"));
+        // Fire a pipelined burst and kill the process without ever reading
+        // a response: the log may hold any prefix of the burst.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        let mut burst = String::new();
+        for i in 0..burst_len {
+            burst.push_str(&format!("EDIT m INSERT {}.25 {}.5\n", i, i % 7));
+        }
+        stream.write_all(burst.as_bytes()).expect("send burst");
+        stream.flush().expect("flush burst");
+        std::thread::sleep(std::time::Duration::from_millis(120));
+        child.kill().expect("SIGKILL");
+        let _ = child.wait();
+    }
+
+    let (mut child, addr) = spawn_orientd(&root);
+    let query = request(addr, "QUERY m");
+    assert!(query.starts_with("OK query m"), "{query}");
+    let payload = query.strip_prefix("OK ").unwrap();
+    let n: usize = payload_field(payload, "n").unwrap().parse().unwrap();
+    assert!(
+        (n_seeds..=n_seeds + burst_len).contains(&n),
+        "salvaged n={n} outside [{n_seeds}, {}]",
+        n_seeds + burst_len
+    );
+    // Whatever prefix survived, the deployment is consistent and live.
+    let verify = request(addr, "VERIFY m");
+    assert!(verify.contains("valid=true"), "{verify}");
+    assert!(request(addr, "EDIT m INSERT 99.5 3.25").starts_with("OK edit m"));
+    let orient = request(addr, "ORIENT m");
+    assert!(orient.contains("valid=true"), "{orient}");
+    assert!(request(addr, "SHUTDOWN").starts_with("OK"));
+    let _ = child.wait();
+    let _ = std::fs::remove_dir_all(&root);
+}

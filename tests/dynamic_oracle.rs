@@ -362,3 +362,139 @@ proptest! {
         replay(&points, budget, &steps);
     }
 }
+
+/// The durability hook's contract: `DynamicSolverSession::replay(budget,
+/// base, next_id, tail)` — base = a sparse live set at some cut point,
+/// tail = the edits logged after it — must land bit-equal to the session
+/// that lived through the whole history one edit at a time, for every cut
+/// point.  This is what lets crash recovery rebuild a tenant from
+/// (snapshot, WAL tail) without replaying its batch boundaries.
+fn assert_replay_equivalent(points: &[Point], budget: AntennaBudget, steps: &[Step]) {
+    let mut lived =
+        DynamicSolverSession::new(DynamicInstance::new(points).unwrap(), budget).unwrap();
+    let mut resolved = Vec::new();
+    // Snapshot the (base, next_id) image at every prefix of the resolved
+    // edit history, cut 0 being the seed deployment itself.
+    let image = |s: &DynamicSolverSession| -> (Vec<(usize, Point)>, usize) {
+        let base = s
+            .instance()
+            .ids()
+            .into_iter()
+            .map(|id| (id, s.instance().point(id).unwrap()))
+            .collect();
+        (base, s.instance().next_id())
+    };
+    let mut cuts = vec![image(&lived)];
+    for step in steps {
+        let Some(edit) = to_edit(&lived, step) else {
+            continue;
+        };
+        lived.apply(edit).unwrap();
+        resolved.push(edit);
+        cuts.push(image(&lived));
+    }
+
+    for (cut, (base, next_id)) in cuts.iter().enumerate() {
+        let recovered =
+            DynamicSolverSession::replay(budget, base, *next_id, &resolved[cut..]).unwrap();
+        assert_eq!(
+            recovered.instance().ids(),
+            lived.instance().ids(),
+            "live ids diverged at cut={cut}"
+        );
+        assert_eq!(
+            recovered.instance().next_id(),
+            lived.instance().next_id(),
+            "id horizon diverged at cut={cut}"
+        );
+        for id in lived.instance().ids() {
+            let a = recovered.instance().point(id).unwrap();
+            let b = lived.instance().point(id).unwrap();
+            assert_eq!(a.x.to_bits(), b.x.to_bits(), "x bits at cut={cut} id={id}");
+            assert_eq!(a.y.to_bits(), b.y.to_bits(), "y bits at cut={cut} id={id}");
+        }
+        assert_eq!(
+            recovered.instance().lmax().to_bits(),
+            lived.instance().lmax().to_bits(),
+            "lmax diverged at cut={cut}"
+        );
+        assert_eq!(
+            recovered.instance().mst_total_weight().to_bits(),
+            lived.instance().mst_total_weight().to_bits(),
+            "MST weight diverged at cut={cut}"
+        );
+        assert_eq!(recovered.algorithm(), lived.algorithm(), "cut={cut}");
+        assert_eq!(recovered.scheme(), lived.scheme(), "scheme at cut={cut}");
+        assert_eq!(recovered.digraph(), lived.digraph(), "digraph at cut={cut}");
+        assert_eq!(recovered.report(), lived.report(), "report at cut={cut}");
+    }
+}
+
+#[test]
+fn replay_from_every_cut_matches_the_lived_session() {
+    let budget = AntennaBudget::new(2, theorem2_spread_threshold(2));
+    for seed in 0..3u64 {
+        let points = PointSetGenerator::UniformSquare { n: 18, side: 8.0 }.generate(seed);
+        assert_replay_equivalent(&points, budget, &mixed_script(seed.wrapping_mul(13) + 2));
+    }
+}
+
+#[test]
+fn replay_matches_under_fallback_budget() {
+    // Theorem 3 regime: replay's single coalesced batch triggers a full
+    // re-solve, which must still agree with the lived per-edit re-solves.
+    let points = PointSetGenerator::UniformSquare { n: 14, side: 6.0 }.generate(7);
+    let budget = AntennaBudget::new(2, std::f64::consts::PI);
+    assert_replay_equivalent(&points, budget, &mixed_script(4));
+}
+
+#[test]
+fn replay_handles_sparse_ids_and_empty_tails() {
+    // Drain to a sparse live set ({1, 3} with next_id 6), then recover
+    // from the base image alone.
+    let points: Vec<Point> = (0..4).map(|i| Point::new(i as f64 * 2.0, 0.0)).collect();
+    let budget = AntennaBudget::new(2, theorem2_spread_threshold(2));
+    let mut lived =
+        DynamicSolverSession::new(DynamicInstance::new(&points).unwrap(), budget).unwrap();
+    lived.apply(Edit::Insert(Point::new(1.0, 3.0))).unwrap(); // id 4
+    lived.apply(Edit::Insert(Point::new(5.0, 3.0))).unwrap(); // id 5
+    for dead in [0usize, 2, 4, 5] {
+        lived.apply(Edit::Remove(dead)).unwrap();
+    }
+    let base: Vec<(usize, Point)> = lived
+        .instance()
+        .ids()
+        .into_iter()
+        .map(|id| (id, lived.instance().point(id).unwrap()))
+        .collect();
+    assert_eq!(base.iter().map(|&(id, _)| id).collect::<Vec<_>>(), [1, 3]);
+    let recovered =
+        DynamicSolverSession::replay(budget, &base, lived.instance().next_id(), &[]).unwrap();
+    assert_eq!(recovered.instance().ids(), lived.instance().ids());
+    assert_eq!(recovered.instance().next_id(), 6);
+    assert_eq!(recovered.scheme(), lived.scheme());
+    assert_eq!(recovered.digraph(), lived.digraph());
+    assert_eq!(recovered.report(), lived.report());
+
+    // Ids keep flowing from the horizon after recovery.
+    let mut recovered = recovered;
+    let outcome = recovered
+        .apply_coalesced(&[Edit::Insert(Point::new(9.0, 9.0))])
+        .unwrap();
+    assert_eq!(outcome.inserted_ids, [6]);
+}
+
+#[test]
+fn replay_rejects_malformed_bases_and_inconsistent_tails() {
+    let budget = AntennaBudget::new(2, theorem2_spread_threshold(2));
+    let p = Point::new(0.0, 0.0);
+    // Id at/above the horizon.
+    assert!(DynamicSolverSession::replay(budget, &[(3, p)], 3, &[]).is_err());
+    // Non-ascending ids.
+    assert!(DynamicSolverSession::replay(budget, &[(2, p), (1, p)], 4, &[]).is_err());
+    // A tail referencing a dead id fails like any rejected batch.
+    assert!(DynamicSolverSession::replay(budget, &[(0, p)], 2, &[Edit::Remove(1)]).is_err());
+    // The empty tenant (no sensors yet) replays fine.
+    let empty = DynamicSolverSession::replay(budget, &[], 0, &[]).unwrap();
+    assert_eq!(empty.instance().len(), 0);
+}
