@@ -26,13 +26,24 @@ fn scheme_for(instance: &antennae_core::instance::Instance) -> OrientationScheme
 
 fn bench_verify(c: &mut Criterion) {
     let mut group = c.benchmark_group("verify_scheme");
-    for &n in &[32usize, 100, 250, 1000, 4000] {
+    let mut sizes = vec![32usize, 100, 250, 1000, 4000, 100_000];
+    if std::env::var("ANTENNAE_BENCH_FULL").is_ok_and(|v| v == "1") {
+        // Million-sensor verification: a minutes-long single-iteration run,
+        // opted into explicitly (see mst_scaling's full-mode note).
+        sizes.push(1_000_000);
+    }
+    for &n in &sizes {
         let instance = uniform_instance(n, 3);
         let scheme = scheme_for(&instance);
         for (label, strategy) in [
             ("dense", DigraphStrategy::Dense),
             ("kdtree", DigraphStrategy::KdTree),
         ] {
+            // The dense path is Θ(n²·k): past the crossover study's sizes it
+            // only burns time, so the large configurations are kd-only.
+            if strategy == DigraphStrategy::Dense && n > 4000 {
+                continue;
+            }
             let engine = VerificationEngine::new().with_strategy(strategy);
             group.bench_with_input(
                 BenchmarkId::new(label, n),

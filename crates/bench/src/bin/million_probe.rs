@@ -1,0 +1,48 @@
+use antennae_bench::workloads::uniform_points;
+use antennae_core::bounds::theorem2_spread_threshold;
+use antennae_core::instance::Instance;
+use antennae_core::solver::Solver;
+use antennae_core::verify::VerificationEngine;
+use std::time::Instant;
+
+fn rss_mb() -> f64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: f64 = rest.trim().trim_end_matches(" kB").trim().parse().unwrap();
+            return kb / 1024.0;
+        }
+    }
+    0.0
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100_000);
+    let t0 = Instant::now();
+    let points = uniform_points(n, 42);
+    println!("gen: {:.2}s", t0.elapsed().as_secs_f64());
+    let t = Instant::now();
+    let instance = Instance::new(points).unwrap();
+    println!("instance (MST): {:.2}s", t.elapsed().as_secs_f64());
+    let t = Instant::now();
+    let outcome = Solver::on(&instance)
+        .budget(3, theorem2_spread_threshold(3))
+        .run()
+        .unwrap();
+    println!("solve: {:.2}s", t.elapsed().as_secs_f64());
+    let t = Instant::now();
+    let report = VerificationEngine::new().verify(&instance, &outcome.scheme);
+    println!(
+        "verify: {:.2}s strongly_connected={}",
+        t.elapsed().as_secs_f64(),
+        report.is_strongly_connected
+    );
+    println!(
+        "total: {:.2}s peak_rss: {:.0} MB",
+        t0.elapsed().as_secs_f64(),
+        rss_mb()
+    );
+}

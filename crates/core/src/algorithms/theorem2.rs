@@ -13,11 +13,16 @@ use crate::antenna::SensorAssignment;
 use crate::bounds::theorem2_spread_threshold;
 use crate::error::OrientError;
 use crate::instance::Instance;
+use crate::parallel::{chunk_ranges, default_threads, parallel_map};
 use crate::scheme::OrientationScheme;
 use antennae_geometry::Point;
 
+/// Smallest instance for which the per-vertex Lemma-1 sweep is fanned out;
+/// below this the thread-scope setup costs more than the whole sweep.
+const PARALLEL_ORIENT_MIN: usize = 4096;
+
 /// Orients `k` antennae per sensor so that every MST edge exists in both
-/// directions.
+/// directions, using [`default_threads`] worker threads on large instances.
 ///
 /// Fails when `k` is outside `1..=5`.  The caller is responsible for
 /// checking that its spread budget `φ_k` is at least
@@ -25,17 +30,50 @@ use antennae_geometry::Point;
 /// at most that much spread per sensor, so a larger budget is automatically
 /// respected.
 pub fn orient_theorem2(instance: &Instance, k: usize) -> Result<OrientationScheme, OrientError> {
+    orient_theorem2_with_threads(instance, k, default_threads())
+}
+
+/// [`orient_theorem2`] with an explicit worker-thread count.
+///
+/// Theorem 2 is one Lemma-1 application per vertex with no cross-vertex
+/// state, so the sweep is chunked over [`chunk_ranges`] and the per-chunk
+/// assignment vectors concatenated in order.  Each vertex's antennas are
+/// computed by the same call whatever the chunking, so every thread count
+/// produces the bit-identical scheme; each chunk reuses one neighbour
+/// buffer across its vertices, keeping the hot loop allocation-light.
+pub fn orient_theorem2_with_threads(
+    instance: &Instance,
+    k: usize,
+    threads: usize,
+) -> Result<OrientationScheme, OrientError> {
     if !(1..=5).contains(&k) {
         return Err(OrientError::UnsupportedAntennaCount { k });
     }
     let mst = instance.mst();
     let points = instance.points();
-    let mut assignments = Vec::with_capacity(points.len());
-    for (v, apex) in points.iter().enumerate() {
-        let neighbors: Vec<Point> = mst.neighbors(v).iter().map(|&(u, _)| points[u]).collect();
-        let antennas = lemma1::orient_node(apex, &neighbors, k);
-        assignments.push(SensorAssignment::new(antennas));
-    }
+    let n = points.len();
+    let orient_range = |start: usize, end: usize| -> Vec<SensorAssignment> {
+        let mut out = Vec::with_capacity(end - start);
+        let mut neighbors: Vec<Point> = Vec::with_capacity(8);
+        for v in start..end {
+            neighbors.clear();
+            neighbors.extend(mst.neighbors(v).iter().map(|&(u, _)| points[u]));
+            let antennas = lemma1::orient_node(&points[v], &neighbors, k);
+            out.push(SensorAssignment::new(antennas));
+        }
+        out
+    };
+    let assignments = if threads > 1 && n >= PARALLEL_ORIENT_MIN {
+        let ranges = chunk_ranges(n, threads);
+        let chunks = parallel_map(&ranges, threads, |&(start, end)| orient_range(start, end));
+        let mut assignments = Vec::with_capacity(n);
+        for chunk in chunks {
+            assignments.extend(chunk);
+        }
+        assignments
+    } else {
+        orient_range(0, n)
+    };
     Ok(OrientationScheme::new(assignments))
 }
 

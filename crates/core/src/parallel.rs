@@ -1,156 +1,33 @@
-//! Order-preserving parallel map, the execution primitive under the batch
-//! orientation pipeline ([`crate::batch::BatchOrienter`]), the verification
-//! engine's fan-outs ([`crate::verify::VerificationEngine::verify_batch`],
-//! [`crate::verify::VerificationSession::verify_schemes`] and large
-//! single-digraph rebuilds) and the simulation crate's parameter sweeps
-//! (`antennae_sim::sweep` re-exports these functions).
+//! Order-preserving parallel map — re-exported from [`antennae_parallel`].
 //!
-//! Work items are pulled off a shared atomic counter by
-//! `std::thread::scope` workers, so no item is processed twice and results
-//! land in input order regardless of scheduling.
+//! The primitive used to live in this module; it moved into the bottom-layer
+//! `antennae-parallel` crate when the *build* pipeline (kd-tree subtree
+//! construction in `antennae-geometry`, chunked Borůvka rounds in
+//! `antennae-graph`) learned to fan out too — those crates sit below
+//! `antennae-core` in the dependency graph and could not reach up here.
+//! Every existing `antennae_core::parallel::…` import path keeps working
+//! through these re-exports.
+//!
+//! Consumers above the substrate layer: the batch orientation pipeline
+//! ([`crate::batch::BatchOrienter`]), the verification engine's fan-outs
+//! ([`crate::verify::VerificationEngine::verify_batch`],
+//! [`crate::verify::VerificationSession::verify_schemes`] and large
+//! single-digraph rebuilds), the chunked Theorem-2 sector assignment
+//! ([`crate::algorithms::theorem2`]) and the simulation crate's parameter
+//! sweeps (`antennae_sim::sweep` re-exports these functions in turn).
 
-use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Maps `f` over `items` using up to `threads` worker threads, preserving the
-/// input order of the results.
-///
-/// With `threads <= 1` (or a single item) the map runs inline on the calling
-/// thread — handy for debugging and for comparing sequential vs parallel
-/// throughput in the benches.
-///
-/// Results are written through **disjoint chunk-claimed slots** carved out of
-/// the output vector's spare capacity: workers pull chunk indices off one
-/// atomic counter and take exclusive `&mut` ownership of their chunk's slots
-/// (one uncontended `Mutex::take` per *chunk*, not per item, purely to hand
-/// the `&mut` slice across threads safely).  The earlier implementation
-/// locked a per-item `Mutex<Option<R>>` for every single result, which put a
-/// lock acquisition on the hot path of every batch orientation, portfolio
-/// fan-out and verification sweep; the `parallel` bench pins the difference.
-///
-/// # Examples
-///
-/// ```
-/// use antennae_core::parallel::parallel_map;
-///
-/// let items: Vec<u64> = (0..100).collect();
-/// let squares = parallel_map(&items, 4, |x| x * x);
-/// assert_eq!(squares[9], 81);
-/// assert_eq!(squares.len(), 100);
-/// ```
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(&T) -> R + Sync,
-{
-    if items.is_empty() {
-        return Vec::new();
-    }
-    if threads <= 1 || items.len() == 1 {
-        return items.iter().map(&f).collect();
-    }
-    let len = items.len();
-    let worker_count = threads.min(len);
-    // Small chunks keep dynamic load balancing (stragglers don't serialize
-    // the tail), large chunks amortize the claim; 4 chunks per worker is a
-    // comfortable middle for this workspace's coarse work items.
-    let chunk_size = len.div_ceil(worker_count * 4).max(1);
-
-    let mut results: Vec<R> = Vec::with_capacity(len);
-    // Chunk the uninitialized tail of the output vector into disjoint `&mut`
-    // slots.  Each chunk is claimed exactly once (`Option::take` under a
-    // never-contended per-chunk mutex), after which its worker writes every
-    // slot without further synchronization.
-    let slots: Vec<Mutex<Option<&mut [MaybeUninit<R>]>>> = results.spare_capacity_mut()[..len]
-        .chunks_mut(chunk_size)
-        .map(|chunk| Mutex::new(Some(chunk)))
-        .collect();
-    let next = AtomicUsize::new(0);
-
-    std::thread::scope(|scope| {
-        for _ in 0..worker_count {
-            scope.spawn(|| loop {
-                let chunk_index = next.fetch_add(1, Ordering::Relaxed);
-                if chunk_index >= slots.len() {
-                    break;
-                }
-                let chunk = slots[chunk_index]
-                    .lock()
-                    .expect("chunk slot poisoned")
-                    .take()
-                    .expect("every chunk is claimed exactly once");
-                let base = chunk_index * chunk_size;
-                for (offset, slot) in chunk.iter_mut().enumerate() {
-                    slot.write(f(&items[base + offset]));
-                }
-            });
-        }
-    });
-
-    // SAFETY: the scope joined every worker without panicking, the chunks
-    // tile `0..len` exactly, and each claimed chunk wrote all of its slots —
-    // so all `len` slots are initialized.  (If a worker panicked, the scope
-    // propagates the panic above this point and the written slots leak,
-    // which is safe.)
-    unsafe { results.set_len(len) };
-    results
-}
-
-/// The number of worker threads parallel pipelines use by default: the
-/// machine's available parallelism, capped at 8 (the workloads are
-/// memory-light and small enough that more threads stop paying off).
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(8)
-}
+pub use antennae_parallel::{chunk_ranges, default_threads, parallel_map, DEFAULT_THREAD_CAP};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU32;
 
     #[test]
-    fn empty_input_yields_empty_output() {
-        let out: Vec<i32> = parallel_map(&Vec::<i32>::new(), 4, |x| *x);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn sequential_and_parallel_agree_and_preserve_order() {
-        let items: Vec<u64> = (0..200).collect();
-        let seq = parallel_map(&items, 1, |x| x * x);
-        let par = parallel_map(&items, 4, |x| x * x);
-        assert_eq!(seq, par);
-        assert_eq!(seq[10], 100);
-        assert_eq!(seq.len(), 200);
-    }
-
-    #[test]
-    fn every_item_is_processed_exactly_once() {
-        let counter = AtomicU32::new(0);
-        let items: Vec<u32> = (0..500).collect();
-        let out = parallel_map(&items, 8, |x| {
-            counter.fetch_add(1, Ordering::Relaxed);
-            *x
-        });
-        assert_eq!(out.len(), 500);
-        assert_eq!(counter.load(Ordering::Relaxed), 500);
-    }
-
-    #[test]
-    fn more_threads_than_items_is_fine() {
-        let items = vec![1, 2, 3];
-        let out = parallel_map(&items, 64, |x| x + 1);
-        assert_eq!(out, vec![2, 3, 4]);
-    }
-
-    #[test]
-    fn default_threads_is_positive() {
-        assert!(default_threads() >= 1);
-        assert!(default_threads() <= 8);
+    fn reexports_are_live() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, default_threads(), |x| x + 1);
+        assert_eq!(out[63], 64);
+        let cap = DEFAULT_THREAD_CAP;
+        assert_eq!(chunk_ranges(cap, 1), vec![(0, cap)]);
     }
 }

@@ -37,7 +37,7 @@
 use crate::antenna::AntennaBudget;
 use crate::bounds::{radius_over_lmax, SPREAD_EPS};
 use crate::instance::Instance;
-use crate::parallel::{default_threads, parallel_map};
+use crate::parallel::{chunk_ranges, default_threads, parallel_map};
 use crate::scheme::OrientationScheme;
 use antennae_geometry::{KdTree, Point, EPS};
 use antennae_graph::scc::scc_summary;
@@ -310,9 +310,15 @@ impl VerificationEngine {
     /// applies.  Candidates arrive sorted ascending, so the assembled
     /// adjacency lists match the dense construction's visit order exactly.
     ///
-    /// The sequential path writes the CSR arrays directly — per-sensor
-    /// candidate lists become rows of one flat target vector, handed to
-    /// [`DiGraph::from_csr`] without any intermediate nested adjacency.
+    /// Both paths write the CSR arrays directly — per-sensor candidate lists
+    /// become rows of one flat target vector, handed to
+    /// [`DiGraph::from_csr`] without any intermediate nested adjacency.  The
+    /// parallel path chunks the sensor range over
+    /// [`crate::parallel::chunk_ranges`], each chunk emitting a local
+    /// `(row sizes, targets)` pair with one reused candidate buffer, and the
+    /// chunks are spliced in order; each row's contents are computed by the
+    /// same query-and-filter whatever the chunking, so every thread count
+    /// assembles the identical digraph.
     fn kd_induced_digraph(
         &self,
         points: &[Point],
@@ -320,34 +326,48 @@ impl VerificationEngine {
         tree: &KdTree,
     ) -> DiGraph {
         let n = points.len().min(scheme.len());
-        if self.threads > 1 && n >= PARALLEL_VERIFY_MIN {
-            let indices: Vec<usize> = (0..n).collect();
-            let rows = parallel_map(&indices, self.threads, |&u| {
-                let assignment = scheme.assignment(u);
-                let apex = &points[u];
-                let mut candidates = tree.within_radius(apex, assignment.max_radius() + EPS);
-                candidates.retain(|&v| v != u && assignment.covers(apex, &points[v]));
-                candidates
-            });
-            DiGraph::from_adjacency(points.len(), rows)
-        } else {
-            let mut offsets: Vec<u32> = Vec::with_capacity(points.len() + 1);
-            offsets.push(0);
+        // One chunk's rows: the number of targets per sensor in the range,
+        // plus the flat ascending target list.
+        let scan_range = |start: usize, end: usize| -> (Vec<u32>, Vec<u32>) {
+            let mut row_sizes = Vec::with_capacity(end - start);
             let mut targets: Vec<u32> = Vec::new();
             let mut buf = Vec::new();
-            for u in 0..n {
+            for u in start..end {
                 let assignment = scheme.assignment(u);
                 let apex = &points[u];
                 tree.within_radius_into(apex, assignment.max_radius() + EPS, &mut buf);
+                let before = targets.len();
                 for &v in &buf {
                     if v != u && assignment.covers(apex, &points[v]) {
                         targets.push(v as u32);
                     }
                 }
-                offsets.push(targets.len() as u32);
+                row_sizes.push((targets.len() - before) as u32);
             }
-            DiGraph::from_csr(points.len(), offsets, targets)
+            (row_sizes, targets)
+        };
+        let chunks: Vec<(Vec<u32>, Vec<u32>)> = if self.threads > 1 && n >= PARALLEL_VERIFY_MIN {
+            let ranges = chunk_ranges(n, self.threads);
+            parallel_map(&ranges, self.threads, |&(start, end)| {
+                scan_range(start, end)
+            })
+        } else {
+            vec![scan_range(0, n)]
+        };
+        let total: usize = chunks.iter().map(|(_, t)| t.len()).sum();
+        let mut offsets: Vec<u32> = Vec::with_capacity(points.len() + 1);
+        offsets.push(0);
+        let mut targets: Vec<u32> = Vec::with_capacity(total);
+        for (row_sizes, chunk_targets) in chunks {
+            for size in row_sizes {
+                offsets.push(offsets.last().expect("offsets is never empty") + size);
+            }
+            targets.extend(chunk_targets);
         }
+        // Sensors beyond the scheme's assignment list (n..points.len()) have
+        // empty rows, exactly as the dense construction produces.
+        offsets.resize(points.len() + 1, *offsets.last().expect("non-empty"));
+        DiGraph::from_csr(points.len(), offsets, targets)
     }
 }
 

@@ -73,7 +73,7 @@ impl DynamicKdTree {
             pos_of_slot[slot] = pos as u32;
         }
         DynamicKdTree {
-            snapshot: KdTree::build(&points),
+            snapshot: KdTree::build_owned(points),
             stale: vec![false; snapshot_slots.len()],
             live: snapshot_slots.len(),
             snapshot_slots,

@@ -55,7 +55,7 @@ pub use angle::Angle;
 pub use bbox::Aabb;
 pub use circle::Circle;
 pub use dynamic::DynamicKdTree;
-pub use kdtree::KdTree;
+pub use kdtree::{KdIndex, KdTree};
 pub use point::Point;
 pub use ray::Ray;
 pub use sector::Sector;

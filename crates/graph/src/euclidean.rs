@@ -23,8 +23,12 @@
 //!   against.
 //! * **Kd-tree Borůvka** — Borůvka rounds whose "cheapest outgoing edge per
 //!   component" queries run as nearest-foreign-component searches against a
-//!   [`KdTree`].  O(n log n)-class on typical inputs: each of the O(log n)
-//!   rounds performs n pruned nearest-neighbour queries.
+//!   [`KdIndex`] built directly over the caller's points (no copy).
+//!   O(n log n)-class on typical inputs: each of the O(log n) rounds performs
+//!   n pruned nearest-neighbour queries, and on multi-core hosts both the
+//!   index construction and the per-round scans fan out over worker threads
+//!   (see [`EuclideanMst::build_with_engine_threads`]) while producing
+//!   bit-identical trees at every thread count.
 //!
 //! Each engine breaks weight ties deterministically — dense Prim prefers the
 //! lexicographically smaller `(target, source)` pair, the Borůvka engine a
@@ -41,7 +45,8 @@
 use crate::graph::{Edge, Graph};
 use crate::union_find::UnionFind;
 use antennae_geometry::angular::{circular_gaps, sort_ccw};
-use antennae_geometry::{KdTree, Point};
+use antennae_geometry::{KdIndex, Point};
+use antennae_parallel::{chunk_ranges, default_threads, parallel_map};
 use serde::{Deserialize, Serialize};
 
 /// Maximum vertex degree the orientation algorithms assume (`Δ(T) ≤ 5`).
@@ -164,13 +169,35 @@ impl EuclideanMst {
         Self::build_with_engine(points, MstEngine::Auto)
     }
 
-    /// Builds the Euclidean MST of `points` with an explicitly chosen engine.
+    /// Builds the Euclidean MST of `points` with an explicitly chosen engine,
+    /// using [`antennae_parallel::default_threads`] worker threads for the
+    /// kd-tree engine's build pipeline.
     ///
     /// `MstEngine::DensePrim` runs in O(n²) time and O(n) additional memory;
     /// `MstEngine::KdTreeBoruvka` in O(n log n)-class time.  Both produce a
     /// genuine MST (identical `total_weight` and `lmax`; the trees themselves
     /// may differ on tied edge weights).
     pub fn build_with_engine(points: &[Point], engine: MstEngine) -> Result<Self, EmstError> {
+        Self::build_with_engine_threads(points, engine, default_threads())
+    }
+
+    /// [`EuclideanMst::build_with_engine`] with an explicit worker-thread
+    /// count for the kd-tree engine (index construction and the per-round
+    /// Borůvka scans fan out; dense Prim and the degree-repair pass are
+    /// serial at every thread count).
+    ///
+    /// The result is **bit-identical** for every `threads` value: the
+    /// parallel kd-tree build produces the same logical tree as the serial
+    /// one, kd queries are layout-independent pure functions of the point
+    /// set, and each Borůvka round's per-component minimum under the
+    /// tie-broken total order does not depend on how the scan is chunked.
+    /// The `parallel_build_oracle` integration suite in `antennae-core`
+    /// pins this equality end-to-end (MST, scheme, digraph, report).
+    pub fn build_with_engine_threads(
+        points: &[Point],
+        engine: MstEngine,
+        threads: usize,
+    ) -> Result<Self, EmstError> {
         if points.is_empty() {
             return Err(EmstError::EmptyPointSet);
         }
@@ -180,7 +207,7 @@ impl EuclideanMst {
         if n > 1 {
             let spanning = match resolved {
                 MstEngine::DensePrim => dense_prim(points),
-                MstEngine::KdTreeBoruvka => kd_boruvka(points),
+                MstEngine::KdTreeBoruvka => kd_boruvka(points, threads),
                 MstEngine::Auto => unreachable!("resolve() returns a concrete engine"),
             };
             for e in spanning {
@@ -412,10 +439,14 @@ fn dense_prim(points: &[Point]) -> Vec<Edge> {
     edges
 }
 
+/// Smallest input for which a Borůvka round's scan is worth fanning out;
+/// below this the thread-scope setup dwarfs the queries themselves.
+const PARALLEL_BORUVKA_MIN: usize = 4096;
+
 /// Kd-tree Borůvka over the implicit complete Euclidean graph.
 ///
 /// Each round relabels every vertex with its component root, asks the kd-tree
-/// for every vertex's nearest *foreign* point ([`KdTree::nearest_foreign`]),
+/// for every vertex's nearest *foreign* point ([`KdIndex::nearest_foreign`]),
 /// keeps the minimal candidate edge per component, and merges.  Candidate
 /// edges are compared by the total order `(weight, min endpoint, max
 /// endpoint)`; because the kd-tree breaks distance ties towards the smaller
@@ -425,10 +456,17 @@ fn dense_prim(points: &[Point]) -> Vec<Edge> {
 /// is a true MST even for duplicate points and exact-tie lattices.
 ///
 /// The component count at least halves per round, so there are O(log n)
-/// rounds of n pruned nearest-neighbour queries each.
-fn kd_boruvka(points: &[Point]) -> Vec<Edge> {
+/// rounds of n pruned nearest-neighbour queries each.  With `threads > 1`
+/// each round's scan is chunked over [`chunk_ranges`] and the per-chunk
+/// winners merged serially; the per-component minimum under the total order
+/// is the same whatever the chunking (see [`scan_run`]), so every thread
+/// count yields the identical edge list, bit for bit.
+fn kd_boruvka(points: &[Point], threads: usize) -> Vec<Edge> {
     let n = points.len();
-    let tree = KdTree::build(points);
+    // The index borrows `points` — the MST build path holds no extra copy of
+    // the point set (the earlier owning `KdTree` doubled point storage,
+    // which at a million sensors is 16 MB of needless resident memory).
+    let tree = KdIndex::build_with_threads(points, threads);
     let mut uf = UnionFind::new(n);
     let mut labels = vec![0usize; n];
     let mut edges = Vec::with_capacity(n - 1);
@@ -440,49 +478,59 @@ fn kd_boruvka(points: &[Point]) -> Vec<Edge> {
     // Vertices grouped by component so that a component's current-best
     // distance can seed (bound) its later members' searches.
     let mut order: Vec<usize> = (0..n).collect();
+    // Round-persistent scratch, allocated once and reset through `touched`
+    // instead of reallocated every round: the minimal outgoing candidate per
+    // component root as (weight, min endpoint, max endpoint), and the roots
+    // written this round.
+    let mut best: Vec<Option<(f64, usize, usize)>> = vec![None; n];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut round: Vec<(f64, usize, usize)> = Vec::new();
 
     while uf.component_count() > 1 {
         for (v, label) in labels.iter_mut().enumerate() {
             *label = uf.find(v);
         }
         order.sort_unstable_by_key(|&v| labels[v]);
-        // Minimal outgoing candidate per component root, as
-        // (weight, min endpoint, max endpoint).
-        let mut best: Vec<Option<(f64, usize, usize)>> = vec![None; n];
-        for &v in &order {
-            let root = labels[v];
-            let candidate = match cache[v] {
-                Some((u, d)) if labels[u] != root => Some((u, d)),
-                _ => {
-                    // Seed the search with the component's current best: a
-                    // farther point cannot win the component anyway.  Points
-                    // at exactly the bound are still found, so the winner is
-                    // the same edge an unbounded search would select.
-                    let bound = best[root].map_or(f64::INFINITY, |(d, _, _)| d);
-                    let found = tree.nearest_foreign_within(&points[v], &labels, root, bound);
-                    // A bounded `Some` is v's true nearest foreigner (the
-                    // bound only hides strictly farther points); `None` just
-                    // means "cannot beat the component best", so nothing
-                    // cacheable was learned.
-                    if found.is_some() {
-                        cache[v] = found;
+        // Scan for every vertex's candidate edge, grouped into per-run
+        // winners.  The parallel path chunks the sorted order; a component
+        // run that straddles a chunk boundary simply produces one winner per
+        // fragment, reconciled in the merge below.
+        let scans: Vec<RunScan> = if threads > 1 && n >= PARALLEL_BORUVKA_MIN {
+            let ranges = chunk_ranges(n, threads);
+            parallel_map(&ranges, threads, |&(start, end)| {
+                scan_run(points, &tree, &labels, &cache, &order[start..end])
+            })
+        } else {
+            vec![scan_run(points, &tree, &labels, &cache, &order)]
+        };
+        for (winners, cache_updates) in scans {
+            // Chunks cover disjoint vertex sets (each v appears once in
+            // `order`), so these writes never conflict.
+            for (v, found) in cache_updates {
+                cache[v] = Some(found);
+            }
+            for (root, candidate) in winners {
+                match &mut best[root] {
+                    Some(b) => {
+                        if edge_order(candidate, *b) == std::cmp::Ordering::Less {
+                            *b = candidate;
+                        }
                     }
-                    found
+                    slot => {
+                        touched.push(root);
+                        *slot = Some(candidate);
+                    }
                 }
-            };
-            let Some((u, d)) = candidate else {
-                continue;
-            };
-            let candidate = (d, v.min(u), v.max(u));
-            let slot = &mut best[root];
-            if slot.is_none_or(|b| edge_order(candidate, b) == std::cmp::Ordering::Less) {
-                *slot = Some(candidate);
             }
         }
-        let mut round: Vec<(f64, usize, usize)> = best.into_iter().flatten().collect();
+        round.clear();
+        for &root in &touched {
+            round.extend(best[root].take()); // take() resets the scratch slot
+        }
+        touched.clear();
         round.sort_by(|&a, &b| edge_order(a, b));
         let before = uf.component_count();
-        for (d, a, b) in round {
+        for &(d, a, b) in &round {
             // Two components may nominate the same edge; the second union is
             // a no-op rather than a duplicate edge.
             if uf.union(a, b) {
@@ -495,6 +543,85 @@ fn kd_boruvka(points: &[Point]) -> Vec<Edge> {
         );
     }
     edges
+}
+
+/// Per-run winners and newly learned nearest-foreigner facts from one scan
+/// over a slice of the component-sorted vertex order: `(root, candidate)`
+/// pairs (one per contiguous same-root run in the slice) and `(v, nearest
+/// foreigner)` cache updates.
+type RunScan = (
+    Vec<(usize, (f64, usize, usize))>,
+    Vec<(usize, (usize, f64))>,
+);
+
+/// Scans one slice of the component-sorted vertex order for candidate edges.
+///
+/// Within a contiguous same-root run the running best distance seeds
+/// (bounds) later members' searches — a farther point cannot win the run
+/// anyway, and points at exactly the bound are still found.  A bounded query
+/// that returns `None` merely means "cannot beat the run's best"; a `Some`
+/// is the vertex's true nearest foreigner (the bound only hides strictly
+/// farther points) and is recorded as a cache update.
+///
+/// **Chunking invariance:** splitting a component's run across chunks only
+/// weakens the seeding bounds (each fragment starts from ∞), which can make
+/// more queries return `Some` — but every `Some` is the exact per-vertex
+/// nearest foreigner, so the per-root minimum of the merged fragment winners
+/// under [`edge_order`] equals the single-scan winner.  Cache contents may
+/// likewise differ across thread counts, but a cache entry is only ever an
+/// exact nearest foreigner and is used only while still foreign, when a
+/// fresh query would return the very same pair.  Hence the merged result —
+/// and therefore the whole MST — is bit-identical for every chunking.
+fn scan_run(
+    points: &[Point],
+    tree: &KdIndex,
+    labels: &[usize],
+    cache: &[Option<(usize, f64)>],
+    order: &[usize],
+) -> RunScan {
+    let mut winners: Vec<(usize, (f64, usize, usize))> = Vec::new();
+    let mut cache_updates: Vec<(usize, (usize, f64))> = Vec::new();
+    // The current contiguous run's root and its best candidate so far.
+    let mut current: Option<(usize, (f64, usize, usize))> = None;
+    for &v in order {
+        let root = labels[v];
+        let bound = match current {
+            Some((r, (d, _, _))) if r == root => d,
+            _ => {
+                // A new run begins: flush the finished one.
+                if let Some(done) = current.take() {
+                    winners.push(done);
+                }
+                f64::INFINITY
+            }
+        };
+        let candidate = match cache[v] {
+            Some((u, d)) if labels[u] != root => Some((u, d)),
+            _ => {
+                let found = tree.nearest_foreign_within(points, &points[v], labels, root, bound);
+                if let Some(f) = found {
+                    cache_updates.push((v, f));
+                }
+                found
+            }
+        };
+        let Some((u, d)) = candidate else {
+            continue;
+        };
+        let candidate = (d, v.min(u), v.max(u));
+        match &mut current {
+            Some((r, b)) if *r == root => {
+                if edge_order(candidate, *b) == std::cmp::Ordering::Less {
+                    *b = candidate;
+                }
+            }
+            _ => current = Some((root, candidate)),
+        }
+    }
+    if let Some(done) = current {
+        winners.push(done);
+    }
+    (winners, cache_updates)
 }
 
 /// The tie-broken total order on candidate edges shared by both engines.
@@ -755,6 +882,25 @@ mod tests {
         for seed in 0..3 {
             let pts = random_points(600, 100 + seed);
             assert_engines_agree(&pts);
+        }
+    }
+
+    #[test]
+    fn kd_engine_is_bit_identical_across_thread_counts() {
+        // Above PARALLEL_BORUVKA_MIN so the chunked scan path actually runs;
+        // the edge lists (not just the weights) must match bit for bit.
+        let pts = random_points(PARALLEL_BORUVKA_MIN + 500, 42);
+        let serial =
+            EuclideanMst::build_with_engine_threads(&pts, MstEngine::KdTreeBoruvka, 1).unwrap();
+        for threads in [2usize, 3, 8] {
+            let parallel =
+                EuclideanMst::build_with_engine_threads(&pts, MstEngine::KdTreeBoruvka, threads)
+                    .unwrap();
+            let key = |e: &Edge| (e.u, e.v, e.weight.to_bits());
+            let serial_edges: Vec<_> = serial.edges().iter().map(key).collect();
+            let parallel_edges: Vec<_> = parallel.edges().iter().map(key).collect();
+            assert_eq!(serial_edges, parallel_edges, "threads={threads}");
+            assert_eq!(serial.lmax().to_bits(), parallel.lmax().to_bits());
         }
     }
 

@@ -22,7 +22,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FACTOR="${BENCH_GATE_FACTOR:-2.0}"
-CURRENT="BENCH_7.json"
+CURRENT="BENCH_8.json"
 
 # Previous trajectory point: the highest-numbered committed BENCH_*.json
 # other than the current output.

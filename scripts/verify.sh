@@ -147,7 +147,7 @@ echo "orientd durable recovery smoke OK"
 
 # Benches are not exercised by the test suite; building them (without
 # running) keeps them from rotting.  `scripts/bench_smoke.sh` runs the
-# headline benches in quick mode and records the numbers in BENCH_7.json;
+# headline benches in quick mode and records the numbers in BENCH_8.json;
 # `scripts/bench_gate.sh` compares that run against the previous committed
 # BENCH_*.json and flags >2x regressions (advisory CI job).
 echo "== benches compile (cargo bench --no-run) =="
