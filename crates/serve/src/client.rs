@@ -6,10 +6,10 @@
 //! touching the call sites.
 
 use crate::protocol::{Response, MAX_LINE_BYTES};
-use crate::service::Service;
+use crate::service::{ConnState, Service};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A blocking line-oriented client over a [`TcpStream`].
 pub struct TcpClient {
@@ -55,15 +55,20 @@ impl TcpClient {
 /// concurrency oracle, the robustness suite and the throughput bench use —
 /// the full parse → execute → serialize path runs, only the socket is
 /// elided.
+/// Like a socket, each `LocalClient` carries its own connection state, so
+/// an `AUTH` on one client authenticates that client alone.  Clones share
+/// the state (they model the same connection).
 #[derive(Clone)]
 pub struct LocalClient {
     service: Arc<Service>,
+    conn: Arc<Mutex<ConnState>>,
 }
 
 impl LocalClient {
     /// A client over an existing service.
     pub fn new(service: Arc<Service>) -> Self {
-        LocalClient { service }
+        let conn = Arc::new(Mutex::new(service.new_conn()));
+        LocalClient { service, conn }
     }
 
     /// The service this client drives.
@@ -73,7 +78,9 @@ impl LocalClient {
 
     /// Sends one request line through the full protocol path.
     pub fn request(&self, line: &str) -> Response {
-        Response::from_line(&self.service.handle_line(line)).unwrap_or_else(Response::Err)
+        let mut conn = self.conn.lock().expect("local conn state poisoned");
+        Response::from_line(&self.service.handle_line_on(line, &mut conn))
+            .unwrap_or_else(Response::Err)
     }
 }
 

@@ -16,9 +16,11 @@
 //! - [`service`] — request execution: the transport-independent
 //!   `handle_line` core both front doors share.
 //! - [`pool`] — a hand-rolled fixed-size worker pool (`Mutex<VecDeque>` +
-//!   `Condvar`); the container has no async runtime.
-//! - [`server`] — the `std::net` TCP front door with capped line framing
-//!   and clean shutdown.
+//!   `Condvar`), optionally bounded for load shedding; the container has no
+//!   async runtime.
+//! - [`server`] — the `std::net` TCP front door with capped line framing,
+//!   clean shutdown, and the [`server::ServerConfig`] robustness knobs
+//!   (read deadlines, bounded queue).
 //! - [`client`] — a blocking socket client plus an in-process
 //!   [`LocalClient`] used by the oracle tests and the throughput bench.
 //!
@@ -29,10 +31,23 @@
 //! EDIT <name> REMOVE <id>               EDIT <name> MOVE <id> <x> <y>
 //! ORIENT <name>      VERIFY <name>      QUERY <name> [id]
 //! STATS [<name>]     DROP <name>        PING        SHUTDOWN
+//! RECOVER <name>     AUTH <token>
 //! ```
 //!
 //! Responses are `OK <payload>` or `ERR <code> <message>`; see
 //! [`protocol::ErrorCode`] for the code vocabulary.
+//!
+//! ## Graceful degradation
+//!
+//! A storage fault (failed WAL append/sync/rollback, poisoned compaction)
+//! flips the affected tenant to **degraded-read-only**: mutations answer
+//! `ERR degraded …` while `QUERY`/`VERIFY` keep serving the last published
+//! snapshot; `RECOVER <name>` re-attempts the I/O and restores full
+//! service.  Overload is shed rather than queued without bound
+//! (`ERR overloaded … retry-after-ms=…`), and with `--auth-token-file` the
+//! only verb an unauthenticated connection can use is `PING`.  The chaos
+//! oracle (`tests/chaos_oracle.rs`) drives injected fault scripts through
+//! this surface and checks no acknowledged edit is ever lost.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -45,7 +60,8 @@ pub mod server;
 pub mod service;
 
 pub use client::{LocalClient, TcpClient};
+pub use pool::{SubmitOutcome, WorkerPool};
 pub use protocol::{parse_request, ErrorCode, ProtocolError, Request, Response};
 pub use registry::{Registry, Snapshot, Tenant};
-pub use server::{Server, ServerHandle};
-pub use service::{RecoveryReport, Service};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use service::{ConnState, RecoveryReport, Service};

@@ -4,6 +4,12 @@
 //! each accepted connection as a queued job on this pool: a bounded thread
 //! count regardless of how many clients connect, with back-pressure by
 //! queueing rather than thread-per-connection explosion.
+//!
+//! The queue itself can be **bounded** ([`WorkerPool::bounded`]): when every
+//! worker is busy and the backlog has hit the cap, [`WorkerPool::try_submit`]
+//! reports [`SubmitOutcome::Rejected`] instead of queueing, which the server
+//! turns into an `overloaded` error — load shedding at the front door rather
+//! than unbounded memory growth and unbounded latency.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
@@ -14,11 +20,24 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 struct Shared {
     queue: Mutex<Queue>,
     available: Condvar,
+    /// Maximum jobs waiting (not counting those running); `None` = unbounded.
+    capacity: Option<usize>,
 }
 
 struct Queue {
     jobs: VecDeque<Job>,
     closed: bool,
+}
+
+/// What [`WorkerPool::try_submit`] did with the job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// The job was queued (or handed straight to an idle worker).
+    Accepted,
+    /// The backlog is at capacity; the job was dropped (shed).
+    Rejected,
+    /// The pool has shut down; the job was dropped.
+    Closed,
 }
 
 /// A fixed pool of worker threads draining a shared FIFO job queue.
@@ -28,14 +47,27 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawns `threads` workers (clamped to at least one).
+    /// Spawns `threads` workers (clamped to at least one) over an unbounded
+    /// queue.
     pub fn new(threads: usize) -> Self {
+        WorkerPool::build(threads, None)
+    }
+
+    /// Spawns `threads` workers over a queue capped at `capacity` waiting
+    /// jobs (clamped to at least one).  Beyond the cap,
+    /// [`WorkerPool::try_submit`] sheds.
+    pub fn bounded(threads: usize, capacity: usize) -> Self {
+        WorkerPool::build(threads, Some(capacity.max(1)))
+    }
+
+    fn build(threads: usize, capacity: Option<usize>) -> Self {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 jobs: VecDeque::new(),
                 closed: false,
             }),
             available: Condvar::new(),
+            capacity,
         });
         let workers = (0..threads.max(1))
             .map(|i| {
@@ -54,17 +86,42 @@ impl WorkerPool {
         self.workers.len()
     }
 
-    /// Enqueues a job.  Returns `false` (dropping the job) if the pool has
-    /// already been shut down.
-    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+    /// The queue's waiting-job cap, if the pool is bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.shared.capacity
+    }
+
+    /// Jobs currently waiting in the queue (excludes jobs being run).
+    pub fn backlog(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .expect("pool queue poisoned")
+            .jobs
+            .len()
+    }
+
+    /// Enqueues a job, shedding it when the backlog is at capacity.
+    pub fn try_submit(&self, job: impl FnOnce() + Send + 'static) -> SubmitOutcome {
         let mut queue = self.shared.queue.lock().expect("pool queue poisoned");
         if queue.closed {
-            return false;
+            return SubmitOutcome::Closed;
+        }
+        if let Some(cap) = self.shared.capacity {
+            if queue.jobs.len() >= cap {
+                return SubmitOutcome::Rejected;
+            }
         }
         queue.jobs.push_back(Box::new(job));
         drop(queue);
         self.shared.available.notify_one();
-        true
+        SubmitOutcome::Accepted
+    }
+
+    /// Enqueues a job.  Returns `false` (dropping the job) if the pool has
+    /// already been shut down *or* the backlog is at capacity.
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) -> bool {
+        self.try_submit(job) == SubmitOutcome::Accepted
     }
 
     /// Closes the queue and joins every worker.  Jobs already queued are
@@ -139,6 +196,37 @@ mod tests {
         let pool = WorkerPool::new(1);
         pool.close();
         assert!(!pool.submit(|| {}));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn bounded_pool_sheds_past_capacity() {
+        use std::sync::mpsc;
+        let pool = WorkerPool::bounded(1, 1);
+        assert_eq!(pool.capacity(), Some(1));
+        // Pin the single worker on a job that blocks until released.
+        let (release, gate) = mpsc::channel::<()>();
+        let (running_tx, running) = mpsc::channel::<()>();
+        assert_eq!(
+            pool.try_submit(move || {
+                running_tx.send(()).unwrap();
+                gate.recv().unwrap();
+            }),
+            SubmitOutcome::Accepted
+        );
+        running.recv().unwrap(); // the worker holds the job, queue is empty
+        assert_eq!(pool.try_submit(|| {}), SubmitOutcome::Accepted); // fills the queue
+        assert_eq!(pool.backlog(), 1);
+        assert_eq!(pool.try_submit(|| {}), SubmitOutcome::Rejected); // shed
+        release.send(()).unwrap();
+        pool.shutdown();
+    }
+
+    #[test]
+    fn closed_pool_reports_closed_not_rejected() {
+        let pool = WorkerPool::bounded(1, 4);
+        pool.close();
+        assert_eq!(pool.try_submit(|| {}), SubmitOutcome::Closed);
         pool.shutdown();
     }
 

@@ -14,6 +14,8 @@
 //! QUERY <name> [<id>]                      snapshot read (never repairs)
 //! STATS [<name>]                           server / per-tenant counters
 //! DROP <name>                              unregister a deployment
+//! RECOVER <name>                           retry I/O, exit degraded mode
+//! AUTH <token>                             authenticate this connection
 //! PING                                     liveness probe
 //! SHUTDOWN                                 ask the server to stop accepting
 //! ```
@@ -71,13 +73,24 @@ pub enum ErrorCode {
     /// The durability layer failed (WAL append, snapshot or tenant
     /// directory I/O); the in-memory state did not change.
     Storage,
+    /// The deployment is in degraded-read-only mode after a durability
+    /// fault: reads keep serving the last published snapshot, mutations
+    /// are rejected until a `RECOVER` succeeds.
+    Degraded,
+    /// The server (bounded worker queue) or the tenant (pending-edit
+    /// quota) is at capacity; the message carries a `retry-after-ms=`
+    /// hint.
+    Overloaded,
+    /// The connection has not presented the configured auth token (or
+    /// presented a wrong one); only `PING` and `AUTH` are allowed.
+    Unauthorized,
     /// An internal invariant failed (reported, never panicked).
     Internal,
 }
 
 impl ErrorCode {
     /// Every code in the vocabulary, for exhaustive wire-grammar checks.
-    pub const ALL: [ErrorCode; 14] = [
+    pub const ALL: [ErrorCode; 17] = [
         ErrorCode::UnknownVerb,
         ErrorCode::BadRequest,
         ErrorCode::BadNumber,
@@ -91,6 +104,9 @@ impl ErrorCode {
         ErrorCode::EmptyDeployment,
         ErrorCode::ShuttingDown,
         ErrorCode::Storage,
+        ErrorCode::Degraded,
+        ErrorCode::Overloaded,
+        ErrorCode::Unauthorized,
         ErrorCode::Internal,
     ];
 
@@ -110,6 +126,9 @@ impl ErrorCode {
             ErrorCode::EmptyDeployment => "empty-deployment",
             ErrorCode::ShuttingDown => "shutting-down",
             ErrorCode::Storage => "storage",
+            ErrorCode::Degraded => "degraded",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::Unauthorized => "unauthorized",
             ErrorCode::Internal => "internal",
         }
     }
@@ -211,6 +230,19 @@ pub enum Request {
     Drop {
         /// Deployment name.
         name: String,
+    },
+    /// `RECOVER <name>` — re-attempt the failed I/O behind a degraded
+    /// deployment and exit degraded mode if it succeeds.  A no-op `OK` on a
+    /// healthy deployment.
+    Recover {
+        /// Deployment name.
+        name: String,
+    },
+    /// `AUTH <token>` — authenticate this connection.  Always `OK` when the
+    /// server has no token configured.
+    Auth {
+        /// The presented token.
+        token: String,
     },
     /// `PING` — liveness probe.
     Ping,
@@ -404,6 +436,23 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             expect_end(&mut tokens, "DROP")?;
             Ok(Request::Drop { name })
         }
+        "RECOVER" => {
+            let name = parse_name(next_token(&mut tokens, "RECOVER", "deployment name")?)?;
+            expect_end(&mut tokens, "RECOVER")?;
+            Ok(Request::Recover { name })
+        }
+        "AUTH" => {
+            let token = next_token(&mut tokens, "AUTH", "token")?;
+            if token.len() > MAX_NAME_BYTES {
+                return Err(err(
+                    ErrorCode::TooLarge,
+                    format!("token exceeds {MAX_NAME_BYTES} bytes"),
+                ));
+            }
+            let token = token.to_string();
+            expect_end(&mut tokens, "AUTH")?;
+            Ok(Request::Auth { token })
+        }
         "PING" => {
             expect_end(&mut tokens, "PING")?;
             Ok(Request::Ping)
@@ -482,6 +531,9 @@ impl Response {
                 "empty-deployment" => ErrorCode::EmptyDeployment,
                 "shutting-down" => ErrorCode::ShuttingDown,
                 "storage" => ErrorCode::Storage,
+                "degraded" => ErrorCode::Degraded,
+                "overloaded" => ErrorCode::Overloaded,
+                "unauthorized" => ErrorCode::Unauthorized,
                 "internal" => ErrorCode::Internal,
                 other => {
                     return Err(ProtocolError::new(

@@ -22,6 +22,16 @@
 //! append to the queue; the next `ORIENT`/`VERIFY` drains the queue through
 //! [`DynamicSolverSession::apply_coalesced`], paying one incremental repair
 //! for the whole burst.
+//!
+//! Degraded mode (graceful degradation under storage faults): when a WAL
+//! append, rollback, sync, or compaction leaves the durability layer
+//! poisoned, the tenant flips to **degraded-read-only** — mutations fail
+//! fast with [`ErrorCode::Degraded`] while `QUERY`/`VERIFY` keep serving
+//! the last published snapshot.  Because the failing record was
+//! un-acknowledged by the WAL's poison discipline and mutations are
+//! rejected from then on, memory never diverges from the acknowledged
+//! history; [`Tenant::recover`] therefore only has to repair storage
+//! ([`TenantWal::try_recover`]) before returning the tenant to service.
 
 use crate::protocol::{EditOp, ErrorCode, ProtocolError};
 use antennae_core::algorithms::AlgorithmKind;
@@ -32,7 +42,7 @@ use antennae_core::verify::VerificationReport;
 use antennae_geometry::Point;
 use antennae_store::TenantWal;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
@@ -46,6 +56,14 @@ pub(crate) fn process_ms() -> u64 {
 /// Maps a durability-layer I/O failure onto the protocol error grammar.
 pub(crate) fn storage_error(what: &str, e: &std::io::Error) -> ProtocolError {
     ProtocolError::new(ErrorCode::Storage, format!("{what}: {e}"))
+}
+
+/// The error every mutation gets while its tenant is degraded-read-only.
+fn degraded_error(reason: &str) -> ProtocolError {
+    ProtocolError::new(
+        ErrorCode::Degraded,
+        format!("deployment is degraded to read-only ({reason}); RECOVER to retry"),
+    )
 }
 
 /// Maps a solver error onto the protocol error grammar.
@@ -92,6 +110,8 @@ pub struct TenantStats {
     /// When the last compaction happened, as `process_ms() + 1` (0 = never;
     /// the `+1` keeps a compaction at process start distinguishable).
     pub last_snapshot_ms: AtomicU64,
+    /// Edits rejected by the per-tenant pending-edit quota.
+    pub quota_rejections: AtomicU64,
 }
 
 /// An immutable view of a tenant's last repaired state.  `QUERY` is served
@@ -193,6 +213,9 @@ struct TenantState {
     /// under the same mutex as the session so the log's content always
     /// equals the acknowledged edit history.
     wal: Option<TenantWal>,
+    /// `Some(reason)` while the tenant is degraded to read-only after a
+    /// storage fault.  Cleared only by [`Tenant::recover`].
+    degraded: Option<String>,
 }
 
 /// One named deployment: a solver session, its edit buffer, the lock-free
@@ -203,6 +226,9 @@ pub struct Tenant {
     snapshot: RwLock<Arc<Snapshot>>,
     /// Buffered-edit count, readable without the state mutex.
     pending_count: AtomicUsize,
+    /// Mirror of `TenantState::degraded`'s presence, readable without the
+    /// state mutex (lock-free `STATS` and fast-path checks).
+    degraded_flag: AtomicBool,
     /// Whether the tenant writes a WAL (fixed at construction).
     durable: bool,
     /// Per-tenant counters.
@@ -243,9 +269,11 @@ impl Tenant {
                 projection,
                 revision: 0,
                 wal,
+                degraded: None,
             }),
             snapshot: RwLock::new(snapshot),
             pending_count: AtomicUsize::new(0),
+            degraded_flag: AtomicBool::new(false),
             stats: TenantStats::default(),
         };
         if let Some(wal) = tenant
@@ -290,13 +318,71 @@ impl Tenant {
     }
 
     /// Flush + fsync the tenant's WAL, regardless of sync policy (clean
-    /// shutdown).  A no-op for ephemeral tenants.
+    /// shutdown).  A no-op for ephemeral tenants.  A sync failure degrades
+    /// the tenant: some acknowledged records may not be durable yet, and the
+    /// writer stays poisoned until recovery.
     pub fn sync_wal(&self) -> std::io::Result<()> {
         let mut state = self.state.lock().expect("tenant state lock poisoned");
-        match state.wal.as_mut() {
+        let result = match state.wal.as_mut() {
             Some(wal) => wal.sync(),
             None => Ok(()),
+        };
+        if let Err(e) = &result {
+            let _ = self.degrade(&mut state, format!("wal sync failed: {e}"));
         }
+        result
+    }
+
+    /// Puts the tenant into degraded-read-only mode and returns the
+    /// structured error mutations should surface.  The reason sticks until
+    /// [`Tenant::recover`] succeeds.
+    fn degrade(&self, state: &mut TenantState, reason: String) -> ProtocolError {
+        let err = ProtocolError::new(
+            ErrorCode::Degraded,
+            format!("deployment degraded to read-only ({reason}); RECOVER to retry"),
+        );
+        state.degraded = Some(reason);
+        self.degraded_flag.store(true, Ordering::Release);
+        err
+    }
+
+    /// Returns `true` while the tenant is degraded to read-only (lock-free).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_flag.load(Ordering::Acquire)
+    }
+
+    /// The reason the tenant is degraded, when it is.
+    pub fn degraded_reason(&self) -> Option<String> {
+        self.state
+            .lock()
+            .expect("tenant state lock poisoned")
+            .degraded
+            .clone()
+    }
+
+    /// Re-attempts the failed I/O behind a degraded tenant and, on success,
+    /// returns it to full service.  Memory never diverged from the
+    /// acknowledged history — the failing record was un-acknowledged by the
+    /// WAL's poison discipline and every later mutation was rejected — so
+    /// recovery is purely a storage-side repair
+    /// ([`TenantWal::try_recover`]).  Idempotent: recovering a healthy
+    /// tenant just re-syncs its log.
+    pub fn recover(&self) -> Result<(), ProtocolError> {
+        let mut state = self.state.lock().expect("tenant state lock poisoned");
+        let recover_err = match state.wal.as_mut() {
+            Some(wal) => wal.try_recover().err(),
+            None => None,
+        };
+        if let Some(e) = recover_err {
+            let reason = format!("recovery failed: {e}");
+            return Err(self.degrade(&mut state, reason));
+        }
+        state.degraded = None;
+        self.degraded_flag.store(false, Ordering::Release);
+        if let Some(wal) = state.wal.as_ref() {
+            self.mirror_wal_stats(wal);
+        }
+        Ok(())
     }
 
     /// Buffered edits not yet drained by a repair (lock-free read).
@@ -327,9 +413,12 @@ impl Tenant {
     /// Ordering matters: validation must not mutate, and the WAL append
     /// happens *before* the in-memory buffer mutation — an edit is
     /// acknowledged only once the log holds it, and a storage failure
-    /// leaves no trace in memory.
+    /// leaves no trace in memory (it degrades the tenant instead).
     pub fn buffer_edit(&self, op: EditOp) -> Result<(Option<SensorId>, usize), ProtocolError> {
         let mut state = self.state.lock().expect("tenant state lock poisoned");
+        if let Some(reason) = state.degraded.as_deref() {
+            return Err(degraded_error(reason));
+        }
         let (edit, inserted) = match op {
             EditOp::Insert(x, y) => {
                 let id = state.projection.alive.len();
@@ -344,9 +433,15 @@ impl Tenant {
                 (Edit::Move(id, Point::new(x, y)), None)
             }
         };
-        if let Some(wal) = state.wal.as_mut() {
-            wal.append_edit(&edit)
-                .map_err(|e| storage_error("wal append", &e))?;
+        let append_err = match state.wal.as_mut() {
+            Some(wal) => wal.append_edit(&edit).err(),
+            None => None,
+        };
+        if let Some(e) = append_err {
+            // The WAL's poison discipline already un-acknowledged the
+            // record; nothing was buffered, so memory and log agree on the
+            // acknowledged history.  Degrade instead of retrying.
+            return Err(self.degrade(&mut state, format!("wal append failed: {e}")));
         }
         match edit {
             Edit::Insert(_) => state.projection.alive.push(true),
@@ -369,6 +464,9 @@ impl Tenant {
     /// published state is current".
     pub fn flush(&self) -> Result<FlushOutcome, ProtocolError> {
         let mut state = self.state.lock().expect("tenant state lock poisoned");
+        if let Some(reason) = state.degraded.as_deref() {
+            return Err(degraded_error(reason));
+        }
         let edits = std::mem::take(&mut state.pending);
         self.pending_count.store(0, Ordering::Release);
         let applied = state.session.apply_coalesced(&edits);
@@ -388,12 +486,18 @@ impl Tenant {
             Err(e) => {
                 // The batch was rejected atomically — the log must forget
                 // it too, or recovery would replay edits the live session
-                // never applied.
-                if let Some(wal) = state.wal.as_mut() {
-                    if let Err(io) = wal.rollback() {
-                        return Err(storage_error("wal rollback", &io));
-                    }
-                    self.mirror_wal_stats(state.wal.as_ref().expect("wal checked above"));
+                // never applied.  A failed rollback leaves the log holding
+                // rejected records the session refused: that divergence is
+                // exactly what degraded mode exists for.
+                let rollback_err = match state.wal.as_mut() {
+                    Some(wal) => wal.rollback().err(),
+                    None => None,
+                };
+                if let Some(io) = rollback_err {
+                    return Err(self.degrade(&mut state, format!("wal rollback failed: {io}")));
+                }
+                if let Some(wal) = state.wal.as_ref() {
+                    self.mirror_wal_stats(wal);
                 }
                 return Err(map_orient_error(&e));
             }
@@ -412,6 +516,20 @@ impl Tenant {
             let wal = state.wal.as_mut().expect("compaction check held a wal");
             if wal.compact(budget.k, budget.phi, next_id, live).is_err() {
                 self.stats.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // A compaction failure is non-fatal while the log stays healthy (the
+        // WAL alone still recovers), but if it poisoned the writer or the
+        // epoch bookkeeping the tenant must stop acknowledging mutations.
+        // The repair itself succeeded and its edits are committed, so this
+        // flush still publishes and returns `Ok`.
+        let poison = state
+            .wal
+            .as_ref()
+            .and_then(|w| w.poisoned().map(String::from));
+        if let Some(reason) = poison {
+            if state.degraded.is_none() {
+                let _ = self.degrade(&mut state, reason);
             }
         }
         if let Some(wal) = state.wal.as_ref() {

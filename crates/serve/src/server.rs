@@ -8,21 +8,59 @@
 //! buffers an unbounded line.  `SHUTDOWN` flips the service flag; the accept
 //! loop notices via a self-connection (no async reactor to interrupt a
 //! blocking `accept`), drains queued connections and joins the pool.
+//!
+//! Overload and abuse defence ([`ServerConfig`]):
+//!
+//! * **Load shedding** — with `max_queue` set the worker pool's backlog is
+//!   bounded; a connection arriving past the cap is answered
+//!   `ERR overloaded … retry-after-ms=…` and closed instead of queueing
+//!   without bound (counted in `shed_requests`).
+//! * **Read deadlines** — with `read_timeout` set a connection that dribbles
+//!   bytes without completing a line (slow loris) or sits idle past the
+//!   deadline is evicted (counted in `timed_out_connections`), so a handful
+//!   of hostile sockets cannot pin every worker.
 
-use crate::pool::WorkerPool;
-use crate::protocol::{ErrorCode, ProtocolError, MAX_LINE_BYTES};
+use crate::pool::{SubmitOutcome, WorkerPool};
+use crate::protocol::{ErrorCode, ProtocolError, Response, MAX_LINE_BYTES};
 use crate::service::Service;
 use antennae_core::parallel::default_threads;
 use std::io::{BufWriter, ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex, Weak};
+use std::time::Duration;
+
+/// The retry hint the shed path puts on the wire, milliseconds.
+const RETRY_AFTER_MS: u64 = 100;
+
+/// Robustness knobs for the TCP front door.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker thread count (clamped to at least one by the pool).
+    pub threads: usize,
+    /// Per-connection read deadline.  `None` (the default) waits forever.
+    pub read_timeout: Option<Duration>,
+    /// Waiting-connection cap on the pool queue.  `None` (the default) is
+    /// unbounded.
+    pub max_queue: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            threads: default_threads(),
+            read_timeout: None,
+            max_queue: None,
+        }
+    }
+}
 
 /// A running `orientd` server bound to a local address.
 pub struct Server {
     service: Arc<Service>,
     listener: TcpListener,
     addr: SocketAddr,
-    threads: usize,
+    config: ServerConfig,
 }
 
 impl Server {
@@ -33,15 +71,32 @@ impl Server {
     }
 
     /// Binds to `addr` serving an existing [`Service`] with an explicit
-    /// worker count.
+    /// worker count (no deadlines, unbounded queue).
     pub fn bind_with(addr: &str, service: Arc<Service>, threads: usize) -> std::io::Result<Self> {
+        Server::bind_with_config(
+            addr,
+            service,
+            ServerConfig {
+                threads,
+                ..ServerConfig::default()
+            },
+        )
+    }
+
+    /// Binds to `addr` serving an existing [`Service`] with explicit
+    /// robustness knobs.
+    pub fn bind_with_config(
+        addr: &str,
+        service: Arc<Service>,
+        config: ServerConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         Ok(Server {
             service,
             listener,
             addr,
-            threads,
+            config,
         })
     }
 
@@ -59,7 +114,10 @@ impl Server {
     /// surviving connections, drains the pool and returns.  Blocks the
     /// calling thread.
     pub fn run(self) -> std::io::Result<()> {
-        let pool = WorkerPool::new(self.threads);
+        let pool = match self.config.max_queue {
+            Some(cap) => WorkerPool::bounded(self.config.threads, cap),
+            None => WorkerPool::new(self.config.threads),
+        };
         // Weak handles to every live connection so shutdown can unblock
         // workers parked in a read; pruned of dead entries on each accept.
         let connections: Mutex<Vec<Weak<TcpStream>>> = Mutex::new(Vec::new());
@@ -78,6 +136,9 @@ impl Server {
                     break;
                 }
             };
+            // The deadline applies from the first byte: a slow loris can't
+            // hold a worker (or a queue slot's eventual worker) forever.
+            let _ = stream.set_read_timeout(self.config.read_timeout);
             {
                 let mut connections = connections.lock().expect("connection registry poisoned");
                 connections.retain(|weak| weak.strong_count() > 0);
@@ -85,7 +146,8 @@ impl Server {
             }
             let service = Arc::clone(&self.service);
             let addr = self.addr;
-            pool.submit(move || {
+            let shed_stream = Arc::clone(&stream);
+            let outcome = pool.try_submit(move || {
                 serve_connection(&service, &stream);
                 // If this connection carried the SHUTDOWN (or closed during
                 // a drain), poke the listener so the blocking `accept`
@@ -94,6 +156,23 @@ impl Server {
                     let _ = TcpStream::connect(addr);
                 }
             });
+            if outcome == SubmitOutcome::Rejected {
+                // Shed at the front door: one error line, then close.  The
+                // write is best-effort — a client that already gave up just
+                // sees the reset.
+                self.service
+                    .stats()
+                    .shed_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                let err = ProtocolError::new(
+                    ErrorCode::Overloaded,
+                    format!("connection queue is full; retry-after-ms={RETRY_AFTER_MS}"),
+                );
+                let mut line = Response::Err(err).to_line();
+                line.push('\n');
+                let _ = (&*shed_stream).write_all(line.as_bytes());
+                let _ = shed_stream.shutdown(Shutdown::Both);
+            }
             if self.service.shutdown_requested() {
                 break;
             }
@@ -189,6 +268,7 @@ impl Drop for ServerHandle {
 fn serve_connection(service: &Service, stream: &TcpStream) {
     let mut writer = BufWriter::with_capacity(64 * 1024, stream);
     let mut lines = LineReader::new(stream);
+    let mut conn = service.new_conn();
     'conn: loop {
         // Block for the first line of the next burst.
         let mut next = match lines.next_line() {
@@ -203,10 +283,20 @@ fn serve_connection(service: &Service, stream: &TcpStream) {
                 let _ = writer.write_all(b"\n");
                 break 'conn;
             }
+            Err(LineError::TimedOut) => {
+                // Deadline eviction: close without a response — the write
+                // side may be equally wedged, and the count is what the
+                // operator watches.
+                service
+                    .stats()
+                    .timed_out_connections
+                    .fetch_add(1, Ordering::Relaxed);
+                return;
+            }
             Err(LineError::Io) => return,
         };
         while let Some(line) = next {
-            let response = service.handle_line(&line);
+            let response = service.handle_line_on(&line, &mut conn);
             if writer
                 .write_all(response.as_bytes())
                 .and_then(|()| writer.write_all(b"\n"))
@@ -231,6 +321,7 @@ fn serve_connection(service: &Service, stream: &TcpStream) {
 
 enum LineError {
     TooLong,
+    TimedOut,
     Io,
 }
 
@@ -298,6 +389,11 @@ impl<R: Read> LineReader<R> {
                 }
                 Ok(n) => self.end = n,
                 Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                // With a read deadline set, both flavours the platform may
+                // report mean the same thing: the peer dribbled too slowly.
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Err(LineError::TimedOut)
+                }
                 Err(_) => return Err(LineError::Io),
             }
         }

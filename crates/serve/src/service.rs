@@ -27,6 +27,37 @@ pub struct ServiceStats {
     pub edits_buffered: AtomicU64,
     /// Coalesced repairs run across all tenants.
     pub batches: AtomicU64,
+    /// Connections refused at the worker-pool queue cap (`overloaded`).
+    pub shed_requests: AtomicU64,
+    /// Connections evicted by the read/write deadline (slow-loris defence).
+    pub timed_out_connections: AtomicU64,
+}
+
+/// Per-connection protocol state.  The TCP server keeps one per socket,
+/// [`crate::client::LocalClient`] keeps one per client; the ctx-free
+/// [`Service::handle_line`] fabricates a fresh one per line (authenticated
+/// only when no token is configured).
+#[derive(Debug, Clone)]
+pub struct ConnState {
+    authenticated: bool,
+}
+
+impl ConnState {
+    /// Whether the connection may issue verbs beyond `PING`/`AUTH`.
+    pub fn authenticated(&self) -> bool {
+        self.authenticated
+    }
+}
+
+/// Length-gated constant-time token comparison (no early exit on the first
+/// differing byte, so response timing does not leak a prefix match).
+fn token_matches(expected: &str, got: &str) -> bool {
+    expected.len() == got.len()
+        && expected
+            .bytes()
+            .zip(got.bytes())
+            .fold(0u8, |acc, (a, b)| acc | (a ^ b))
+            == 0
 }
 
 /// What [`Service::open_durable`] found on disk at boot.
@@ -53,6 +84,12 @@ pub struct Service {
     store: Option<Store>,
     /// Tenants rebuilt from disk at boot.
     recovered: AtomicU64,
+    /// When set, connections must `AUTH <token>` before any verb other than
+    /// `PING` (configured before the service is shared).
+    auth_token: Option<String>,
+    /// When set, caps each tenant's buffered-edit queue: `EDIT` beyond the
+    /// cap is rejected with `overloaded` until a repair drains the buffer.
+    tenant_quota: Option<usize>,
 }
 
 impl Service {
@@ -101,6 +138,34 @@ impl Service {
         Ok((service, report))
     }
 
+    /// Requires `AUTH <token>` on every connection before any verb other
+    /// than `PING`.  `None` (the default) disables authentication.  Set
+    /// before the service is shared across threads.
+    pub fn set_auth_token(&mut self, token: Option<String>) {
+        self.auth_token = token;
+    }
+
+    /// Caps each tenant's buffered-edit queue: once `pending` reaches the
+    /// quota, further `EDIT`s are rejected with `overloaded` (and a
+    /// retry-after hint) until `ORIENT`/`VERIFY` drains the buffer.  `None`
+    /// (the default) disables the quota.
+    pub fn set_tenant_quota(&mut self, quota: Option<usize>) {
+        self.tenant_quota = quota;
+    }
+
+    /// The configured per-tenant pending-edit quota, if any.
+    pub fn tenant_quota(&self) -> Option<usize> {
+        self.tenant_quota
+    }
+
+    /// A fresh per-connection state: already authenticated when no token is
+    /// configured, otherwise gated until a successful `AUTH`.
+    pub fn new_conn(&self) -> ConnState {
+        ConnState {
+            authenticated: self.auth_token.is_none(),
+        }
+    }
+
     /// The durability layer, when the service runs durable.
     pub fn store(&self) -> Option<&Store> {
         self.store.as_ref()
@@ -129,11 +194,21 @@ impl Service {
 
     /// Handles one request line end to end, returning the response line
     /// (without the trailing newline).  Never panics: malformed input maps
-    /// to `ERR` lines (pinned by `tests/protocol_robustness.rs`).
+    /// to `ERR` lines (pinned by `tests/protocol_robustness.rs`).  Each call
+    /// gets a fresh [`ConnState`], so with a token configured this entry
+    /// point can only `PING` — hosts with real connections use
+    /// [`Service::handle_line_on`].
     pub fn handle_line(&self, line: &str) -> String {
+        let mut conn = self.new_conn();
+        self.handle_line_on(line, &mut conn)
+    }
+
+    /// Handles one request line against a connection's state (see
+    /// [`Service::handle_line`] for the response contract).
+    pub fn handle_line_on(&self, line: &str, conn: &mut ConnState) -> String {
         self.stats.requests.fetch_add(1, Ordering::Relaxed);
         let response = match parse_request(line) {
-            Ok(request) => self.execute(request),
+            Ok(request) => self.execute_on(request, conn),
             Err(e) => Response::Err(e),
         };
         if !response.is_ok() {
@@ -142,8 +217,24 @@ impl Service {
         response.to_line()
     }
 
-    /// Executes one parsed request.
+    /// Executes one parsed request against a fresh connection state (tests
+    /// and in-process hosts that don't track authentication).
     pub fn execute(&self, request: Request) -> Response {
+        let mut conn = self.new_conn();
+        self.execute_on(request, &mut conn)
+    }
+
+    /// Executes one parsed request against a connection's state.
+    pub fn execute_on(&self, request: Request, conn: &mut ConnState) -> Response {
+        // Authentication gates everything except liveness checks and the
+        // AUTH verb itself — an unauthenticated connection learns nothing
+        // about the deployment set.
+        if !conn.authenticated && !matches!(request, Request::Ping | Request::Auth { .. }) {
+            return Response::err(
+                ErrorCode::Unauthorized,
+                "authenticate with AUTH <token> first",
+            );
+        }
         if self.shutdown_requested() && !matches!(request, Request::Ping | Request::Stats { .. }) {
             return Response::err(ErrorCode::ShuttingDown, "server is shutting down");
         }
@@ -160,13 +251,21 @@ impl Service {
             Request::Query { name, id } => self.query(&name, id),
             Request::Stats { name } => self.stats_response(name.as_deref()),
             Request::Drop { name } => self.drop_deployment(&name),
+            Request::Recover { name } => self.recover(&name),
+            Request::Auth { token } => self.auth(&token, conn),
             Request::Ping => Response::ok("pong"),
             Request::Shutdown => {
                 self.shutdown.store(true, Ordering::Release);
                 // Clean shutdown promises durability regardless of the sync
                 // policy: fsync every tenant's log before acknowledging.
                 // Failures downgrade the promise, so they are surfaced.
+                // Degraded tenants are skipped — their log can't be synced
+                // until RECOVER, and the poison discipline already capped
+                // what the log acknowledges.
                 for tenant in self.registry.tenants() {
+                    if tenant.is_degraded() {
+                        continue;
+                    }
                     if let Err(e) = tenant.sync_wal() {
                         return Response::Err(storage_error(
                             &format!("wal sync for {:?} at shutdown", tenant.name()),
@@ -278,16 +377,60 @@ impl Service {
         }
     }
 
+    fn auth(&self, token: &str, conn: &mut ConnState) -> Response {
+        match self.auth_token.as_deref() {
+            None => {
+                conn.authenticated = true;
+                Response::ok("auth ok no-token-configured")
+            }
+            Some(expected) if token_matches(expected, token) => {
+                conn.authenticated = true;
+                Response::ok("auth ok")
+            }
+            Some(_) => Response::err(ErrorCode::Unauthorized, "bad token"),
+        }
+    }
+
+    fn recover(&self, name: &str) -> Response {
+        self.with_tenant(name, |tenant| match tenant.recover() {
+            Ok(()) => Response::ok(format!(
+                "recover {name} degraded=false pending={}",
+                tenant.pending()
+            )),
+            Err(e) => Response::Err(e),
+        })
+    }
+
     fn edit(&self, name: &str, op: EditOp) -> Response {
-        self.with_tenant(name, |tenant| match tenant.buffer_edit(op) {
-            Ok((inserted, pending)) => {
-                self.stats.edits_buffered.fetch_add(1, Ordering::Relaxed);
-                match inserted {
-                    Some(id) => Response::ok(format!("edit {name} id={id} pending={pending}")),
-                    None => Response::ok(format!("edit {name} pending={pending}")),
+        self.with_tenant(name, |tenant| {
+            // The quota is a soft bound read without the tenant mutex: a
+            // racing burst can land a few edits past it, but the buffer
+            // stays O(quota) and the rejection is cheap (no lock, no I/O).
+            if let Some(quota) = self.tenant_quota {
+                if tenant.pending() >= quota {
+                    tenant
+                        .stats
+                        .quota_rejections
+                        .fetch_add(1, Ordering::Relaxed);
+                    return Response::err(
+                        ErrorCode::Overloaded,
+                        format!(
+                            "pending-edit quota reached ({quota} buffered); \
+                             drain with ORIENT retry-after-ms=100"
+                        ),
+                    );
                 }
             }
-            Err(e) => Response::Err(e),
+            match tenant.buffer_edit(op) {
+                Ok((inserted, pending)) => {
+                    self.stats.edits_buffered.fetch_add(1, Ordering::Relaxed);
+                    match inserted {
+                        Some(id) => Response::ok(format!("edit {name} id={id} pending={pending}")),
+                        None => Response::ok(format!("edit {name} pending={pending}")),
+                    }
+                }
+                Err(e) => Response::Err(e),
+            }
         })
     }
 
@@ -316,15 +459,18 @@ impl Service {
     }
 
     fn verify(&self, name: &str) -> Response {
-        self.with_tenant(name, |tenant| match tenant.flush() {
-            Ok(flushed) => {
-                self.stats.batches.fetch_add(1, Ordering::Relaxed);
-                let r = &flushed.outcome.report;
-                Response::ok(format!(
+        self.with_tenant(name, |tenant| {
+            // A degraded tenant keeps serving reads: report the last
+            // published snapshot (stale but self-consistent) instead of
+            // flushing, and say so on the wire.
+            if tenant.is_degraded() {
+                let snap = tenant.snapshot();
+                let r = &snap.report;
+                return Response::ok(format!(
                     "verify {name} n={} valid={} strongly_connected={} scc={} edges={} \
                      max_radius={:.6} radius_over_lmax={:.6} spread={:.6} antennas={} \
-                     violations={} revision={}",
-                    flushed.n,
+                     violations={} revision={} degraded=true stale=true",
+                    snap.n,
                     r.is_valid(),
                     r.is_strongly_connected,
                     r.scc_count,
@@ -334,10 +480,32 @@ impl Service {
                     r.max_spread_sum,
                     r.max_antenna_count,
                     r.violations.len(),
-                    flushed.revision,
-                ))
+                    snap.revision,
+                ));
             }
-            Err(e) => Response::Err(e),
+            match tenant.flush() {
+                Ok(flushed) => {
+                    self.stats.batches.fetch_add(1, Ordering::Relaxed);
+                    let r = &flushed.outcome.report;
+                    Response::ok(format!(
+                        "verify {name} n={} valid={} strongly_connected={} scc={} edges={} \
+                     max_radius={:.6} radius_over_lmax={:.6} spread={:.6} antennas={} \
+                     violations={} revision={}",
+                        flushed.n,
+                        r.is_valid(),
+                        r.is_strongly_connected,
+                        r.scc_count,
+                        r.edge_count,
+                        r.max_radius,
+                        r.max_radius_over_lmax,
+                        r.max_spread_sum,
+                        r.max_antenna_count,
+                        r.violations.len(),
+                        flushed.revision,
+                    ))
+                }
+                Err(e) => Response::Err(e),
+            }
         })
     }
 
@@ -378,18 +546,30 @@ impl Service {
 
     fn stats_response(&self, name: Option<&str>) -> Response {
         match name {
-            None => Response::ok(format!(
-                "stats deployments={} created={} dropped={} recovered={} requests={} \
-                 errors={} edits_buffered={} batches={}",
-                self.registry.len(),
-                self.registry.created.load(Ordering::Relaxed),
-                self.registry.dropped.load(Ordering::Relaxed),
-                self.recovered.load(Ordering::Relaxed),
-                self.stats.requests.load(Ordering::Relaxed),
-                self.stats.errors.load(Ordering::Relaxed),
-                self.stats.edits_buffered.load(Ordering::Relaxed),
-                self.stats.batches.load(Ordering::Relaxed),
-            )),
+            None => {
+                let degraded_tenants = self
+                    .registry
+                    .tenants()
+                    .iter()
+                    .filter(|t| t.is_degraded())
+                    .count();
+                Response::ok(format!(
+                    "stats deployments={} created={} dropped={} recovered={} requests={} \
+                     errors={} edits_buffered={} batches={} shed_requests={} \
+                     timed_out_connections={} degraded_tenants={}",
+                    self.registry.len(),
+                    self.registry.created.load(Ordering::Relaxed),
+                    self.registry.dropped.load(Ordering::Relaxed),
+                    self.recovered.load(Ordering::Relaxed),
+                    self.stats.requests.load(Ordering::Relaxed),
+                    self.stats.errors.load(Ordering::Relaxed),
+                    self.stats.edits_buffered.load(Ordering::Relaxed),
+                    self.stats.batches.load(Ordering::Relaxed),
+                    self.stats.shed_requests.load(Ordering::Relaxed),
+                    self.stats.timed_out_connections.load(Ordering::Relaxed),
+                    degraded_tenants,
+                ))
+            }
             Some(name) => self.with_tenant(name, |tenant| {
                 let s = &tenant.stats;
                 let snap = tenant.snapshot();
@@ -401,7 +581,8 @@ impl Service {
                     "stats {name} n={} pending={} revision={} edits_buffered={} \
                      edits_applied={} batches={} max_batch={} rows_recomputed={} \
                      mst_changed={} queries={} errors={} durable={} wal_records={} \
-                     wal_bytes={} snapshots={} last_snapshot_age_ms={}",
+                     wal_bytes={} snapshots={} last_snapshot_age_ms={} \
+                     quota_rejections={} degraded={}",
                     snap.n,
                     tenant.pending(),
                     snap.revision,
@@ -418,6 +599,8 @@ impl Service {
                     s.wal_bytes.load(Ordering::Relaxed),
                     s.snapshots.load(Ordering::Relaxed),
                     last_snapshot,
+                    s.quota_rejections.load(Ordering::Relaxed),
+                    tenant.is_degraded(),
                 ))
             }),
         }

@@ -69,6 +69,9 @@ fn stats_field_lists_are_pinned() {
             "errors",
             "edits_buffered",
             "batches",
+            "shed_requests",
+            "timed_out_connections",
+            "degraded_tenants",
         ],
         "global STATS fields drifted: {global:?}"
     );
@@ -93,6 +96,8 @@ fn stats_field_lists_are_pinned() {
             "wal_bytes",
             "snapshots",
             "last_snapshot_age_ms",
+            "quota_rejections",
+            "degraded",
         ],
         "per-tenant STATS fields drifted: {tenant:?}"
     );
@@ -102,6 +107,8 @@ fn stats_field_lists_are_pinned() {
     assert_eq!(payload_field(payload, "durable"), Some("false"));
     assert_eq!(payload_field(payload, "wal_records"), Some("0"));
     assert_eq!(payload_field(payload, "last_snapshot_age_ms"), Some("none"));
+    assert_eq!(payload_field(payload, "quota_rejections"), Some("0"));
+    assert_eq!(payload_field(payload, "degraded"), Some("false"));
 }
 
 #[test]

@@ -8,9 +8,10 @@
 //! in-process client call.
 
 use antennae_core::bounds::theorem2_spread_threshold;
-use antennae_serve::protocol::{ErrorCode, MAX_CREATE_POINTS, MAX_NAME_BYTES};
-use antennae_serve::Service;
+use antennae_serve::protocol::{payload_field, ErrorCode, MAX_CREATE_POINTS, MAX_NAME_BYTES};
+use antennae_serve::{LocalClient, Service};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// A response line is structured iff it is `OK`/`OK <payload>` or
 /// `ERR <code> <message>` with a known code, and newline-free.
@@ -114,6 +115,21 @@ fn hostile_lines_get_structured_errors() {
     expect_err(&service, "CREATE b 0 1.0", ErrorCode::BadBudget);
     expect_err(&service, "CREATE b 6 1.0", ErrorCode::BadBudget);
 
+    // RECOVER and AUTH arity/name/size trouble.
+    expect_err(&service, "RECOVER", ErrorCode::BadRequest);
+    expect_err(&service, "RECOVER base extra", ErrorCode::BadRequest);
+    expect_err(&service, "RECOVER ghost", ErrorCode::UnknownDeployment);
+    expect_err(&service, "RECOVER bad/name", ErrorCode::BadName);
+    expect_err(&service, "AUTH", ErrorCode::BadRequest);
+    expect_err(&service, "AUTH two tokens", ErrorCode::BadRequest);
+    let long_token = "t".repeat(MAX_NAME_BYTES + 1);
+    expect_err(&service, &format!("AUTH {long_token}"), ErrorCode::TooLarge);
+    // RECOVER on a healthy tenant is an idempotent no-op.
+    assert_eq!(
+        service.handle_line("RECOVER base"),
+        "OK recover base degraded=false pending=0"
+    );
+
     // Oversized CREATE payload: one point past the cap.
     let mut big = format!("CREATE big 2 {phi2}");
     for i in 0..=MAX_CREATE_POINTS {
@@ -134,6 +150,90 @@ fn error_codes_round_trip_and_cover_the_wire_grammar() {
         let s = code.as_str();
         assert!(!s.is_empty() && s.bytes().all(|b| b.is_ascii_lowercase() || b == b'-'));
     }
+    // The wire vocabulary is pinned: adding a code extends this list (and
+    // deployed clients must treat unknown codes as opaque errors); renaming
+    // or removing one breaks them.
+    let on_the_wire: Vec<&str> = ErrorCode::ALL.iter().map(|c| c.as_str()).collect();
+    assert_eq!(
+        on_the_wire,
+        [
+            "unknown-verb",
+            "bad-request",
+            "bad-number",
+            "bad-coordinate",
+            "too-large",
+            "bad-name",
+            "duplicate-deployment",
+            "unknown-deployment",
+            "unknown-sensor",
+            "bad-budget",
+            "empty-deployment",
+            "shutting-down",
+            "storage",
+            "degraded",
+            "overloaded",
+            "unauthorized",
+            "internal",
+        ]
+    );
+}
+
+#[test]
+fn auth_gates_every_verb_but_ping() {
+    let mut svc = Service::new();
+    svc.set_auth_token(Some("sesame".to_string()));
+    let service = Arc::new(svc);
+
+    // The ctx-free entry point fabricates an unauthenticated connection per
+    // line: with a token configured it can only PING.
+    assert_eq!(service.handle_line("PING"), "OK pong");
+    expect_err(&service, "STATS", ErrorCode::Unauthorized);
+    expect_err(&service, "CREATE a 2 3.8 0 0 1 0", ErrorCode::Unauthorized);
+    // Unauthenticated probes learn nothing about the deployment set: the
+    // answer is the same for names that exist and names that don't.
+    expect_err(&service, "QUERY ghost", ErrorCode::Unauthorized);
+
+    // A connection-holding client authenticates once, then works.
+    let client = LocalClient::new(Arc::clone(&service));
+    let denied = client.request("AUTH wrong-token");
+    assert!(denied.to_line().starts_with("ERR unauthorized"));
+    let denied = client.request("STATS");
+    assert!(denied.to_line().starts_with("ERR unauthorized"));
+    assert_eq!(client.request("AUTH sesame").to_line(), "OK auth ok");
+    assert!(client.request("STATS").to_line().starts_with("OK stats"));
+
+    // Authentication is per connection, not per service.
+    let stranger = LocalClient::new(Arc::clone(&service));
+    assert!(stranger
+        .request("STATS")
+        .to_line()
+        .starts_with("ERR unauthorized"));
+}
+
+#[test]
+fn quota_rejections_answer_overloaded_with_a_retry_hint() {
+    let mut svc = Service::new();
+    svc.set_tenant_quota(Some(2));
+    let service = Arc::new(svc);
+    let phi = theorem2_spread_threshold(2);
+    assert!(service
+        .handle_line(&format!("CREATE q 2 {phi} 0 0 1 0 0 1"))
+        .starts_with("OK created"));
+
+    assert!(service.handle_line("EDIT q INSERT 2 2").starts_with("OK"));
+    assert!(service.handle_line("EDIT q INSERT 3 3").starts_with("OK"));
+    let shed = service.handle_line("EDIT q INSERT 4 4");
+    assert!(shed.starts_with("ERR overloaded"), "{shed}");
+    assert!(shed.contains("retry-after-ms="), "{shed}");
+
+    let stats = service.handle_line("STATS q");
+    let payload = stats.strip_prefix("OK ").unwrap();
+    assert_eq!(payload_field(payload, "quota_rejections"), Some("1"));
+    assert_eq!(payload_field(payload, "pending"), Some("2"));
+
+    // Draining the buffer restores write service.
+    assert!(service.handle_line("ORIENT q").starts_with("OK orient"));
+    assert!(service.handle_line("EDIT q INSERT 4 4").starts_with("OK"));
 }
 
 proptest! {

@@ -33,6 +33,15 @@
 //!   per-tenant create/drop, and [`Store::recover`](store::Store::recover),
 //!   which replays every tenant through **one** coalesced repair
 //!   ([`DynamicSolverSession::replay`](antennae_core::dynamic::DynamicSolverSession::replay)).
+//! - [`vfs`] — the filesystem seam every write goes through: [`RealVfs`]
+//!   in production, [`FaultVfs`] for deterministic fault injection
+//!   (disk-full, fsync failure, short writes, slow I/O) in the chaos
+//!   suite.  An injected write/sync failure **poisons** the affected
+//!   writer ([`WalWriter::poisoned`](wal::WalWriter::poisoned)) — the
+//!   failing record is un-acknowledged and mutations fail fast until
+//!   [`TenantWal::try_recover`](store::TenantWal::try_recover) clears the
+//!   fault — which the serve layer surfaces as a degraded-read-only
+//!   tenant.
 //!
 //! The correctness bar is the same bit-equality the serve crate's
 //! concurrency oracle uses: a recovered tenant's `lmax`, MST weight, scheme,
@@ -46,9 +55,11 @@
 pub mod crc;
 pub mod snapshot;
 pub mod store;
+pub mod vfs;
 pub mod wal;
 
 pub use crc::crc32;
 pub use snapshot::SnapshotState;
 pub use store::{RecoveredTenant, Recovery, SkippedTenant, Store, StoreConfig, TenantWal};
+pub use vfs::{FaultKind, FaultScript, FaultSpec, FaultVfs, OpClass, RealVfs, Vfs, VfsFile};
 pub use wal::{read_wal, SyncPolicy, WalReadOutcome, WalRecord, WalTail, WalWriter};

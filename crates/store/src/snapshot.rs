@@ -26,9 +26,8 @@
 //! are already baked into the snapshot and must be ignored.
 
 use crate::crc::crc32;
+use crate::vfs::{RealVfs, Vfs};
 use antennae_geometry::Point;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"ASNP";
@@ -130,8 +129,16 @@ impl SnapshotState {
     }
 
     /// Atomically (tmp + fsync + rename + directory fsync) replaces
-    /// `<dir>/snapshot.bin` with this state.
+    /// `<dir>/snapshot.bin` with this state, on the real filesystem.
     pub fn write_atomic(&self, dir: &Path) -> std::io::Result<()> {
+        self.write_atomic_with(&RealVfs, dir)
+    }
+
+    /// [`SnapshotState::write_atomic`] through a [`Vfs`].  A failure at any
+    /// step leaves the previous `snapshot.bin` (if any) intact — the rename
+    /// is the commit point — so an injected fault here can cost at most the
+    /// compaction, never the tenant.
+    pub fn write_atomic_with(&self, vfs: &dyn Vfs, dir: &Path) -> std::io::Result<()> {
         let payload = self.encode_payload();
         let mut bytes = Vec::with_capacity(16 + payload.len());
         bytes.extend_from_slice(MAGIC);
@@ -143,17 +150,13 @@ impl SnapshotState {
         let tmp = dir.join("snapshot.tmp");
         let fin = dir.join("snapshot.bin");
         {
-            let mut file = OpenOptions::new()
-                .write(true)
-                .create(true)
-                .truncate(true)
-                .open(&tmp)?;
+            let mut file = vfs.create_truncate(&tmp)?;
             file.write_all(&bytes)?;
             file.sync_all()?;
         }
-        std::fs::rename(&tmp, &fin)?;
+        vfs.rename(&tmp, &fin)?;
         // Make the rename itself durable.
-        File::open(dir)?.sync_all()
+        vfs.sync_dir(dir)
     }
 }
 

@@ -24,11 +24,13 @@
 //! `CREATE`) are reported as [`SkippedTenant`]s instead of failing the boot.
 
 use crate::snapshot::{read_snapshot, SnapshotReadOutcome, SnapshotState};
+use crate::vfs::{RealVfs, Vfs};
 use crate::wal::{read_wal, SyncPolicy, WalRecord, WalTail, WalWriter};
 use antennae_core::dynamic::{DynamicSolverSession, Edit, SensorId};
 use antennae_core::AntennaBudget;
 use antennae_geometry::Point;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Tuning for a [`Store`]: how hard the WAL syncs and when it compacts.
@@ -73,14 +75,82 @@ pub struct TenantWal {
     epoch: u64,
     writer: WalWriter,
     config: StoreConfig,
+    vfs: Arc<dyn Vfs>,
     snapshots: u64,
     last_snapshot: Option<Instant>,
+    /// `Some(reason)` after a compaction failed past its sync barrier: the
+    /// in-memory epoch and the on-disk epoch may disagree, and only
+    /// [`TenantWal::try_recover`]'s reconciliation may mutate again.
+    compact_poison: Option<String>,
 }
 
 impl TenantWal {
     /// Appends one edit record under the configured sync policy.
     pub fn append_edit(&mut self, edit: &Edit) -> std::io::Result<()> {
+        self.check_compact_poison()?;
         self.writer.append(&WalRecord::Edit(*edit))
+    }
+
+    fn check_compact_poison(&self) -> std::io::Result<()> {
+        match &self.compact_poison {
+            Some(reason) => Err(std::io::Error::other(format!("wal poisoned: {reason}"))),
+            None => Ok(()),
+        }
+    }
+
+    /// The poison reason if a previous I/O failure poisoned this handle —
+    /// either the writer itself (failed append/sync) or an incomplete
+    /// compaction.  The serve layer mirrors this as the tenant's degraded
+    /// state.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.compact_poison.as_deref().or(self.writer.poisoned())
+    }
+
+    /// Attempts to clear a poisoned handle.  For a poisoned writer this is
+    /// the truncate/flush/sync cycle of [`WalWriter::try_recover`]; for an
+    /// incomplete compaction it reconciles with the disk: if the new
+    /// snapshot was published, roll the compaction **forward** (durable-sync
+    /// the publish, switch to the new epoch's log, drop the superseded one);
+    /// otherwise roll it **back** (sweep the leftovers, stay on the current
+    /// epoch).  A no-op on a healthy handle; safe to retry on failure.
+    pub fn try_recover(&mut self) -> std::io::Result<()> {
+        self.writer.try_recover()?;
+        if self.compact_poison.is_none() {
+            return Ok(());
+        }
+        let published = matches!(
+            read_snapshot(&self.dir.join("snapshot.bin"))?,
+            SnapshotReadOutcome::Valid(s) if s.epoch == self.epoch + 1
+        );
+        if published {
+            // The rename happened; make it durable before trusting it, then
+            // adopt the new epoch.  The new log holds nothing (the tenant
+            // was read-only from the moment the compaction failed), but
+            // open it salvaging anyway — a torn create costs nothing here.
+            self.vfs.sync_dir(&self.dir)?;
+            let next_path = wal_path(&self.dir, self.epoch + 1);
+            let salvage = read_wal(&next_path)?;
+            let writer = WalWriter::open_salvaged_with(
+                &*self.vfs,
+                &next_path,
+                self.config.sync,
+                salvage.salvaged_bytes,
+                salvage.records.len() as u64,
+            )?;
+            let old_path = wal_path(&self.dir, self.epoch);
+            self.writer = writer;
+            self.epoch += 1;
+            self.snapshots += 1;
+            self.last_snapshot = Some(Instant::now());
+            let _ = std::fs::remove_file(old_path);
+        } else {
+            // The old (snapshot, log) pair is still authoritative; sweep
+            // what the failed attempt left behind.
+            let _ = std::fs::remove_file(self.dir.join("snapshot.tmp"));
+            let _ = std::fs::remove_file(wal_path(&self.dir, self.epoch + 1));
+        }
+        self.compact_poison = None;
+        Ok(())
     }
 
     /// Marks every appended record as applied (call after a successful
@@ -145,8 +215,12 @@ impl TenantWal {
         next_id: usize,
         live: Vec<(usize, Point)>,
     ) -> std::io::Result<()> {
+        self.check_compact_poison()?;
         // Barrier: if the snapshot write crashes midway, recovery falls
         // back to the current log — it must hold every committed record.
+        // A failure here poisons the *writer*; any later failure poisons
+        // the *compaction* (the disk may or may not have published the new
+        // epoch — only try_recover's reconciliation can tell).
         self.writer.sync()?;
         let state = SnapshotState {
             epoch: self.epoch + 1,
@@ -155,14 +229,24 @@ impl TenantWal {
             next_id,
             live,
         };
-        state.write_atomic(&self.dir)?;
+        if let Err(e) = self.publish_compaction(&state) {
+            self.compact_poison = Some(format!("compaction failed: {e}"));
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// The non-idempotent half of a compaction: publish the snapshot,
+    /// switch to the next epoch's log, delete the superseded one last.
+    fn publish_compaction(&mut self, state: &SnapshotState) -> std::io::Result<()> {
+        state.write_atomic_with(&*self.vfs, &self.dir)?;
         let next_path = wal_path(&self.dir, self.epoch + 1);
         // A crashed previous compaction could have left an empty next-epoch
         // log that recovery did not sweep (it only sweeps what it can see);
         // the snapshot supersedes it either way.
         let _ = std::fs::remove_file(&next_path);
         let old_path = wal_path(&self.dir, self.epoch);
-        self.writer = WalWriter::create(&next_path, self.config.sync)?;
+        self.writer = WalWriter::create_with(&*self.vfs, &next_path, self.config.sync)?;
         self.epoch += 1;
         self.snapshots += 1;
         self.last_snapshot = Some(Instant::now());
@@ -213,14 +297,26 @@ pub struct Recovery {
 pub struct Store {
     root: PathBuf,
     config: StoreConfig,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl Store {
-    /// Opens (creating if needed) a data directory.
+    /// Opens (creating if needed) a data directory on the real filesystem.
     pub fn open(root: impl Into<PathBuf>, config: StoreConfig) -> std::io::Result<Store> {
+        Self::open_with_vfs(root, config, Arc::new(RealVfs))
+    }
+
+    /// Opens a data directory whose **write path** goes through `vfs` —
+    /// the chaos suite's entry point (see [`crate::vfs::FaultVfs`]).
+    /// Recovery-time reads stay on the real filesystem.
+    pub fn open_with_vfs(
+        root: impl Into<PathBuf>,
+        config: StoreConfig,
+        vfs: Arc<dyn Vfs>,
+    ) -> std::io::Result<Store> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        Ok(Store { root, config })
+        Ok(Store { root, config, vfs })
     }
 
     /// The data directory.
@@ -251,7 +347,7 @@ impl Store {
     ) -> std::io::Result<TenantWal> {
         let dir = self.tenant_dir(name);
         std::fs::create_dir(&dir)?;
-        let mut writer = WalWriter::create(&wal_path(&dir, 0), self.config.sync)?;
+        let mut writer = WalWriter::create_with(&*self.vfs, &wal_path(&dir, 0), self.config.sync)?;
         writer.append(&WalRecord::Create {
             k,
             phi,
@@ -264,8 +360,10 @@ impl Store {
             epoch: 0,
             writer,
             config: self.config,
+            vfs: Arc::clone(&self.vfs),
             snapshots: 0,
             last_snapshot: None,
+            compact_poison: None,
         })
     }
 
@@ -399,7 +497,8 @@ impl Store {
         }
 
         // 7. Reopen the log for appending, cutting any torn/corrupt tail.
-        let writer = WalWriter::open_salvaged(
+        let writer = WalWriter::open_salvaged_with(
+            &*self.vfs,
             &log_path,
             self.config.sync,
             outcome.salvaged_bytes,
@@ -413,8 +512,10 @@ impl Store {
                 epoch,
                 writer,
                 config: self.config,
+                vfs: Arc::clone(&self.vfs),
                 snapshots: 0,
                 last_snapshot: None,
+                compact_poison: None,
             },
             wal_tail: outcome.tail,
             lost_bytes: outcome.file_bytes - outcome.salvaged_bytes,

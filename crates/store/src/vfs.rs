@@ -1,0 +1,533 @@
+//! The virtual filesystem seam: every byte the store writes goes through a
+//! [`Vfs`], so tests can inject disk faults *deterministically* instead of
+//! hoping a full disk shows up in CI.
+//!
+//! Two implementations ship:
+//!
+//! * [`RealVfs`] — a zero-state passthrough to `std::fs`.  The production
+//!   path; the indirection costs one vtable dispatch per *I/O call* (not per
+//!   record — the WAL's userspace buffer already amortizes appends), which
+//!   the `store/wal_append` bench pins at noise level.
+//! * [`FaultVfs`] — wraps the real filesystem but consults a [`FaultScript`]
+//!   before every operation.  A script is a finite list of one-shot
+//!   [`FaultSpec`]s addressed by *operation class and index* ("the 3rd
+//!   write fails with disk-full", "the 1st fsync fails"), either written
+//!   explicitly or generated from a seed.  Once the script is exhausted the
+//!   filesystem behaves normally again — which is exactly the window the
+//!   `RECOVER` verb needs to prove graceful degradation is reversible.
+//!
+//! Only the **write side** is virtualized (create/append/truncate/rename/
+//! remove/dir-sync).  Recovery-time reads go straight through `std::fs`:
+//! read-path corruption is the CRC framing's job and is already covered by
+//! the salvaging reader's own tests.
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A writable file handle dispensed by a [`Vfs`].  The subset of `File` the
+/// store actually uses — keeping the trait this small is what makes the
+/// fault matrix exhaustively testable.
+pub trait VfsFile: Send + Debug {
+    /// Writes the whole buffer (the `Write::write_all` contract).
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+    /// `fdatasync`: flushes file *content* to stable storage.
+    fn sync_data(&mut self) -> io::Result<()>;
+    /// `fsync`: flushes content and metadata to stable storage.
+    fn sync_all(&mut self) -> io::Result<()>;
+    /// Truncates (or extends) the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+}
+
+/// The filesystem operations behind the WAL and snapshot writers.
+///
+/// Contract: a path handed out by `create_append`/`open_append` stays valid
+/// for the life of the handle; `rename` + `sync_dir` is the atomic-publish
+/// idiom (write tmp, `sync_all`, rename over the target, sync the parent
+/// directory so the rename itself is durable).
+pub trait Vfs: Send + Sync + Debug {
+    /// Opens a fresh append-only file, failing if it already exists.
+    fn create_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens (creating when absent) an append-only file.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Opens a write handle that truncates any existing content.
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+    /// Atomically renames `from` over `to`.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Syncs a directory so a preceding rename/create/remove is durable.
+    fn sync_dir(&self, dir: &Path) -> io::Result<()>;
+}
+
+/// The production [`Vfs`]: a stateless passthrough to `std::fs`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealVfs;
+
+#[derive(Debug)]
+struct RealFile(File);
+
+impl VfsFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        self.0.write_all(buf)
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+}
+
+impl Vfs for RealVfs {
+    fn create_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new()
+            .append(true)
+            .create_new(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new().append(true).create(true).open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        File::open(dir)?.sync_all()
+    }
+}
+
+/// Which operation stream a [`FaultSpec`] indexes into.  Writes and syncs
+/// are counted separately so a script can say "the 2nd fsync" without
+/// knowing how many buffered writes preceded it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// `write_all` calls.
+    Write,
+    /// `sync_data`/`sync_all` calls.
+    Sync,
+    /// Everything else: `set_len`, `rename`, `remove_file`, `sync_dir`,
+    /// and file opens.
+    Meta,
+}
+
+/// What happens when a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The operation fails with an `ENOSPC`-flavoured error before touching
+    /// the file: nothing is written.
+    DiskFull,
+    /// A write lands only a prefix (half, rounded down) before failing —
+    /// the classic torn tail.  On non-write operations this behaves like
+    /// [`FaultKind::DiskFull`].
+    ShortWrite,
+    /// The operation fails with an `EIO`-flavoured error.  On a sync this
+    /// models the "fsync reported failure, page-cache state unknown" case
+    /// the degraded state machine exists for.
+    SyncFailure,
+    /// The operation succeeds after sleeping this many milliseconds —
+    /// latency injection, no data damage.
+    SlowIo(u64),
+}
+
+/// One scheduled fault: fires exactly once, when the `class` counter
+/// reaches `at` (0-based), then is consumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Which operation stream to count.
+    pub class: OpClass,
+    /// 0-based index into that stream.
+    pub at: u64,
+    /// What to do when it fires.
+    pub kind: FaultKind,
+}
+
+/// A finite, deterministic schedule of faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultScript {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultScript {
+    /// A script from explicit specs.  Later specs at the same `(class, at)`
+    /// address are ignored (first wins).
+    pub fn new(specs: Vec<FaultSpec>) -> Self {
+        FaultScript { specs }
+    }
+
+    /// Generates `events` faults pseudo-randomly over the first `horizon`
+    /// operations of each class.  Same seed, same script — this is what the
+    /// chaos oracle's pinned seed set indexes.
+    pub fn seeded(seed: u64, events: usize, horizon: u64) -> Self {
+        let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+        let mut next = move || {
+            // xorshift64*: cheap, deterministic, good enough to scatter
+            // faults; this is a schedule generator, not a statistics engine.
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        };
+        let mut specs = Vec::with_capacity(events);
+        for _ in 0..events {
+            let class = match next() % 3 {
+                0 => OpClass::Write,
+                1 => OpClass::Sync,
+                _ => OpClass::Meta,
+            };
+            let at = next() % horizon.max(1);
+            let kind = match next() % 4 {
+                0 => FaultKind::DiskFull,
+                1 => FaultKind::ShortWrite,
+                2 => FaultKind::SyncFailure,
+                _ => FaultKind::SlowIo(1 + next() % 3),
+            };
+            specs.push(FaultSpec { class, at, kind });
+        }
+        FaultScript { specs }
+    }
+
+    /// The scheduled specs, in insertion order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+}
+
+#[derive(Debug, Default)]
+struct FaultState {
+    /// `(class, index)` → fault, consumed on fire.
+    pending: Mutex<HashMap<(OpClass, u64), FaultKind>>,
+    writes: AtomicU64,
+    syncs: AtomicU64,
+    metas: AtomicU64,
+    fired: AtomicU64,
+}
+
+impl FaultState {
+    /// Advances the `class` counter and returns the fault scheduled for
+    /// this index, if any (consuming it).
+    fn check(&self, class: OpClass) -> Option<FaultKind> {
+        let counter = match class {
+            OpClass::Write => &self.writes,
+            OpClass::Sync => &self.syncs,
+            OpClass::Meta => &self.metas,
+        };
+        let index = counter.fetch_add(1, Ordering::SeqCst);
+        let fault = self.pending.lock().unwrap().remove(&(class, index));
+        if fault.is_some() {
+            self.fired.fetch_add(1, Ordering::SeqCst);
+        }
+        fault
+    }
+}
+
+fn injected(kind: &str) -> io::Error {
+    // ErrorKind::Other keeps the injection portable; the message carries the
+    // diagnosis and surfaces verbatim in the `degraded` error payload.
+    io::Error::other(format!("injected fault: {kind}"))
+}
+
+/// A [`Vfs`] that performs real I/O but fires a [`FaultScript`] — the
+/// chaos oracle's instrument.  Clones share the script and counters, so a
+/// [`FaultVfs`] can be handed to a `Store` while the test keeps a handle
+/// for assertions.
+#[derive(Debug, Clone, Default)]
+pub struct FaultVfs {
+    state: Arc<FaultState>,
+}
+
+impl FaultVfs {
+    /// A fault-injecting VFS primed with `script`.
+    pub fn new(script: FaultScript) -> Self {
+        let mut pending = HashMap::new();
+        for spec in script.specs {
+            pending.entry((spec.class, spec.at)).or_insert(spec.kind);
+        }
+        FaultVfs {
+            state: Arc::new(FaultState {
+                pending: Mutex::new(pending),
+                ..FaultState::default()
+            }),
+        }
+    }
+
+    /// How many faults have fired so far.
+    pub fn faults_fired(&self) -> u64 {
+        self.state.fired.load(Ordering::SeqCst)
+    }
+
+    /// How many scheduled faults have not fired yet.
+    pub fn faults_pending(&self) -> usize {
+        self.state.pending.lock().unwrap().len()
+    }
+
+    /// Operation counts seen so far, as `(writes, syncs, metas)`.
+    pub fn op_counts(&self) -> (u64, u64, u64) {
+        (
+            self.state.writes.load(Ordering::SeqCst),
+            self.state.syncs.load(Ordering::SeqCst),
+            self.state.metas.load(Ordering::SeqCst),
+        )
+    }
+
+    /// Runs `op` unless a fault is scheduled at the current `class` index.
+    /// `SlowIo` sleeps and proceeds; everything else fails the operation.
+    fn guard<T>(&self, class: OpClass, op: impl FnOnce() -> io::Result<T>) -> io::Result<T> {
+        match self.state.check(class) {
+            None => op(),
+            Some(FaultKind::SlowIo(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                op()
+            }
+            Some(FaultKind::DiskFull) => Err(injected("disk-full (ENOSPC)")),
+            Some(FaultKind::ShortWrite) => Err(injected("short write")),
+            Some(FaultKind::SyncFailure) => Err(injected("fsync failure (EIO)")),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FaultFile {
+    inner: File,
+    state: Arc<FaultState>,
+}
+
+impl VfsFile for FaultFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        match self.state.check(OpClass::Write) {
+            None => self.inner.write_all(buf),
+            Some(FaultKind::SlowIo(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                self.inner.write_all(buf)
+            }
+            Some(FaultKind::DiskFull) => Err(injected("disk-full (ENOSPC)")),
+            Some(FaultKind::ShortWrite) => {
+                // Land a prefix, then fail: the torn tail the salvaging
+                // reader must cut on the next recovery.
+                self.inner.write_all(&buf[..buf.len() / 2])?;
+                Err(injected("short write"))
+            }
+            Some(FaultKind::SyncFailure) => Err(injected("fsync failure (EIO)")),
+        }
+    }
+
+    fn sync_data(&mut self) -> io::Result<()> {
+        match self.state.check(OpClass::Sync) {
+            None => self.inner.sync_data(),
+            Some(FaultKind::SlowIo(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                self.inner.sync_data()
+            }
+            Some(_) => Err(injected("fsync failure (EIO)")),
+        }
+    }
+
+    fn sync_all(&mut self) -> io::Result<()> {
+        match self.state.check(OpClass::Sync) {
+            None => self.inner.sync_all(),
+            Some(FaultKind::SlowIo(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                self.inner.sync_all()
+            }
+            Some(_) => Err(injected("fsync failure (EIO)")),
+        }
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        match self.state.check(OpClass::Meta) {
+            None => self.inner.set_len(len),
+            Some(FaultKind::SlowIo(ms)) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                self.inner.set_len(len)
+            }
+            Some(_) => Err(injected("truncate failure (EIO)")),
+        }
+    }
+}
+
+impl Vfs for FaultVfs {
+    fn create_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.guard(OpClass::Meta, || {
+            let file = OpenOptions::new()
+                .append(true)
+                .create_new(true)
+                .open(path)?;
+            Ok(Box::new(FaultFile {
+                inner: file,
+                state: Arc::clone(&self.state),
+            }) as Box<dyn VfsFile>)
+        })
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.guard(OpClass::Meta, || {
+            let file = OpenOptions::new().append(true).create(true).open(path)?;
+            Ok(Box::new(FaultFile {
+                inner: file,
+                state: Arc::clone(&self.state),
+            }) as Box<dyn VfsFile>)
+        })
+    }
+
+    fn create_truncate(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        self.guard(OpClass::Meta, || {
+            let file = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)?;
+            Ok(Box::new(FaultFile {
+                inner: file,
+                state: Arc::clone(&self.state),
+            }) as Box<dyn VfsFile>)
+        })
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.guard(OpClass::Meta, || std::fs::rename(from, to))
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.guard(OpClass::Meta, || std::fs::remove_file(path))
+    }
+
+    fn sync_dir(&self, dir: &Path) -> io::Result<()> {
+        self.guard(OpClass::Sync, || File::open(dir)?.sync_all())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("antennae-vfs-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn real_vfs_round_trips() {
+        let dir = tmp("real");
+        let path = dir.join("a.log");
+        let vfs = RealVfs;
+        let mut f = vfs.create_append(&path).unwrap();
+        f.write_all(b"hello").unwrap();
+        f.sync_data().unwrap();
+        drop(f);
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello");
+        vfs.rename(&path, &dir.join("b.log")).unwrap();
+        vfs.sync_dir(&dir).unwrap();
+        assert_eq!(std::fs::read(dir.join("b.log")).unwrap(), b"hello");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fault_fires_once_at_its_index_then_clears() {
+        let dir = tmp("once");
+        let vfs = FaultVfs::new(FaultScript::new(vec![FaultSpec {
+            class: OpClass::Write,
+            at: 1,
+            kind: FaultKind::DiskFull,
+        }]));
+        let mut f = vfs.create_append(&dir.join("a.log")).unwrap();
+        f.write_all(b"one").unwrap(); // write #0: clean
+        let err = f.write_all(b"two").unwrap_err(); // write #1: injected
+        assert!(err.to_string().contains("disk-full"), "{err}");
+        f.write_all(b"three").unwrap(); // write #2: script exhausted
+        assert_eq!(vfs.faults_fired(), 1);
+        assert_eq!(vfs.faults_pending(), 0);
+        assert_eq!(std::fs::read(dir.join("a.log")).unwrap(), b"onethree");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_write_lands_half_the_buffer() {
+        let dir = tmp("short");
+        let vfs = FaultVfs::new(FaultScript::new(vec![FaultSpec {
+            class: OpClass::Write,
+            at: 0,
+            kind: FaultKind::ShortWrite,
+        }]));
+        let mut f = vfs.create_append(&dir.join("a.log")).unwrap();
+        let err = f.write_all(b"12345678").unwrap_err();
+        assert!(err.to_string().contains("short write"), "{err}");
+        assert_eq!(std::fs::read(dir.join("a.log")).unwrap(), b"1234");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sync_faults_hit_the_sync_stream_not_writes() {
+        let dir = tmp("sync-stream");
+        let vfs = FaultVfs::new(FaultScript::new(vec![FaultSpec {
+            class: OpClass::Sync,
+            at: 0,
+            kind: FaultKind::SyncFailure,
+        }]));
+        let mut f = vfs.create_append(&dir.join("a.log")).unwrap();
+        f.write_all(b"data").unwrap(); // writes unaffected
+        let err = f.sync_data().unwrap_err();
+        assert!(err.to_string().contains("fsync failure"), "{err}");
+        f.sync_data().unwrap(); // one-shot
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seeded_scripts_are_deterministic() {
+        let a = FaultScript::seeded(42, 8, 100);
+        let b = FaultScript::seeded(42, 8, 100);
+        assert_eq!(a.specs(), b.specs());
+        assert_eq!(a.specs().len(), 8);
+        let c = FaultScript::seeded(43, 8, 100);
+        assert_ne!(a.specs(), c.specs(), "different seed, different script");
+        for spec in a.specs() {
+            assert!(spec.at < 100);
+        }
+    }
+
+    #[test]
+    fn slow_io_succeeds() {
+        let dir = tmp("slow");
+        let vfs = FaultVfs::new(FaultScript::new(vec![FaultSpec {
+            class: OpClass::Write,
+            at: 0,
+            kind: FaultKind::SlowIo(1),
+        }]));
+        let mut f = vfs.create_append(&dir.join("a.log")).unwrap();
+        f.write_all(b"slow but fine").unwrap();
+        assert_eq!(vfs.faults_fired(), 1);
+        assert_eq!(std::fs::read(dir.join("a.log")).unwrap(), b"slow but fine");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -25,12 +25,22 @@
 //! the payload), or an undecodable payload — reports how many bytes and
 //! records were salvaged, and never panics.  Recovery truncates the file to
 //! the salvaged prefix before appending again.
+//!
+//! On the write side, every I/O failure — disk full, short write, fsync
+//! error — **poisons** the writer ([`WalWriter::poisoned`]): the failing
+//! record is un-acknowledged (its bytes logically excised), and every
+//! subsequent append/sync/rollback fails fast until
+//! [`WalWriter::try_recover`] truncates the file back to the acknowledged
+//! prefix, re-flushes any acknowledged-but-buffered bytes, and syncs.  The
+//! invariant the poison machinery defends: *the log's acknowledged content
+//! never includes a record whose append reported failure*, uniformly across
+//! sync policies.  All I/O goes through the [`crate::vfs::Vfs`] seam so the
+//! fault matrix is exercised deterministically in tests.
 
 use crate::crc::crc32;
+use crate::vfs::{RealVfs, Vfs, VfsFile};
 use antennae_core::dynamic::Edit;
 use antennae_geometry::Point;
-use std::fs::{File, OpenOptions};
-use std::io::Write;
 use std::path::{Path, PathBuf};
 
 /// Hard cap on one record's payload, in bytes.  A `CREATE` carrying the
@@ -345,28 +355,44 @@ pub fn read_wal(path: &Path) -> std::io::Result<WalReadOutcome> {
 /// coalesced repair, and rolls uncommitted records back when a repair
 /// rejects its batch — keeping the log's content exactly equal to the edits
 /// the live session actually holds.
+///
+/// ## Poisoning
+///
+/// Any I/O failure poisons the writer.  While poisoned, the *logical* state
+/// (`records`, `written`, `buf`) describes exactly the acknowledged
+/// history; the *physical* file may be longer (a record that flushed but
+/// failed its sync, a short write's torn prefix).  [`WalWriter::try_recover`]
+/// reconciles the two: `set_len(written)`, re-flush `buf`, `sync`.  Until
+/// that succeeds, append/sync/rollback fail fast — the serve layer maps
+/// this to the tenant's `degraded-read-only` state.
 #[derive(Debug)]
 pub struct WalWriter {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     policy: SyncPolicy,
     /// Appended but not yet written to the OS.
     buf: Vec<u8>,
-    /// Bytes handed to the OS (== file length, the file is append-only).
+    /// Bytes handed to the OS (== file length when healthy; while poisoned
+    /// the physical file may be longer and recovery truncates to this).
     written: u64,
     since_sync: u32,
     records: u64,
     committed_records: u64,
     committed_bytes: u64,
+    /// `Some(reason)` after an I/O failure, until `try_recover` succeeds.
+    poison: Option<String>,
 }
 
 impl WalWriter {
-    /// Creates a fresh log (fails if the file exists).
+    /// Creates a fresh log on the real filesystem (fails if the file
+    /// exists).
     pub fn create(path: &Path, policy: SyncPolicy) -> std::io::Result<Self> {
-        let file = OpenOptions::new()
-            .append(true)
-            .create_new(true)
-            .open(path)?;
+        Self::create_with(&RealVfs, path, policy)
+    }
+
+    /// Creates a fresh log through `vfs` (fails if the file exists).
+    pub fn create_with(vfs: &dyn Vfs, path: &Path, policy: SyncPolicy) -> std::io::Result<Self> {
+        let file = vfs.create_append(path)?;
         Ok(WalWriter {
             file,
             path: path.to_path_buf(),
@@ -377,7 +403,18 @@ impl WalWriter {
             records: 0,
             committed_records: 0,
             committed_bytes: 0,
+            poison: None,
         })
+    }
+
+    /// [`WalWriter::open_salvaged_with`] on the real filesystem.
+    pub fn open_salvaged(
+        path: &Path,
+        policy: SyncPolicy,
+        valid_bytes: u64,
+        valid_records: u64,
+    ) -> std::io::Result<Self> {
+        Self::open_salvaged_with(&RealVfs, path, policy, valid_bytes, valid_records)
     }
 
     /// Reopens a recovered log for appending: truncates to the salvaged
@@ -385,13 +422,14 @@ impl WalWriter {
     /// with the salvaged record count.  Creates the file when recovery found
     /// none (a compaction that crashed before creating the next epoch's
     /// log).
-    pub fn open_salvaged(
+    pub fn open_salvaged_with(
+        vfs: &dyn Vfs,
         path: &Path,
         policy: SyncPolicy,
         valid_bytes: u64,
         valid_records: u64,
     ) -> std::io::Result<Self> {
-        let file = OpenOptions::new().append(true).create(true).open(path)?;
+        let mut file = vfs.open_append(path)?;
         file.set_len(valid_bytes)?;
         Ok(WalWriter {
             file,
@@ -403,6 +441,7 @@ impl WalWriter {
             records: valid_records,
             committed_records: valid_records,
             committed_bytes: valid_bytes,
+            poison: None,
         })
     }
 
@@ -421,30 +460,72 @@ impl WalWriter {
         self.written + self.buf.len() as u64
     }
 
+    /// The poison reason, if the writer is poisoned.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poison.as_deref()
+    }
+
+    fn check_poison(&self) -> std::io::Result<()> {
+        match &self.poison {
+            Some(reason) => Err(std::io::Error::other(format!("wal poisoned: {reason}"))),
+            None => Ok(()),
+        }
+    }
+
     /// Appends one record and applies the sync policy.
+    ///
+    /// On I/O failure the record is **un-acknowledged** — the writer's
+    /// logical state reverts to exactly the pre-append history — and the
+    /// writer is poisoned until [`WalWriter::try_recover`] succeeds.  The
+    /// caller must surface the error instead of applying the edit: an `OK`
+    /// goes out only for records this method returned `Ok` for.
     pub fn append(&mut self, record: &WalRecord) -> std::io::Result<()> {
+        self.check_poison()?;
+        // The acknowledged history ends here, whatever happens next.
+        let acked_end = self.written + self.buf.len() as u64;
+        let buf_before = self.buf.len();
         record.encode_framed(&mut self.buf);
         self.records += 1;
-        match self.policy {
-            SyncPolicy::Always => {
-                self.flush_os()?;
-                self.file.sync_data()?;
-            }
+        let result = match self.policy {
+            SyncPolicy::Always => self.flush_os_inner().and_then(|_| self.file.sync_data()),
             SyncPolicy::EveryN(n) => {
                 self.since_sync += 1;
                 if self.since_sync >= n {
-                    self.flush_os()?;
-                    self.file.sync_data()?;
-                    self.since_sync = 0;
+                    let r = self.flush_os_inner().and_then(|_| self.file.sync_data());
+                    if r.is_ok() {
+                        self.since_sync = 0;
+                    }
+                    r
                 } else if self.buf.len() > FLUSH_THRESHOLD {
-                    self.flush_os()?;
+                    self.flush_os_inner()
+                } else {
+                    Ok(())
                 }
             }
             SyncPolicy::Never => {
                 if self.buf.len() > FLUSH_THRESHOLD {
-                    self.flush_os()?;
+                    self.flush_os_inner()
+                } else {
+                    Ok(())
                 }
             }
+        };
+        if let Err(e) = result {
+            // Excise the failing record from the logical state.  Two cases:
+            // the flush never cleared the buffer (record bytes still in
+            // `buf` — cut them), or the flush succeeded and the sync failed
+            // (record bytes in the OS past `acked_end` — recovery's
+            // `set_len` cuts them).  Acknowledged-but-unsynced records from
+            // earlier appends stay: below `acked_end` or still in `buf`.
+            if self.buf.len() > buf_before {
+                self.buf.truncate(buf_before);
+            } else {
+                debug_assert!(self.buf.is_empty(), "flush clears the whole buffer");
+                self.written = acked_end;
+            }
+            self.records -= 1;
+            self.poison = Some(e.to_string());
+            return Err(e);
         }
         Ok(())
     }
@@ -459,6 +540,7 @@ impl WalWriter {
     /// Discards every record appended since the last [`WalWriter::commit`]
     /// — the mirror of the session rejecting a coalesced batch atomically.
     pub fn rollback_to_committed(&mut self) -> std::io::Result<()> {
+        self.check_poison()?;
         if self.committed_bytes >= self.written {
             // The uncommitted tail never left the userspace buffer.
             self.buf
@@ -468,16 +550,26 @@ impl WalWriter {
             // handle is append-mode, so subsequent writes land at the new
             // end without an explicit seek.
             self.buf.clear();
-            self.file.set_len(self.committed_bytes)?;
-            self.written = self.committed_bytes;
+            let target = self.committed_bytes;
+            if let Err(e) = self.file.set_len(target) {
+                // The file still holds records memory is about to discard:
+                // poison with the logical state at the committed watermark,
+                // so recovery's own set_len finishes the cut.
+                self.written = target;
+                self.records = self.committed_records;
+                self.poison = Some(format!("rollback truncate failed: {e}"));
+                return Err(e);
+            }
+            self.written = target;
         }
         self.records = self.committed_records;
         self.since_sync = 0;
         Ok(())
     }
 
-    /// Hands the userspace buffer to the OS (no `fsync`).
-    pub fn flush_os(&mut self) -> std::io::Result<()> {
+    /// Hands the userspace buffer to the OS (no `fsync`, no poison
+    /// bookkeeping — callers handle failure).
+    fn flush_os_inner(&mut self) -> std::io::Result<()> {
         if !self.buf.is_empty() {
             self.file.write_all(&self.buf)?;
             self.written += self.buf.len() as u64;
@@ -486,19 +578,69 @@ impl WalWriter {
         Ok(())
     }
 
+    /// Hands the userspace buffer to the OS (no `fsync`).  Failure poisons
+    /// the writer: everything buffered is acknowledged history, so the
+    /// logical state is untouched and recovery re-flushes it.
+    pub fn flush_os(&mut self) -> std::io::Result<()> {
+        self.check_poison()?;
+        if let Err(e) = self.flush_os_inner() {
+            self.poison = Some(e.to_string());
+            return Err(e);
+        }
+        Ok(())
+    }
+
     /// Flush + `fsync`, regardless of policy (clean shutdown, and the final
-    /// barrier before a snapshot supersedes this log).
+    /// barrier before a snapshot supersedes this log).  Failure poisons the
+    /// writer; no acknowledged state is forgotten (the unflushed bytes stay
+    /// in `buf`, flushed-but-unsynced bytes stay below `written`).
     pub fn sync(&mut self) -> std::io::Result<()> {
-        self.flush_os()?;
-        self.file.sync_data()
+        self.check_poison()?;
+        if let Err(e) = self.flush_os_inner().and_then(|_| self.file.sync_data()) {
+            self.poison = Some(e.to_string());
+            return Err(e);
+        }
+        self.since_sync = 0;
+        Ok(())
+    }
+
+    /// Attempts to clear a poisoned writer: truncates the physical file to
+    /// the acknowledged prefix, re-flushes any acknowledged bytes still in
+    /// the userspace buffer, and syncs.  A no-op on a healthy writer.  On
+    /// failure the writer stays poisoned (with the fresh reason) and the
+    /// attempt is safe to repeat — every step is idempotent.
+    pub fn try_recover(&mut self) -> std::io::Result<()> {
+        if self.poison.is_none() {
+            return Ok(());
+        }
+        let result = self
+            .file
+            .set_len(self.written)
+            .and_then(|_| self.flush_os_inner())
+            .and_then(|_| self.file.sync_data());
+        match result {
+            Ok(()) => {
+                self.poison = None;
+                self.since_sync = 0;
+                Ok(())
+            }
+            Err(e) => {
+                self.poison = Some(format!("recovery failed: {e}"));
+                Err(e)
+            }
+        }
     }
 }
 
 impl Drop for WalWriter {
     fn drop(&mut self) {
         // Best-effort durability on clean shutdown; a crash skips this by
-        // definition and the sync policy bounds what it can lose.
-        let _ = self.sync();
+        // definition and the sync policy bounds what it can lose.  A
+        // poisoned writer skips it too — its durable prefix is already
+        // exactly the acknowledged history minus what the poison reported.
+        if self.poison.is_none() {
+            let _ = self.sync();
+        }
     }
 }
 
@@ -663,6 +805,112 @@ mod tests {
                 WalRecord::Edit(Edit::Remove(2)),
             ]
         );
+    }
+
+    /// Satellite regression: any sync/write failure poisons the writer
+    /// until explicit recovery, uniformly across policies — and the failing
+    /// record is never part of the durable history.
+    mod poison {
+        use super::*;
+        use crate::vfs::{FaultKind, FaultScript, FaultSpec, FaultVfs, OpClass};
+
+        fn rec(id: usize) -> WalRecord {
+            WalRecord::Edit(Edit::Remove(id))
+        }
+
+        fn fault(class: OpClass, at: u64, kind: FaultKind) -> FaultVfs {
+            FaultVfs::new(FaultScript::new(vec![FaultSpec { class, at, kind }]))
+        }
+
+        fn assert_poison_cycle(
+            path: &Path,
+            mut writer: WalWriter,
+            failing_append: WalRecord,
+            expect: Vec<WalRecord>,
+        ) {
+            // Poisoned: every mutation fails fast with the poison error.
+            let err = writer.append(&rec(98)).unwrap_err();
+            assert!(err.to_string().contains("wal poisoned"), "{err}");
+            let err = writer.sync().unwrap_err();
+            assert!(err.to_string().contains("wal poisoned"), "{err}");
+            // Recovery clears it (the fault script is exhausted).
+            writer.try_recover().unwrap();
+            assert!(writer.poisoned().is_none());
+            writer.append(&failing_append).unwrap();
+            writer.commit();
+            drop(writer);
+            let outcome = read_wal(path).unwrap();
+            assert_eq!(outcome.tail, WalTail::Clean);
+            assert_eq!(outcome.records, expect, "durable history");
+        }
+
+        #[test]
+        fn always_sync_failure_unacks_the_record() {
+            let path = tmp("poison-always-sync");
+            let vfs = fault(OpClass::Sync, 1, FaultKind::SyncFailure);
+            let mut writer = WalWriter::create_with(&vfs, &path, SyncPolicy::Always).unwrap();
+            writer.append(&rec(1)).unwrap(); // sync #0: clean
+            let err = writer.append(&rec(2)).unwrap_err(); // sync #1: injected
+            assert!(err.to_string().contains("fsync failure"), "{err}");
+            assert!(writer.poisoned().is_some());
+            assert_eq!(writer.records(), 1, "failed record un-acknowledged");
+            // Record 2's bytes reached the OS before the sync failed;
+            // recovery must excise them.
+            assert_poison_cycle(&path, writer, rec(3), vec![rec(1), rec(3)]);
+        }
+
+        #[test]
+        fn always_disk_full_leaves_no_trace() {
+            let path = tmp("poison-always-full");
+            let vfs = fault(OpClass::Write, 1, FaultKind::DiskFull);
+            let mut writer = WalWriter::create_with(&vfs, &path, SyncPolicy::Always).unwrap();
+            writer.append(&rec(1)).unwrap();
+            let err = writer.append(&rec(2)).unwrap_err();
+            assert!(err.to_string().contains("disk-full"), "{err}");
+            assert_eq!(writer.records(), 1);
+            assert_poison_cycle(&path, writer, rec(3), vec![rec(1), rec(3)]);
+        }
+
+        #[test]
+        fn every_n_sync_failure_keeps_acknowledged_unsynced_neighbours() {
+            // The boundary case the unification exists for: at every-n=2 the
+            // failing sync covers record 1 (acknowledged, never synced) and
+            // record 2 (the failing append).  Only record 2 may vanish.
+            let path = tmp("poison-everyn");
+            let vfs = fault(OpClass::Sync, 0, FaultKind::SyncFailure);
+            let mut writer = WalWriter::create_with(&vfs, &path, SyncPolicy::EveryN(2)).unwrap();
+            writer.append(&rec(1)).unwrap(); // buffered, no I/O
+            let err = writer.append(&rec(2)).unwrap_err(); // stride: flush ok, sync fails
+            assert!(err.to_string().contains("fsync failure"), "{err}");
+            assert_eq!(writer.records(), 1, "record 1 survives, record 2 does not");
+            assert_poison_cycle(&path, writer, rec(3), vec![rec(1), rec(3)]);
+        }
+
+        #[test]
+        fn never_flush_failure_poisons_and_recovery_preserves_buffer() {
+            let path = tmp("poison-never");
+            let vfs = fault(OpClass::Write, 0, FaultKind::ShortWrite);
+            let mut writer = WalWriter::create_with(&vfs, &path, SyncPolicy::Never).unwrap();
+            writer.append(&rec(1)).unwrap(); // buffered: acknowledged
+            let err = writer.sync().unwrap_err(); // explicit barrier: torn write
+            assert!(err.to_string().contains("short write"), "{err}");
+            assert!(writer.poisoned().is_some());
+            assert_eq!(writer.records(), 1, "acknowledged record is not forgotten");
+            // Recovery truncates the torn prefix and re-flushes the buffer.
+            assert_poison_cycle(&path, writer, rec(3), vec![rec(1), rec(3)]);
+        }
+
+        #[test]
+        fn slow_io_is_not_a_fault() {
+            let path = tmp("poison-slow");
+            let vfs = fault(OpClass::Write, 0, FaultKind::SlowIo(1));
+            let mut writer = WalWriter::create_with(&vfs, &path, SyncPolicy::Always).unwrap();
+            writer.append(&rec(1)).unwrap();
+            assert!(writer.poisoned().is_none());
+            writer.commit();
+            drop(writer);
+            assert_eq!(read_wal(&path).unwrap().records, vec![rec(1)]);
+        }
     }
 
     #[test]

@@ -32,6 +32,14 @@ fi
 echo "== workspace tests (unit + property + doctests; PROPTEST_CASES=128) =="
 PROPTEST_CASES=128 cargo test --workspace -q
 
+# The chaos oracle (tests/chaos_oracle.rs) already ran once above with its
+# built-in seeds; this pass re-runs the seeded sweep at the pinned fault
+# schedules so the gate is explicit about which chaos runs every PR must
+# survive.  Override CHAOS_SEEDS (comma-separated u64s) to explore others.
+echo "== chaos oracle (pinned fault seeds) =="
+CHAOS_SEEDS="$((0x00C0FFEE)),$((0x0BAD5EED)),$((0x5CA1AB1E))" \
+    cargo test -q --test chaos_oracle seeded_fault_scripts
+
 echo "== clippy, warnings as errors =="
 cargo clippy --workspace --all-targets -- -D warnings
 
@@ -41,12 +49,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 # already cover the protocol exhaustively; this step pins the last mile the
 # test harness can't: the released binary, argument parsing, real sockets
 # and process exit.
+# The robustness knobs ride along: a token file gates the session behind
+# AUTH, and explicit queue/deadline/quota flags prove the grammar on the
+# released binary.
 echo "== orientd server smoke (release binary over loopback) =="
 ORIENTD_LOG="$(mktemp)"
+TOKEN_FILE="$(mktemp)"
+printf 'smoke-secret\n' > "$TOKEN_FILE"
 ./target/release/orientd --listen 127.0.0.1:0 --threads 2 --print-port \
+    --max-queue 64 --read-timeout-ms 10000 --tenant-quota 1000 \
+    --auth-token-file "$TOKEN_FILE" \
     > "$ORIENTD_LOG" 2>/dev/null &
 ORIENTD_PID=$!
-trap 'kill "$ORIENTD_PID" 2>/dev/null || true; rm -f "$ORIENTD_LOG"' EXIT
+trap 'kill "$ORIENTD_PID" 2>/dev/null || true; rm -f "$ORIENTD_LOG" "$TOKEN_FILE"' EXIT
 PORT=""
 for _ in $(seq 1 50); do
     PORT="$(awk '$1 == "PORT" { print $2; exit }' "$ORIENTD_LOG")"
@@ -64,6 +79,15 @@ smoke_request() {
     [[ "$reply" == OK* ]] || { echo "smoke request failed: $1 -> $reply" >&2; exit 1; }
 }
 smoke_request "PING"
+# Unauthenticated sessions may only PING; AUTH with the token file's
+# contents unlocks the rest.
+printf 'STATS\n' >&3
+IFS= read -r GATED <&3
+echo "  > STATS (unauthenticated)"
+echo "  < $GATED"
+[[ "$GATED" == "ERR unauthorized"* ]] \
+    || { echo "unauthenticated STATS should be refused: $GATED" >&2; exit 1; }
+smoke_request "AUTH smoke-secret"
 smoke_request "CREATE smoke 2 3.7699111843077517 0 0 1 0 2 0.5 1.5 1.5"
 smoke_request "EDIT smoke INSERT 0.5 0.75"
 smoke_request "ORIENT smoke"
@@ -74,8 +98,8 @@ smoke_request "SHUTDOWN"
 exec 3<&- 3>&-
 wait "$ORIENTD_PID" || { echo "orientd exited non-zero" >&2; exit 1; }
 trap - EXIT
-rm -f "$ORIENTD_LOG"
-echo "orientd smoke OK (port $PORT, clean shutdown)"
+rm -f "$ORIENTD_LOG" "$TOKEN_FILE"
+echo "orientd smoke OK (port $PORT, auth + clean shutdown)"
 
 # Durable recovery smoke: the same binary with --data-dir must carry a
 # deployment across a full process restart — write, SHUTDOWN, reboot on the
@@ -147,7 +171,7 @@ echo "orientd durable recovery smoke OK"
 
 # Benches are not exercised by the test suite; building them (without
 # running) keeps them from rotting.  `scripts/bench_smoke.sh` runs the
-# headline benches in quick mode and records the numbers in BENCH_8.json;
+# headline benches in quick mode and records the numbers in BENCH_9.json;
 # `scripts/bench_gate.sh` compares that run against the previous committed
 # BENCH_*.json and flags >2x regressions (advisory CI job).
 echo "== benches compile (cargo bench --no-run) =="

@@ -5,6 +5,8 @@
 //! ```text
 //! orientd [--listen ADDR | --port N] [--threads N] [--print-port]
 //!         [--data-dir DIR] [--sync always|every-n[=N]|never]
+//!         [--max-queue N] [--read-timeout-ms N] [--tenant-quota N]
+//!         [--auth-token-file PATH]
 //! ```
 //!
 //! * `--listen ADDR` — bind address, default `127.0.0.1:7011`; use port 0
@@ -20,17 +22,30 @@
 //!   `always` (fsync every record), `every-n` or `every-n=N` (fsync every
 //!   N records, default 32), `never` (OS-buffered only; clean `SHUTDOWN`
 //!   still syncs).  Default `every-n`.
+//! * `--max-queue N` — cap on connections waiting for a worker, default
+//!   1024; past it new connections are answered `ERR overloaded` and
+//!   closed.  `0` disables the cap.
+//! * `--read-timeout-ms N` — per-connection read deadline, default 30000;
+//!   a connection that dribbles or idles past it is evicted (slow-loris
+//!   defence).  `0` disables the deadline.
+//! * `--tenant-quota N` — cap on buffered (un-drained) edits per
+//!   deployment, default 65536; past it `EDIT` answers `ERR overloaded`
+//!   until `ORIENT`/`VERIFY` drains.  `0` disables the quota.
+//! * `--auth-token-file PATH` — require `AUTH <token>` (the file's
+//!   trimmed contents) before any verb other than `PING`.
 //!
 //! Unknown or malformed flags exit with status 2 and print the usage line
 //! to stderr.  The process exits cleanly after a `SHUTDOWN` request.
 
-use antennae::serve::{Server, Service};
+use antennae::serve::{Server, ServerConfig, Service};
 use antennae::store::{Store, StoreConfig, SyncPolicy};
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 const USAGE: &str = "usage: orientd [--listen ADDR | --port N] [--threads N] [--print-port] \
-                     [--data-dir DIR] [--sync always|every-n[=N]|never]";
+                     [--data-dir DIR] [--sync always|every-n[=N]|never] [--max-queue N] \
+                     [--read-timeout-ms N] [--tenant-quota N] [--auth-token-file PATH]";
 
 #[derive(Debug)]
 struct Args {
@@ -39,6 +54,13 @@ struct Args {
     print_port: bool,
     data_dir: Option<std::path::PathBuf>,
     sync: Option<SyncPolicy>,
+    /// Waiting-connection cap (`None` = unbounded, from `--max-queue 0`).
+    max_queue: Option<usize>,
+    /// Read deadline (`None` = no deadline, from `--read-timeout-ms 0`).
+    read_timeout: Option<Duration>,
+    /// Per-tenant pending-edit cap (`None` = unbounded).
+    tenant_quota: Option<usize>,
+    auth_token_file: Option<std::path::PathBuf>,
 }
 
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -48,6 +70,10 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         print_port: false,
         data_dir: None,
         sync: None,
+        max_queue: Some(1024),
+        read_timeout: Some(Duration::from_millis(30_000)),
+        tenant_quota: Some(65_536),
+        auth_token_file: None,
     };
     let mut argv = argv.peekable();
     while let Some(flag) = argv.next() {
@@ -73,6 +99,25 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 None => {
                     return Err("--sync takes always, every-n, every-n=N or never".into());
                 }
+            },
+            "--max-queue" => match argv.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(0) => args.max_queue = None,
+                Some(n) => args.max_queue = Some(n),
+                None => return Err("--max-queue needs a non-negative integer".into()),
+            },
+            "--read-timeout-ms" => match argv.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(0) => args.read_timeout = None,
+                Some(ms) => args.read_timeout = Some(Duration::from_millis(ms)),
+                None => return Err("--read-timeout-ms needs a non-negative integer".into()),
+            },
+            "--tenant-quota" => match argv.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(0) => args.tenant_quota = None,
+                Some(n) => args.tenant_quota = Some(n),
+                None => return Err("--tenant-quota needs a non-negative integer".into()),
+            },
+            "--auth-token-file" => match argv.next() {
+                Some(path) if !path.is_empty() => args.auth_token_file = Some(path.into()),
+                _ => return Err("--auth-token-file needs a file path".into()),
             },
             "--print-port" => args.print_port = true,
             "--help" | "-h" => return Err(String::new()),
@@ -100,8 +145,8 @@ fn main() -> ExitCode {
         }
     };
 
-    let service = match &args.data_dir {
-        None => Arc::new(Service::new()),
+    let mut service = match &args.data_dir {
+        None => Service::new(),
         Some(dir) => {
             let config = StoreConfig {
                 sync: args.sync.unwrap_or_default(),
@@ -129,7 +174,7 @@ fn main() -> ExitCode {
                         report.lost_bytes,
                         config.sync.as_flag(),
                     );
-                    Arc::new(service)
+                    service
                 }
                 Err(e) => {
                     eprintln!("orientd: recovery failed in {}: {e}", dir.display());
@@ -139,7 +184,30 @@ fn main() -> ExitCode {
         }
     };
 
-    let server = match Server::bind_with(&args.listen, service, args.threads) {
+    if let Some(path) = &args.auth_token_file {
+        let token = match std::fs::read_to_string(path) {
+            Ok(contents) => contents.trim().to_string(),
+            Err(e) => {
+                eprintln!("orientd: cannot read token file {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        if token.is_empty() {
+            eprintln!("orientd: token file {} is empty", path.display());
+            return ExitCode::FAILURE;
+        }
+        service.set_auth_token(Some(token));
+        eprintln!("orientd: AUTH required (token from {})", path.display());
+    }
+    service.set_tenant_quota(args.tenant_quota);
+    let service = Arc::new(service);
+
+    let server_config = ServerConfig {
+        threads: args.threads,
+        read_timeout: args.read_timeout,
+        max_queue: args.max_queue,
+    };
+    let server = match Server::bind_with_config(&args.listen, service, server_config) {
         Ok(server) => server,
         Err(e) => {
             eprintln!("orientd: cannot bind {}: {e}", args.listen);
@@ -197,7 +265,44 @@ mod tests {
         assert_eq!(args.sync, Some(SyncPolicy::EveryN(8)));
         assert!(args.print_port);
 
-        assert!(parse(&[]).unwrap().data_dir.is_none());
+        // Robustness knobs: explicit values, zero-disables, and defaults.
+        let args = parse(&[
+            "--max-queue",
+            "16",
+            "--read-timeout-ms",
+            "250",
+            "--tenant-quota",
+            "100",
+            "--auth-token-file",
+            "/tmp/token",
+        ])
+        .unwrap();
+        assert_eq!(args.max_queue, Some(16));
+        assert_eq!(args.read_timeout, Some(Duration::from_millis(250)));
+        assert_eq!(args.tenant_quota, Some(100));
+        assert_eq!(
+            args.auth_token_file.as_deref(),
+            Some(std::path::Path::new("/tmp/token"))
+        );
+        let off = parse(&[
+            "--max-queue",
+            "0",
+            "--read-timeout-ms",
+            "0",
+            "--tenant-quota",
+            "0",
+        ])
+        .unwrap();
+        assert_eq!(off.max_queue, None);
+        assert_eq!(off.read_timeout, None);
+        assert_eq!(off.tenant_quota, None);
+
+        let defaults = parse(&[]).unwrap();
+        assert!(defaults.data_dir.is_none());
+        assert_eq!(defaults.max_queue, Some(1024));
+        assert_eq!(defaults.read_timeout, Some(Duration::from_millis(30_000)));
+        assert_eq!(defaults.tenant_quota, Some(65_536));
+        assert!(defaults.auth_token_file.is_none());
         assert_eq!(parse(&["--help"]).unwrap_err(), "");
         for bad in [
             &["--frobnicate"][..],
@@ -208,6 +313,11 @@ mod tests {
             &["--sync", "every-n=0", "--data-dir", "/tmp/x"],
             &["--sync", "always"], // requires --data-dir
             &["--data-dir"],
+            &["--max-queue"],
+            &["--max-queue", "lots"],
+            &["--read-timeout-ms", "-1"],
+            &["--tenant-quota", "many"],
+            &["--auth-token-file"],
         ] {
             let err = parse(bad).unwrap_err();
             assert!(!err.is_empty(), "{bad:?} should be a hard flag error");

@@ -194,7 +194,8 @@ fn sigkill_mid_unacknowledged_burst_salvages_and_stays_live() {
     assert!(request(addr, "EDIT m INSERT 99.5 3.25").starts_with("OK edit m"));
     let orient = request(addr, "ORIENT m");
     assert!(orient.contains("valid=true"), "{orient}");
-    assert!(request(addr, "SHUTDOWN").starts_with("OK"));
+    let shutdown = request(addr, "SHUTDOWN");
+    assert!(shutdown.starts_with("OK"), "SHUTDOWN answered {shutdown:?}");
     let _ = child.wait();
     let _ = std::fs::remove_dir_all(&root);
 }
