@@ -1,0 +1,24 @@
+//! EXP-SHARD-CHURN: sharded vs. global dynamic engines on identical traces.
+//!
+//! Usage: `cargo run --release -p antennae-bench --bin shard_churn [--quick]`
+
+use antennae_bench::workloads::quick_flag;
+use antennae_sim::experiments::shard_churn::{run, ShardChurnConfig};
+
+fn main() {
+    let config = if quick_flag() {
+        ShardChurnConfig::quick()
+    } else {
+        ShardChurnConfig::full()
+    };
+    let report = run(&config);
+    println!("{report}");
+    if !report.all_identical() {
+        eprintln!("WARNING: sharded and global engines diverged");
+        std::process::exit(1);
+    }
+    if !report.all_valid() {
+        eprintln!("WARNING: some edit produced an invalid verdict");
+        std::process::exit(1);
+    }
+}

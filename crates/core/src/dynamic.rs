@@ -34,14 +34,16 @@
 use crate::algorithms::lemma1::orient_node;
 use crate::algorithms::AlgorithmKind;
 use crate::antenna::{AntennaBudget, SensorAssignment};
+use crate::bounds::{radius_over_lmax, SPREAD_EPS};
 use crate::error::OrientError;
 use crate::instance::Instance;
 use crate::scheme::OrientationScheme;
+use crate::shard::ShardSpec;
 use crate::solver::{Orienter, SelectionPolicy, Solver, Theorem2Orienter};
-use crate::verify::{report_from_digraph, VerificationReport};
+use crate::verify::{VerificationReport, Violation};
 use antennae_geometry::{Point, EPS};
 use antennae_graph::dynamic::{DynamicEmst, DynamicEmstError};
-use antennae_graph::DiGraph;
+use antennae_graph::{DiGraph, TraversalScratch};
 
 /// Stable identifier of a sensor inside a [`DynamicInstance`].
 ///
@@ -85,10 +87,6 @@ pub struct DynamicInstance {
     emst: DynamicEmst,
     /// Materialized dense instance (invalidated by every edit).
     cache: Option<Instance>,
-    /// Live ids in ascending order, aligned with the cached instance.
-    live_ids: Vec<SensorId>,
-    /// id → dense index in the cached instance (`u32::MAX` when dead).
-    dense_of_id: Vec<u32>,
 }
 
 impl DynamicInstance {
@@ -103,12 +101,55 @@ impl DynamicInstance {
     pub fn new(points: &[Point]) -> Result<Self, OrientError> {
         let emst =
             DynamicEmst::new(points).map_err(|e| OrientError::MstConstruction(e.to_string()))?;
-        Ok(DynamicInstance {
-            emst,
-            cache: None,
-            live_ids: Vec::new(),
-            dense_of_id: Vec::new(),
-        })
+        Ok(DynamicInstance { emst, cache: None })
+    }
+
+    /// Builds a dynamic instance whose spatial substrate is **sharded** per
+    /// `spec`: the initial MST comes from the parallel per-tile build with
+    /// exact boundary stitching, and subsequent edits route to the owning
+    /// tile (bounded-star attach, tile-local index maintenance) — bit-exact,
+    /// edit-for-edit, to the unsharded engine (see [`crate::shard`]).
+    ///
+    /// Specs that do not resolve for this deployment ([`ShardSpec::Off`],
+    /// [`ShardSpec::Auto`] below its size threshold, degenerate bounding
+    /// boxes — including the empty deployment) fall back to
+    /// [`DynamicInstance::new`].
+    pub fn new_sharded(points: &[Point], spec: ShardSpec) -> Result<Self, OrientError> {
+        match spec.resolve(points) {
+            None => Self::new(points),
+            Some(grid) => {
+                let (emst, _stats) =
+                    DynamicEmst::new_tiled(points, grid, crate::parallel::default_threads())
+                        .map_err(|e| OrientError::MstConstruction(e.to_string()))?;
+                Ok(DynamicInstance { emst, cache: None })
+            }
+        }
+    }
+
+    /// The shard grid backing this instance as `(tiles_x, tiles_y)`, `None`
+    /// when the instance runs on the global (unsharded) engine.
+    pub fn shard_grid(&self) -> Option<(usize, usize)> {
+        self.emst.tile_grid().map(|g| (g.tiles_x(), g.tiles_y()))
+    }
+
+    /// Occupied (non-empty) tiles of a sharded instance, `None` when
+    /// unsharded.
+    pub fn shard_occupied(&self) -> Option<usize> {
+        self.emst.occupied_tiles()
+    }
+
+    /// Re-resolves `spec` against the **current** live deployment and swaps
+    /// the spatial index accordingly; returns `true` when the instance is
+    /// sharded afterwards.  The maintained tree and all ids are untouched —
+    /// both index variants answer queries bit-identically — so this is safe
+    /// at any point in an instance's life.  The deployment server applies
+    /// the configured spec here after crash recovery (replay starts from an
+    /// empty, hence global, engine).
+    pub fn apply_shard_spec(&mut self, spec: ShardSpec) -> bool {
+        let grid = spec.resolve(&self.emst.live_points());
+        let sharded = grid.is_some();
+        self.emst.set_tile_grid(grid);
+        sharded
     }
 
     /// A dynamic instance with zero live sensors (grow it with
@@ -194,12 +235,6 @@ impl DynamicInstance {
         self.emst.move_to(id, p).map_err(map_emst_error)
     }
 
-    /// The dense index of a live id in the materialized instance.  Only
-    /// valid after [`DynamicInstance::instance`] since the last edit.
-    fn dense_of(&self, id: SensorId) -> u32 {
-        self.dense_of_id[id]
-    }
-
     /// Materializes (and caches) the live deployment as a regular
     /// [`Instance`]: live ids ascending, the maintained MST handed over
     /// without a rebuild, the rooted view re-derived lazily as usual.
@@ -217,11 +252,6 @@ impl DynamicInstance {
                 .emst
                 .materialize()
                 .map_err(|e| OrientError::MstConstruction(e.to_string()))?;
-            self.live_ids = self.emst.live_slots();
-            self.dense_of_id = vec![u32::MAX; self.live_ids.last().map_or(0, |&s| s + 1)];
-            for (dense, &id) in self.live_ids.iter().enumerate() {
-                self.dense_of_id[id] = dense as u32;
-            }
             let points = mst.points().to_vec();
             self.cache = Some(Instance::from_prebuilt(points, mst));
         }
@@ -340,12 +370,20 @@ pub struct DynamicSolverSession {
     rows: Vec<Vec<u32>>,
     /// Largest antenna radius across all live assignments.
     max_radius: f64,
+    /// Dense scheme mirror of `assignments`, rebuilt lazily on access (the
+    /// verdict no longer needs it — see `dense_dirty`).
     scheme: OrientationScheme,
+    /// Dense digraph mirror of `rows`, rebuilt lazily on access.
     digraph: DiGraph,
     report: VerificationReport,
+    /// `true` when `scheme`/`digraph` are stale relative to the id-space
+    /// state; [`DynamicSolverSession::ensure_dense`] clears it.
+    dense_dirty: bool,
     /// Scratch buffers for the row queries (allocation-free steady state).
     scratch: Vec<usize>,
     row_buf: Vec<usize>,
+    /// Tarjan scratch for the per-edit connectivity re-check.
+    scc_scratch: TraversalScratch,
 }
 
 impl DynamicSolverSession {
@@ -373,8 +411,10 @@ impl DynamicSolverSession {
                 max_antenna_count: 0,
                 violations: Vec::new(),
             },
+            dense_dirty: false,
             scratch: Vec::new(),
             row_buf: Vec::new(),
+            scc_scratch: TraversalScratch::default(),
         };
         session.reorient_full()?;
         let all: Vec<SensorId> = session.inst.ids();
@@ -405,6 +445,14 @@ impl DynamicSolverSession {
         &self.inst
     }
 
+    /// Applies a shard spec to the underlying instance (see
+    /// [`DynamicInstance::apply_shard_spec`]); the session's scheme, digraph
+    /// and report are untouched because both index variants answer every
+    /// query bit-identically.  Returns `true` when sharded afterwards.
+    pub fn set_shard_spec(&mut self, spec: crate::shard::ShardSpec) -> bool {
+        self.inst.apply_shard_spec(spec)
+    }
+
     /// The materialized static instance for the current live deployment.
     pub fn materialized(&mut self) -> Result<&Instance, OrientError> {
         self.inst.instance()
@@ -412,12 +460,20 @@ impl DynamicSolverSession {
 
     /// The current orientation scheme (dense, aligned with
     /// [`DynamicSolverSession::materialized`]).
-    pub fn scheme(&self) -> &OrientationScheme {
+    ///
+    /// Takes `&mut self`: the dense mirror is rebuilt lazily from the
+    /// id-space state — the per-edit repair maintains assignments and rows
+    /// in id space only, so steady-state edits never pay the O(n) dense
+    /// projection unless someone asks for it.
+    pub fn scheme(&mut self) -> &OrientationScheme {
+        self.ensure_dense();
         &self.scheme
     }
 
-    /// The current induced communication digraph (dense).
-    pub fn digraph(&self) -> &DiGraph {
+    /// The current induced communication digraph (dense); lazily rebuilt
+    /// like [`DynamicSolverSession::scheme`].
+    pub fn digraph(&mut self) -> &DiGraph {
+        self.ensure_dense();
         &self.digraph
     }
 
@@ -454,6 +510,21 @@ impl DynamicSolverSession {
     /// so insert ids are predictable) without touching any state.  Returns
     /// the ids the batch's inserts will be assigned.
     fn validate_edits(&self, edits: &[Edit]) -> Result<Vec<SensorId>, OrientError> {
+        // Single-edit batches (the server's common case) need no projected
+        // live table: ids are monotone, so the one insert gets `next_id`,
+        // and a remove/move only needs its id to be live right now.
+        if let [edit] = edits {
+            return match *edit {
+                Edit::Insert(_) => Ok(vec![self.inst.next_id()]),
+                Edit::Remove(id) | Edit::Move(id, _) => {
+                    if self.inst.is_alive(id) {
+                        Ok(Vec::new())
+                    } else {
+                        Err(OrientError::UnknownSensor { id })
+                    }
+                }
+            };
+        }
         let mut alive = vec![false; self.inst.next_id()];
         for id in self.inst.ids() {
             alive[id] = true;
@@ -558,7 +629,7 @@ impl DynamicSolverSession {
             let mut dirty = changed;
             let mut hits = Vec::new();
             for p in &edited_positions {
-                self.inst.emst().kd().within_radius_with(
+                self.inst.emst().within_radius_with(
                     p,
                     reverse_radius,
                     &mut self.scratch,
@@ -708,12 +779,13 @@ impl DynamicSolverSession {
     }
 
     fn refresh_max_radius(&mut self) {
-        self.max_radius = self
-            .inst
-            .ids()
-            .into_iter()
-            .map(|id| self.assignments[id].max_radius())
-            .fold(0.0, f64::max);
+        let mut max_radius = 0.0f64;
+        for id in 0..self.inst.next_id() {
+            if self.inst.is_alive(id) {
+                max_radius = f64::max(max_radius, self.assignments[id].max_radius());
+            }
+        }
+        self.max_radius = max_radius;
     }
 
     /// Recomputes the induced-digraph rows of `ids` (live, id space): one
@@ -727,7 +799,7 @@ impl DynamicSolverSession {
             debug_assert!(self.inst.is_alive(u));
             let assignment = std::mem::take(&mut self.assignments[u]);
             let apex = self.inst.emst().point(u);
-            self.inst.emst().kd().within_radius_with(
+            self.inst.emst().within_radius_with(
                 &apex,
                 assignment.max_radius() + EPS,
                 &mut self.scratch,
@@ -744,16 +816,41 @@ impl DynamicSolverSession {
         }
     }
 
-    /// Rebuilds the dense scheme + digraph from the id-space state and
-    /// refreshes the verification verdict.
+    /// Refreshes the verification verdict **directly from the id-space
+    /// state** — no materialized [`Instance`], no dense scheme clone, no
+    /// dense digraph rebuild (those are all Θ(n) per edit and dominated the
+    /// repair once the MST surgery became local).
+    ///
+    /// The sparse computation is bit-equal to
+    /// [`crate::verify::verify_with_budget`] on the dense mirrors, field by
+    /// field, because each piece replicates the dense path exactly:
+    ///
+    /// - budget violations scan the live assignments in ascending id order —
+    ///   precisely the dense index order of the materialized scheme — with
+    ///   the same thresholds (`> budget.k`, `> budget.phi + SPREAD_EPS`);
+    ///   `MissingAssignments` cannot fire (the session assigns every live
+    ///   sensor by construction);
+    /// - the scheme maxima use the same fold shapes as
+    ///   [`OrientationScheme::max_radius`] / `max_spread_sum` (`f64::max`
+    ///   from `0.0`) and `max_antenna_count` (`usize::max`);
+    /// - component count and largest-component size come from the same
+    ///   masked Tarjan kernel run over the id-space rows
+    ///   ([`TraversalScratch::scc_summary_rows`]); both are graph
+    ///   invariants, independent of vertex labelling;
+    /// - `edge_count` sums live row lengths = the dense digraph's edge
+    ///   count; `lmax` is the maintained MST's, which materialization hands
+    ///   over bit-identically.
+    ///
+    /// The dense mirrors are just **marked stale** here; accessors rebuild
+    /// them on demand (see [`DynamicSolverSession::ensure_dense`]).
     ///
     /// The empty deployment (zero live sensors) is **defined** to be valid:
     /// empty scheme, empty digraph, a report with zero components and no
     /// violations — strong connectivity holds vacuously.  There is no
     /// materialized [`Instance`] to verify against in that state.
     fn refresh_verdict(&mut self) -> Result<(), OrientError> {
-        let ids = self.inst.ids();
-        if ids.is_empty() {
+        let live = self.inst.len();
+        if live == 0 {
             self.scheme = OrientationScheme::empty(0);
             self.digraph = DiGraph::from_edges(0, &[]);
             self.report = VerificationReport {
@@ -766,25 +863,92 @@ impl DynamicSolverSession {
                 max_antenna_count: 0,
                 violations: Vec::new(),
             };
+            self.dense_dirty = false;
             return Ok(());
         }
-        self.inst.instance()?;
+
+        let mut violations = Vec::new();
+        let mut max_radius = 0.0f64;
+        let mut max_spread_sum = 0.0f64;
+        let mut max_antenna_count = 0usize;
+        let mut edge_count = 0usize;
+        let mut dense = 0usize;
+        for id in 0..self.inst.next_id() {
+            if !self.inst.is_alive(id) {
+                continue;
+            }
+            let assignment = &self.assignments[id];
+            if assignment.antenna_count() > self.budget.k {
+                violations.push(Violation::TooManyAntennas {
+                    sensor: dense,
+                    used: assignment.antenna_count(),
+                    allowed: self.budget.k,
+                });
+            }
+            if assignment.total_spread() > self.budget.phi + SPREAD_EPS {
+                violations.push(Violation::SpreadExceeded {
+                    sensor: dense,
+                    used: assignment.total_spread(),
+                    allowed: self.budget.phi,
+                });
+            }
+            max_radius = f64::max(max_radius, assignment.max_radius());
+            max_spread_sum = f64::max(max_spread_sum, assignment.total_spread());
+            max_antenna_count = max_antenna_count.max(assignment.antenna_count());
+            edge_count += self.rows[id].len();
+            dense += 1;
+        }
+        debug_assert_eq!(dense, live, "live scan disagrees with live count");
+
+        let inst = &self.inst;
+        let summary = self
+            .scc_scratch
+            .scc_summary_rows(&self.rows, |v| inst.is_alive(v));
+        let strongly_connected = live <= 1 || summary.count == 1;
+        if !strongly_connected {
+            violations.push(Violation::NotStronglyConnected {
+                components: summary.count,
+                largest_component: summary.largest,
+            });
+        }
+
+        self.report = VerificationReport {
+            is_strongly_connected: strongly_connected,
+            scc_count: summary.count,
+            edge_count,
+            max_radius,
+            max_radius_over_lmax: radius_over_lmax(max_radius, self.inst.lmax()),
+            max_spread_sum,
+            max_antenna_count,
+            violations,
+        };
+        self.dense_dirty = true;
+        Ok(())
+    }
+
+    /// Rebuilds the dense scheme + digraph mirrors from the id-space state
+    /// when an accessor finds them stale.  Id → dense is monotone over
+    /// ascending live ids, so the ascending id-space rows map to ascending
+    /// dense rows — the digraph is bit-identical to the static engine's
+    /// construction.
+    fn ensure_dense(&mut self) {
+        if !self.dense_dirty {
+            return;
+        }
+        let ids = self.inst.ids();
         let assignments: Vec<SensorAssignment> =
             ids.iter().map(|&id| self.assignments[id].clone()).collect();
         self.scheme = OrientationScheme::new(assignments);
-        // Id → dense is monotone over ascending live ids, so the ascending
-        // id-space rows map to ascending dense rows.
+        let mut dense_of = vec![u32::MAX; ids.last().map_or(0, |&id| id + 1)];
+        for (dense, &id) in ids.iter().enumerate() {
+            dense_of[id] = dense as u32;
+        }
         self.digraph = DiGraph::from_adjacency(
             ids.len(),
-            ids.iter().map(|&u| {
-                self.rows[u]
-                    .iter()
-                    .map(|&v| self.inst.dense_of(v as usize) as usize)
-            }),
+            ids.iter()
+                .map(|&u| self.rows[u].iter().map(|&v| dense_of[v as usize] as usize)),
         );
-        let instance = self.inst.cache.as_ref().expect("materialized above");
-        self.report = report_from_digraph(instance, &self.scheme, Some(self.budget), &self.digraph);
-        Ok(())
+        self.dense_dirty = false;
     }
 }
 

@@ -56,6 +56,12 @@
 //! maintain the spatial index, the MST, the orientation scheme and the
 //! verification verdict, with every layer oracle-tested against the
 //! from-scratch pipeline.
+//!
+//! Deployments large enough to care are **spatially sharded** through
+//! [`shard::ShardedInstance`] and [`dynamic::DynamicInstance::new_sharded`]:
+//! per-tile kd/MST forests built in parallel and stitched with a cross-tile
+//! Borůvka pass that is bit-exact to the global build, so sharding is a pure
+//! cost optimization (see [`shard`]).
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -69,6 +75,7 @@ pub mod error;
 pub mod instance;
 pub mod parallel;
 pub mod scheme;
+pub mod shard;
 pub mod solver;
 pub mod verify;
 
@@ -78,6 +85,7 @@ pub use dynamic::{BatchOutcome, DynamicInstance, DynamicSolverSession, Edit, Edi
 pub use error::OrientError;
 pub use instance::Instance;
 pub use scheme::OrientationScheme;
+pub use shard::{ShardReport, ShardSpec, ShardedInstance};
 pub use solver::{
     Guarantee, OrientationOutcome, Orienter, Registry, SelectionPolicy, Solver, VerifiedOutcome,
 };

@@ -241,19 +241,29 @@ impl KdIndex {
         max_dist: f64,
     ) -> Option<(usize, f64)> {
         assert_eq!(labels.len(), self.len(), "one label per indexed point");
+        self.nearest_filtered_within(points, query, |i| labels[i] == label, max_dist)
+    }
+
+    /// Like [`KdIndex::nearest_filtered`], but only reports points at
+    /// distance `max_dist` or closer — the general-predicate sibling of
+    /// [`KdIndex::nearest_foreign_within`], with the same inclusive,
+    /// ulp-widened bound semantics (a returned point is always the true
+    /// nearest non-skipped point; `None` only ever hides strictly farther
+    /// ones).  The sharded MST stitch uses it with a
+    /// same-tile-or-same-component skip.
+    pub fn nearest_filtered_within<F: Fn(usize) -> bool>(
+        &self,
+        points: &[Point],
+        query: &Point,
+        skip: F,
+        max_dist: f64,
+    ) -> Option<(usize, f64)> {
         if self.root == NONE {
             return None;
         }
         let bound_sq = (max_dist * max_dist) * (1.0 + 4.0 * f64::EPSILON);
         let mut best = (usize::MAX, bound_sq);
-        self.nearest_rec(
-            points,
-            self.root,
-            0,
-            query,
-            &|i| labels[i] == label,
-            &mut best,
-        );
+        self.nearest_rec(points, self.root, 0, query, &skip, &mut best);
         (best.0 != usize::MAX).then(|| (best.0, best.1.sqrt()))
     }
 

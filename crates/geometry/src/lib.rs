@@ -47,6 +47,7 @@ pub mod predicates;
 pub mod ray;
 pub mod sector;
 pub mod segment;
+pub mod tiles;
 pub mod transform;
 pub mod triangle;
 pub mod vector;
@@ -60,6 +61,7 @@ pub use point::Point;
 pub use ray::Ray;
 pub use sector::Sector;
 pub use segment::Segment;
+pub use tiles::{TileGrid, TiledKdForest};
 pub use transform::Transform;
 pub use triangle::Triangle;
 pub use vector::Vector;

@@ -35,9 +35,70 @@
 
 use crate::euclidean::{EmstError, EuclideanMst, MAX_MST_DEGREE};
 use crate::graph::Graph;
+use crate::sharded::{build_sharded, StitchStats};
 use crate::union_find::UnionFind;
 use antennae_geometry::angular::{circular_gaps, sort_ccw};
-use antennae_geometry::{DynamicKdTree, Point};
+use antennae_geometry::{DynamicKdTree, Point, TileGrid, TiledKdForest};
+
+/// Inclusive widening applied to the bounded-star collection radius of the
+/// tiled attach path, so a star edge whose *weight* rounds to exactly the
+/// radius can never be excluded by the squared-distance ball test.
+/// Supersets of the exact star are harmless: the Kruskal merge skips edges
+/// past the connection point via union-find, so extra candidates cannot
+/// change the take sequence.
+const STAR_SLACK: f64 = 1.0 + 4.0 * f64::EPSILON;
+
+/// The spatial index backing a [`DynamicEmst`]: one global kd-tree, or a
+/// per-tile forest when the engine was built sharded.  All query results are
+/// bit-identical between the two (the forest reproduces the global
+/// smaller-slot tie-break; see `antennae_geometry::tiles`); only the edit
+/// *cost profile* differs — the tiled variant localizes rebuild work to one
+/// tile and unlocks the bounded-star attach.
+#[derive(Debug, Clone)]
+enum SpatialIndex {
+    Global(DynamicKdTree),
+    Tiled(TiledKdForest),
+}
+
+impl SpatialIndex {
+    fn insert(&mut self, slot: usize, p: Point) {
+        match self {
+            SpatialIndex::Global(kd) => kd.insert(slot, p),
+            SpatialIndex::Tiled(forest) => forest.insert(slot, p),
+        }
+    }
+
+    fn remove(&mut self, slot: usize) {
+        match self {
+            SpatialIndex::Global(kd) => kd.remove(slot),
+            SpatialIndex::Tiled(forest) => forest.remove(slot),
+        }
+    }
+
+    fn within_radius_with(
+        &self,
+        query: &Point,
+        radius: f64,
+        scratch: &mut Vec<usize>,
+        out: &mut Vec<usize>,
+    ) {
+        match self {
+            SpatialIndex::Global(kd) => kd.within_radius_with(query, radius, scratch, out),
+            SpatialIndex::Tiled(forest) => forest.within_radius_with(query, radius, scratch, out),
+        }
+    }
+
+    fn nearest_filtered_slot<F: Fn(usize) -> bool>(
+        &self,
+        query: &Point,
+        skip: F,
+    ) -> Option<(usize, f64)> {
+        match self {
+            SpatialIndex::Global(kd) => kd.nearest_filtered_slot(query, skip),
+            SpatialIndex::Tiled(forest) => forest.nearest_filtered_slot(query, skip),
+        }
+    }
+}
 
 /// A tree edge in slot space, ordered by the engines' shared tie-broken
 /// total order `(weight, min slot, max slot)`.
@@ -86,9 +147,20 @@ pub struct DynamicEmst {
     /// the cache the insert path's Kruskal merge runs against and the
     /// source of `lmax` (its last entry).
     sorted_edges: Vec<SlotEdge>,
-    kd: DynamicKdTree,
+    index: SpatialIndex,
     /// Live slots whose tree neighborhood changed in the last edit.
     changed: Vec<usize>,
+    /// Component-labeling scratch shared by [`DynamicEmst::reconnect`]
+    /// (group labels) and [`DynamicEmst::tree_path_max`] (BFS sides): a slot
+    /// is labeled in the current pass iff `label_stamp[slot] == label_epoch`.
+    /// Stamping makes each pass O(vertices touched), not O(n) clears.
+    label_stamp: Vec<u64>,
+    label_of: Vec<u32>,
+    label_epoch: u64,
+    /// BFS parent pointers + parent-edge weights for
+    /// [`DynamicEmst::tree_path_max`], valid under the same stamp scheme.
+    path_parent: Vec<u32>,
+    path_w: Vec<f64>,
 }
 
 impl DynamicEmst {
@@ -101,17 +173,65 @@ impl DynamicEmst {
     /// a deployment is registered before its first sensor arrives.
     pub fn new(points: &[Point]) -> Result<Self, EmstError> {
         if points.is_empty() {
-            return Ok(DynamicEmst {
-                points: Vec::new(),
-                alive: Vec::new(),
-                live: 0,
-                adj: Vec::new(),
-                sorted_edges: Vec::new(),
-                kd: DynamicKdTree::new(&[]),
-                changed: Vec::new(),
-            });
+            return Ok(Self::empty(SpatialIndex::Global(DynamicKdTree::new(&[]))));
         }
         let initial = EuclideanMst::build(points)?;
+        let index = SpatialIndex::Global(DynamicKdTree::from_dense(points));
+        Ok(Self::from_initial(points, &initial, index))
+    }
+
+    /// Builds a **tiled** engine over an initial deployment: the first tree
+    /// comes from the sharded stitched builder ([`build_sharded`], which is
+    /// bit-identical to [`EuclideanMst::build`]), and the spatial index is a
+    /// per-tile [`TiledKdForest`] over `grid`.  Subsequent edits behave
+    /// edit-for-edit identically to a global engine — same tree bits, same
+    /// changed-slot sets — but rebuild work localizes to the owning tile and
+    /// inserts use a bounded star collected from a Lemma-1-scale ball instead
+    /// of an all-points star (the `n=10⁵` single-edit headline).
+    ///
+    /// Also returns the initial build's [`StitchStats`] for telemetry.
+    pub fn new_tiled(
+        points: &[Point],
+        grid: TileGrid,
+        threads: usize,
+    ) -> Result<(Self, StitchStats), EmstError> {
+        let empty_stats = StitchStats {
+            tiles: grid.tiles(),
+            occupied_tiles: 0,
+            largest_tile: 0,
+            tile_edges: 0,
+            cross_edges: 0,
+            stitch_rounds: 0,
+            stitched: false,
+        };
+        if points.is_empty() {
+            let forest = TiledKdForest::new(grid, &[]);
+            return Ok((Self::empty(SpatialIndex::Tiled(forest)), empty_stats));
+        }
+        let (initial, stats) = build_sharded(points, &grid, threads)?;
+        let entries: Vec<(usize, Point)> = points.iter().copied().enumerate().collect();
+        let index = SpatialIndex::Tiled(TiledKdForest::new(grid, &entries));
+        Ok((Self::from_initial(points, &initial, index), stats))
+    }
+
+    fn empty(index: SpatialIndex) -> Self {
+        DynamicEmst {
+            points: Vec::new(),
+            alive: Vec::new(),
+            live: 0,
+            adj: Vec::new(),
+            sorted_edges: Vec::new(),
+            index,
+            changed: Vec::new(),
+            label_stamp: Vec::new(),
+            label_of: Vec::new(),
+            label_epoch: 0,
+            path_parent: Vec::new(),
+            path_w: Vec::new(),
+        }
+    }
+
+    fn from_initial(points: &[Point], initial: &EuclideanMst, index: SpatialIndex) -> Self {
         let n = points.len();
         let mut sorted_edges: Vec<SlotEdge> = initial
             .edges()
@@ -125,11 +245,16 @@ impl DynamicEmst {
             live: n,
             adj: vec![Vec::new(); n],
             sorted_edges,
-            kd: DynamicKdTree::from_dense(points),
+            index,
             changed: Vec::new(),
+            label_stamp: vec![0; n],
+            label_of: vec![0; n],
+            label_epoch: 0,
+            path_parent: vec![0; n],
+            path_w: vec![0.0; n],
         };
         emst.rebuild_adjacency();
-        Ok(emst)
+        emst
     }
 
     /// Number of live sensors.
@@ -180,10 +305,61 @@ impl DynamicEmst {
         self.points.len()
     }
 
-    /// The shared spatial index over the live sensors (reused by the
-    /// verification side of a dynamic solver session).
-    pub fn kd(&self) -> &DynamicKdTree {
-        &self.kd
+    /// Queries the shared spatial index for every live slot within `radius`
+    /// of `query` (closed ball, `out` sorted ascending) — reused by the
+    /// verification side of a dynamic solver session.  `scratch` is caller
+    /// scratch space so steady-state queries allocate nothing.
+    pub fn within_radius_with(
+        &self,
+        query: &Point,
+        radius: f64,
+        scratch: &mut Vec<usize>,
+        out: &mut Vec<usize>,
+    ) {
+        self.index.within_radius_with(query, radius, scratch, out);
+    }
+
+    /// The tile grid of a tiled engine, `None` for a global one.
+    pub fn tile_grid(&self) -> Option<&TileGrid> {
+        match &self.index {
+            SpatialIndex::Global(_) => None,
+            SpatialIndex::Tiled(forest) => Some(forest.grid()),
+        }
+    }
+
+    /// Occupied tile count of a tiled engine, `None` for a global one.
+    pub fn occupied_tiles(&self) -> Option<usize> {
+        match &self.index {
+            SpatialIndex::Global(_) => None,
+            SpatialIndex::Tiled(forest) => Some(forest.occupied_tiles()),
+        }
+    }
+
+    /// Swaps the spatial index in place: `Some(grid)` re-tiles the engine
+    /// over that grid, `None` reverts to one global kd-tree.  The tree, the
+    /// slots and every future edit result are unaffected — the index is a
+    /// pure acceleration structure and both variants answer queries
+    /// bit-identically — so this is how a deployment recovered by replay
+    /// (which starts empty, hence global) adopts its configured sharding
+    /// after the fact.
+    pub fn set_tile_grid(&mut self, grid: Option<TileGrid>) {
+        let entries: Vec<(usize, Point)> = (0..self.points.len())
+            .filter(|&s| self.alive[s])
+            .map(|s| (s, self.points[s]))
+            .collect();
+        self.index = match grid {
+            Some(grid) => SpatialIndex::Tiled(TiledKdForest::new(grid, &entries)),
+            None => SpatialIndex::Global(DynamicKdTree::new(&entries)),
+        };
+    }
+
+    /// The live points in ascending slot order (what a shard spec resolves
+    /// its grid against).
+    pub fn live_points(&self) -> Vec<Point> {
+        (0..self.points.len())
+            .filter(|&s| self.alive[s])
+            .map(|s| self.points[s])
+            .collect()
     }
 
     /// Live slots whose tree neighborhood changed in the most recent edit
@@ -198,8 +374,12 @@ impl DynamicEmst {
         self.points.push(p);
         self.alive.push(true);
         self.adj.push(Vec::new());
+        self.label_stamp.push(0);
+        self.label_of.push(0);
+        self.path_parent.push(0);
+        self.path_w.push(0.0);
         self.live += 1;
-        self.kd.insert(slot, p);
+        self.index.insert(slot, p);
         self.changed.clear();
         self.changed.push(slot);
         self.attach(slot);
@@ -217,7 +397,7 @@ impl DynamicEmst {
         self.changed.clear();
         self.alive[slot] = false;
         self.live -= 1;
-        self.kd.remove(slot);
+        self.index.remove(slot);
         self.detach(slot);
         self.finish_edit();
         Ok(())
@@ -234,12 +414,12 @@ impl DynamicEmst {
         // slot leaves the spatial index *before* the detach so the
         // reconnection's nearest-foreign queries cannot wire an edge back to
         // the vacating sensor.
-        self.kd.remove(slot);
+        self.index.remove(slot);
         self.alive[slot] = false;
         self.live -= 1;
         self.detach(slot);
         self.points[slot] = p;
-        self.kd.insert(slot, p);
+        self.index.insert(slot, p);
         self.alive[slot] = true;
         self.live += 1;
         self.attach(slot);
@@ -257,19 +437,60 @@ impl DynamicEmst {
     /// Connects `slot` (live, currently edge-less) to the spanning tree of
     /// the other live slots via a Kruskal pass over the merge of the cached
     /// sorted tree edges and `slot`'s sorted star.
+    ///
+    /// A global engine uses the full star (every live slot).  A tiled engine
+    /// collects a **bounded star** instead: with `d₁` the distance to the
+    /// nearest live sensor and `R = max(d₁, lmax)`, every star edge the
+    /// Kruskal merge can possibly *take* has weight ≤ `R` — once all old
+    /// tree edges (each ≤ `lmax`) and the edge to the nearest neighbour
+    /// (`d₁`) have been processed, the forest is fully connected and later
+    /// star edges are union-find no-ops.  Collecting the closed ball of
+    /// radius `R` (ulp-widened by [`STAR_SLACK`]) therefore reproduces the
+    /// full star's take sequence bit-for-bit while touching `O(ball)` points
+    /// instead of `O(n)`.
     fn attach(&mut self, slot: usize) {
         if self.live <= 1 {
             return;
         }
         let apex = self.points[slot];
-        let mut star: Vec<SlotEdge> = Vec::with_capacity(self.live - 1);
-        for t in 0..self.points.len() {
-            if t != slot && self.alive[t] {
-                star.push(make_edge(apex.distance(&self.points[t]), slot, t));
+        match &self.index {
+            SpatialIndex::Global(_) => {
+                let mut star = Vec::with_capacity(self.live - 1);
+                for t in 0..self.points.len() {
+                    if t != slot && self.alive[t] {
+                        star.push(make_edge(apex.distance(&self.points[t]), slot, t));
+                    }
+                }
+                star.sort_unstable_by(|&a, &b| edge_order(a, b));
+                self.attach_merge(&star);
+            }
+            SpatialIndex::Tiled(forest) => {
+                let (_, d1) = forest
+                    .nearest_filtered_slot(&apex, |s| s == slot)
+                    .expect("live > 1, so a nearest foreign sensor exists");
+                let radius = d1.max(self.lmax()) * STAR_SLACK;
+                let mut scratch = Vec::new();
+                let mut ball = Vec::new();
+                forest.within_radius_with(&apex, radius, &mut scratch, &mut ball);
+                let mut star: Vec<SlotEdge> = ball
+                    .iter()
+                    .filter(|&&t| t != slot)
+                    .map(|&t| make_edge(apex.distance(&self.points[t]), slot, t))
+                    .collect();
+                star.sort_unstable_by(|&a, &b| edge_order(a, b));
+                self.attach_local(slot, &star);
             }
         }
-        star.sort_unstable_by(|&a, &b| edge_order(a, b));
+        self.repair_degrees();
+    }
 
+    /// Global-engine attach: Kruskal over merge(old tree, full star), applied
+    /// *surgically* — the new tree differs from the old one only by the taken
+    /// star edges and the old edges they displace (k taken ⟹ exactly k − 1
+    /// displaced), so instead of rebuilding every adjacency list the handful
+    /// of insertions/evictions is recorded as it happens.  `new_edges` comes
+    /// out of the merge already in sorted edge order.
+    fn attach_merge(&mut self, star: &[SlotEdge]) {
         let mut uf = UnionFind::new(self.points.len());
         let mut new_edges: Vec<SlotEdge> = Vec::with_capacity(self.live - 1);
         let (mut i, mut j) = (0usize, 0usize);
@@ -280,19 +501,161 @@ impl DynamicEmst {
                 (None, Some(_)) => false,
                 (None, None) => break,
             };
-            let e = if take_old {
+            if take_old {
                 i += 1;
-                self.sorted_edges[i - 1]
+                let e = self.sorted_edges[i - 1];
+                if uf.union(e.1 as usize, e.2 as usize) {
+                    new_edges.push(e);
+                } else {
+                    self.evict_adj(e);
+                }
             } else {
                 j += 1;
-                star[j - 1]
-            };
-            if uf.union(e.1 as usize, e.2 as usize) {
-                new_edges.push(e);
+                let e = star[j - 1];
+                if uf.union(e.1 as usize, e.2 as usize) {
+                    new_edges.push(e);
+                    self.adj_insert(e.1 as usize, e.2 as usize, e.0);
+                    self.adj_insert(e.2 as usize, e.1 as usize, e.0);
+                    self.changed.push(e.1 as usize);
+                    self.changed.push(e.2 as usize);
+                }
             }
         }
-        self.apply_tree(new_edges);
-        self.repair_degrees();
+        // Old edges past the early exit close cycles in the completed tree
+        // (Kruskal would reject them); they leave the tree too.
+        while i < self.sorted_edges.len() {
+            self.evict_adj(self.sorted_edges[i]);
+            i += 1;
+        }
+        self.sorted_edges = new_edges;
+    }
+
+    /// Tiled-engine attach: exact vertex insertion without touching the rest
+    /// of the tree.  `star` is the sorted bounded star (see
+    /// [`DynamicEmst::attach`]); the final tree is the same unique MST the
+    /// global merge produces, via two exact reductions:
+    ///
+    /// 1. **Cycle-property pruning.**  A candidate `(v, u)` with a witness
+    ///    `z` such that both `(v, z)` and `(z, u)` precede it in the shared
+    ///    edge order is the strict maximum of the triangle `v–z–u`, so it is
+    ///    in no MST and can be dropped.  Any witness closer to `v` than `u`
+    ///    lies inside the collection ball, so scanning earlier star entries
+    ///    finds one whenever it exists; survivors are pairwise ≥ 60° apart
+    ///    around `v` (else the nearer endpoint witnesses against the
+    ///    farther), hence at most six — the relative-neighborhood-graph
+    ///    bound.
+    /// 2. **Path-max swaps (Chin & Houck).**  The smallest star edge is the
+    ///    minimum edge across the cut `{v}`, so it joins unconditionally.
+    ///    Each further survivor `e = (v, u)` closes one cycle with the
+    ///    current tree path `v⋯u`; by the cycle property the tree stays
+    ///    minimum iff the path's maximum edge `M` survives, so `e` enters
+    ///    (and `M` leaves) exactly when `e < M`.  Each step keeps the tree
+    ///    an exact MST of the edges considered so far, and the Chin–Houck
+    ///    fact (`MST(P ∪ {v}) ⊆ T ∪ star(v)`) makes the final tree the MST
+    ///    of the full point set.
+    fn attach_local(&mut self, slot: usize, star: &[SlotEdge]) {
+        debug_assert!(!star.is_empty(), "live > 1 leaves at least one candidate");
+        let mut survivors: Vec<SlotEdge> = Vec::new();
+        'candidates: for (ci, &e) in star.iter().enumerate() {
+            let u = if e.1 as usize == slot { e.2 } else { e.1 } as usize;
+            for &ze in &star[..ci] {
+                let z = if ze.1 as usize == slot { ze.2 } else { ze.1 } as usize;
+                let zu = make_edge(self.points[z].distance(&self.points[u]), z, u);
+                if edge_order(zu, e) == std::cmp::Ordering::Less {
+                    continue 'candidates;
+                }
+            }
+            survivors.push(e);
+        }
+
+        let first = survivors[0];
+        self.adj_insert(first.1 as usize, first.2 as usize, first.0);
+        self.adj_insert(first.2 as usize, first.1 as usize, first.0);
+        self.insert_sorted(first);
+        self.changed.push(first.1 as usize);
+        self.changed.push(first.2 as usize);
+
+        for &e in &survivors[1..] {
+            let u = if e.1 as usize == slot { e.2 } else { e.1 } as usize;
+            let m = self.tree_path_max(slot, u);
+            if edge_order(e, m) == std::cmp::Ordering::Less {
+                let (ma, mb) = (m.1 as usize, m.2 as usize);
+                self.adj[ma].retain(|&(x, _)| x != mb);
+                self.adj[mb].retain(|&(x, _)| x != ma);
+                self.remove_sorted(m);
+                self.changed.push(ma);
+                self.changed.push(mb);
+                self.adj_insert(e.1 as usize, e.2 as usize, e.0);
+                self.adj_insert(e.2 as usize, e.1 as usize, e.0);
+                self.insert_sorted(e);
+                self.changed.push(e.1 as usize);
+                self.changed.push(e.2 as usize);
+            }
+        }
+    }
+
+    /// The maximum edge (by the shared order) on the unique tree path
+    /// between live slots `a` and `b`, found by a bidirectional BFS that
+    /// meets near the middle — O(vertices within half the path's hop
+    /// distance), independent of the tree size for nearby endpoints.
+    fn tree_path_max(&mut self, a: usize, b: usize) -> SlotEdge {
+        debug_assert!(a != b);
+        self.label_epoch += 1;
+        let epoch = self.label_epoch;
+        self.label_stamp[a] = epoch;
+        self.label_of[a] = 0;
+        self.path_parent[a] = u32::MAX;
+        self.label_stamp[b] = epoch;
+        self.label_of[b] = 1;
+        self.path_parent[b] = u32::MAX;
+        let mut frontiers: [Vec<usize>; 2] = [vec![a], vec![b]];
+        let meet: (usize, usize, f64) = 'search: loop {
+            // Expand the smaller frontier one full level.
+            let side = usize::from(frontiers[1].len() < frontiers[0].len());
+            debug_assert!(!frontiers[side].is_empty(), "endpoints are connected");
+            let mut next = Vec::new();
+            for &v in &frontiers[side] {
+                for i in 0..self.adj[v].len() {
+                    let (u, w) = self.adj[v][i];
+                    if self.label_stamp[u] != epoch {
+                        self.label_stamp[u] = epoch;
+                        self.label_of[u] = side as u32;
+                        self.path_parent[u] = v as u32;
+                        self.path_w[u] = w;
+                        next.push(u);
+                    } else if self.label_of[u] as usize != side {
+                        break 'search (v, u, w);
+                    }
+                }
+            }
+            frontiers[side] = next;
+        };
+        // The unique a–b path is (a ⋯ v) + (v, u) + (u ⋯ b); fold the
+        // parent chains on both sides into the running maximum.
+        let mut max = make_edge(meet.2, meet.0, meet.1);
+        for start in [meet.0, meet.1] {
+            let mut x = start;
+            while self.path_parent[x] != u32::MAX {
+                let p = self.path_parent[x] as usize;
+                let e = make_edge(self.path_w[x], x, p);
+                if edge_order(e, max) == std::cmp::Ordering::Greater {
+                    max = e;
+                }
+                x = p;
+            }
+        }
+        max
+    }
+
+    /// Drops a just-displaced old tree edge from both adjacency lists and
+    /// marks its endpoints changed (the sorted edge cache is replaced
+    /// wholesale by the caller).
+    fn evict_adj(&mut self, e: SlotEdge) {
+        let (a, b) = (e.1 as usize, e.2 as usize);
+        self.adj[a].retain(|&(v, _)| v != b);
+        self.adj[b].retain(|&(v, _)| v != a);
+        self.changed.push(a);
+        self.changed.push(b);
     }
 
     /// Removes `slot`'s incident edges and reconnects the resulting ≤ 5
@@ -307,50 +670,90 @@ impl DynamicEmst {
             self.changed.push(u);
         }
         if incident.len() >= 2 {
-            self.reconnect();
+            let seeds: Vec<usize> = incident.iter().map(|&(u, _)| u).collect();
+            self.reconnect(&seeds);
         }
         self.repair_degrees();
     }
 
-    /// Borůvka-style reconnection of the current spanning forest of the live
-    /// slots into a single tree.
-    fn reconnect(&mut self) {
-        // Label every live slot with its forest component.
-        let mut uf = UnionFind::new(self.points.len());
-        for &(_, a, b) in &self.sorted_edges {
-            uf.union(a as usize, b as usize);
-        }
-        let mut labels = vec![usize::MAX; self.points.len()];
-        let mut components: Vec<Vec<usize>> = Vec::new();
-        let mut component_of_root: Vec<usize> = vec![usize::MAX; self.points.len()];
-        for (s, alive) in self.alive.iter().enumerate() {
-            if !alive {
-                continue;
-            }
-            let root = uf.find(s);
-            if component_of_root[root] == usize::MAX {
-                component_of_root[root] = components.len();
-                components.push(Vec::new());
-            }
-            let c = component_of_root[root];
-            labels[s] = c;
-            components[c].push(s);
+    /// Borůvka-style reconnection of the spanning forest left by a vertex
+    /// detach into a single tree.  `seeds` are the detached vertex's former
+    /// neighbours — one per component, since removing a vertex from a tree
+    /// splits it into exactly one component per neighbour.
+    ///
+    /// Component discovery is a **lockstep BFS** from the seeds: all
+    /// frontiers advance one vertex per round, so the cost of labeling
+    /// tracks the *small* components (≈ seeds × second-largest size), not
+    /// the whole tree — the giant component on the far side of the cut is
+    /// left unlabeled and is simply never the query side.  Every added edge
+    /// is a minimum outgoing edge of a fully discovered component, so the
+    /// result is the unique MST regardless of merge order (cut property) —
+    /// bit-identical to a full relabeling pass.
+    fn reconnect(&mut self, seeds: &[usize]) {
+        self.label_epoch += 1;
+        let epoch = self.label_epoch;
+
+        // Per-seed group state: `members` doubles as the BFS queue (indexed
+        // by `head`); a group is complete when its queue drains.
+        let mut members: Vec<Vec<usize>> = Vec::with_capacity(seeds.len());
+        let mut head: Vec<usize> = vec![0; seeds.len()];
+        let mut complete: Vec<bool> = vec![false; seeds.len()];
+        let mut merged: Vec<bool> = vec![false; seeds.len()];
+        for (g, &s) in seeds.iter().enumerate() {
+            debug_assert!(self.label_stamp[s] != epoch, "seeds share a component");
+            self.label_stamp[s] = epoch;
+            self.label_of[s] = g as u32;
+            members.push(vec![s]);
         }
 
-        while components.len() > 1 {
-            // Smallest component first: its members issue the nearest-foreign
-            // queries, so the query volume tracks the small side of the cut.
-            let (ci, _) = components
+        // Lockstep discovery until at most one group (the giant) is still
+        // expanding.
+        let mut incomplete = seeds.len();
+        while incomplete > 1 {
+            for g in 0..members.len() {
+                if complete[g] {
+                    continue;
+                }
+                if head[g] == members[g].len() {
+                    complete[g] = true;
+                    incomplete -= 1;
+                    continue;
+                }
+                let v = members[g][head[g]];
+                head[g] += 1;
+                for i in 0..self.adj[v].len() {
+                    let u = self.adj[v][i].0;
+                    if self.label_stamp[u] != epoch {
+                        self.label_stamp[u] = epoch;
+                        self.label_of[u] = g as u32;
+                        members[g].push(u);
+                    } else {
+                        debug_assert!(
+                            self.label_of[u] as usize == g,
+                            "distinct components cannot meet in a forest"
+                        );
+                    }
+                }
+            }
+        }
+
+        // Merge loop: repeatedly take the smallest complete component, wire
+        // in its minimum outgoing edge, and fold it into the component on
+        // the other side.  Exactly `seeds.len() - 1` edges reconnect the
+        // tree.
+        for _ in 0..seeds.len() - 1 {
+            let (ci, _) = members
                 .iter()
                 .enumerate()
+                .filter(|&(g, _)| complete[g] && !merged[g])
                 .min_by_key(|(_, m)| m.len())
-                .expect("non-empty component list");
-            let label = ci;
+                .expect("a complete unmerged component remains");
+            let label = ci as u32;
             let mut best: Option<(SlotEdge, usize)> = None; // (edge, foreign slot)
-            for &v in &components[ci] {
-                let found = self
-                    .kd
-                    .nearest_filtered_slot(&self.points[v], |s| labels[s] == label);
+            for &v in &members[ci] {
+                let found = self.index.nearest_filtered_slot(&self.points[v], |s| {
+                    self.label_stamp[s] == epoch && self.label_of[s] == label
+                });
                 if let Some((u, d)) = found {
                     let e = make_edge(d, v, u);
                     if best.is_none_or(|(b, _)| edge_order(e, b) == std::cmp::Ordering::Less) {
@@ -366,63 +769,24 @@ impl DynamicEmst {
             self.changed.push(a);
             self.changed.push(b);
 
-            // Merge the small component into the foreign one.
-            let target = labels[foreign];
-            let members = std::mem::take(&mut components[ci]);
-            for &m in &members {
-                labels[m] = target;
-            }
-            components[target].extend(members);
-            components.swap_remove(ci);
-            // swap_remove moved the last component's index; fix its labels.
-            if ci < components.len() {
-                for &m in &components[ci] {
-                    labels[m] = ci;
+            merged[ci] = true;
+            if self.label_stamp[foreign] == epoch {
+                let target = self.label_of[foreign] as usize;
+                if complete[target] {
+                    // Fold into another small component: its future queries
+                    // must treat our members as same-side, and may issue
+                    // from them.
+                    let moved = std::mem::take(&mut members[ci]);
+                    for &m in &moved {
+                        self.label_of[m] = target as u32;
+                    }
+                    members[target].extend(moved);
                 }
-            }
-        }
-    }
-
-    /// Replaces the tree with `new_edges` (already in sorted edge order):
-    /// diffs against the old edge set to track changed slots, then rebuilds
-    /// the adjacency lists.
-    fn apply_tree(&mut self, new_edges: Vec<SlotEdge>) {
-        let mut old: Vec<(u32, u32)> = self.sorted_edges.iter().map(|&(_, a, b)| (a, b)).collect();
-        let mut new: Vec<(u32, u32)> = new_edges.iter().map(|&(_, a, b)| (a, b)).collect();
-        old.sort_unstable();
-        new.sort_unstable();
-        let (mut i, mut j) = (0usize, 0usize);
-        while i < old.len() || j < new.len() {
-            match (old.get(i), new.get(j)) {
-                (Some(&a), Some(&b)) if a == b => {
-                    i += 1;
-                    j += 1;
-                }
-                (Some(&a), Some(&b)) if a < b => {
-                    self.changed.push(a.0 as usize);
-                    self.changed.push(a.1 as usize);
-                    i += 1;
-                }
-                (Some(_), Some(&b)) => {
-                    self.changed.push(b.0 as usize);
-                    self.changed.push(b.1 as usize);
-                    j += 1;
-                }
-                (Some(&a), None) => {
-                    self.changed.push(a.0 as usize);
-                    self.changed.push(a.1 as usize);
-                    i += 1;
-                }
-                (None, Some(&b)) => {
-                    self.changed.push(b.0 as usize);
-                    self.changed.push(b.1 as usize);
-                    j += 1;
-                }
-                (None, None) => break,
+                // Folding into the giant needs no relabeling: our stale
+                // label is never a query side again, and other components
+                // already treat it as foreign.
             }
         }
-        self.sorted_edges = new_edges;
-        self.rebuild_adjacency();
     }
 
     fn rebuild_adjacency(&mut self) {
@@ -466,14 +830,21 @@ impl DynamicEmst {
     /// exceeds degree 5 (only possible under exact 60°/equal-length ties),
     /// replace the longer of its two angularly closest star edges by the
     /// edge between the two neighbours.
+    ///
+    /// Only slots whose degree changed in the current edit can newly violate
+    /// (the previous repair left none), and every such slot is in the
+    /// `changed` set — so the scan runs over a min-heap of candidates
+    /// instead of the whole slot space.  Popping the smallest candidate
+    /// reproduces the smallest-violating-slot-first order of a full
+    /// ascending scan exactly.
     fn repair_degrees(&mut self) {
+        let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<usize>> =
+            self.changed.iter().map(|&v| std::cmp::Reverse(v)).collect();
         let mut budget = 4 * self.live + 16;
-        loop {
-            let Some(v) = (0..self.points.len())
-                .find(|&v| self.alive[v] && self.adj[v].len() > MAX_MST_DEGREE)
-            else {
-                return;
-            };
+        while let Some(std::cmp::Reverse(v)) = heap.pop() {
+            if !self.alive.get(v).copied().unwrap_or(false) || self.adj[v].len() <= MAX_MST_DEGREE {
+                continue;
+            }
             if budget == 0 {
                 return;
             }
@@ -504,6 +875,9 @@ impl DynamicEmst {
             self.changed.push(v);
             self.changed.push(a);
             self.changed.push(b);
+            heap.push(std::cmp::Reverse(v));
+            heap.push(std::cmp::Reverse(a));
+            heap.push(std::cmp::Reverse(b));
         }
     }
 
@@ -694,6 +1068,79 @@ mod tests {
         ));
         assert!(!emst.is_alive(2));
         assert_eq!(emst.live_slots(), vec![0, 1, 3, 4]);
+    }
+
+    /// A tiled engine must be **edit-for-edit bit-identical** to a global
+    /// one: same sorted edge cache (weights compared by bits), same changed
+    /// sets, same lmax/total-weight bits after every edit.
+    #[test]
+    fn tiled_engine_matches_global_edit_for_edit() {
+        let pts = random_points(120, 21);
+        let grid = TileGrid::with_tiles_per_axis(&pts, 3).unwrap();
+        let mut global = DynamicEmst::new(&pts).unwrap();
+        let (mut tiled, _) = DynamicEmst::new_tiled(&pts, grid, 2).unwrap();
+
+        let assert_same = |g: &DynamicEmst, t: &DynamicEmst| {
+            let key = |e: &SlotEdge| (e.1, e.2, e.0.to_bits());
+            let ge: Vec<_> = g.sorted_edges.iter().map(key).collect();
+            let te: Vec<_> = t.sorted_edges.iter().map(key).collect();
+            assert_eq!(ge, te);
+            assert_eq!(g.changed_slots(), t.changed_slots());
+            assert_eq!(g.lmax().to_bits(), t.lmax().to_bits());
+            assert_eq!(g.total_weight().to_bits(), t.total_weight().to_bits());
+        };
+        assert_same(&global, &tiled);
+
+        let mut rng = StdRng::seed_from_u64(22);
+        for step in 0..120 {
+            match step % 3 {
+                0 => {
+                    let p = Point::new(rng.random_range(0.0..20.0), rng.random_range(0.0..20.0));
+                    assert_eq!(global.insert(p), tiled.insert(p));
+                }
+                1 => {
+                    let live = global.live_slots();
+                    let victim = live[rng.random_range(0..live.len())];
+                    global.remove(victim).unwrap();
+                    tiled.remove(victim).unwrap();
+                }
+                _ => {
+                    let live = global.live_slots();
+                    let slot = live[rng.random_range(0..live.len())];
+                    let p = Point::new(rng.random_range(0.0..20.0), rng.random_range(0.0..20.0));
+                    global.move_to(slot, p).unwrap();
+                    tiled.move_to(slot, p).unwrap();
+                }
+            }
+            assert_same(&global, &tiled);
+        }
+        assert!(tiled.tile_grid().is_some());
+        assert!(global.tile_grid().is_none());
+        assert_matches_rebuild(&tiled);
+    }
+
+    /// Tiled engines start from nothing too (the deployment-server shape),
+    /// including edits that push points outside the original grid bounds
+    /// (clamped to the boundary tiles).
+    #[test]
+    fn tiled_engine_grows_from_empty_and_clamps_outliers() {
+        let seed = random_points(4, 30);
+        let grid = TileGrid::with_tiles_per_axis(&seed, 2).unwrap();
+        let (mut tiled, stats) = DynamicEmst::new_tiled(&[], grid, 1).unwrap();
+        assert_eq!(stats.occupied_tiles, 0);
+        let mut global = DynamicEmst::new(&[]).unwrap();
+        for p in &seed {
+            assert_eq!(global.insert(*p), tiled.insert(*p));
+        }
+        // Far outside the grid's bounding box on both sides.
+        for p in [Point::new(-500.0, -500.0), Point::new(900.0, 900.0)] {
+            assert_eq!(global.insert(p), tiled.insert(p));
+        }
+        let key = |e: &SlotEdge| (e.1, e.2, e.0.to_bits());
+        let ge: Vec<_> = global.sorted_edges.iter().map(key).collect();
+        let te: Vec<_> = tiled.sorted_edges.iter().map(key).collect();
+        assert_eq!(ge, te);
+        assert_matches_rebuild(&tiled);
     }
 
     #[test]

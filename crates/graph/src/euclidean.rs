@@ -203,18 +203,40 @@ impl EuclideanMst {
         }
         let n = points.len();
         let resolved = engine.resolve(n);
-        let mut tree = Graph::new(n);
-        if n > 1 {
-            let spanning = match resolved {
+        let spanning = if n > 1 {
+            match resolved {
                 MstEngine::DensePrim => dense_prim(points),
                 MstEngine::KdTreeBoruvka => kd_boruvka(points, threads),
                 MstEngine::Auto => unreachable!("resolve() returns a concrete engine"),
-            };
-            for e in spanning {
-                tree.add_edge(e.u, e.v, e.weight);
             }
-            repair_degree(points, &mut tree);
+        } else {
+            Vec::new()
+        };
+        Self::assemble(points, &spanning, resolved)
+    }
+
+    /// Shared tail of every engine path: assemble the spanning edges into a
+    /// canonical tree (adjacency sorted before *and* after the degree-repair
+    /// pass, so the result depends only on the spanning edge **set**, never
+    /// on the order an engine discovered the edges in) and validate the
+    /// degree bound.  The sharded stitched builder (`crate::sharded`) feeds
+    /// its boundary-merged edge set through this same tail, which is what
+    /// makes it bit-identical to the global build.
+    pub(crate) fn assemble(
+        points: &[Point],
+        spanning: &[Edge],
+        engine: MstEngine,
+    ) -> Result<Self, EmstError> {
+        if points.is_empty() {
+            return Err(EmstError::EmptyPointSet);
         }
+        let mut tree = Graph::new(points.len());
+        for e in spanning {
+            tree.add_edge(e.u, e.v, e.weight);
+        }
+        tree.sort_adjacency();
+        repair_degree(points, &mut tree);
+        tree.sort_adjacency();
         let max_degree = tree.max_degree();
         if max_degree > MAX_MST_DEGREE {
             return Err(EmstError::DegreeRepairFailed {
@@ -226,7 +248,7 @@ impl EuclideanMst {
             points: points.to_vec(),
             tree,
             lmax,
-            engine: resolved,
+            engine,
         })
     }
 
@@ -240,10 +262,14 @@ impl EuclideanMst {
     /// bug upstream).  `lmax` is derived from the tree, and the engine field
     /// reports [`MstEngine::Auto`] ("provenance unknown"), matching the
     /// contract for payloads that predate the engine field.
-    pub fn from_precomputed(points: Vec<Point>, tree: Graph) -> Result<Self, EmstError> {
+    pub fn from_precomputed(points: Vec<Point>, mut tree: Graph) -> Result<Self, EmstError> {
         if points.is_empty() {
             return Err(EmstError::EmptyPointSet);
         }
+        // Same canonical neighbour order as the engine paths (a no-op for
+        // the incremental engine, whose materialization already inserts
+        // edges in ascending order).
+        tree.sort_adjacency();
         let max_degree = tree.max_degree();
         if max_degree > MAX_MST_DEGREE {
             return Err(EmstError::DegreeRepairFailed {
@@ -441,7 +467,7 @@ fn dense_prim(points: &[Point]) -> Vec<Edge> {
 
 /// Smallest input for which a Borůvka round's scan is worth fanning out;
 /// below this the thread-scope setup dwarfs the queries themselves.
-const PARALLEL_BORUVKA_MIN: usize = 4096;
+pub(crate) const PARALLEL_BORUVKA_MIN: usize = 4096;
 
 /// Kd-tree Borůvka over the implicit complete Euclidean graph.
 ///
@@ -461,7 +487,7 @@ const PARALLEL_BORUVKA_MIN: usize = 4096;
 /// winners merged serially; the per-component minimum under the total order
 /// is the same whatever the chunking (see [`scan_run`]), so every thread
 /// count yields the identical edge list, bit for bit.
-fn kd_boruvka(points: &[Point], threads: usize) -> Vec<Edge> {
+pub(crate) fn kd_boruvka(points: &[Point], threads: usize) -> Vec<Edge> {
     let n = points.len();
     // The index borrows `points` — the MST build path holds no extra copy of
     // the point set (the earlier owning `KdTree` doubled point storage,
@@ -625,7 +651,7 @@ fn scan_run(
 }
 
 /// The tie-broken total order on candidate edges shared by both engines.
-fn edge_order(a: (f64, usize, usize), b: (f64, usize, usize)) -> std::cmp::Ordering {
+pub(crate) fn edge_order(a: (f64, usize, usize), b: (f64, usize, usize)) -> std::cmp::Ordering {
     a.0.total_cmp(&b.0)
         .then_with(|| a.1.cmp(&b.1))
         .then_with(|| a.2.cmp(&b.2))
@@ -634,7 +660,7 @@ fn edge_order(a: (f64, usize, usize), b: (f64, usize, usize)) -> std::cmp::Order
 /// Local exchange pass that reduces vertices of degree > 5 (which can only
 /// arise from exact 60° / equal-length ties) without increasing the tree
 /// weight by more than floating-point noise.
-fn repair_degree(points: &[Point], tree: &mut Graph) {
+pub(crate) fn repair_degree(points: &[Point], tree: &mut Graph) {
     let n = points.len();
     // A generous iteration cap: each exchange strictly reduces the number of
     // (vertex, excess-degree) units, but guard against pathological floating

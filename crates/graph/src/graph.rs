@@ -165,6 +165,20 @@ impl Graph {
         }
     }
 
+    /// Sorts every adjacency list ascending by neighbour index (weight as a
+    /// deterministic tie-break for parallel edges), making the stored graph
+    /// a **canonical function of its edge set** — two builds that produce
+    /// the same edges in different orders become bit-identical structures,
+    /// with identical neighbour iteration order and identical (order-
+    /// dependent) floating-point sums in [`Graph::total_weight`].  The MST
+    /// engines canonicalize after building precisely so the sharded stitched
+    /// build can be compared bit-for-bit against the global one.
+    pub fn sort_adjacency(&mut self) {
+        for row in &mut self.adjacency {
+            row.sort_unstable_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.total_cmp(&b.1)));
+        }
+    }
+
     /// Total weight of all edges.
     pub fn total_weight(&self) -> f64 {
         self.edges().iter().map(|e| e.weight).sum()

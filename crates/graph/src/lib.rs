@@ -31,6 +31,7 @@ pub mod properties;
 pub mod reference;
 pub mod rooted;
 pub mod scc;
+pub mod sharded;
 pub mod shortest_path;
 pub mod traversal;
 pub mod union_find;
@@ -40,5 +41,6 @@ pub use dynamic::{DynamicEmst, DynamicEmstError};
 pub use euclidean::EuclideanMst;
 pub use graph::{Edge, Graph};
 pub use rooted::RootedTree;
+pub use sharded::{build_sharded, StitchStats};
 pub use traversal::{TraversalScratch, VertexMask};
 pub use union_find::UnionFind;

@@ -102,6 +102,83 @@ impl TraversalScratch {
     }
 }
 
+impl TraversalScratch {
+    /// [`TraversalScratch::scc_summary`] over an **adjacency-list digraph**
+    /// (`rows[v]` = out-neighbors of `v`) with an aliveness predicate,
+    /// instead of a materialized CSR [`DiGraph`] with a [`VertexMask`].
+    ///
+    /// This is the kernel incremental maintainers want: they keep rows in a
+    /// stable id space with tombstoned entries, and re-checking strong
+    /// connectivity after an edit should not pay an O(n + m) dense
+    /// re-indexing first.  Dead vertices are skipped exactly like
+    /// masked-out ones; results equal `scc_summary` on the equivalent
+    /// subgraph (component count and largest size are graph invariants,
+    /// independent of visit order).
+    pub fn scc_summary_rows<F: Fn(usize) -> bool>(
+        &mut self,
+        rows: &[Vec<u32>],
+        alive: F,
+    ) -> SccSummary {
+        let n = rows.len();
+        self.begin(n);
+        let mut next_index: u32 = 0;
+        let mut count = 0usize;
+        let mut largest = 0usize;
+        for start in 0..n {
+            if self.is_marked(start as u32) || !alive(start) {
+                continue;
+            }
+            self.call.push((start as u32, 0));
+            while let Some(&mut (v, ref mut child_pos)) = self.call.last_mut() {
+                let v_us = v as usize;
+                if *child_pos == 0 {
+                    self.visited[v_us] = self.epoch;
+                    self.value[v_us] = next_index;
+                    self.low[v_us] = next_index;
+                    next_index += 1;
+                    self.stack.push(v);
+                    self.on_stack[v_us] = true;
+                }
+                let out = &rows[v_us];
+                if (*child_pos as usize) < out.len() {
+                    let w = out[*child_pos as usize];
+                    *child_pos += 1;
+                    let w_us = w as usize;
+                    if !alive(w_us) {
+                        continue;
+                    }
+                    if self.visited[w_us] != self.epoch {
+                        self.call.push((w, 0));
+                    } else if self.on_stack[w_us] {
+                        self.low[v_us] = self.low[v_us].min(self.value[w_us]);
+                    }
+                } else {
+                    // Finished v.
+                    self.call.pop();
+                    if let Some(&(parent, _)) = self.call.last() {
+                        let p = parent as usize;
+                        self.low[p] = self.low[p].min(self.low[v_us]);
+                    }
+                    if self.low[v_us] == self.value[v_us] {
+                        let mut size = 0usize;
+                        loop {
+                            let w = self.stack.pop().expect("tarjan stack underflow");
+                            self.on_stack[w as usize] = false;
+                            size += 1;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        count += 1;
+                        largest = largest.max(size);
+                    }
+                }
+            }
+        }
+        SccSummary { count, largest }
+    }
+}
+
 /// Computes the SCC count and largest component size of `g` with a
 /// throwaway scratch; loops over many graphs or masks should hold a
 /// [`TraversalScratch`] and call [`TraversalScratch::scc_summary`] directly.
@@ -380,8 +457,53 @@ mod tests {
         assert!(empty.is_strongly_connected(0));
     }
 
+    #[test]
+    fn rows_kernel_matches_masked_csr_summary() {
+        // Two triangles sharing vertex 0, vertex 5 dead with a stale row.
+        let rows: Vec<Vec<u32>> = vec![vec![1, 3], vec![2], vec![0], vec![4], vec![0], vec![0, 2]];
+        let alive = [true, true, true, true, true, false];
+        let g = DiGraph::from_adjacency(6, rows.iter().map(|r| r.iter().map(|&v| v as usize)));
+        let mut mask = VertexMask::new(6);
+        mask.remove(5);
+        let mut scratch = TraversalScratch::new();
+        let dense = scratch.scc_summary(&g, Some(&mask));
+        let sparse = scratch.scc_summary_rows(&rows, |v| alive[v]);
+        assert_eq!(dense, sparse);
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_rows_kernel_matches_masked_csr(
+            n in 1usize..20,
+            edges in proptest::collection::vec((0usize..20, 0usize..20), 0..80),
+            dead in proptest::collection::vec(0usize..20, 0..6),
+        ) {
+            let mut rows: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for (u, v) in edges {
+                if u < n && v < n && u != v {
+                    rows[u].push(v as u32);
+                }
+            }
+            for row in &mut rows {
+                row.sort_unstable();
+                row.dedup();
+            }
+            let g = DiGraph::from_adjacency(n, rows.iter().map(|r| r.iter().map(|&v| v as usize)));
+            let mut mask = VertexMask::new(n);
+            let mut alive = vec![true; n];
+            for d in dead {
+                if d < n {
+                    mask.remove(d);
+                    alive[d] = false;
+                }
+            }
+            let mut scratch = TraversalScratch::new();
+            let dense = scratch.scc_summary(&g, Some(&mask));
+            let sparse = scratch.scc_summary_rows(&rows, |v| alive[v]);
+            prop_assert_eq!(dense, sparse);
+        }
         #[test]
         fn prop_tarjan_matches_kosaraju(n in 1usize..30, edges in proptest::collection::vec((0usize..30, 0usize..30), 0..120)) {
             let mut g = DiGraph::new(n);

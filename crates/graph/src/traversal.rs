@@ -116,7 +116,7 @@ pub(crate) fn debug_assert_mask_matches(g: &DiGraph, mask: Option<&VertexMask>) 
 /// One scratch serves any number of graphs and queries; buffers grow to the
 /// largest graph seen and are never shrunk.  See the module docs for the
 /// zero-allocation contract.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct TraversalScratch {
     /// Current query epoch; `visited[v] == epoch` ⇔ v visited this query.
     pub(crate) epoch: u32,

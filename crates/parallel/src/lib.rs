@@ -15,6 +15,25 @@
 //! Work items are pulled off a shared atomic counter by
 //! `std::thread::scope` workers, so no item is processed twice and results
 //! land in input order regardless of scheduling.
+//!
+//! The contract every caller leans on: for a pure `f`, the output of
+//! [`parallel_map`] is *identical* — not just equivalent — at every thread
+//! count, which is what lets the workspace promise bit-exact builds
+//! (`tests/parallel_build_oracle.rs`, `tests/shard_oracle.rs`) while still
+//! fanning out:
+//!
+//! ```
+//! use antennae_parallel::{chunk_ranges, parallel_map};
+//!
+//! let items: Vec<u64> = (0..1000).collect();
+//! let serial = parallel_map(&items, 1, |x| x.wrapping_mul(0x9E37_79B9));
+//! let fanned = parallel_map(&items, 8, |x| x.wrapping_mul(0x9E37_79B9));
+//! assert_eq!(serial, fanned); // same order, same values, any thread count
+//!
+//! // Stages that need index ranges instead of items chunk the same way:
+//! let ranges = chunk_ranges(items.len(), 8);
+//! assert_eq!(ranges.iter().map(|&(s, e)| e - s).sum::<usize>(), items.len());
+//! ```
 
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -114,6 +133,17 @@ where
 /// amortizing per-chunk overhead, mirroring [`parallel_map`]'s own internal
 /// chunking.  With `threads <= 1` a single full-range chunk is returned.
 /// Every range is non-empty and the ranges tile `0..len` exactly, in order.
+///
+/// # Examples
+///
+/// ```
+/// use antennae_parallel::chunk_ranges;
+///
+/// let ranges = chunk_ranges(10, 2);
+/// assert_eq!(ranges, vec![(0, 2), (2, 4), (4, 6), (6, 8), (8, 10)]);
+/// assert_eq!(chunk_ranges(10, 1), vec![(0, 10)]); // serial: one chunk
+/// assert!(chunk_ranges(0, 4).is_empty());
+/// ```
 pub fn chunk_ranges(len: usize, threads: usize) -> Vec<(usize, usize)> {
     if len == 0 {
         return Vec::new();

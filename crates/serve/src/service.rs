@@ -10,6 +10,7 @@
 use crate::protocol::{parse_request, EditOp, ErrorCode, Request, Response, MAX_CREATE_POINTS};
 use crate::registry::{process_ms, storage_error, Registry, Tenant};
 use antennae_core::antenna::AntennaBudget;
+use antennae_core::shard::ShardSpec;
 use antennae_core::solver::Registry as AlgorithmRegistry;
 use antennae_geometry::Point;
 use antennae_store::{Store, WalTail};
@@ -90,6 +91,9 @@ pub struct Service {
     /// When set, caps each tenant's buffered-edit queue: `EDIT` beyond the
     /// cap is rejected with `overloaded` until a repair drains the buffer.
     tenant_quota: Option<usize>,
+    /// Spatial-sharding policy applied to every tenant at creation and
+    /// recovery (bit-exact to the global engine; a pure cost knob).
+    shard_spec: ShardSpec,
 }
 
 impl Service {
@@ -106,8 +110,22 @@ impl Service {
     /// [`RecoveryReport`]), torn log tails are truncated — boot never
     /// panics on bad bytes.
     pub fn open_durable(store: Store) -> std::io::Result<(Self, RecoveryReport)> {
+        Self::open_durable_sharded(store, ShardSpec::default())
+    }
+
+    /// [`Service::open_durable`] with an explicit sharding policy: recovered
+    /// tenants are re-tiled under `spec` after their WAL replay (replay
+    /// always rebuilds on the global engine), and every later `CREATE`
+    /// shards under the same policy.  Sharding is bit-exact, so the policy
+    /// never changes what a recovered tenant answers — only what its edits
+    /// cost.
+    pub fn open_durable_sharded(
+        store: Store,
+        spec: ShardSpec,
+    ) -> std::io::Result<(Self, RecoveryReport)> {
         let service = Service {
             store: Some(store),
+            shard_spec: spec,
             ..Service::default()
         };
         let recovery = service
@@ -121,9 +139,11 @@ impl Service {
                 report.truncated_tails += 1;
                 report.lost_bytes += tenant.lost_bytes;
             }
+            let mut session = tenant.session;
+            session.set_shard_spec(spec);
             match service
                 .registry
-                .install_recovered(&tenant.name, tenant.session, tenant.wal)
+                .install_recovered(&tenant.name, session, tenant.wal)
             {
                 Ok(_) => report.recovered.push(tenant.name),
                 Err(e) => report.skipped.push((tenant.name, e.message)),
@@ -156,6 +176,19 @@ impl Service {
     /// The configured per-tenant pending-edit quota, if any.
     pub fn tenant_quota(&self) -> Option<usize> {
         self.tenant_quota
+    }
+
+    /// Sets the sharding policy for tenants created from now on (the
+    /// `--shards auto|N|off` flag).  Set before the service is shared; for
+    /// durable boots prefer [`Service::open_durable_sharded`] so recovered
+    /// tenants are re-tiled too.
+    pub fn set_shard_spec(&mut self, spec: ShardSpec) {
+        self.shard_spec = spec;
+    }
+
+    /// The sharding policy applied at tenant creation.
+    pub fn shard_spec(&self) -> ShardSpec {
+        self.shard_spec
     }
 
     /// A fresh per-connection state: already authenticated when no token is
@@ -298,7 +331,9 @@ impl Service {
         }
         let pts: Vec<Point> = points.iter().map(|&(x, y)| Point::new(x, y)).collect();
         let created = match &self.store {
-            None => self.registry.create(name, budget, &pts),
+            None => self
+                .registry
+                .create_with_wal(name, budget, &pts, None, self.shard_spec),
             Some(store) => {
                 // Fail duplicates fast before touching the disk; the
                 // registry re-checks under its write lock, so a race still
@@ -319,7 +354,7 @@ impl Service {
                         Err(e) => Err(storage_error("create tenant directory", &e)),
                         Ok(wal) => self
                             .registry
-                            .create_with_wal(name, budget, &pts, Some(wal))
+                            .create_with_wal(name, budget, &pts, Some(wal), self.shard_spec)
                             .inspect_err(|_| {
                                 // The solve or the name race failed after the
                                 // directory was written: remove it so the bad
@@ -577,12 +612,16 @@ impl Service {
                     0 => "none".to_string(),
                     stored => process_ms().saturating_sub(stored - 1).to_string(),
                 };
+                let shards = match snap.shard_grid {
+                    Some((x, y)) => format!("{x}x{y}"),
+                    None => "off".to_string(),
+                };
                 Response::ok(format!(
                     "stats {name} n={} pending={} revision={} edits_buffered={} \
                      edits_applied={} batches={} max_batch={} rows_recomputed={} \
                      mst_changed={} queries={} errors={} durable={} wal_records={} \
                      wal_bytes={} snapshots={} last_snapshot_age_ms={} \
-                     quota_rejections={} degraded={}",
+                     quota_rejections={} degraded={} shards={shards} shard_occupied={}",
                     snap.n,
                     tenant.pending(),
                     snap.revision,
@@ -601,6 +640,7 @@ impl Service {
                     last_snapshot,
                     s.quota_rejections.load(Ordering::Relaxed),
                     tenant.is_degraded(),
+                    snap.shard_occupied.unwrap_or(0),
                 ))
             }),
         }

@@ -214,9 +214,9 @@ fn concurrent_tenants_match_serial_replay_bit_for_bit() {
 
     // Oracle comparison: served state == serial bare-session replay.
     for script in &scripts {
-        let oracle = serial_replay(script);
+        let mut oracle = serial_replay(script);
         let tenant = service.registry().get(&script.name).expect("tenant");
-        tenant.with_session(|served| {
+        tenant.with_session_mut(|served| {
             let (a, b) = (served.instance(), oracle.instance());
             assert_eq!(a.ids(), b.ids(), "{}: live ids", script.name);
             for id in a.ids() {

@@ -540,7 +540,7 @@ mod tests {
             .collect()
     }
 
-    fn assert_sessions_bit_equal(a: &DynamicSolverSession, b: &DynamicSolverSession) {
+    fn assert_sessions_bit_equal(a: &mut DynamicSolverSession, b: &mut DynamicSolverSession) {
         assert_eq!(a.instance().ids(), b.instance().ids());
         assert_eq!(a.instance().next_id(), b.instance().next_id());
         for id in a.instance().ids() {
@@ -600,7 +600,7 @@ mod tests {
         assert_eq!(tenant.wal_tail, WalTail::Clean);
         assert_eq!(tenant.lost_bytes, 0);
         assert_eq!(tenant.wal.wal_records(), 4); // CREATE + 3 edits
-        assert_sessions_bit_equal(&tenant.session, &live);
+        assert_sessions_bit_equal(&mut tenant.session.clone(), &mut live.clone());
     }
 
     #[test]
@@ -658,7 +658,7 @@ mod tests {
         let tenant = &recovery.tenants[0];
         assert_eq!(tenant.wal.epoch(), 1);
         assert_eq!(tenant.wal.wal_records(), 1);
-        assert_sessions_bit_equal(&tenant.session, &live);
+        assert_sessions_bit_equal(&mut tenant.session.clone(), &mut live.clone());
     }
 
     #[test]
@@ -706,7 +706,7 @@ mod tests {
         let tenant = &recovery.tenants[0];
         assert_eq!(tenant.wal.epoch(), 1);
         assert_eq!(tenant.wal.wal_records(), 0, "stale records not re-applied");
-        assert_sessions_bit_equal(&tenant.session, &live);
+        assert_sessions_bit_equal(&mut tenant.session.clone(), &mut live.clone());
         assert!(
             !wal_path(&root.join("gamma"), 0).exists(),
             "stale epoch swept"
@@ -766,7 +766,7 @@ mod tests {
 
         let recovery = store.recover().unwrap();
         assert!(recovery.skipped.is_empty(), "{:?}", recovery.skipped);
-        assert_sessions_bit_equal(&recovery.tenants[0].session, &live);
+        assert_sessions_bit_equal(&mut recovery.tenants[0].session.clone(), &mut live.clone());
     }
 
     use antennae_core::DynamicInstance;

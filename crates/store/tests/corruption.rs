@@ -85,7 +85,7 @@ fn session_of_records(records: &[WalRecord]) -> DynamicSolverSession {
     session
 }
 
-fn assert_sessions_bit_equal(a: &DynamicSolverSession, b: &DynamicSolverSession) {
+fn assert_sessions_bit_equal(a: &mut DynamicSolverSession, b: &mut DynamicSolverSession) {
     assert_eq!(a.instance().ids(), b.instance().ids());
     assert_eq!(a.instance().next_id(), b.instance().next_id());
     for id in a.instance().ids() {
@@ -155,8 +155,8 @@ fn run_row(
     assert_eq!(salvaged.tail, WalTail::Clean, "tail was cut on reopen");
     assert_eq!(salvaged.records.len(), expect_records);
 
-    let oracle = session_of_records(&salvaged.records);
-    assert_sessions_bit_equal(&tenant.session, &oracle);
+    let mut oracle = session_of_records(&salvaged.records);
+    assert_sessions_bit_equal(&mut tenant.session.clone(), &mut oracle);
 }
 
 #[test]
@@ -276,7 +276,7 @@ fn zero_length_log_with_snapshot_recovers_from_the_snapshot() {
     std::fs::write(root.join("snappy/wal.1.log"), b"").unwrap();
     let recovery = store.recover().unwrap();
     assert!(recovery.skipped.is_empty(), "{:?}", recovery.skipped);
-    assert_sessions_bit_equal(&recovery.tenants[0].session, &live);
+    assert_sessions_bit_equal(&mut recovery.tenants[0].session.clone(), &mut live.clone());
 }
 
 #[test]
@@ -346,5 +346,5 @@ fn recovery_appends_after_a_cut_tail() {
     let recovery = store.recover().unwrap();
     assert!(recovery.skipped.is_empty(), "{:?}", recovery.skipped);
     assert_eq!(recovery.tenants[0].wal_tail, WalTail::Clean);
-    assert_sessions_bit_equal(&recovery.tenants[0].session, &live);
+    assert_sessions_bit_equal(&mut recovery.tenants[0].session.clone(), &mut live.clone());
 }

@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
-# Bench regression gate: runs scripts/bench_smoke.sh into BENCH_9.json and
+# Bench regression gate: runs scripts/bench_smoke.sh into BENCH_10.json and
 # compares every workload that also appears in the previous committed
 # BENCH_*.json, failing when any entry regressed by more than the gate
 # factor.
 #
 #   ./scripts/bench_gate.sh                 # gate at the default 2.0x
 #   BENCH_GATE_FACTOR=1.5 ./scripts/bench_gate.sh   # stricter gate
-#   ./scripts/bench_gate.sh --check-only    # compare an existing BENCH_9.json
+#   ./scripts/bench_gate.sh --check-only    # compare an existing BENCH_10.json
 #                                           # without re-running the benches
 #
 # Knobs:
@@ -22,7 +22,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FACTOR="${BENCH_GATE_FACTOR:-2.0}"
-CURRENT="BENCH_9.json"
+CURRENT="BENCH_10.json"
 
 # Previous trajectory point: the highest-numbered committed BENCH_*.json
 # other than the current output.

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Bench smoke run: quick-mode passes of the headline criterion benches
 # (traversal, verification, dispatch_policy, dynamic, parallel, serve,
-# store, mst_scaling), parsed into BENCH_9.json so every PR leaves a machine-readable
+# store, shard, mst_scaling), parsed into BENCH_10.json so every PR leaves a machine-readable
 # point on the bench trajectory.  `scripts/bench_gate.sh` compares this
 # output against the previous committed BENCH_*.json.
 #
@@ -17,8 +17,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 QUICK_MS="${CRITERION_STUB_MS:-40}"
-OUT="${1:-BENCH_9.json}"
-BENCHES=(traversal verification dispatch_policy dynamic parallel serve store mst_scaling)
+OUT="${1:-BENCH_10.json}"
+BENCHES=(traversal verification dispatch_policy dynamic parallel serve store shard mst_scaling)
 
 RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT

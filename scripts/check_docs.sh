@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Docs gate: the docs suite must exist, be linked from the README, and stay
+# in sync with the code it describes.
+#
+#   ./scripts/check_docs.sh          # structural checks + doc-sync tests
+#   ./scripts/check_docs.sh --fast   # structural checks only (no cargo)
+#
+# The structural half is cheap grep: every doc file exists, the README links
+# each of them, and PROTOCOL.md carries the pinned error-code table marker.
+# The semantic half — the error-code table matching `ErrorCode::ALL`, the
+# framing caps matching the compiled constants, verb coverage — lives in
+# tests/docs_sync.rs so it fails with a real diff; this script runs it
+# unless --fast is given.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOCS=(docs/PROTOCOL.md docs/OPERATIONS.md docs/ARCHITECTURE.md)
+
+fail() { echo "check_docs: $*" >&2; exit 1; }
+
+for doc in "${DOCS[@]}"; do
+    [[ -s "$doc" ]] || fail "$doc is missing or empty"
+    grep -qF "$doc" README.md || fail "README.md does not link $doc"
+done
+
+# The pinned error-code vocabulary: PROTOCOL.md must state the count and
+# carry one table row per code (the exact set is asserted by docs_sync).
+grep -q '\*\*17\*\* kebab-case codes' docs/PROTOCOL.md \
+    || fail "docs/PROTOCOL.md must state the pinned 17-code vocabulary"
+
+# Every doc the suite cross-references must exist where it points.
+for ref in PAPER.md ROADMAP.md CHANGES.md; do
+    [[ -s "$ref" ]] || fail "$ref is missing or empty"
+done
+
+# OPERATIONS.md must cover every flag the binary parses (grep the usage
+# string out of the source so a new flag can't land undocumented).
+while read -r flag; do
+    grep -qF "\`$flag" docs/OPERATIONS.md \
+        || fail "docs/OPERATIONS.md does not document orientd flag $flag"
+done < <(grep -o '"--[a-z-]*" =>' src/bin/orientd.rs | cut -d'"' -f2 | sort -u)
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "check_docs: structural checks OK; running doc-sync tests"
+    cargo test -q --test docs_sync
+fi
+
+echo "check_docs: OK"

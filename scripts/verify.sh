@@ -169,9 +169,17 @@ rm -rf "$DURABLE_DIR"
 rm -f "$DURABLE_LOG"
 echo "orientd durable recovery smoke OK"
 
+# The docs suite must track the code: check_docs.sh verifies existence and
+# README linkage, then runs tests/docs_sync.rs (error-code table pinned to
+# ErrorCode::ALL, framing caps to the compiled constants, verb coverage).
+# --fast here because the full workspace test run above already executed
+# docs_sync; this step only adds the structural greps.
+echo "== docs suite (scripts/check_docs.sh) =="
+./scripts/check_docs.sh --fast
+
 # Benches are not exercised by the test suite; building them (without
 # running) keeps them from rotting.  `scripts/bench_smoke.sh` runs the
-# headline benches in quick mode and records the numbers in BENCH_9.json;
+# headline benches in quick mode and records the numbers in BENCH_10.json;
 # `scripts/bench_gate.sh` compares that run against the previous committed
 # BENCH_*.json and flags >2x regressions (advisory CI job).
 echo "== benches compile (cargo bench --no-run) =="
@@ -180,6 +188,7 @@ cargo bench --no-run
 echo "== rustdoc, warnings as errors =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
     -p antennae \
+    -p antennae-parallel \
     -p antennae-geometry \
     -p antennae-graph \
     -p antennae-core \

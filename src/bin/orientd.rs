@@ -6,7 +6,7 @@
 //! orientd [--listen ADDR | --port N] [--threads N] [--print-port]
 //!         [--data-dir DIR] [--sync always|every-n[=N]|never]
 //!         [--max-queue N] [--read-timeout-ms N] [--tenant-quota N]
-//!         [--auth-token-file PATH]
+//!         [--auth-token-file PATH] [--shards auto|N|off]
 //! ```
 //!
 //! * `--listen ADDR` — bind address, default `127.0.0.1:7011`; use port 0
@@ -33,10 +33,16 @@
 //!   until `ORIENT`/`VERIFY` drains.  `0` disables the quota.
 //! * `--auth-token-file PATH` — require `AUTH <token>` (the file's
 //!   trimmed contents) before any verb other than `PING`.
+//! * `--shards auto|N|off` — spatial sharding for every deployment
+//!   (created or recovered), default `auto`: large deployments get a
+//!   per-tile kd/MST forest so one edit repairs inside its ~10³-point
+//!   tile.  `N` forces an N×N tile grid, `off` keeps the global engines.
+//!   Bit-exact either way — the flag only changes what edits cost.
 //!
 //! Unknown or malformed flags exit with status 2 and print the usage line
 //! to stderr.  The process exits cleanly after a `SHUTDOWN` request.
 
+use antennae::core::shard::ShardSpec;
 use antennae::serve::{Server, ServerConfig, Service};
 use antennae::store::{Store, StoreConfig, SyncPolicy};
 use std::process::ExitCode;
@@ -45,7 +51,8 @@ use std::time::Duration;
 
 const USAGE: &str = "usage: orientd [--listen ADDR | --port N] [--threads N] [--print-port] \
                      [--data-dir DIR] [--sync always|every-n[=N]|never] [--max-queue N] \
-                     [--read-timeout-ms N] [--tenant-quota N] [--auth-token-file PATH]";
+                     [--read-timeout-ms N] [--tenant-quota N] [--auth-token-file PATH] \
+                     [--shards auto|N|off]";
 
 #[derive(Debug)]
 struct Args {
@@ -61,6 +68,8 @@ struct Args {
     /// Per-tenant pending-edit cap (`None` = unbounded).
     tenant_quota: Option<usize>,
     auth_token_file: Option<std::path::PathBuf>,
+    /// Spatial-sharding policy for every deployment.
+    shards: ShardSpec,
 }
 
 fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
@@ -74,6 +83,7 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
         read_timeout: Some(Duration::from_millis(30_000)),
         tenant_quota: Some(65_536),
         auth_token_file: None,
+        shards: ShardSpec::default(),
     };
     let mut argv = argv.peekable();
     while let Some(flag) = argv.next() {
@@ -119,6 +129,10 @@ fn parse_args(argv: impl Iterator<Item = String>) -> Result<Args, String> {
                 Some(path) if !path.is_empty() => args.auth_token_file = Some(path.into()),
                 _ => return Err("--auth-token-file needs a file path".into()),
             },
+            "--shards" => match argv.next() {
+                Some(value) => args.shards = ShardSpec::parse(&value)?,
+                None => return Err("--shards takes auto, off or a tile count ≥ 2".into()),
+            },
             "--print-port" => args.print_port = true,
             "--help" | "-h" => return Err(String::new()),
             other => return Err(format!("unknown flag {other:?}")),
@@ -159,7 +173,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            match Service::open_durable(store) {
+            match Service::open_durable_sharded(store, args.shards) {
                 Ok((service, report)) => {
                     for (name, reason) in &report.skipped {
                         eprintln!("orientd: skipped tenant {name:?}: {reason}");
@@ -200,6 +214,7 @@ fn main() -> ExitCode {
         eprintln!("orientd: AUTH required (token from {})", path.display());
     }
     service.set_tenant_quota(args.tenant_quota);
+    service.set_shard_spec(args.shards);
     let service = Arc::new(service);
 
     let server_config = ServerConfig {
@@ -275,11 +290,14 @@ mod tests {
             "100",
             "--auth-token-file",
             "/tmp/token",
+            "--shards",
+            "8",
         ])
         .unwrap();
         assert_eq!(args.max_queue, Some(16));
         assert_eq!(args.read_timeout, Some(Duration::from_millis(250)));
         assert_eq!(args.tenant_quota, Some(100));
+        assert_eq!(args.shards, ShardSpec::Grid(8));
         assert_eq!(
             args.auth_token_file.as_deref(),
             Some(std::path::Path::new("/tmp/token"))
@@ -291,11 +309,14 @@ mod tests {
             "0",
             "--tenant-quota",
             "0",
+            "--shards",
+            "off",
         ])
         .unwrap();
         assert_eq!(off.max_queue, None);
         assert_eq!(off.read_timeout, None);
         assert_eq!(off.tenant_quota, None);
+        assert_eq!(off.shards, ShardSpec::Off);
 
         let defaults = parse(&[]).unwrap();
         assert!(defaults.data_dir.is_none());
@@ -303,6 +324,7 @@ mod tests {
         assert_eq!(defaults.read_timeout, Some(Duration::from_millis(30_000)));
         assert_eq!(defaults.tenant_quota, Some(65_536));
         assert!(defaults.auth_token_file.is_none());
+        assert_eq!(defaults.shards, ShardSpec::Auto);
         assert_eq!(parse(&["--help"]).unwrap_err(), "");
         for bad in [
             &["--frobnicate"][..],
@@ -318,6 +340,9 @@ mod tests {
             &["--read-timeout-ms", "-1"],
             &["--tenant-quota", "many"],
             &["--auth-token-file"],
+            &["--shards"],
+            &["--shards", "1"],
+            &["--shards", "sideways"],
         ] {
             let err = parse(bad).unwrap_err();
             assert!(!err.is_empty(), "{bad:?} should be a hard flag error");

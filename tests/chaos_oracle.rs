@@ -105,9 +105,9 @@ fn mutate_until_acked(svc: &Service, name: &str, line: &str) -> String {
 }
 
 /// The bit-equality bar shared with the durability oracle.
-fn assert_bit_equal(service: &Service, name: &str, oracle: &DynamicSolverSession) {
+fn assert_bit_equal(service: &Service, name: &str, oracle: &mut DynamicSolverSession) {
     let tenant = service.registry().get(name).expect("tenant");
-    tenant.with_session(|served| {
+    tenant.with_session_mut(|served| {
         assert_eq!(served.instance().ids(), oracle.instance().ids(), "live ids");
         assert_eq!(
             served.instance().next_id(),
@@ -244,12 +244,12 @@ fn disk_full_degrades_reads_survive_recover_restores() {
 
     // Bit-equal to the never-faulted application of the acked history —
     // live, and again after a restart on the real filesystem.
-    let oracle = oracle_of(&seeds, 2, &acked);
-    assert_bit_equal(&svc, "d", &oracle);
+    let mut oracle = oracle_of(&seeds, 2, &acked);
+    assert_bit_equal(&svc, "d", &mut oracle);
     drop(svc);
     let (svc, report) = reopen_real(&root, config);
     assert_eq!(report.recovered, ["d"]);
-    assert_bit_equal(&svc, "d", &oracle);
+    assert_bit_equal(&svc, "d", &mut oracle);
     let _ = std::fs::remove_dir_all(&root);
 }
 
@@ -298,13 +298,13 @@ fn fsync_failure_unacknowledges_exactly_the_failing_edit() {
 
     recover_until_ok(&svc, "f");
     assert!(svc.handle_line("ORIENT f").starts_with("OK orient f"));
-    let oracle = oracle_of(&seeds, 2, &acked);
-    assert_bit_equal(&svc, "f", &oracle);
+    let mut oracle = oracle_of(&seeds, 2, &acked);
+    assert_bit_equal(&svc, "f", &mut oracle);
     // The un-acknowledged record must not resurface after a restart.
     drop(svc);
     let (svc, report) = reopen_real(&root, config);
     assert_eq!(report.recovered, ["f"]);
-    assert_bit_equal(&svc, "f", &oracle);
+    assert_bit_equal(&svc, "f", &mut oracle);
     let _ = std::fs::remove_dir_all(&root);
 }
 
@@ -335,8 +335,8 @@ fn short_write_then_crash_salvages_the_acknowledged_prefix() {
     assert_eq!(report.recovered, ["s"]);
     assert_eq!(report.truncated_tails, 1, "the torn tail was salvaged");
     assert!(report.lost_bytes > 0);
-    let oracle = oracle_of(&seeds, 2, &acked);
-    assert_bit_equal(&svc, "s", &oracle);
+    let mut oracle = oracle_of(&seeds, 2, &acked);
+    assert_bit_equal(&svc, "s", &mut oracle);
     // The salvaged tenant accepts new work.
     assert!(svc.handle_line("EDIT s INSERT 1.5 1.5").starts_with("OK"));
     assert!(svc.handle_line("ORIENT s").starts_with("OK orient s"));
@@ -372,15 +372,15 @@ fn short_write_recover_truncates_the_torn_bytes_in_place() {
         acked.push(Edit::Insert(Point::new(x, y)));
     }
     assert!(svc.handle_line("ORIENT r").starts_with("OK orient r"));
-    let oracle = oracle_of(&seeds, 2, &acked);
-    assert_bit_equal(&svc, "r", &oracle);
+    let mut oracle = oracle_of(&seeds, 2, &acked);
+    assert_bit_equal(&svc, "r", &mut oracle);
 
     // After in-place recovery the log is clean: a restart salvages nothing.
     drop(svc);
     let (svc, report) = reopen_real(&root, config);
     assert_eq!(report.recovered, ["r"]);
     assert_eq!(report.truncated_tails, 0, "recovery already truncated");
-    assert_bit_equal(&svc, "r", &oracle);
+    assert_bit_equal(&svc, "r", &mut oracle);
     let _ = std::fs::remove_dir_all(&root);
 }
 
@@ -422,7 +422,7 @@ fn slow_io_is_latency_not_damage() {
     let stats = svc.handle_line("STATS slow");
     let payload = stats.strip_prefix("OK ").unwrap().to_string();
     assert_eq!(payload_field(&payload, "degraded"), Some("false"));
-    assert_bit_equal(&svc, "slow", &oracle_of(&seeds, 2, &acked));
+    assert_bit_equal(&svc, "slow", &mut oracle_of(&seeds, 2, &acked));
     let _ = std::fs::remove_dir_all(&root);
 }
 
@@ -516,13 +516,13 @@ fn seeded_fault_scripts_preserve_every_acknowledged_edit() {
         mutate_until_acked(&svc, name, &format!("ORIENT {name}"));
         total_fired += vfs.faults_fired();
 
-        let oracle = oracle_of(&seeds, 2, &acked);
-        assert_bit_equal(&svc, name, &oracle);
+        let mut oracle = oracle_of(&seeds, 2, &acked);
+        assert_bit_equal(&svc, name, &mut oracle);
         // Restart on the real filesystem: nothing acknowledged is lost.
         drop(svc);
         let (svc, report) = reopen_real(&root, config);
         assert_eq!(report.recovered, [name], "seed {seed}");
-        assert_bit_equal(&svc, name, &oracle);
+        assert_bit_equal(&svc, name, &mut oracle);
         let _ = std::fs::remove_dir_all(&root);
     }
     assert!(total_fired > 0, "the sweep never exercised a fault");

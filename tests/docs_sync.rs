@@ -1,0 +1,98 @@
+//! Keeps the docs honest: the wire-facing tables in `docs/PROTOCOL.md` are
+//! parsed and compared against the compiled protocol constants, so the doc
+//! cannot drift from `crates/serve/src/protocol.rs` without this test
+//! failing.  `scripts/check_docs.sh` layers the cheap existence/link checks
+//! on top; this test owns the semantic ones.
+
+use antennae::serve::protocol::{MAX_CREATE_POINTS, MAX_LINE_BYTES, MAX_NAME_BYTES};
+use antennae::serve::ErrorCode;
+use std::path::Path;
+
+fn repo_file(rel: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join(rel);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Error-code tokens listed in the PROTOCOL.md table, in document order.
+/// Table rows look like `| \`unknown-verb\` | ... |`.
+fn documented_error_codes(doc: &str) -> Vec<String> {
+    doc.lines()
+        .filter_map(|line| {
+            let cell = line.strip_prefix("| `")?;
+            let (token, _) = cell.split_once('`')?;
+            ErrorCode::ALL
+                .iter()
+                .any(|c| c.as_str() == token)
+                .then(|| token.to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn protocol_doc_error_table_matches_error_code_all() {
+    let doc = repo_file("docs/PROTOCOL.md");
+    let documented = documented_error_codes(&doc);
+    let expected: Vec<String> = ErrorCode::ALL
+        .iter()
+        .map(|c| c.as_str().to_string())
+        .collect();
+    assert_eq!(
+        documented, expected,
+        "docs/PROTOCOL.md error table must list every ErrorCode::ALL token, \
+         once each, in enum order"
+    );
+    assert_eq!(documented.len(), 17, "the pinned vocabulary is 17 codes");
+    // The doc states the count in prose; keep the number honest too.
+    assert!(
+        doc.contains("**17** kebab-case codes"),
+        "PROTOCOL.md must state the pinned code count"
+    );
+}
+
+#[test]
+fn protocol_doc_framing_caps_match_constants() {
+    let doc = repo_file("docs/PROTOCOL.md");
+    for (name, value) in [
+        ("MAX_LINE_BYTES", MAX_LINE_BYTES),
+        ("MAX_NAME_BYTES", MAX_NAME_BYTES),
+        ("MAX_CREATE_POINTS", MAX_CREATE_POINTS),
+    ] {
+        let expected = format!("`{name}` = {value}");
+        assert!(
+            doc.contains(&expected),
+            "PROTOCOL.md framing table must contain {expected:?}"
+        );
+    }
+}
+
+#[test]
+fn protocol_doc_covers_every_verb() {
+    let doc = repo_file("docs/PROTOCOL.md");
+    for verb in [
+        "CREATE", "EDIT", "ORIENT", "VERIFY", "QUERY", "STATS", "DROP", "RECOVER", "AUTH", "PING",
+        "SHUTDOWN",
+    ] {
+        assert!(
+            doc.contains(&format!("{verb} ")) || doc.contains(&format!("`{verb}`")),
+            "PROTOCOL.md must document the {verb} verb"
+        );
+    }
+    for op in ["INSERT", "REMOVE", "MOVE"] {
+        assert!(
+            doc.contains(&format!("EDIT <name> {op}")),
+            "PROTOCOL.md must document EDIT {op}"
+        );
+    }
+}
+
+#[test]
+fn readme_links_the_docs_suite() {
+    let readme = repo_file("README.md");
+    for doc in [
+        "docs/PROTOCOL.md",
+        "docs/OPERATIONS.md",
+        "docs/ARCHITECTURE.md",
+    ] {
+        assert!(readme.contains(doc), "README.md must link {doc}");
+    }
+}

@@ -71,9 +71,9 @@ fn oracle_session(
     oracle
 }
 
-fn assert_bit_equal(service: &Service, name: &str, oracle: &DynamicSolverSession) {
+fn assert_bit_equal(service: &Service, name: &str, oracle: &mut DynamicSolverSession) {
     let tenant = service.registry().get(name).expect("recovered tenant");
-    tenant.with_session(|served| {
+    tenant.with_session_mut(|served| {
         assert_eq!(served.instance().ids(), oracle.instance().ids(), "live ids");
         assert_eq!(
             served.instance().next_id(),
@@ -128,8 +128,8 @@ fn clean_shutdown_recovers_bit_equal() {
     let (svc, report) = open(&root, config);
     assert_eq!(report.recovered, ["clean"]);
     assert_eq!(report.truncated_tails, 0, "clean shutdown tears nothing");
-    let oracle = oracle_session(&seeds, budget, &script.edits, script.edits.len());
-    assert_bit_equal(&svc, "clean", &oracle);
+    let mut oracle = oracle_session(&seeds, budget, &script.edits, script.edits.len());
+    assert_bit_equal(&svc, "clean", &mut oracle);
     let _ = std::fs::remove_dir_all(&root);
 }
 
@@ -160,8 +160,8 @@ fn crash_with_unflushed_edits_recovers_the_acknowledged_history() {
     assert_eq!(report.recovered, ["crash"]);
     // The recovered state contains the *full* acknowledged history — every
     // buffered edit was logged before its OK went out.
-    let oracle = oracle_session(&seeds, budget, &script.edits, script.edits.len());
-    assert_bit_equal(&svc, "crash", &oracle);
+    let mut oracle = oracle_session(&seeds, budget, &script.edits, script.edits.len());
+    assert_bit_equal(&svc, "crash", &mut oracle);
     let _ = std::fs::remove_dir_all(&root);
 }
 
@@ -191,12 +191,12 @@ fn compaction_is_transparent_to_recovery() {
     }
     let (svc, report) = open(&root, config);
     assert_eq!(report.recovered, ["compact"]);
-    let oracle = oracle_session(&seeds, budget, &script.edits, script.edits.len());
-    assert_bit_equal(&svc, "compact", &oracle);
+    let mut oracle = oracle_session(&seeds, budget, &script.edits, script.edits.len());
+    assert_bit_equal(&svc, "compact", &mut oracle);
     // Recovery itself is idempotent: reopen once more, same bits.
     drop(svc);
     let (svc, _) = open(&root, config);
-    assert_bit_equal(&svc, "compact", &oracle);
+    assert_bit_equal(&svc, "compact", &mut oracle);
     let _ = std::fs::remove_dir_all(&root);
 }
 
@@ -235,8 +235,8 @@ fn torn_tail_recovers_the_longest_valid_prefix() {
     assert!(report.lost_bytes > 0);
     // Exactly the final acknowledged edit is lost; everything before it is
     // intact (length-prefix + CRC framing cuts at the record boundary).
-    let oracle = oracle_session(&seeds, budget, &script.edits, acked - 1);
-    assert_bit_equal(&svc, "torn", &oracle);
+    let mut oracle = oracle_session(&seeds, budget, &script.edits, acked - 1);
+    assert_bit_equal(&svc, "torn", &mut oracle);
     // And the salvaged tenant accepts new work.
     assert!(svc
         .handle_line("EDIT torn INSERT 0.5 0.25")

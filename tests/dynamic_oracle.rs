@@ -395,7 +395,7 @@ fn assert_replay_equivalent(points: &[Point], budget: AntennaBudget, steps: &[St
     }
 
     for (cut, (base, next_id)) in cuts.iter().enumerate() {
-        let recovered =
+        let mut recovered =
             DynamicSolverSession::replay(budget, base, *next_id, &resolved[cut..]).unwrap();
         assert_eq!(
             recovered.instance().ids(),
@@ -468,7 +468,7 @@ fn replay_handles_sparse_ids_and_empty_tails() {
         .map(|id| (id, lived.instance().point(id).unwrap()))
         .collect();
     assert_eq!(base.iter().map(|&(id, _)| id).collect::<Vec<_>>(), [1, 3]);
-    let recovered =
+    let mut recovered =
         DynamicSolverSession::replay(budget, &base, lived.instance().next_id(), &[]).unwrap();
     assert_eq!(recovered.instance().ids(), lived.instance().ids());
     assert_eq!(recovered.instance().next_id(), 6);

@@ -57,7 +57,7 @@ fn churn_script_over_tcp_matches_bare_session() {
     // Compare through the registry (state bits) and the snapshot (wire view).
     let service = handle.service();
     let tenant = service.registry().get("churny").expect("tenant exists");
-    tenant.with_session(|served| {
+    tenant.with_session_mut(|served| {
         assert_eq!(served.instance().ids(), oracle.instance().ids(), "live ids");
         assert_eq!(
             served.instance().lmax().to_bits(),

@@ -1,0 +1,291 @@
+//! The shard oracle: the sharded engines must be **bit-exact** to the global
+//! ones — not statistically close, the same `f64`s.
+//!
+//! Static side: [`ShardedInstance::build_with_threads`] (per-tile kd/Borůvka
+//! forests + cross-tile stitch) against [`Instance::new`], over stochastic
+//! and extremal workloads × tile counts × thread counts.  The equality bar is
+//! the full structure: MST edge set (endpoints and `f64::to_bits` weights),
+//! `lmax`, total weight — and, downstream, the solver's scheme and the
+//! verification report, which inherit bit-equality from the substrate.
+//!
+//! Dynamic side: a [`DynamicInstance::new_sharded`] deployment under an edit
+//! script against the unsharded engine applying the same script, compared
+//! after **every** edit (including moves that cross tile boundaries and
+//! drain/regrow sequences).  The property test fuzzes random scripts whose
+//! moves are drawn across the whole bounding box, so boundary crossings are
+//! the common case, not the exception.
+//!
+//! Why equality is exact and not approximate: all engines reduce to the same
+//! perturbed total order on candidate edges (weight, then endpoint slots), so
+//! the MST is *unique* under that order and every correct algorithm —
+//! whatever its tile decomposition, stitch schedule or thread count — must
+//! return it.  See `docs/ARCHITECTURE.md` ("Spatial sharding").
+
+use antennae::core::antenna::AntennaBudget;
+use antennae::core::bounds::theorem2_spread_threshold;
+use antennae::core::dynamic::{DynamicInstance, DynamicSolverSession, Edit};
+use antennae::core::shard::{ShardSpec, ShardedInstance};
+use antennae::prelude::*;
+use antennae::sim::generators::{extremal_workloads, standard_workloads};
+use proptest::prelude::*;
+
+fn theorem2_budget() -> AntennaBudget {
+    AntennaBudget::new(2, theorem2_spread_threshold(2))
+}
+
+/// MST edges as comparable triples: (min endpoint, max endpoint, weight bits).
+fn edge_set(instance: &Instance) -> Vec<(usize, usize, u64)> {
+    let mut edges: Vec<(usize, usize, u64)> = instance
+        .mst()
+        .edges()
+        .into_iter()
+        .map(|e| (e.u.min(e.v), e.u.max(e.v), e.weight.to_bits()))
+        .collect();
+    edges.sort_unstable();
+    edges
+}
+
+/// The static bar: substrate bit-equality, then scheme/report equality of the
+/// full solve + verify pipeline run on both instances.
+fn assert_static_bit_equal(points: &[Point], spec: ShardSpec, threads: usize) {
+    let sharded = ShardedInstance::build_with_threads(points, spec, threads).expect("sharded");
+    let global = Instance::new(points.to_vec()).expect("global");
+    let label = format!("spec={spec} threads={threads} n={}", points.len());
+
+    assert_eq!(
+        sharded.instance().lmax().to_bits(),
+        global.lmax().to_bits(),
+        "lmax bits ({label})"
+    );
+    assert_eq!(
+        sharded.instance().mst().total_weight().to_bits(),
+        global.mst().total_weight().to_bits(),
+        "total weight bits ({label})"
+    );
+    assert_eq!(
+        edge_set(sharded.instance()),
+        edge_set(&global),
+        "MST edge set ({label})"
+    );
+
+    let budget = theorem2_budget();
+    let a = Solver::on(sharded.instance())
+        .with_budget(budget)
+        .run()
+        .expect("solve sharded");
+    let b = Solver::on(&global)
+        .with_budget(budget)
+        .run()
+        .expect("solve global");
+    assert_eq!(a.scheme, b.scheme, "scheme ({label})");
+    let ra = verify(sharded.instance(), &a.scheme);
+    let rb = verify(&global, &b.scheme);
+    assert_eq!(ra, rb, "report ({label})");
+}
+
+#[test]
+fn static_build_matches_global_across_workloads_tiles_and_threads() {
+    let mut workloads: Vec<(String, Vec<Point>)> = Vec::new();
+    for generator in standard_workloads().into_iter().chain(extremal_workloads()) {
+        workloads.push((generator.label(), generator.generate(0xC0FFEE)));
+    }
+    for (name, points) in &workloads {
+        for spec in [ShardSpec::Grid(2), ShardSpec::Grid(3), ShardSpec::Grid(5)] {
+            for threads in [1, 4] {
+                assert_static_bit_equal(points, spec, threads);
+                let _ = name;
+            }
+        }
+    }
+}
+
+#[test]
+fn static_build_auto_shards_and_matches_at_scale() {
+    // Auto only engages at AUTO_SHARD_MIN_POINTS; build one workload above it.
+    let points = PointSetGenerator::UniformSquare {
+        n: 5000,
+        side: 50.0,
+    }
+    .generate(7);
+    let sharded = ShardedInstance::build(&points, ShardSpec::Auto).expect("sharded");
+    assert!(
+        sharded.report().is_some(),
+        "auto must shard 5000 uniform points"
+    );
+    for threads in [1, 4] {
+        assert_static_bit_equal(&points, ShardSpec::Auto, threads);
+    }
+}
+
+#[test]
+fn static_build_survives_degenerate_workloads() {
+    // Duplicates on an integer grid (tie-heavy), a collinear path, a cluster
+    // leaving most tiles empty, and an all-coincident set (degenerate bbox).
+    let mut duplicated: Vec<Point> = (0..300)
+        .map(|i| Point::new((i % 10) as f64, (i / 10) as f64 % 10.0))
+        .collect();
+    duplicated.extend((0..100).map(|i| Point::new((i % 10) as f64, (i % 7) as f64)));
+    let collinear: Vec<Point> = (0..200).map(|i| Point::new(i as f64, 0.0)).collect();
+    let clustered: Vec<Point> = (0..256)
+        .map(|i| Point::new(100.0 + (i % 16) as f64 * 0.1, 200.0 + (i / 16) as f64 * 0.1))
+        .chain([Point::new(0.0, 0.0)])
+        .collect();
+    for points in [&duplicated, &collinear, &clustered] {
+        for spec in [ShardSpec::Grid(2), ShardSpec::Grid(4)] {
+            assert_static_bit_equal(points, spec, 2);
+        }
+    }
+    // Coincident points cannot resolve a grid; the build must fall back.
+    let coincident = vec![Point::new(3.0, 3.0); 12];
+    let built = ShardedInstance::build(&coincident, ShardSpec::Grid(4)).expect("fallback");
+    assert!(built.report().is_none(), "degenerate bbox must stay global");
+    assert_eq!(built.instance().len(), 12);
+}
+
+/// Session-level bit-equality after an edit (the dynamic bar).
+fn assert_sessions_agree(sharded: &mut DynamicSolverSession, global: &mut DynamicSolverSession) {
+    assert_eq!(
+        sharded.instance().ids(),
+        global.instance().ids(),
+        "live ids"
+    );
+    assert_eq!(
+        sharded.instance().lmax().to_bits(),
+        global.instance().lmax().to_bits(),
+        "lmax bits"
+    );
+    assert_eq!(
+        sharded.instance().mst_total_weight().to_bits(),
+        global.instance().mst_total_weight().to_bits(),
+        "MST weight bits"
+    );
+    assert_eq!(
+        sharded.instance().changed_ids(),
+        global.instance().changed_ids(),
+        "changed sets"
+    );
+    assert_eq!(sharded.scheme(), global.scheme(), "scheme");
+    assert_eq!(sharded.digraph(), global.digraph(), "digraph");
+    assert_eq!(sharded.report(), global.report(), "report");
+}
+
+#[test]
+fn dynamic_edits_match_global_including_boundary_crossings() {
+    // A 40×40 perturbed-ish lattice sharded 4×4: tile side 10, so the
+    // scripted moves below hop across one or more tile boundaries.
+    let n_side = 40usize;
+    let points: Vec<Point> = (0..n_side * n_side)
+        .map(|i| {
+            let (x, y) = ((i % n_side) as f64, (i / n_side) as f64);
+            Point::new(
+                x + 0.01 * ((i * 7) % 13) as f64,
+                y + 0.01 * ((i * 5) % 11) as f64,
+            )
+        })
+        .collect();
+    let spec = ShardSpec::Grid(4);
+    assert!(
+        spec.resolve(&points).is_some(),
+        "the lattice must actually shard"
+    );
+    let budget = theorem2_budget();
+    let mut sharded = DynamicSolverSession::new(
+        DynamicInstance::new_sharded(&points, spec).expect("sharded"),
+        budget,
+    )
+    .expect("session");
+    let mut global = DynamicSolverSession::new(
+        DynamicInstance::new_sharded(&points, ShardSpec::Off).expect("global"),
+        budget,
+    )
+    .expect("session");
+    assert_sessions_agree(&mut sharded, &mut global);
+
+    let far = points.len() - 1;
+    let script = [
+        // In-tile wiggle.
+        Edit::Move(0, Point::new(0.4, 0.4)),
+        // Corner-to-corner: crosses every tile boundary on both axes.
+        Edit::Move(0, Point::new(39.2, 39.1)),
+        // Sit exactly on a tile boundary (x = 10 is the 4×4 cut line).
+        Edit::Move(far, Point::new(10.0, 10.0)),
+        // Insert into an interior tile, then into a boundary strip.
+        Edit::Insert(Point::new(20.5, 20.5)),
+        Edit::Insert(Point::new(29.999, 0.002)),
+        // Remove a boundary sensor and a hub's neighbor.
+        Edit::Remove(far),
+        Edit::Remove(1),
+        // Move the fresh insert across the whole deployment.
+        Edit::Move(1600, Point::new(0.8, 38.7)),
+    ];
+    for edit in script {
+        let a = sharded.apply(edit).expect("sharded edit");
+        let b = global.apply(edit).expect("global edit");
+        assert_eq!(a.mst_changed, b.mst_changed, "changed count of {edit:?}");
+        assert_sessions_agree(&mut sharded, &mut global);
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Step {
+    Insert(f64, f64),
+    Remove(u64),
+    Move(u64, f64, f64),
+}
+
+fn to_edit(session: &DynamicSolverSession, step: &Step) -> Option<Edit> {
+    match *step {
+        Step::Insert(x, y) => Some(Edit::Insert(Point::new(x, y))),
+        Step::Remove(pick) => {
+            let ids = session.instance().ids();
+            (ids.len() > 1).then(|| Edit::Remove(ids[(pick % ids.len() as u64) as usize]))
+        }
+        Step::Move(pick, x, y) => {
+            let ids = session.instance().ids();
+            Some(Edit::Move(
+                ids[(pick % ids.len() as u64) as usize],
+                Point::new(x, y),
+            ))
+        }
+    }
+}
+
+proptest! {
+    /// Random scripts over a sharded-vs-global session pair.  Coordinates
+    /// span the whole 30×30 box while the 3×3 grid cuts it at 10 and 20, so
+    /// most moves cross tiles; inserts land in arbitrary tiles; removals hit
+    /// arbitrary ids.  Equality is checked after every step.
+    #[test]
+    fn prop_sharded_scripts_match_global(
+        script in proptest::collection::vec(
+            (0u8..3, 0u64..1_000_000u64, 0.0..30.0f64, 0.0..30.0f64),
+            1..14
+        ),
+        seed in 0u64..4,
+    ) {
+        let points = PointSetGenerator::UniformSquare { n: 60, side: 30.0 }.generate(seed);
+        let spec = ShardSpec::Grid(3);
+        prop_assume!(spec.resolve(&points).is_some());
+        let budget = theorem2_budget();
+        let mut sharded = DynamicSolverSession::new(
+            DynamicInstance::new_sharded(&points, spec).expect("sharded"),
+            budget,
+        ).expect("session");
+        let mut global = DynamicSolverSession::new(
+            DynamicInstance::new_sharded(&points, ShardSpec::Off).expect("global"),
+            budget,
+        ).expect("session");
+        for &(op, pick, x, y) in &script {
+            let step = match op {
+                0 => Step::Insert(x, y),
+                1 => Step::Remove(pick),
+                _ => Step::Move(pick, x, y),
+            };
+            let Some(edit) = to_edit(&global, &step) else { continue };
+            let a = sharded.apply(edit).expect("sharded edit");
+            let b = global.apply(edit).expect("global edit");
+            prop_assert_eq!(a.mst_changed, b.mst_changed);
+            assert_sessions_agree(&mut sharded, &mut global);
+        }
+    }
+}
